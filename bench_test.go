@@ -1,0 +1,295 @@
+package stronglin
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"stronglin/internal/baseline"
+	"stronglin/internal/core"
+	"stronglin/internal/history"
+	"stronglin/internal/prim"
+	"stronglin/internal/sim"
+	"stronglin/internal/spec"
+)
+
+// The benchmarks regenerate the E-PERF/E-WIDTH tables of EXPERIMENTS.md.
+// Parallel benchmarks run exactly benchProcs workers with EXCLUSIVE process
+// identities: the single-writer constructions (per-process lanes, snapshot
+// components) require that at most one goroutine acts as process i.
+
+const benchProcs = 8
+
+func parallelWithIDs(b *testing.B, fn func(t prim.Thread, i int)) {
+	b.Helper()
+	var wg sync.WaitGroup
+	per := b.N / benchProcs
+	for p := 0; p < benchProcs; p++ {
+		n := per
+		if p == 0 {
+			n += b.N % benchProcs
+		}
+		wg.Add(1)
+		go func(p, n int) {
+			defer wg.Done()
+			th := prim.RealThread(p)
+			for i := 0; i < n; i++ {
+				fn(th, i)
+			}
+		}(p, n)
+	}
+	wg.Wait()
+}
+
+// E-PERF row 1: max registers.
+func BenchmarkMaxRegister(b *testing.B) {
+	b.Run("fa-thm1", func(b *testing.B) {
+		m := core.NewFAMaxRegister(prim.NewRealWorld(), "m", benchProcs)
+		parallelWithIDs(b, func(t prim.Thread, i int) {
+			if i%4 == 0 {
+				m.WriteMax(t, int64(i%256))
+			} else {
+				m.ReadMax(t)
+			}
+		})
+	})
+	b.Run("aac-registers", func(b *testing.B) {
+		m := baseline.NewAACMaxRegister(prim.NewRealWorld(), "m", 8)
+		parallelWithIDs(b, func(t prim.Thread, i int) {
+			if i%4 == 0 {
+				m.WriteMax(t, int64(i%256))
+			} else {
+				m.ReadMax(t)
+			}
+		})
+	})
+	b.Run("atomic-maxreg", func(b *testing.B) {
+		m := prim.NewRealWorld().MaxReg("m", 0)
+		parallelWithIDs(b, func(t prim.Thread, i int) {
+			if i%4 == 0 {
+				m.WriteMax(t, int64(i%256))
+			} else {
+				m.ReadMax(t)
+			}
+		})
+	})
+}
+
+// E-PERF row 2: snapshots.
+func BenchmarkSnapshot(b *testing.B) {
+	b.Run("fa-thm2", func(b *testing.B) {
+		s := core.NewFASnapshot(prim.NewRealWorld(), "s", benchProcs)
+		parallelWithIDs(b, func(t prim.Thread, i int) {
+			if i%4 == 0 {
+				s.Update(t, int64(i%64))
+			} else {
+				s.Scan(t)
+			}
+		})
+	})
+	b.Run("afek-registers", func(b *testing.B) {
+		s := baseline.NewAfekSnapshot(prim.NewRealWorld(), "s", benchProcs)
+		parallelWithIDs(b, func(t prim.Thread, i int) {
+			if i%4 == 0 {
+				s.Update(t, int64(i%64))
+			} else {
+				s.Scan(t)
+			}
+		})
+	})
+}
+
+// E-PERF row 3: simple types over the fetch&add snapshot.
+func BenchmarkSimpleCounter(b *testing.B) {
+	c := core.NewCounterFromFA(prim.NewRealWorld(), "c", benchProcs)
+	parallelWithIDs(b, func(t prim.Thread, i int) {
+		if i%4 == 0 {
+			c.Inc(t)
+		} else {
+			c.Read(t)
+		}
+	})
+}
+
+// E-PERF row 4: readable test&set (one-shot, so bench read-heavy).
+func BenchmarkReadableTAS(b *testing.B) {
+	r := core.NewReadableTAS(prim.NewRealWorld(), "r")
+	parallelWithIDs(b, func(t prim.Thread, i int) {
+		if i == 0 {
+			r.TestAndSet(t)
+		} else {
+			r.Read(t)
+		}
+	})
+}
+
+// E-PERF row 5: multi-shot test&set (Corollary 7 composition).
+func BenchmarkMultiShotTAS(b *testing.B) {
+	m := core.NewMultiShotTASFromPrimitives(prim.NewRealWorld(), "m", benchProcs)
+	parallelWithIDs(b, func(t prim.Thread, i int) {
+		switch i % 3 {
+		case 0:
+			m.TestAndSet(t)
+		case 1:
+			m.Read(t)
+		default:
+			m.Reset(t)
+		}
+	})
+}
+
+// E-PERF row 6: fetch&increment variants.
+func BenchmarkFetchInc(b *testing.B) {
+	b.Run("tas-thm9", func(b *testing.B) {
+		f := core.NewFetchIncFromTAS(prim.NewRealWorld(), "f")
+		parallelWithIDs(b, func(t prim.Thread, i int) { f.FetchIncrement(t) })
+	})
+	b.Run("fa-direct", func(b *testing.B) {
+		f := core.NewFAFetchInc(prim.NewRealWorld(), "f")
+		parallelWithIDs(b, func(t prim.Thread, i int) { f.FetchIncrement(t) })
+	})
+	b.Run("sync-atomic", func(b *testing.B) {
+		var c atomic.Int64
+		parallelWithIDs(b, func(t prim.Thread, i int) { c.Add(1) })
+	})
+}
+
+// E-PERF row 7: sets.
+func BenchmarkSet(b *testing.B) {
+	b.Run("tas-thm10", func(b *testing.B) {
+		s := core.NewTASSetAtomic(prim.NewRealWorld(), "s")
+		var next atomic.Int64
+		parallelWithIDs(b, func(t prim.Thread, i int) {
+			if i%2 == 0 {
+				s.Put(t, next.Add(1))
+			} else {
+				s.Take(t)
+			}
+		})
+	})
+}
+
+// E-PERF row 8: queues (the impossibility-side objects).
+func BenchmarkQueue(b *testing.B) {
+	b.Run("herlihy-wing-lin", func(b *testing.B) {
+		q := baseline.NewHWQueueLazy(prim.NewRealWorld(), "q", 1<<24)
+		parallelWithIDs(b, func(t prim.Thread, i int) {
+			if i%2 == 0 {
+				q.Enqueue(t, int64(i+1))
+			} else {
+				q.DequeueBounded(t)
+			}
+		})
+	})
+	b.Run("cas-universal-sl", func(b *testing.B) {
+		q := baseline.NewCASQueue(prim.NewRealWorld(), "q", benchProcs)
+		parallelWithIDs(b, func(t prim.Thread, i int) {
+			if i%2 == 0 {
+				q.Enqueue(t, int64(i+1))
+			} else {
+				q.Dequeue(t)
+			}
+		})
+	})
+	b.Run("naive-stack-lin", func(b *testing.B) {
+		s := baseline.NewNaiveStackLazy(prim.NewRealWorld(), "st", 1<<24)
+		parallelWithIDs(b, func(t prim.Thread, i int) {
+			if i%2 == 0 {
+				s.Push(t, int64(i+1))
+			} else {
+				s.PopBounded(t)
+			}
+		})
+	})
+}
+
+// E-WIDTH: register width growth of the fetch&add constructions (the
+// Section 6 cost). Reports bits per written value magnitude.
+func BenchmarkRegisterWidth(b *testing.B) {
+	for _, maxVal := range []int64{16, 256, 4096} {
+		b.Run(fmt.Sprintf("maxreg-unary/val=%d", maxVal), func(b *testing.B) {
+			w := sim.NewSoloWorld()
+			m := core.NewFAMaxRegister(w, "m", benchProcs)
+			th := sim.SoloThread(0)
+			for i := 0; i < b.N; i++ {
+				m.WriteMax(th, int64(i)%maxVal)
+			}
+			b.ReportMetric(float64(m.Width(th)), "bits")
+		})
+		b.Run(fmt.Sprintf("snapshot-binary/val=%d", maxVal), func(b *testing.B) {
+			w := sim.NewSoloWorld()
+			s := core.NewFASnapshot(w, "s", benchProcs)
+			th := sim.SoloThread(0)
+			for i := 0; i < b.N; i++ {
+				s.Update(th, int64(i)%maxVal)
+			}
+			b.ReportMetric(float64(s.Width(th)), "bits")
+		})
+	}
+}
+
+// E-CHECK: throughput of the verification machinery itself.
+func BenchmarkCheckers(b *testing.B) {
+	b.Run("explore+stronglin", func(b *testing.B) {
+		setup := func(w *sim.World) []sim.Program {
+			m := core.NewFAMaxRegister(w, "m", 2)
+			wm := sim.Op{Name: "w", Spec: spec.MkOp(spec.MethodWriteMax, 1),
+				Run: func(t prim.Thread) string { m.WriteMax(t, 1); return spec.RespOK }}
+			rm := sim.Op{Name: "r", Spec: spec.MkOp(spec.MethodReadMax),
+				Run: func(t prim.Thread) string { return spec.RespInt(m.ReadMax(t)) }}
+			return []sim.Program{{wm, rm}, {wm, rm}}
+		}
+		for i := 0; i < b.N; i++ {
+			tree, err := sim.Explore(2, setup, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res := history.CheckStrongLin(tree, spec.MaxRegister{}, nil); !res.Ok {
+				b.Fatal("unexpected refutation")
+			}
+		}
+	})
+	b.Run("wgl-linearizability", func(b *testing.B) {
+		w := prim.NewRealWorld()
+		m := core.NewFAMaxRegister(w, "m", 4)
+		rngs := make([]*rand.Rand, 4)
+		for p := range rngs {
+			rngs[p] = rand.New(rand.NewSource(int64(p) + 5))
+		}
+		h := history.Stress(history.StressConfig{
+			Procs:      4,
+			OpsPerProc: 50,
+			Gen: func(p, i int) history.StressOp {
+				if rngs[p].Intn(2) == 0 {
+					v := int64(rngs[p].Intn(16))
+					return history.StressOp{Op: spec.MkOp(spec.MethodWriteMax, v),
+						Run: func(t prim.Thread) string { m.WriteMax(t, v); return spec.RespOK }}
+				}
+				return history.StressOp{Op: spec.MkOp(spec.MethodReadMax),
+					Run: func(t prim.Thread) string { return spec.RespInt(m.ReadMax(t)) }}
+			},
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if res := history.CheckLinearizable(h, spec.MaxRegister{}); !res.Ok {
+				b.Fatal("stress history rejected")
+			}
+		}
+	})
+}
+
+// E-ADV as a benchmark: trials per second of the adversary game.
+func BenchmarkAdversaryGame(b *testing.B) {
+	b.Run("vs-strongly-linearizable", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			PlayAdversary(AdversaryVsStrong, 10, int64(i))
+		}
+	})
+	b.Run("vs-linearizable", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			PlayAdversary(AdversaryVsLinearizable, 10, int64(i))
+		}
+	})
+}

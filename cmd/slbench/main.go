@@ -1,0 +1,247 @@
+// Command slbench measures the throughput of the paper's constructions
+// against their linearizable and universal-primitive comparators under real
+// goroutine concurrency (E-PERF). Absolute numbers depend on the host; the
+// shape — who wins, by what factor — is the reproducible signal.
+//
+// Usage:
+//
+//	slbench [-dur 200ms] [-procs 1,2,4,8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stronglin/internal/baseline"
+	"stronglin/internal/core"
+	"stronglin/internal/prim"
+)
+
+var (
+	dur      = flag.Duration("dur", 200*time.Millisecond, "measurement duration per cell")
+	procList = flag.String("procs", "1,2,4,8", "comma-separated goroutine counts")
+)
+
+type target struct {
+	name  string
+	build func(procs int) func(t prim.Thread, i int)
+}
+
+func main() {
+	flag.Parse()
+	procs, err := parseProcs(*procList)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	fmt.Printf("throughput (ops/sec), %v per cell\n\n", *dur)
+	header := fmt.Sprintf("%-34s", "implementation")
+	for _, p := range procs {
+		header += fmt.Sprintf(" %12s", "p="+strconv.Itoa(p))
+	}
+	fmt.Println(header)
+
+	for _, tg := range targets() {
+		row := fmt.Sprintf("%-34s", tg.name)
+		for _, p := range procs {
+			row += fmt.Sprintf(" %12s", human(measure(tg, p, *dur)))
+		}
+		fmt.Println(row)
+	}
+}
+
+func targets() []target {
+	return []target{
+		{
+			name: "maxreg: fetch&add (Thm 1, SL)",
+			build: func(n int) func(prim.Thread, int) {
+				m := core.NewFAMaxRegister(prim.NewRealWorld(), "m", n)
+				return func(t prim.Thread, i int) {
+					if i%4 == 0 {
+						m.WriteMax(t, int64(i%512))
+					} else {
+						m.ReadMax(t)
+					}
+				}
+			},
+		},
+		{
+			name: "maxreg: AAC registers (lin)",
+			build: func(n int) func(prim.Thread, int) {
+				m := baseline.NewAACMaxRegister(prim.NewRealWorld(), "m", 9)
+				return func(t prim.Thread, i int) {
+					if i%4 == 0 {
+						m.WriteMax(t, int64(i%512))
+					} else {
+						m.ReadMax(t)
+					}
+				}
+			},
+		},
+		{
+			name: "snapshot: fetch&add (Thm 2, SL)",
+			build: func(n int) func(prim.Thread, int) {
+				s := core.NewFASnapshot(prim.NewRealWorld(), "s", n)
+				return func(t prim.Thread, i int) {
+					if i%4 == 0 {
+						s.Update(t, int64(i%64))
+					} else {
+						s.Scan(t)
+					}
+				}
+			},
+		},
+		{
+			name: "snapshot: Afek registers (lin)",
+			build: func(n int) func(prim.Thread, int) {
+				s := baseline.NewAfekSnapshot(prim.NewRealWorld(), "s", n)
+				return func(t prim.Thread, i int) {
+					if i%4 == 0 {
+						s.Update(t, int64(i%64))
+					} else {
+						s.Scan(t)
+					}
+				}
+			},
+		},
+		{
+			name: "fetch&inc: test&set (Thm 9, SL)",
+			build: func(n int) func(prim.Thread, int) {
+				f := core.NewFetchIncFromTAS(prim.NewRealWorld(), "f")
+				return func(t prim.Thread, i int) { f.FetchIncrement(t) }
+			},
+		},
+		{
+			name: "fetch&inc: fetch&add (SL)",
+			build: func(n int) func(prim.Thread, int) {
+				f := core.NewFAFetchInc(prim.NewRealWorld(), "f")
+				return func(t prim.Thread, i int) { f.FetchIncrement(t) }
+			},
+		},
+		{
+			name: "fetch&inc: sync/atomic (native)",
+			build: func(n int) func(prim.Thread, int) {
+				var c atomic.Int64
+				return func(t prim.Thread, i int) { c.Add(1) }
+			},
+		},
+		{
+			name: "set: test&set (Thm 10, SL)",
+			build: func(n int) func(prim.Thread, int) {
+				s := core.NewTASSetAtomic(prim.NewRealWorld(), "s")
+				var next atomic.Int64
+				return func(t prim.Thread, i int) {
+					if i%2 == 0 {
+						s.Put(t, next.Add(1))
+					} else {
+						s.Take(t)
+					}
+				}
+			},
+		},
+		{
+			name: "set: mutex map (lock-based)",
+			build: func(n int) func(prim.Thread, int) {
+				var mu sync.Mutex
+				m := make(map[int64]struct{})
+				var next int64
+				return func(t prim.Thread, i int) {
+					mu.Lock()
+					if i%2 == 0 {
+						next++
+						m[next] = struct{}{}
+					} else {
+						for k := range m {
+							delete(m, k)
+							break
+						}
+					}
+					mu.Unlock()
+				}
+			},
+		},
+		{
+			name: "queue: Herlihy–Wing (lin)",
+			build: func(n int) func(prim.Thread, int) {
+				q := baseline.NewHWQueueLazy(prim.NewRealWorld(), "q", 1<<22)
+				return func(t prim.Thread, i int) {
+					if i%2 == 0 {
+						q.Enqueue(t, int64(i+1))
+					} else {
+						q.DequeueBounded(t)
+					}
+				}
+			},
+		},
+		{
+			name: "queue: CAS universal (SL)",
+			build: func(n int) func(prim.Thread, int) {
+				q := baseline.NewCASQueue(prim.NewRealWorld(), "q", n)
+				return func(t prim.Thread, i int) {
+					if i%2 == 0 {
+						q.Enqueue(t, int64(i+1))
+					} else {
+						q.Dequeue(t)
+					}
+				}
+			},
+		},
+	}
+}
+
+func measure(tg target, procs int, d time.Duration) float64 {
+	op := tg.build(procs)
+	var stop atomic.Bool
+	counts := make([]int64, procs)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			th := prim.RealThread(p)
+			for i := 0; !stop.Load(); i++ {
+				op(th, i)
+				counts[p]++
+			}
+		}(p)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	total := int64(0)
+	for _, c := range counts {
+		total += c
+	}
+	return float64(total) / d.Seconds()
+}
+
+func human(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("slbench: bad -procs entry %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

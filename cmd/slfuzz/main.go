@@ -1,0 +1,249 @@
+// Command slfuzz stress-tests a construction under real goroutine
+// concurrency and checks every recorded history for linearizability with
+// the WGL checker.
+//
+// Usage:
+//
+//	slfuzz [-obj maxreg] [-procs 4] [-ops 40] [-rounds 20] [-seed 1]
+//
+// Objects: maxreg, snapshot, counter, rtas, mstas, fai, set, hwqueue,
+// naivestack, aacmaxreg, afeksnapshot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"stronglin/internal/baseline"
+	"stronglin/internal/core"
+	"stronglin/internal/history"
+	"stronglin/internal/prim"
+	"stronglin/internal/spec"
+)
+
+var (
+	obj    = flag.String("obj", "maxreg", "object under test")
+	procs  = flag.Int("procs", 4, "worker goroutines")
+	ops    = flag.Int("ops", 40, "operations per worker per round")
+	rounds = flag.Int("rounds", 20, "independent rounds")
+	seed   = flag.Int64("seed", 1, "base RNG seed")
+)
+
+func main() {
+	flag.Parse()
+	wl, ok := workloads()[*obj]
+	if !ok {
+		fmt.Printf("slfuzz: unknown object %q\n", *obj)
+		os.Exit(2)
+	}
+
+	fmt.Printf("fuzzing %s: %d rounds × %d procs × %d ops\n", *obj, *rounds, *procs, *ops)
+	states := 0
+	for r := 0; r < *rounds; r++ {
+		gen := wl.build(*procs, *seed+int64(r))
+		h := history.Stress(history.StressConfig{Procs: *procs, OpsPerProc: *ops, Gen: gen})
+		res := history.CheckLinearizable(h, wl.sp)
+		states += res.States
+		if !res.Ok {
+			fmt.Printf("round %d: NOT LINEARIZABLE\n%s\n", r, h.String())
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("all %d histories linearizable (%d checker states)\n", *rounds, states)
+}
+
+type workload func(procs int, seed int64) func(p, i int) history.StressOp
+
+func workloads() map[string]struct {
+	build workload
+	sp    spec.Spec
+} {
+	mk := func(b workload, sp spec.Spec) struct {
+		build workload
+		sp    spec.Spec
+	} {
+		return struct {
+			build workload
+			sp    spec.Spec
+		}{b, sp}
+	}
+	return map[string]struct {
+		build workload
+		sp    spec.Spec
+	}{
+		"maxreg": mk(func(procs int, seed int64) func(p, i int) history.StressOp {
+			m := core.NewFAMaxRegister(prim.NewRealWorld(), "m", procs)
+			rngs := perProcRNG(procs, seed)
+			return func(p, i int) history.StressOp {
+				if rngs[p].Intn(2) == 0 {
+					v := int64(rngs[p].Intn(32))
+					return history.StressOp{Op: spec.MkOp(spec.MethodWriteMax, v),
+						Run: func(t prim.Thread) string { m.WriteMax(t, v); return spec.RespOK }}
+				}
+				return history.StressOp{Op: spec.MkOp(spec.MethodReadMax),
+					Run: func(t prim.Thread) string { return spec.RespInt(m.ReadMax(t)) }}
+			}
+		}, spec.MaxRegister{}),
+		"snapshot": mk(func(procs int, seed int64) func(p, i int) history.StressOp {
+			s := core.NewFASnapshot(prim.NewRealWorld(), "s", procs)
+			rngs := perProcRNG(procs, seed)
+			return func(p, i int) history.StressOp {
+				if rngs[p].Intn(2) == 0 {
+					v := int64(rngs[p].Intn(8))
+					return history.StressOp{Op: spec.MkOp(spec.MethodUpdate, int64(p), v),
+						Run: func(t prim.Thread) string { s.Update(t, v); return spec.RespOK }}
+				}
+				return history.StressOp{Op: spec.MkOp(spec.MethodScan),
+					Run: func(t prim.Thread) string { return spec.RespVec(s.Scan(t)) }}
+			}
+		}, spec.Snapshot{}),
+		"counter": mk(func(procs int, seed int64) func(p, i int) history.StressOp {
+			c := core.NewCounterFromFA(prim.NewRealWorld(), "c", procs)
+			rngs := perProcRNG(procs, seed)
+			return func(p, i int) history.StressOp {
+				switch rngs[p].Intn(3) {
+				case 0:
+					return history.StressOp{Op: spec.MkOp(spec.MethodInc),
+						Run: func(t prim.Thread) string { c.Inc(t); return spec.RespOK }}
+				case 1:
+					return history.StressOp{Op: spec.MkOp(spec.MethodDec),
+						Run: func(t prim.Thread) string { c.Dec(t); return spec.RespOK }}
+				default:
+					return history.StressOp{Op: spec.MkOp(spec.MethodRead),
+						Run: func(t prim.Thread) string { return spec.RespInt(c.Read(t)) }}
+				}
+			}
+		}, spec.Counter{}),
+		"rtas": mk(func(procs int, seed int64) func(p, i int) history.StressOp {
+			r := core.NewReadableTAS(prim.NewRealWorld(), "r")
+			rngs := perProcRNG(procs, seed)
+			return func(p, i int) history.StressOp {
+				if rngs[p].Intn(4) == 0 {
+					return history.StressOp{Op: spec.MkOp(spec.MethodTAS),
+						Run: func(t prim.Thread) string { return spec.RespInt(r.TestAndSet(t)) }}
+				}
+				return history.StressOp{Op: spec.MkOp(spec.MethodRead),
+					Run: func(t prim.Thread) string { return spec.RespInt(r.Read(t)) }}
+			}
+		}, spec.ReadableTAS{}),
+		"mstas": mk(func(procs int, seed int64) func(p, i int) history.StressOp {
+			m := core.NewMultiShotTASFromPrimitives(prim.NewRealWorld(), "m", procs)
+			rngs := perProcRNG(procs, seed)
+			return func(p, i int) history.StressOp {
+				switch rngs[p].Intn(3) {
+				case 0:
+					return history.StressOp{Op: spec.MkOp(spec.MethodTAS),
+						Run: func(t prim.Thread) string { return spec.RespInt(m.TestAndSet(t)) }}
+				case 1:
+					return history.StressOp{Op: spec.MkOp(spec.MethodReset),
+						Run: func(t prim.Thread) string { m.Reset(t); return spec.RespOK }}
+				default:
+					return history.StressOp{Op: spec.MkOp(spec.MethodRead),
+						Run: func(t prim.Thread) string { return spec.RespInt(m.Read(t)) }}
+				}
+			}
+		}, spec.MultiShotTAS{}),
+		"fai": mk(func(procs int, seed int64) func(p, i int) history.StressOp {
+			f := core.NewFetchIncFromTAS(prim.NewRealWorld(), "f")
+			rngs := perProcRNG(procs, seed)
+			return func(p, i int) history.StressOp {
+				if rngs[p].Intn(3) == 0 {
+					return history.StressOp{Op: spec.MkOp(spec.MethodRead),
+						Run: func(t prim.Thread) string { return spec.RespInt(f.Read(t)) }}
+				}
+				return history.StressOp{Op: spec.MkOp(spec.MethodFAI),
+					Run: func(t prim.Thread) string { return spec.RespInt(f.FetchIncrement(t)) }}
+			}
+		}, spec.FetchInc{}),
+		"set": mk(func(procs int, seed int64) func(p, i int) history.StressOp {
+			s := core.NewTASSetFromTAS(prim.NewRealWorld(), "s")
+			rngs := perProcRNG(procs, seed)
+			next := make([]int64, procs)
+			return func(p, i int) history.StressOp {
+				if rngs[p].Intn(2) == 0 {
+					next[p]++
+					x := int64(p+1) + (next[p]-1)*int64(procs)
+					return history.StressOp{Op: spec.MkOp(spec.MethodPut, x),
+						Run: func(t prim.Thread) string { return s.Put(t, x) }}
+				}
+				return history.StressOp{Op: spec.MkOp(spec.MethodTake),
+					Run: func(t prim.Thread) string { return s.Take(t) }}
+			}
+		}, spec.TakeSet{}),
+		"naivestack": mk(func(procs int, seed int64) func(p, i int) history.StressOp {
+			// Strict push/pop alternation with a spinning pop: single-scan
+			// "empty" responses are unsound (see the hwqueue finding).
+			s := baseline.NewNaiveStackLazy(prim.NewRealWorld(), "st", 1<<20)
+			next := make([]int64, procs)
+			return func(p, i int) history.StressOp {
+				if i%2 == 0 {
+					next[p]++
+					v := int64(p+1) + (next[p]-1)*int64(procs)
+					return history.StressOp{Op: spec.MkOp(spec.MethodPush, v),
+						Run: func(t prim.Thread) string { s.Push(t, v); return spec.RespOK }}
+				}
+				return history.StressOp{Op: spec.MkOp(spec.MethodPop),
+					Run: func(t prim.Thread) string {
+						for {
+							if v, ok := s.PopBounded(t); ok {
+								return spec.RespInt(v)
+							}
+						}
+					}}
+			}
+		}, spec.Stack{}),
+		"aacmaxreg": mk(func(procs int, seed int64) func(p, i int) history.StressOp {
+			m := baseline.NewAACMaxRegister(prim.NewRealWorld(), "m", 6)
+			rngs := perProcRNG(procs, seed)
+			return func(p, i int) history.StressOp {
+				if rngs[p].Intn(2) == 0 {
+					v := int64(rngs[p].Intn(64))
+					return history.StressOp{Op: spec.MkOp(spec.MethodWriteMax, v),
+						Run: func(t prim.Thread) string { m.WriteMax(t, v); return spec.RespOK }}
+				}
+				return history.StressOp{Op: spec.MkOp(spec.MethodReadMax),
+					Run: func(t prim.Thread) string { return spec.RespInt(m.ReadMax(t)) }}
+			}
+		}, spec.MaxRegister{}),
+		"afeksnapshot": mk(func(procs int, seed int64) func(p, i int) history.StressOp {
+			s := baseline.NewAfekSnapshot(prim.NewRealWorld(), "s", procs)
+			rngs := perProcRNG(procs, seed)
+			return func(p, i int) history.StressOp {
+				if rngs[p].Intn(2) == 0 {
+					v := int64(rngs[p].Intn(8))
+					return history.StressOp{Op: spec.MkOp(spec.MethodUpdate, int64(p), v),
+						Run: func(t prim.Thread) string { s.Update(t, v); return spec.RespOK }}
+				}
+				return history.StressOp{Op: spec.MkOp(spec.MethodScan),
+					Run: func(t prim.Thread) string { return spec.RespVec(s.Scan(t)) }}
+			}
+		}, spec.Snapshot{}),
+		"hwqueue": mk(func(procs int, seed int64) func(p, i int) history.StressOp {
+			// Strict enq/deq alternation with the spinning dequeue:
+			// single-scan "empty" responses are unsound (a finding this very
+			// fuzzer made; see TestHWQueueBoundedEmptinessUnsound).
+			q := baseline.NewHWQueueLazy(prim.NewRealWorld(), "q", 1<<20)
+			next := make([]int64, procs)
+			return func(p, i int) history.StressOp {
+				if i%2 == 0 {
+					next[p]++
+					v := int64(p+1) + (next[p]-1)*int64(procs)
+					return history.StressOp{Op: spec.MkOp(spec.MethodEnq, v),
+						Run: func(t prim.Thread) string { q.Enqueue(t, v); return spec.RespOK }}
+				}
+				return history.StressOp{Op: spec.MkOp(spec.MethodDeq),
+					Run: func(t prim.Thread) string { return spec.RespInt(q.Dequeue(t)) }}
+			}
+		}, spec.Queue{}),
+	}
+}
+
+func perProcRNG(procs int, seed int64) []*rand.Rand {
+	out := make([]*rand.Rand, procs)
+	for p := range out {
+		out[p] = rand.New(rand.NewSource(seed*1000 + int64(p)))
+	}
+	return out
+}

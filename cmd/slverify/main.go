@@ -1,0 +1,385 @@
+// Command slverify regenerates the paper's Figure 1 as a verification
+// matrix: every arrow of the construction graph is model-checked for
+// linearizability AND strong linearizability over every interleaving of a
+// bounded configuration, and the impossibility side (Theorem 17) is
+// re-established by refuting the Herlihy–Wing queue on a witness subtree.
+//
+// With -d11 it additionally validates Definition 11 for the Section 5
+// k-ordering examples, reporting the two parameter discrepancies the
+// validator uncovered.
+//
+// Usage:
+//
+//	slverify [-short] [-d11]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"stronglin/internal/agreement"
+	"stronglin/internal/baseline"
+	"stronglin/internal/core"
+	"stronglin/internal/history"
+	"stronglin/internal/prim"
+	"stronglin/internal/sim"
+	"stronglin/internal/spec"
+)
+
+var (
+	short = flag.Bool("short", false, "skip the slowest configurations")
+	d11   = flag.Bool("d11", false, "also validate Definition 11 for the Section 5 examples")
+)
+
+type arrow struct {
+	object   string
+	from     string
+	progress string
+	theorem  string
+	procs    int
+	spec     spec.Spec
+	setup    sim.Setup
+	slow     bool
+}
+
+func main() {
+	flag.Parse()
+	fmt.Println("Figure 1 verification matrix — every arrow model-checked exhaustively")
+	fmt.Println("(wait-free/lock-free per the paper; SL = strongly linearizable)")
+	fmt.Println()
+	fmt.Printf("%-24s %-26s %-10s %-8s %-9s %-5s %-5s %s\n",
+		"object", "from", "progress", "theorem", "leaves", "lin", "SL", "time")
+
+	failures := 0
+	for _, a := range arrows() {
+		if a.slow && *short {
+			continue
+		}
+		start := time.Now()
+		v, err := history.Verify(a.procs, a.setup, a.spec, nil, nil)
+		el := time.Since(start).Round(time.Millisecond)
+		if err != nil {
+			fmt.Printf("%-24s %-26s %-10s %-8s ERROR: %v\n", a.object, a.from, a.progress, a.theorem, err)
+			failures++
+			continue
+		}
+		if !v.Linearizable || !v.StrongLin.Ok {
+			failures++
+		}
+		fmt.Printf("%-24s %-26s %-10s %-8s %-9d %-5v %-5v %s\n",
+			a.object, a.from, a.progress, a.theorem, v.Leaves, v.Linearizable, v.StrongLin.Ok, el)
+	}
+
+	fmt.Println()
+	refuteHWQueue(&failures)
+
+	if *d11 {
+		fmt.Println()
+		validateD11()
+	}
+
+	if failures > 0 {
+		fmt.Printf("\n%d verdicts deviated from the paper\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("\nall verdicts match the paper")
+}
+
+func validateD11() {
+	fmt.Println("Definition 11 validation (exhaustive bounded sequential executions)")
+	descriptors := []agreement.Descriptor{
+		agreement.QueueDescriptor(3),
+		agreement.StackDescriptor(3),
+		agreement.MultiplicityQueueDescriptor(3),
+		agreement.MultiplicityStackDescriptor(3),
+		agreement.StutteringQueueDescriptor(3, 1),
+		agreement.StutteringStackDescriptor(2, 1),
+		agreement.OutOfOrderQueueDescriptor(3, 1),
+		agreement.ReadableTASDescriptor(),
+	}
+	for _, d := range descriptors {
+		err := agreement.ValidateDefinition11(d)
+		verdict := "k-ordering ✓"
+		if err != nil {
+			verdict = "REFUTED: " + err.Error()
+		}
+		fmt.Printf("  %-28s (n=%d, k=%d)  %s\n", d.Name, d.N, d.K, verdict)
+	}
+	fmt.Println("  known discrepancies (pinned by tests, see EXPERIMENTS.md E-D11):")
+	fmt.Println("   - m-stuttering stack with the paper's n(m+1)+1 pops:")
+	if err := agreement.ValidateDefinition11(agreement.StutteringStackPaperDescriptor(2, 1)); err != nil {
+		fmt.Printf("       %v\n", err)
+	}
+	fmt.Println("   - 2-out-of-order queue (n=3) with the paper's S_α:")
+	if err := agreement.ValidateDefinition11(agreement.OutOfOrderQueueDescriptor(3, 2)); err != nil {
+		fmt.Printf("       %v\n", err)
+	}
+}
+
+func arrows() []arrow {
+	return []arrow{
+		{
+			object: "max register", from: "fetch&add", progress: "wait-free", theorem: "Thm 1",
+			procs: 3, spec: spec.MaxRegister{},
+			setup: func(w *sim.World) []sim.Program {
+				m := core.NewFAMaxRegister(w, "m", 3)
+				return []sim.Program{
+					{opWMax(m, 2)}, {opWMax(m, 1)}, {opRMax(m), opRMax(m)},
+				}
+			},
+		},
+		{
+			object: "atomic snapshot", from: "fetch&add", progress: "wait-free", theorem: "Thm 2",
+			procs: 3, spec: spec.Snapshot{},
+			setup: func(w *sim.World) []sim.Program {
+				s := core.NewFASnapshot(w, "s", 3)
+				return []sim.Program{
+					{opUpdate(s, 0, 1)}, {opUpdate(s, 1, 2)}, {opScan(s), opScan(s)},
+				}
+			},
+		},
+		{
+			object: "counter (simple type)", from: "snapshot", progress: "wait-free", theorem: "Thm 3/4",
+			procs: 3, spec: spec.Counter{},
+			setup: func(w *sim.World) []sim.Program {
+				o := core.NewSimpleObjectFromFA(w, "c", core.SimpleCounter{}, 3)
+				return []sim.Program{
+					{opExec(o, spec.MkOp(spec.MethodInc))},
+					{opExec(o, spec.MkOp(spec.MethodDec))},
+					{opExec(o, spec.MkOp(spec.MethodRead))},
+				}
+			},
+		},
+		{
+			object: "gset (simple type)", from: "snapshot", progress: "wait-free", theorem: "Thm 3/4",
+			procs: 2, spec: spec.GSet{},
+			setup: func(w *sim.World) []sim.Program {
+				o := core.NewSimpleObjectFromFA(w, "g", core.SimpleGSet{}, 2)
+				return []sim.Program{
+					{opExec(o, spec.MkOp(spec.MethodAdd, 1)), opExec(o, spec.MkOp(spec.MethodHas, 2))},
+					{opExec(o, spec.MkOp(spec.MethodAdd, 2)), opExec(o, spec.MkOp(spec.MethodHas, 1))},
+				}
+			},
+		},
+		{
+			object: "readable test&set", from: "test&set", progress: "wait-free", theorem: "Thm 5",
+			procs: 3, spec: spec.ReadableTAS{},
+			setup: func(w *sim.World) []sim.Program {
+				r := core.NewReadableTAS(w, "r")
+				return []sim.Program{
+					{opTAS(r)}, {opTAS(r)}, {opRead(r), opRead(r)},
+				}
+			},
+		},
+		{
+			object: "multi-shot test&set", from: "r.test&set+max reg", progress: "wait-free", theorem: "Thm 6",
+			procs: 3, spec: spec.MultiShotTAS{}, slow: true,
+			setup: func(w *sim.World) []sim.Program {
+				m := core.NewMultiShotTASAtomic(w, "ms")
+				return []sim.Program{
+					{opTAS(m), opTAS(m)}, {opReset(m)}, {opRead(m)},
+				}
+			},
+		},
+		{
+			object: "multi-shot test&set", from: "test&set+fetch&add", progress: "wait-free", theorem: "Cor 7",
+			procs: 2, spec: spec.MultiShotTAS{},
+			setup: func(w *sim.World) []sim.Program {
+				m := core.NewMultiShotTASFromPrimitives(w, "ms", 2)
+				return []sim.Program{
+					{opTAS(m), opReset(m)}, {opRead(m), opTAS(m)},
+				}
+			},
+		},
+		{
+			object: "fetch&increment", from: "test&set", progress: "lock-free", theorem: "Thm 9",
+			procs: 3, spec: spec.FetchInc{},
+			setup: func(w *sim.World) []sim.Program {
+				f := core.NewFetchIncAtomic(w, "f")
+				return []sim.Program{
+					{opFAI(f)}, {opFAI(f)}, {opRead2(f)},
+				}
+			},
+		},
+		{
+			object: "set", from: "test&set", progress: "lock-free", theorem: "Thm 10",
+			procs: 2, spec: spec.TakeSet{},
+			setup: func(w *sim.World) []sim.Program {
+				s := core.NewTASSetAtomic(w, "s")
+				return []sim.Program{
+					{opPut(s, 5), opTake(s)}, {opTake(s)},
+				}
+			},
+		},
+		{
+			object: "queue (comparator)", from: "compare&swap", progress: "lock-free", theorem: "[16,24]",
+			procs: 3, spec: spec.Queue{},
+			setup: func(w *sim.World) []sim.Program {
+				q := baseline.NewCASQueue(w, "q", 3)
+				return []sim.Program{
+					{opApply(q, spec.MkOp(spec.MethodEnq, 1))},
+					{opApply(q, spec.MkOp(spec.MethodEnq, 2))},
+					{opApply(q, spec.MkOp(spec.MethodDeq))},
+				}
+			},
+		},
+	}
+}
+
+func refuteHWQueue(failures *int) {
+	setup := func(w *sim.World) []sim.Program {
+		q := baseline.NewHWQueue(w, "q", 4)
+		enq := func(v int64) sim.Op {
+			return sim.Op{
+				Name: "enq", Spec: spec.MkOp(spec.MethodEnq, v),
+				Run: func(t prim.Thread) string { q.Enqueue(t, v); return spec.RespOK },
+			}
+		}
+		deq := sim.Op{
+			Name: "deq", Spec: spec.MkOp(spec.MethodDeq),
+			Run: func(t prim.Thread) string {
+				if v, ok := q.DequeueBounded(t); ok {
+					return spec.RespInt(v)
+				}
+				return spec.RespEmpty
+			},
+		}
+		return []sim.Program{{enq(1)}, {enq(2)}, {deq, deq}}
+	}
+	prefix := []int{0, 0, 1, 1, 1, 2, 2}
+	branchA := append(append([]int{}, prefix...), 0, 2, 2, 2, 2, 2)
+	branchB := append(append([]int{}, prefix...), 2, 2, 0, 2, 2, 2)
+	tree, err := sim.TreeFromSchedules(3, setup, [][]int{branchA, branchB})
+	if err != nil {
+		fmt.Println("ERROR:", err)
+		*failures++
+		return
+	}
+	res := history.CheckStrongLin(tree, spec.Queue{}, nil)
+	verdict := "REFUTED (as Theorem 17 requires)"
+	if res.Ok {
+		verdict = "UNEXPECTEDLY ACCEPTED"
+		*failures++
+	}
+	fmt.Printf("impossibility side: queue from fetch&add+swap (Herlihy–Wing): SL %s\n", verdict)
+	if res.Counterexample != nil {
+		fmt.Printf("  witness: %s\n", res.Counterexample)
+	}
+	refuteNaiveStack(failures)
+}
+
+func refuteNaiveStack(failures *int) {
+	setup := func(w *sim.World) []sim.Program {
+		s := baseline.NewNaiveStack(w, "st", 4)
+		push := func(v int64) sim.Op {
+			return sim.Op{
+				Name: "push", Spec: spec.MkOp(spec.MethodPush, v),
+				Run: func(t prim.Thread) string { s.Push(t, v); return spec.RespOK },
+			}
+		}
+		pop := sim.Op{
+			Name: "pop", Spec: spec.MkOp(spec.MethodPop),
+			Run: func(t prim.Thread) string {
+				if v, ok := s.PopBounded(t); ok {
+					return spec.RespInt(v)
+				}
+				return spec.RespEmpty
+			},
+		}
+		return []sim.Program{{push(1)}, {push(2)}, {pop, pop}}
+	}
+	prefix := []int{0, 0, 1, 1, 2, 2, 2, 1}
+	branchA := append(append([]int{}, prefix...), 0, 2, 2, 2, 2)
+	branchB := append(append([]int{}, prefix...), 2, 2, 2, 2, 0)
+	tree, err := sim.TreeFromSchedules(3, setup, [][]int{branchA, branchB})
+	if err != nil {
+		fmt.Println("ERROR:", err)
+		*failures++
+		return
+	}
+	res := history.CheckStrongLin(tree, spec.Stack{}, nil)
+	verdict := "REFUTED (as Theorem 17 requires)"
+	if res.Ok {
+		verdict = "UNEXPECTEDLY ACCEPTED"
+		*failures++
+	}
+	fmt.Printf("impossibility side: stack from fetch&add+swap (naive):        SL %s\n", verdict)
+	if res.Counterexample != nil {
+		fmt.Printf("  witness: %s\n", res.Counterexample)
+	}
+}
+
+// --- op builders ----------------------------------------------------------
+
+func opWMax(m prim.MaxReg, v int64) sim.Op {
+	return sim.Op{Name: "wmax", Spec: spec.MkOp(spec.MethodWriteMax, v),
+		Run: func(t prim.Thread) string { m.WriteMax(t, v); return spec.RespOK }}
+}
+
+func opRMax(m prim.MaxReg) sim.Op {
+	return sim.Op{Name: "rmax", Spec: spec.MkOp(spec.MethodReadMax),
+		Run: func(t prim.Thread) string { return spec.RespInt(m.ReadMax(t)) }}
+}
+
+func opUpdate(s core.SnapshotAPI, comp, v int64) sim.Op {
+	return sim.Op{Name: "update", Spec: spec.MkOp(spec.MethodUpdate, comp, v),
+		Run: func(t prim.Thread) string { s.Update(t, v); return spec.RespOK }}
+}
+
+func opScan(s core.SnapshotAPI) sim.Op {
+	return sim.Op{Name: "scan", Spec: spec.MkOp(spec.MethodScan),
+		Run: func(t prim.Thread) string { return spec.RespVec(s.Scan(t)) }}
+}
+
+func opExec(o *core.SimpleObject, op spec.Op) sim.Op {
+	return sim.Op{Name: op.String(), Spec: op,
+		Run: func(t prim.Thread) string { return o.Execute(t, op) }}
+}
+
+func opTAS(o interface {
+	TestAndSet(prim.Thread) int64
+}) sim.Op {
+	return sim.Op{Name: "tas", Spec: spec.MkOp(spec.MethodTAS),
+		Run: func(t prim.Thread) string { return spec.RespInt(o.TestAndSet(t)) }}
+}
+
+func opRead(o interface {
+	Read(prim.Thread) int64
+}) sim.Op {
+	return sim.Op{Name: "read", Spec: spec.MkOp(spec.MethodRead),
+		Run: func(t prim.Thread) string { return spec.RespInt(o.Read(t)) }}
+}
+
+func opReset(o *core.MultiShotTAS) sim.Op {
+	return sim.Op{Name: "reset", Spec: spec.MkOp(spec.MethodReset),
+		Run: func(t prim.Thread) string { o.Reset(t); return spec.RespOK }}
+}
+
+func opFAI(o core.FetchIncAPI) sim.Op {
+	return sim.Op{Name: "fai", Spec: spec.MkOp(spec.MethodFAI),
+		Run: func(t prim.Thread) string { return spec.RespInt(o.FetchIncrement(t)) }}
+}
+
+func opRead2(o core.FetchIncAPI) sim.Op {
+	return sim.Op{Name: "read", Spec: spec.MkOp(spec.MethodRead),
+		Run: func(t prim.Thread) string { return spec.RespInt(o.Read(t)) }}
+}
+
+func opPut(s *core.TASSet, x int64) sim.Op {
+	return sim.Op{Name: "put", Spec: spec.MkOp(spec.MethodPut, x),
+		Run: func(t prim.Thread) string { return s.Put(t, x) }}
+}
+
+func opTake(s *core.TASSet) sim.Op {
+	return sim.Op{Name: "take", Spec: spec.MkOp(spec.MethodTake),
+		Run: func(t prim.Thread) string { return s.Take(t) }}
+}
+
+func opApply(o interface {
+	Apply(prim.Thread, spec.Op) string
+}, op spec.Op) sim.Op {
+	return sim.Op{Name: op.String(), Spec: op,
+		Run: func(t prim.Thread) string { return o.Apply(t, op) }}
+}

@@ -1,0 +1,128 @@
+// Command modelcheck demonstrates the strong-linearizability model checker:
+// it exhaustively explores every interleaving of a bounded configuration and
+// decides whether a prefix-closed linearization function exists.
+//
+// It verifies the paper's Theorem 1 max register and Theorem 5 readable
+// test&set, then refutes the Herlihy–Wing queue (Theorem 17's prediction),
+// printing the concrete counterexample prefix.
+package main
+
+import (
+	"fmt"
+
+	"stronglin/internal/baseline"
+	"stronglin/internal/core"
+	"stronglin/internal/history"
+	"stronglin/internal/prim"
+	"stronglin/internal/sim"
+	"stronglin/internal/spec"
+)
+
+func main() {
+	fmt.Println("exhaustive strong-linearizability checking on bounded configurations")
+	fmt.Println()
+
+	verifyMaxRegister()
+	verifyReadableTAS()
+	refuteHWQueue()
+}
+
+func verifyMaxRegister() {
+	setup := func(w *sim.World) []sim.Program {
+		m := core.NewFAMaxRegister(w, "max", 3)
+		wmax := func(v int64) sim.Op {
+			return sim.Op{
+				Name: "wmax",
+				Spec: spec.MkOp(spec.MethodWriteMax, v),
+				Run: func(t prim.Thread) string {
+					m.WriteMax(t, v)
+					return spec.RespOK
+				},
+			}
+		}
+		rmax := sim.Op{
+			Name: "rmax",
+			Spec: spec.MkOp(spec.MethodReadMax),
+			Run:  func(t prim.Thread) string { return spec.RespInt(m.ReadMax(t)) },
+		}
+		return []sim.Program{{wmax(2)}, {wmax(1)}, {rmax, rmax}}
+	}
+	v, err := history.Verify(3, setup, spec.MaxRegister{}, nil, nil)
+	report("Theorem 1 max register  [wmax(2) | wmax(1) | rmax;rmax]", v, err)
+}
+
+func verifyReadableTAS() {
+	setup := func(w *sim.World) []sim.Program {
+		r := core.NewReadableTAS(w, "rt")
+		tas := sim.Op{
+			Name: "tas",
+			Spec: spec.MkOp(spec.MethodTAS),
+			Run:  func(t prim.Thread) string { return spec.RespInt(r.TestAndSet(t)) },
+		}
+		read := sim.Op{
+			Name: "read",
+			Spec: spec.MkOp(spec.MethodRead),
+			Run:  func(t prim.Thread) string { return spec.RespInt(r.Read(t)) },
+		}
+		return []sim.Program{{tas}, {tas}, {read, read}}
+	}
+	v, err := history.Verify(3, setup, spec.ReadableTAS{}, nil, nil)
+	report("Theorem 5 readable t&s  [tas | tas | read;read]", v, err)
+}
+
+func report(name string, v history.Verdict, err error) {
+	if err != nil {
+		fmt.Printf("%-60s ERROR: %v\n", name, err)
+		return
+	}
+	fmt.Printf("%-60s\n", name)
+	fmt.Printf("  interleavings: %d leaves, %d tree nodes\n", v.Leaves, v.Nodes)
+	fmt.Printf("  linearizable:          %v\n", v.Linearizable)
+	fmt.Printf("  strongly linearizable: %v (%d game states)\n\n", v.StrongLin.Ok, v.StrongLin.States)
+}
+
+func refuteHWQueue() {
+	setup := func(w *sim.World) []sim.Program {
+		q := baseline.NewHWQueue(w, "q", 4)
+		enq := func(v int64) sim.Op {
+			return sim.Op{
+				Name: "enq",
+				Spec: spec.MkOp(spec.MethodEnq, v),
+				Run: func(t prim.Thread) string {
+					q.Enqueue(t, v)
+					return spec.RespOK
+				},
+			}
+		}
+		deq := sim.Op{
+			Name: "deq",
+			Spec: spec.MkOp(spec.MethodDeq),
+			Run: func(t prim.Thread) string {
+				if v, ok := q.DequeueBounded(t); ok {
+					return spec.RespInt(v)
+				}
+				return spec.RespEmpty
+			},
+		}
+		return []sim.Program{{enq(1)}, {enq(2)}, {deq, deq}}
+	}
+
+	// The witness subtree from the paper's Theorem 17 analysis: enq(2)
+	// complete, enq(1) holding slot 0 unwritten, first dequeue past the
+	// back-read; one branch forces dequeue order (1,2), the other (2,1).
+	prefix := []int{0, 0, 1, 1, 1, 2, 2}
+	branchA := append(append([]int{}, prefix...), 0, 2, 2, 2, 2, 2)
+	branchB := append(append([]int{}, prefix...), 2, 2, 0, 2, 2, 2)
+	tree, err := sim.TreeFromSchedules(3, setup, [][]int{branchA, branchB})
+	if err != nil {
+		fmt.Println("ERROR:", err)
+		return
+	}
+	res := history.CheckStrongLin(tree, spec.Queue{}, nil)
+	fmt.Printf("%-60s\n", "Herlihy–Wing queue       [enq(1) | enq(2) | deq;deq]")
+	fmt.Printf("  linearizable:          true (checked exhaustively in the test suite)\n")
+	fmt.Printf("  strongly linearizable: %v — as Theorem 17 requires\n", res.Ok)
+	if res.Counterexample != nil {
+		fmt.Printf("  counterexample: %s\n", res.Counterexample)
+	}
+}

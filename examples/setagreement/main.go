@@ -1,0 +1,88 @@
+// Command setagreement runs the paper's Lemma 12 reduction (Algorithm B)
+// end to end: k-set agreement from a single lock-free strongly-linearizable
+// k-ordering object with readable base objects.
+//
+// Over the strongly-linearizable CAS queue, three processes solve consensus
+// in every schedule. Over the Herlihy–Wing queue — linearizable but, by
+// Theorem 17, necessarily NOT strongly linearizable — the reduction is
+// breakable: some schedules produce two distinct decisions. That breakage is
+// the executable content of the impossibility proof: were the queue strongly
+// linearizable, Algorithm B would solve 3-process consensus from
+// fetch&add/swap, contradicting their consensus number of 2.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stronglin/internal/agreement"
+	"stronglin/internal/baseline"
+	"stronglin/internal/prim"
+	"stronglin/internal/sim"
+)
+
+func main() {
+	const runsPerImpl = 300
+	desc := agreement.QueueDescriptor(3)
+	inputs := []int64{100, 200, 300}
+
+	impls := []agreement.Impl{
+		{
+			Name: "cas-queue (strongly linearizable)",
+			Build: func(w prim.World, n int) agreement.Object {
+				return baseline.NewCASQueue(w, "A", n)
+			},
+		},
+		{
+			Name: "hw-queue  (linearizable only)",
+			Build: func(w prim.World, n int) agreement.Object {
+				return baseline.NewHWQueue(w, "A", 3)
+			},
+		},
+	}
+
+	fmt.Println("Lemma 12 / Algorithm B: 3-process consensus from a 1-ordering object")
+	fmt.Printf("inputs %v, %d random schedules per implementation\n\n", inputs, runsPerImpl)
+	fmt.Printf("%-36s %-10s %-12s %s\n", "implementation of A", "complete", "violations", "example violation")
+
+	for _, impl := range impls {
+		var complete, violations int
+		example := "-"
+		for seed := int64(0); seed < runsPerImpl; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			res, err := agreement.RunReduction(desc, impl, inputs, sim.RandomPolicy(rng), 200000)
+			if err != nil {
+				fmt.Printf("  error (seed %d): %v\n", seed, err)
+				continue
+			}
+			if !res.Decided() {
+				continue
+			}
+			complete++
+			if res.Distinct() > 1 {
+				violations++
+				if example == "-" {
+					example = fmt.Sprintf("seed %d -> %v", seed, decisions(res))
+				}
+			}
+		}
+		fmt.Printf("%-36s %-10d %-12d %s\n", impl.Name, complete, violations, example)
+	}
+
+	fmt.Println()
+	fmt.Println("strong linearizability is exactly what pins the winning enqueue at")
+	fmt.Println("collect time; without it, two processes can collect states whose solo")
+	fmt.Println("simulations dequeue different \"first\" items.")
+}
+
+func decisions(r *agreement.ReductionResult) []int64 {
+	out := make([]int64, len(r.Decisions))
+	for i, d := range r.Decisions {
+		if d != nil {
+			out[i] = *d
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+// Package adversary quantifies the paper's motivation: linearizability does
+// not preserve the probabilistic guarantees of randomized programs against a
+// strong adversary, strong linearizability does (Golab–Higham–Woelfel; the
+// hyperproperty-preservation results of Attiya–Enea).
+//
+// The game: a scanner reads a snapshot while process p1 completes
+// update(1) and then flips a fair coin; process p2 issues two updates that
+// give the adversary scheduling material. The strong adversary — a scheduler
+// that observes everything, including the coin — wins a trial if the
+// scanner's view contains p1's update exactly when the coin is 1.
+//
+// Against an atomic (or strongly-linearizable) snapshot, the view's content
+// relative to update(1) is committed before the coin exists: the adversary
+// wins with probability 1/2, whatever it does.
+//
+// Against the Afek et al. snapshot — linearizable but NOT strongly
+// linearizable — the adversary drives the execution to a prefix where
+// update(1) is complete yet BOTH views are still reachable for the pending
+// scan (the same prefix the model checker uses to refute strong
+// linearizability), then reads the coin and picks the branch that matches:
+// it wins every trial.
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"stronglin/internal/baseline"
+	"stronglin/internal/core"
+	"stronglin/internal/prim"
+	"stronglin/internal/sim"
+	"stronglin/internal/spec"
+)
+
+// Outcome aggregates game trials.
+type Outcome struct {
+	Trials  int
+	Matches int
+}
+
+// Rate returns the adversary's win rate.
+func (o Outcome) Rate() float64 {
+	if o.Trials == 0 {
+		return 0
+	}
+	return float64(o.Matches) / float64(o.Trials)
+}
+
+func (o Outcome) String() string {
+	return fmt.Sprintf("%d/%d (%.2f)", o.Matches, o.Trials, o.Rate())
+}
+
+// SnapshotKind selects the snapshot implementation under attack.
+type SnapshotKind int
+
+// Snapshot kinds.
+const (
+	// FASnapshot is the strongly-linearizable fetch&add snapshot (Theorem 2).
+	FASnapshot SnapshotKind = iota + 1
+	// AfekSnapshot is the linearizable-but-not-strongly-linearizable
+	// register snapshot.
+	AfekSnapshot
+)
+
+func (k SnapshotKind) String() string {
+	switch k {
+	case FASnapshot:
+		return "fa-snapshot (strongly linearizable)"
+	case AfekSnapshot:
+		return "afek-snapshot (linearizable only)"
+	default:
+		return "unknown"
+	}
+}
+
+type snapshotAPI interface {
+	Update(t prim.Thread, v int64)
+	Scan(t prim.Thread) []int64
+}
+
+// Play runs trials of the game against the chosen snapshot with the
+// strongest adversary we implement for it.
+func Play(kind SnapshotKind, trials int, seed int64) Outcome {
+	rng := rand.New(rand.NewSource(seed))
+	out := Outcome{Trials: trials}
+	for i := 0; i < trials; i++ {
+		coin := rng.Intn(2)
+		if playOnce(kind, coin) {
+			out.Matches++
+		}
+	}
+	return out
+}
+
+// playOnce returns whether the adversary won the trial.
+func playOnce(kind SnapshotKind, coin int) bool {
+	var view string
+
+	setup := func(w *sim.World) []sim.Program {
+		var snap snapshotAPI
+		switch kind {
+		case FASnapshot:
+			snap = core.NewFASnapshot(w, "snap", 3)
+		case AfekSnapshot:
+			snap = baseline.NewAfekSnapshot(w, "snap", 3)
+		}
+		scan := sim.Op{
+			Name: "scan",
+			Spec: spec.MkOp(spec.MethodScan),
+			Run: func(t prim.Thread) string {
+				v := spec.RespVec(snap.Scan(t))
+				view = v
+				return v
+			},
+		}
+		update := func(v int64) sim.Op {
+			return sim.Op{
+				Name: "update",
+				Spec: spec.MkOp(spec.MethodUpdate, -1, v),
+				Run: func(t prim.Thread) string {
+					snap.Update(t, v)
+					return spec.RespOK
+				},
+			}
+		}
+		flip := sim.Op{
+			Name: "flip",
+			Spec: spec.MkOp("flip"),
+			Run:  func(t prim.Thread) string { return spec.RespInt(int64(coin)) },
+		}
+		return []sim.Program{
+			{scan},                 // p0
+			{update(1), flip},      // p1
+			{update(2), update(3)}, // p2
+		}
+	}
+
+	var schedule []int
+	switch kind {
+	case FASnapshot:
+		// Best the adversary can do: let update(1) complete, observe the
+		// coin (it already knows it here), then schedule the scan. The view
+		// will contain the update regardless of the coin: a coin of 0 loses.
+		schedule = concat(
+			rep(2, 4), // p2: both updates (invoke+fa each)
+			rep(1, 2), // p1: update(1)
+			rep(1, 1), // p1: flip
+			rep(0, 2), // p0: scan
+		)
+	case AfekSnapshot:
+		// Drive to the fork of the strong-linearizability counterexample:
+		// scan's first collect; p2's first update completes; p2's second
+		// update stops before its write; update(1) completes; scan's second
+		// collect. Then observe the coin and pick the branch.
+		prefix := concat(
+			rep(0, 4), // p0: invoke scan + collect1
+			rep(2, 9), // p2: update(2) complete
+			rep(2, 8), // p2: update(3) up to before its write
+			rep(1, 9), // p1: update(1) complete
+			rep(0, 3), // p0: collect2 (dirty)
+			rep(1, 1), // p1: flip — the adversary now knows the coin
+		)
+		if coin == 1 {
+			schedule = concat(prefix, rep(0, 3)) // clean collect3: view [0 1 2]
+		} else {
+			schedule = concat(prefix, rep(2, 1), rep(0, 3)) // borrow: view [0 0 2]
+		}
+	}
+
+	if _, err := sim.Run(3, setup, schedule); err != nil {
+		panic(fmt.Sprintf("adversary: schedule failed: %v", err))
+	}
+	hasOne := viewComponent(view, 1) == "1"
+	return hasOne == (coin == 1)
+}
+
+// viewComponent extracts component i from a "[a b c]" view encoding.
+func viewComponent(view string, i int) string {
+	parts := strings.Fields(strings.Trim(view, "[]"))
+	if i < 0 || i >= len(parts) {
+		return ""
+	}
+	return parts[i]
+}
+
+func rep(p, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = p
+	}
+	return out
+}
+
+func concat(parts ...[]int) []int {
+	var out []int
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package adversary
+
+import (
+	"math"
+	"testing"
+)
+
+// E-ADV: the strong adversary wins every trial against the merely
+// linearizable snapshot and only half the trials against the strongly
+// linearizable one — strong linearizability preserves the coin's
+// distribution, linearizability does not.
+func TestAdversaryBiasAgainstAfekSnapshot(t *testing.T) {
+	out := Play(AfekSnapshot, 400, 1)
+	if out.Rate() != 1.0 {
+		t.Fatalf("adversary win rate vs Afek snapshot = %s, want 1.00", out)
+	}
+}
+
+func TestAdversaryBoundedAgainstFASnapshot(t *testing.T) {
+	out := Play(FASnapshot, 2000, 2)
+	if math.Abs(out.Rate()-0.5) > 0.05 {
+		t.Fatalf("adversary win rate vs fetch&add snapshot = %s, want ≈ 0.50", out)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	o := Outcome{Trials: 4, Matches: 3}
+	if got := o.String(); got != "3/4 (0.75)" {
+		t.Fatalf("String = %q", got)
+	}
+	if (Outcome{}).Rate() != 0 {
+		t.Fatal("zero-trial rate not 0")
+	}
+}
+
+func TestViewComponent(t *testing.T) {
+	if got := viewComponent("[0 1 2]", 1); got != "1" {
+		t.Fatalf("component 1 = %q", got)
+	}
+	if got := viewComponent("[0 1 2]", 5); got != "" {
+		t.Fatalf("out of range = %q", got)
+	}
+}
+
+func TestSnapshotKindString(t *testing.T) {
+	if FASnapshot.String() == "unknown" || AfekSnapshot.String() == "unknown" {
+		t.Fatal("kind strings missing")
+	}
+}

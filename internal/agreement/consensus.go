@@ -1,0 +1,63 @@
+package agreement
+
+import (
+	"strconv"
+
+	"stronglin/internal/prim"
+)
+
+// TAS2Consensus is the classic 2-process consensus protocol from one
+// (2-process) test&set object and registers — the protocol that certifies
+// test&set's consensus number is at least 2.
+//
+// propose(i, v): write M[i] = v; apply test&set; a 0 response decides the
+// caller's own value, a 1 response decides the other process's.
+type TAS2Consensus struct {
+	m  [2]prim.Register
+	ts prim.ReadableTAS
+}
+
+// NewTAS2Consensus allocates the protocol for processes p and q.
+func NewTAS2Consensus(w prim.World, name string, p, q int) *TAS2Consensus {
+	return &TAS2Consensus{
+		m:  [2]prim.Register{w.Register(name+".M[0]", 0), w.Register(name+".M[1]", 0)},
+		ts: w.TAS2(name+".ts", p, q),
+	}
+}
+
+// Propose runs the protocol for slot (0 or 1) with input v and returns the
+// decision. The caller's thread must be one of the two registered processes.
+func (c *TAS2Consensus) Propose(t prim.Thread, slot int, v int64) int64 {
+	c.m[slot].Write(t, v)
+	if c.ts.TestAndSet(t) == 0 {
+		return v
+	}
+	return c.m[1-slot].Read(t)
+}
+
+// CASConsensus is n-process consensus from one compare&swap register — the
+// universal-primitive protocol (consensus number ∞) that the paper's
+// impossibility results separate from test&set/swap/fetch&add.
+type CASConsensus struct {
+	n      int
+	m      []prim.Register
+	winner prim.CAS
+}
+
+// NewCASConsensus allocates the protocol for n processes.
+func NewCASConsensus(w prim.World, name string, n int) *CASConsensus {
+	c := &CASConsensus{n: n, m: make([]prim.Register, n), winner: w.CAS(name+".winner", -1)}
+	for i := range c.m {
+		c.m[i] = w.Register(name+".M["+strconv.Itoa(i)+"]", 0)
+	}
+	return c
+}
+
+// Propose runs the protocol for the calling process with input v and
+// returns the decision.
+func (c *CASConsensus) Propose(t prim.Thread, v int64) int64 {
+	i := t.ID()
+	c.m[i].Write(t, v)
+	c.winner.CompareAndSwap(t, -1, int64(i))
+	return c.m[c.winner.Read(t)].Read(t)
+}

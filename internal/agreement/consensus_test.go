@@ -1,0 +1,160 @@
+package agreement
+
+import (
+	"math/rand"
+	"testing"
+
+	"stronglin/internal/prim"
+	"stronglin/internal/sim"
+	"stronglin/internal/spec"
+)
+
+func randNew(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// consensusOutcomes explores every interleaving of the protocol and returns
+// the set of decision vectors.
+func consensusOutcomes(t *testing.T, procs int, setup sim.Setup) map[string]bool {
+	t.Helper()
+	tree, err := sim.Explore(procs, setup, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Truncated {
+		t.Fatal("tree truncated")
+	}
+	out := make(map[string]bool)
+	tree.Walk(func(n *sim.Node, trace []sim.Event) bool {
+		if len(n.Children) == 0 {
+			key := ""
+			for _, ev := range trace {
+				if ev.Kind == sim.EventReturn {
+					key += ev.Resp + ","
+				}
+			}
+			out[key] = true
+		}
+		return true
+	})
+	return out
+}
+
+// Test&set solves 2-process consensus — in EVERY interleaving both processes
+// decide the same proposed value (the consensus-number-2 lower bound the
+// whole paper builds on).
+func TestTAS2ConsensusExhaustive(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		c := NewTAS2Consensus(w, "c", 0, 1)
+		mk := func(slot int, v int64) sim.Op {
+			return sim.Op{
+				Name: "propose",
+				Spec: spec.MkOp("propose", v),
+				Run:  func(t prim.Thread) string { return spec.RespInt(c.Propose(t, slot, v)) },
+			}
+		}
+		return []sim.Program{{mk(0, 10)}, {mk(1, 20)}}
+	}
+	for outcome := range consensusOutcomes(t, 2, setup) {
+		if outcome != "10,10," && outcome != "20,20," {
+			t.Fatalf("non-consensus outcome %q", outcome)
+		}
+	}
+}
+
+// Compare&swap solves consensus for any number of processes (universal
+// primitive); checked exhaustively for 2 processes and on random schedules
+// for 3 (the full 3-process tree exceeds practical bounds).
+func TestCASConsensusExhaustiveTwoProcs(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		c := NewCASConsensus(w, "c", 2)
+		mk := func(v int64) sim.Op {
+			return sim.Op{
+				Name: "propose",
+				Spec: spec.MkOp("propose", v),
+				Run:  func(t prim.Thread) string { return spec.RespInt(c.Propose(t, v)) },
+			}
+		}
+		return []sim.Program{{mk(10)}, {mk(20)}}
+	}
+	for outcome := range consensusOutcomes(t, 2, setup) {
+		if outcome != "10,10," && outcome != "20,20," {
+			t.Fatalf("non-consensus outcome %q", outcome)
+		}
+	}
+}
+
+func TestCASConsensusRandomThreeProcs(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		c := NewCASConsensus(w, "c", 3)
+		mk := func(v int64) sim.Op {
+			return sim.Op{
+				Name: "propose",
+				Spec: spec.MkOp("propose", v),
+				Run:  func(t prim.Thread) string { return spec.RespInt(c.Propose(t, v)) },
+			}
+		}
+		return []sim.Program{{mk(10)}, {mk(20)}, {mk(30)}}
+	}
+	for seed := int64(0); seed < 300; seed++ {
+		exec, err := sim.RunToCompletion(3, setup, sim.RandomPolicy(randNew(seed)), 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resps := exec.Responses()
+		if resps[0] != resps[1] || resps[1] != resps[2] {
+			t.Fatalf("seed %d: non-consensus outcome %v", seed, resps)
+		}
+	}
+}
+
+// A naive register-only "protocol" (decide the last write you see) must
+// fail exhaustive checking — the checker is not vacuous.
+func TestNaiveRegisterProtocolFailsConsensus(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		r := w.Register("r", -1)
+		mk := func(v int64) sim.Op {
+			return sim.Op{
+				Name: "propose",
+				Spec: spec.MkOp("propose", v),
+				Run: func(t prim.Thread) string {
+					if cur := r.Read(t); cur != -1 {
+						return spec.RespInt(cur)
+					}
+					r.Write(t, v)
+					return spec.RespInt(v)
+				},
+			}
+		}
+		return []sim.Program{{mk(10)}, {mk(20)}}
+	}
+	bad := false
+	for outcome := range consensusOutcomes(t, 2, setup) {
+		if outcome != "10,10," && outcome != "20,20," {
+			bad = true
+		}
+	}
+	if !bad {
+		t.Fatal("naive register protocol passed exhaustive consensus checking")
+	}
+}
+
+func TestTAS2ConsensusSolo(t *testing.T) {
+	w := sim.NewSoloWorld()
+	c := NewTAS2Consensus(w, "c", 0, 1)
+	if got := c.Propose(sim.SoloThread(0), 0, 5); got != 5 {
+		t.Fatalf("solo propose = %d, want 5", got)
+	}
+	if got := c.Propose(sim.SoloThread(1), 1, 9); got != 5 {
+		t.Fatalf("late propose = %d, want 5", got)
+	}
+}
+
+func TestCASConsensusSolo(t *testing.T) {
+	w := sim.NewSoloWorld()
+	c := NewCASConsensus(w, "c", 3)
+	if got := c.Propose(sim.SoloThread(2), 7); got != 7 {
+		t.Fatalf("solo propose = %d, want 7", got)
+	}
+	if got := c.Propose(sim.SoloThread(0), 1); got != 7 {
+		t.Fatalf("late propose = %d, want 7", got)
+	}
+}

@@ -1,0 +1,368 @@
+package agreement
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strconv"
+
+	"stronglin/internal/prim"
+	"stronglin/internal/sim"
+	"stronglin/internal/spec"
+)
+
+// Object is an implementation of a high-level object, generic over the
+// operations it supports.
+type Object interface {
+	Apply(t prim.Thread, op spec.Op) string
+}
+
+// Impl builds an implementation inside a world. Build must allocate every
+// base object the implementation can touch in the bounded executions under
+// test (pre-allocating arrays), so that the reduction's base-object set R is
+// fixed — Lemma 12's "R is finite as there are finitely many such
+// executions".
+type Impl struct {
+	Name  string
+	Build func(w prim.World, n int) Object
+}
+
+// ReductionResult is the outcome of one execution of Algorithm B.
+type ReductionResult struct {
+	// Decisions[i] is process i's decision (an input value), or nil if the
+	// run was cut off before i decided.
+	Decisions []*int64
+	// Winners[i] is the process index i decided for, or -1.
+	Winners []int
+	Steps   int
+}
+
+// Distinct returns the number of distinct decision values among processes
+// that decided.
+func (r *ReductionResult) Distinct() int {
+	seen := make(map[int64]bool)
+	for _, d := range r.Decisions {
+		if d != nil {
+			seen[*d] = true
+		}
+	}
+	return len(seen)
+}
+
+// Decided reports whether every process decided.
+func (r *ReductionResult) Decided() bool {
+	for _, d := range r.Decisions {
+		if d == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// RunReduction executes Algorithm B of Lemma 12: n processes solve k-set
+// agreement using a single instance of the implementation (assumed
+// lock-free; the agreement bound holds iff the implementation is strongly
+// linearizable, which is exactly what the experiments demonstrate).
+//
+// Process i with input x_i:
+//
+//  1. writes M[i] = x_i;
+//  2. executes its proposal sequence prop_i on the implementation, writing
+//     T[i] = ++t before every base-object step (the implementation runs in
+//     an instrumented world that interposes the T-write);
+//  3. repeatedly double-collects T around a collect of the implementation's
+//     base objects R until T is stable — the collected states are then a
+//     snapshot of R in a possible execution (Claim 13);
+//  4. locally simulates its decision sequence dec_i on a forked copy of R;
+//  5. decides M[d(i, responses)].
+//
+// The run is driven by policy for at most maxSteps scheduler grants;
+// processes cut off before deciding have nil decisions.
+func RunReduction(desc Descriptor, impl Impl, inputs []int64, policy sim.Policy, maxSteps int) (*ReductionResult, error) {
+	n := desc.N
+	if len(inputs) != n {
+		return nil, fmt.Errorf("agreement: %d inputs for %d processes", len(inputs), n)
+	}
+
+	res := &ReductionResult{
+		Decisions: make([]*int64, n),
+		Winners:   make([]int, n),
+	}
+	for i := range res.Winners {
+		res.Winners[i] = -1
+	}
+
+	setup := func(w *sim.World) []sim.Program {
+		m := make([]prim.Register, n)
+		tArr := make([]prim.Register, n)
+		for i := 0; i < n; i++ {
+			m[i] = w.Register("B.M["+strconv.Itoa(i)+"]", -1)
+			tArr[i] = w.Register("B.T["+strconv.Itoa(i)+"]", 0)
+		}
+		iw := &instrumentedWorld{inner: w, t: tArr, counters: make([]int64, n)}
+		obj := impl.Build(iw, n)
+		baseObjects := iw.names // fixed after Build (pre-allocated)
+
+		progs := make([]sim.Program, n)
+		for i := 0; i < n; i++ {
+			i := i
+			progs[i] = sim.Program{{
+				Name: fmt.Sprintf("decide(%d)", inputs[i]),
+				Spec: spec.MkOp("decide", inputs[i]),
+				Run: func(t prim.Thread) string {
+					// Step 2: write the input.
+					m[i].Write(t, inputs[i])
+					// Step 3: proposals (instrumented).
+					var resps []string
+					for _, op := range desc.Prop(i) {
+						resps = append(resps, obj.Apply(t, op))
+					}
+					// Steps 4-5: double collect until stable.
+					var states map[string]sim.ObjState
+					for {
+						t1 := collectT(t, tArr)
+						states = collectR(w, t, baseObjects)
+						t2 := collectT(t, tArr)
+						if equalInts(t1, t2) {
+							break
+						}
+					}
+					// Step 6: fork and simulate the decision sequence.
+					// B's own registers are absent from the fork; only the
+					// implementation is rebuilt.
+					w2 := sim.NewSoloWorld()
+					obj2 := impl.Build(w2, n)
+					w2.LoadStates(states)
+					for _, op := range desc.Dec(i) {
+						resps = append(resps, obj2.Apply(sim.SoloThread(i), op))
+					}
+					// Step 7: decide.
+					ell := desc.D(i, resps)
+					if ell < 0 || ell >= n {
+						return "invalid:" + strconv.Itoa(ell)
+					}
+					v := m[ell].Read(t)
+					res.Winners[i] = ell
+					res.Decisions[i] = &v
+					return spec.RespInt(v)
+				},
+			}}
+		}
+		return progs
+	}
+
+	exec, err := sim.RunToCompletion(n, setup, policy, maxSteps)
+	if err != nil {
+		return nil, err
+	}
+	res.Steps = len(exec.Schedule)
+	return res, nil
+}
+
+func collectT(t prim.Thread, tArr []prim.Register) []int64 {
+	out := make([]int64, len(tArr))
+	for j, r := range tArr {
+		out[j] = r.Read(t)
+	}
+	return out
+}
+
+func collectR(w *sim.World, t prim.Thread, names []string) map[string]sim.ObjState {
+	out := make(map[string]sim.ObjState, len(names))
+	for _, name := range names {
+		out[name] = w.ReadObject(t, name)
+	}
+	return out
+}
+
+func equalInts(a, b []int64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// instrumentedWorld wraps every base object so that each operation by
+// process i is preceded by a write of i's step counter to T[i] (step 3 of
+// Algorithm B). It records the names of the implementation's base objects.
+type instrumentedWorld struct {
+	inner    prim.World
+	t        []prim.Register
+	counters []int64
+	names    []string
+}
+
+var _ prim.World = (*instrumentedWorld)(nil)
+
+func (iw *instrumentedWorld) tick(t prim.Thread) {
+	i := t.ID()
+	iw.counters[i]++
+	iw.t[i].Write(t, iw.counters[i])
+}
+
+func (iw *instrumentedWorld) record(name string) {
+	iw.names = append(iw.names, name)
+	sort.Strings(iw.names)
+}
+
+func (iw *instrumentedWorld) Register(name string, init int64) prim.Register {
+	iw.record(name)
+	return &instrReg{iw: iw, inner: iw.inner.Register(name, init)}
+}
+
+func (iw *instrumentedWorld) AnyRegister(name string, init any) prim.AnyRegister {
+	iw.record(name)
+	return &instrAnyReg{iw: iw, inner: iw.inner.AnyRegister(name, init)}
+}
+
+func (iw *instrumentedWorld) TAS(name string) prim.ReadableTAS {
+	iw.record(name)
+	return &instrTAS{iw: iw, inner: iw.inner.TAS(name)}
+}
+
+func (iw *instrumentedWorld) TAS2(name string, p, q int) prim.ReadableTAS {
+	iw.record(name)
+	return &instrTAS{iw: iw, inner: iw.inner.TAS2(name, p, q)}
+}
+
+func (iw *instrumentedWorld) FetchAdd(name string) prim.FetchAdd {
+	iw.record(name)
+	return &instrFA{iw: iw, inner: iw.inner.FetchAdd(name)}
+}
+
+func (iw *instrumentedWorld) MaxReg(name string, init int64) prim.MaxReg {
+	iw.record(name)
+	return &instrMaxReg{iw: iw, inner: iw.inner.MaxReg(name, init)}
+}
+
+func (iw *instrumentedWorld) Swap(name string, init int64) prim.ReadableSwap {
+	iw.record(name)
+	return &instrSwap{iw: iw, inner: iw.inner.Swap(name, init)}
+}
+
+func (iw *instrumentedWorld) CAS(name string, init int64) prim.CAS {
+	iw.record(name)
+	return &instrCAS{iw: iw, inner: iw.inner.CAS(name, init)}
+}
+
+func (iw *instrumentedWorld) CASCell(name string, init any) prim.CASCell {
+	iw.record(name)
+	return &instrCASCell{iw: iw, inner: iw.inner.CASCell(name, init)}
+}
+
+type instrReg struct {
+	iw    *instrumentedWorld
+	inner prim.Register
+}
+
+func (r *instrReg) Read(t prim.Thread) int64 {
+	r.iw.tick(t)
+	return r.inner.Read(t)
+}
+
+func (r *instrReg) Write(t prim.Thread, v int64) {
+	r.iw.tick(t)
+	r.inner.Write(t, v)
+}
+
+type instrAnyReg struct {
+	iw    *instrumentedWorld
+	inner prim.AnyRegister
+}
+
+func (r *instrAnyReg) ReadAny(t prim.Thread) any {
+	r.iw.tick(t)
+	return r.inner.ReadAny(t)
+}
+
+func (r *instrAnyReg) WriteAny(t prim.Thread, v any) {
+	r.iw.tick(t)
+	r.inner.WriteAny(t, v)
+}
+
+type instrTAS struct {
+	iw    *instrumentedWorld
+	inner prim.ReadableTAS
+}
+
+func (r *instrTAS) TestAndSet(t prim.Thread) int64 {
+	r.iw.tick(t)
+	return r.inner.TestAndSet(t)
+}
+
+func (r *instrTAS) Read(t prim.Thread) int64 {
+	r.iw.tick(t)
+	return r.inner.Read(t)
+}
+
+type instrFA struct {
+	iw    *instrumentedWorld
+	inner prim.FetchAdd
+}
+
+func (r *instrFA) FetchAdd(t prim.Thread, delta *big.Int) *big.Int {
+	r.iw.tick(t)
+	return r.inner.FetchAdd(t, delta)
+}
+
+type instrMaxReg struct {
+	iw    *instrumentedWorld
+	inner prim.MaxReg
+}
+
+func (r *instrMaxReg) WriteMax(t prim.Thread, v int64) {
+	r.iw.tick(t)
+	r.inner.WriteMax(t, v)
+}
+
+func (r *instrMaxReg) ReadMax(t prim.Thread) int64 {
+	r.iw.tick(t)
+	return r.inner.ReadMax(t)
+}
+
+type instrSwap struct {
+	iw    *instrumentedWorld
+	inner prim.ReadableSwap
+}
+
+func (r *instrSwap) Swap(t prim.Thread, v int64) int64 {
+	r.iw.tick(t)
+	return r.inner.Swap(t, v)
+}
+
+func (r *instrSwap) Read(t prim.Thread) int64 {
+	r.iw.tick(t)
+	return r.inner.Read(t)
+}
+
+type instrCAS struct {
+	iw    *instrumentedWorld
+	inner prim.CAS
+}
+
+func (r *instrCAS) Read(t prim.Thread) int64 {
+	r.iw.tick(t)
+	return r.inner.Read(t)
+}
+
+func (r *instrCAS) CompareAndSwap(t prim.Thread, old, new int64) bool {
+	r.iw.tick(t)
+	return r.inner.CompareAndSwap(t, old, new)
+}
+
+type instrCASCell struct {
+	iw    *instrumentedWorld
+	inner prim.CASCell
+}
+
+func (r *instrCASCell) Load(t prim.Thread) any {
+	r.iw.tick(t)
+	return r.inner.Load(t)
+}
+
+func (r *instrCASCell) CompareAndSwap(t prim.Thread, old, new any) bool {
+	r.iw.tick(t)
+	return r.inner.CompareAndSwap(t, old, new)
+}

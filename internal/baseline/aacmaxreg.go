@@ -1,0 +1,91 @@
+package baseline
+
+import (
+	"fmt"
+
+	"stronglin/internal/prim"
+)
+
+// AACMaxRegister is the bounded max register of Aspnes, Attiya and Censor
+// (PODC 2009): a binary trie of switch registers implementing a max register
+// over the domain [0, 2^k).
+//
+//	WriteMax(v), at a node of height h: if v's top bit is set, recurse into
+//	the right subtree and then set the node's switch; otherwise recurse into
+//	the left subtree only if the switch is still unset.
+//	ReadMax, at a node: follow the right subtree iff the switch is set,
+//	accumulating bits.
+//
+// It is wait-free and linearizable, from registers only (consensus number
+// 1). Per Helmi–Higham–Woelfel, wait-free strongly-linearizable UNBOUNDED
+// max registers from registers are impossible, but bounded ones exist; this
+// particular construction is the standard linearizable one and serves as a
+// register-based comparison point for Theorem 1's fetch&add construction.
+type AACMaxRegister struct {
+	root *aacNode
+	k    int
+}
+
+type aacNode struct {
+	sw          prim.Register // absent at leaves
+	left, right *aacNode
+}
+
+// NewAACMaxRegister builds the trie for the domain [0, 2^k).
+func NewAACMaxRegister(w prim.World, name string, k int) *AACMaxRegister {
+	if k < 0 || k > 20 {
+		panic(fmt.Sprintf("baseline: AACMaxRegister needs 0 <= k <= 20, got %d", k))
+	}
+	return &AACMaxRegister{root: buildAAC(w, name, k), k: k}
+}
+
+func buildAAC(w prim.World, name string, k int) *aacNode {
+	if k == 0 {
+		return &aacNode{}
+	}
+	return &aacNode{
+		sw:    w.Register(name+".sw", 0),
+		left:  buildAAC(w, name+".0", k-1),
+		right: buildAAC(w, name+".1", k-1),
+	}
+}
+
+// WriteMax writes v, which must lie in [0, 2^k).
+func (m *AACMaxRegister) WriteMax(t prim.Thread, v int64) {
+	if v < 0 || v >= 1<<m.k {
+		panic(fmt.Sprintf("baseline: AACMaxRegister.WriteMax(%d) out of domain [0,2^%d)", v, m.k))
+	}
+	write(m.root, t, v, m.k)
+}
+
+func write(n *aacNode, t prim.Thread, v int64, k int) {
+	if k == 0 {
+		return
+	}
+	half := int64(1) << (k - 1)
+	if v >= half {
+		write(n.right, t, v-half, k-1)
+		n.sw.Write(t, 1)
+		return
+	}
+	if n.sw.Read(t) == 0 {
+		write(n.left, t, v, k-1)
+	}
+}
+
+// ReadMax returns the largest value written so far.
+func (m *AACMaxRegister) ReadMax(t prim.Thread) int64 {
+	return read(m.root, t, m.k)
+}
+
+func read(n *aacNode, t prim.Thread, k int) int64 {
+	if k == 0 {
+		return 0
+	}
+	if n.sw.Read(t) == 1 {
+		return 1<<(k-1) + read(n.right, t, k-1)
+	}
+	return read(n.left, t, k-1)
+}
+
+var _ prim.MaxReg = (*AACMaxRegister)(nil)

@@ -1,0 +1,91 @@
+package baseline
+
+import (
+	"strconv"
+
+	"stronglin/internal/prim"
+)
+
+// afekRecord is the (data, seq, view) tuple held by each process's
+// single-writer register in the Afek et al. snapshot. Records are immutable
+// once written.
+type afekRecord struct {
+	data int64
+	seq  int64
+	view []int64
+}
+
+// AfekSnapshot is the unbounded-sequence-number single-writer atomic
+// snapshot of Afek, Attiya, Dolev, Gafni, Merritt and Shavit (J.ACM 1993),
+// from registers only.
+//
+//	update_i(d): view := scan(); R_i.write(d, seq+1, view)
+//	scan():      collect repeatedly; return the values of two identical
+//	             consecutive collects (a clean double collect), or, once some
+//	             process has been observed to move twice, that process's
+//	             embedded view (it was obtained inside this scan's interval).
+//
+// It is wait-free and linearizable. It is NOT strongly linearizable: this is
+// the original example of Golab, Higham and Woelfel — a scan's return value
+// can remain adversary-controlled after the point where any prefix-closed
+// linearization function would have had to commit it. The model-checking
+// tests exhibit a concrete such prefix.
+type AfekSnapshot struct {
+	n    int
+	regs []prim.AnyRegister
+}
+
+// NewAfekSnapshot allocates one single-writer register per process.
+func NewAfekSnapshot(w prim.World, name string, n int) *AfekSnapshot {
+	s := &AfekSnapshot{n: n, regs: make([]prim.AnyRegister, n)}
+	for i := range s.regs {
+		s.regs[i] = w.AnyRegister(name+".R["+strconv.Itoa(i)+"]", &afekRecord{view: make([]int64, n)})
+	}
+	return s
+}
+
+func (s *AfekSnapshot) collect(t prim.Thread) []*afekRecord {
+	out := make([]*afekRecord, s.n)
+	for i := range s.regs {
+		out[i] = s.regs[i].ReadAny(t).(*afekRecord)
+	}
+	return out
+}
+
+// Update writes v to the caller's component.
+func (s *AfekSnapshot) Update(t prim.Thread, v int64) {
+	view := s.Scan(t)
+	i := t.ID()
+	prev := s.regs[i].ReadAny(t).(*afekRecord)
+	s.regs[i].WriteAny(t, &afekRecord{data: v, seq: prev.seq + 1, view: view})
+}
+
+// Scan returns an atomic view.
+func (s *AfekSnapshot) Scan(t prim.Thread) []int64 {
+	moved := make([]int, s.n)
+	prev := s.collect(t)
+	for {
+		cur := s.collect(t)
+		clean := true
+		for j := 0; j < s.n; j++ {
+			if prev[j].seq != cur[j].seq {
+				clean = false
+				if moved[j]++; moved[j] >= 2 {
+					// j completed an update entirely within this scan; its
+					// embedded view is linearizable here.
+					out := make([]int64, s.n)
+					copy(out, cur[j].view)
+					return out
+				}
+			}
+		}
+		if clean {
+			out := make([]int64, s.n)
+			for j, r := range cur {
+				out[j] = r.data
+			}
+			return out
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,132 @@
+// Package baseline implements published comparator objects:
+//
+//   - HWQueue: the Herlihy–Wing queue from fetch&add and swap. It is
+//     linearizable and lock-free (for non-empty dequeues), but — by the
+//     paper's Theorem 17 — it cannot be strongly linearizable, being a
+//     1-ordering object built from fetch&add/swap/registers. The
+//     model-checking tests exhibit a concrete prefix where no prefix-closed
+//     linearization function exists.
+//   - AfekSnapshot: the Afek–Attiya–Dolev–Gafni–Merritt–Shavit single-writer
+//     atomic snapshot from registers. Wait-free and linearizable; Golab,
+//     Higham and Woelfel's original counterexample shows it is not strongly
+//     linearizable.
+//   - AACMaxRegister: the Aspnes–Attiya–Censor bounded max register from
+//     registers (the binary-trie construction). Wait-free and linearizable.
+//   - Universal / CASQueue: the lock-free strongly-linearizable universal
+//     object from compare&swap — the "universal primitive" comparator the
+//     paper contrasts with (its linearization point is its successful CAS).
+//
+// These are the negative/positive poles of every experiment: the paper's
+// constructions must match Universal's verdicts (strongly linearizable)
+// while using only consensus-number-2 primitives; HWQueue and AfekSnapshot
+// must pass linearizability and fail strong linearizability.
+package baseline
+
+import (
+	"fmt"
+
+	"stronglin/internal/prim"
+	"stronglin/internal/spec"
+)
+
+// HWQueue is the Herlihy–Wing queue. Base objects: a fetch&add register back
+// and an array items of swap registers (0 encodes an empty slot, so enqueued
+// values must be positive).
+//
+// Enqueue obtains a slot with fetch&add(back, 1) and stores its value with a
+// swap (the store of the original algorithm). Dequeue repeatedly scans
+// items[0..back) swapping each slot with 0 until it extracts a value; on an
+// empty queue it spins (the original algorithm has no empty response), so
+// DequeueBounded provides a bounded-scan variant returning empty for use in
+// workloads that may observe an empty queue.
+type HWQueue struct {
+	back  prim.FetchAdd
+	items *prim.SwapArray
+	cap   int
+}
+
+// NewHWQueue allocates the queue. capacity bounds the total number of
+// enqueues across the object's lifetime and pre-allocates the slots, keeping
+// the base-object set R fixed and finite, as the reduction of Lemma 12
+// requires. Use it for model-checking and reduction configurations; for
+// long-running workloads use NewHWQueueLazy.
+func NewHWQueue(w prim.World, name string, capacity int) *HWQueue {
+	q := NewHWQueueLazy(w, name, capacity)
+	for i := 0; i < capacity; i++ {
+		q.items.Get(i) // pre-allocate
+	}
+	return q
+}
+
+// NewHWQueueLazy is NewHWQueue without slot pre-allocation (slots are
+// created on first touch). The base-object set is then execution-dependent,
+// which is fine for stress tests and benchmarks but not for the Lemma 12
+// reduction.
+func NewHWQueueLazy(w prim.World, name string, capacity int) *HWQueue {
+	return &HWQueue{
+		back:  w.FetchAdd(name + ".back"),
+		items: prim.NewSwapArray(w, name+".items", 0),
+		cap:   capacity,
+	}
+}
+
+// Enqueue adds v (> 0) to the queue.
+func (q *HWQueue) Enqueue(t prim.Thread, v int64) {
+	if v <= 0 {
+		panic(fmt.Sprintf("baseline: HWQueue.Enqueue(%d): values must be positive", v))
+	}
+	slot := q.back.FetchAdd(t, oneBig).Int64()
+	if slot >= int64(q.cap) {
+		panic(fmt.Sprintf("baseline: HWQueue capacity %d exceeded", q.cap))
+	}
+	q.items.Get(int(slot)).Swap(t, v)
+}
+
+// Dequeue removes and returns the oldest value, spinning while the queue is
+// empty.
+func (q *HWQueue) Dequeue(t prim.Thread) int64 {
+	for {
+		rng := q.back.FetchAdd(t, zeroBig).Int64()
+		for i := int64(0); i < rng; i++ {
+			if v := q.items.Get(int(i)).Swap(t, 0); v != 0 {
+				return v
+			}
+		}
+	}
+}
+
+// DequeueBounded performs one scan round and returns 0 if it extracted
+// nothing. It exists to keep bounded model-checking configurations finite.
+//
+// CAUTION: treating the false return as an "empty" response is NOT
+// linearizable in general — the original Herlihy–Wing queue deliberately
+// has no empty response. A scan can miss every item: its back-read cuts off
+// a slot whose enqueue completes mid-scan, while the item ahead of it is
+// taken by another dequeue after the scan has passed that slot
+// (TestHWQueueBoundedEmptinessUnsound pins a 4-process witness found by the
+// randomized stress harness). Workloads that interpret false as empty must
+// therefore be checked only on configurations where the race cannot occur,
+// or use the spinning Dequeue.
+func (q *HWQueue) DequeueBounded(t prim.Thread) (int64, bool) {
+	rng := q.back.FetchAdd(t, zeroBig).Int64()
+	for i := int64(0); i < rng; i++ {
+		if v := q.items.Get(int(i)).Swap(t, 0); v != 0 {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Apply implements the generic object interface used by the Lemma 12
+// reduction.
+func (q *HWQueue) Apply(t prim.Thread, op spec.Op) string {
+	switch op.Method {
+	case spec.MethodEnq:
+		q.Enqueue(t, op.Args[0])
+		return spec.RespOK
+	case spec.MethodDeq:
+		return spec.RespInt(q.Dequeue(t))
+	default:
+		panic("baseline: HWQueue does not implement " + op.Method)
+	}
+}

@@ -1,0 +1,87 @@
+package baseline
+
+import (
+	"fmt"
+
+	"stronglin/internal/prim"
+	"stronglin/internal/spec"
+)
+
+// NaiveStack is the direct stack analog of the Herlihy–Wing queue from
+// fetch&add and swap: push reserves the next slot with fetch&add(top, 1) and
+// stores its value with a swap; pop reads top and scans DOWNWARD, swapping
+// each slot with 0 until it extracts a value.
+//
+// This is the "obvious" stack that the Common2 constructions of
+// Afek–Gafni–Morrison improve upon; the model-checking tests determine its
+// verdicts empirically (see naivestack_test.go): it is linearizable on the
+// bounded configurations explored, and — like every lock-free stack from
+// consensus-number-2 primitives, by Theorem 17 — NOT strongly linearizable,
+// with a two-branch witness symmetric to the queue's.
+type NaiveStack struct {
+	top   prim.FetchAdd
+	items *prim.SwapArray
+	cap   int
+}
+
+// NewNaiveStack allocates the stack with a fixed slot capacity,
+// pre-allocating the slots (fixed base-object set, as model checking and
+// the reduction require). Use NewNaiveStackLazy for long workloads.
+func NewNaiveStack(w prim.World, name string, capacity int) *NaiveStack {
+	s := NewNaiveStackLazy(w, name, capacity)
+	for i := 0; i < capacity; i++ {
+		s.items.Get(i)
+	}
+	return s
+}
+
+// NewNaiveStackLazy is NewNaiveStack without slot pre-allocation.
+func NewNaiveStackLazy(w prim.World, name string, capacity int) *NaiveStack {
+	return &NaiveStack{
+		top:   w.FetchAdd(name + ".top"),
+		items: prim.NewSwapArray(w, name+".items", 0),
+		cap:   capacity,
+	}
+}
+
+// Push adds v (> 0).
+func (s *NaiveStack) Push(t prim.Thread, v int64) {
+	if v <= 0 {
+		panic(fmt.Sprintf("baseline: NaiveStack.Push(%d): values must be positive", v))
+	}
+	slot := s.top.FetchAdd(t, oneBig).Int64()
+	if slot >= int64(s.cap) {
+		panic(fmt.Sprintf("baseline: NaiveStack capacity %d exceeded", s.cap))
+	}
+	s.items.Get(int(slot)).Swap(t, v)
+}
+
+// PopBounded performs one downward scan and reports whether it extracted a
+// value.
+func (s *NaiveStack) PopBounded(t prim.Thread) (int64, bool) {
+	topIdx := s.top.FetchAdd(t, zeroBig).Int64()
+	for i := topIdx - 1; i >= 0; i-- {
+		if v := s.items.Get(int(i)).Swap(t, 0); v != 0 {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Apply implements the generic object interface used by the Lemma 12
+// reduction; pop spins until it extracts a value.
+func (s *NaiveStack) Apply(t prim.Thread, op spec.Op) string {
+	switch op.Method {
+	case spec.MethodPush:
+		s.Push(t, op.Args[0])
+		return spec.RespOK
+	case spec.MethodPop:
+		for {
+			if v, ok := s.PopBounded(t); ok {
+				return spec.RespInt(v)
+			}
+		}
+	default:
+		panic("baseline: NaiveStack does not implement " + op.Method)
+	}
+}

@@ -1,0 +1,293 @@
+package baseline
+
+import (
+	"testing"
+
+	"stronglin/internal/history"
+	"stronglin/internal/prim"
+	"stronglin/internal/sim"
+	"stronglin/internal/spec"
+)
+
+func opPush(s *NaiveStack, v int64) sim.Op {
+	return sim.Op{
+		Name: spec.MkOp(spec.MethodPush, v).String(),
+		Spec: spec.MkOp(spec.MethodPush, v),
+		Run: func(t prim.Thread) string {
+			s.Push(t, v)
+			return spec.RespOK
+		},
+	}
+}
+
+func opPopBounded(s *NaiveStack) sim.Op {
+	return sim.Op{
+		Name: "pop()",
+		Spec: spec.MkOp(spec.MethodPop),
+		Run: func(t prim.Thread) string {
+			if v, ok := s.PopBounded(t); ok {
+				return spec.RespInt(v)
+			}
+			return spec.RespEmpty
+		},
+	}
+}
+
+func TestNaiveStackSequential(t *testing.T) {
+	s := NewNaiveStack(sim.NewSoloWorld(), "st", 8)
+	th := sim.SoloThread(0)
+	s.Push(th, 1)
+	s.Push(th, 2)
+	s.Push(th, 3)
+	for want := int64(3); want >= 1; want-- {
+		v, ok := s.PopBounded(th)
+		if !ok || v != want {
+			t.Fatalf("pop = %d,%v want %d", v, ok, want)
+		}
+	}
+	if _, ok := s.PopBounded(th); ok {
+		t.Fatal("pop on empty returned a value")
+	}
+}
+
+func naiveStackSetup(w *sim.World) []sim.Program {
+	s := NewNaiveStack(w, "st", 4)
+	return []sim.Program{
+		{opPush(s, 1)},
+		{opPush(s, 2)},
+		{opPopBounded(s), opPopBounded(s)},
+	}
+}
+
+// Empirical verdict: the naive fetch&add+swap stack is linearizable on
+// every interleaving of this bounded configuration.
+func TestNaiveStackLinearizable(t *testing.T) {
+	tree, err := sim.Explore(3, naiveStackSetup, &sim.ExploreOptions{MaxNodes: 3000000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Truncated {
+		t.Fatal("tree truncated")
+	}
+	tree.Walk(func(n *sim.Node, trace []sim.Event) bool {
+		if len(n.Children) == 0 {
+			h := history.FromEvents(tree.Procs, tree.Ops, trace)
+			if res := history.CheckLinearizable(h, spec.Stack{}); !res.Ok {
+				t.Fatalf("non-linearizable leaf: %s\n%s", h.String(), history.RenderTimeline(h))
+			}
+		}
+		return true
+	})
+}
+
+// ... but, per Theorem 17, NOT strongly linearizable. The stack's witness
+// differs from the queue's because pops scan DOWNWARD from the top: the
+// fork is a first pop that has already swept past slot 1 while push(2)'s
+// write was pending, after which push(2) COMPLETES. Branch A: push(1)'s
+// write lands and the pop takes it (pop=1, forcing push order [2,1] with
+// the pop after both). Branch B: the pop reaches the (still-empty) slot 0
+// and returns EMPTY — valid only if the pop is linearized BEFORE the
+// already-complete push(2). Any prefix-closed function must decide at the
+// fork whether the pending pop precedes push(2); each branch kills one
+// choice.
+func TestNaiveStackNotStronglyLinearizable(t *testing.T) {
+	// Fork construction: p0 push(1): fetch&add only (slot 0 reserved,
+	// unwritten); p1 push(2): fetch&add (slot 1); p2 pop: reads top=2 and
+	// swaps slot 1 (empty — push(2) not yet written); then p1's write lands
+	// (push(2) complete).
+	prefix := []int{0, 0, 1, 1, 2, 2, 2, 1}
+	// Branch A: p0 writes slot 0; pop takes it (pop1=1); second pop takes 2.
+	branchA := append(append([]int{}, prefix...), 0, 2, 2, 2, 2)
+	// Branch B: pop reaches empty slot 0 (pop1=empty); second pop takes 2;
+	// p0's write lands last.
+	branchB := append(append([]int{}, prefix...), 2, 2, 2, 2, 0)
+	tree, err := sim.TreeFromSchedules(3, naiveStackSetup, [][]int{branchA, branchB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify the branch responses before interpreting the verdict.
+	got := map[string]bool{}
+	tree.Walk(func(n *sim.Node, trace []sim.Event) bool {
+		if len(n.Children) == 0 {
+			resps := ""
+			for _, ev := range trace {
+				if ev.Kind == sim.EventReturn && ev.OpID >= 2 {
+					resps += ev.Resp + ","
+				}
+			}
+			got[resps] = true
+		}
+		return true
+	})
+	if !got["1,2,"] || !got["empty,2,"] {
+		t.Fatalf("branches returned %v, want {1,2} and {empty,2}", got)
+	}
+	// Each branch alone is linearizable...
+	tree.Walk(func(n *sim.Node, trace []sim.Event) bool {
+		if len(n.Children) == 0 {
+			h := history.FromEvents(tree.Procs, tree.Ops, trace)
+			if res := history.CheckLinearizable(h, spec.Stack{}); !res.Ok {
+				t.Fatalf("leaf not linearizable: %s", h.String())
+			}
+		}
+		return true
+	})
+	// ... but together they refute prefix-closure.
+	res := history.CheckStrongLin(tree, spec.Stack{}, nil)
+	if res.Ok {
+		t.Fatal("naive stack witness accepted; Theorem 17 says a refutable prefix must exist")
+	}
+	t.Logf("counterexample: %s", res.Counterexample)
+}
+
+func TestNaiveStackReductionViolation(t *testing.T) {
+	// Algorithm B over the naive stack: the stall adversary (hold push(1)'s
+	// slot write) makes processes collect states whose solo pop sequences
+	// see different stacks — agreement breaks, as Theorem 17 demands.
+	desc := stackDescriptorLocal(3)
+	impl := implLocal{
+		build: func(w prim.World, n int) applyObj {
+			return NewNaiveStack(w, "A", 3)
+		},
+	}
+	grants0 := 0
+	policy := func(v sim.PolicyView) int {
+		// p0's first 3 grants: invoke, M-write, fetch&add — stopping just
+		// before the slot write (no T instrumentation in this simplified
+		// variant).
+		if grants0 < 3 {
+			for _, p := range v.Enabled {
+				if p == 0 {
+					grants0++
+					return 0
+				}
+			}
+		}
+		for _, want := range []int{1, 2, 0} {
+			for _, p := range v.Enabled {
+				if p == want {
+					return p
+				}
+			}
+		}
+		return v.Enabled[0]
+	}
+	decisions := runStackReduction(t, desc, impl, policy)
+	distinct := map[int64]bool{}
+	for _, d := range decisions {
+		distinct[d] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("expected an agreement violation, got %v", decisions)
+	}
+}
+
+// Minimal local shims so this test file does not import internal/agreement
+// (which would create an import cycle: agreement's tests import baseline).
+type applyObj interface {
+	Apply(t prim.Thread, op spec.Op) string
+}
+
+type implLocal struct {
+	build func(w prim.World, n int) applyObj
+}
+
+type stackDesc struct {
+	n    int
+	prop func(i int) []spec.Op
+	dec  func(i int) []spec.Op
+	d    func(i int, resps []string) int
+}
+
+func stackDescriptorLocal(n int) stackDesc {
+	return stackDesc{
+		n:    n,
+		prop: func(i int) []spec.Op { return []spec.Op{spec.MkOp(spec.MethodPush, int64(i)+1)} },
+		dec: func(i int) []spec.Op {
+			out := make([]spec.Op, n+1)
+			for j := range out {
+				out[j] = spec.MkOp(spec.MethodPop)
+			}
+			return out
+		},
+		d: func(i int, resps []string) int {
+			for j := len(resps) - 1; j >= 0; j-- {
+				if resps[j] != spec.RespEmpty {
+					var v int64
+					for _, c := range resps[j] {
+						v = v*10 + int64(c-'0')
+					}
+					return int(v - 1)
+				}
+			}
+			return -1
+		},
+	}
+}
+
+func runStackReduction(t *testing.T, desc stackDesc, impl implLocal, policy sim.Policy) []int64 {
+	t.Helper()
+	inputs := []int64{100, 200, 300}
+	out := make([]int64, desc.n)
+	setup := func(w *sim.World) []sim.Program {
+		m := make([]prim.Register, desc.n)
+		for i := range m {
+			m[i] = w.Register("B.M."+string(rune('0'+i)), -1)
+		}
+		obj := impl.build(w, desc.n)
+		names := w.ObjectNames()
+		progs := make([]sim.Program, desc.n)
+		for i := 0; i < desc.n; i++ {
+			i := i
+			progs[i] = sim.Program{{
+				Name: "decide",
+				Spec: spec.MkOp("decide", inputs[i]),
+				Run: func(th prim.Thread) string {
+					m[i].Write(th, inputs[i])
+					var resps []string
+					for _, op := range desc.prop(i) {
+						resps = append(resps, obj.Apply(th, op))
+					}
+					// Collect (no T instrumentation in this simplified
+					// variant: the stall adversary provides the quiescence).
+					states := make(map[string]sim.ObjState, len(names))
+					for _, name := range names {
+						states[name] = w.ReadObject(th, name)
+					}
+					w2 := sim.NewSoloWorld()
+					obj2 := impl.build(w2, desc.n)
+					w2.LoadStates(states)
+					for _, op := range desc.dec(i) {
+						// Bounded pops for the simplified variant.
+						if op.Method == spec.MethodPop {
+							st := obj2.(*NaiveStack)
+							if v, ok := st.PopBounded(sim.SoloThread(i)); ok {
+								resps = append(resps, spec.RespInt(v))
+							} else {
+								resps = append(resps, spec.RespEmpty)
+							}
+							continue
+						}
+						resps = append(resps, obj2.Apply(sim.SoloThread(i), op))
+					}
+					ell := desc.d(i, resps)
+					if ell < 0 || ell >= desc.n {
+						return "invalid"
+					}
+					v := m[ell].Read(th)
+					out[i] = v
+					return spec.RespInt(v)
+				},
+			}}
+		}
+		return progs
+	}
+	exec, err := sim.RunToCompletion(desc.n, setup, policy, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exec.Complete {
+		t.Fatal("reduction run incomplete")
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package baseline
+
+import (
+	"testing"
+
+	"stronglin/internal/history"
+	"stronglin/internal/sim"
+	"stronglin/internal/spec"
+)
+
+// Theorem 17 extends to the RELAXED queue variants: the same Herlihy–Wing
+// witness tree (dequeue orders (1,2) vs (2,1) forced from a fork where
+// enq(2) is complete) refutes strong linearizability even against the
+// multiplicity and m-stuttering specifications — their relaxations never
+// change which item a dequeue returns here, so the commitment conflict
+// stands.
+//
+// The 2-out-of-order specification, in contrast, ACCEPTS this tree: its
+// dequeue may return either of the two oldest items, so both branch
+// outcomes are consistent with one committed enqueue order. That is exactly
+// Theorem 19's boundary — for k = 2 the impossibility needs n > 2k = 4
+// processes, and this witness has only 3.
+func hwWitnessTree(t *testing.T) *sim.Tree {
+	t.Helper()
+	prefix := []int{0, 0, 1, 1, 1, 2, 2}
+	branchA := append(append([]int{}, prefix...), 0, 2, 2, 2, 2, 2)
+	branchB := append(append([]int{}, prefix...), 2, 2, 0, 2, 2, 2)
+	tree, err := sim.TreeFromSchedules(3, hwSetup, [][]int{branchA, branchB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestHWQueueNotStronglyLinearizableAsMultiplicityQueue(t *testing.T) {
+	res := history.CheckStrongLin(hwWitnessTree(t), spec.MultiplicityQueue{}, nil)
+	if res.Ok {
+		t.Fatal("multiplicity relaxation rescued the Herlihy–Wing witness; Theorem 17 says it cannot")
+	}
+}
+
+func TestHWQueueNotStronglyLinearizableAsStutteringQueue(t *testing.T) {
+	for _, m := range []int{1, 2} {
+		res := history.CheckStrongLin(hwWitnessTree(t), spec.StutteringQueue{M: m}, nil)
+		if res.Ok {
+			t.Fatalf("m=%d stuttering relaxation rescued the Herlihy–Wing witness", m)
+		}
+	}
+}
+
+func TestHWQueueWitnessAcceptedByTwoOutOfOrderSpec(t *testing.T) {
+	// NOT a contradiction: 3 processes is outside Theorem 19's n > 2k range
+	// for k = 2, and indeed the 2-window makes both branches consistent
+	// with a single committed enqueue order.
+	res := history.CheckStrongLin(hwWitnessTree(t), spec.OutOfOrderQueue{K: 2}, nil)
+	if !res.Ok {
+		t.Fatalf("2-out-of-order spec rejected the 3-process witness: %v — "+
+			"the k-window should absorb the branch conflict below n > 2k", res.Counterexample)
+	}
+}
+
+// The leaf histories of the witness remain linearizable for every spec in
+// play (the refutations above are purely prefix-closure failures).
+func TestHWWitnessLeavesLinearizableForAllSpecs(t *testing.T) {
+	tree := hwWitnessTree(t)
+	specs := []spec.Spec{
+		spec.Queue{},
+		spec.MultiplicityQueue{},
+		spec.StutteringQueue{M: 1},
+		spec.OutOfOrderQueue{K: 2},
+	}
+	tree.Walk(func(n *sim.Node, trace []sim.Event) bool {
+		if len(n.Children) == 0 {
+			h := history.FromEvents(tree.Procs, tree.Ops, trace)
+			for _, sp := range specs {
+				if res := history.CheckLinearizable(h, sp); !res.Ok {
+					t.Fatalf("leaf rejected by %s: %s", sp.Name(), h.String())
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,102 @@
+package baseline
+
+import (
+	"math/big"
+
+	"stronglin/internal/prim"
+	"stronglin/internal/spec"
+)
+
+// Universal is the lock-free strongly-linearizable universal object from
+// compare&swap: one CAS cell holds a pointer to the (immutable) current
+// sequential state; an operation loads it, computes the unique outcome, and
+// installs the successor with a CAS, retrying on interference. Its
+// linearization point is its successful CAS (a fixed own step), so the
+// object is strongly linearizable for any deterministic specification.
+//
+// This is the repository's stand-in for the "known wait-free [or lock-free]
+// strongly-linearizable implementations [that] use primitives such as
+// compare&swap" which the paper contrasts with consensus-number-2
+// primitives; it is also the strongly-linearizable 1-ordering object that
+// makes the Lemma 12 reduction solve consensus.
+type Universal struct {
+	cell prim.CASCell
+	sp   spec.Spec
+	n    int
+}
+
+type uNode struct{ state spec.State }
+
+// NewUniversal allocates the object with the specification's initial state.
+func NewUniversal(w prim.World, name string, sp spec.Spec, n int) *Universal {
+	return &Universal{
+		cell: w.CASCell(name+".state", &uNode{state: sp.Init(n)}),
+		sp:   sp,
+		n:    n,
+	}
+}
+
+// Apply executes op and returns its response.
+func (u *Universal) Apply(t prim.Thread, op spec.Op) string {
+	for {
+		cur := u.cell.Load(t).(*uNode)
+		outs := cur.state.Steps(op)
+		if len(outs) == 0 {
+			panic("baseline: Universal: illegal operation " + op.String())
+		}
+		out := outs[0]
+		if u.cell.CompareAndSwap(t, cur, &uNode{state: out.Next}) {
+			return out.Resp
+		}
+	}
+}
+
+// CASQueue is the universal object instantiated as a FIFO queue.
+type CASQueue struct{ u *Universal }
+
+// NewCASQueue allocates a CAS-based strongly-linearizable queue.
+func NewCASQueue(w prim.World, name string, n int) *CASQueue {
+	return &CASQueue{u: NewUniversal(w, name, spec.Queue{}, n)}
+}
+
+// Enqueue adds v.
+func (q *CASQueue) Enqueue(t prim.Thread, v int64) {
+	q.u.Apply(t, spec.MkOp(spec.MethodEnq, v))
+}
+
+// Dequeue removes and returns the oldest value, or spec.RespEmpty.
+func (q *CASQueue) Dequeue(t prim.Thread) string {
+	return q.u.Apply(t, spec.MkOp(spec.MethodDeq))
+}
+
+// Apply implements the generic object interface used by the Lemma 12
+// reduction.
+func (q *CASQueue) Apply(t prim.Thread, op spec.Op) string { return q.u.Apply(t, op) }
+
+// CASStack is the universal object instantiated as a LIFO stack.
+type CASStack struct{ u *Universal }
+
+// NewCASStack allocates a CAS-based strongly-linearizable stack.
+func NewCASStack(w prim.World, name string, n int) *CASStack {
+	return &CASStack{u: NewUniversal(w, name, spec.Stack{}, n)}
+}
+
+// Push adds v.
+func (s *CASStack) Push(t prim.Thread, v int64) {
+	s.u.Apply(t, spec.MkOp(spec.MethodPush, v))
+}
+
+// Pop removes and returns the newest value, or spec.RespEmpty.
+func (s *CASStack) Pop(t prim.Thread) string {
+	return s.u.Apply(t, spec.MkOp(spec.MethodPop))
+}
+
+// Apply implements the generic object interface used by the Lemma 12
+// reduction.
+func (s *CASStack) Apply(t prim.Thread, op spec.Op) string { return s.u.Apply(t, op) }
+
+// zeroBig and oneBig are shared fetch&add deltas.
+var (
+	zeroBig = new(big.Int)
+	oneBig  = big.NewInt(1)
+)

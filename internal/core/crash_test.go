@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+
+	"stronglin/internal/history"
+	"stronglin/internal/sim"
+	"stronglin/internal/spec"
+)
+
+// Crash scenarios are prefixes of the execution tree (a crashed process is
+// one that is never scheduled again); the exhaustive strong-linearizability
+// checks therefore already cover every crash pattern. The named scenarios
+// below document the interesting ones explicitly and pin their histories.
+
+// Theorem 5: the WINNER of the inner test&set crashes before writing 1 to
+// state. Readers keep seeing 0, later test&sets obtain 1 — the pending
+// winner must be linearizable with response 0 ahead of the losers while the
+// reads stay ahead of it.
+func TestReadableTASWinnerCrashBeforeStateWrite(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		r := NewReadableTAS(w, "rt")
+		return []sim.Program{
+			{opTAS(r)},     // p0: will win ts and crash before writing state
+			{opTAS(r)},     // p1: loses
+			{opTASRead(r)}, // p2: reads
+		}
+	}
+	// p0: invoke + ts.tas (wins), then CRASH (never scheduled again).
+	// p2 reads 0. p1: invoke + ts.tas (loses) + state write, returns 1.
+	// p2's read of 0 happened before p1 completed.
+	exec, err := sim.RunToCompletion(3, setup, crashPolicy(0, 2, []int{2, 1}), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resps := exec.Responses()
+	if resps[2] != "0" {
+		t.Fatalf("read = %s, want 0 (crashed winner never wrote state)", resps[2])
+	}
+	if resps[1] != "1" {
+		t.Fatalf("loser tas = %s, want 1", resps[1])
+	}
+	if _, done := resps[0]; done {
+		t.Fatal("crashed winner unexpectedly returned")
+	}
+	h := history.FromExecution(exec)
+	if res := history.CheckLinearizable(h, spec.ReadableTAS{}); !res.Ok {
+		t.Fatalf("crash history not linearizable: %s\n%s", h.String(), history.RenderTimeline(h))
+	}
+}
+
+// Theorem 6: a resetter crashes between reading 1 from the current epoch's
+// TS and bumping curr. The object must remain in state 1 (the reset never
+// took logical effect).
+func TestMultiShotTASResetterCrashBeforeBump(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		m := NewMultiShotTASAtomic(w, "ms")
+		return []sim.Program{
+			{opTAS(m)},     // p0: sets the object
+			{opReset(m)},   // p1: crashes mid-reset
+			{opTASRead(m)}, // p2: observes
+		}
+	}
+	sched := []int{
+		0, 0, 0, // p0: invoke, curr.rmax, TS[0].tas -> 0, return
+		1, 1, 1, // p1: invoke, curr.rmax, TS[0].read -> 1; CRASH before wmax
+		2, 2, 2, // p2: invoke, curr.rmax, TS[0].read -> 1
+	}
+	exec, err := sim.Run(3, setup, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resps := exec.Responses()
+	if resps[2] != "1" {
+		t.Fatalf("read after crashed reset = %s, want 1", resps[2])
+	}
+	h := history.FromExecution(exec)
+	if res := history.CheckLinearizable(h, spec.MultiShotTAS{}); !res.Ok {
+		t.Fatalf("crash history not linearizable: %s", h.String())
+	}
+}
+
+// Algorithm 2: a put crashes between its fetch&increment and its Items
+// write. The reserved slot stays ⊥ forever; takes must skip it and still
+// return EMPTY correctly.
+func TestTASSetPutCrashLeavesHoleSkipped(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		s := NewTASSetAtomic(w, "s")
+		return []sim.Program{
+			{opPut(s, 5)},          // p0: crashes after reserving slot 1
+			{opPut(s, 6)},          // p1: completes into slot 2
+			{opTake(s), opTake(s)}, // p2
+		}
+	}
+	// p0: invoke + fai (slot 1 reserved), CRASH before its Items write; then
+	// p1 completes fully; then p2 takes twice.
+	exec, err := sim.RunToCompletion(3, setup, crashPolicy(0, 2, []int{1, 2}), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resps := exec.Responses()
+	if resps[2] != "6" {
+		t.Fatalf("first take = %s, want 6 (the only completed put)", resps[2])
+	}
+	if resps[3] != spec.RespEmpty {
+		t.Fatalf("second take = %s, want empty (crashed put's hole skipped)", resps[3])
+	}
+	h := history.FromExecution(exec)
+	if res := history.CheckLinearizable(h, spec.TakeSet{}); !res.Ok {
+		t.Fatalf("crash history not linearizable: %s", h.String())
+	}
+}
+
+// crashPolicy grants the victim its first `grants` scheduler grants, then
+// never again (a crash); the survivors then run to completion in priority
+// order. The run stops when only the crashed process remains enabled.
+func crashPolicy(victim, grants int, priority []int) sim.Policy {
+	given := 0
+	return func(v sim.PolicyView) int {
+		if given < grants {
+			for _, p := range v.Enabled {
+				if p == victim {
+					given++
+					return p
+				}
+			}
+		}
+		for _, want := range priority {
+			for _, p := range v.Enabled {
+				if p == want {
+					return p
+				}
+			}
+		}
+		return -1 // only the crashed process remains
+	}
+}
+
+// Crashes never invalidate strong linearizability verdicts: re-run the
+// Theorem 5 verification on the subtree where p0 is starved after winning
+// ts (a crash), merged with a completing branch. (Acceptance on a pruned
+// tree proves nothing by itself; this guards the checker's handling of
+// permanently-pending operations against regressions.)
+func TestReadableTASCrashSubtreeStillServable(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		r := NewReadableTAS(w, "rt")
+		return []sim.Program{
+			{opTAS(r)},
+			{opTAS(r)},
+			{opTASRead(r)},
+		}
+	}
+	crashBranch := []int{0, 0, 2, 2, 1, 1, 1} // p0 crashes after winning ts
+	fullBranch := []int{0, 0, 0, 2, 2, 1, 1, 1}
+	tree, err := sim.TreeFromSchedules(3, setup, [][]int{crashBranch, fullBranch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := history.CheckStrongLin(tree, spec.ReadableTAS{}, nil)
+	if !res.Ok {
+		t.Fatalf("crash subtree unservable: %v", res.Counterexample)
+	}
+}

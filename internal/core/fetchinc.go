@@ -1,0 +1,104 @@
+package core
+
+import (
+	"stronglin/internal/prim"
+)
+
+// FetchIncAPI is the readable fetch&increment interface (Theorem 9's object,
+// consumed by Algorithm 2).
+type FetchIncAPI interface {
+	// FetchIncrement returns the current value and increments it.
+	FetchIncrement(t prim.Thread) int64
+	// Read returns the current value.
+	Read(t prim.Thread) int64
+}
+
+// FetchInc is the lock-free strongly-linearizable readable fetch&increment
+// from test&set of Theorem 9 (a generalisation of the one-shot
+// fetch&increment of Afek–Weisberger–Weisman).
+//
+// The processes share an infinite array M of readable test&set objects.
+// fetch&increment applies test&set to M[1], M[2], ... in ascending order
+// until obtaining 0, and returns that index; read reads M[1], M[2], ... until
+// obtaining 0 and returns that index.
+//
+// At all times the object's state is the smallest index whose test&set
+// object is still 0; every operation linearizes at the step where it obtains
+// 0. The implementation is lock-free but not wait-free: an operation can be
+// starved only while infinitely many fetch&increments complete.
+type FetchInc struct {
+	m func(i int) prim.ReadableTAS
+}
+
+var _ FetchIncAPI = (*FetchInc)(nil)
+
+// NewFetchInc builds the construction from an explicit infinite array of
+// readable test&set base objects.
+func NewFetchInc(m func(i int) prim.ReadableTAS) *FetchInc {
+	return &FetchInc{m: m}
+}
+
+// NewFetchIncAtomic builds the construction over atomic readable test&set
+// objects allocated from w.
+func NewFetchIncAtomic(w prim.World, name string) *FetchInc {
+	arr := prim.NewTASArray(w, name+".M")
+	return &FetchInc{m: func(i int) prim.ReadableTAS { return arr.Get(i) }}
+}
+
+// NewFetchIncFromTAS builds Theorem 9's full composition: each M entry is
+// Theorem 5's readable test&set from a plain test&set, so the whole object
+// uses only test&set and registers.
+func NewFetchIncFromTAS(w prim.World, name string) *FetchInc {
+	arr := &lazyTAS{w: w, name: name + ".M"}
+	return &FetchInc{m: arr.get}
+}
+
+// FetchIncrement returns the current value (starting from 1) and increments.
+func (f *FetchInc) FetchIncrement(t prim.Thread) int64 {
+	for i := 1; ; i++ {
+		if f.m(i).TestAndSet(t) == 0 {
+			return int64(i)
+		}
+	}
+}
+
+// Read returns the current value without modifying the object.
+func (f *FetchInc) Read(t prim.Thread) int64 {
+	for i := 1; ; i++ {
+		if f.m(i).Read(t) == 0 {
+			return int64(i)
+		}
+	}
+}
+
+// FAFetchInc is a wait-free strongly-linearizable readable fetch&increment
+// from a single fetch&add register: fetch&increment is fetch&add(R, 1) and
+// read is fetch&add(R, 0), each a single step (its linearization point). It
+// serves as the atomic readable fetch&increment base object that Theorem 10
+// assumes, discharged directly against a consensus-number-2 primitive.
+type FAFetchInc struct {
+	w prim.World
+	r prim.FetchAdd
+}
+
+var _ FetchIncAPI = (*FAFetchInc)(nil)
+
+// NewFAFetchInc allocates the register name+".R"; the counter starts at 1
+// (matching Theorem 9's object, whose first fetch&increment returns 1).
+func NewFAFetchInc(w prim.World, name string) *FAFetchInc {
+	return &FAFetchInc{w: w, r: w.FetchAdd(name + ".R")}
+}
+
+// FetchIncrement returns the current value and increments.
+func (f *FAFetchInc) FetchIncrement(t prim.Thread) int64 {
+	v := f.r.FetchAdd(t, one).Int64() + 1
+	prim.MarkLinPoint(f.w, t)
+	return v
+}
+
+// Read returns the current value.
+func (f *FAFetchInc) Read(t prim.Thread) int64 {
+	v := f.r.FetchAdd(t, zero).Int64() + 1
+	prim.MarkLinPoint(f.w, t)
+	return v
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"stronglin/internal/prim"
+	"stronglin/internal/sim"
+	"stronglin/internal/spec"
+)
+
+func TestFetchIncSequential(t *testing.T) {
+	for name, build := range map[string]func() FetchIncAPI{
+		"atomic-tas": func() FetchIncAPI { return NewFetchIncAtomic(sim.NewSoloWorld(), "fi") },
+		"thm5-tas":   func() FetchIncAPI { return NewFetchIncFromTAS(sim.NewSoloWorld(), "fi") },
+		"fa":         func() FetchIncAPI { return NewFAFetchInc(sim.NewSoloWorld(), "fi") },
+	} {
+		t.Run(name, func(t *testing.T) {
+			f := build()
+			th := sim.SoloThread(0)
+			if got := f.Read(th); got != 1 {
+				t.Fatalf("fresh Read = %d, want 1", got)
+			}
+			for want := int64(1); want <= 4; want++ {
+				if got := f.FetchIncrement(th); got != want {
+					t.Fatalf("FetchIncrement = %d, want %d", got, want)
+				}
+			}
+			if got := f.Read(sim.SoloThread(1)); got != 5 {
+				t.Fatalf("Read = %d, want 5", got)
+			}
+		})
+	}
+}
+
+// E-T9: Theorem 9 — lock-free strongly-linearizable readable
+// fetch&increment from (readable) test&set.
+func TestFetchIncStrongLinAtomicBases(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		f := NewFetchIncAtomic(w, "fi")
+		return []sim.Program{
+			{opFAI(f)},
+			{opFAI(f)},
+			{opFAIRead(f)},
+		}
+	}
+	verifySL(t, 3, setup, spec.FetchInc{})
+}
+
+func TestFetchIncStrongLinComposedThm5(t *testing.T) {
+	// The full Theorem 9 composition: readable test&sets are Theorem 5
+	// constructions, so base objects are plain test&set and registers.
+	setup := func(w *sim.World) []sim.Program {
+		f := NewFetchIncFromTAS(w, "fi")
+		return []sim.Program{
+			{opFAI(f)},
+			{opFAI(f), opFAIRead(f)},
+		}
+	}
+	verifySL(t, 2, setup, spec.FetchInc{})
+}
+
+func TestFAFetchIncStrongLin(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		f := NewFAFetchInc(w, "fi")
+		return []sim.Program{
+			{opFAI(f), opFAIRead(f)},
+			{opFAI(f), opFAIRead(f)},
+		}
+	}
+	verifySL(t, 2, setup, spec.FetchInc{})
+}
+
+func TestFetchIncRealWorldStress(t *testing.T) {
+	const procs, reps = 8, 50
+	w := prim.NewRealWorld()
+	f := NewFetchIncFromTAS(w, "fi")
+	var wg sync.WaitGroup
+	got := make([][]int64, procs)
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			th := prim.RealThread(p)
+			for i := 0; i < reps; i++ {
+				got[p] = append(got[p], f.FetchIncrement(th))
+			}
+		}(p)
+	}
+	wg.Wait()
+	// Uniqueness and density: the procs*reps results are a permutation of
+	// 1..procs*reps.
+	seen := make(map[int64]bool)
+	for p := range got {
+		for _, v := range got[p] {
+			if seen[v] {
+				t.Fatalf("duplicate fetch&increment result %d", v)
+			}
+			seen[v] = true
+		}
+	}
+	for v := int64(1); v <= procs*reps; v++ {
+		if !seen[v] {
+			t.Fatalf("missing fetch&increment result %d", v)
+		}
+	}
+}
+
+func TestFetchIncReadDoesNotPerturb(t *testing.T) {
+	w := sim.NewSoloWorld()
+	f := NewFetchIncAtomic(w, "fi")
+	th := sim.SoloThread(0)
+	f.FetchIncrement(th)
+	before := f.Read(th)
+	for i := 0; i < 5; i++ {
+		if got := f.Read(th); got != before {
+			t.Fatalf("Read changed the state: %d -> %d", before, got)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package core implements the paper's constructions:
+//
+//   - Theorem 1: wait-free strongly-linearizable max register from fetch&add
+//     (FAMaxRegister).
+//   - Theorem 2: wait-free strongly-linearizable atomic snapshot from
+//     fetch&add (FASnapshot).
+//   - Theorems 3/4: wait-free strongly-linearizable simple types from atomic
+//     snapshot (SimpleObject, Algorithm 1), hence from fetch&add.
+//   - Theorem 5: wait-free strongly-linearizable readable test&set from
+//     test&set (ReadableTAS).
+//   - Theorem 6, Corollaries 7–8: wait-free strongly-linearizable readable
+//     multi-shot test&set from test&set and max register (MultiShotTAS).
+//   - Theorem 9: lock-free strongly-linearizable readable fetch&increment
+//     from test&set (FetchInc).
+//   - Theorem 10: lock-free strongly-linearizable set from test&set
+//     (TASSet, Algorithm 2).
+//
+// Every construction is written against internal/prim interfaces and runs
+// unchanged under real concurrency (prim.RealWorld) and under the
+// model-checking scheduler (sim.World). Construction functions take the
+// world, a base name for the shared objects they allocate, and — where the
+// algorithm needs per-process lanes — the number of processes n.
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"stronglin/internal/interleave"
+	"stronglin/internal/prim"
+)
+
+// FAMaxRegister is the wait-free strongly-linearizable max register of
+// Section 3.1, built from a single unbounded fetch&add register R.
+//
+// Process i stores the largest value it has written, in unary, in bit lane
+// i of R (bits i, n+i, 2n+i, ...): value K occupies lane-local bits 1..K.
+// WriteMax(K) raises the caller's lane from its previous value to K with a
+// single fetch&add; smaller-or-equal writes perform fetch&add(R, 0), which
+// the paper keeps so that every operation has a fetch&add linearization
+// point. ReadMax is fetch&add(R, 0) followed by local decoding.
+//
+// Every operation performs exactly one fetch&add, which is its linearization
+// point; strong linearizability is immediate (and model-checked in the
+// tests).
+type FAMaxRegister struct {
+	n      int
+	codec  interleave.Codec
+	w      prim.World
+	r      prim.FetchAdd
+	prev   []int64 // prev[i] is written only by process i
+	noopFA bool    // perform fetch&add(R,0) on no-op writes (paper step 1)
+}
+
+var _ prim.MaxReg = (*FAMaxRegister)(nil)
+
+// MaxRegOption configures NewFAMaxRegister.
+type MaxRegOption func(*FAMaxRegister)
+
+// WithoutNoopFA drops the fetch&add(R, 0) that WriteMax performs when the
+// value does not exceed the caller's previous write. The paper notes this
+// fetch&add "is not needed for correctness, but it simplifies the
+// linearization proof": without it a no-op WriteMax takes no shared step at
+// all. This option exists for the E-ABL1 ablation.
+func WithoutNoopFA() MaxRegOption {
+	return func(m *FAMaxRegister) { m.noopFA = false }
+}
+
+// NewFAMaxRegister allocates the construction for n processes using a single
+// fetch&add register named name+".R".
+func NewFAMaxRegister(w prim.World, name string, n int, opts ...MaxRegOption) *FAMaxRegister {
+	m := &FAMaxRegister{
+		n:      n,
+		codec:  interleave.MustNew(n),
+		w:      w,
+		r:      w.FetchAdd(name + ".R"),
+		prev:   make([]int64, n),
+		noopFA: true,
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// WriteMax writes v (which must be non-negative) on behalf of t.
+func (m *FAMaxRegister) WriteMax(t prim.Thread, v int64) {
+	if v < 0 {
+		panic(fmt.Sprintf("core: FAMaxRegister.WriteMax(%d): values must be non-negative", v))
+	}
+	i := t.ID()
+	if v <= m.prev[i] {
+		if m.noopFA {
+			m.r.FetchAdd(t, zero)
+			prim.MarkLinPoint(m.w, t)
+		}
+		return
+	}
+	delta := m.codec.Spread(interleave.UnaryDelta(int(m.prev[i]), int(v)), i)
+	m.r.FetchAdd(t, delta)
+	prim.MarkLinPoint(m.w, t)
+	m.prev[i] = v
+}
+
+// ReadMax returns the largest value written so far.
+func (m *FAMaxRegister) ReadMax(t prim.Thread) int64 {
+	word := m.r.FetchAdd(t, zero)
+	prim.MarkLinPoint(m.w, t)
+	return m.decode(word)
+}
+
+func (m *FAMaxRegister) decode(word *big.Int) int64 {
+	max := int64(0)
+	for _, lane := range m.codec.Decode(word) {
+		if v := int64(interleave.UnaryValue(lane)); v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Width returns the current bit length of the shared register — the cost the
+// paper's discussion (Section 6) highlights ("extremely large values in a
+// single variable"). It reads R with a fetch&add(0) step.
+func (m *FAMaxRegister) Width(t prim.Thread) int {
+	return m.r.FetchAdd(t, zero).BitLen()
+}
+
+// zero and one are immutable fetch&add deltas.
+var (
+	zero = new(big.Int)
+	one  = big.NewInt(1)
+)

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"stronglin/internal/history"
+	"stronglin/internal/prim"
+	"stronglin/internal/sim"
+	"stronglin/internal/spec"
+)
+
+func TestFAMaxRegisterSequential(t *testing.T) {
+	w := sim.NewSoloWorld()
+	m := NewFAMaxRegister(w, "max", 2)
+	th := sim.SoloThread(0)
+	if got := m.ReadMax(th); got != 0 {
+		t.Fatalf("initial ReadMax = %d", got)
+	}
+	m.WriteMax(th, 5)
+	if got := m.ReadMax(th); got != 5 {
+		t.Fatalf("ReadMax = %d, want 5", got)
+	}
+	m.WriteMax(th, 3) // no-op write
+	if got := m.ReadMax(th); got != 5 {
+		t.Fatalf("ReadMax after smaller write = %d, want 5", got)
+	}
+	m.WriteMax(th, 9)
+	if got := m.ReadMax(th); got != 9 {
+		t.Fatalf("ReadMax = %d, want 9", got)
+	}
+}
+
+func TestFAMaxRegisterPerProcessLanes(t *testing.T) {
+	w := sim.NewSoloWorld()
+	m := NewFAMaxRegister(w, "max", 3)
+	// Different processes write interleaved values; the max must win.
+	m.WriteMax(sim.SoloThread(0), 4)
+	m.WriteMax(sim.SoloThread(1), 7)
+	m.WriteMax(sim.SoloThread(2), 2)
+	if got := m.ReadMax(sim.SoloThread(1)); got != 7 {
+		t.Fatalf("ReadMax = %d, want 7", got)
+	}
+}
+
+func TestFAMaxRegisterRejectsNegative(t *testing.T) {
+	w := sim.NewSoloWorld()
+	m := NewFAMaxRegister(w, "max", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative WriteMax did not panic")
+		}
+	}()
+	m.WriteMax(sim.SoloThread(0), -1)
+}
+
+// E-T1: Theorem 1 — the construction is strongly linearizable on every
+// interleaving of the bounded configurations below.
+func TestFAMaxRegisterStrongLinTwoWritersOneReader(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		m := NewFAMaxRegister(w, "max", 3)
+		return []sim.Program{
+			{opWriteMax(m, 2)},
+			{opWriteMax(m, 1)},
+			{opReadMax(m), opReadMax(m)},
+		}
+	}
+	v := verifySL(t, 3, setup, spec.MaxRegister{})
+	if v.Leaves == 0 {
+		t.Fatal("no executions explored")
+	}
+}
+
+func TestFAMaxRegisterStrongLinWriteReadMix(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		m := NewFAMaxRegister(w, "max", 2)
+		return []sim.Program{
+			{opWriteMax(m, 1), opReadMax(m)},
+			{opWriteMax(m, 2), opReadMax(m)},
+		}
+	}
+	verifySL(t, 2, setup, spec.MaxRegister{})
+}
+
+func TestFAMaxRegisterStrongLinNoopWrites(t *testing.T) {
+	// Smaller-than-previous writes exercise the fetch&add(R,0) path.
+	setup := func(w *sim.World) []sim.Program {
+		m := NewFAMaxRegister(w, "max", 2)
+		return []sim.Program{
+			{opWriteMax(m, 3), opWriteMax(m, 1)},
+			{opReadMax(m), opReadMax(m)},
+		}
+	}
+	verifySL(t, 2, setup, spec.MaxRegister{})
+}
+
+// E-ABL1: dropping the fetch&add(R,0) on no-op writes keeps the object
+// correct — the paper notes the step is only there to fix linearization
+// points. Both variants must pass on the same configuration.
+func TestMaxRegisterAblationNoFA0(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		m := NewFAMaxRegister(w, "max", 2, WithoutNoopFA())
+		return []sim.Program{
+			{opWriteMax(m, 3), opWriteMax(m, 1)},
+			{opReadMax(m), opReadMax(m)},
+		}
+	}
+	verifySL(t, 2, setup, spec.MaxRegister{})
+}
+
+func TestFAMaxRegisterWidthGrowth(t *testing.T) {
+	// E-WIDTH: the unary interleaved representation costs n bits per unit of
+	// value — writing K as process i of n makes R at least K*n bits wide.
+	w := sim.NewSoloWorld()
+	const n = 4
+	m := NewFAMaxRegister(w, "max", n)
+	th := sim.SoloThread(2)
+	m.WriteMax(th, 100)
+	width := m.Width(th)
+	if width < 100*n-n || width > 100*n+n {
+		t.Fatalf("width = %d bits, want ≈ %d", width, 100*n)
+	}
+}
+
+func TestFAMaxRegisterRealWorldStress(t *testing.T) {
+	w := prim.NewRealWorld()
+	const procs = 4
+	m := NewFAMaxRegister(w, "max", procs)
+	rngs := make([]*rand.Rand, procs)
+	for p := range rngs {
+		rngs[p] = rand.New(rand.NewSource(int64(p) + 1))
+	}
+	h := history.Stress(history.StressConfig{
+		Procs:      procs,
+		OpsPerProc: 30,
+		Gen: func(p, i int) history.StressOp {
+			if rngs[p].Intn(2) == 0 {
+				v := int64(rngs[p].Intn(20))
+				return history.StressOp{
+					Op: spec.MkOp(spec.MethodWriteMax, v),
+					Run: func(t prim.Thread) string {
+						m.WriteMax(t, v)
+						return spec.RespOK
+					},
+				}
+			}
+			return history.StressOp{
+				Op:  spec.MkOp(spec.MethodReadMax),
+				Run: func(t prim.Thread) string { return spec.RespInt(m.ReadMax(t)) },
+			}
+		},
+	})
+	if res := history.CheckLinearizable(h, spec.MaxRegister{}); !res.Ok {
+		t.Fatalf("stress history not linearizable: %s", h.String())
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"strconv"
+	"sync"
+
+	"stronglin/internal/prim"
+)
+
+// MultiShotTAS is the wait-free strongly-linearizable readable multi-shot
+// test&set of Theorem 6, from readable test&set and max register base
+// objects.
+//
+// The processes share a max register curr and an infinite array TS of
+// readable test&set objects. test&set() and read() forward to
+// TS[curr.readMax()]; reset() reads c = curr.readMax(), reads TS[c], and —
+// only if that read returned 1 — performs curr.writeMax(c+1), logically
+// resetting the object.
+//
+// (The paper initialises curr to 1; we index from 0, which is the same
+// object modulo renaming of the TS entries.)
+//
+// Strong linearizability (paper proof sketch): the object's state is that of
+// TS[v] for the current value v of curr; the first curr.writeMax(v+1) — the
+// event e — linearizes, in order: the test&set/read operations that read v
+// from curr but had not yet accessed TS[v] (they will all obtain 1), the
+// reset e belongs to, and the remaining reset operations that read v.
+//
+// Instantiating the base objects with Theorems 1 and 5 gives Corollary 7
+// (wait-free, from test&set and fetch&add); a lock-free register-based max
+// register gives Corollary 8 (lock-free, from test&set alone).
+type MultiShotTAS struct {
+	curr prim.MaxReg
+	ts   func(i int) prim.ReadableTAS
+}
+
+// NewMultiShotTAS builds the construction from explicit base objects: the
+// max register curr and the infinite readable-test&set array ts.
+func NewMultiShotTAS(curr prim.MaxReg, ts func(i int) prim.ReadableTAS) *MultiShotTAS {
+	return &MultiShotTAS{curr: curr, ts: ts}
+}
+
+// NewMultiShotTASAtomic builds the construction over atomic base objects
+// allocated from w (Theorem 6 exactly as stated: atomic readable test&set
+// and atomic max register).
+func NewMultiShotTASAtomic(w prim.World, name string) *MultiShotTAS {
+	arr := prim.NewTASArray(w, name+".TS")
+	return &MultiShotTAS{
+		curr: w.MaxReg(name+".curr", 0),
+		ts:   func(i int) prim.ReadableTAS { return arr.Get(i) },
+	}
+}
+
+// NewMultiShotTASFromPrimitives builds Corollary 7's composition for n
+// processes: the max register is Theorem 1's fetch&add construction and each
+// TS entry is Theorem 5's readable test&set from a plain test&set.
+func NewMultiShotTASFromPrimitives(w prim.World, name string, n int) *MultiShotTAS {
+	arr := &lazyTAS{w: w, name: name + ".TS"}
+	return &MultiShotTAS{
+		curr: NewFAMaxRegister(w, name+".curr", n),
+		ts:   arr.get,
+	}
+}
+
+// lazyTAS lazily allocates Theorem 5 readable test&set instances, mirroring
+// prim.TASArray for composed objects.
+type lazyTAS struct {
+	mu   sync.Mutex
+	w    prim.World
+	name string
+	objs map[int]*ReadableTAS
+}
+
+func (l *lazyTAS) get(i int) prim.ReadableTAS {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.objs == nil {
+		l.objs = make(map[int]*ReadableTAS)
+	}
+	if o, ok := l.objs[i]; ok {
+		return o
+	}
+	o := NewReadableTAS(l.w, l.name+"["+strconv.Itoa(i)+"]")
+	l.objs[i] = o
+	return o
+}
+
+// TestAndSet applies test&set to the current epoch's object.
+func (m *MultiShotTAS) TestAndSet(t prim.Thread) int64 {
+	return m.ts(int(m.curr.ReadMax(t))).TestAndSet(t)
+}
+
+// Read returns the current state (0 or 1).
+func (m *MultiShotTAS) Read(t prim.Thread) int64 {
+	return m.ts(int(m.curr.ReadMax(t))).Read(t)
+}
+
+// Reset returns the object to state 0 (a no-op when it already is 0).
+func (m *MultiShotTAS) Reset(t prim.Thread) {
+	c := m.curr.ReadMax(t)
+	if m.ts(int(c)).Read(t) == 1 {
+		m.curr.WriteMax(t, c+1)
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"strconv"
+
+	"stronglin/internal/prim"
+)
+
+// mustParseInt converts canonical integer responses back to int64.
+func mustParseInt(s string) int64 {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		panic("core: non-integer canonical response " + strconv.Quote(s))
+	}
+	return v
+}
+
+// ReadableTAS is the wait-free strongly-linearizable readable test&set from
+// a plain (non-readable) test&set of Theorem 5.
+//
+// The processes share a read/write register state (initially 0) and one
+// n-process test&set object ts. Read returns state. TestAndSet performs
+// ts.test&set(), then writes 1 to state, then returns the value obtained
+// from ts.
+//
+// Strong linearizability (paper proof sketch): state holds the object's
+// state at all times; when it first changes from 0 to 1 — the write step e —
+// the winning test&set (the one that got 0 from ts) linearizes at e,
+// followed by every test&set operation that had already accessed ts; all
+// other test&set operations linearize at their ts access, and reads at their
+// read of state.
+type ReadableTAS struct {
+	state prim.Register
+	ts    prim.TAS
+}
+
+var _ prim.ReadableTAS = (*ReadableTAS)(nil)
+
+// NewReadableTAS allocates the construction: a register named name+".state"
+// and a test&set named name+".ts". The base test&set is used through the
+// non-readable prim.TAS interface, matching the theorem's hypothesis.
+func NewReadableTAS(w prim.World, name string) *ReadableTAS {
+	return &ReadableTAS{
+		state: w.Register(name+".state", 0),
+		ts:    w.TAS(name + ".ts"),
+	}
+}
+
+// TestAndSet wins (returns 0) for exactly one caller.
+func (r *ReadableTAS) TestAndSet(t prim.Thread) int64 {
+	v := r.ts.TestAndSet(t)
+	r.state.Write(t, 1)
+	return v
+}
+
+// Read returns the object's current state without modifying it.
+func (r *ReadableTAS) Read(t prim.Thread) int64 {
+	return r.state.Read(t)
+}

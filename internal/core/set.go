@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"stronglin/internal/prim"
+	"stronglin/internal/spec"
+)
+
+// TASSet is Algorithm 2: the lock-free strongly-linearizable set from
+// test&set of Theorem 10.
+//
+// Base objects: an infinite array Items of read/write registers (initially
+// ⊥), an infinite array TS of test&set objects, and one readable
+// fetch&increment object Max (initially 1).
+//
+//	Put(x):  m := Max.fetch&increment(); Items[m].write(x); return OK
+//	Take():  repeatedly scan Items[1..Max.read()-1]; claim the first
+//	         unclaimed item via TS[c].test&set(); return EMPTY once two
+//	         consecutive scans observe the same Max and the same number of
+//	         claimed slots.
+//
+// The set contains x iff Items[i] = x for some 1 <= i <= Max-1 with
+// TS[i] = 0. Puts linearize at their Items write; takes that return an item
+// linearize when they obtain 0 from TS; takes that return EMPTY linearize at
+// their last read of Max (the paper's Theorem 10). Items must be positive
+// (0 encodes ⊥), and — as the paper assumes — each item is put at most once;
+// otherwise the object implements a multiset.
+//
+// The implementation is lock-free: a take can fail to terminate only while
+// infinitely many puts and takes complete.
+type TASSet struct {
+	items *prim.RegisterArray
+	ts    *prim.TASArray
+	max   FetchIncAPI
+}
+
+// NewTASSet builds the construction over an explicit readable
+// fetch&increment (for Theorem 10's statement, an atomic one; for the full
+// composition, Theorem 9's).
+func NewTASSet(w prim.World, name string, max FetchIncAPI) *TASSet {
+	return &TASSet{
+		items: prim.NewRegisterArray(w, name+".Items", bottom),
+		ts:    prim.NewTASArray(w, name+".TS"),
+		max:   max,
+	}
+}
+
+// NewTASSetAtomic builds the construction over an atomic fetch&increment
+// (modelled by Theorem 9's object over atomic readable test&set objects,
+// which the theorem allows as base objects).
+func NewTASSetAtomic(w prim.World, name string) *TASSet {
+	return NewTASSet(w, name, NewFetchIncAtomic(w, name+".Max"))
+}
+
+// NewTASSetFromTAS builds Theorem 10's full composition: the
+// fetch&increment is Theorem 9's construction over Theorem 5's readable
+// test&sets, so the whole set uses only test&set objects and registers.
+func NewTASSetFromTAS(w prim.World, name string) *TASSet {
+	return NewTASSet(w, name, NewFetchIncFromTAS(w, name+".Max"))
+}
+
+// bottom is the ⊥ value of Items entries.
+const bottom = 0
+
+// Put adds x (> 0) to the set and returns spec.RespOK.
+func (s *TASSet) Put(t prim.Thread, x int64) string {
+	if x <= 0 {
+		panic(fmt.Sprintf("core: TASSet.Put(%d): items must be positive (0 encodes the empty slot)", x))
+	}
+	m := s.max.FetchIncrement(t)
+	s.items.Get(int(m)).Write(t, x)
+	return spec.RespOK
+}
+
+// Take removes and returns some item, or returns spec.RespEmpty.
+func (s *TASSet) Take(t prim.Thread) string {
+	takenOld, maxOld := 0, 0
+	for {
+		takenNew := 0
+		maxNew := int(s.max.Read(t)) - 1
+		for c := 1; c <= maxNew; c++ {
+			x := s.items.Get(c).Read(t)
+			if x == bottom {
+				continue
+			}
+			if s.ts.Get(c).TestAndSet(t) == 0 {
+				return spec.RespInt(x)
+			}
+			takenNew++
+		}
+		if takenNew == takenOld && maxNew == maxOld {
+			return spec.RespEmpty
+		}
+		takenOld, maxOld = takenNew, maxNew
+	}
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"stronglin/internal/prim"
+	"stronglin/internal/spec"
+)
+
+// SimpleType describes an object whose every pair of operations either
+// commutes or one overwrites the other, with respect to the object state
+// (Aspnes–Herlihy; "simple types" in Ovens–Woelfel and Section 3.3 of the
+// paper). The sequential specification must be deterministic.
+//
+// The relations are response-inclusive, as in Aspnes–Herlihy:
+//
+//   - Commutes(a, b): for every state s, applying a then b yields the same
+//     state as applying b then a, and each operation's response is the same
+//     in both orders.
+//   - Overwrites(a, b): for every state s, applying b then a yields the same
+//     state and the same response for a as applying a alone.
+//
+// Response-inclusiveness matters: a "tick" that returned the new clock value
+// would commute state-wise but not response-wise, and Algorithm 1 cannot
+// implement it (two concurrent ticks would both compute the same value);
+// the strong-linearizability model checker exposes exactly this failure.
+// Package tests validate the declared relations against the specification
+// by randomised state exploration, and require that every operation pair
+// commutes or overwrites in at least one direction.
+type SimpleType interface {
+	spec.Spec
+	Commutes(a, b spec.Op) bool
+	Overwrites(a, b spec.Op) bool
+}
+
+// SimpleObject is Algorithm 1: the wait-free linearizable implementation of
+// any simple type from one atomic snapshot (Aspnes–Herlihy), which is
+// strongly linearizable when the snapshot is (Ovens–Woelfel; Theorem 3 gives
+// the paper's forward-simulation proof). Substituting the fetch&add snapshot
+// of Theorem 2 yields Theorem 4.
+//
+// Every operation: scans the snapshot root, traverses the operation graph
+// reachable from the view, linearizes it with lingraph (topological sort
+// refined by the dominance relation), computes its response by running the
+// specification along that linearization, records itself as a new graph node
+// whose preceding pointers are the view, and publishes the node by updating
+// its snapshot component.
+type SimpleObject struct {
+	typ  SimpleType
+	snap SnapshotAPI
+	n    int
+
+	// arena maps node references (published through the snapshot as int64
+	// component values) to nodes. It is Go-heap plumbing for the paper's
+	// "pointers to nodes", not a shared base object: references are only
+	// looked up after being obtained from a snapshot scan, which provides
+	// the required happens-before edge; the lock protects the map structure
+	// itself.
+	mu      sync.RWMutex
+	arena   map[int64]*graphNode
+	nextRef int64
+}
+
+// graphNode is Algorithm 1's node struct: an invocation with its response
+// and the per-process preceding pointers.
+type graphNode struct {
+	ref       int64
+	pid       int
+	op        spec.Op
+	resp      string
+	preceding []int64 // snapshot view at invocation; 0 is the null reference
+}
+
+// NewSimpleObject builds the construction over the given snapshot for n
+// processes.
+func NewSimpleObject(typ SimpleType, snap SnapshotAPI, n int) *SimpleObject {
+	return &SimpleObject{
+		typ:   typ,
+		snap:  snap,
+		n:     n,
+		arena: make(map[int64]*graphNode),
+	}
+}
+
+// NewSimpleObjectFromFA builds the construction over a fresh fetch&add
+// snapshot (Theorem 4's composition).
+func NewSimpleObjectFromFA(w prim.World, name string, typ SimpleType, n int) *SimpleObject {
+	return NewSimpleObject(typ, NewFASnapshot(w, name+".snap", n), n)
+}
+
+// Execute runs one high-level operation on behalf of t and returns its
+// response (procedure execute_p of Algorithm 1).
+func (o *SimpleObject) Execute(t prim.Thread, invoke spec.Op) string {
+	view := o.snap.Scan(t)                                  // line 12
+	graph := o.collect(view)                                // line 13: BFS from the view
+	seq := o.linearize(graph)                               // line 14: sort of lingraph(G)
+	resp := o.respond(seq, invoke)                          // lines 17-19
+	node := &graphNode{pid: t.ID(), op: invoke, resp: resp} // lines 15-16
+	node.preceding = make([]int64, o.n)                     // lines 20-21
+	copy(node.preceding, view)
+	o.publish(node)
+	o.snap.Update(t, node.ref) // line 22
+	return resp                // line 23
+}
+
+func (o *SimpleObject) publish(n *graphNode) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.nextRef++
+	n.ref = o.nextRef
+	o.arena[n.ref] = n
+}
+
+func (o *SimpleObject) lookup(ref int64) *graphNode {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.arena[ref]
+}
+
+// collect returns all nodes reachable from the view through preceding
+// pointers.
+func (o *SimpleObject) collect(view []int64) map[int64]*graphNode {
+	out := make(map[int64]*graphNode)
+	var stack []int64
+	for _, ref := range view {
+		if ref != 0 {
+			stack = append(stack, ref)
+		}
+	}
+	for len(stack) > 0 {
+		ref := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if _, seen := out[ref]; seen {
+			continue
+		}
+		n := o.lookup(ref)
+		out[ref] = n
+		for _, p := range n.preceding {
+			if p != 0 {
+				if _, seen := out[p]; !seen {
+					stack = append(stack, p)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// dominated reports whether a is dominated by b: b overwrites a but not
+// vice versa, or they overwrite each other and a's process id is smaller
+// (the tie-break of Theorem 3's proof). Dominated operations are linearized
+// earlier.
+func (o *SimpleObject) dominated(a, b *graphNode) bool {
+	ba := o.typ.Overwrites(b.op, a.op)
+	ab := o.typ.Overwrites(a.op, b.op)
+	switch {
+	case ba && !ab:
+		return true
+	case ba && ab:
+		return a.pid < b.pid
+	default:
+		return false
+	}
+}
+
+// linearize is procedure lingraph followed by the final topological sort
+// (lines 1-10 and 14). All sorts break ties by node reference, which makes
+// the construction deterministic — a requirement for replay-based model
+// checking and irrelevant to correctness.
+func (o *SimpleObject) linearize(graph map[int64]*graphNode) []*graphNode {
+	refs := make([]int64, 0, len(graph))
+	for ref := range graph {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i] < refs[j] })
+
+	index := make(map[int64]int, len(refs))
+	for i, ref := range refs {
+		index[ref] = i
+	}
+
+	// Real-time edges: preceding[i] -> node, for every reachable node.
+	k := len(refs)
+	adj := make([][]bool, k)
+	for i := range adj {
+		adj[i] = make([]bool, k)
+	}
+	for i, ref := range refs {
+		for _, p := range graph[ref].preceding {
+			if p != 0 {
+				if j, ok := index[p]; ok {
+					adj[j][i] = true
+				}
+			}
+		}
+	}
+
+	order := topoSort(adj, k) // line 2: initial topological sort
+
+	// Lines 4-9: refine with dominance edges that do not close a cycle.
+	for x := 0; x < k-1; x++ {
+		for y := x + 1; y < k; y++ {
+			i, j := order[x], order[y]
+			ni, nj := graph[refs[i]], graph[refs[j]]
+			if o.dominated(nj, ni) && !reachable(adj, i, j) {
+				adj[j][i] = true // op_j before op_i
+			} else if o.dominated(ni, nj) && !reachable(adj, j, i) {
+				adj[i][j] = true
+			}
+		}
+	}
+
+	final := topoSort(adj, k)
+	out := make([]*graphNode, k)
+	for pos, i := range final {
+		out[pos] = graph[refs[i]]
+	}
+	return out
+}
+
+// respond runs the specification along the linearization and applies invoke
+// (lines 17-19: the response making S ∘ inv ∘ rsp valid).
+func (o *SimpleObject) respond(seq []*graphNode, invoke spec.Op) string {
+	st := o.typ.Init(o.n)
+	for _, n := range seq {
+		outs := st.Steps(n.op)
+		if len(outs) != 1 {
+			panic("core: simple types require deterministic specifications")
+		}
+		st = outs[0].Next
+	}
+	outs := st.Steps(invoke)
+	if len(outs) != 1 {
+		panic("core: simple types require deterministic specifications")
+	}
+	return outs[0].Resp
+}
+
+// topoSort returns a deterministic topological order (Kahn's algorithm,
+// smallest index first).
+func topoSort(adj [][]bool, k int) []int {
+	indeg := make([]int, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if adj[i][j] {
+				indeg[j]++
+			}
+		}
+	}
+	out := make([]int, 0, k)
+	used := make([]bool, k)
+	for len(out) < k {
+		pick := -1
+		for i := 0; i < k; i++ {
+			if !used[i] && indeg[i] == 0 {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			panic("core: lingraph produced a cyclic order")
+		}
+		used[pick] = true
+		out = append(out, pick)
+		for j := 0; j < k; j++ {
+			if adj[pick][j] {
+				indeg[j]--
+			}
+		}
+	}
+	return out
+}
+
+// reachable reports whether j is reachable from i in adj (used for the
+// does-not-complete-a-cycle checks of lines 6 and 8: adding j->i is safe iff
+// i cannot already reach j).
+func reachable(adj [][]bool, i, j int) bool {
+	if i == j {
+		return true
+	}
+	k := len(adj)
+	seen := make([]bool, k)
+	stack := []int{i}
+	seen[i] = true
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for next := 0; next < k; next++ {
+			if adj[cur][next] && !seen[next] {
+				if next == j {
+					return true
+				}
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"stronglin/internal/prim"
+	"stronglin/internal/spec"
+)
+
+// The simple-type instances below declare the commute/overwrite structure of
+// the paper's Section 3.3 examples ("max registers", "counters, logical
+// clocks and certain set objects"), plus the plain read/write register whose
+// writes mutually overwrite. The declared relations are validated against
+// the sequential specifications by property tests.
+
+// SimpleCounter is the counter simple type (inc, dec, read).
+type SimpleCounter struct{ spec.Counter }
+
+// Commutes implements SimpleType: mutators commute with mutators and reads
+// with reads; a read's response depends on its order relative to a mutator,
+// so mixed pairs do not commute — the mutator overwrites the read instead.
+func (SimpleCounter) Commutes(a, b spec.Op) bool {
+	return (a.Method == spec.MethodRead) == (b.Method == spec.MethodRead)
+}
+
+// Overwrites implements SimpleType: reads are overwritten by everything.
+func (SimpleCounter) Overwrites(a, b spec.Op) bool { return b.Method == spec.MethodRead }
+
+// SimpleMonotonicCounter is the monotonic counter simple type (inc, read).
+type SimpleMonotonicCounter struct{ spec.MonotonicCounter }
+
+// Commutes implements SimpleType.
+func (SimpleMonotonicCounter) Commutes(a, b spec.Op) bool {
+	return (a.Method == spec.MethodRead) == (b.Method == spec.MethodRead)
+}
+
+// Overwrites implements SimpleType.
+func (SimpleMonotonicCounter) Overwrites(a, b spec.Op) bool { return b.Method == spec.MethodRead }
+
+// SimpleLogicalClock is the logical clock simple type (tick, read).
+type SimpleLogicalClock struct{ spec.LogicalClock }
+
+// Commutes implements SimpleType.
+func (SimpleLogicalClock) Commutes(a, b spec.Op) bool {
+	return (a.Method == spec.MethodRead) == (b.Method == spec.MethodRead)
+}
+
+// Overwrites implements SimpleType.
+func (SimpleLogicalClock) Overwrites(a, b spec.Op) bool { return b.Method == spec.MethodRead }
+
+// SimpleMaxRegister is the max register simple type (wmax, rmax).
+type SimpleMaxRegister struct{ spec.MaxRegister }
+
+// Commutes implements SimpleType: writes commute with writes (max is
+// commutative and their responses are fixed), reads with reads.
+func (SimpleMaxRegister) Commutes(a, b spec.Op) bool {
+	return (a.Method == spec.MethodReadMax) == (b.Method == spec.MethodReadMax)
+}
+
+// Overwrites implements SimpleType: WriteMax(v1) overwrites WriteMax(v2)
+// when v1 >= v2 (the paper's example); everything overwrites a read.
+func (SimpleMaxRegister) Overwrites(a, b spec.Op) bool {
+	if b.Method == spec.MethodReadMax {
+		return true
+	}
+	if a.Method == spec.MethodWriteMax && b.Method == spec.MethodWriteMax {
+		return a.Args[0] >= b.Args[0]
+	}
+	return false
+}
+
+// SimpleGSet is the grow-only set simple type (add, has).
+type SimpleGSet struct{ spec.GSet }
+
+// Commutes implements SimpleType: adds commute with adds, queries with
+// queries, and an add commutes with a query about a different element.
+func (SimpleGSet) Commutes(a, b spec.Op) bool {
+	if (a.Method == spec.MethodHas) == (b.Method == spec.MethodHas) {
+		return true
+	}
+	return a.Args[0] != b.Args[0]
+}
+
+// Overwrites implements SimpleType: membership queries are overwritten by
+// everything; duplicate adds overwrite each other.
+func (SimpleGSet) Overwrites(a, b spec.Op) bool {
+	if b.Method == spec.MethodHas {
+		return true
+	}
+	if a.Method == spec.MethodAdd && b.Method == spec.MethodAdd {
+		return a.Args[0] == b.Args[0]
+	}
+	return false
+}
+
+// SimpleRegister is the read/write register simple type (write, read); its
+// writes mutually overwrite, exercising the pid tie-break of the dominance
+// relation.
+type SimpleRegister struct{ spec.RWRegister }
+
+// Commutes implements SimpleType: reads commute with reads; writes commute
+// only with writes of the same value.
+func (SimpleRegister) Commutes(a, b spec.Op) bool {
+	if a.Method == spec.MethodWrite && b.Method == spec.MethodWrite {
+		return a.Args[0] == b.Args[0]
+	}
+	return a.Method == spec.MethodRead && b.Method == spec.MethodRead
+}
+
+// Overwrites implements SimpleType: a write overwrites anything; anything
+// overwrites a read.
+func (SimpleRegister) Overwrites(a, b spec.Op) bool {
+	return a.Method == spec.MethodWrite || b.Method == spec.MethodRead
+}
+
+// --- Typed front-ends -------------------------------------------------------
+
+// Counter is a wait-free strongly-linearizable counter built from Algorithm
+// 1 over a snapshot (Theorems 3/4).
+type Counter struct{ obj *SimpleObject }
+
+// NewCounter builds a counter over the given snapshot.
+func NewCounter(snap SnapshotAPI, n int) *Counter {
+	return &Counter{obj: NewSimpleObject(SimpleCounter{}, snap, n)}
+}
+
+// NewCounterFromFA builds a counter over a fresh fetch&add snapshot.
+func NewCounterFromFA(w prim.World, name string, n int) *Counter {
+	return &Counter{obj: NewSimpleObjectFromFA(w, name, SimpleCounter{}, n)}
+}
+
+// Inc increments the counter.
+func (c *Counter) Inc(t prim.Thread) { c.obj.Execute(t, spec.MkOp(spec.MethodInc)) }
+
+// Dec decrements the counter.
+func (c *Counter) Dec(t prim.Thread) { c.obj.Execute(t, spec.MkOp(spec.MethodDec)) }
+
+// Read returns the counter value.
+func (c *Counter) Read(t prim.Thread) int64 {
+	return mustParseInt(c.obj.Execute(t, spec.MkOp(spec.MethodRead)))
+}
+
+// LogicalClock is a wait-free strongly-linearizable logical clock built from
+// Algorithm 1 over a snapshot.
+type LogicalClock struct{ obj *SimpleObject }
+
+// NewLogicalClockFromFA builds a logical clock over a fresh fetch&add
+// snapshot.
+func NewLogicalClockFromFA(w prim.World, name string, n int) *LogicalClock {
+	return &LogicalClock{obj: NewSimpleObjectFromFA(w, name, SimpleLogicalClock{}, n)}
+}
+
+// Tick advances the clock.
+func (c *LogicalClock) Tick(t prim.Thread) { c.obj.Execute(t, spec.MkOp(spec.MethodTick)) }
+
+// Read returns the current time.
+func (c *LogicalClock) Read(t prim.Thread) int64 {
+	return mustParseInt(c.obj.Execute(t, spec.MkOp(spec.MethodRead)))
+}
+
+// GSet is a wait-free strongly-linearizable grow-only set built from
+// Algorithm 1 over a snapshot.
+type GSet struct{ obj *SimpleObject }
+
+// NewGSetFromFA builds a grow-only set over a fresh fetch&add snapshot.
+func NewGSetFromFA(w prim.World, name string, n int) *GSet {
+	return &GSet{obj: NewSimpleObjectFromFA(w, name, SimpleGSet{}, n)}
+}
+
+// Add inserts x.
+func (s *GSet) Add(t prim.Thread, x int64) { s.obj.Execute(t, spec.MkOp(spec.MethodAdd, x)) }
+
+// Has reports membership of x.
+func (s *GSet) Has(t prim.Thread, x int64) bool {
+	return s.obj.Execute(t, spec.MkOp(spec.MethodHas, x)) == "1"
+}

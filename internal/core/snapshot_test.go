@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"stronglin/internal/history"
+	"stronglin/internal/prim"
+	"stronglin/internal/sim"
+	"stronglin/internal/spec"
+)
+
+func TestFASnapshotSequential(t *testing.T) {
+	w := sim.NewSoloWorld()
+	s := NewFASnapshot(w, "snap", 3)
+	if got := spec.RespVec(s.Scan(sim.SoloThread(0))); got != "[0 0 0]" {
+		t.Fatalf("initial scan = %s", got)
+	}
+	s.Update(sim.SoloThread(1), 7)
+	s.Update(sim.SoloThread(0), 3)
+	if got := spec.RespVec(s.Scan(sim.SoloThread(2))); got != "[3 7 0]" {
+		t.Fatalf("scan = %s", got)
+	}
+	// Overwrite with a smaller value (exercises negAdj).
+	s.Update(sim.SoloThread(1), 1)
+	if got := spec.RespVec(s.Scan(sim.SoloThread(2))); got != "[3 1 0]" {
+		t.Fatalf("scan = %s", got)
+	}
+	// Same-value update (fetch&add(0) path).
+	s.Update(sim.SoloThread(1), 1)
+	if got := spec.RespVec(s.Scan(sim.SoloThread(2))); got != "[3 1 0]" {
+		t.Fatalf("scan = %s", got)
+	}
+	// Update to zero clears the lane.
+	s.Update(sim.SoloThread(0), 0)
+	if got := spec.RespVec(s.Scan(sim.SoloThread(2))); got != "[0 1 0]" {
+		t.Fatalf("scan = %s", got)
+	}
+}
+
+func TestFASnapshotRejectsNegative(t *testing.T) {
+	w := sim.NewSoloWorld()
+	s := NewFASnapshot(w, "snap", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative update did not panic")
+		}
+	}()
+	s.Update(sim.SoloThread(0), -2)
+}
+
+// E-T2: Theorem 2 — strong linearizability on every interleaving.
+func TestFASnapshotStrongLinTwoUpdatersOneScanner(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		s := NewFASnapshot(w, "snap", 3)
+		return []sim.Program{
+			{opUpdate(s, 0, 1)},
+			{opUpdate(s, 1, 2)},
+			{opScan(s), opScan(s)},
+		}
+	}
+	verifySL(t, 3, setup, spec.Snapshot{})
+}
+
+func TestFASnapshotStrongLinOverwrites(t *testing.T) {
+	// The same component written twice, concurrent with scans: exercises
+	// posAdj/negAdj deltas under contention.
+	setup := func(w *sim.World) []sim.Program {
+		s := NewFASnapshot(w, "snap", 2)
+		return []sim.Program{
+			{opUpdate(s, 0, 3), opUpdate(s, 0, 1)},
+			{opScan(s), opScan(s)},
+		}
+	}
+	verifySL(t, 2, setup, spec.Snapshot{})
+}
+
+func TestFASnapshotStrongLinSameValueUpdate(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		s := NewFASnapshot(w, "snap", 2)
+		return []sim.Program{
+			{opUpdate(s, 0, 2), opUpdate(s, 0, 2)},
+			{opScan(s), opScan(s)},
+		}
+	}
+	verifySL(t, 2, setup, spec.Snapshot{})
+}
+
+func TestFASnapshotRealWorldStress(t *testing.T) {
+	w := prim.NewRealWorld()
+	const procs = 4
+	s := NewFASnapshot(w, "snap", procs)
+	rngs := make([]*rand.Rand, procs)
+	for p := range rngs {
+		rngs[p] = rand.New(rand.NewSource(int64(p) + 11))
+	}
+	h := history.Stress(history.StressConfig{
+		Procs:      procs,
+		OpsPerProc: 25,
+		Gen: func(p, i int) history.StressOp {
+			if rngs[p].Intn(2) == 0 {
+				v := int64(rngs[p].Intn(8))
+				return history.StressOp{
+					Op: spec.MkOp(spec.MethodUpdate, int64(p), v),
+					Run: func(t prim.Thread) string {
+						s.Update(t, v)
+						return spec.RespOK
+					},
+				}
+			}
+			return history.StressOp{
+				Op:  spec.MkOp(spec.MethodScan),
+				Run: func(t prim.Thread) string { return spec.RespVec(s.Scan(t)) },
+			}
+		},
+	})
+	if res := history.CheckLinearizable(h, spec.Snapshot{}); !res.Ok {
+		t.Fatalf("stress history not linearizable: %s", h.String())
+	}
+}
+
+func TestFASnapshotWidth(t *testing.T) {
+	w := sim.NewSoloWorld()
+	s := NewFASnapshot(w, "snap", 4)
+	th := sim.SoloThread(3)
+	s.Update(th, 1<<20)
+	// Binary lane encoding: value 2^20 needs 21 lane bits, spread over 4
+	// lanes → roughly 21*4 bits.
+	width := s.Width(th)
+	if width < 80 || width > 88 {
+		t.Fatalf("width = %d, want ≈ 84", width)
+	}
+}

@@ -1,0 +1,100 @@
+package history
+
+import (
+	"fmt"
+	"sync"
+
+	"stronglin/internal/prim"
+	"stronglin/internal/sim"
+	"stronglin/internal/spec"
+)
+
+// Verdict is the combined result of verifying one bounded configuration.
+type Verdict struct {
+	// Linearizable reports that every complete execution (leaf history) of
+	// the tree is linearizable.
+	Linearizable bool
+	// LinViolation is a failing leaf history when !Linearizable.
+	LinViolation string
+	// StrongLin is the game checker's result on the full tree.
+	StrongLin StrongLinResult
+	// Nodes and Leaves describe the explored tree.
+	Nodes, Leaves int
+}
+
+// OK reports whether the configuration is both linearizable and strongly
+// linearizable.
+func (v Verdict) OK() bool { return v.Linearizable && v.StrongLin.Ok }
+
+// Verify explores every interleaving of the configuration and checks (a)
+// linearizability of every complete execution and (b) strong linearizability
+// of the whole tree. It is the workhorse behind the per-theorem experiments:
+// the paper's positive results must yield OK verdicts, the cited
+// linearizable-but-not-strongly-linearizable baselines must yield
+// Linearizable && !StrongLin.Ok.
+func Verify(procs int, setup sim.Setup, sp spec.Spec, eOpts *sim.ExploreOptions, slOpts *StrongLinOptions) (Verdict, error) {
+	tree, err := sim.Explore(procs, setup, eOpts)
+	if err != nil {
+		return Verdict{}, err
+	}
+	if tree.Truncated {
+		return Verdict{}, fmt.Errorf("history: execution tree truncated (%d nodes); shrink the configuration", tree.Nodes)
+	}
+	v := Verdict{Linearizable: true, Nodes: tree.Nodes, Leaves: tree.Leaves}
+	tree.Walk(func(n *sim.Node, trace []sim.Event) bool {
+		if !v.Linearizable {
+			return false
+		}
+		if len(n.Children) == 0 {
+			h := FromEvents(tree.Procs, tree.Ops, trace)
+			if res := CheckLinearizable(h, sp); !res.Ok {
+				v.Linearizable = false
+				v.LinViolation = h.String()
+			}
+		}
+		return true
+	})
+	v.StrongLin = CheckStrongLin(tree, sp, slOpts)
+	if v.StrongLin.Aborted {
+		return v, fmt.Errorf("history: strong-linearizability search aborted after %d states; shrink the configuration", v.StrongLin.States)
+	}
+	return v, nil
+}
+
+// StressOp is one operation issued by the real-world stress harness.
+type StressOp struct {
+	Op  spec.Op
+	Run func(t prim.Thread) string
+}
+
+// StressConfig drives a construction under genuine goroutine concurrency and
+// checks the recorded history for linearizability.
+type StressConfig struct {
+	// Procs is the number of concurrent worker goroutines.
+	Procs int
+	// OpsPerProc is the number of operations each worker issues.
+	OpsPerProc int
+	// Gen returns the i-th operation of worker proc.
+	Gen func(proc, i int) StressOp
+}
+
+// Stress runs the workload and returns the recorded history.
+func Stress(cfg StressConfig) History {
+	rec := NewRecorder(cfg.Procs)
+	var wg sync.WaitGroup
+	for p := 0; p < cfg.Procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			th := prim.RealThread(p)
+			for i := 0; i < cfg.OpsPerProc; i++ {
+				op := cfg.Gen(p, i)
+				h := rec.Invoke(p, op.Op)
+				resp := op.Run(th)
+				rec.Return(h, resp)
+			}
+		}(p)
+	}
+	wg.Wait()
+	return rec.History()
+}

@@ -1,0 +1,181 @@
+// Package history records operation histories and decides linearizability
+// and strong linearizability against the specifications of internal/spec.
+//
+// Two checkers are provided:
+//
+//   - CheckLinearizable: a Wing–Gong/Lowe-style search with memoisation over
+//     a single history (complete or with pending operations), used as the
+//     oracle for large randomized stress runs in the real world.
+//   - CheckStrongLin: a complete game search over an execution tree produced
+//     by sim.Explore. It decides whether a prefix-closed linearization
+//     function exists for the whole tree — the definition of strong
+//     linearizability (Golab, Higham, Woelfel) — by searching for a strategy
+//     that assigns every tree node a linearization extending its parent's.
+//     A refutation is a genuine counterexample; an affirmation is exhaustive
+//     for the bounded configuration explored.
+package history
+
+import (
+	"fmt"
+
+	"strings"
+	"sync"
+
+	"stronglin/internal/sim"
+	"stronglin/internal/spec"
+)
+
+// Pending marks the Return field of an operation that has not returned.
+const Pending = -1
+
+// OpRecord is one operation instance of a history.
+type OpRecord struct {
+	// ID is a dense identifier.
+	ID int
+	// Proc is the invoking process.
+	Proc int
+	// Op is the abstract operation.
+	Op spec.Op
+	// Invoke and Return are event timestamps; Return is Pending for
+	// incomplete operations. An operation A precedes B iff A.Return >= 0 and
+	// A.Return < B.Invoke.
+	Invoke int
+	Return int
+	// Resp is the recorded response (complete operations only).
+	Resp string
+}
+
+// Complete reports whether the operation returned.
+func (o OpRecord) Complete() bool { return o.Return != Pending }
+
+// History is a set of operation records over n processes.
+type History struct {
+	N   int
+	Ops []OpRecord
+}
+
+// Precedes reports whether op a really-precedes op b in the history.
+func (h *History) Precedes(a, b OpRecord) bool {
+	return a.Complete() && a.Return < b.Invoke
+}
+
+// String renders the history for failure messages.
+func (h *History) String() string {
+	var b strings.Builder
+	for _, o := range h.Ops {
+		resp := "?"
+		if o.Complete() {
+			resp = o.Resp
+		}
+		fmt.Fprintf(&b, "p%d:%v@[%d,%d]=%s ", o.Proc, o.Op, o.Invoke, o.Return, resp)
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// FromEvents builds the history of a trace: invocation/return timestamps are
+// event positions.
+func FromEvents(n int, ops []sim.OpInfo, events []sim.Event) History {
+	byID := make(map[int]*OpRecord)
+	var order []int
+	for pos, ev := range events {
+		switch ev.Kind {
+		case sim.EventInvoke:
+			byID[ev.OpID] = &OpRecord{ID: ev.OpID, Proc: ev.Proc, Invoke: pos, Return: Pending}
+			order = append(order, ev.OpID)
+		case sim.EventReturn:
+			if rec, ok := byID[ev.OpID]; ok {
+				rec.Return = pos
+				rec.Resp = ev.Resp
+			}
+		}
+	}
+	specs := make(map[int]spec.Op, len(ops))
+	for _, oi := range ops {
+		specs[oi.ID] = oi.Spec
+	}
+	h := History{N: n}
+	for _, id := range order {
+		rec := byID[id]
+		rec.Op = specs[id]
+		h.Ops = append(h.Ops, *rec)
+	}
+	return h
+}
+
+// FromExecution builds the history of a simulated run.
+func FromExecution(exec *sim.Execution) History {
+	return FromEvents(exec.Procs, exec.Ops, exec.Events)
+}
+
+// Recorder collects a history from a real concurrent run. Timestamps come
+// from a global atomic counter bumped inside each operation's interval, so
+// the recorded precedence order is a sound sub-order of real time.
+type Recorder struct {
+	n  int
+	mu sync.Mutex
+	// clock is protected by mu; a mutex (rather than an atomic) keeps the
+	// stamp and the record append in one critical section.
+	clock int
+	ops   []OpRecord
+}
+
+// NewRecorder returns a recorder for n processes.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{n: n}
+}
+
+// Invoke records an invocation and returns the operation's handle.
+func (r *Recorder) Invoke(proc int, op spec.Op) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := len(r.ops)
+	r.ops = append(r.ops, OpRecord{
+		ID:     id,
+		Proc:   proc,
+		Op:     op,
+		Invoke: r.clock,
+		Return: Pending,
+	})
+	r.clock++
+	return id
+}
+
+// Return records the response of the operation with the given handle.
+func (r *Recorder) Return(handle int, resp string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ops[handle].Return = r.clock
+	r.ops[handle].Resp = resp
+	r.clock++
+}
+
+// History returns a snapshot of the recorded history.
+func (r *Recorder) History() History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := History{N: r.n, Ops: make([]OpRecord, len(r.ops))}
+	copy(out.Ops, r.ops)
+	return out
+}
+
+// bitset is a small set of op IDs.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) with(i int) bitset {
+	out := make(bitset, len(b))
+	copy(out, b)
+	out[i/64] |= 1 << (i % 64)
+	return out
+}
+
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+func (b bitset) key() string {
+	var sb strings.Builder
+	for _, w := range b {
+		fmt.Fprintf(&sb, "%x.", w)
+	}
+	return sb.String()
+}

@@ -1,0 +1,173 @@
+package history
+
+import (
+	"testing"
+
+	"stronglin/internal/prim"
+	"stronglin/internal/sim"
+	"stronglin/internal/spec"
+)
+
+// mkHistory builds a history from (proc, op, invoke, ret, resp) tuples.
+func mkHistory(n int, rows ...OpRecord) History {
+	h := History{N: n}
+	for i := range rows {
+		rows[i].ID = i
+		h.Ops = append(h.Ops, rows[i])
+	}
+	return h
+}
+
+func TestLinearizableSequentialQueue(t *testing.T) {
+	h := mkHistory(1,
+		OpRecord{Proc: 0, Op: spec.MkOp(spec.MethodEnq, 1), Invoke: 0, Return: 1, Resp: "ok"},
+		OpRecord{Proc: 0, Op: spec.MkOp(spec.MethodEnq, 2), Invoke: 2, Return: 3, Resp: "ok"},
+		OpRecord{Proc: 0, Op: spec.MkOp(spec.MethodDeq), Invoke: 4, Return: 5, Resp: "1"},
+	)
+	res := CheckLinearizable(h, spec.Queue{})
+	if !res.Ok {
+		t.Fatalf("sequential FIFO history rejected: %s", h.String())
+	}
+	if len(res.Witness) != 3 {
+		t.Fatalf("witness = %v", res.Witness)
+	}
+}
+
+func TestNotLinearizableWrongFIFOOrder(t *testing.T) {
+	h := mkHistory(1,
+		OpRecord{Proc: 0, Op: spec.MkOp(spec.MethodEnq, 1), Invoke: 0, Return: 1, Resp: "ok"},
+		OpRecord{Proc: 0, Op: spec.MkOp(spec.MethodEnq, 2), Invoke: 2, Return: 3, Resp: "ok"},
+		OpRecord{Proc: 0, Op: spec.MkOp(spec.MethodDeq), Invoke: 4, Return: 5, Resp: "2"},
+	)
+	if res := CheckLinearizable(h, spec.Queue{}); res.Ok {
+		t.Fatal("out-of-order dequeue accepted")
+	}
+}
+
+func TestLinearizableConcurrentOverlap(t *testing.T) {
+	// enq(1) and enq(2) overlap; deq returns 2: legal (linearize enq(2)
+	// first).
+	h := mkHistory(2,
+		OpRecord{Proc: 0, Op: spec.MkOp(spec.MethodEnq, 1), Invoke: 0, Return: 3, Resp: "ok"},
+		OpRecord{Proc: 1, Op: spec.MkOp(spec.MethodEnq, 2), Invoke: 1, Return: 2, Resp: "ok"},
+		OpRecord{Proc: 1, Op: spec.MkOp(spec.MethodDeq), Invoke: 4, Return: 5, Resp: "2"},
+	)
+	if res := CheckLinearizable(h, spec.Queue{}); !res.Ok {
+		t.Fatal("legal overlapping history rejected")
+	}
+}
+
+func TestLinearizablePendingEnqueueJustifiesDequeue(t *testing.T) {
+	// enq(7) is pending but its effect is visible: deq returned 7. The
+	// checker must linearize the pending enqueue.
+	h := mkHistory(2,
+		OpRecord{Proc: 0, Op: spec.MkOp(spec.MethodEnq, 7), Invoke: 0, Return: Pending},
+		OpRecord{Proc: 1, Op: spec.MkOp(spec.MethodDeq), Invoke: 1, Return: 2, Resp: "7"},
+	)
+	if res := CheckLinearizable(h, spec.Queue{}); !res.Ok {
+		t.Fatal("pending-enqueue history rejected")
+	}
+}
+
+func TestNotLinearizableRealTimeOrderViolated(t *testing.T) {
+	// deq returning empty strictly after enq completed: illegal.
+	h := mkHistory(2,
+		OpRecord{Proc: 0, Op: spec.MkOp(spec.MethodEnq, 7), Invoke: 0, Return: 1, Resp: "ok"},
+		OpRecord{Proc: 1, Op: spec.MkOp(spec.MethodDeq), Invoke: 2, Return: 3, Resp: "empty"},
+	)
+	if res := CheckLinearizable(h, spec.Queue{}); res.Ok {
+		t.Fatal("empty dequeue after completed enqueue accepted")
+	}
+}
+
+func TestLinearizableNondeterministicSpec(t *testing.T) {
+	// k-out-of-order queue (k=2) permits dequeuing the second item.
+	h := mkHistory(1,
+		OpRecord{Proc: 0, Op: spec.MkOp(spec.MethodEnq, 1), Invoke: 0, Return: 1, Resp: "ok"},
+		OpRecord{Proc: 0, Op: spec.MkOp(spec.MethodEnq, 2), Invoke: 2, Return: 3, Resp: "ok"},
+		OpRecord{Proc: 0, Op: spec.MkOp(spec.MethodDeq), Invoke: 4, Return: 5, Resp: "2"},
+	)
+	if res := CheckLinearizable(h, spec.OutOfOrderQueue{K: 2}); !res.Ok {
+		t.Fatal("2-out-of-order dequeue rejected")
+	}
+	if res := CheckLinearizable(h, spec.OutOfOrderQueue{K: 1}); res.Ok {
+		t.Fatal("1-out-of-order (FIFO) accepted an out-of-order dequeue")
+	}
+}
+
+func TestLinearizableSnapshotViews(t *testing.T) {
+	// update(0,5) concurrent with scan; scan may see either view.
+	for _, view := range []string{"[0 0]", "[5 0]"} {
+		h := mkHistory(2,
+			OpRecord{Proc: 0, Op: spec.MkOp(spec.MethodUpdate, 0, 5), Invoke: 0, Return: 3, Resp: "ok"},
+			OpRecord{Proc: 1, Op: spec.MkOp(spec.MethodScan), Invoke: 1, Return: 2, Resp: view},
+		)
+		if res := CheckLinearizable(h, spec.Snapshot{}); !res.Ok {
+			t.Fatalf("concurrent scan view %s rejected", view)
+		}
+	}
+	// A view of a never-written value is illegal.
+	h := mkHistory(2,
+		OpRecord{Proc: 0, Op: spec.MkOp(spec.MethodUpdate, 0, 5), Invoke: 0, Return: 3, Resp: "ok"},
+		OpRecord{Proc: 1, Op: spec.MkOp(spec.MethodScan), Invoke: 1, Return: 2, Resp: "[9 0]"},
+	)
+	if res := CheckLinearizable(h, spec.Snapshot{}); res.Ok {
+		t.Fatal("phantom view accepted")
+	}
+}
+
+func TestRecorderProducesCheckableHistory(t *testing.T) {
+	r := NewRecorder(2)
+	h1 := r.Invoke(0, spec.MkOp(spec.MethodEnq, 1))
+	r.Return(h1, "ok")
+	h2 := r.Invoke(1, spec.MkOp(spec.MethodDeq))
+	r.Return(h2, "1")
+	h := r.History()
+	if len(h.Ops) != 2 {
+		t.Fatalf("ops = %d", len(h.Ops))
+	}
+	if !h.Precedes(h.Ops[0], h.Ops[1]) {
+		t.Fatal("recorder lost real-time order")
+	}
+	if res := CheckLinearizable(h, spec.Queue{}); !res.Ok {
+		t.Fatal("recorded history rejected")
+	}
+}
+
+func TestFromExecution(t *testing.T) {
+	exec, err := sim.Run(2, regSetup, []int{0, 0, 0, 0, 1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := FromExecution(exec)
+	if len(h.Ops) != 4 {
+		t.Fatalf("ops = %d, want 4", len(h.Ops))
+	}
+	for _, o := range h.Ops {
+		if !o.Complete() {
+			t.Fatalf("op %d incomplete in complete execution", o.ID)
+		}
+	}
+	// p0's two ops are sequential.
+	if !h.Precedes(h.Ops[0], h.Ops[1]) {
+		t.Fatal("program order lost")
+	}
+}
+
+func regSetup(w *sim.World) []sim.Program {
+	r := w.Register("r", 0)
+	read := sim.Op{
+		Name: "read",
+		Spec: spec.MkOp(spec.MethodRead),
+		Run:  func(t prim.Thread) string { return spec.RespInt(r.Read(t)) },
+	}
+	write := sim.Op{
+		Name: "write",
+		Spec: spec.MkOp("write", 1),
+		Run: func(t prim.Thread) string {
+			r.Write(t, 1)
+			return spec.RespOK
+		},
+	}
+	return []sim.Program{{write, read}, {write, read}}
+}

@@ -1,0 +1,128 @@
+package history
+
+import (
+	"testing"
+
+	"stronglin/internal/prim"
+	"stronglin/internal/sim"
+	"stronglin/internal/spec"
+)
+
+// markedRegisterSetup builds an atomic register whose ops mark their single
+// step as the linearization point.
+func markedRegisterSetup(mark bool) sim.Setup {
+	return func(w *sim.World) []sim.Program {
+		r := w.Register("r", 0)
+		wr := func(v int64) sim.Op {
+			return sim.Op{
+				Name: "write",
+				Spec: spec.MkOp(spec.MethodWrite, v),
+				Run: func(t prim.Thread) string {
+					r.Write(t, v)
+					if mark {
+						w.MarkLinPoint(t)
+					}
+					return spec.RespOK
+				},
+			}
+		}
+		rd := sim.Op{
+			Name: "read",
+			Spec: spec.MkOp(spec.MethodRead),
+			Run: func(t prim.Thread) string {
+				v := r.Read(t)
+				if mark {
+					w.MarkLinPoint(t)
+				}
+				return spec.RespInt(v)
+			},
+		}
+		return []sim.Program{{wr(1), rd}, {wr(2), rd}}
+	}
+}
+
+func TestCertificateAcceptsMarkedAtomicRegister(t *testing.T) {
+	tree, err := sim.Explore(2, markedRegisterSetup(true), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := CheckLinPointCertificate(tree, spec.RWRegister{})
+	if !res.Ok {
+		t.Fatalf("certificate rejected: %s", res.Failure)
+	}
+	if res.Leaves != 70 {
+		t.Fatalf("leaves = %d, want 70", res.Leaves)
+	}
+}
+
+func TestCertificateRequiresMarks(t *testing.T) {
+	tree, err := sim.Explore(2, markedRegisterSetup(false), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := CheckLinPointCertificate(tree, spec.RWRegister{})
+	if res.Ok {
+		t.Fatal("certificate accepted unmarked operations")
+	}
+}
+
+// A deliberately WRONG mark (the read marks a step but reports a stale
+// value) must fail the certificate.
+func TestCertificateRejectsInvalidOrder(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		r := w.Register("r", 0)
+		wr := sim.Op{
+			Name: "write",
+			Spec: spec.MkOp(spec.MethodWrite, 1),
+			Run: func(t prim.Thread) string {
+				r.Write(t, 1)
+				w.MarkLinPoint(t)
+				return spec.RespOK
+			},
+		}
+		badRead := sim.Op{
+			Name: "read",
+			Spec: spec.MkOp(spec.MethodRead),
+			Run: func(t prim.Thread) string {
+				first := r.Read(t)
+				r.Read(t) // second read is marked, but the FIRST value is returned
+				w.MarkLinPoint(t)
+				return spec.RespInt(first)
+			},
+		}
+		return []sim.Program{{wr}, {badRead}}
+	}
+	tree, err := sim.Explore(2, setup, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := CheckLinPointCertificate(tree, spec.RWRegister{})
+	if res.Ok {
+		t.Fatal("certificate accepted a stale-read linearization point")
+	}
+}
+
+func TestCertificateRejectsDoubleMark(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		r := w.Register("r", 0)
+		op := sim.Op{
+			Name: "read",
+			Spec: spec.MkOp(spec.MethodRead),
+			Run: func(t prim.Thread) string {
+				r.Read(t)
+				w.MarkLinPoint(t)
+				v := r.Read(t)
+				w.MarkLinPoint(t)
+				return spec.RespInt(v)
+			},
+		}
+		return []sim.Program{{op}}
+	}
+	tree, err := sim.Explore(1, setup, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := CheckLinPointCertificate(tree, spec.RWRegister{}); res.Ok {
+		t.Fatal("certificate accepted two linearization points on one op")
+	}
+}

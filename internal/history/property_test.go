@@ -1,0 +1,224 @@
+package history
+
+import (
+	"math/rand"
+	"testing"
+
+	"stronglin/internal/prim"
+	"stronglin/internal/sim"
+	"stronglin/internal/spec"
+)
+
+// randomAtomicTree explores a random configuration of an atomic queue (every
+// operation one scheduler step) and returns the tree. Atomic objects are the
+// ground truth: always linearizable and strongly linearizable.
+func randomAtomicTree(t *testing.T, rng *rand.Rand) *sim.Tree {
+	t.Helper()
+	nprocs := 2 + rng.Intn(2)
+	opsPer := 1
+	if nprocs == 2 {
+		opsPer = 1 + rng.Intn(2)
+	}
+	plan := make([][]spec.Op, nprocs)
+	next := int64(1)
+	for p := range plan {
+		for i := 0; i < opsPer; i++ {
+			if rng.Intn(2) == 0 {
+				plan[p] = append(plan[p], spec.MkOp(spec.MethodEnq, next))
+				next++
+			} else {
+				plan[p] = append(plan[p], spec.MkOp(spec.MethodDeq))
+			}
+		}
+	}
+	setup := func(w *sim.World) []sim.Program {
+		items := &[]int64{}
+		tick := w.Register("tick", 0)
+		progs := make([]sim.Program, nprocs)
+		for p := range plan {
+			for _, op := range plan[p] {
+				op := op
+				progs[p] = append(progs[p], sim.Op{
+					Name: op.String(),
+					Spec: op,
+					Run: func(th prim.Thread) string {
+						tick.Write(th, 0) // the single atomic step
+						if op.Method == spec.MethodEnq {
+							*items = append(*items, op.Args[0])
+							return spec.RespOK
+						}
+						if len(*items) == 0 {
+							return spec.RespEmpty
+						}
+						v := (*items)[0]
+						*items = (*items)[1:]
+						return spec.RespInt(v)
+					},
+				})
+			}
+		}
+		return progs
+	}
+	tree, err := sim.Explore(nprocs, setup, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// Property: atomic objects are strongly linearizable and all their leaf
+// histories linearize — on every random configuration.
+func TestPropertyAtomicObjectsAlwaysStronglyLinearizable(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 15; trial++ {
+		tree := randomAtomicTree(t, rng)
+		res := CheckStrongLin(tree, spec.Queue{}, nil)
+		if !res.Ok {
+			t.Fatalf("trial %d: atomic queue refuted: %v", trial, res.Counterexample)
+		}
+		tree.Walk(func(n *sim.Node, trace []sim.Event) bool {
+			if len(n.Children) == 0 {
+				h := FromEvents(tree.Procs, tree.Ops, trace)
+				if lr := CheckLinearizable(h, spec.Queue{}); !lr.Ok {
+					t.Fatalf("trial %d: atomic leaf not linearizable: %s", trial, h.String())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// Property: strong linearizability of a tree implies linearizability of
+// every node's history (not just leaves) — checked on the Theorem 5
+// construction, whose group linearizations make this non-trivial.
+func TestPropertyStrongLinImpliesNodewiseLinearizable(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		state := w.Register("rt.state", 0)
+		ts := w.TAS("rt.ts")
+		tas := sim.Op{
+			Name: "tas",
+			Spec: spec.MkOp(spec.MethodTAS),
+			Run: func(t prim.Thread) string {
+				v := ts.TestAndSet(t)
+				state.Write(t, 1)
+				return spec.RespInt(v)
+			},
+		}
+		read := sim.Op{
+			Name: "read",
+			Spec: spec.MkOp(spec.MethodRead),
+			Run:  func(t prim.Thread) string { return spec.RespInt(state.Read(t)) },
+		}
+		return []sim.Program{{tas}, {tas}, {read}}
+	}
+	tree, err := sim.Explore(3, setup, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := CheckStrongLin(tree, spec.ReadableTAS{}, nil); !res.Ok {
+		t.Fatalf("Theorem 5 inline construction refuted: %v", res.Counterexample)
+	}
+	checked := 0
+	tree.Walk(func(n *sim.Node, trace []sim.Event) bool {
+		h := FromEvents(tree.Procs, tree.Ops, trace)
+		if lr := CheckLinearizable(h, spec.ReadableTAS{}); !lr.Ok {
+			t.Fatalf("node history not linearizable: %s", h.String())
+		}
+		checked++
+		return true
+	})
+	if checked < 100 {
+		t.Fatalf("only %d nodes checked", checked)
+	}
+}
+
+// Property: pruning children can only make strong linearizability easier —
+// if the full tree passes, every schedule-union subtree passes.
+func TestPropertyPrunedSubtreePreservesAcceptance(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		r := w.Register("r", 0)
+		wr := func(v int64) sim.Op {
+			return sim.Op{Name: "w", Spec: spec.MkOp(spec.MethodWrite, v),
+				Run: func(t prim.Thread) string { r.Write(t, v); return spec.RespOK }}
+		}
+		rd := sim.Op{Name: "r", Spec: spec.MkOp(spec.MethodRead),
+			Run: func(t prim.Thread) string { return spec.RespInt(r.Read(t)) }}
+		return []sim.Program{{wr(1), rd}, {wr(2), rd}}
+	}
+	full, err := sim.Explore(2, setup, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := CheckStrongLin(full, spec.RWRegister{}, nil); !res.Ok {
+		t.Fatalf("atomic register tree refuted: %v", res.Counterexample)
+	}
+	pruned, err := sim.TreeFromSchedules(2, setup, [][]int{
+		{0, 0, 0, 0, 1, 1, 1, 1},
+		{1, 1, 1, 1, 0, 0, 0, 0},
+		{0, 0, 1, 1, 0, 0, 1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := CheckStrongLin(pruned, spec.RWRegister{}, nil); !res.Ok {
+		t.Fatalf("pruned subtree refuted while full tree passed: %v", res.Counterexample)
+	}
+}
+
+// Property: the WGL checker is insensitive to the order records appear in
+// the history (it keys on timestamps, not positions).
+func TestPropertyLinearizableInvariantUnderRecordShuffle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := mkHistory(3,
+		OpRecord{Proc: 0, Op: spec.MkOp(spec.MethodEnq, 1), Invoke: 0, Return: 3, Resp: "ok"},
+		OpRecord{Proc: 1, Op: spec.MkOp(spec.MethodEnq, 2), Invoke: 1, Return: 2, Resp: "ok"},
+		OpRecord{Proc: 2, Op: spec.MkOp(spec.MethodDeq), Invoke: 4, Return: 5, Resp: "2"},
+		OpRecord{Proc: 2, Op: spec.MkOp(spec.MethodDeq), Invoke: 6, Return: 7, Resp: "1"},
+	)
+	want := CheckLinearizable(base, spec.Queue{}).Ok
+	if !want {
+		t.Fatal("base history rejected")
+	}
+	for trial := 0; trial < 10; trial++ {
+		shuffled := History{N: base.N, Ops: append([]OpRecord{}, base.Ops...)}
+		rng.Shuffle(len(shuffled.Ops), func(i, j int) {
+			shuffled.Ops[i], shuffled.Ops[j] = shuffled.Ops[j], shuffled.Ops[i]
+		})
+		if got := CheckLinearizable(shuffled, spec.Queue{}).Ok; got != want {
+			t.Fatalf("verdict changed under record shuffle")
+		}
+	}
+}
+
+// Property: widening a relaxation never invalidates a history — anything
+// linearizable for the FIFO queue linearizes for every k-out-of-order and
+// stuttering variant.
+func TestPropertyRelaxationMonotonicity(t *testing.T) {
+	histories := []History{
+		mkHistory(2,
+			OpRecord{Proc: 0, Op: spec.MkOp(spec.MethodEnq, 1), Invoke: 0, Return: 1, Resp: "ok"},
+			OpRecord{Proc: 1, Op: spec.MkOp(spec.MethodEnq, 2), Invoke: 2, Return: 3, Resp: "ok"},
+			OpRecord{Proc: 0, Op: spec.MkOp(spec.MethodDeq), Invoke: 4, Return: 5, Resp: "1"},
+		),
+		mkHistory(2,
+			OpRecord{Proc: 0, Op: spec.MkOp(spec.MethodEnq, 1), Invoke: 0, Return: 3, Resp: "ok"},
+			OpRecord{Proc: 1, Op: spec.MkOp(spec.MethodDeq), Invoke: 1, Return: 2, Resp: "empty"},
+		),
+	}
+	relaxed := []spec.Spec{
+		spec.OutOfOrderQueue{K: 2},
+		spec.OutOfOrderQueue{K: 3},
+		spec.StutteringQueue{M: 1},
+		spec.MultiplicityQueue{},
+	}
+	for i, h := range histories {
+		if !CheckLinearizable(h, spec.Queue{}).Ok {
+			t.Fatalf("history %d rejected by the FIFO queue", i)
+		}
+		for _, sp := range relaxed {
+			if !CheckLinearizable(h, sp).Ok {
+				t.Fatalf("history %d rejected by %s though FIFO accepts it", i, sp.Name())
+			}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"stronglin/internal/sim"
+)
+
+// RenderTimeline draws a history as per-process swimlanes over the event
+// clock, for counterexample and stress-failure diagnostics:
+//
+//	p0 |--enq(1)=ok--|        |--deq()=2--|
+//	p1     |--enq(2)=ok--|
+//
+// Each operation spans its invocation..return columns; pending operations
+// extend to the right margin.
+func RenderTimeline(h History) string {
+	if len(h.Ops) == 0 {
+		return "(empty history)"
+	}
+	maxClock := 0
+	for _, o := range h.Ops {
+		if o.Invoke > maxClock {
+			maxClock = o.Invoke
+		}
+		if o.Complete() && o.Return > maxClock {
+			maxClock = o.Return
+		}
+	}
+	scale := 6 // columns per clock tick
+	width := (maxClock + 2) * scale
+
+	// Group operations per process, sorted by invocation.
+	byProc := make(map[int][]OpRecord)
+	var procs []int
+	for _, o := range h.Ops {
+		if _, seen := byProc[o.Proc]; !seen {
+			procs = append(procs, o.Proc)
+		}
+		byProc[o.Proc] = append(byProc[o.Proc], o)
+	}
+	sort.Ints(procs)
+
+	var b strings.Builder
+	for _, p := range procs {
+		ops := byProc[p]
+		sort.Slice(ops, func(i, j int) bool { return ops[i].Invoke < ops[j].Invoke })
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = ' '
+		}
+		for _, o := range ops {
+			start := o.Invoke * scale
+			end := width - 1
+			if o.Complete() {
+				end = o.Return*scale + scale - 1
+			}
+			if end >= width {
+				end = width - 1
+			}
+			label := o.Op.String()
+			if o.Complete() {
+				label += "=" + o.Resp
+			} else {
+				label += "=?"
+			}
+			segment := renderSegment(end-start+1, label)
+			copy(line[start:end+1], segment)
+		}
+		fmt.Fprintf(&b, "p%-2d %s\n", p, strings.TrimRight(string(line), " "))
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func renderSegment(n int, label string) []byte {
+	if n < 2 {
+		return []byte("|")[:min(n, 1)]
+	}
+	inner := n - 2
+	if len(label) > inner {
+		label = label[:inner]
+	}
+	pad := inner - len(label)
+	left := pad / 2
+	var sb strings.Builder
+	sb.WriteByte('|')
+	sb.WriteString(strings.Repeat("-", left))
+	sb.WriteString(label)
+	sb.WriteString(strings.Repeat("-", pad-left))
+	sb.WriteByte('|')
+	return []byte(sb.String())
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// RenderTree draws an execution tree (or its top maxDepth levels) with one
+// line per node, for inspecting witness subtrees:
+//
+//	└─ p0: invoke#0
+//	   └─ p0: R.fa(+2) ret#0=ok
+func RenderTree(tree *sim.Tree, maxDepth int) string {
+	var b strings.Builder
+	var rec func(n *sim.Node, depth int, prefix string)
+	rec = func(n *sim.Node, depth int, prefix string) {
+		if maxDepth > 0 && depth > maxDepth {
+			return
+		}
+		if n.Proc >= 0 {
+			parts := make([]string, len(n.Events))
+			for i, ev := range n.Events {
+				parts[i] = ev.String()
+				if ev.LinPoint {
+					parts[i] += "*"
+				}
+			}
+			marker := "├─"
+			if len(n.Children) == 0 {
+				marker = "└─"
+			}
+			fmt.Fprintf(&b, "%s%s %s\n", prefix, marker, strings.Join(parts, " "))
+			prefix += "   "
+		}
+		for _, c := range n.Children {
+			rec(c, depth+1, prefix)
+		}
+	}
+	fmt.Fprintf(&b, "execution tree: %d nodes, %d leaves\n", tree.Nodes, tree.Leaves)
+	rec(tree.Root, 0, "")
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,77 @@
+package history
+
+import (
+	"strings"
+	"testing"
+
+	"stronglin/internal/prim"
+	"stronglin/internal/sim"
+	"stronglin/internal/spec"
+)
+
+func TestRenderTimeline(t *testing.T) {
+	h := mkHistory(2,
+		OpRecord{Proc: 0, Op: spec.MkOp(spec.MethodEnq, 1), Invoke: 0, Return: 2, Resp: "ok"},
+		OpRecord{Proc: 1, Op: spec.MkOp(spec.MethodDeq), Invoke: 1, Return: 3, Resp: "1"},
+		OpRecord{Proc: 0, Op: spec.MkOp(spec.MethodDeq), Invoke: 4, Return: Pending},
+	)
+	out := RenderTimeline(h)
+	lines := strings.Split(out, "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 swimlanes, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "p0") || !strings.HasPrefix(lines[1], "p1") {
+		t.Fatalf("lane order wrong:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "enq(1)=ok") {
+		t.Fatalf("missing completed op label:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "deq()=?") {
+		t.Fatalf("missing pending op label:\n%s", out)
+	}
+	// The overlapping ops: p1's deq starts before p0's enq returns; check
+	// the deq's opening bar is left of the enq's closing bar.
+	enqClose := strings.LastIndex(lines[0], "enq(1)=ok") + len("enq(1)=ok")
+	deqOpen := strings.Index(lines[1][3:], "|") + 3
+	if deqOpen >= enqClose {
+		t.Fatalf("overlap not visible: deqOpen=%d enqClose=%d\n%s", deqOpen, enqClose, out)
+	}
+}
+
+func TestRenderTimelineEmpty(t *testing.T) {
+	if out := RenderTimeline(History{N: 2}); out != "(empty history)" {
+		t.Fatalf("empty render = %q", out)
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		r := w.Register("r", 0)
+		op := sim.Op{
+			Name: "w",
+			Spec: spec.MkOp(spec.MethodWrite, 1),
+			Run: func(t prim.Thread) string {
+				r.Write(t, 1)
+				w.MarkLinPoint(t)
+				return spec.RespOK
+			},
+		}
+		return []sim.Program{{op}, {op}}
+	}
+	tree, err := sim.Explore(2, setup, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTree(tree, 0)
+	if !strings.Contains(out, "execution tree:") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "r.write(1)*") {
+		t.Fatalf("lin-point marker missing:\n%s", out)
+	}
+	// Depth limiting.
+	top := RenderTree(tree, 1)
+	if strings.Count(top, "\n") >= strings.Count(out, "\n") {
+		t.Fatal("maxDepth did not reduce output")
+	}
+}

@@ -1,0 +1,146 @@
+// Package interleave packs n independent unbounded bit-lanes into a single
+// arbitrary-precision word.
+//
+// Lane i of an n-lane word occupies bit positions i, n+i, 2n+i, 3n+i, ....
+// This is the representation used by the fetch&add-based constructions of
+// Attiya, Castañeda and Enea (PODC 2024, Sections 3.1 and 3.2), originally
+// from the recoverable fetch&add of Nahum et al. (OPODIS 2021): every process
+// owns one lane of a shared fetch&add register and can update its lane —
+// without bound on the stored value — by adding a delta whose set bits all
+// fall inside its own lane.
+package interleave
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Codec maps between compact per-lane values and their interleaved positions
+// inside an n-lane word. The zero value is not usable; construct with New.
+type Codec struct {
+	n int
+}
+
+// New returns a codec for words with n interleaved lanes.
+func New(n int) (Codec, error) {
+	if n < 1 {
+		return Codec{}, fmt.Errorf("interleave: lane count must be >= 1, got %d", n)
+	}
+	return Codec{n: n}, nil
+}
+
+// MustNew is like New but panics on an invalid lane count. It is intended for
+// callers that have already validated n (for example, a process count checked
+// at world construction time).
+func MustNew(n int) Codec {
+	c, err := New(n)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Lanes returns the number of lanes n.
+func (c Codec) Lanes() int { return c.n }
+
+// BitPos returns the absolute bit position of lane-local bit k of lane i,
+// that is k*n + i.
+func (c Codec) BitPos(lane, k int) int { return k*c.n + lane }
+
+// Spread expands the compact value v into lane positions of the given lane:
+// bit k of v is placed at absolute position k*n + lane. v must be
+// non-negative. The result shares no storage with v.
+func (c Codec) Spread(v *big.Int, lane int) *big.Int {
+	if v.Sign() < 0 {
+		panic("interleave: Spread requires a non-negative value")
+	}
+	out := new(big.Int)
+	for k := 0; k < v.BitLen(); k++ {
+		if v.Bit(k) == 1 {
+			out.SetBit(out, c.BitPos(lane, k), 1)
+		}
+	}
+	return out
+}
+
+// Lane extracts the compact value of the given lane from an interleaved word:
+// absolute bit k*n + lane of word becomes bit k of the result. word must be
+// non-negative.
+func (c Codec) Lane(word *big.Int, lane int) *big.Int {
+	if word.Sign() < 0 {
+		panic("interleave: Lane requires a non-negative word")
+	}
+	out := new(big.Int)
+	for pos := lane; pos < word.BitLen(); pos += c.n {
+		if word.Bit(pos) == 1 {
+			out.SetBit(out, (pos-lane)/c.n, 1)
+		}
+	}
+	return out
+}
+
+// Decode extracts every lane of the interleaved word.
+func (c Codec) Decode(word *big.Int) []*big.Int {
+	out := make([]*big.Int, c.n)
+	for i := range out {
+		out[i] = new(big.Int)
+	}
+	for pos := 0; pos < word.BitLen(); pos++ {
+		if word.Bit(pos) == 1 {
+			lane := pos % c.n
+			out[lane].SetBit(out[lane], pos/c.n, 1)
+		}
+	}
+	return out
+}
+
+// Encode builds the interleaved word holding vals[i] in lane i. It is the
+// inverse of Decode. len(vals) must equal Lanes().
+func (c Codec) Encode(vals []*big.Int) *big.Int {
+	if len(vals) != c.n {
+		panic(fmt.Sprintf("interleave: Encode needs exactly %d lane values, got %d", c.n, len(vals)))
+	}
+	out := new(big.Int)
+	for i, v := range vals {
+		out.Or(out, c.Spread(v, i))
+	}
+	return out
+}
+
+// Delta returns the fetch&add delta that changes lane i of a word currently
+// holding the compact value from in that lane so that it holds to instead:
+// Spread(to, lane) - Spread(from, lane). Adding the delta to a word whose
+// lane i equals from yields a word whose lane i equals to and whose other
+// lanes are untouched; this is exactly the posAdj-negAdj update of the
+// snapshot construction (paper Section 3.2).
+func (c Codec) Delta(from, to *big.Int, lane int) *big.Int {
+	d := c.Spread(to, lane)
+	return d.Sub(d, c.Spread(from, lane))
+}
+
+// UnaryValue interprets the compact lane value v as a unary-encoded natural
+// number: value K is represented by bits 1..K set (bit 0 unused), as in the
+// max-register construction of paper Section 3.1. It returns the index of the
+// highest set bit, which for well-formed unary values equals the encoded
+// number; 0 means "nothing written".
+func UnaryValue(v *big.Int) int {
+	if v.BitLen() == 0 {
+		return 0
+	}
+	return v.BitLen() - 1
+}
+
+// UnaryDelta returns the compact lane delta that raises a unary-encoded lane
+// from value `from` to value `to` (to > from >= 0): bits from+1..to. Spread
+// it into the process's lane and fetch&add the result, as in paper Section
+// 3.1 step 2.
+func UnaryDelta(from, to int) *big.Int {
+	if to <= from || from < 0 {
+		panic(fmt.Sprintf("interleave: UnaryDelta requires 0 <= from < to, got from=%d to=%d", from, to))
+	}
+	out := new(big.Int)
+	for k := from + 1; k <= to; k++ {
+		out.SetBit(out, k, 1)
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package prim
+
+import (
+	"strconv"
+	"sync"
+)
+
+// The paper's constructions use infinite arrays of base objects (the TS
+// array of the multi-shot test&set, the M array of fetch&increment, the
+// Items and TS arrays of Algorithm 2). The types below model an infinite
+// array by lazy, name-indexed allocation: entry i of array "A" is the base
+// object named "A[i]", created on first access. Allocation is an addressing
+// artifact of modelling an infinite array, not a shared-memory step of the
+// algorithm; in the simulated world objects are identified by name, so
+// lazily allocating them does not perturb determinism.
+
+// TASArray is an infinite array of readable test&set objects.
+type TASArray struct {
+	mu   sync.Mutex
+	w    World
+	name string
+	objs map[int]ReadableTAS
+}
+
+// NewTASArray returns an infinite test&set array allocating from w.
+func NewTASArray(w World, name string) *TASArray {
+	return &TASArray{w: w, name: name, objs: make(map[int]ReadableTAS)}
+}
+
+// Get returns entry i, allocating it on first use.
+func (a *TASArray) Get(i int) ReadableTAS {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if o, ok := a.objs[i]; ok {
+		return o
+	}
+	o := a.w.TAS(indexName(a.name, i))
+	a.objs[i] = o
+	return o
+}
+
+// RegisterArray is an infinite array of read/write registers, each with the
+// same initial value.
+type RegisterArray struct {
+	mu   sync.Mutex
+	w    World
+	name string
+	init int64
+	objs map[int]Register
+}
+
+// NewRegisterArray returns an infinite register array allocating from w.
+func NewRegisterArray(w World, name string, init int64) *RegisterArray {
+	return &RegisterArray{w: w, name: name, init: init, objs: make(map[int]Register)}
+}
+
+// Get returns entry i, allocating it on first use.
+func (a *RegisterArray) Get(i int) Register {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if o, ok := a.objs[i]; ok {
+		return o
+	}
+	o := a.w.Register(indexName(a.name, i), a.init)
+	a.objs[i] = o
+	return o
+}
+
+// SwapArray is an infinite array of readable swap registers.
+type SwapArray struct {
+	mu   sync.Mutex
+	w    World
+	name string
+	init int64
+	objs map[int]ReadableSwap
+}
+
+// NewSwapArray returns an infinite swap array allocating from w.
+func NewSwapArray(w World, name string, init int64) *SwapArray {
+	return &SwapArray{w: w, name: name, init: init, objs: make(map[int]ReadableSwap)}
+}
+
+// Get returns entry i, allocating it on first use.
+func (a *SwapArray) Get(i int) ReadableSwap {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if o, ok := a.objs[i]; ok {
+		return o
+	}
+	o := a.w.Swap(indexName(a.name, i), a.init)
+	a.objs[i] = o
+	return o
+}
+
+func indexName(base string, i int) string {
+	return base + "[" + strconv.Itoa(i) + "]"
+}

@@ -1,0 +1,187 @@
+package prim
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+	"sync/atomic"
+)
+
+// RealWorld allocates primitives backed by sync/atomic for use under genuine
+// hardware concurrency (stress tests, benchmarks). Object names must be
+// unique; allocation is safe for concurrent use.
+type RealWorld struct {
+	mu    sync.Mutex
+	names map[string]struct{}
+}
+
+var _ World = (*RealWorld)(nil)
+
+// NewRealWorld returns an empty real world.
+func NewRealWorld() *RealWorld {
+	return &RealWorld{names: make(map[string]struct{})}
+}
+
+func (w *RealWorld) claim(name string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, dup := w.names[name]; dup {
+		panic(fmt.Sprintf("prim: duplicate base object name %q", name))
+	}
+	w.names[name] = struct{}{}
+}
+
+// Register allocates an atomic read/write register.
+func (w *RealWorld) Register(name string, init int64) Register {
+	w.claim(name)
+	r := &realRegister{}
+	r.v.Store(init)
+	return r
+}
+
+// AnyRegister allocates an atomic register holding opaque values.
+func (w *RealWorld) AnyRegister(name string, init any) AnyRegister {
+	w.claim(name)
+	r := &realAnyRegister{}
+	r.v.Store(init)
+	return r
+}
+
+// TAS allocates a readable one-shot test&set object.
+func (w *RealWorld) TAS(name string) ReadableTAS {
+	w.claim(name)
+	return &realTAS{}
+}
+
+// TAS2 allocates a 2-process test&set restricted to processes p and q.
+func (w *RealWorld) TAS2(name string, p, q int) ReadableTAS {
+	w.claim(name)
+	return &tas2{inner: &realTAS{}, p: p, q: q, name: name}
+}
+
+// FetchAdd allocates an unbounded-width fetch&add register, initially 0.
+func (w *RealWorld) FetchAdd(name string) FetchAdd {
+	w.claim(name)
+	return &realFetchAdd{val: new(big.Int)}
+}
+
+// MaxReg allocates an atomic max register.
+func (w *RealWorld) MaxReg(name string, init int64) MaxReg {
+	w.claim(name)
+	m := &realMaxReg{}
+	m.v.Store(init)
+	return m
+}
+
+// Swap allocates a readable swap register.
+func (w *RealWorld) Swap(name string, init int64) ReadableSwap {
+	w.claim(name)
+	s := &realSwap{}
+	s.v.Store(init)
+	return s
+}
+
+// CAS allocates a compare&swap register.
+func (w *RealWorld) CAS(name string, init int64) CAS {
+	w.claim(name)
+	c := &realCAS{}
+	c.v.Store(init)
+	return c
+}
+
+// CASCell allocates a compare&swap cell holding an opaque value.
+func (w *RealWorld) CASCell(name string, init any) CASCell {
+	w.claim(name)
+	c := &realCASCell{}
+	c.v.Store(init)
+	return c
+}
+
+type realRegister struct{ v atomic.Int64 }
+
+func (r *realRegister) Read(Thread) int64       { return r.v.Load() }
+func (r *realRegister) Write(_ Thread, v int64) { r.v.Store(v) }
+
+type realAnyRegister struct{ v atomic.Value }
+
+func (r *realAnyRegister) ReadAny(Thread) any       { return r.v.Load() }
+func (r *realAnyRegister) WriteAny(_ Thread, v any) { r.v.Store(v) }
+
+type realTAS struct{ v atomic.Int64 }
+
+func (r *realTAS) TestAndSet(Thread) int64 { return r.v.Swap(1) }
+func (r *realTAS) Read(Thread) int64       { return r.v.Load() }
+
+type realFetchAdd struct {
+	mu  sync.Mutex
+	val *big.Int
+}
+
+func (r *realFetchAdd) FetchAdd(_ Thread, delta *big.Int) *big.Int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prev := new(big.Int).Set(r.val)
+	r.val.Add(r.val, delta)
+	return prev
+}
+
+type realMaxReg struct{ v atomic.Int64 }
+
+func (r *realMaxReg) WriteMax(_ Thread, v int64) {
+	for {
+		cur := r.v.Load()
+		if v <= cur || r.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+func (r *realMaxReg) ReadMax(Thread) int64 { return r.v.Load() }
+
+type realSwap struct{ v atomic.Int64 }
+
+func (r *realSwap) Swap(_ Thread, v int64) int64 { return r.v.Swap(v) }
+func (r *realSwap) Read(Thread) int64            { return r.v.Load() }
+
+type realCAS struct{ v atomic.Int64 }
+
+func (r *realCAS) Read(Thread) int64 { return r.v.Load() }
+func (r *realCAS) CompareAndSwap(_ Thread, old, new int64) bool {
+	return r.v.CompareAndSwap(old, new)
+}
+
+type realCASCell struct{ v atomic.Value }
+
+func (r *realCASCell) Load(Thread) any { return r.v.Load() }
+func (r *realCASCell) CompareAndSwap(_ Thread, old, new any) bool {
+	return r.v.CompareAndSwap(old, new)
+}
+
+// tas2 enforces the 2-process access discipline of a 2-process test&set.
+type tas2 struct {
+	inner ReadableTAS
+	p, q  int
+	name  string
+}
+
+func (t *tas2) check(th Thread) {
+	if id := th.ID(); id != t.p && id != t.q {
+		panic(fmt.Sprintf("prim: process %d applied an operation to 2-process test&set %q owned by processes %d and %d", id, t.name, t.p, t.q))
+	}
+}
+
+func (t *tas2) TestAndSet(th Thread) int64 {
+	t.check(th)
+	return t.inner.TestAndSet(th)
+}
+
+func (t *tas2) Read(th Thread) int64 {
+	t.check(th)
+	return t.inner.Read(th)
+}
+
+// RealThread is a Thread for use with RealWorld.
+type RealThread int
+
+// ID returns the process index.
+func (t RealThread) ID() int { return int(t) }

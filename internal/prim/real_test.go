@@ -1,0 +1,243 @@
+package prim
+
+import (
+	"math/big"
+	"sync"
+	"testing"
+)
+
+func TestRealRegister(t *testing.T) {
+	w := NewRealWorld()
+	r := w.Register("r", 7)
+	th := RealThread(0)
+	if got := r.Read(th); got != 7 {
+		t.Fatalf("initial Read = %d, want 7", got)
+	}
+	r.Write(th, -3)
+	if got := r.Read(th); got != -3 {
+		t.Fatalf("Read after Write = %d, want -3", got)
+	}
+}
+
+func TestRealTASSingleWinner(t *testing.T) {
+	w := NewRealWorld()
+	ts := w.TAS("ts")
+	const procs = 8
+	wins := make([]int64, procs)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			wins[p] = ts.TestAndSet(RealThread(p))
+		}(p)
+	}
+	wg.Wait()
+	zeros := 0
+	for _, v := range wins {
+		if v == 0 {
+			zeros++
+		} else if v != 1 {
+			t.Fatalf("TestAndSet returned %d", v)
+		}
+	}
+	if zeros != 1 {
+		t.Fatalf("want exactly one winner, got %d", zeros)
+	}
+	if ts.Read(RealThread(0)) != 1 {
+		t.Fatal("state not 1 after TestAndSet")
+	}
+}
+
+func TestRealTASReadBeforeSet(t *testing.T) {
+	w := NewRealWorld()
+	ts := w.TAS("ts")
+	if got := ts.Read(RealThread(0)); got != 0 {
+		t.Fatalf("fresh TAS Read = %d, want 0", got)
+	}
+}
+
+func TestRealFetchAddConcurrentSum(t *testing.T) {
+	w := NewRealWorld()
+	fa := w.FetchAdd("R")
+	const procs, reps = 8, 200
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			th := RealThread(p)
+			for i := 0; i < reps; i++ {
+				fa.FetchAdd(th, big.NewInt(1))
+			}
+		}(p)
+	}
+	wg.Wait()
+	got := fa.FetchAdd(RealThread(0), new(big.Int))
+	if got.Int64() != procs*reps {
+		t.Fatalf("sum = %v, want %d", got, procs*reps)
+	}
+}
+
+func TestRealFetchAddReturnsPrevious(t *testing.T) {
+	w := NewRealWorld()
+	fa := w.FetchAdd("R")
+	th := RealThread(0)
+	if prev := fa.FetchAdd(th, big.NewInt(5)); prev.Sign() != 0 {
+		t.Fatalf("first FetchAdd prev = %v, want 0", prev)
+	}
+	if prev := fa.FetchAdd(th, big.NewInt(-2)); prev.Int64() != 5 {
+		t.Fatalf("second FetchAdd prev = %v, want 5", prev)
+	}
+	if cur := fa.FetchAdd(th, new(big.Int)); cur.Int64() != 3 {
+		t.Fatalf("read = %v, want 3", cur)
+	}
+}
+
+func TestRealFetchAddDoesNotAliasDelta(t *testing.T) {
+	w := NewRealWorld()
+	fa := w.FetchAdd("R")
+	th := RealThread(0)
+	delta := big.NewInt(4)
+	fa.FetchAdd(th, delta)
+	delta.SetInt64(1000) // mutating the caller's delta must not affect the register
+	if cur := fa.FetchAdd(th, new(big.Int)); cur.Int64() != 4 {
+		t.Fatalf("register state = %v, want 4", cur)
+	}
+}
+
+func TestRealSwap(t *testing.T) {
+	w := NewRealWorld()
+	s := w.Swap("s", 10)
+	th := RealThread(1)
+	if old := s.Swap(th, 20); old != 10 {
+		t.Fatalf("Swap returned %d, want 10", old)
+	}
+	if got := s.Read(th); got != 20 {
+		t.Fatalf("Read = %d, want 20", got)
+	}
+}
+
+func TestRealCAS(t *testing.T) {
+	w := NewRealWorld()
+	c := w.CAS("c", 1)
+	th := RealThread(0)
+	if c.CompareAndSwap(th, 2, 3) {
+		t.Fatal("CAS with wrong old succeeded")
+	}
+	if !c.CompareAndSwap(th, 1, 9) {
+		t.Fatal("CAS with right old failed")
+	}
+	if got := c.Read(th); got != 9 {
+		t.Fatalf("Read = %d, want 9", got)
+	}
+}
+
+func TestRealCASCell(t *testing.T) {
+	type node struct{ v int }
+	w := NewRealWorld()
+	a, b := &node{1}, &node{2}
+	c := w.CASCell("cell", a)
+	th := RealThread(0)
+	if got := c.Load(th); got != any(a) {
+		t.Fatal("Load != init")
+	}
+	if c.CompareAndSwap(th, b, a) {
+		t.Fatal("CAS with wrong old succeeded")
+	}
+	if !c.CompareAndSwap(th, a, b) {
+		t.Fatal("CAS with right old failed")
+	}
+	if got := c.Load(th); got != any(b) {
+		t.Fatal("Load != new value")
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	w := NewRealWorld()
+	w.Register("x", 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate name did not panic")
+		}
+	}()
+	w.TAS("x")
+}
+
+func TestTAS2AccessDiscipline(t *testing.T) {
+	w := NewRealWorld()
+	ts := w.TAS2("t2", 0, 2)
+	if got := ts.TestAndSet(RealThread(0)); got != 0 {
+		t.Fatalf("first TestAndSet = %d, want 0", got)
+	}
+	if got := ts.TestAndSet(RealThread(2)); got != 1 {
+		t.Fatalf("second TestAndSet = %d, want 1", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("third-party access did not panic")
+		}
+	}()
+	ts.Read(RealThread(1))
+}
+
+func TestTASArrayLazyAllocation(t *testing.T) {
+	w := NewRealWorld()
+	arr := NewTASArray(w, "TS")
+	th := RealThread(0)
+	a := arr.Get(3)
+	if b := arr.Get(3); a != b {
+		t.Fatal("Get(3) returned distinct objects")
+	}
+	if got := arr.Get(5).TestAndSet(th); got != 0 {
+		t.Fatalf("fresh entry TestAndSet = %d, want 0", got)
+	}
+	if got := arr.Get(3).Read(th); got != 0 {
+		t.Fatalf("entry 3 affected by entry 5: %d", got)
+	}
+}
+
+func TestRegisterArray(t *testing.T) {
+	w := NewRealWorld()
+	arr := NewRegisterArray(w, "Items", -1)
+	th := RealThread(0)
+	if got := arr.Get(10).Read(th); got != -1 {
+		t.Fatalf("init = %d, want -1", got)
+	}
+	arr.Get(10).Write(th, 42)
+	if got := arr.Get(10).Read(th); got != 42 {
+		t.Fatalf("Read = %d, want 42", got)
+	}
+}
+
+func TestSwapArray(t *testing.T) {
+	w := NewRealWorld()
+	arr := NewSwapArray(w, "S", 0)
+	th := RealThread(0)
+	if old := arr.Get(2).Swap(th, 5); old != 0 {
+		t.Fatalf("Swap = %d, want 0", old)
+	}
+	if got := arr.Get(2).Read(th); got != 5 {
+		t.Fatalf("Read = %d, want 5", got)
+	}
+}
+
+func TestArrayConcurrentGet(t *testing.T) {
+	w := NewRealWorld()
+	arr := NewTASArray(w, "TS")
+	var wg sync.WaitGroup
+	objs := make([]ReadableTAS, 16)
+	for p := range objs {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			objs[p] = arr.Get(0)
+		}(p)
+	}
+	wg.Wait()
+	for p := 1; p < len(objs); p++ {
+		if objs[p] != objs[0] {
+			t.Fatal("concurrent Get(0) returned distinct objects")
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"stronglin/internal/prim"
+)
+
+// ErrNotEnabled is returned when a schedule or policy grants a process that
+// has no pending step.
+var ErrNotEnabled = errors.New("sim: granted process is not enabled")
+
+// errAborted unwinds process goroutines when a run ends early.
+var errAborted = errors.New("sim: run aborted")
+
+// PolicyView is what a scheduling policy observes before each grant. World
+// gives adversarial policies full read access to the configuration (the
+// "strong adversary" of the randomized-programs motivation); honest policies
+// ignore it.
+type PolicyView struct {
+	// Enabled is the sorted set of processes with a pending step.
+	Enabled []int
+	// Step is the number of grants made so far.
+	Step int
+	// World exposes PeekObject for adversarial observation.
+	World *World
+	// Events is the trace so far.
+	Events []Event
+}
+
+// Policy picks the process to grant next, or a negative value to stop the
+// run.
+type Policy func(v PolicyView) int
+
+// SchedulePolicy replays a fixed schedule, then stops.
+func SchedulePolicy(schedule []int) Policy {
+	return func(v PolicyView) int {
+		if v.Step >= len(schedule) {
+			return -1
+		}
+		return schedule[v.Step]
+	}
+}
+
+// RandomPolicy grants a uniformly random enabled process.
+func RandomPolicy(rng *rand.Rand) Policy {
+	return func(v PolicyView) int {
+		return v.Enabled[rng.Intn(len(v.Enabled))]
+	}
+}
+
+// RoundRobinPolicy cycles through processes, skipping disabled ones.
+func RoundRobinPolicy() Policy {
+	next := 0
+	return func(v PolicyView) int {
+		for _, p := range v.Enabled {
+			if p >= next {
+				next = p + 1
+				return p
+			}
+		}
+		next = v.Enabled[0] + 1
+		return v.Enabled[0]
+	}
+}
+
+// Run executes the given fixed schedule (which may be a prefix of a complete
+// execution) and returns the trace.
+func Run(procs int, setup Setup, schedule []int) (*Execution, error) {
+	return RunPolicy(procs, setup, SchedulePolicy(schedule), len(schedule))
+}
+
+// RunToCompletion executes with the given policy until every program
+// finishes or maxSteps grants have been made.
+func RunToCompletion(procs int, setup Setup, policy Policy, maxSteps int) (*Execution, error) {
+	return RunPolicy(procs, setup, policy, maxSteps)
+}
+
+type msgKind int
+
+const (
+	msgYield msgKind = iota + 1
+	msgOpDone
+	msgProgDone
+	msgPanic
+)
+
+type procMsg struct {
+	kind   msgKind
+	invoke bool
+	opID   int
+	info   string
+	resp   string
+	panicV any
+}
+
+type procState struct {
+	id    int
+	grant chan struct{}
+	msgs  chan procMsg
+	curOp int // written only by the owning goroutine
+}
+
+type runner struct {
+	procs []*procState
+	abort chan struct{}
+	// exec and lastStep support MarkLinPoint: lastStep[p] is the index in
+	// exec.Events of process p's most recent step. The scheduler writes them
+	// before granting; the granted process reads them while the scheduler is
+	// blocked, so there is no race.
+	exec     *Execution
+	lastStep []int
+}
+
+func (r *runner) markLinPoint(proc int) {
+	if idx := r.lastStep[proc]; idx >= 0 {
+		r.exec.Events[idx].LinPoint = true
+	}
+}
+
+func (r *runner) step(pid int, info string, fn func()) {
+	p := r.procs[pid]
+	r.send(p, procMsg{kind: msgYield, opID: p.curOp, info: info})
+	select {
+	case <-p.grant:
+	case <-r.abort:
+		panic(errAborted)
+	}
+	fn()
+}
+
+func (r *runner) send(p *procState, m procMsg) {
+	select {
+	case p.msgs <- m:
+	case <-r.abort:
+		panic(errAborted)
+	}
+}
+
+func (r *runner) runProc(p *procState, prog Program, ids []int) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if err, ok := rec.(error); ok && errors.Is(err, errAborted) {
+				return
+			}
+			// Best effort: report the panic to the scheduler unless the run
+			// is already tearing down.
+			select {
+			case p.msgs <- procMsg{kind: msgPanic, panicV: rec}:
+			case <-r.abort:
+			}
+		}
+	}()
+	th := thread{id: p.id}
+	for k := range prog {
+		p.curOp = ids[k]
+		r.send(p, procMsg{kind: msgYield, invoke: true, opID: ids[k]})
+		select {
+		case <-p.grant:
+		case <-r.abort:
+			panic(errAborted)
+		}
+		resp := prog[k].Run(th)
+		r.send(p, procMsg{kind: msgOpDone, opID: ids[k], resp: resp})
+	}
+	r.send(p, procMsg{kind: msgProgDone})
+}
+
+type thread struct{ id int }
+
+func (t thread) ID() int { return t.id }
+
+var _ prim.Thread = thread{}
+
+// RunPolicy executes programs under the policy, granting at most maxSteps
+// steps. The returned execution is complete if every program finished.
+func RunPolicy(procs int, setup Setup, policy Policy, maxSteps int) (*Execution, error) {
+	if procs < 1 {
+		return nil, fmt.Errorf("sim: need at least one process, got %d", procs)
+	}
+	r := &runner{abort: make(chan struct{})}
+	world := newWorld(r)
+	programs := setup(world)
+	if len(programs) != procs {
+		return nil, fmt.Errorf("sim: setup returned %d programs for %d processes", len(programs), procs)
+	}
+
+	exec := &Execution{Procs: procs}
+	ids := make([][]int, procs)
+	next := 0
+	for p, prog := range programs {
+		ids[p] = make([]int, len(prog))
+		for k, op := range prog {
+			ids[p][k] = next
+			exec.Ops = append(exec.Ops, OpInfo{ID: next, Proc: p, Name: op.Name, Spec: op.Spec})
+			next++
+		}
+	}
+
+	var wg sync.WaitGroup
+	r.procs = make([]*procState, procs)
+	r.exec = exec
+	r.lastStep = make([]int, procs)
+	for p := 0; p < procs; p++ {
+		r.lastStep[p] = -1
+		r.procs[p] = &procState{
+			id:    p,
+			grant: make(chan struct{}),
+			msgs:  make(chan procMsg, 4),
+		}
+	}
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			r.runProc(r.procs[p], programs[p], ids[p])
+		}(p)
+	}
+	defer func() {
+		close(r.abort)
+		wg.Wait()
+	}()
+
+	// Collect each process's initial status.
+	status := make([]procMsg, procs)
+	for p := 0; p < procs; p++ {
+		m := <-r.procs[p].msgs
+		if m.kind == msgPanic {
+			return nil, fmt.Errorf("sim: process %d panicked before its first step: %v", p, m.panicV)
+		}
+		status[p] = m
+	}
+
+	for step := 0; ; step++ {
+		enabled := enabledSet(status)
+		exec.Enabled = append(exec.Enabled, enabled)
+		if len(enabled) == 0 {
+			exec.Complete = true
+			break
+		}
+		if step >= maxSteps {
+			break
+		}
+		pick := policy(PolicyView{Enabled: enabled, Step: step, World: world, Events: exec.Events})
+		if pick < 0 {
+			break
+		}
+		if pick >= procs || status[pick].kind != msgYield {
+			return nil, fmt.Errorf("%w: process %d at step %d", ErrNotEnabled, pick, step)
+		}
+
+		exec.Schedule = append(exec.Schedule, pick)
+		exec.BatchStart = append(exec.BatchStart, len(exec.Events))
+		m := status[pick]
+		if m.invoke {
+			exec.Events = append(exec.Events, Event{Kind: EventInvoke, Proc: pick, OpID: m.opID})
+		} else {
+			r.lastStep[pick] = len(exec.Events)
+			exec.Events = append(exec.Events, Event{Kind: EventStep, Proc: pick, OpID: m.opID, Info: m.info})
+		}
+
+		p := r.procs[pick]
+		p.grant <- struct{}{}
+	drain:
+		for {
+			m2 := <-p.msgs
+			switch m2.kind {
+			case msgOpDone:
+				exec.Events = append(exec.Events, Event{Kind: EventReturn, Proc: pick, OpID: m2.opID, Resp: m2.resp})
+				// A fresh operation must not inherit the previous one's
+				// last step as a markable linearization point.
+				r.lastStep[pick] = -1
+			case msgYield, msgProgDone:
+				status[pick] = m2
+				break drain
+			case msgPanic:
+				return nil, fmt.Errorf("sim: process %d panicked: %v", pick, m2.panicV)
+			}
+		}
+	}
+	exec.BatchStart = append(exec.BatchStart, len(exec.Events))
+	return exec, nil
+}
+
+func enabledSet(status []procMsg) []int {
+	var out []int
+	for p, m := range status {
+		if m.kind == msgYield {
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RunInline executes ops sequentially, in order, on a detached world on
+// behalf of the given process, returning their responses. It is how the
+// Lemma 12 reduction locally simulates a decision sequence, and how
+// sequential sanity tests drive constructions.
+func RunInline(w *World, threadID int, ops []Op) ([]string, error) {
+	if w.runner != nil {
+		return nil, errors.New("sim: RunInline requires a detached world")
+	}
+	out := make([]string, len(ops))
+	for i, op := range ops {
+		out[i] = op.Run(SoloThread(threadID))
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+// Package sim executes shared-memory algorithms written against
+// internal/prim under a deterministic cooperative scheduler.
+//
+// Every primitive operation on a base object is one atomic step; the
+// scheduler decides, at each point, which process takes its next step. A
+// schedule (a sequence of process IDs) therefore determines the execution
+// completely, which gives:
+//
+//   - deterministic replay of any interleaving,
+//   - exhaustive enumeration of all interleavings of bounded programs
+//     (Explore), producing the execution tree on which strong
+//     linearizability is decided (see internal/history),
+//   - adversarial and randomized scheduling policies (RunPolicy), and
+//   - generic state reads and world forking, which model the "readable base
+//     objects" and local solo simulation used by the reduction of Lemma 12.
+//
+// This is the paper's execution model of Section 2: an execution is a
+// sequence of configurations and steps, each step being one base-object
+// operation by one process; high-level invocations are events placed by the
+// scheduler, and a high-level response is recorded atomically with the
+// operation's last step.
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"stronglin/internal/prim"
+	"stronglin/internal/spec"
+)
+
+// EventKind classifies trace events.
+type EventKind int
+
+// Event kinds.
+const (
+	// EventInvoke marks the invocation of a high-level operation.
+	EventInvoke EventKind = iota + 1
+	// EventStep marks one atomic base-object step.
+	EventStep
+	// EventReturn marks the response of a high-level operation; it is
+	// recorded immediately after the operation's final step.
+	EventReturn
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventInvoke:
+		return "invoke"
+	case EventStep:
+		return "step"
+	case EventReturn:
+		return "return"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one entry of an execution trace.
+type Event struct {
+	Kind EventKind
+	Proc int
+	OpID int    // dense operation identifier; see Execution.Ops
+	Info string // base-object step description (EventStep only)
+	Resp string // canonical response (EventReturn only)
+	// LinPoint marks a step the implementation declared as the invoking
+	// operation's linearization point (see World.MarkLinPoint); it feeds the
+	// certificate checker history.CheckLinPointCertificate.
+	LinPoint bool
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case EventInvoke:
+		return fmt.Sprintf("p%d:invoke#%d", e.Proc, e.OpID)
+	case EventStep:
+		return fmt.Sprintf("p%d:%s", e.Proc, e.Info)
+	case EventReturn:
+		return fmt.Sprintf("p%d:return#%d=%s", e.Proc, e.OpID, e.Resp)
+	default:
+		return fmt.Sprintf("p%d:?", e.Proc)
+	}
+}
+
+// Op is one high-level operation of a process's program.
+type Op struct {
+	// Name is a human-readable description, e.g. "WriteMax(5)".
+	Name string
+	// Spec is the abstract operation checked against the sequential
+	// specification.
+	Spec spec.Op
+	// Run executes the operation's implementation on behalf of thread t and
+	// returns the canonical response string (matching the spec's outcome
+	// encoding).
+	Run func(t prim.Thread) string
+}
+
+// Program is the sequence of operations one process executes.
+type Program []Op
+
+// Setup builds the object(s) under test inside world w and returns one
+// program per process. It is invoked once per run; a fresh world is used for
+// every run, so Setup must allocate everything it needs from w.
+type Setup func(w *World) []Program
+
+// OpInfo describes one operation instance of an execution.
+type OpInfo struct {
+	ID   int
+	Proc int
+	Name string
+	Spec spec.Op
+}
+
+// Execution is the trace of one run.
+type Execution struct {
+	Procs int
+	Ops   []OpInfo
+	// Events in global order.
+	Events []Event
+	// BatchStart[i] is the index in Events of the first event produced by
+	// grant i; grant i produced Events[BatchStart[i]:BatchStart[i+1]] (with
+	// BatchStart[len(Schedule)] == len(Events)).
+	BatchStart []int
+	// Schedule is the sequence of granted process IDs.
+	Schedule []int
+	// Enabled[i] is the sorted set of schedulable processes before grant i;
+	// Enabled[len(Schedule)] is the set after the last grant.
+	Enabled [][]int
+	// Complete reports whether every program ran to completion.
+	Complete bool
+}
+
+// Batch returns the events produced by grant i.
+func (e *Execution) Batch(i int) []Event {
+	return e.Events[e.BatchStart[i]:e.BatchStart[i+1]]
+}
+
+// Responses returns opID -> response for the operations that completed.
+func (e *Execution) Responses() map[int]string {
+	out := make(map[int]string)
+	for _, ev := range e.Events {
+		if ev.Kind == EventReturn {
+			out[ev.OpID] = ev.Resp
+		}
+	}
+	return out
+}
+
+// String renders the trace compactly, for failure messages.
+func (e *Execution) String() string {
+	parts := make([]string, len(e.Events))
+	for i, ev := range e.Events {
+		parts[i] = ev.String()
+	}
+	return strings.Join(parts, " ")
+}

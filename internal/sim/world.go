@@ -1,0 +1,410 @@
+package sim
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"stronglin/internal/prim"
+)
+
+// World allocates simulated base objects. When attached to a runner (inside
+// Run/Explore), every primitive operation is a scheduler step; when detached
+// (NewSoloWorld, or after Fork), operations execute immediately, which is how
+// the reduction of Lemma 12 simulates decision sequences locally.
+type World struct {
+	objs   map[string]*object
+	order  []string
+	runner *runner // nil in solo mode
+}
+
+var _ prim.World = (*World)(nil)
+
+// NewSoloWorld returns a detached world in which primitive operations
+// execute immediately. It is used for sequential testing of constructions
+// and for the local solo simulations of the Lemma 12 reduction.
+func NewSoloWorld() *World {
+	return &World{objs: make(map[string]*object)}
+}
+
+func newWorld(r *runner) *World {
+	return &World{objs: make(map[string]*object), runner: r}
+}
+
+type objKind int
+
+const (
+	kindInt objKind = iota + 1
+	kindBig
+	kindAny
+)
+
+type object struct {
+	name string
+	kind objKind
+	i64  int64
+	big  *big.Int
+	val  any
+}
+
+// ObjState is a copy of one base object's state, as returned by the generic
+// readable-base-object step ReadObject and consumed by Fork.
+type ObjState struct {
+	Kind objKind
+	I64  int64
+	Big  *big.Int
+	Val  any
+}
+
+func (o *object) state() ObjState {
+	st := ObjState{Kind: o.kind, I64: o.i64, Val: o.val}
+	if o.big != nil {
+		st.Big = new(big.Int).Set(o.big)
+	}
+	return st
+}
+
+// String renders the state for trace output.
+func (s ObjState) String() string {
+	switch s.Kind {
+	case kindBig:
+		return s.Big.String()
+	case kindAny:
+		return fmt.Sprintf("%v", s.Val)
+	default:
+		return fmt.Sprintf("%d", s.I64)
+	}
+}
+
+func (w *World) alloc(name string, kind objKind) *object {
+	if _, dup := w.objs[name]; dup {
+		panic(fmt.Sprintf("sim: duplicate base object name %q", name))
+	}
+	o := &object{name: name, kind: kind}
+	if kind == kindBig {
+		o.big = new(big.Int)
+	}
+	w.objs[name] = o
+	w.order = append(w.order, name)
+	return o
+}
+
+// access executes one primitive step: scheduled when attached to a runner,
+// immediate otherwise.
+func (w *World) access(t prim.Thread, info string, fn func()) {
+	if w.runner == nil {
+		fn()
+		return
+	}
+	w.runner.step(t.ID(), info, fn)
+}
+
+// ObjectNames returns the names of all allocated objects in allocation
+// order. The set R of Lemma 12 ("all base objects accessed in all executions
+// of A") is approximated by the objects allocated so far, which is exact for
+// the executions explored.
+func (w *World) ObjectNames() []string {
+	out := make([]string, len(w.order))
+	copy(out, w.order)
+	return out
+}
+
+// ReadObject performs one atomic step that reads the full state of the named
+// base object, modelling the system where "every base object provides a read
+// operation [that] returns the current state of the object" (Lemma 12). The
+// object must exist.
+func (w *World) ReadObject(t prim.Thread, name string) ObjState {
+	o, ok := w.objs[name]
+	if !ok {
+		panic(fmt.Sprintf("sim: ReadObject of unknown object %q", name))
+	}
+	var st ObjState
+	w.access(t, "read-state("+name+")", func() { st = o.state() })
+	return st
+}
+
+// MarkLinPoint declares the calling operation's most recent base-object
+// step to be its linearization point. Constructions with fixed own-step
+// linearization points (the fetch&add objects of Theorems 1 and 2) call it
+// right after that step via prim.MarkLinPoint; the flag feeds the
+// certificate checker, which verifies strong linearizability in time linear
+// in the tree instead of by game search. A no-op in solo mode.
+func (w *World) MarkLinPoint(t prim.Thread) {
+	if w.runner == nil {
+		return
+	}
+	w.runner.markLinPoint(t.ID())
+}
+
+// PeekObject returns the state of the named object without taking a step.
+// It is a scheduler/adversary facility (the strong adversary observes the
+// configuration), not an algorithm step; ok reports whether the object
+// exists.
+func (w *World) PeekObject(name string) (ObjState, bool) {
+	o, ok := w.objs[name]
+	if !ok {
+		return ObjState{}, false
+	}
+	return o.state(), true
+}
+
+// LoadStates overwrites the states of existing objects from the collection,
+// leaving objects not mentioned at their current state. It is used by Fork.
+func (w *World) LoadStates(states map[string]ObjState) {
+	names := make([]string, 0, len(states))
+	for name := range states {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o, ok := w.objs[name]
+		if !ok {
+			continue
+		}
+		st := states[name]
+		if o.kind != st.Kind {
+			panic(fmt.Sprintf("sim: LoadStates kind mismatch for %q", name))
+		}
+		o.i64 = st.I64
+		o.val = st.Val
+		if st.Big != nil {
+			o.big = new(big.Int).Set(st.Big)
+		}
+	}
+}
+
+// --- prim.World implementation -------------------------------------------
+
+// Register allocates a simulated read/write register.
+func (w *World) Register(name string, init int64) prim.Register {
+	o := w.alloc(name, kindInt)
+	o.i64 = init
+	return &simRegister{w: w, o: o}
+}
+
+// AnyRegister allocates a simulated register holding opaque values.
+func (w *World) AnyRegister(name string, init any) prim.AnyRegister {
+	o := w.alloc(name, kindAny)
+	o.val = init
+	return &simAnyRegister{w: w, o: o}
+}
+
+// TAS allocates a simulated readable test&set object.
+func (w *World) TAS(name string) prim.ReadableTAS {
+	o := w.alloc(name, kindInt)
+	return &simTAS{w: w, o: o}
+}
+
+// TAS2 allocates a 2-process test&set restricted to processes p and q.
+func (w *World) TAS2(name string, p, q int) prim.ReadableTAS {
+	o := w.alloc(name, kindInt)
+	return &simTAS2{simTAS: simTAS{w: w, o: o}, p: p, q: q}
+}
+
+// FetchAdd allocates a simulated unbounded fetch&add register.
+func (w *World) FetchAdd(name string) prim.FetchAdd {
+	o := w.alloc(name, kindBig)
+	return &simFetchAdd{w: w, o: o}
+}
+
+// MaxReg allocates a simulated atomic max register.
+func (w *World) MaxReg(name string, init int64) prim.MaxReg {
+	o := w.alloc(name, kindInt)
+	o.i64 = init
+	return &simMaxReg{w: w, o: o}
+}
+
+// Swap allocates a simulated readable swap register.
+func (w *World) Swap(name string, init int64) prim.ReadableSwap {
+	o := w.alloc(name, kindInt)
+	o.i64 = init
+	return &simSwap{w: w, o: o}
+}
+
+// CAS allocates a simulated compare&swap register.
+func (w *World) CAS(name string, init int64) prim.CAS {
+	o := w.alloc(name, kindInt)
+	o.i64 = init
+	return &simCAS{w: w, o: o}
+}
+
+// CASCell allocates a simulated compare&swap cell over opaque values.
+func (w *World) CASCell(name string, init any) prim.CASCell {
+	o := w.alloc(name, kindAny)
+	o.val = init
+	return &simCASCell{w: w, o: o}
+}
+
+type simRegister struct {
+	w *World
+	o *object
+}
+
+func (r *simRegister) Read(t prim.Thread) int64 {
+	var v int64
+	r.w.access(t, r.o.name+".read", func() { v = r.o.i64 })
+	return v
+}
+
+func (r *simRegister) Write(t prim.Thread, v int64) {
+	r.w.access(t, fmt.Sprintf("%s.write(%d)", r.o.name, v), func() { r.o.i64 = v })
+}
+
+type simAnyRegister struct {
+	w *World
+	o *object
+}
+
+func (r *simAnyRegister) ReadAny(t prim.Thread) any {
+	var v any
+	r.w.access(t, r.o.name+".read", func() { v = r.o.val })
+	return v
+}
+
+func (r *simAnyRegister) WriteAny(t prim.Thread, v any) {
+	r.w.access(t, r.o.name+".write", func() { r.o.val = v })
+}
+
+type simTAS struct {
+	w *World
+	o *object
+}
+
+func (s *simTAS) TestAndSet(t prim.Thread) int64 {
+	var old int64
+	s.w.access(t, s.o.name+".tas", func() {
+		old = s.o.i64
+		s.o.i64 = 1
+	})
+	return old
+}
+
+func (s *simTAS) Read(t prim.Thread) int64 {
+	var v int64
+	s.w.access(t, s.o.name+".read", func() { v = s.o.i64 })
+	return v
+}
+
+type simTAS2 struct {
+	simTAS
+	p, q int
+}
+
+func (s *simTAS2) check(t prim.Thread) {
+	if id := t.ID(); id != s.p && id != s.q {
+		panic(fmt.Sprintf("sim: process %d applied an operation to 2-process test&set %q owned by processes %d and %d", id, s.o.name, s.p, s.q))
+	}
+}
+
+func (s *simTAS2) TestAndSet(t prim.Thread) int64 {
+	s.check(t)
+	return s.simTAS.TestAndSet(t)
+}
+
+func (s *simTAS2) Read(t prim.Thread) int64 {
+	s.check(t)
+	return s.simTAS.Read(t)
+}
+
+type simFetchAdd struct {
+	w *World
+	o *object
+}
+
+func (f *simFetchAdd) FetchAdd(t prim.Thread, delta *big.Int) *big.Int {
+	prev := new(big.Int)
+	f.w.access(t, fmt.Sprintf("%s.fa(%s)", f.o.name, delta), func() {
+		prev.Set(f.o.big)
+		f.o.big.Add(f.o.big, delta)
+	})
+	return prev
+}
+
+type simMaxReg struct {
+	w *World
+	o *object
+}
+
+func (m *simMaxReg) WriteMax(t prim.Thread, v int64) {
+	m.w.access(t, fmt.Sprintf("%s.wmax(%d)", m.o.name, v), func() {
+		if v > m.o.i64 {
+			m.o.i64 = v
+		}
+	})
+}
+
+func (m *simMaxReg) ReadMax(t prim.Thread) int64 {
+	var v int64
+	m.w.access(t, m.o.name+".rmax", func() { v = m.o.i64 })
+	return v
+}
+
+type simSwap struct {
+	w *World
+	o *object
+}
+
+func (s *simSwap) Swap(t prim.Thread, v int64) int64 {
+	var old int64
+	s.w.access(t, fmt.Sprintf("%s.swap(%d)", s.o.name, v), func() {
+		old = s.o.i64
+		s.o.i64 = v
+	})
+	return old
+}
+
+func (s *simSwap) Read(t prim.Thread) int64 {
+	var v int64
+	s.w.access(t, s.o.name+".read", func() { v = s.o.i64 })
+	return v
+}
+
+type simCAS struct {
+	w *World
+	o *object
+}
+
+func (c *simCAS) Read(t prim.Thread) int64 {
+	var v int64
+	c.w.access(t, c.o.name+".read", func() { v = c.o.i64 })
+	return v
+}
+
+func (c *simCAS) CompareAndSwap(t prim.Thread, old, new int64) bool {
+	var ok bool
+	c.w.access(t, fmt.Sprintf("%s.cas(%d,%d)", c.o.name, old, new), func() {
+		if c.o.i64 == old {
+			c.o.i64 = new
+			ok = true
+		}
+	})
+	return ok
+}
+
+type simCASCell struct {
+	w *World
+	o *object
+}
+
+func (c *simCASCell) Load(t prim.Thread) any {
+	var v any
+	c.w.access(t, c.o.name+".load", func() { v = c.o.val })
+	return v
+}
+
+func (c *simCASCell) CompareAndSwap(t prim.Thread, old, new any) bool {
+	var ok bool
+	c.w.access(t, c.o.name+".cas", func() {
+		if c.o.val == old {
+			c.o.val = new
+			ok = true
+		}
+	})
+	return ok
+}
+
+// SoloThread is a Thread for use with detached worlds.
+type SoloThread int
+
+// ID returns the process index.
+func (t SoloThread) ID() int { return int(t) }

@@ -1,0 +1,93 @@
+package spec
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Methods of queues and stacks.
+const (
+	MethodEnq  = "enq"
+	MethodDeq  = "deq"
+	MethodPush = "push"
+	MethodPop  = "pop"
+)
+
+func encodeSeq(prefix string, items []int64) string {
+	parts := make([]string, len(items))
+	for i, v := range items {
+		parts[i] = strconv.FormatInt(v, 10)
+	}
+	return prefix + ":[" + strings.Join(parts, ",") + "]"
+}
+
+func withAppended(items []int64, v int64) []int64 {
+	next := make([]int64, 0, len(items)+1)
+	next = append(next, items...)
+	return append(next, v)
+}
+
+func withRemoved(items []int64, i int) []int64 {
+	next := make([]int64, 0, len(items)-1)
+	next = append(next, items[:i]...)
+	return append(next, items[i+1:]...)
+}
+
+// --- FIFO queue ---------------------------------------------------------------
+
+// Queue is the FIFO queue: enq(v) -> ok; deq() -> oldest item, or empty.
+type Queue struct{}
+
+// Name implements Spec.
+func (Queue) Name() string { return "queue" }
+
+// Init implements Spec.
+func (Queue) Init(int) State { return queueState(nil) }
+
+type queueState []int64
+
+func (s queueState) Steps(op Op) []Outcome {
+	switch op.Method {
+	case MethodEnq:
+		return []Outcome{{Resp: RespOK, Next: queueState(withAppended(s, op.Args[0]))}}
+	case MethodDeq:
+		if len(s) == 0 {
+			return []Outcome{{Resp: RespEmpty, Next: s}}
+		}
+		return []Outcome{{Resp: RespInt(s[0]), Next: queueState(withRemoved(s, 0))}}
+	default:
+		return nil
+	}
+}
+
+func (s queueState) Key() string { return encodeSeq("q", s) }
+
+// --- LIFO stack ---------------------------------------------------------------
+
+// Stack is the LIFO stack: push(v) -> ok; pop() -> newest item, or empty.
+type Stack struct{}
+
+// Name implements Spec.
+func (Stack) Name() string { return "stack" }
+
+// Init implements Spec.
+func (Stack) Init(int) State { return stackState(nil) }
+
+type stackState []int64
+
+func (s stackState) Steps(op Op) []Outcome {
+	switch op.Method {
+	case MethodPush:
+		return []Outcome{{Resp: RespOK, Next: stackState(withAppended(s, op.Args[0]))}}
+	case MethodPop:
+		if len(s) == 0 {
+			return []Outcome{{Resp: RespEmpty, Next: s}}
+		}
+		top := len(s) - 1
+		return []Outcome{{Resp: RespInt(s[top]), Next: stackState(withRemoved(s, top))}}
+	default:
+		return nil
+	}
+}
+
+func (s stackState) Key() string { return encodeSeq("st", s) }

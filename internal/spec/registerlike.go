@@ -1,0 +1,259 @@
+package spec
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Methods of the register-like objects.
+const (
+	MethodWriteMax = "wmax"
+	MethodReadMax  = "rmax"
+	MethodUpdate   = "update"
+	MethodScan     = "scan"
+	MethodInc      = "inc"
+	MethodDec      = "dec"
+	MethodRead     = "read"
+	MethodTick     = "tick"
+	MethodAdd      = "add"
+	MethodHas      = "has"
+)
+
+// --- Max register (Section 3.1) -------------------------------------------
+
+// MaxRegister is the max-register specification: WriteMax(v) -> ok and
+// ReadMax() -> largest value previously written (0 initially; values are
+// non-negative).
+type MaxRegister struct{}
+
+// Name implements Spec.
+func (MaxRegister) Name() string { return "maxregister" }
+
+// Init implements Spec.
+func (MaxRegister) Init(int) State { return maxRegState(0) }
+
+type maxRegState int64
+
+func (s maxRegState) Steps(op Op) []Outcome {
+	switch op.Method {
+	case MethodWriteMax:
+		v := op.Args[0]
+		next := s
+		if maxRegState(v) > s {
+			next = maxRegState(v)
+		}
+		return []Outcome{{Resp: RespOK, Next: next}}
+	case MethodReadMax:
+		return []Outcome{{Resp: RespInt(int64(s)), Next: s}}
+	default:
+		return nil
+	}
+}
+
+func (s maxRegState) Key() string { return "max:" + strconv.FormatInt(int64(s), 10) }
+
+// --- Atomic snapshot (Section 3.2) ----------------------------------------
+
+// Snapshot is the n-component single-writer atomic snapshot specification:
+// update(i,v) writes v to component i (the harness always uses i = caller's
+// process id); scan() returns the view.
+type Snapshot struct{}
+
+// Name implements Spec.
+func (Snapshot) Name() string { return "snapshot" }
+
+// Init implements Spec.
+func (Snapshot) Init(n int) State { return snapshotState(make([]int64, n)) }
+
+type snapshotState []int64
+
+func (s snapshotState) Steps(op Op) []Outcome {
+	switch op.Method {
+	case MethodUpdate:
+		i, v := op.Args[0], op.Args[1]
+		if i < 0 || int(i) >= len(s) {
+			return nil
+		}
+		next := make(snapshotState, len(s))
+		copy(next, s)
+		next[i] = v
+		return []Outcome{{Resp: RespOK, Next: next}}
+	case MethodScan:
+		return []Outcome{{Resp: RespVec(s), Next: s}}
+	default:
+		return nil
+	}
+}
+
+func (s snapshotState) Key() string { return "snap:" + RespVec(s) }
+
+// --- Counters ---------------------------------------------------------------
+
+// Counter is a (non-monotonic) counter: inc() -> ok, dec() -> ok,
+// read() -> value.
+type Counter struct{}
+
+// Name implements Spec.
+func (Counter) Name() string { return "counter" }
+
+// Init implements Spec.
+func (Counter) Init(int) State { return counterState(0) }
+
+type counterState int64
+
+func (s counterState) Steps(op Op) []Outcome {
+	switch op.Method {
+	case MethodInc:
+		return []Outcome{{Resp: RespOK, Next: s + 1}}
+	case MethodDec:
+		return []Outcome{{Resp: RespOK, Next: s - 1}}
+	case MethodRead:
+		return []Outcome{{Resp: RespInt(int64(s)), Next: s}}
+	default:
+		return nil
+	}
+}
+
+func (s counterState) Key() string { return "ctr:" + strconv.FormatInt(int64(s), 10) }
+
+// MonotonicCounter is a counter without dec.
+type MonotonicCounter struct{}
+
+// Name implements Spec.
+func (MonotonicCounter) Name() string { return "monocounter" }
+
+// Init implements Spec.
+func (MonotonicCounter) Init(int) State { return monoCounterState(0) }
+
+type monoCounterState int64
+
+func (s monoCounterState) Steps(op Op) []Outcome {
+	switch op.Method {
+	case MethodInc:
+		return []Outcome{{Resp: RespOK, Next: s + 1}}
+	case MethodRead:
+		return []Outcome{{Resp: RespInt(int64(s)), Next: s}}
+	default:
+		return nil
+	}
+}
+
+func (s monoCounterState) Key() string { return "mctr:" + strconv.FormatInt(int64(s), 10) }
+
+// LogicalClock is a logical clock: tick() advances the time and returns ok,
+// read() returns the current time.
+//
+// Tick deliberately does not return the new time: a tick that returned its
+// position would not be a simple type (two concurrent ticks would have
+// order-dependent responses without either overwriting the other), and
+// Algorithm 1 could not implement it — a fact the strong-linearizability
+// model checker demonstrates (see core's TestLogicalClockWithReturnValueIsNotSimple).
+type LogicalClock struct{}
+
+// Name implements Spec.
+func (LogicalClock) Name() string { return "logicalclock" }
+
+// Init implements Spec.
+func (LogicalClock) Init(int) State { return clockState(0) }
+
+type clockState int64
+
+func (s clockState) Steps(op Op) []Outcome {
+	switch op.Method {
+	case MethodTick:
+		return []Outcome{{Resp: RespOK, Next: s + 1}}
+	case MethodRead:
+		return []Outcome{{Resp: RespInt(int64(s)), Next: s}}
+	default:
+		return nil
+	}
+}
+
+func (s clockState) Key() string { return "clk:" + strconv.FormatInt(int64(s), 10) }
+
+// --- Read/write register -------------------------------------------------------
+
+// MethodWrite is the write method of RWRegister.
+const MethodWrite = "write"
+
+// RWRegister is a multi-writer multi-reader register: write(v) -> ok,
+// read() -> last written value (0 initially). It is a simple type whose
+// writes mutually overwrite — the pid tie-break case of the dominance
+// relation.
+type RWRegister struct{}
+
+// Name implements Spec.
+func (RWRegister) Name() string { return "register" }
+
+// Init implements Spec.
+func (RWRegister) Init(int) State { return rwRegState(0) }
+
+type rwRegState int64
+
+func (s rwRegState) Steps(op Op) []Outcome {
+	switch op.Method {
+	case MethodWrite:
+		return []Outcome{{Resp: RespOK, Next: rwRegState(op.Args[0])}}
+	case MethodRead:
+		return []Outcome{{Resp: RespInt(int64(s)), Next: s}}
+	default:
+		return nil
+	}
+}
+
+func (s rwRegState) Key() string { return "reg:" + strconv.FormatInt(int64(s), 10) }
+
+// --- Grow-only set -----------------------------------------------------------
+
+// GSet is a grow-only set: add(x) -> ok, has(x) -> 0/1. It is one of the
+// "certain set objects" that are simple types (Section 3.3).
+type GSet struct{}
+
+// Name implements Spec.
+func (GSet) Name() string { return "gset" }
+
+// Init implements Spec.
+func (GSet) Init(int) State { return gsetState(nil) }
+
+type gsetState []int64 // sorted
+
+func (s gsetState) has(x int64) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	return i < len(s) && s[i] == x
+}
+
+func (s gsetState) with(x int64) gsetState {
+	if s.has(x) {
+		return s
+	}
+	next := make(gsetState, 0, len(s)+1)
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	next = append(next, s[:i]...)
+	next = append(next, x)
+	next = append(next, s[i:]...)
+	return next
+}
+
+func (s gsetState) Steps(op Op) []Outcome {
+	switch op.Method {
+	case MethodAdd:
+		return []Outcome{{Resp: RespOK, Next: s.with(op.Args[0])}}
+	case MethodHas:
+		r := "0"
+		if s.has(op.Args[0]) {
+			r = "1"
+		}
+		return []Outcome{{Resp: r, Next: s}}
+	default:
+		return nil
+	}
+}
+
+func (s gsetState) Key() string {
+	parts := make([]string, len(s))
+	for i, v := range s {
+		parts[i] = strconv.FormatInt(v, 10)
+	}
+	return "gset:{" + strings.Join(parts, ",") + "}"
+}

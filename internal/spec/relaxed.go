@@ -1,0 +1,255 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Relaxed queue/stack variants of Section 5. All are nondeterministic
+// specifications; the nondeterminism is exactly the relaxation.
+
+// --- Multiplicity (Castañeda–Rajsbaum–Raynal) ---------------------------------
+
+// MultiplicityQueue is a queue with multiplicity: concurrent dequeues may
+// return the same item. Following the paper's footnote 3, we use the
+// linearizability-based formulation: a dequeue may repeat the item returned
+// by the immediately preceding dequeue (repeats are linearized
+// consecutively); any other operation ends the repeatable block.
+type MultiplicityQueue struct{}
+
+// Name implements Spec.
+func (MultiplicityQueue) Name() string { return "multiplicity-queue" }
+
+// Init implements Spec.
+func (MultiplicityQueue) Init(int) State {
+	return multQueueState{items: nil, repeat: -1}
+}
+
+type multQueueState struct {
+	items  []int64
+	repeat int64 // item a following dequeue may repeat; -1 if none
+}
+
+func (s multQueueState) Steps(op Op) []Outcome {
+	switch op.Method {
+	case MethodEnq:
+		return []Outcome{{
+			Resp: RespOK,
+			Next: multQueueState{items: withAppended(s.items, op.Args[0]), repeat: -1},
+		}}
+	case MethodDeq:
+		var outs []Outcome
+		if len(s.items) == 0 {
+			outs = append(outs, Outcome{Resp: RespEmpty, Next: multQueueState{items: s.items, repeat: -1}})
+		} else {
+			head := s.items[0]
+			outs = append(outs, Outcome{
+				Resp: RespInt(head),
+				Next: multQueueState{items: withRemoved(s.items, 0), repeat: head},
+			})
+		}
+		if s.repeat >= 0 {
+			outs = append(outs, Outcome{Resp: RespInt(s.repeat), Next: s})
+		}
+		return outs
+	default:
+		return nil
+	}
+}
+
+func (s multQueueState) Key() string {
+	return encodeSeq("mq", s.items) + "|r:" + strconv.FormatInt(s.repeat, 10)
+}
+
+// MultiplicityStack is a stack with multiplicity, defined symmetrically to
+// MultiplicityQueue.
+type MultiplicityStack struct{}
+
+// Name implements Spec.
+func (MultiplicityStack) Name() string { return "multiplicity-stack" }
+
+// Init implements Spec.
+func (MultiplicityStack) Init(int) State {
+	return multStackState{items: nil, repeat: -1}
+}
+
+type multStackState struct {
+	items  []int64
+	repeat int64
+}
+
+func (s multStackState) Steps(op Op) []Outcome {
+	switch op.Method {
+	case MethodPush:
+		return []Outcome{{
+			Resp: RespOK,
+			Next: multStackState{items: withAppended(s.items, op.Args[0]), repeat: -1},
+		}}
+	case MethodPop:
+		var outs []Outcome
+		if len(s.items) == 0 {
+			outs = append(outs, Outcome{Resp: RespEmpty, Next: multStackState{items: s.items, repeat: -1}})
+		} else {
+			top := len(s.items) - 1
+			v := s.items[top]
+			outs = append(outs, Outcome{
+				Resp: RespInt(v),
+				Next: multStackState{items: withRemoved(s.items, top), repeat: v},
+			})
+		}
+		if s.repeat >= 0 {
+			outs = append(outs, Outcome{Resp: RespInt(s.repeat), Next: s})
+		}
+		return outs
+	default:
+		return nil
+	}
+}
+
+func (s multStackState) Key() string {
+	return encodeSeq("mst", s.items) + "|r:" + strconv.FormatInt(s.repeat, 10)
+}
+
+// --- m-stuttering (Henzinger et al., quantitative relaxation) ------------------
+
+// StutteringQueue is the m-stuttering queue: an operation may have no effect
+// on the state (an enqueue discards its item; a dequeue returns the oldest
+// item without removing it), at most m times consecutively per operation
+// type — formally, each type has a counter, an operation may stutter only
+// while its counter is below m, and taking effect resets the counter
+// (footnote 4 of the paper).
+type StutteringQueue struct {
+	// M is the stutter bound (m >= 1).
+	M int
+}
+
+// Name implements Spec.
+func (s StutteringQueue) Name() string { return fmt.Sprintf("stuttering-queue(%d)", s.M) }
+
+// Init implements Spec.
+func (s StutteringQueue) Init(int) State {
+	return stutterState{m: s.M, items: nil, queueLike: true}
+}
+
+// StutteringStack is the m-stuttering stack, defined symmetrically.
+type StutteringStack struct {
+	// M is the stutter bound (m >= 1).
+	M int
+}
+
+// Name implements Spec.
+func (s StutteringStack) Name() string { return fmt.Sprintf("stuttering-stack(%d)", s.M) }
+
+// Init implements Spec.
+func (s StutteringStack) Init(int) State {
+	return stutterState{m: s.M, items: nil, queueLike: false}
+}
+
+type stutterState struct {
+	m          int
+	items      []int64
+	queueLike  bool
+	addStutter int // consecutive stutters of the add-type operation
+	remStutter int // consecutive stutters of the remove-type operation
+}
+
+func (s stutterState) Steps(op Op) []Outcome {
+	addMethod, remMethod := MethodPush, MethodPop
+	if s.queueLike {
+		addMethod, remMethod = MethodEnq, MethodDeq
+	}
+	switch op.Method {
+	case addMethod:
+		outs := []Outcome{{
+			Resp: RespOK,
+			Next: stutterState{m: s.m, items: withAppended(s.items, op.Args[0]), queueLike: s.queueLike, addStutter: 0, remStutter: s.remStutter},
+		}}
+		if s.addStutter < s.m {
+			outs = append(outs, Outcome{
+				Resp: RespOK,
+				Next: stutterState{m: s.m, items: s.items, queueLike: s.queueLike, addStutter: s.addStutter + 1, remStutter: s.remStutter},
+			})
+		}
+		return outs
+	case remMethod:
+		var outs []Outcome
+		idx := 0
+		if !s.queueLike {
+			idx = len(s.items) - 1
+		}
+		if len(s.items) == 0 {
+			outs = append(outs, Outcome{
+				Resp: RespEmpty,
+				Next: stutterState{m: s.m, items: s.items, queueLike: s.queueLike, addStutter: s.addStutter, remStutter: 0},
+			})
+		} else {
+			v := s.items[idx]
+			outs = append(outs, Outcome{
+				Resp: RespInt(v),
+				Next: stutterState{m: s.m, items: withRemoved(s.items, idx), queueLike: s.queueLike, addStutter: s.addStutter, remStutter: 0},
+			})
+			if s.remStutter < s.m {
+				outs = append(outs, Outcome{
+					Resp: RespInt(v),
+					Next: stutterState{m: s.m, items: s.items, queueLike: s.queueLike, addStutter: s.addStutter, remStutter: s.remStutter + 1},
+				})
+			}
+		}
+		return outs
+	default:
+		return nil
+	}
+}
+
+func (s stutterState) Key() string {
+	kind := "sst"
+	if s.queueLike {
+		kind = "sq"
+	}
+	return fmt.Sprintf("%s%s|a:%d|r:%d", kind, encodeSeq("", s.items), s.addStutter, s.remStutter)
+}
+
+// --- k-out-of-order queue (Henzinger et al.) -----------------------------------
+
+// OutOfOrderQueue is the k-out-of-order queue: a dequeue returns (and
+// removes) one of the k oldest items; a 1-out-of-order queue is a regular
+// queue.
+type OutOfOrderQueue struct {
+	// K is the out-of-order window (k >= 1).
+	K int
+}
+
+// Name implements Spec.
+func (s OutOfOrderQueue) Name() string { return fmt.Sprintf("%d-out-of-order-queue", s.K) }
+
+// Init implements Spec.
+func (s OutOfOrderQueue) Init(int) State { return oooQueueState{k: s.K, items: nil} }
+
+type oooQueueState struct {
+	k     int
+	items []int64
+}
+
+func (s oooQueueState) Steps(op Op) []Outcome {
+	switch op.Method {
+	case MethodEnq:
+		return []Outcome{{Resp: RespOK, Next: oooQueueState{k: s.k, items: withAppended(s.items, op.Args[0])}}}
+	case MethodDeq:
+		if len(s.items) == 0 {
+			return []Outcome{{Resp: RespEmpty, Next: s}}
+		}
+		window := s.k
+		if window > len(s.items) {
+			window = len(s.items)
+		}
+		outs := make([]Outcome, window)
+		for i := 0; i < window; i++ {
+			outs[i] = Outcome{Resp: RespInt(s.items[i]), Next: oooQueueState{k: s.k, items: withRemoved(s.items, i)}}
+		}
+		return outs
+	default:
+		return nil
+	}
+}
+
+func (s oooQueueState) Key() string { return fmt.Sprintf("ooo%d%s", s.k, encodeSeq("", s.items)) }

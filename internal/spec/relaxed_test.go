@@ -1,0 +1,218 @@
+package spec
+
+import "testing"
+
+func respsOf(outs []Outcome) map[string]int {
+	m := make(map[string]int)
+	for _, o := range outs {
+		m[o.Resp]++
+	}
+	return m
+}
+
+func TestMultiplicityQueueRepeat(t *testing.T) {
+	st := MultiplicityQueue{}.Init(2)
+	st = st.Steps(MkOp(MethodEnq, 1))[0].Next
+	st = st.Steps(MkOp(MethodEnq, 2))[0].Next
+
+	outs := st.Steps(MkOp(MethodDeq))
+	if len(outs) != 1 || outs[0].Resp != "1" {
+		t.Fatalf("first deq outcomes: %v", respsOf(outs))
+	}
+	st = outs[0].Next
+
+	// Immediately after a dequeue of 1, a second dequeue may repeat 1 or
+	// take 2.
+	outs = st.Steps(MkOp(MethodDeq))
+	got := respsOf(outs)
+	if len(got) != 2 || got["1"] != 1 || got["2"] != 1 {
+		t.Fatalf("second deq outcomes: %v, want {1,2}", got)
+	}
+
+	// An intervening enqueue closes the repeatable block.
+	st2 := st.Steps(MkOp(MethodEnq, 3))[0].Next
+	outs = st2.Steps(MkOp(MethodDeq))
+	got = respsOf(outs)
+	if len(got) != 1 || got["2"] != 1 {
+		t.Fatalf("deq after enq outcomes: %v, want {2}", got)
+	}
+}
+
+func TestMultiplicityQueueEmptyClearsRepeat(t *testing.T) {
+	st := MultiplicityQueue{}.Init(2)
+	st = st.Steps(MkOp(MethodEnq, 1))[0].Next
+	st = st.Steps(MkOp(MethodDeq))[0].Next // returns 1, repeatable
+	// Choose the empty outcome; repeat must then be cleared.
+	outs := st.Steps(MkOp(MethodDeq))
+	var emptyNext State
+	for _, o := range outs {
+		if o.Resp == RespEmpty {
+			emptyNext = o.Next
+		}
+	}
+	if emptyNext == nil {
+		t.Fatalf("no empty outcome in %v", respsOf(outs))
+	}
+	outs = emptyNext.Steps(MkOp(MethodDeq))
+	if len(outs) != 1 || outs[0].Resp != RespEmpty {
+		t.Fatalf("deq after empty: %v, want only empty", respsOf(outs))
+	}
+}
+
+func TestMultiplicityStackRepeat(t *testing.T) {
+	st := MultiplicityStack{}.Init(2)
+	st = st.Steps(MkOp(MethodPush, 1))[0].Next
+	st = st.Steps(MkOp(MethodPush, 2))[0].Next
+	st = st.Steps(MkOp(MethodPop))[0].Next // 2
+	outs := st.Steps(MkOp(MethodPop))
+	got := respsOf(outs)
+	if len(got) != 2 || got["1"] != 1 || got["2"] != 1 {
+		t.Fatalf("second pop outcomes: %v, want {1,2}", got)
+	}
+}
+
+func TestStutteringQueueBound(t *testing.T) {
+	sq := StutteringQueue{M: 1}
+	st := sq.Init(2)
+
+	// First enqueue may stutter (2 outcomes)...
+	outs := st.Steps(MkOp(MethodEnq, 1))
+	if len(outs) != 2 {
+		t.Fatalf("first enq: %d outcomes, want 2", len(outs))
+	}
+	// ... choose the stuttering outcome (state unchanged).
+	var stuttered State
+	for _, o := range outs {
+		if o.Next.(stutterState).addStutter == 1 {
+			stuttered = o.Next
+		}
+	}
+	if stuttered == nil {
+		t.Fatal("no stuttering outcome")
+	}
+	// After m=1 consecutive stutters, the next enqueue must take effect.
+	outs = stuttered.Steps(MkOp(MethodEnq, 2))
+	if len(outs) != 1 {
+		t.Fatalf("enq after max stutters: %d outcomes, want 1", len(outs))
+	}
+	if got := outs[0].Next.(stutterState); len(got.items) != 1 || got.items[0] != 2 || got.addStutter != 0 {
+		t.Fatalf("effectful enq state: %+v", got)
+	}
+}
+
+func TestStutteringQueueDequeueKeepsItem(t *testing.T) {
+	sq := StutteringQueue{M: 2}
+	st := sq.Init(2)
+	st = effectful(t, st, MkOp(MethodEnq, 7), 1)
+
+	outs := st.Steps(MkOp(MethodDeq))
+	if len(outs) != 2 {
+		t.Fatalf("deq: %d outcomes, want 2", len(outs))
+	}
+	for _, o := range outs {
+		if o.Resp != "7" {
+			t.Fatalf("deq resp %q, want 7 (stutter returns the oldest item without removing)", o.Resp)
+		}
+	}
+	// One outcome keeps the item, one removes it.
+	kept, removed := false, false
+	for _, o := range outs {
+		if n := len(o.Next.(stutterState).items); n == 1 {
+			kept = true
+		} else if n == 0 {
+			removed = true
+		}
+	}
+	if !kept || !removed {
+		t.Fatal("deq outcomes do not cover both stutter and effect")
+	}
+}
+
+func TestStutteringStack(t *testing.T) {
+	ss := StutteringStack{M: 1}
+	st := ss.Init(2)
+	st = effectful(t, st, MkOp(MethodPush, 1), 1)
+	st = effectful(t, st, MkOp(MethodPush, 2), 2)
+	outs := st.Steps(MkOp(MethodPop))
+	for _, o := range outs {
+		if o.Resp != "2" {
+			t.Fatalf("pop resp %q, want 2", o.Resp)
+		}
+	}
+}
+
+// effectful applies op and returns the outcome whose item count equals want.
+func effectful(t *testing.T, st State, op Op, want int) State {
+	t.Helper()
+	for _, o := range st.Steps(op) {
+		if len(o.Next.(stutterState).items) == want {
+			return o.Next
+		}
+	}
+	t.Fatalf("no effectful outcome for %v", op)
+	return nil
+}
+
+func TestOutOfOrderQueueWindow(t *testing.T) {
+	q := OutOfOrderQueue{K: 2}
+	st := q.Init(2)
+	for _, v := range []int64{1, 2, 3} {
+		st = st.Steps(MkOp(MethodEnq, v))[0].Next
+	}
+	outs := st.Steps(MkOp(MethodDeq))
+	got := respsOf(outs)
+	if len(got) != 2 || got["1"] != 1 || got["2"] != 1 {
+		t.Fatalf("deq outcomes %v, want {1,2}", got)
+	}
+	// k=1 degenerates to a FIFO queue.
+	q1 := OutOfOrderQueue{K: 1}
+	st = q1.Init(2)
+	st = st.Steps(MkOp(MethodEnq, 5))[0].Next
+	st = st.Steps(MkOp(MethodEnq, 6))[0].Next
+	outs = st.Steps(MkOp(MethodDeq))
+	if len(outs) != 1 || outs[0].Resp != "5" {
+		t.Fatalf("1-out-of-order deq: %v", respsOf(outs))
+	}
+}
+
+func TestOutOfOrderQueueEmpty(t *testing.T) {
+	q := OutOfOrderQueue{K: 3}
+	outs := q.Init(2).Steps(MkOp(MethodDeq))
+	if len(outs) != 1 || outs[0].Resp != RespEmpty {
+		t.Fatalf("deq on empty: %v", respsOf(outs))
+	}
+}
+
+func TestRelaxedSpecNames(t *testing.T) {
+	tests := []struct {
+		spec Spec
+		want string
+	}{
+		{StutteringQueue{M: 2}, "stuttering-queue(2)"},
+		{StutteringStack{M: 1}, "stuttering-stack(1)"},
+		{OutOfOrderQueue{K: 3}, "3-out-of-order-queue"},
+		{MultiplicityQueue{}, "multiplicity-queue"},
+		{MultiplicityStack{}, "multiplicity-stack"},
+	}
+	for _, tt := range tests {
+		if got := tt.spec.Name(); got != tt.want {
+			t.Errorf("Name() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestKeysDistinguishStates(t *testing.T) {
+	// States that differ only in relaxation bookkeeping must have distinct
+	// keys, or the checkers' memoisation would be unsound.
+	mq := MultiplicityQueue{}.Init(2)
+	afterEnq := mq.Steps(MkOp(MethodEnq, 1))[0].Next
+	afterDeq := afterEnq.Steps(MkOp(MethodDeq))[0].Next
+	if mq.Key() == afterDeq.Key() {
+		t.Error("multiplicity queue: empty-with-repeat state key collides with initial state")
+	}
+	sq := StutteringQueue{M: 1}.Init(2)
+	stut := sq.Steps(MkOp(MethodEnq, 1))[1].Next // stuttering outcome
+	if sq.Key() == stut.Key() {
+		t.Error("stuttering queue: stutter-counter state key collides with initial state")
+	}
+}

@@ -1,0 +1,133 @@
+// Package spec defines sequential specifications of the high-level objects
+// studied in the paper, as explicit (possibly nondeterministic) state
+// machines. They serve as the oracle for the linearizability and
+// strong-linearizability checkers in internal/history and for the k-ordering
+// machinery of internal/agreement.
+//
+// A specification maps an abstract operation applied in a state to the set
+// of legal (response, successor-state) outcomes. Deterministic objects
+// (queues, counters, ...) return exactly one outcome; the relaxed objects of
+// Section 5 (queues/stacks with multiplicity, m-stuttering variants,
+// k-out-of-order queues) are genuinely nondeterministic.
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Op is an abstract operation: a method name plus integer arguments.
+type Op struct {
+	Method string
+	Args   []int64
+}
+
+// MkOp builds an operation.
+func MkOp(method string, args ...int64) Op {
+	return Op{Method: method, Args: args}
+}
+
+func (o Op) String() string {
+	parts := make([]string, len(o.Args))
+	for i, a := range o.Args {
+		parts[i] = strconv.FormatInt(a, 10)
+	}
+	return o.Method + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Equal reports whether two operations are identical.
+func (o Op) Equal(p Op) bool {
+	if o.Method != p.Method || len(o.Args) != len(p.Args) {
+		return false
+	}
+	for i := range o.Args {
+		if o.Args[i] != p.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Canonical response encodings shared by specifications and implementations.
+const (
+	// RespOK is the response of void operations.
+	RespOK = "ok"
+	// RespEmpty is the response of a take/dequeue/pop on an empty container
+	// (the paper's EMPTY / ε).
+	RespEmpty = "empty"
+)
+
+// RespInt encodes an integer response.
+func RespInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+// RespVec encodes a vector response (snapshot views).
+func RespVec(vs []int64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = strconv.FormatInt(v, 10)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Outcome is one legal result of applying an operation in a state.
+type Outcome struct {
+	Resp string
+	Next State
+}
+
+// State is one state of a sequential object.
+type State interface {
+	// Steps returns every legal outcome of applying op here. An empty result
+	// means op is not part of the object's interface (or is disallowed in
+	// this state, e.g. a second decide on a consensus object).
+	Steps(op Op) []Outcome
+	// Key returns a canonical encoding of the state, used for memoisation.
+	Key() string
+}
+
+// Spec is a sequential object specification.
+type Spec interface {
+	// Name identifies the object kind (e.g. "queue").
+	Name() string
+	// Init returns the initial state for a system of n processes. Most
+	// objects ignore n; the n-component snapshot does not.
+	Init(n int) State
+}
+
+// RunSeq applies ops in order starting from st, choosing the unique outcome
+// at every step; it reports an error if any step is illegal or ambiguous.
+// It is a convenience for tests over deterministic specifications.
+func RunSeq(st State, ops ...Op) (State, []string, error) {
+	resps := make([]string, 0, len(ops))
+	for _, op := range ops {
+		outs := st.Steps(op)
+		if len(outs) == 0 {
+			return nil, nil, fmt.Errorf("spec: op %v illegal in state %s", op, st.Key())
+		}
+		if len(outs) > 1 {
+			return nil, nil, fmt.Errorf("spec: op %v nondeterministic in state %s", op, st.Key())
+		}
+		st = outs[0].Next
+		resps = append(resps, outs[0].Resp)
+	}
+	return st, resps, nil
+}
+
+// Valid reports whether the sequence of (op, resp) pairs is a legal
+// sequential execution from st, following nondeterministic branches as
+// needed.
+func Valid(st State, ops []Op, resps []string) bool {
+	if len(ops) != len(resps) {
+		return false
+	}
+	if len(ops) == 0 {
+		return true
+	}
+	for _, out := range st.Steps(ops[0]) {
+		if out.Resp == resps[0] && Valid(out.Next, ops[1:], resps[1:]) {
+			return true
+		}
+	}
+	return false
+}

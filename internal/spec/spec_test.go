@@ -1,0 +1,243 @@
+package spec
+
+import (
+	"testing"
+)
+
+// seqCase drives a deterministic spec through ops and checks responses.
+type seqCase struct {
+	name string
+	spec Spec
+	n    int
+	ops  []Op
+	want []string
+}
+
+func runSeqCases(t *testing.T, cases []seqCase) {
+	t.Helper()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n := tc.n
+			if n == 0 {
+				n = 2
+			}
+			_, got, err := RunSeq(tc.spec.Init(n), tc.ops...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("op %d (%v): got %q, want %q (full: %v)", i, tc.ops[i], got[i], tc.want[i], got)
+				}
+			}
+		})
+	}
+}
+
+func TestDeterministicSpecs(t *testing.T) {
+	runSeqCases(t, []seqCase{
+		{
+			name: "maxregister",
+			spec: MaxRegister{},
+			ops: []Op{
+				MkOp(MethodReadMax), MkOp(MethodWriteMax, 5), MkOp(MethodReadMax),
+				MkOp(MethodWriteMax, 3), MkOp(MethodReadMax), MkOp(MethodWriteMax, 9), MkOp(MethodReadMax),
+			},
+			want: []string{"0", "ok", "5", "ok", "5", "ok", "9"},
+		},
+		{
+			name: "snapshot",
+			spec: Snapshot{},
+			n:    3,
+			ops: []Op{
+				MkOp(MethodScan), MkOp(MethodUpdate, 1, 7), MkOp(MethodScan),
+				MkOp(MethodUpdate, 0, 2), MkOp(MethodUpdate, 1, 4), MkOp(MethodScan),
+			},
+			want: []string{"[0 0 0]", "ok", "[0 7 0]", "ok", "ok", "[2 4 0]"},
+		},
+		{
+			name: "counter",
+			spec: Counter{},
+			ops: []Op{
+				MkOp(MethodRead), MkOp(MethodInc), MkOp(MethodInc), MkOp(MethodDec), MkOp(MethodRead),
+			},
+			want: []string{"0", "ok", "ok", "ok", "1"},
+		},
+		{
+			name: "monocounter",
+			spec: MonotonicCounter{},
+			ops:  []Op{MkOp(MethodInc), MkOp(MethodInc), MkOp(MethodRead)},
+			want: []string{"ok", "ok", "2"},
+		},
+		{
+			name: "logicalclock",
+			spec: LogicalClock{},
+			ops:  []Op{MkOp(MethodRead), MkOp(MethodTick), MkOp(MethodTick), MkOp(MethodRead)},
+			want: []string{"0", "ok", "ok", "2"},
+		},
+		{
+			name: "gset",
+			spec: GSet{},
+			ops: []Op{
+				MkOp(MethodHas, 4), MkOp(MethodAdd, 4), MkOp(MethodHas, 4),
+				MkOp(MethodAdd, 4), MkOp(MethodHas, 4), MkOp(MethodHas, 5),
+			},
+			want: []string{"0", "ok", "1", "ok", "1", "0"},
+		},
+		{
+			name: "readable-tas",
+			spec: ReadableTAS{},
+			ops:  []Op{MkOp(MethodRead), MkOp(MethodTAS), MkOp(MethodTAS), MkOp(MethodRead)},
+			want: []string{"0", "0", "1", "1"},
+		},
+		{
+			name: "multishot-tas",
+			spec: MultiShotTAS{},
+			ops: []Op{
+				MkOp(MethodTAS), MkOp(MethodRead), MkOp(MethodReset), MkOp(MethodRead),
+				MkOp(MethodTAS), MkOp(MethodTAS), MkOp(MethodReset), MkOp(MethodTAS),
+			},
+			want: []string{"0", "1", "ok", "0", "0", "1", "ok", "0"},
+		},
+		{
+			name: "fetchinc",
+			spec: FetchInc{},
+			ops:  []Op{MkOp(MethodRead), MkOp(MethodFAI), MkOp(MethodFAI), MkOp(MethodRead)},
+			want: []string{"1", "1", "2", "3"},
+		},
+		{
+			name: "queue",
+			spec: Queue{},
+			ops: []Op{
+				MkOp(MethodDeq), MkOp(MethodEnq, 1), MkOp(MethodEnq, 2),
+				MkOp(MethodDeq), MkOp(MethodDeq), MkOp(MethodDeq),
+			},
+			want: []string{"empty", "ok", "ok", "1", "2", "empty"},
+		},
+		{
+			name: "stack",
+			spec: Stack{},
+			ops: []Op{
+				MkOp(MethodPop), MkOp(MethodPush, 1), MkOp(MethodPush, 2),
+				MkOp(MethodPop), MkOp(MethodPop), MkOp(MethodPop),
+			},
+			want: []string{"empty", "ok", "ok", "2", "1", "empty"},
+		},
+	})
+}
+
+func TestOpString(t *testing.T) {
+	tests := []struct {
+		op   Op
+		want string
+	}{
+		{MkOp(MethodEnq, 3), "enq(3)"},
+		{MkOp(MethodScan), "scan()"},
+		{MkOp(MethodUpdate, 1, 7), "update(1,7)"},
+	}
+	for _, tt := range tests {
+		if got := tt.op.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestOpEqual(t *testing.T) {
+	if !MkOp(MethodEnq, 3).Equal(MkOp(MethodEnq, 3)) {
+		t.Error("identical ops not equal")
+	}
+	if MkOp(MethodEnq, 3).Equal(MkOp(MethodEnq, 4)) {
+		t.Error("different args equal")
+	}
+	if MkOp(MethodEnq, 3).Equal(MkOp(MethodDeq)) {
+		t.Error("different methods equal")
+	}
+	if MkOp(MethodEnq, 3).Equal(MkOp(MethodEnq)) {
+		t.Error("different arity equal")
+	}
+}
+
+func TestIllegalOps(t *testing.T) {
+	specs := []Spec{MaxRegister{}, Snapshot{}, Counter{}, Queue{}, Stack{}, TakeSet{}, ReadableTAS{}}
+	for _, sp := range specs {
+		if outs := sp.Init(2).Steps(MkOp("bogus")); outs != nil {
+			t.Errorf("%s: bogus op produced outcomes %v", sp.Name(), outs)
+		}
+	}
+}
+
+func TestSnapshotRejectsOutOfRangeComponent(t *testing.T) {
+	st := Snapshot{}.Init(2)
+	if outs := st.Steps(MkOp(MethodUpdate, 5, 1)); outs != nil {
+		t.Fatalf("update(5,·) on 2-component snapshot produced %v", outs)
+	}
+}
+
+func TestTakeSetNondeterminism(t *testing.T) {
+	st := TakeSet{}.Init(2)
+	st = st.Steps(MkOp(MethodPut, 10))[0].Next
+	st = st.Steps(MkOp(MethodPut, 20))[0].Next
+	outs := st.Steps(MkOp(MethodTake))
+	if len(outs) != 2 {
+		t.Fatalf("take on {10,20}: %d outcomes, want 2", len(outs))
+	}
+	got := map[string]bool{}
+	for _, o := range outs {
+		got[o.Resp] = true
+	}
+	if !got["10"] || !got["20"] {
+		t.Fatalf("take outcomes %v, want {10,20}", got)
+	}
+	// Empty set: take -> empty deterministically.
+	empty := TakeSet{}.Init(2)
+	outs = empty.Steps(MkOp(MethodTake))
+	if len(outs) != 1 || outs[0].Resp != RespEmpty {
+		t.Fatalf("take on empty set: %v", outs)
+	}
+}
+
+func TestTakeSetDuplicatePut(t *testing.T) {
+	st := TakeSet{}.Init(2)
+	st = st.Steps(MkOp(MethodPut, 10))[0].Next
+	st2 := st.Steps(MkOp(MethodPut, 10))[0].Next
+	if st2.Key() != st.Key() {
+		t.Fatalf("duplicate put changed state: %s vs %s", st2.Key(), st.Key())
+	}
+}
+
+func TestValidSequences(t *testing.T) {
+	q := Queue{}
+	ops := []Op{MkOp(MethodEnq, 1), MkOp(MethodEnq, 2), MkOp(MethodDeq)}
+	if !Valid(q.Init(2), ops, []string{"ok", "ok", "1"}) {
+		t.Error("valid queue sequence rejected")
+	}
+	if Valid(q.Init(2), ops, []string{"ok", "ok", "2"}) {
+		t.Error("invalid queue sequence accepted")
+	}
+	// Nondeterministic set: either take response is valid.
+	s := TakeSet{}
+	ops = []Op{MkOp(MethodPut, 1), MkOp(MethodPut, 2), MkOp(MethodTake)}
+	for _, r := range []string{"1", "2"} {
+		if !Valid(s.Init(2), ops, []string{"ok", "ok", r}) {
+			t.Errorf("valid set sequence with take=%s rejected", r)
+		}
+	}
+	if Valid(s.Init(2), ops, []string{"ok", "ok", "3"}) {
+		t.Error("take of non-member accepted")
+	}
+}
+
+func TestRunSeqErrors(t *testing.T) {
+	if _, _, err := RunSeq(Queue{}.Init(2), MkOp("bogus")); err == nil {
+		t.Error("RunSeq accepted an illegal op")
+	}
+	st := TakeSet{}.Init(2)
+	st = st.Steps(MkOp(MethodPut, 1))[0].Next
+	st = st.Steps(MkOp(MethodPut, 2))[0].Next
+	if _, _, err := RunSeq(st, MkOp(MethodTake)); err == nil {
+		t.Error("RunSeq accepted a nondeterministic step")
+	}
+}

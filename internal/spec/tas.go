@@ -1,0 +1,155 @@
+package spec
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Methods of the test&set-family objects of Section 4.
+const (
+	MethodTAS   = "tas"
+	MethodReset = "reset"
+	MethodFAI   = "fai"
+	MethodPut   = "put"
+	MethodTake  = "take"
+)
+
+// --- Readable one-shot test&set (Theorem 5) --------------------------------
+
+// ReadableTAS is the readable one-shot test&set: tas() returns the previous
+// state (0 exactly once) and sets it to 1; read() returns the state.
+type ReadableTAS struct{}
+
+// Name implements Spec.
+func (ReadableTAS) Name() string { return "readable-tas" }
+
+// Init implements Spec.
+func (ReadableTAS) Init(int) State { return tasState(0) }
+
+type tasState int64
+
+func (s tasState) Steps(op Op) []Outcome {
+	switch op.Method {
+	case MethodTAS:
+		return []Outcome{{Resp: RespInt(int64(s)), Next: tasState(1)}}
+	case MethodRead:
+		return []Outcome{{Resp: RespInt(int64(s)), Next: s}}
+	default:
+		return nil
+	}
+}
+
+func (s tasState) Key() string { return "tas:" + strconv.FormatInt(int64(s), 10) }
+
+// --- Readable multi-shot test&set (Theorem 6) -------------------------------
+
+// MultiShotTAS is the readable multi-shot test&set: like ReadableTAS plus
+// reset() -> ok which sets the state back to 0.
+type MultiShotTAS struct{}
+
+// Name implements Spec.
+func (MultiShotTAS) Name() string { return "multishot-tas" }
+
+// Init implements Spec.
+func (MultiShotTAS) Init(int) State { return msTASState(0) }
+
+type msTASState int64
+
+func (s msTASState) Steps(op Op) []Outcome {
+	switch op.Method {
+	case MethodTAS:
+		return []Outcome{{Resp: RespInt(int64(s)), Next: msTASState(1)}}
+	case MethodRead:
+		return []Outcome{{Resp: RespInt(int64(s)), Next: s}}
+	case MethodReset:
+		return []Outcome{{Resp: RespOK, Next: msTASState(0)}}
+	default:
+		return nil
+	}
+}
+
+func (s msTASState) Key() string { return "mstas:" + strconv.FormatInt(int64(s), 10) }
+
+// --- Readable fetch&increment (Theorem 9) -----------------------------------
+
+// FetchInc is the readable fetch&increment: fai() returns the current value
+// and increments it; read() returns the current value. The paper's
+// implementation counts from 1 (the index of the first test&set object won),
+// so the initial value is 1.
+type FetchInc struct{}
+
+// Name implements Spec.
+func (FetchInc) Name() string { return "fetchinc" }
+
+// Init implements Spec.
+func (FetchInc) Init(int) State { return faiState(1) }
+
+type faiState int64
+
+func (s faiState) Steps(op Op) []Outcome {
+	switch op.Method {
+	case MethodFAI:
+		return []Outcome{{Resp: RespInt(int64(s)), Next: s + 1}}
+	case MethodRead:
+		return []Outcome{{Resp: RespInt(int64(s)), Next: s}}
+	default:
+		return nil
+	}
+}
+
+func (s faiState) Key() string { return "fai:" + strconv.FormatInt(int64(s), 10) }
+
+// --- Set (Section 4.3) -------------------------------------------------------
+
+// TakeSet is the set object of Algorithm 2: put(x) adds x and returns ok
+// (items are assumed unique across put operations, as in the paper);
+// take() returns empty if the set is empty, and otherwise removes and
+// returns *any* item — a nondeterministic choice.
+type TakeSet struct{}
+
+// Name implements Spec.
+func (TakeSet) Name() string { return "set" }
+
+// Init implements Spec.
+func (TakeSet) Init(int) State { return takeSetState(nil) }
+
+type takeSetState []int64 // sorted
+
+func (s takeSetState) Steps(op Op) []Outcome {
+	switch op.Method {
+	case MethodPut:
+		x := op.Args[0]
+		i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+		if i < len(s) && s[i] == x {
+			return []Outcome{{Resp: RespOK, Next: s}}
+		}
+		next := make(takeSetState, 0, len(s)+1)
+		next = append(next, s[:i]...)
+		next = append(next, x)
+		next = append(next, s[i:]...)
+		return []Outcome{{Resp: RespOK, Next: next}}
+	case MethodTake:
+		if len(s) == 0 {
+			return []Outcome{{Resp: RespEmpty, Next: s}}
+		}
+		outs := make([]Outcome, len(s))
+		for i, x := range s {
+			next := make(takeSetState, 0, len(s)-1)
+			next = append(next, s[:i]...)
+			next = append(next, s[i+1:]...)
+			outs[i] = Outcome{Resp: RespInt(x), Next: next}
+		}
+		return outs
+	default:
+		return nil
+	}
+}
+
+func (s takeSetState) Key() string {
+	parts := make([]string, len(s))
+	for i, v := range s {
+		parts[i] = strconv.FormatInt(v, 10)
+	}
+	return "set:{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,169 @@
+// Package stronglin is a Go implementation of "Strong Linearizability using
+// Primitives with Consensus Number 2" (Attiya, Castañeda, Enea; PODC 2024).
+//
+// It provides wait-free and lock-free STRONGLY-LINEARIZABLE concurrent
+// objects built only from primitives with consensus number 2 (fetch&add,
+// test&set), per the paper's constructions:
+//
+//   - MaxRegister — wait-free, from one fetch&add register (Theorem 1)
+//   - Snapshot — wait-free n-component atomic snapshot, from one fetch&add
+//     register (Theorem 2)
+//   - Counter, LogicalClock, GSet and any other "simple type" — wait-free,
+//     via Algorithm 1 over the snapshot (Theorems 3–4)
+//   - ReadableTAS — wait-free readable test&set, from plain test&set
+//     (Theorem 5)
+//   - MultiShotTAS — wait-free readable multi-shot test&set, from test&set
+//     and a max register (Theorem 6, Corollary 7)
+//   - FetchInc — lock-free readable fetch&increment, from test&set
+//     (Theorem 9)
+//   - Set — lock-free set with put/take, from test&set (Algorithm 2,
+//     Theorem 10)
+//
+// Strong linearizability (Golab–Higham–Woelfel) strengthens linearizability
+// with prefix-closure of the linearization function; it is exactly what is
+// needed for concurrent objects to preserve hyperproperties — e.g. the
+// probability distributions of randomized algorithms against a strong
+// adversary. Queues and stacks (and their relaxed variants) provably have NO
+// lock-free strongly-linearizable implementations from these primitives
+// (the paper's Theorem 17/19); this library reproduces that side too, as
+// executable experiments (see internal/agreement and internal/baseline).
+//
+// Every construction is verified in-repo by an exhaustive
+// strong-linearizability model checker over all interleavings of bounded
+// configurations (internal/sim + internal/history), plus randomized
+// linearizability stress tests under real goroutine concurrency.
+//
+// # Quick start
+//
+//	w := stronglin.NewWorld()
+//	m := stronglin.NewMaxRegister(w, 4) // 4 processes
+//	// from goroutine p (0..3):
+//	m.WriteMax(stronglin.Thread(p), 42)
+//	v := m.ReadMax(stronglin.Thread(p))
+//
+// Operations take an explicit Thread identifying the calling process in
+// [0, n); the per-process lanes of the fetch&add constructions depend on it.
+package stronglin
+
+import (
+	"stronglin/internal/adversary"
+	"stronglin/internal/core"
+	"stronglin/internal/prim"
+)
+
+// Thread identifies a process. Pass Thread(p) with p in [0, n) consistently
+// from the goroutine acting as process p.
+type Thread = prim.RealThread
+
+// World allocates the shared base objects of constructions. One World per
+// object family; names of base objects must be unique within it.
+type World = prim.RealWorld
+
+// NewWorld returns a world whose primitives are backed by sync/atomic.
+func NewWorld() *World { return prim.NewRealWorld() }
+
+// MaxRegister is the paper's Theorem 1 object: a wait-free
+// strongly-linearizable max register from a single fetch&add register.
+type MaxRegister = core.FAMaxRegister
+
+// NewMaxRegister builds a max register for n processes.
+func NewMaxRegister(w *World, n int) *MaxRegister {
+	return core.NewFAMaxRegister(w, "stronglin.maxreg", n)
+}
+
+// Snapshot is the paper's Theorem 2 object: a wait-free
+// strongly-linearizable n-component single-writer atomic snapshot from a
+// single fetch&add register. Component i is written by Thread(i).
+type Snapshot = core.FASnapshot
+
+// NewSnapshot builds a snapshot for n processes.
+func NewSnapshot(w *World, n int) *Snapshot {
+	return core.NewFASnapshot(w, "stronglin.snapshot", n)
+}
+
+// Counter is a wait-free strongly-linearizable counter (Theorems 3–4:
+// Algorithm 1 over the fetch&add snapshot).
+type Counter = core.Counter
+
+// NewCounter builds a counter for n processes.
+func NewCounter(w *World, n int) *Counter {
+	return core.NewCounterFromFA(w, "stronglin.counter", n)
+}
+
+// LogicalClock is a wait-free strongly-linearizable logical clock
+// (Theorems 3–4).
+type LogicalClock = core.LogicalClock
+
+// NewLogicalClock builds a logical clock for n processes.
+func NewLogicalClock(w *World, n int) *LogicalClock {
+	return core.NewLogicalClockFromFA(w, "stronglin.clock", n)
+}
+
+// GSet is a wait-free strongly-linearizable grow-only set (Theorems 3–4).
+type GSet = core.GSet
+
+// NewGSet builds a grow-only set for n processes.
+func NewGSet(w *World, n int) *GSet {
+	return core.NewGSetFromFA(w, "stronglin.gset", n)
+}
+
+// ReadableTAS is the paper's Theorem 5 object: a wait-free
+// strongly-linearizable readable test&set from a plain test&set.
+type ReadableTAS = core.ReadableTAS
+
+// NewReadableTAS builds a readable test&set.
+func NewReadableTAS(w *World) *ReadableTAS {
+	return core.NewReadableTAS(w, "stronglin.rtas")
+}
+
+// MultiShotTAS is the paper's Theorem 6 / Corollary 7 object: a wait-free
+// strongly-linearizable readable multi-shot test&set from test&set and
+// fetch&add.
+type MultiShotTAS = core.MultiShotTAS
+
+// NewMultiShotTAS builds a multi-shot test&set for n processes.
+func NewMultiShotTAS(w *World, n int) *MultiShotTAS {
+	return core.NewMultiShotTASFromPrimitives(w, "stronglin.mstas", n)
+}
+
+// FetchInc is the paper's Theorem 9 object: a lock-free
+// strongly-linearizable readable fetch&increment from test&set.
+type FetchInc = core.FetchInc
+
+// NewFetchInc builds a fetch&increment counting from 1.
+func NewFetchInc(w *World) *FetchInc {
+	return core.NewFetchIncFromTAS(w, "stronglin.fai")
+}
+
+// Set is the paper's Theorem 10 / Algorithm 2 object: a lock-free
+// strongly-linearizable set from test&set. Items must be positive; Take
+// returns the canonical responses of package semantics: an item's decimal
+// encoding or "empty".
+type Set = core.TASSet
+
+// NewSet builds a set.
+func NewSet(w *World) *Set {
+	return core.NewTASSetFromTAS(w, "stronglin.set")
+}
+
+// AdversaryOutcome aggregates strong-adversary game trials (see
+// PlayAdversary).
+type AdversaryOutcome = adversary.Outcome
+
+// Adversary game targets.
+const (
+	// AdversaryVsStrong attacks the strongly-linearizable fetch&add
+	// snapshot; the adversary's win rate stays at 1/2.
+	AdversaryVsStrong = adversary.FASnapshot
+	// AdversaryVsLinearizable attacks the merely-linearizable Afek et al.
+	// snapshot; the adversary wins every trial.
+	AdversaryVsLinearizable = adversary.AfekSnapshot
+)
+
+// PlayAdversary runs the hyperproperty-preservation game: a strong
+// adversary tries to correlate a scanner's view with a later coin flip. It
+// demonstrates why strongly-linearizable objects are required by randomized
+// programs.
+func PlayAdversary(kind adversary.SnapshotKind, trials int, seed int64) AdversaryOutcome {
+	return adversary.Play(kind, trials, seed)
+}

@@ -1,0 +1,94 @@
+package stronglin
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPublicAPISmoke(t *testing.T) {
+	w := NewWorld()
+	const procs = 4
+
+	m := NewMaxRegister(w, procs)
+	s := NewSnapshot(w, procs)
+	c := NewCounter(w, procs)
+	clk := NewLogicalClock(w, procs)
+	gs := NewGSet(w, procs)
+	rt := NewReadableTAS(w)
+	ms := NewMultiShotTAS(w, procs)
+	fi := NewFetchInc(w)
+	set := NewSet(w)
+
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			th := Thread(p)
+			m.WriteMax(th, int64(p*10))
+			s.Update(th, int64(p+1))
+			c.Inc(th)
+			clk.Tick(th)
+			gs.Add(th, int64(p))
+			rt.TestAndSet(th)
+			ms.TestAndSet(th)
+			fi.FetchIncrement(th)
+			set.Put(th, int64(p+1))
+		}(p)
+	}
+	wg.Wait()
+
+	th := Thread(0)
+	if got := m.ReadMax(th); got != 30 {
+		t.Errorf("ReadMax = %d, want 30", got)
+	}
+	view := s.Scan(th)
+	for p := 0; p < procs; p++ {
+		if view[p] != int64(p+1) {
+			t.Errorf("view[%d] = %d, want %d", p, view[p], p+1)
+		}
+	}
+	if got := c.Read(th); got != procs {
+		t.Errorf("counter = %d, want %d", got, procs)
+	}
+	if got := clk.Read(th); got != procs {
+		t.Errorf("clock = %d, want %d", got, procs)
+	}
+	for p := 0; p < procs; p++ {
+		if !gs.Has(th, int64(p)) {
+			t.Errorf("gset missing %d", p)
+		}
+	}
+	if got := rt.Read(th); got != 1 {
+		t.Errorf("readable TAS state = %d, want 1", got)
+	}
+	ms.Reset(th)
+	if got := ms.Read(th); got != 0 {
+		t.Errorf("multi-shot TAS after reset = %d, want 0", got)
+	}
+	if got := fi.Read(th); got != procs+1 {
+		t.Errorf("fetch&inc = %d, want %d", got, procs+1)
+	}
+	taken := map[string]bool{}
+	for i := 0; i < procs; i++ {
+		taken[set.Take(th)] = true
+	}
+	for p := 0; p < procs; p++ {
+		want := string(rune('1' + p))
+		if !taken[want] {
+			t.Errorf("set missing item %s (got %v)", want, taken)
+		}
+	}
+	if got := set.Take(th); got != "empty" {
+		t.Errorf("drained set take = %s, want empty", got)
+	}
+}
+
+func TestPublicAdversaryGame(t *testing.T) {
+	if got := PlayAdversary(AdversaryVsLinearizable, 50, 3).Rate(); got != 1.0 {
+		t.Fatalf("adversary vs linearizable snapshot = %.2f, want 1.00", got)
+	}
+	if got := PlayAdversary(AdversaryVsStrong, 200, 4).Rate(); got < 0.35 || got > 0.65 {
+		t.Fatalf("adversary vs strongly-linearizable snapshot = %.2f, want ≈ 0.5", got)
+	}
+}
