@@ -10,7 +10,9 @@ import (
 	"stronglin/internal/baseline"
 	"stronglin/internal/core"
 	"stronglin/internal/history"
+	"stronglin/internal/pool"
 	"stronglin/internal/prim"
+	"stronglin/internal/shard"
 	"stronglin/internal/sim"
 	"stronglin/internal/spec"
 )
@@ -202,6 +204,67 @@ func BenchmarkQueue(b *testing.B) {
 				s.PopBounded(t)
 			}
 		})
+	})
+}
+
+// E-SHARD: write throughput of the sharded monotone objects against their
+// single-register baselines, at 1-8 shards with 8 parallel writers. The
+// unsharded rows funnel every writer through one mutex-guarded wide register;
+// the sharded rows split writers across S registers plus one narrow epoch
+// XADD, which is where the scaling comes from.
+func BenchmarkShardedCounter(b *testing.B) {
+	b.Run("unsharded-fa", func(b *testing.B) {
+		c := core.NewFACounter(prim.NewRealWorld(), "c")
+		parallelWithIDs(b, func(t prim.Thread, i int) { c.Inc(t) })
+	})
+	for _, s := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", s), func(b *testing.B) {
+			c := shard.NewCounter(prim.NewRealWorld(), "c", benchProcs, s)
+			parallelWithIDs(b, func(t prim.Thread, i int) { c.Inc(t) })
+		})
+	}
+}
+
+func BenchmarkShardedMaxRegister(b *testing.B) {
+	b.Run("unsharded-thm1", func(b *testing.B) {
+		m := core.NewFAMaxRegister(prim.NewRealWorld(), "m", benchProcs)
+		parallelWithIDs(b, func(t prim.Thread, i int) { m.WriteMax(t, int64(i%512)) })
+	})
+	for _, s := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", s), func(b *testing.B) {
+			m := shard.NewMaxRegister(prim.NewRealWorld(), "m", benchProcs, s)
+			parallelWithIDs(b, func(t prim.Thread, i int) { m.WriteMax(t, int64(i%512)) })
+		})
+	}
+}
+
+// E-SHARD read path: epoch-validated combining reads against a write-heavy
+// background (3 writes : 1 read, as in the E-PERF rows).
+func BenchmarkShardedCounterMixed(b *testing.B) {
+	for _, s := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", s), func(b *testing.B) {
+			c := shard.NewCounter(prim.NewRealWorld(), "c", benchProcs, s)
+			parallelWithIDs(b, func(t prim.Thread, i int) {
+				if i%4 == 0 {
+					c.Read(t)
+				} else {
+					c.Inc(t)
+				}
+			})
+		})
+	}
+}
+
+// E-POOL: lane lease overhead — the cost of routing an operation through
+// Acquire/Release instead of a dedicated process identity.
+func BenchmarkPoolWith(b *testing.B) {
+	w := prim.NewRealWorld()
+	p := pool.New(w, "p", benchProcs)
+	c := shard.NewCounter(w, "c", benchProcs, 4)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			p.With(func(t prim.RealThread) { c.Inc(t) })
+		}
 	})
 }
 

@@ -5,12 +5,18 @@
 //
 // Usage:
 //
-//	slbench [-dur 200ms] [-procs 1,2,4,8]
+//	slbench [-dur 200ms] [-procs 1,2,4,8] [-json]
+//
+// With -json it emits one record per (implementation, procs) cell —
+// {"name", "procs", "ops_per_sec"} — so perf trajectories can be recorded
+// and diffed across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -20,11 +26,13 @@ import (
 	"stronglin/internal/baseline"
 	"stronglin/internal/core"
 	"stronglin/internal/prim"
+	"stronglin/internal/shard"
 )
 
 var (
 	dur      = flag.Duration("dur", 200*time.Millisecond, "measurement duration per cell")
 	procList = flag.String("procs", "1,2,4,8", "comma-separated goroutine counts")
+	jsonOut  = flag.Bool("json", false, "emit JSON records instead of the table")
 )
 
 type target struct {
@@ -32,11 +40,31 @@ type target struct {
 	build func(procs int) func(t prim.Thread, i int)
 }
 
+// cell is one JSON measurement record.
+type cell struct {
+	Name      string  `json:"name"`
+	Procs     int     `json:"procs"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
 func main() {
 	flag.Parse()
 	procs, err := parseProcs(*procList)
 	if err != nil {
 		fmt.Println(err)
+		return
+	}
+
+	if *jsonOut {
+		var cells []cell
+		for _, tg := range targets() {
+			for _, p := range procs {
+				cells = append(cells, cell{Name: tg.name, Procs: p, OpsPerSec: measure(tg, p, *dur)})
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(cells)
 		return
 	}
 
@@ -106,6 +134,45 @@ func targets() []target {
 						s.Update(t, int64(i%64))
 					} else {
 						s.Scan(t)
+					}
+				}
+			},
+		},
+		{
+			name: "counter: fetch&add 1 core (SL)",
+			build: func(n int) func(prim.Thread, int) {
+				c := core.NewFACounter(prim.NewRealWorld(), "c")
+				return func(t prim.Thread, i int) {
+					if i%4 == 0 {
+						c.Read(t)
+					} else {
+						c.Inc(t)
+					}
+				}
+			},
+		},
+		{
+			name: "counter: sharded S=min(4,p) (SL)",
+			build: func(n int) func(prim.Thread, int) {
+				c := shard.NewCounter(prim.NewRealWorld(), "c", n, min(4, n))
+				return func(t prim.Thread, i int) {
+					if i%4 == 0 {
+						c.Read(t)
+					} else {
+						c.Inc(t)
+					}
+				}
+			},
+		},
+		{
+			name: "maxreg: sharded S=min(4,p) (SL)",
+			build: func(n int) func(prim.Thread, int) {
+				m := shard.NewMaxRegister(prim.NewRealWorld(), "m", n, min(4, n))
+				return func(t prim.Thread, i int) {
+					if i%4 == 0 {
+						m.WriteMax(t, int64(i%512))
+					} else {
+						m.ReadMax(t)
 					}
 				}
 			},

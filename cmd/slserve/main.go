@@ -1,0 +1,384 @@
+// Command slserve fronts the pool + shard runtime with HTTP: a counter, a
+// max register and a grow-only set — each sharded across independent
+// fetch&add cores — served to arbitrary concurrent clients, with process
+// identities leased per request from the lane pool. It is the
+// traffic-serving proof that the paper's strongly-linearizable objects
+// compose into a system: no caller manages a Thread, and every response is
+// backed by a model-checked construction.
+//
+// Serve:
+//
+//	slserve [-addr :8080] [-lanes 8] [-shards 4]
+//
+// Endpoints (values are non-negative integers):
+//
+//	POST /counter/inc          increment the sharded counter
+//	GET  /counter              read the counter
+//	POST /maxreg?v=42          write-max
+//	GET  /maxreg               read-max
+//	POST /gset?x=7             add an element
+//	GET  /gset?x=7             membership query
+//	GET  /gset                 list elements
+//	GET  /stats                lanes, shards, lease and per-endpoint op counts
+//	GET  /healthz              liveness
+//
+// Load-generator mode (closed loop; drives an in-process server unless -url
+// names a remote one):
+//
+//	slserve -attack [-clients 32] [-dur 2s] [-lanes 8] [-shards 4] [-url http://host:port]
+//
+// It reports JSON on stdout: per-endpoint counts, error count, and total
+// throughput. The workload mix is 50% writes (inc / wmax / add) and 50%
+// reads, spread across the three objects.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stronglin"
+)
+
+var (
+	addr    = flag.String("addr", ":8080", "listen address (serve mode)")
+	lanes   = flag.Int("lanes", 8, "process identities in the lane pool")
+	shards  = flag.Int("shards", 4, "fetch&add cores per sharded object (<= lanes)")
+	attack  = flag.Bool("attack", false, "run the closed-loop load generator instead of serving")
+	clients = flag.Int("clients", 32, "concurrent closed-loop clients (attack mode)")
+	dur     = flag.Duration("dur", 2*time.Second, "measurement duration (attack mode)")
+	url     = flag.String("url", "", "attack a remote slserve instead of an in-process one")
+)
+
+func main() {
+	flag.Parse()
+	if *lanes < 1 || *shards < 1 || *shards > *lanes {
+		fmt.Fprintf(os.Stderr, "slserve: need 1 <= -shards <= -lanes, got -lanes %d -shards %d\n", *lanes, *shards)
+		os.Exit(2)
+	}
+	if *attack {
+		if err := runAttack(); err != nil {
+			fmt.Fprintln(os.Stderr, "slserve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	srv := newServer(*lanes, *shards)
+	fmt.Printf("slserve: %d lanes, %d shards, listening on %s\n", *lanes, *shards, *addr)
+	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "slserve:", err)
+		os.Exit(1)
+	}
+}
+
+// server owns one world: the lane pool, the sharded objects, and per-endpoint
+// op counters.
+type server struct {
+	lanes, shards int
+	pool          *stronglin.Pool
+	counter       *stronglin.ShardedCounter
+	maxreg        *stronglin.ShardedMaxRegister
+	gset          *stronglin.ShardedGSet
+
+	ops struct {
+		counterInc, counterRead     atomic.Int64
+		maxregWrite, maxregRead     atomic.Int64
+		gsetAdd, gsetHas, gsetElems atomic.Int64
+	}
+}
+
+func newServer(lanes, shards int) *server {
+	w := stronglin.NewWorld()
+	return &server{
+		lanes:   lanes,
+		shards:  shards,
+		pool:    stronglin.NewPool(w, lanes),
+		counter: stronglin.NewShardedCounter(w, lanes, shards),
+		maxreg:  stronglin.NewShardedMaxRegister(w, lanes, shards),
+		gset:    stronglin.NewShardedGSet(w, lanes, shards),
+	}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/counter/inc", s.counterInc)
+	mux.HandleFunc("/counter", s.counterGet)
+	mux.HandleFunc("/maxreg", s.maxregHandler)
+	mux.HandleFunc("/gset", s.gsetHandler)
+	mux.HandleFunc("/stats", s.stats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The response is already committed; nothing sensible remains.
+		return
+	}
+}
+
+func (s *server) counterInc(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.pool.With(func(t stronglin.Thread) { s.counter.Inc(t) })
+	s.ops.counterInc.Add(1)
+	writeJSON(w, map[string]any{"ok": true})
+}
+
+func (s *server) counterGet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	var v int64
+	s.pool.With(func(t stronglin.Thread) { v = s.counter.Read(t) })
+	s.ops.counterRead.Add(1)
+	writeJSON(w, map[string]any{"value": v})
+}
+
+func (s *server) maxregHandler(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		v, err := queryInt(r, "v")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.pool.With(func(t stronglin.Thread) { s.maxreg.WriteMax(t, v) })
+		s.ops.maxregWrite.Add(1)
+		writeJSON(w, map[string]any{"ok": true})
+	case http.MethodGet:
+		var v int64
+		s.pool.With(func(t stronglin.Thread) { v = s.maxreg.ReadMax(t) })
+		s.ops.maxregRead.Add(1)
+		writeJSON(w, map[string]any{"value": v})
+	default:
+		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *server) gsetHandler(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		x, err := queryInt(r, "x")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.pool.With(func(t stronglin.Thread) { s.gset.Add(t, x) })
+		s.ops.gsetAdd.Add(1)
+		writeJSON(w, map[string]any{"ok": true})
+	case http.MethodGet:
+		if r.URL.Query().Get("x") == "" {
+			var elems []int64
+			s.pool.With(func(t stronglin.Thread) { elems = s.gset.Elems(t) })
+			s.ops.gsetElems.Add(1)
+			writeJSON(w, map[string]any{"elems": elems})
+			return
+		}
+		x, err := queryInt(r, "x")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var member bool
+		s.pool.With(func(t stronglin.Thread) { member = s.gset.Has(t, x) })
+		s.ops.gsetHas.Add(1)
+		writeJSON(w, map[string]any{"member": member})
+	default:
+		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+	}
+}
+
+// statsSnapshot is the /stats document (and the per-endpoint section of the
+// attack report).
+type statsSnapshot struct {
+	Lanes       int   `json:"lanes"`
+	Shards      int   `json:"shards"`
+	LanesInUse  int   `json:"lanes_in_use"`
+	Acquires    int64 `json:"lease_acquires"`
+	CounterInc  int64 `json:"counter_inc"`
+	CounterRead int64 `json:"counter_read"`
+	MaxregWrite int64 `json:"maxreg_write"`
+	MaxregRead  int64 `json:"maxreg_read"`
+	GSetAdd     int64 `json:"gset_add"`
+	GSetHas     int64 `json:"gset_has"`
+	GSetElems   int64 `json:"gset_elems"`
+}
+
+func (s *server) snapshot() statsSnapshot {
+	// Reading the ticket register needs no lease (and must not take one:
+	// /stats should answer even when every lane is out to slow writers).
+	acquires := s.pool.Acquires(stronglin.Thread(0))
+	return statsSnapshot{
+		Lanes:       s.lanes,
+		Shards:      s.shards,
+		LanesInUse:  s.pool.InUse(),
+		Acquires:    acquires,
+		CounterInc:  s.ops.counterInc.Load(),
+		CounterRead: s.ops.counterRead.Load(),
+		MaxregWrite: s.ops.maxregWrite.Load(),
+		MaxregRead:  s.ops.maxregRead.Load(),
+		GSetAdd:     s.ops.gsetAdd.Load(),
+		GSetHas:     s.ops.gsetHas.Load(),
+		GSetElems:   s.ops.gsetElems.Load(),
+	}
+}
+
+func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.snapshot())
+}
+
+// maxValue bounds client-supplied values. The fetch&add constructions
+// store values in unary (max register: width ~ v*lanes bits) or one bit per
+// element (gset: bit x*lanes), so an unbounded value is an allocation — and
+// past the int bit-index range, a panic — a single request could trigger.
+const maxValue = 1 << 20
+
+func queryInt(r *http.Request, key string) (int64, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", key)
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || v < 0 || v > maxValue {
+		return 0, fmt.Errorf("query parameter %q must be an integer in [0, %d]", key, maxValue)
+	}
+	return v, nil
+}
+
+// --- attack mode -------------------------------------------------------------
+
+// attackReport is the JSON document the load generator prints. Requests and
+// OpsPerSec count SUCCESSFUL requests only, so a down or erroring target
+// reports its failure rather than inflated throughput.
+type attackReport struct {
+	Target    string        `json:"target"`
+	Clients   int           `json:"clients"`
+	Duration  string        `json:"duration"`
+	Requests  int64         `json:"requests"`
+	Errors    int64         `json:"errors"`
+	OpsPerSec float64       `json:"ops_per_sec"`
+	Stats     statsSnapshot `json:"server_stats"`
+}
+
+func runAttack() error {
+	target := *url
+	var srv *server
+	if target == "" {
+		// Self-contained run: serve the stack from this process on a loopback
+		// port and attack it over real HTTP.
+		srv = newServer(*lanes, *shards)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: srv.handler()}
+		go hs.Serve(ln)
+		defer hs.Shutdown(context.Background())
+		target = "http://" + ln.Addr().String()
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *clients * 2,
+		MaxIdleConnsPerHost: *clients * 2,
+	}}
+
+	var requests, errors atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				if err := fire(client, target, c, i); err != nil {
+					errors.Add(1)
+				} else {
+					requests.Add(1)
+				}
+			}
+		}(c)
+	}
+	start := time.Now()
+	time.Sleep(*dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := attackReport{
+		Target:    target,
+		Clients:   *clients,
+		Duration:  elapsed.String(),
+		Requests:  requests.Load(),
+		Errors:    errors.Load(),
+		OpsPerSec: float64(requests.Load()) / elapsed.Seconds(),
+	}
+	if srv != nil {
+		rep.Stats = srv.snapshot()
+	} else {
+		// Remote target: ask it for its own counts. On any failure leave the
+		// stats out rather than publishing a zeroed block that reads as an
+		// idle server.
+		if resp, err := client.Get(target + "/stats"); err != nil {
+			fmt.Fprintln(os.Stderr, "slserve: remote /stats unavailable:", err)
+		} else {
+			decErr := json.NewDecoder(resp.Body).Decode(&rep.Stats)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || decErr != nil {
+				fmt.Fprintf(os.Stderr, "slserve: remote /stats unusable (status %d, decode err %v); omitting server_stats\n", resp.StatusCode, decErr)
+				rep.Stats = statsSnapshot{}
+			}
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// fire issues the i-th request of client c: a 50/50 read/write mix across
+// the three objects.
+func fire(client *http.Client, target string, c, i int) error {
+	var resp *http.Response
+	var err error
+	switch i % 6 {
+	case 0:
+		resp, err = client.Post(target+"/counter/inc", "", nil)
+	case 1:
+		resp, err = client.Get(target + "/counter")
+	case 2:
+		resp, err = client.Post(fmt.Sprintf("%s/maxreg?v=%d", target, (c*31+i)%1024), "", nil)
+	case 3:
+		resp, err = client.Get(target + "/maxreg")
+	case 4:
+		resp, err = client.Post(fmt.Sprintf("%s/gset?x=%d", target, (c+i)%256), "", nil)
+	default:
+		resp, err = client.Get(fmt.Sprintf("%s/gset?x=%d", target, (c+i)%256))
+	}
+	if err != nil {
+		return err
+	}
+	// Drain before closing so the keep-alive connection is reusable;
+	// otherwise every request pays a fresh TCP handshake and the report
+	// measures connection setup, not the server.
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestEndpoints(t *testing.T) {
+	ts := httptest.NewServer(newServer(4, 2).handler())
+	defer ts.Close()
+
+	post := func(path string) map[string]any {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: status %d", path, resp.StatusCode)
+		}
+		var out map[string]any
+		json.NewDecoder(resp.Body).Decode(&out)
+		return out
+	}
+	get := func(path string) map[string]any {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		var out map[string]any
+		json.NewDecoder(resp.Body).Decode(&out)
+		return out
+	}
+
+	for i := 0; i < 3; i++ {
+		post("/counter/inc")
+	}
+	if v := get("/counter")["value"].(float64); v != 3 {
+		t.Fatalf("counter = %v, want 3", v)
+	}
+
+	post("/maxreg?v=41")
+	post("/maxreg?v=7")
+	if v := get("/maxreg")["value"].(float64); v != 41 {
+		t.Fatalf("maxreg = %v, want 41", v)
+	}
+
+	post("/gset?x=5")
+	if m := get("/gset?x=5")["member"].(bool); !m {
+		t.Fatal("gset should contain 5")
+	}
+	if m := get("/gset?x=6")["member"].(bool); m {
+		t.Fatal("gset should not contain 6")
+	}
+	elems := get("/gset")["elems"].([]any)
+	if len(elems) != 1 || elems[0].(float64) != 5 {
+		t.Fatalf("gset elems = %v, want [5]", elems)
+	}
+
+	stats := get("/stats")
+	if got := stats["counter_inc"].(float64); got != 3 {
+		t.Fatalf("stats counter_inc = %v, want 3", got)
+	}
+	if got := stats["lanes_in_use"].(float64); got != 0 {
+		t.Fatalf("stats lanes_in_use = %v, want 0", got)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := httptest.NewServer(newServer(2, 1).handler())
+	defer ts.Close()
+	for _, c := range []struct {
+		method, path string
+		want         int
+	}{
+		{http.MethodGet, "/counter/inc", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/maxreg", http.StatusBadRequest},                    // missing v
+		{http.MethodPost, "/maxreg?v=-3", http.StatusBadRequest},               // negative
+		{http.MethodPost, "/maxreg?v=99999999999", http.StatusBadRequest},      // over maxValue: would OOM the unary encoding
+		{http.MethodGet, "/gset?x=9000000000000000000", http.StatusBadRequest}, // near int64 max: would overflow the bit index
+		{http.MethodPost, "/gset?x=banana", http.StatusBadRequest},             // not an int
+		{http.MethodDelete, "/gset?x=1", http.StatusMethodNotAllowed},
+	} {
+		req, _ := http.NewRequest(c.method, ts.URL+c.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %s: status %d, want %d", c.method, c.path, resp.StatusCode, c.want)
+		}
+	}
+}
+
+// TestConcurrentClients floods the server with more concurrent clients than
+// lanes — the load the pool exists to carry — and checks that no increment is
+// lost. Run under -race this is the acceptance check for the traffic
+// front-end.
+func TestConcurrentClients(t *testing.T) {
+	srv := newServer(4, 2)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	const clients, reqs = 16, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < reqs; i++ {
+				if err := fire(http.DefaultClient, ts.URL, c, i); err != nil {
+					errs <- fmt.Errorf("client %d: %w", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	// Each client's i%6==0 requests increment: ceil(25/6) = 5 per client.
+	want := float64(clients * 5)
+	if got := out["value"].(float64); got != want {
+		t.Fatalf("counter after load = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,3 @@
+module stronglin
+
+go 1.24

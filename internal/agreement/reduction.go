@@ -232,6 +232,11 @@ func (iw *instrumentedWorld) FetchAdd(name string) prim.FetchAdd {
 	return &instrFA{iw: iw, inner: iw.inner.FetchAdd(name)}
 }
 
+func (iw *instrumentedWorld) FetchAddInt(name string, init int64) prim.FetchAddInt {
+	iw.record(name)
+	return &instrFAI{iw: iw, inner: iw.inner.FetchAddInt(name, init)}
+}
+
 func (iw *instrumentedWorld) MaxReg(name string, init int64) prim.MaxReg {
 	iw.record(name)
 	return &instrMaxReg{iw: iw, inner: iw.inner.MaxReg(name, init)}
@@ -305,6 +310,16 @@ type instrFA struct {
 func (r *instrFA) FetchAdd(t prim.Thread, delta *big.Int) *big.Int {
 	r.iw.tick(t)
 	return r.inner.FetchAdd(t, delta)
+}
+
+type instrFAI struct {
+	iw    *instrumentedWorld
+	inner prim.FetchAddInt
+}
+
+func (r *instrFAI) FetchAddInt(t prim.Thread, delta int64) int64 {
+	r.iw.tick(t)
+	return r.inner.FetchAddInt(t, delta)
 }
 
 type instrMaxReg struct {

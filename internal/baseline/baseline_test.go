@@ -72,6 +72,9 @@ func hwSetup(w *sim.World) []sim.Program {
 // E-T17a: the Herlihy–Wing queue is linearizable on every interleaving of
 // the bounded configuration...
 func TestHWQueueLinearizable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive interleaving check; skipped in -short mode")
+	}
 	tree, err := sim.Explore(3, hwSetup, &sim.ExploreOptions{MaxNodes: 3000000})
 	if err != nil {
 		t.Fatal(err)
@@ -320,6 +323,9 @@ func TestUniversalSequential(t *testing.T) {
 // The CAS universal queue IS strongly linearizable — the comparator pole of
 // E-FIG1 and the object that makes the Lemma 12 reduction solve consensus.
 func TestCASQueueStronglyLinearizable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive interleaving check; skipped in -short mode")
+	}
 	setup := func(w *sim.World) []sim.Program {
 		q := NewCASQueue(w, "q", 3)
 		enq := func(v int64) sim.Op {

@@ -62,6 +62,9 @@ func naiveStackSetup(w *sim.World) []sim.Program {
 // Empirical verdict: the naive fetch&add+swap stack is linearizable on
 // every interleaving of this bounded configuration.
 func TestNaiveStackLinearizable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive interleaving check; skipped in -short mode")
+	}
 	tree, err := sim.Explore(3, naiveStackSetup, &sim.ExploreOptions{MaxNodes: 3000000})
 	if err != nil {
 		t.Fatal(err)

@@ -33,6 +33,9 @@ func TestMaxRegisterCertificate(t *testing.T) {
 // A configuration whose tree (about 10^5 leaves) is uncomfortable for the
 // game search but trivial for the certificate check.
 func TestMaxRegisterCertificateLargeConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive interleaving check; skipped in -short mode")
+	}
 	setup := func(w *sim.World) []sim.Program {
 		m := NewFAMaxRegister(w, "m", 3)
 		return []sim.Program{

@@ -48,8 +48,9 @@ type FAMaxRegister struct {
 	codec  interleave.Codec
 	w      prim.World
 	r      prim.FetchAdd
-	prev   []int64 // prev[i] is written only by process i
-	noopFA bool    // perform fetch&add(R,0) on no-op writes (paper step 1)
+	laneOf func(id int) int // process ID -> lane index (identity by default)
+	prev   []int64          // prev[i] is written only by the process on lane i
+	noopFA bool             // perform fetch&add(R,0) on no-op writes (paper step 1)
 }
 
 var _ prim.MaxReg = (*FAMaxRegister)(nil)
@@ -66,6 +67,18 @@ func WithoutNoopFA() MaxRegOption {
 	return func(m *FAMaxRegister) { m.noopFA = false }
 }
 
+// WithLaneMap routes process IDs to lane indices in [0, n). The construction
+// then needs only as many lanes as distinct WRITERS rather than one per
+// process ID, which keeps the unary register narrow — the sharded layer maps
+// its subset of lanes compactly (id/S), shrinking every shard's register
+// width (and so the per-operation fetch&add cost) by the shard count. The
+// map must be injective over the processes that actually write; it does not
+// touch thread identity, so scheduling and trace attribution in the
+// simulated world are unaffected.
+func WithLaneMap(laneOf func(id int) int) MaxRegOption {
+	return func(m *FAMaxRegister) { m.laneOf = laneOf }
+}
+
 // NewFAMaxRegister allocates the construction for n processes using a single
 // fetch&add register named name+".R".
 func NewFAMaxRegister(w prim.World, name string, n int, opts ...MaxRegOption) *FAMaxRegister {
@@ -74,6 +87,7 @@ func NewFAMaxRegister(w prim.World, name string, n int, opts ...MaxRegOption) *F
 		codec:  interleave.MustNew(n),
 		w:      w,
 		r:      w.FetchAdd(name + ".R"),
+		laneOf: func(id int) int { return id },
 		prev:   make([]int64, n),
 		noopFA: true,
 	}
@@ -88,7 +102,7 @@ func (m *FAMaxRegister) WriteMax(t prim.Thread, v int64) {
 	if v < 0 {
 		panic(fmt.Sprintf("core: FAMaxRegister.WriteMax(%d): values must be non-negative", v))
 	}
-	i := t.ID()
+	i := m.laneOf(t.ID())
 	if v <= m.prev[i] {
 		if m.noopFA {
 			m.r.FetchAdd(t, zero)

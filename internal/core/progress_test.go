@@ -112,6 +112,9 @@ func TestReadableTASWaitFreeBound(t *testing.T) {
 // Wait-freedom of Theorem 6 over atomic bases: every operation is bounded
 // by 3 steps (readMax + TS access [+ writeMax]) in every interleaving.
 func TestMultiShotTASWaitFreeBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive interleaving check; skipped in -short mode")
+	}
 	setup := func(w *sim.World) []sim.Program {
 		m := NewMultiShotTASAtomic(w, "m")
 		return []sim.Program{

@@ -61,6 +61,9 @@ func TestTASSetStrongLinTakeEmptyRace(t *testing.T) {
 }
 
 func TestTASSetStrongLinTakeTakeRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive interleaving check; skipped in -short mode")
+	}
 	// Two takes racing over a single put: at most one may win the item, the
 	// other must return it or empty consistently.
 	setup := func(w *sim.World) []sim.Program {

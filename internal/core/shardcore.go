@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+
+	"stronglin/internal/prim"
+)
+
+// This file provides the shard-friendly cores used by internal/shard: monotone
+// objects whose every operation is a single fetch&add step on one shared
+// register. Like FAMaxRegister and FASnapshot, each operation's unique
+// fetch&add is its linearization point, so strong linearizability is immediate
+// (and model-checked in the tests). The sharded layer stripes writes across S
+// independent instances and combines reads; see internal/shard for the
+// monotone-combination argument.
+
+// FACounter is a wait-free strongly-linearizable monotone (increment-only)
+// counter from a single fetch&add register: Inc is fetch&add(R, 1), Add(k) is
+// fetch&add(R, k), and Read is fetch&add(R, 0). It is the increment-only
+// specialisation of the paper's observation that fetch&add directly gives
+// single-step counting (cf. Theorem 9's readable fetch&increment, which needs
+// test&set only because it must also RETURN the pre-increment value); a
+// monotone counter's inc returns nothing, so one consensus-number-2 primitive
+// suffices with no construction at all.
+type FACounter struct {
+	w prim.World
+	r prim.FetchAdd
+}
+
+// NewFACounter allocates the register name+".R"; the counter starts at 0.
+func NewFACounter(w prim.World, name string) *FACounter {
+	return &FACounter{w: w, r: w.FetchAdd(name + ".R")}
+}
+
+// Inc increments the counter.
+func (c *FACounter) Inc(t prim.Thread) {
+	c.r.FetchAdd(t, one)
+	prim.MarkLinPoint(c.w, t)
+}
+
+// Add adds k (which must be non-negative) to the counter.
+func (c *FACounter) Add(t prim.Thread, k int64) {
+	if k < 0 {
+		panic(fmt.Sprintf("core: FACounter.Add(%d): deltas must be non-negative", k))
+	}
+	c.r.FetchAdd(t, big.NewInt(k))
+	prim.MarkLinPoint(c.w, t)
+}
+
+// Read returns the counter value.
+func (c *FACounter) Read(t prim.Thread) int64 {
+	v := c.r.FetchAdd(t, zero).Int64()
+	prim.MarkLinPoint(c.w, t)
+	return v
+}
+
+// FAGSet is a wait-free strongly-linearizable grow-only set from a single
+// fetch&add register, for n processes and non-negative elements.
+//
+// Element x of process i occupies bit x*n+i of the shared register (lane-local
+// bit x of lane i, in the interleaved layout of FAMaxRegister/FASnapshot): x
+// is a member iff any lane has bit x set. Add(x) sets the caller's bit with
+// one fetch&add the first time the caller adds x, and performs fetch&add(R, 0)
+// on repeats — per-process once-bits make the non-idempotent fetch&add encode
+// the idempotent add, exactly as the unary max-register write only ever adds
+// fresh bits. Has and Elems are fetch&add(R, 0) followed by local decoding.
+//
+// Every operation performs exactly one fetch&add, which is its linearization
+// point. Unlike the Algorithm 1 GSet (Theorems 3-4), which pays a snapshot
+// scan plus an operation-graph linearization per operation, every FAGSet
+// operation is O(1) shared steps — the shard-friendly trade: it implements
+// only the grow-only set rather than every simple type.
+type FAGSet struct {
+	n      int
+	w      prim.World
+	r      prim.FetchAdd
+	laneOf func(id int) int // process ID -> lane index (identity by default)
+
+	// added[i] records which elements the process on lane i has already
+	// inserted; it is a process-local once-guard (written only by that
+	// process), not shared state. The mutex protects nothing across processes
+	// — each map is single-writer — but keeps the race detector satisfied
+	// about map growth; reads of membership go through the shared register
+	// only.
+	added []map[int64]struct{}
+	mu    []sync.Mutex
+}
+
+// GSetOption configures NewFAGSet.
+type GSetOption func(*FAGSet)
+
+// WithGSetLaneMap routes process IDs to lane indices in [0, n), exactly as
+// WithLaneMap does for the max register: the sharded layer maps its subset of
+// writers compactly so each shard's register is only as wide as its own
+// writer count requires. The map must be injective over the writing
+// processes; thread identity (and so sim scheduling) is unaffected.
+func WithGSetLaneMap(laneOf func(id int) int) GSetOption {
+	return func(s *FAGSet) { s.laneOf = laneOf }
+}
+
+// NewFAGSet allocates the construction for n lanes using a single fetch&add
+// register named name+".R".
+func NewFAGSet(w prim.World, name string, n int, opts ...GSetOption) *FAGSet {
+	s := &FAGSet{
+		n:      n,
+		w:      w,
+		r:      w.FetchAdd(name + ".R"),
+		laneOf: func(id int) int { return id },
+		added:  make([]map[int64]struct{}, n),
+		mu:     make([]sync.Mutex, n),
+	}
+	for i := range s.added {
+		s.added[i] = make(map[int64]struct{})
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Add inserts x (which must be non-negative) on behalf of t.
+func (s *FAGSet) Add(t prim.Thread, x int64) {
+	if x < 0 {
+		panic(fmt.Sprintf("core: FAGSet.Add(%d): elements must be non-negative", x))
+	}
+	i := s.laneOf(t.ID())
+	s.mu[i].Lock()
+	_, dup := s.added[i][x]
+	if !dup {
+		s.added[i][x] = struct{}{}
+	}
+	s.mu[i].Unlock()
+	if dup {
+		s.r.FetchAdd(t, zero)
+		prim.MarkLinPoint(s.w, t)
+		return
+	}
+	delta := new(big.Int)
+	delta.SetBit(delta, int(x)*s.n+i, 1)
+	s.r.FetchAdd(t, delta)
+	prim.MarkLinPoint(s.w, t)
+}
+
+// Has reports membership of x.
+func (s *FAGSet) Has(t prim.Thread, x int64) bool {
+	word := s.r.FetchAdd(t, zero)
+	prim.MarkLinPoint(s.w, t)
+	if x < 0 {
+		return false
+	}
+	for i := 0; i < s.n; i++ {
+		if word.Bit(int(x)*s.n+i) == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Elems returns the members in ascending order.
+func (s *FAGSet) Elems(t prim.Thread) []int64 {
+	word := s.r.FetchAdd(t, zero)
+	prim.MarkLinPoint(s.w, t)
+	var out []int64
+	for pos := 0; pos < word.BitLen(); pos++ {
+		if word.Bit(pos) == 1 {
+			x := int64(pos / s.n)
+			if len(out) == 0 || out[len(out)-1] != x {
+				out = append(out, x)
+			}
+		}
+	}
+	return out
+}

@@ -34,6 +34,9 @@ func TestReadableTASSequential(t *testing.T) {
 // ANOTHER process's step (the first write of 1 to state), so it exercises
 // the group-linearization capability of the checker.
 func TestReadableTASStrongLinTwoSettersOneReader(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive interleaving check; skipped in -short mode")
+	}
 	setup := func(w *sim.World) []sim.Program {
 		r := NewReadableTAS(w, "rt")
 		return []sim.Program{
@@ -46,6 +49,9 @@ func TestReadableTASStrongLinTwoSettersOneReader(t *testing.T) {
 }
 
 func TestReadableTASStrongLinSetterReaderPrograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive interleaving check; skipped in -short mode")
+	}
 	setup := func(w *sim.World) []sim.Program {
 		r := NewReadableTAS(w, "rt")
 		return []sim.Program{
@@ -121,6 +127,9 @@ func TestMultiShotTASSequential(t *testing.T) {
 // E-T6: Theorem 6 over atomic base objects (readable test&set + max
 // register), exactly as the theorem states.
 func TestMultiShotTASStrongLinAtomicBases(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive interleaving check; skipped in -short mode")
+	}
 	setup := func(w *sim.World) []sim.Program {
 		m := NewMultiShotTASAtomic(w, "ms")
 		return []sim.Program{
@@ -133,6 +142,9 @@ func TestMultiShotTASStrongLinAtomicBases(t *testing.T) {
 }
 
 func TestMultiShotTASStrongLinTwoProcDeep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive interleaving check; skipped in -short mode")
+	}
 	// A deeper 2-process configuration spanning two epochs.
 	setup := func(w *sim.World) []sim.Program {
 		m := NewMultiShotTASAtomic(w, "ms")
@@ -159,6 +171,9 @@ func TestMultiShotTASStrongLinResetRace(t *testing.T) {
 // E-T6/Cor 7: the full composition over Theorem 1's max register and
 // Theorem 5's readable test&sets (base objects: fetch&add + test&set only).
 func TestMultiShotTASStrongLinComposedCor7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive interleaving check; skipped in -short mode")
+	}
 	setup := func(w *sim.World) []sim.Program {
 		m := NewMultiShotTASFromPrimitives(w, "ms", 2)
 		return []sim.Program{

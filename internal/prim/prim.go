@@ -80,6 +80,17 @@ type FetchAdd interface {
 	FetchAdd(t Thread, delta *big.Int) *big.Int
 }
 
+// FetchAddInt is a bounded-width (machine-word) fetch&add register holding an
+// int64. Consensus number 2 — this is the hardware XADD primitive, the
+// bounded special case of FetchAdd. The runtime layers (internal/pool,
+// internal/shard) use it for narrow bookkeeping — lease tickets, epoch
+// announce counters — where the unbounded register's width (and, in the real
+// world, its mutex-guarded big.Int arithmetic) is not needed.
+type FetchAddInt interface {
+	// FetchAddInt adds delta and returns the previous value.
+	FetchAddInt(t Thread, delta int64) int64
+}
+
 // Swap is an atomic swap register holding an int64. Consensus number 2.
 type Swap interface {
 	Swap(t Thread, v int64) int64
@@ -151,6 +162,7 @@ type World interface {
 	// 2-process test&set). Misuse by a third process panics.
 	TAS2(name string, p, q int) ReadableTAS
 	FetchAdd(name string) FetchAdd
+	FetchAddInt(name string, init int64) FetchAddInt
 	MaxReg(name string, init int64) MaxReg
 	Swap(name string, init int64) ReadableSwap
 	CAS(name string, init int64) CAS

@@ -65,6 +65,14 @@ func (w *RealWorld) FetchAdd(name string) FetchAdd {
 	return &realFetchAdd{val: new(big.Int)}
 }
 
+// FetchAddInt allocates a machine-word fetch&add register.
+func (w *RealWorld) FetchAddInt(name string, init int64) FetchAddInt {
+	w.claim(name)
+	f := &realFetchAddInt{}
+	f.v.Store(init)
+	return f
+}
+
 // MaxReg allocates an atomic max register.
 func (w *RealWorld) MaxReg(name string, init int64) MaxReg {
 	w.claim(name)
@@ -123,6 +131,12 @@ func (r *realFetchAdd) FetchAdd(_ Thread, delta *big.Int) *big.Int {
 	prev := new(big.Int).Set(r.val)
 	r.val.Add(r.val, delta)
 	return prev
+}
+
+type realFetchAddInt struct{ v atomic.Int64 }
+
+func (r *realFetchAddInt) FetchAddInt(_ Thread, delta int64) int64 {
+	return r.v.Add(delta) - delta
 }
 
 type realMaxReg struct{ v atomic.Int64 }

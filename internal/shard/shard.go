@@ -1,0 +1,311 @@
+// Package shard stripes the library's monotone objects across S independent
+// fetch&add cores so that writers on different shards never contend on the
+// same wide register, and combines shard reads into the object's value.
+//
+// Writes pick their shard by lane ID (t.ID() % S): with lanes leased from
+// internal/pool, concurrent writers spread across shards, turning the single
+// fetch&add hot spot of the unsharded constructions into S independent ones.
+// Reads visit every shard and combine: sum for the counter, max for the max
+// register, or-over-membership for the grow-only set.
+//
+// # Why naive monotone combination is not enough
+//
+// Each shard is strongly linearizable with single-step operations, and each
+// shard's value is MONOTONE (non-decreasing in the object's natural order).
+// For a read that performs one shard read per shard at times t_1 < ... < t_S,
+// monotonicity buys plain linearizability for sum and membership combines:
+//
+//   - Counter (sum): total(t_1) <= sum <= total(t_S), and the total passes
+//     through every intermediate value in unit steps, so the sum was the
+//     exact total at some instant inside the read.
+//   - GSet (or): a membership miss at t_s >= t_1 means (monotonicity) a miss
+//     at t_1 too, so "absent" was globally true at t_1; a hit was true when
+//     witnessed.
+//   - MaxRegister (max): the argument FAILS — the global max does not pass
+//     through intermediate values. If a reader collects shard A before
+//     WriteMax(7) lands there, WriteMax(7) completes, WriteMax(3) completes
+//     on shard B, and the reader then collects B, it returns 3 even though 7
+//     was written strictly earlier: not linearizable. The model checker
+//     reproduces exactly this (TestShardedMaxRegisterSingleCollectNotLinearizable).
+//
+// Linearizability is still not the library's contract — STRONG
+// linearizability is, and the naive combine fails it even where it is
+// linearizable. The execution-tree game checker exhibits the trap for the
+// single-collect counter: a reader collects shard A = 0; an inc lands on A
+// and RETURNS. Prefix-closure forces the completed inc into the
+// linearization now, and only APPENDS are allowed later — but the reader's
+// eventual value (0 or 1) still depends on whether a second inc beats its
+// read of shard B, so no commitment made at this point survives both
+// futures. The sum combine is linearizable but NOT strongly linearizable
+// (TestShardedCounterSingleCollectNotStrongLin), precisely the
+// hyperproperty-relevant gap this library exists to close.
+//
+// # Epoch-validated collects
+//
+// The sharded objects therefore close the staleness window with one narrow
+// machine-word fetch&add register, the EPOCH: a write performs its shard
+// fetch&add (its linearization point) and then announces completion by
+// fetch&add(epoch, 1); a read snapshots the epoch, collects the shards, and
+// re-reads the epoch, retrying the collect until the epoch is unchanged. On
+// success, every write that completed before the read's final step had
+// announced before the window opened — so its shard step is included in the
+// collect, and the combined value is consistent with every operation the
+// prefix-closed linearization has already committed. Writes the collect saw
+// whose announce is still pending linearize eagerly (their void responses
+// are determined at their shard step), exactly the pending-operation
+// linearization the game checker explores. Strong linearizability of all
+// three sharded objects is decided mechanically on bounded configurations
+// (2 shards x 2-3 processes) in the package tests.
+//
+// The epoch register is shared by all writers, but it is the bounded
+// special case of fetch&add (hardware XADD on an int64) — the expensive,
+// contended work of the unsharded constructions, the mutex-guarded
+// arbitrary-precision arithmetic on registers whose width grows with values
+// times lanes, is what gets striped. Reads are lock-free rather than
+// wait-free (a retry consumes a write's announce), matching the guarantee of
+// the paper's Theorem 9/10 objects.
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"stronglin/internal/core"
+	"stronglin/internal/prim"
+)
+
+func validate(lanes, shards int) {
+	if lanes < 1 || shards < 1 {
+		panic(fmt.Sprintf("shard: lanes (%d) and shards (%d) must be >= 1", lanes, shards))
+	}
+	if shards > lanes {
+		panic(fmt.Sprintf("shard: %d shards exceed %d lanes — shards would sit idle", shards, lanes))
+	}
+}
+
+// Counter is a monotone counter striped across S fetch&add cores. Inc touches
+// the caller's shard and the epoch; Read performs an epoch-validated collect.
+type Counter struct {
+	shards []*core.FACounter
+	epoch  prim.FetchAddInt
+}
+
+// NewCounter builds a sharded counter for the given lane count.
+func NewCounter(w prim.World, name string, lanes, shards int) *Counter {
+	validate(lanes, shards)
+	c := &Counter{
+		shards: make([]*core.FACounter, shards),
+		epoch:  w.FetchAddInt(name+".epoch", 0),
+	}
+	for s := range c.shards {
+		c.shards[s] = core.NewFACounter(w, shardName(name, s))
+	}
+	return c
+}
+
+// Shards returns the shard count S.
+func (c *Counter) Shards() int { return len(c.shards) }
+
+// Inc increments the counter via the caller's shard.
+func (c *Counter) Inc(t prim.Thread) {
+	c.shards[t.ID()%len(c.shards)].Inc(t)
+	c.epoch.FetchAddInt(t, 1)
+}
+
+// Add adds k (non-negative) via the caller's shard.
+func (c *Counter) Add(t prim.Thread, k int64) {
+	c.shards[t.ID()%len(c.shards)].Add(t, k)
+	c.epoch.FetchAddInt(t, 1)
+}
+
+// Read returns the counter value: an epoch-validated sum of one read per
+// shard. Lock-free: a retry consumes a write's epoch announce.
+func (c *Counter) Read(t prim.Thread) int64 {
+	v := epochValidated(t, c.epoch, func() (int64, bool) {
+		return c.readSingleCollect(t), false
+	})
+	return v
+}
+
+// readSingleCollect is the naive combine kept for the negative model check:
+// linearizable (the sum passes through every intermediate total) but not
+// strongly linearizable (see the package comment's trap).
+func (c *Counter) readSingleCollect(t prim.Thread) int64 {
+	var sum int64
+	for _, s := range c.shards {
+		sum += s.Read(t)
+	}
+	return sum
+}
+
+// MaxRegister is a max register striped across S fetch&add unary cores.
+// WriteMax touches the caller's shard and the epoch; ReadMax performs an
+// epoch-validated collect.
+type MaxRegister struct {
+	shards []*core.FAMaxRegister
+	epoch  prim.FetchAddInt
+}
+
+// NewMaxRegister builds a sharded max register for the given lane count.
+// Shard s is a Theorem 1 construction hosting only the lanes mapped to it
+// (l % S == s), compacted to indices l/S — so each shard's unary register is
+// S times narrower than the unsharded construction's, which shrinks every
+// fetch&add proportionally on top of splitting writer contention.
+func NewMaxRegister(w prim.World, name string, lanes, shards int) *MaxRegister {
+	validate(lanes, shards)
+	m := &MaxRegister{
+		shards: make([]*core.FAMaxRegister, shards),
+		epoch:  w.FetchAddInt(name+".epoch", 0),
+	}
+	for s := range m.shards {
+		m.shards[s] = core.NewFAMaxRegister(w, shardName(name, s), laneCount(lanes, shards, s),
+			core.WithLaneMap(compactLane(shards)))
+	}
+	return m
+}
+
+// Shards returns the shard count S.
+func (m *MaxRegister) Shards() int { return len(m.shards) }
+
+// WriteMax writes v (non-negative) via the caller's shard.
+func (m *MaxRegister) WriteMax(t prim.Thread, v int64) {
+	m.shards[t.ID()%len(m.shards)].WriteMax(t, v)
+	m.epoch.FetchAddInt(t, 1)
+}
+
+// ReadMax returns the largest value written so far: an epoch-validated max of
+// one read per shard. Lock-free: a retry consumes a write's epoch announce.
+func (m *MaxRegister) ReadMax(t prim.Thread) int64 {
+	v := epochValidated(t, m.epoch, func() (int64, bool) {
+		return m.readMaxSingleCollect(t), false
+	})
+	return v
+}
+
+// readMaxSingleCollect is the broken combine kept for the negative model
+// check: one unvalidated collect is not even linearizable. See the package
+// comment's counterexample.
+func (m *MaxRegister) readMaxSingleCollect(t prim.Thread) int64 {
+	var max int64
+	for _, sh := range m.shards {
+		if v := sh.ReadMax(t); v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// GSet is a grow-only set striped across S fetch&add cores. Add touches the
+// caller's shard and the epoch; Has witnesses membership directly or
+// validates absence against the epoch.
+type GSet struct {
+	shards []*core.FAGSet
+	epoch  prim.FetchAddInt
+}
+
+// NewGSet builds a sharded grow-only set for the given lane count. Like the
+// max register, shard s hosts only its own lanes, compacted — narrowing each
+// shard's element-bit register by the shard count.
+func NewGSet(w prim.World, name string, lanes, shards int) *GSet {
+	validate(lanes, shards)
+	g := &GSet{
+		shards: make([]*core.FAGSet, shards),
+		epoch:  w.FetchAddInt(name+".epoch", 0),
+	}
+	for s := range g.shards {
+		g.shards[s] = core.NewFAGSet(w, shardName(name, s), laneCount(lanes, shards, s),
+			core.WithGSetLaneMap(compactLane(shards)))
+	}
+	return g
+}
+
+// Shards returns the shard count S.
+func (g *GSet) Shards() int { return len(g.shards) }
+
+// Add inserts x (non-negative) via the caller's shard.
+func (g *GSet) Add(t prim.Thread, x int64) {
+	g.shards[t.ID()%len(g.shards)].Add(t, x)
+	g.epoch.FetchAddInt(t, 1)
+}
+
+// Has reports membership of x. A hit needs no validation — membership only
+// grows, so "present" stays appendable after any later operations; a miss is
+// epoch-validated like the other combining reads.
+func (g *GSet) Has(t prim.Thread, x int64) bool {
+	hit := epochValidated(t, g.epoch, func() (bool, bool) {
+		found := g.hasSingleCollect(t, x)
+		return found, found // a witnessed hit is final without validation
+	})
+	return hit
+}
+
+// hasSingleCollect is the naive combine kept for the negative model check:
+// linearizable (a miss at t_s implies a miss at t_1 by monotonicity) but not
+// strongly linearizable.
+func (g *GSet) hasSingleCollect(t prim.Thread, x int64) bool {
+	for _, s := range g.shards {
+		if s.Has(t, x) {
+			return true
+		}
+	}
+	return false
+}
+
+// Elems returns the members in ascending order: an epoch-validated union of
+// the shards.
+func (g *GSet) Elems(t prim.Thread) []int64 {
+	out := epochValidated(t, g.epoch, func() ([]int64, bool) {
+		seen := make(map[int64]struct{})
+		var union []int64
+		for _, s := range g.shards {
+			for _, x := range s.Elems(t) {
+				if _, dup := seen[x]; !dup {
+					seen[x] = struct{}{}
+					union = append(union, x)
+				}
+			}
+		}
+		return union, false
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// epochValidated is the package's seqlock-style combining-read protocol,
+// written once: snapshot the epoch, run collect, re-read the epoch, and
+// retry until the epoch is unchanged — at which point every write that
+// completed before the final epoch read had announced before the window
+// opened, so collect saw its shard step (the strong-linearizability argument
+// in the package comment). A collect may short-circuit by returning
+// final=true for values that need no validation (e.g. a witnessed membership
+// hit, which monotonicity keeps true forever).
+func epochValidated[T any](t prim.Thread, epoch prim.FetchAddInt, collect func() (v T, final bool)) T {
+	e := epoch.FetchAddInt(t, 0)
+	for {
+		v, final := collect()
+		if final {
+			return v
+		}
+		e2 := epoch.FetchAddInt(t, 0)
+		if e2 == e {
+			return v
+		}
+		e = e2
+	}
+}
+
+func shardName(base string, s int) string {
+	return fmt.Sprintf("%s.shard%d", base, s)
+}
+
+// laneCount returns how many of the lanes in [0, lanes) map to shard s,
+// i.e. |{l : l % shards == s}|.
+func laneCount(lanes, shards, s int) int {
+	return (lanes - s + shards - 1) / shards
+}
+
+// compactLane maps a process ID to its shard-local lane index: the processes
+// hitting shard s are s, s+S, s+2S, ..., compacted to 0, 1, 2, ....
+func compactLane(shards int) func(id int) int {
+	return func(id int) int { return id / shards }
+}

@@ -1,0 +1,431 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"stronglin/internal/history"
+	"stronglin/internal/prim"
+	"stronglin/internal/sim"
+	"stronglin/internal/spec"
+)
+
+// The sharded monotone objects are verified the same way as the paper's
+// constructions: exhaustive strong-linearizability model checks of bounded
+// configurations (here 2 shards x 2-3 processes), plus randomized
+// linearizability stress under real goroutine concurrency. The naive
+// single-collect combines are checked NEGATIVELY, reproducing the hierarchy
+// in the package comment: the unvalidated max combine is not even
+// linearizable, and the unvalidated sum/membership combines are linearizable
+// but not strongly linearizable — the checker must exhibit both traps.
+
+// --- sim.Op builders ---------------------------------------------------------
+
+func opInc(c *Counter) sim.Op {
+	return sim.Op{
+		Name: "inc()",
+		Spec: spec.MkOp(spec.MethodInc),
+		Run: func(t prim.Thread) string {
+			c.Inc(t)
+			return spec.RespOK
+		},
+	}
+}
+
+func opRead(c *Counter) sim.Op {
+	return sim.Op{
+		Name: "read()",
+		Spec: spec.MkOp(spec.MethodRead),
+		Run:  func(t prim.Thread) string { return spec.RespInt(c.Read(t)) },
+	}
+}
+
+func opReadSingleCollect(c *Counter) sim.Op {
+	return sim.Op{
+		Name: "read-single()",
+		Spec: spec.MkOp(spec.MethodRead),
+		Run:  func(t prim.Thread) string { return spec.RespInt(c.readSingleCollect(t)) },
+	}
+}
+
+func opWriteMax(m *MaxRegister, v int64) sim.Op {
+	return sim.Op{
+		Name: spec.MkOp(spec.MethodWriteMax, v).String(),
+		Spec: spec.MkOp(spec.MethodWriteMax, v),
+		Run: func(t prim.Thread) string {
+			m.WriteMax(t, v)
+			return spec.RespOK
+		},
+	}
+}
+
+func opReadMax(m *MaxRegister) sim.Op {
+	return sim.Op{
+		Name: "rmax()",
+		Spec: spec.MkOp(spec.MethodReadMax),
+		Run:  func(t prim.Thread) string { return spec.RespInt(m.ReadMax(t)) },
+	}
+}
+
+func opReadMaxSingleCollect(m *MaxRegister) sim.Op {
+	return sim.Op{
+		Name: "rmax-single()",
+		Spec: spec.MkOp(spec.MethodReadMax),
+		Run:  func(t prim.Thread) string { return spec.RespInt(m.readMaxSingleCollect(t)) },
+	}
+}
+
+func opAdd(g *GSet, x int64) sim.Op {
+	return sim.Op{
+		Name: spec.MkOp(spec.MethodAdd, x).String(),
+		Spec: spec.MkOp(spec.MethodAdd, x),
+		Run: func(t prim.Thread) string {
+			g.Add(t, x)
+			return spec.RespOK
+		},
+	}
+}
+
+func opHas(g *GSet, x int64) sim.Op {
+	return sim.Op{
+		Name: spec.MkOp(spec.MethodHas, x).String(),
+		Spec: spec.MkOp(spec.MethodHas, x),
+		Run: func(t prim.Thread) string {
+			if g.Has(t, x) {
+				return "1"
+			}
+			return "0"
+		},
+	}
+}
+
+func opHasSingleCollect(g *GSet, x int64) sim.Op {
+	return sim.Op{
+		Name: "has-single(" + spec.RespInt(x) + ")",
+		Spec: spec.MkOp(spec.MethodHas, x),
+		Run: func(t prim.Thread) string {
+			if g.hasSingleCollect(t, x) {
+				return "1"
+			}
+			return "0"
+		},
+	}
+}
+
+// verifySL explores every interleaving of the configuration and requires
+// both linearizability and strong linearizability.
+func verifySL(t *testing.T, procs int, setup sim.Setup, sp spec.Spec) history.Verdict {
+	t.Helper()
+	v, err := history.Verify(procs, setup, sp, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Linearizable {
+		t.Fatalf("linearizability violated: %s", v.LinViolation)
+	}
+	if !v.StrongLin.Ok {
+		t.Fatalf("strong linearizability violated: %v", v.StrongLin.Counterexample)
+	}
+	return v
+}
+
+// --- Sequential sanity -------------------------------------------------------
+
+func TestShardedCounterSequential(t *testing.T) {
+	w := sim.NewSoloWorld()
+	c := NewCounter(w, "c", 4, 2)
+	for lane := 0; lane < 4; lane++ {
+		c.Inc(sim.SoloThread(lane)) // lanes 0,2 hit shard 0; lanes 1,3 shard 1
+	}
+	c.Add(sim.SoloThread(3), 10)
+	if got := c.Read(sim.SoloThread(0)); got != 14 {
+		t.Fatalf("Read = %d, want 14", got)
+	}
+}
+
+func TestShardedMaxRegisterSequential(t *testing.T) {
+	w := sim.NewSoloWorld()
+	m := NewMaxRegister(w, "m", 4, 2)
+	m.WriteMax(sim.SoloThread(0), 7) // shard 0
+	m.WriteMax(sim.SoloThread(1), 3) // shard 1
+	m.WriteMax(sim.SoloThread(2), 5) // shard 0
+	if got := m.ReadMax(sim.SoloThread(3)); got != 7 {
+		t.Fatalf("ReadMax = %d, want 7", got)
+	}
+}
+
+func TestShardedGSetSequential(t *testing.T) {
+	w := sim.NewSoloWorld()
+	g := NewGSet(w, "g", 4, 2)
+	g.Add(sim.SoloThread(0), 1)
+	g.Add(sim.SoloThread(1), 2)
+	g.Add(sim.SoloThread(3), 2) // same element via the other shard
+	if !g.Has(sim.SoloThread(2), 1) || !g.Has(sim.SoloThread(2), 2) || g.Has(sim.SoloThread(2), 3) {
+		t.Fatal("membership after adds is wrong")
+	}
+	if got := g.Elems(sim.SoloThread(0)); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Elems = %v, want [1 2]", got)
+	}
+}
+
+func TestShardValidation(t *testing.T) {
+	for _, bad := range []struct{ lanes, shards int }{{0, 1}, {1, 0}, {2, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCounter(lanes=%d, shards=%d) did not panic", bad.lanes, bad.shards)
+				}
+			}()
+			NewCounter(sim.NewSoloWorld(), "c", bad.lanes, bad.shards)
+		}()
+	}
+}
+
+// --- Bounded model checks (2 shards x 2-3 processes) -------------------------
+
+func TestShardedCounterStrongLinTwoIncsOneReader(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check; skipped in -short mode")
+	}
+	setup := func(w *sim.World) []sim.Program {
+		c := NewCounter(w, "c", 3, 2)
+		return []sim.Program{
+			{opInc(c)}, // shard 0
+			{opInc(c)}, // shard 1
+			{opRead(c)},
+		}
+	}
+	verifySL(t, 3, setup, spec.MonotonicCounter{})
+}
+
+func TestShardedCounterStrongLinIncReadMix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check; skipped in -short mode")
+	}
+	setup := func(w *sim.World) []sim.Program {
+		c := NewCounter(w, "c", 2, 2)
+		return []sim.Program{
+			{opInc(c), opRead(c)},
+			{opInc(c), opRead(c)},
+		}
+	}
+	verifySL(t, 2, setup, spec.MonotonicCounter{})
+}
+
+func TestShardedMaxRegisterStrongLinTwoWritersOneReader(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check; skipped in -short mode")
+	}
+	setup := func(w *sim.World) []sim.Program {
+		m := NewMaxRegister(w, "m", 3, 2)
+		return []sim.Program{
+			{opWriteMax(m, 2)}, // shard 0
+			{opWriteMax(m, 1)}, // shard 1
+			{opReadMax(m)},
+		}
+	}
+	verifySL(t, 3, setup, spec.MaxRegister{})
+}
+
+func TestShardedMaxRegisterStrongLinWriteReadMix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check; skipped in -short mode")
+	}
+	setup := func(w *sim.World) []sim.Program {
+		m := NewMaxRegister(w, "m", 2, 2)
+		return []sim.Program{
+			{opWriteMax(m, 2), opReadMax(m)},
+			{opWriteMax(m, 1), opReadMax(m)},
+		}
+	}
+	verifySL(t, 2, setup, spec.MaxRegister{})
+}
+
+// TestShardedMaxRegisterSingleCollectNotLinearizable is the coarsest negative
+// result motivating the epoch validation: combining one read per shard by max
+// is NOT linearizable, because the global max does not pass through
+// intermediate values. The checker finds the package comment's counterexample — the reader
+// collects shard 0 before WriteMax(7) lands there, WriteMax(7) completes
+// before WriteMax(3) starts, and the reader then collects 3 from shard 1 and
+// returns 3 < 7.
+func TestShardedMaxRegisterSingleCollectNotLinearizable(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		m := NewMaxRegister(w, "m", 3, 2)
+		return []sim.Program{
+			{opWriteMax(m, 7)}, // shard 0
+			{opWriteMax(m, 3)}, // shard 1
+			{opReadMaxSingleCollect(m)},
+		}
+	}
+	v, err := history.Verify(3, setup, spec.MaxRegister{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Linearizable {
+		t.Fatal("single-collect sharded max register verified linearizable; expected a violation")
+	}
+}
+
+// TestShardedCounterSingleCollectNotStrongLin is the finer negative result:
+// the unvalidated sum IS linearizable (the total passes through every
+// intermediate value) but NOT strongly linearizable — once an inc completes
+// mid-collect, prefix-closure forces it into the linearization while the
+// reader's eventual sum still depends on the schedule, so no commitment
+// survives every future. This is the gap the epoch validation closes.
+func TestShardedCounterSingleCollectNotStrongLin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check; skipped in -short mode")
+	}
+	setup := func(w *sim.World) []sim.Program {
+		c := NewCounter(w, "c", 3, 2)
+		return []sim.Program{
+			{opInc(c)}, // shard 0
+			{opInc(c)}, // shard 1
+			{opReadSingleCollect(c), opReadSingleCollect(c)},
+		}
+	}
+	v, err := history.Verify(3, setup, spec.MonotonicCounter{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Linearizable {
+		t.Fatalf("single-collect sum should be linearizable; violation: %s", v.LinViolation)
+	}
+	if v.StrongLin.Ok {
+		t.Fatal("single-collect sharded counter verified strongly linearizable; expected a refutation")
+	}
+}
+
+// TestShardedGSetSingleCollectNotStrongLin: the unvalidated membership scan
+// is linearizable (monotone contrapositive) but not strongly linearizable —
+// the same trap as the counter, with an add completing between the reader's
+// visit to its shard and the reader's final step.
+func TestShardedGSetSingleCollectNotStrongLin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check; skipped in -short mode")
+	}
+	setup := func(w *sim.World) []sim.Program {
+		g := NewGSet(w, "g", 3, 2)
+		return []sim.Program{
+			{opAdd(g, 1)}, // shard 0
+			{opAdd(g, 1)}, // shard 1: the same element, reachable via either shard
+			{opHasSingleCollect(g, 1), opHasSingleCollect(g, 1)},
+		}
+	}
+	v, err := history.Verify(3, setup, spec.GSet{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Linearizable {
+		t.Fatalf("single-collect membership should be linearizable; violation: %s", v.LinViolation)
+	}
+	if v.StrongLin.Ok {
+		t.Fatal("single-collect sharded gset verified strongly linearizable; expected a refutation")
+	}
+}
+
+func TestShardedGSetStrongLinTwoAddersOneReader(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		g := NewGSet(w, "g", 3, 2)
+		return []sim.Program{
+			{opAdd(g, 1)}, // shard 0
+			{opAdd(g, 2)}, // shard 1
+			{opHas(g, 2)}, // misses shard 0, witnesses shard 1
+		}
+	}
+	verifySL(t, 3, setup, spec.GSet{})
+}
+
+func TestShardedGSetStrongLinAddHasMix(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		g := NewGSet(w, "g", 2, 2)
+		return []sim.Program{
+			{opAdd(g, 1), opHas(g, 2)},
+			{opAdd(g, 2), opHas(g, 1)},
+		}
+	}
+	verifySL(t, 2, setup, spec.GSet{})
+}
+
+// --- Randomized stress under real goroutine concurrency ----------------------
+
+func TestShardedCounterRealWorldStress(t *testing.T) {
+	w := prim.NewRealWorld()
+	const procs = 4
+	c := NewCounter(w, "c", procs, 2)
+	rngs := stressRngs(procs, 11)
+	h := history.Stress(history.StressConfig{
+		Procs:      procs,
+		OpsPerProc: 40,
+		Gen: func(p, i int) history.StressOp {
+			if rngs[p].Intn(3) == 0 {
+				return history.StressOp{Op: spec.MkOp(spec.MethodRead),
+					Run: func(t prim.Thread) string { return spec.RespInt(c.Read(t)) }}
+			}
+			return history.StressOp{Op: spec.MkOp(spec.MethodInc),
+				Run: func(t prim.Thread) string { c.Inc(t); return spec.RespOK }}
+		},
+	})
+	if res := history.CheckLinearizable(h, spec.MonotonicCounter{}); !res.Ok {
+		t.Fatalf("stress history not linearizable:\n%s", h.String())
+	}
+}
+
+func TestShardedMaxRegisterRealWorldStress(t *testing.T) {
+	w := prim.NewRealWorld()
+	const procs = 4
+	m := NewMaxRegister(w, "m", procs, 2)
+	rngs := stressRngs(procs, 23)
+	h := history.Stress(history.StressConfig{
+		Procs:      procs,
+		OpsPerProc: 30,
+		Gen: func(p, i int) history.StressOp {
+			if rngs[p].Intn(2) == 0 {
+				v := int64(rngs[p].Intn(16))
+				return history.StressOp{Op: spec.MkOp(spec.MethodWriteMax, v),
+					Run: func(t prim.Thread) string { m.WriteMax(t, v); return spec.RespOK }}
+			}
+			return history.StressOp{Op: spec.MkOp(spec.MethodReadMax),
+				Run: func(t prim.Thread) string { return spec.RespInt(m.ReadMax(t)) }}
+		},
+	})
+	if res := history.CheckLinearizable(h, spec.MaxRegister{}); !res.Ok {
+		t.Fatalf("stress history not linearizable:\n%s", h.String())
+	}
+}
+
+func TestShardedGSetRealWorldStress(t *testing.T) {
+	w := prim.NewRealWorld()
+	const procs = 4
+	g := NewGSet(w, "g", procs, 2)
+	rngs := stressRngs(procs, 37)
+	h := history.Stress(history.StressConfig{
+		Procs:      procs,
+		OpsPerProc: 40,
+		Gen: func(p, i int) history.StressOp {
+			x := int64(rngs[p].Intn(8))
+			if rngs[p].Intn(2) == 0 {
+				return history.StressOp{Op: spec.MkOp(spec.MethodAdd, x),
+					Run: func(t prim.Thread) string { g.Add(t, x); return spec.RespOK }}
+			}
+			return history.StressOp{Op: spec.MkOp(spec.MethodHas, x),
+				Run: func(t prim.Thread) string {
+					if g.Has(t, x) {
+						return "1"
+					}
+					return "0"
+				}}
+		},
+	})
+	if res := history.CheckLinearizable(h, spec.GSet{}); !res.Ok {
+		t.Fatalf("stress history not linearizable:\n%s", h.String())
+	}
+}
+
+func stressRngs(procs int, seed int64) []*rand.Rand {
+	out := make([]*rand.Rand, procs)
+	for p := range out {
+		out[p] = rand.New(rand.NewSource(seed + int64(p)))
+	}
+	return out
+}

@@ -207,6 +207,13 @@ func (w *World) FetchAdd(name string) prim.FetchAdd {
 	return &simFetchAdd{w: w, o: o}
 }
 
+// FetchAddInt allocates a simulated machine-word fetch&add register.
+func (w *World) FetchAddInt(name string, init int64) prim.FetchAddInt {
+	o := w.alloc(name, kindInt)
+	o.i64 = init
+	return &simFetchAddInt{w: w, o: o}
+}
+
 // MaxReg allocates a simulated atomic max register.
 func (w *World) MaxReg(name string, init int64) prim.MaxReg {
 	o := w.alloc(name, kindInt)
@@ -316,6 +323,20 @@ func (f *simFetchAdd) FetchAdd(t prim.Thread, delta *big.Int) *big.Int {
 	f.w.access(t, fmt.Sprintf("%s.fa(%s)", f.o.name, delta), func() {
 		prev.Set(f.o.big)
 		f.o.big.Add(f.o.big, delta)
+	})
+	return prev
+}
+
+type simFetchAddInt struct {
+	w *World
+	o *object
+}
+
+func (f *simFetchAddInt) FetchAddInt(t prim.Thread, delta int64) int64 {
+	var prev int64
+	f.w.access(t, fmt.Sprintf("%s.fai(%d)", f.o.name, delta), func() {
+		prev = f.o.i64
+		f.o.i64 += delta
 	})
 	return prev
 }

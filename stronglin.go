@@ -43,12 +43,27 @@
 //
 // Operations take an explicit Thread identifying the calling process in
 // [0, n); the per-process lanes of the fetch&add constructions depend on it.
+// Callers that cannot dedicate one goroutine per process identity — servers,
+// worker pools — lease identities from a Pool instead:
+//
+//	w := stronglin.NewWorld()
+//	c := stronglin.NewShardedCounter(w, 8, 4) // 8 lanes, 4 shards
+//	p := stronglin.NewPool(w, 8)
+//	// from any goroutine:
+//	p.With(func(t stronglin.Thread) { c.Inc(t) })
+//
+// The Sharded* objects stripe monotone writes across independent fetch&add
+// cores for multicore throughput (internal/shard documents — and
+// model-checks — why the combining reads remain strongly linearizable), and
+// cmd/slserve fronts the whole stack with HTTP.
 package stronglin
 
 import (
 	"stronglin/internal/adversary"
 	"stronglin/internal/core"
+	"stronglin/internal/pool"
 	"stronglin/internal/prim"
+	"stronglin/internal/shard"
 )
 
 // Thread identifies a process. Pass Thread(p) with p in [0, n) consistently
@@ -144,6 +159,58 @@ type Set = core.TASSet
 // NewSet builds a set.
 func NewSet(w *World) *Set {
 	return core.NewTASSetFromTAS(w, "stronglin.set")
+}
+
+// Pool is the lane-leasing runtime: it manages n process identities as
+// leases so that arbitrary goroutines (HTTP handlers, worker pools) can use
+// the n-process objects above without manual thread bookkeeping. Lane claim
+// and release are single steps on per-lane swap registers (consensus number
+// 2); see internal/pool for the protocol.
+type Pool = pool.Pool
+
+// Lease is a claimed process identity; pass Lease.Thread() to object
+// operations and Release exactly once when done.
+type Lease = pool.Lease
+
+// NewPool builds a pool leasing the n process identities of w's objects.
+// Acquire/With hand out Threads in [0, n); use the same n as the objects the
+// leases will drive.
+func NewPool(w *World, n int) *Pool {
+	return pool.New(w, "stronglin.pool", n)
+}
+
+// ShardedCounter is a monotone counter whose increments stripe across S
+// independent fetch&add cores (shard picked by lane ID) and whose reads
+// combine the shards by an epoch-validated sum. Strong linearizability of
+// the sharded layer is model-checked in internal/shard; reads are lock-free.
+type ShardedCounter = shard.Counter
+
+// NewShardedCounter builds a sharded monotone counter for n processes over
+// shards cores (shards <= n).
+func NewShardedCounter(w *World, n, shards int) *ShardedCounter {
+	return shard.NewCounter(w, "stronglin.shardctr", n, shards)
+}
+
+// ShardedMaxRegister is a max register whose writes stripe across S
+// independent Theorem 1 cores and whose reads combine the shards by an
+// epoch-validated max.
+type ShardedMaxRegister = shard.MaxRegister
+
+// NewShardedMaxRegister builds a sharded max register for n processes over
+// shards cores (shards <= n).
+func NewShardedMaxRegister(w *World, n, shards int) *ShardedMaxRegister {
+	return shard.NewMaxRegister(w, "stronglin.shardmax", n, shards)
+}
+
+// ShardedGSet is a grow-only set whose adds stripe across S independent
+// fetch&add cores and whose membership reads witness directly or validate
+// absence against the epoch.
+type ShardedGSet = shard.GSet
+
+// NewShardedGSet builds a sharded grow-only set for n processes over shards
+// cores (shards <= n).
+func NewShardedGSet(w *World, n, shards int) *ShardedGSet {
+	return shard.NewGSet(w, "stronglin.shardgset", n, shards)
 }
 
 // AdversaryOutcome aggregates strong-adversary game trials (see

@@ -84,6 +84,55 @@ func TestPublicAPISmoke(t *testing.T) {
 	}
 }
 
+// TestPublicRuntimeLayerSmoke drives the pool + sharded objects through the
+// public API from anonymous goroutines — the serving-side contract.
+func TestPublicRuntimeLayerSmoke(t *testing.T) {
+	w := NewWorld()
+	const lanes, shards, workers, rounds = 4, 2, 12, 50
+
+	p := NewPool(w, lanes)
+	ctr := NewShardedCounter(w, lanes, shards)
+	mx := NewShardedMaxRegister(w, lanes, shards)
+	gs := NewShardedGSet(w, lanes, shards)
+
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				p.With(func(th Thread) {
+					ctr.Inc(th)
+					mx.WriteMax(th, int64(g))
+					gs.Add(th, int64(g%3))
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	lease := p.Acquire()
+	defer lease.Release()
+	th := lease.Thread()
+	if got := ctr.Read(th); got != workers*rounds {
+		t.Errorf("sharded counter = %d, want %d", got, workers*rounds)
+	}
+	if got := mx.ReadMax(th); got != workers-1 {
+		t.Errorf("sharded max = %d, want %d", got, workers-1)
+	}
+	for x := int64(0); x < 3; x++ {
+		if !gs.Has(th, x) {
+			t.Errorf("sharded gset missing %d", x)
+		}
+	}
+	if gs.Has(th, 99) {
+		t.Error("sharded gset contains 99")
+	}
+	if got := p.InUse(); got != 1 {
+		t.Errorf("InUse = %d, want 1 (this lease)", got)
+	}
+}
+
 func TestPublicAdversaryGame(t *testing.T) {
 	if got := PlayAdversary(AdversaryVsLinearizable, 50, 3).Rate(); got != 1.0 {
 		t.Fatalf("adversary vs linearizable snapshot = %.2f, want 1.00", got)
