@@ -152,6 +152,19 @@ func targets() []target {
 			},
 		},
 		{
+			name: "counter: packed word 1 core (SL)",
+			build: func(n int) func(prim.Thread, int) {
+				c := core.NewFACounter(prim.NewRealWorld(), "c", core.WithCounterBound(1<<40))
+				return func(t prim.Thread, i int) {
+					if i%4 == 0 {
+						c.Read(t)
+					} else {
+						c.Inc(t)
+					}
+				}
+			},
+		},
+		{
 			name: "counter: sharded S=min(4,p) (SL)",
 			build: func(n int) func(prim.Thread, int) {
 				c := shard.NewCounter(prim.NewRealWorld(), "c", n, min(4, n))
@@ -160,6 +173,49 @@ func targets() []target {
 						c.Read(t)
 					} else {
 						c.Inc(t)
+					}
+				}
+			},
+		},
+		{
+			name: "counter: sharded packed (SL)",
+			build: func(n int) func(prim.Thread, int) {
+				c := shard.NewCounter(prim.NewRealWorld(), "c", n, min(4, n), shard.WithBound(1<<40))
+				return func(t prim.Thread, i int) {
+					if i%4 == 0 {
+						c.Read(t)
+					} else {
+						c.Inc(t)
+					}
+				}
+			},
+		},
+		{
+			// Same small value domain as the packed row below, over the wide
+			// register: isolates the packing win from the value-magnitude win.
+			name: "maxreg: wide small values (SL)",
+			build: func(n int) func(prim.Thread, int) {
+				bound := packedMaxRegBound(n)
+				m := core.NewFAMaxRegister(prim.NewRealWorld(), "m", n)
+				return func(t prim.Thread, i int) {
+					if i%4 == 0 {
+						m.WriteMax(t, int64(i)%(bound+1))
+					} else {
+						m.ReadMax(t)
+					}
+				}
+			},
+		},
+		{
+			name: "maxreg: packed word (Thm 1, SL)",
+			build: func(n int) func(prim.Thread, int) {
+				bound := packedMaxRegBound(n)
+				m := core.NewFAMaxRegister(prim.NewRealWorld(), "m", n, core.WithMaxRegBound(bound))
+				return func(t prim.Thread, i int) {
+					if i%4 == 0 {
+						m.WriteMax(t, int64(i)%(bound+1))
+					} else {
+						m.ReadMax(t)
 					}
 				}
 			},
@@ -260,6 +316,21 @@ func targets() []target {
 			},
 		},
 	}
+}
+
+// packedMaxRegBound is the largest value bound whose unary encoding packs for
+// n lanes: n x (bound+1) <= 63 bits. Both maxreg comparison rows (packed and
+// wide) share this bound so they always measure the same workload on the two
+// engines. Past 31 lanes the bound degenerates to 0 — every write is then the
+// no-op fetch&add(0) path on both rows (still like-for-like, but no raises) —
+// and past 63 lanes even bound 0 cannot pack, so the "packed" row itself runs
+// on the wide fallback; the default -procs list (1-8) stays well clear.
+func packedMaxRegBound(n int) int64 {
+	b := int64(63/n - 1)
+	if b < 0 {
+		b = 0
+	}
+	return b
 }
 
 func measure(tg target, procs int, d time.Duration) float64 {

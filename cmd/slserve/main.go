@@ -22,14 +22,22 @@
 //	GET  /stats                lanes, shards, lease and per-endpoint op counts
 //	GET  /healthz              liveness
 //
+// With -bound B the server declares the value domain [0, B] for max-register
+// values and grow-only-set elements (requests outside it are rejected with
+// 400), which lets each shard core pack its register into a single machine
+// word when the per-shard encoding fits — the packed fast path of
+// internal/core. The counter always runs packed (its capacity bound is a
+// machine word regardless). /stats reports which objects are packed.
+//
 // Load-generator mode (closed loop; drives an in-process server unless -url
 // names a remote one):
 //
-//	slserve -attack [-clients 32] [-dur 2s] [-lanes 8] [-shards 4] [-url http://host:port]
+//	slserve -attack [-clients 32] [-dur 2s] [-lanes 8] [-shards 4] [-bound B] [-url http://host:port]
 //
-// It reports JSON on stdout: per-endpoint counts, error count, and total
-// throughput. The workload mix is 50% writes (inc / wmax / add) and 50%
-// reads, spread across the three objects.
+// It reports JSON on stdout: per-endpoint counts, error count, total
+// throughput, and per-request latency percentiles (p50/p95/p99) over the
+// successful requests. The workload mix is 50% writes (inc / wmax / add) and
+// 50% reads, spread across the three objects.
 package main
 
 import (
@@ -38,9 +46,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -53,6 +63,7 @@ var (
 	addr    = flag.String("addr", ":8080", "listen address (serve mode)")
 	lanes   = flag.Int("lanes", 8, "process identities in the lane pool")
 	shards  = flag.Int("shards", 4, "fetch&add cores per sharded object (<= lanes)")
+	bound   = flag.Int64("bound", 0, "value domain [0,bound] for maxreg values and gset elements; packs shard registers into machine words when the per-shard encoding fits (0 = unbounded wide registers)")
 	attack  = flag.Bool("attack", false, "run the closed-loop load generator instead of serving")
 	clients = flag.Int("clients", 32, "concurrent closed-loop clients (attack mode)")
 	dur     = flag.Duration("dur", 2*time.Second, "measurement duration (attack mode)")
@@ -65,6 +76,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "slserve: need 1 <= -shards <= -lanes, got -lanes %d -shards %d\n", *lanes, *shards)
 		os.Exit(2)
 	}
+	if *bound < 0 {
+		fmt.Fprintf(os.Stderr, "slserve: -bound must be non-negative, got %d\n", *bound)
+		os.Exit(2)
+	}
 	if *attack {
 		if err := runAttack(); err != nil {
 			fmt.Fprintln(os.Stderr, "slserve:", err)
@@ -72,7 +87,7 @@ func main() {
 		}
 		return
 	}
-	srv := newServer(*lanes, *shards)
+	srv := newServer(*lanes, *shards, *bound)
 	fmt.Printf("slserve: %d lanes, %d shards, listening on %s\n", *lanes, *shards, *addr)
 	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
 		fmt.Fprintln(os.Stderr, "slserve:", err)
@@ -80,10 +95,16 @@ func main() {
 	}
 }
 
+// counterBound is the declared capacity of the served counters: any bound up
+// to 2^62-1 packs the counter cores into machine words, so the counter is
+// always packed regardless of -bound.
+const counterBound = int64(1) << 40
+
 // server owns one world: the lane pool, the sharded objects, and per-endpoint
 // op counters.
 type server struct {
 	lanes, shards int
+	maxValue      int64 // inclusive cap on client-supplied values
 	pool          *stronglin.Pool
 	counter       *stronglin.ShardedCounter
 	maxreg        *stronglin.ShardedMaxRegister
@@ -96,15 +117,31 @@ type server struct {
 	}
 }
 
-func newServer(lanes, shards int) *server {
+// newServer builds the serving stack. bound > 0 declares the value domain of
+// the max register and grow-only set (packing their shard cores when the
+// per-shard encoding fits); bound = 0 keeps them wide with the default cap.
+func newServer(lanes, shards int, bound int64) *server {
 	w := stronglin.NewWorld()
+	maxValue := int64(defaultMaxValue)
+	var valueOpts []stronglin.ShardOption
+	if bound > 0 {
+		// The request cap never rises above the default: a bound too large to
+		// pack leaves the shards on wide registers, where a single huge value
+		// is a huge unary/bitmap allocation — exactly what the cap exists to
+		// stop. (Packing bounds are < 63, far below the default cap.)
+		if bound < maxValue {
+			maxValue = bound
+		}
+		valueOpts = append(valueOpts, stronglin.WithBound(bound))
+	}
 	return &server{
-		lanes:   lanes,
-		shards:  shards,
-		pool:    stronglin.NewPool(w, lanes),
-		counter: stronglin.NewShardedCounter(w, lanes, shards),
-		maxreg:  stronglin.NewShardedMaxRegister(w, lanes, shards),
-		gset:    stronglin.NewShardedGSet(w, lanes, shards),
+		lanes:    lanes,
+		shards:   shards,
+		maxValue: maxValue,
+		pool:     stronglin.NewPool(w, lanes),
+		counter:  stronglin.NewShardedCounter(w, lanes, shards, stronglin.WithBound(counterBound)),
+		maxreg:   stronglin.NewShardedMaxRegister(w, lanes, shards, valueOpts...),
+		gset:     stronglin.NewShardedGSet(w, lanes, shards, valueOpts...),
 	}
 }
 
@@ -153,7 +190,7 @@ func (s *server) counterGet(w http.ResponseWriter, r *http.Request) {
 func (s *server) maxregHandler(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
-		v, err := queryInt(r, "v")
+		v, err := s.queryInt(r, "v")
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
@@ -174,7 +211,7 @@ func (s *server) maxregHandler(w http.ResponseWriter, r *http.Request) {
 func (s *server) gsetHandler(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
-		x, err := queryInt(r, "x")
+		x, err := s.queryInt(r, "x")
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
@@ -190,7 +227,7 @@ func (s *server) gsetHandler(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, map[string]any{"elems": elems})
 			return
 		}
-		x, err := queryInt(r, "x")
+		x, err := s.queryInt(r, "x")
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
@@ -207,17 +244,21 @@ func (s *server) gsetHandler(w http.ResponseWriter, r *http.Request) {
 // statsSnapshot is the /stats document (and the per-endpoint section of the
 // attack report).
 type statsSnapshot struct {
-	Lanes       int   `json:"lanes"`
-	Shards      int   `json:"shards"`
-	LanesInUse  int   `json:"lanes_in_use"`
-	Acquires    int64 `json:"lease_acquires"`
-	CounterInc  int64 `json:"counter_inc"`
-	CounterRead int64 `json:"counter_read"`
-	MaxregWrite int64 `json:"maxreg_write"`
-	MaxregRead  int64 `json:"maxreg_read"`
-	GSetAdd     int64 `json:"gset_add"`
-	GSetHas     int64 `json:"gset_has"`
-	GSetElems   int64 `json:"gset_elems"`
+	Lanes         int   `json:"lanes"`
+	Shards        int   `json:"shards"`
+	MaxValue      int64 `json:"max_value"`
+	CounterPacked bool  `json:"counter_packed"`
+	MaxregPacked  bool  `json:"maxreg_packed"`
+	GSetPacked    bool  `json:"gset_packed"`
+	LanesInUse    int   `json:"lanes_in_use"`
+	Acquires      int64 `json:"lease_acquires"`
+	CounterInc    int64 `json:"counter_inc"`
+	CounterRead   int64 `json:"counter_read"`
+	MaxregWrite   int64 `json:"maxreg_write"`
+	MaxregRead    int64 `json:"maxreg_read"`
+	GSetAdd       int64 `json:"gset_add"`
+	GSetHas       int64 `json:"gset_has"`
+	GSetElems     int64 `json:"gset_elems"`
 }
 
 func (s *server) snapshot() statsSnapshot {
@@ -225,17 +266,21 @@ func (s *server) snapshot() statsSnapshot {
 	// /stats should answer even when every lane is out to slow writers).
 	acquires := s.pool.Acquires(stronglin.Thread(0))
 	return statsSnapshot{
-		Lanes:       s.lanes,
-		Shards:      s.shards,
-		LanesInUse:  s.pool.InUse(),
-		Acquires:    acquires,
-		CounterInc:  s.ops.counterInc.Load(),
-		CounterRead: s.ops.counterRead.Load(),
-		MaxregWrite: s.ops.maxregWrite.Load(),
-		MaxregRead:  s.ops.maxregRead.Load(),
-		GSetAdd:     s.ops.gsetAdd.Load(),
-		GSetHas:     s.ops.gsetHas.Load(),
-		GSetElems:   s.ops.gsetElems.Load(),
+		Lanes:         s.lanes,
+		Shards:        s.shards,
+		MaxValue:      s.maxValue,
+		CounterPacked: s.counter.Packed(),
+		MaxregPacked:  s.maxreg.Packed(),
+		GSetPacked:    s.gset.Packed(),
+		LanesInUse:    s.pool.InUse(),
+		Acquires:      acquires,
+		CounterInc:    s.ops.counterInc.Load(),
+		CounterRead:   s.ops.counterRead.Load(),
+		MaxregWrite:   s.ops.maxregWrite.Load(),
+		MaxregRead:    s.ops.maxregRead.Load(),
+		GSetAdd:       s.ops.gsetAdd.Load(),
+		GSetHas:       s.ops.gsetHas.Load(),
+		GSetElems:     s.ops.gsetElems.Load(),
 	}
 }
 
@@ -243,20 +288,23 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.snapshot())
 }
 
-// maxValue bounds client-supplied values. The fetch&add constructions
-// store values in unary (max register: width ~ v*lanes bits) or one bit per
-// element (gset: bit x*lanes), so an unbounded value is an allocation — and
-// past the int bit-index range, a panic — a single request could trigger.
-const maxValue = 1 << 20
+// defaultMaxValue bounds client-supplied values when no -bound is declared.
+// The wide fetch&add constructions store values in unary (max register: width
+// ~ v*lanes bits) or one bit per element (gset: bit x*lanes), so an unbounded
+// value is an allocation — and past the int bit-index range, a panic — a
+// single request could trigger. With -bound the cap is min(bound,
+// defaultMaxValue): tighter bounds narrow it, and a bound too large to pack
+// must not widen it (the shards are wide registers in that case).
+const defaultMaxValue = 1 << 20
 
-func queryInt(r *http.Request, key string) (int64, error) {
+func (s *server) queryInt(r *http.Request, key string) (int64, error) {
 	raw := r.URL.Query().Get(key)
 	if raw == "" {
 		return 0, fmt.Errorf("missing query parameter %q", key)
 	}
 	v, err := strconv.ParseInt(raw, 10, 64)
-	if err != nil || v < 0 || v > maxValue {
-		return 0, fmt.Errorf("query parameter %q must be an integer in [0, %d]", key, maxValue)
+	if err != nil || v < 0 || v > s.maxValue {
+		return 0, fmt.Errorf("query parameter %q must be an integer in [0, %d]", key, s.maxValue)
 	}
 	return v, nil
 }
@@ -265,7 +313,8 @@ func queryInt(r *http.Request, key string) (int64, error) {
 
 // attackReport is the JSON document the load generator prints. Requests and
 // OpsPerSec count SUCCESSFUL requests only, so a down or erroring target
-// reports its failure rather than inflated throughput.
+// reports its failure rather than inflated throughput; LatencyMS likewise
+// aggregates successful requests only.
 type attackReport struct {
 	Target    string        `json:"target"`
 	Clients   int           `json:"clients"`
@@ -273,7 +322,43 @@ type attackReport struct {
 	Requests  int64         `json:"requests"`
 	Errors    int64         `json:"errors"`
 	OpsPerSec float64       `json:"ops_per_sec"`
+	LatencyMS latencyMS     `json:"latency_ms"`
 	Stats     statsSnapshot `json:"server_stats"`
+}
+
+// latencyMS is the per-request latency distribution in milliseconds.
+type latencyMS struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// percentile returns the q-quantile (0 < q <= 1) of the sorted durations by
+// the nearest-rank method; 0 on an empty sample.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+func summarizeLatency(samples []time.Duration) latencyMS {
+	if len(samples) == 0 {
+		return latencyMS{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return latencyMS{
+		P50: ms(percentile(samples, 0.50)),
+		P95: ms(percentile(samples, 0.95)),
+		P99: ms(percentile(samples, 0.99)),
+		Max: ms(samples[len(samples)-1]),
+	}
 }
 
 func runAttack() error {
@@ -282,7 +367,7 @@ func runAttack() error {
 	if target == "" {
 		// Self-contained run: serve the stack from this process on a loopback
 		// port and attack it over real HTTP.
-		srv = newServer(*lanes, *shards)
+		srv = newServer(*lanes, *shards, *bound)
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return err
@@ -298,17 +383,30 @@ func runAttack() error {
 		MaxIdleConnsPerHost: *clients * 2,
 	}}
 
+	// Written values stay inside the served value domain, so a -bound attack
+	// exercises the packed fast path instead of drowning in 400s. (Compare
+	// before adding 1: *bound may be MaxInt64.)
+	valCap := int64(1024)
+	if *bound > 0 && *bound < valCap {
+		valCap = *bound + 1
+	}
+
 	var requests, errors atomic.Int64
 	var stop atomic.Bool
 	var wg sync.WaitGroup
+	// Each client records its own successful-request latencies; slices are
+	// merged after the run (no shared state on the hot path).
+	latencies := make([][]time.Duration, *clients)
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; !stop.Load(); i++ {
-				if err := fire(client, target, c, i); err != nil {
+				t0 := time.Now()
+				if err := fire(client, target, c, i, valCap); err != nil {
 					errors.Add(1)
 				} else {
+					latencies[c] = append(latencies[c], time.Since(t0))
 					requests.Add(1)
 				}
 			}
@@ -320,6 +418,11 @@ func runAttack() error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+
 	rep := attackReport{
 		Target:    target,
 		Clients:   *clients,
@@ -327,6 +430,7 @@ func runAttack() error {
 		Requests:  requests.Load(),
 		Errors:    errors.Load(),
 		OpsPerSec: float64(requests.Load()) / elapsed.Seconds(),
+		LatencyMS: summarizeLatency(all),
 	}
 	if srv != nil {
 		rep.Stats = srv.snapshot()
@@ -351,23 +455,28 @@ func runAttack() error {
 }
 
 // fire issues the i-th request of client c: a 50/50 read/write mix across
-// the three objects.
-func fire(client *http.Client, target string, c, i int) error {
+// the three objects. Written values are taken modulo valCap so they stay
+// inside the target's declared value domain.
+func fire(client *http.Client, target string, c, i int, valCap int64) error {
 	var resp *http.Response
 	var err error
+	xCap := valCap
+	if xCap > 256 {
+		xCap = 256
+	}
 	switch i % 6 {
 	case 0:
 		resp, err = client.Post(target+"/counter/inc", "", nil)
 	case 1:
 		resp, err = client.Get(target + "/counter")
 	case 2:
-		resp, err = client.Post(fmt.Sprintf("%s/maxreg?v=%d", target, (c*31+i)%1024), "", nil)
+		resp, err = client.Post(fmt.Sprintf("%s/maxreg?v=%d", target, int64(c*31+i)%valCap), "", nil)
 	case 3:
 		resp, err = client.Get(target + "/maxreg")
 	case 4:
-		resp, err = client.Post(fmt.Sprintf("%s/gset?x=%d", target, (c+i)%256), "", nil)
+		resp, err = client.Post(fmt.Sprintf("%s/gset?x=%d", target, int64(c+i)%xCap), "", nil)
 	default:
-		resp, err = client.Get(fmt.Sprintf("%s/gset?x=%d", target, (c+i)%256))
+		resp, err = client.Get(fmt.Sprintf("%s/gset?x=%d", target, int64(c+i)%xCap))
 	}
 	if err != nil {
 		return err

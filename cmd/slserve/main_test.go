@@ -7,10 +7,11 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestEndpoints(t *testing.T) {
-	ts := httptest.NewServer(newServer(4, 2).handler())
+	ts := httptest.NewServer(newServer(4, 2, 0).handler())
 	defer ts.Close()
 
 	post := func(path string) map[string]any {
@@ -77,7 +78,7 @@ func TestEndpoints(t *testing.T) {
 }
 
 func TestBadRequests(t *testing.T) {
-	ts := httptest.NewServer(newServer(2, 1).handler())
+	ts := httptest.NewServer(newServer(2, 1, 0).handler())
 	defer ts.Close()
 	for _, c := range []struct {
 		method, path string
@@ -103,12 +104,106 @@ func TestBadRequests(t *testing.T) {
 	}
 }
 
+// TestBoundedServerPacked: with -bound the value-domain objects pack (the
+// counter always does), out-of-domain requests are rejected, and in-domain
+// traffic behaves identically to the wide server.
+func TestBoundedServerPacked(t *testing.T) {
+	// 4 lanes / 2 shards -> 2 lanes per shard; bound 30 -> 2 x 31 = 62 bits.
+	srv := newServer(4, 2, 30)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	var stats statsSnapshot
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if !stats.CounterPacked || !stats.MaxregPacked || !stats.GSetPacked {
+		t.Fatalf("packed = (%v, %v, %v), want all true",
+			stats.CounterPacked, stats.MaxregPacked, stats.GSetPacked)
+	}
+	if stats.MaxValue != 30 {
+		t.Fatalf("max_value = %d, want 30", stats.MaxValue)
+	}
+
+	if resp, err = http.Post(ts.URL+"/maxreg?v=30", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-bound write: status %d", resp.StatusCode)
+	}
+	if resp, err = http.Post(ts.URL+"/maxreg?v=31", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("over-bound write: status %d, want 400", resp.StatusCode)
+	}
+	if resp, err = http.Get(ts.URL + "/maxreg"); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if got := out["value"].(float64); got != 30 {
+		t.Fatalf("maxreg = %v, want 30", got)
+	}
+}
+
+// TestHugeBoundKeepsRequestCap: a -bound too large to pack leaves the shards
+// on wide registers, so the request cap must stay at the default instead of
+// rising to the bound — otherwise one request could drive a gigantic unary
+// allocation.
+func TestHugeBoundKeepsRequestCap(t *testing.T) {
+	srv := newServer(8, 4, 1<<40)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	var stats statsSnapshot
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if stats.MaxregPacked || stats.GSetPacked {
+		t.Fatal("2^40 bound cannot pack the value-domain objects")
+	}
+	if stats.MaxValue != defaultMaxValue {
+		t.Fatalf("max_value = %d, want the default cap %d", stats.MaxValue, defaultMaxValue)
+	}
+	if resp, err = http.Post(fmt.Sprintf("%s/maxreg?v=%d", ts.URL, int64(defaultMaxValue)+1), "", nil); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("over-cap write: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	if got := summarizeLatency(nil); got != (latencyMS{}) {
+		t.Fatalf("empty sample percentiles = %+v, want zeros", got)
+	}
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		samples[i] = time.Duration(i+1) * time.Millisecond // 1ms..100ms
+	}
+	got := summarizeLatency(samples)
+	if got.P50 != 50 || got.P95 != 95 || got.P99 != 99 || got.Max != 100 {
+		t.Fatalf("percentiles = %+v, want p50=50 p95=95 p99=99 max=100", got)
+	}
+}
+
 // TestConcurrentClients floods the server with more concurrent clients than
 // lanes — the load the pool exists to carry — and checks that no increment is
 // lost. Run under -race this is the acceptance check for the traffic
 // front-end.
 func TestConcurrentClients(t *testing.T) {
-	srv := newServer(4, 2)
+	srv := newServer(4, 2, 0)
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 
@@ -120,7 +215,7 @@ func TestConcurrentClients(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; i < reqs; i++ {
-				if err := fire(http.DefaultClient, ts.URL, c, i); err != nil {
+				if err := fire(http.DefaultClient, ts.URL, c, i, 1024); err != nil {
 					errs <- fmt.Errorf("client %d: %w", c, err)
 					return
 				}

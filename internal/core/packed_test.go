@@ -1,0 +1,467 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"stronglin/internal/history"
+	"stronglin/internal/prim"
+	"stronglin/internal/sim"
+	"stronglin/internal/spec"
+)
+
+// The packed cores are the bounded machine-word variants of FACounter,
+// FAMaxRegister and FAGSet (one prim.FetchAddInt register instead of the wide
+// fetch&add). They are verified three ways: the SAME exhaustive
+// strong-linearizability model checks as the wide cores (the packed register
+// is one scheduler step, exactly like the wide one, so the configurations
+// match), differential fuzzing against the wide cores as a single-threaded
+// oracle, and randomized linearizability stress under real concurrency.
+
+// --- constructor selection ---------------------------------------------------
+
+func TestPackedSelectionAndFallback(t *testing.T) {
+	w := sim.NewSoloWorld()
+	if c := NewFACounter(w, "cp", WithCounterBound(1<<40)); !c.Packed() {
+		t.Error("counter with representable bound did not pack")
+	}
+	if c := NewFACounter(w, "cw"); c.Packed() {
+		t.Error("unbounded counter packed")
+	}
+	if c := NewFACounter(w, "cw2", WithCounterBound(maxPackedCount+1)); c.Packed() {
+		t.Error("counter with over-capacity bound did not fall back to wide")
+	}
+	// 2 lanes x (30+1) bits = 62 <= 63: packs. 2 x (31+1) = 64: falls back.
+	if m := NewFAMaxRegister(w, "mp", 2, WithMaxRegBound(30)); !m.Packed() {
+		t.Error("maxreg with fitting bound did not pack")
+	}
+	if m := NewFAMaxRegister(w, "mw", 2, WithMaxRegBound(31)); m.Packed() {
+		t.Error("maxreg with unfitting bound did not fall back to wide")
+	}
+	if m := NewFAMaxRegister(w, "mw2", 2); m.Packed() {
+		t.Error("unbounded maxreg packed")
+	}
+	if s := NewFAGSet(w, "sp", 3, WithGSetBound(20)); !s.Packed() {
+		t.Error("gset with fitting bound did not pack")
+	}
+	if s := NewFAGSet(w, "sw", 3, WithGSetBound(21)); s.Packed() {
+		t.Error("gset with unfitting bound did not fall back to wide")
+	}
+	// Bounds past the 63-bit lane budget must fall back even where an int
+	// conversion would truncate (32-bit platforms).
+	if m := NewFAMaxRegister(w, "mhuge", 1, WithMaxRegBound(1<<32)); m.Packed() {
+		t.Error("maxreg with huge bound did not fall back to wide")
+	}
+	if s := NewFAGSet(w, "shuge", 1, WithGSetBound(1<<32)); s.Packed() {
+		t.Error("gset with huge bound did not fall back to wide")
+	}
+}
+
+// TestPackedFallbackStillWorks: a bound too wide to pack must leave a fully
+// functional wide object (with the bound still declared and enforced).
+func TestPackedFallbackStillWorks(t *testing.T) {
+	w := sim.NewSoloWorld()
+	m := NewFAMaxRegister(w, "m", 4, WithMaxRegBound(1<<20))
+	if m.Packed() {
+		t.Fatal("4 lanes x 2^20 bound cannot pack")
+	}
+	th := sim.SoloThread(1)
+	m.WriteMax(th, 100000)
+	if got := m.ReadMax(th); got != 100000 {
+		t.Fatalf("wide-fallback ReadMax = %d, want 100000", got)
+	}
+}
+
+// --- sequential behaviour ----------------------------------------------------
+
+func TestPackedCounterSequential(t *testing.T) {
+	w := sim.NewSoloWorld()
+	c := NewFACounter(w, "c", WithCounterBound(1000))
+	th := sim.SoloThread(0)
+	if got := c.Read(th); got != 0 {
+		t.Fatalf("initial value = %d, want 0", got)
+	}
+	c.Inc(th)
+	c.Inc(th)
+	c.Add(th, 5)
+	if got := c.Read(th); got != 7 {
+		t.Fatalf("value = %d, want 7", got)
+	}
+}
+
+func TestPackedMaxRegisterSequential(t *testing.T) {
+	w := sim.NewSoloWorld()
+	m := NewFAMaxRegister(w, "m", 3, WithMaxRegBound(10)) // 3 x 11 = 33 bits
+	m.WriteMax(sim.SoloThread(0), 4)
+	m.WriteMax(sim.SoloThread(1), 7)
+	m.WriteMax(sim.SoloThread(2), 2)
+	m.WriteMax(sim.SoloThread(1), 3) // no-op: smaller than lane max
+	if got := m.ReadMax(sim.SoloThread(1)); got != 7 {
+		t.Fatalf("ReadMax = %d, want 7", got)
+	}
+	if width := m.Width(sim.SoloThread(0)); width < 1 || width > 33 {
+		t.Fatalf("packed Width = %d, want within (0, 33]", width)
+	}
+}
+
+func TestPackedGSetSequential(t *testing.T) {
+	w := sim.NewSoloWorld()
+	s := NewFAGSet(w, "s", 2, WithGSetBound(15)) // 2 x 16 = 32 bits
+	th := sim.SoloThread(1)
+	if s.Has(th, 3) {
+		t.Fatal("Has(3) on empty set")
+	}
+	s.Add(th, 3)
+	s.Add(th, 0)
+	s.Add(th, 3) // duplicate: exercises the once-bit fetch&add(0) path
+	s.Add(sim.SoloThread(0), 3)
+	if !s.Has(th, 3) || !s.Has(th, 0) || s.Has(th, 1) || s.Has(th, 99) {
+		t.Fatal("membership after adds is wrong")
+	}
+	if got := s.Elems(th); len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("Elems = %v, want [0 3]", got)
+	}
+}
+
+// --- bound enforcement -------------------------------------------------------
+
+func TestPackedMaxRegisterRejectsOverBound(t *testing.T) {
+	w := sim.NewSoloWorld()
+	m := NewFAMaxRegister(w, "m", 2, WithMaxRegBound(10))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WriteMax beyond the packed bound did not panic")
+		}
+	}()
+	m.WriteMax(sim.SoloThread(0), 11)
+}
+
+func TestPackedGSetRejectsOverBound(t *testing.T) {
+	w := sim.NewSoloWorld()
+	s := NewFAGSet(w, "s", 2, WithGSetBound(10))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add beyond the packed bound did not panic")
+		}
+	}()
+	s.Add(sim.SoloThread(0), 11)
+}
+
+// TestWideFallbackBoundEnforced: the declared bound must be enforced even
+// when the encoding falls back to the wide register, so that a sharded
+// object whose shards mix packed and wide engines behaves uniformly.
+func TestWideFallbackBoundEnforced(t *testing.T) {
+	w := sim.NewSoloWorld()
+	m := NewFAMaxRegister(w, "m", 2, WithMaxRegBound(31)) // 2 x 32 = 64: wide
+	if m.Packed() {
+		t.Fatal("config must fall back to wide")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("wide-fallback WriteMax beyond the bound did not panic")
+			}
+		}()
+		m.WriteMax(sim.SoloThread(0), 32)
+	}()
+	s := NewFAGSet(w, "s", 3, WithGSetBound(21)) // 3 x 22 = 66: wide
+	if s.Packed() {
+		t.Fatal("config must fall back to wide")
+	}
+	// Out-of-domain queries are misses, not panics, on both engines — even
+	// for an x whose wide bit index would overflow int without the bound
+	// check.
+	if s.Has(sim.SoloThread(0), 22) || s.Has(sim.SoloThread(0), 1<<62) {
+		t.Error("wide-fallback Has beyond the bound must be false")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("wide-fallback Add beyond the bound did not panic")
+		}
+	}()
+	s.Add(sim.SoloThread(0), 22)
+}
+
+func TestPackedCounterOverflowPanics(t *testing.T) {
+	w := sim.NewSoloWorld()
+	c := NewFACounter(w, "c", WithCounterBound(10))
+	th := sim.SoloThread(0)
+	c.Add(th, maxPackedCount) // fills the packed capacity exactly
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inc past the packed capacity did not panic")
+		}
+	}()
+	c.Inc(th)
+}
+
+// --- exhaustive strong-linearizability model checks --------------------------
+//
+// Same configurations as the wide cores' checks (TestFACounterStrongLin,
+// TestFAMaxRegisterStrongLin*, TestFAGSetStrongLin*): the packed register is
+// still one scheduler step per operation.
+
+func TestPackedCounterStrongLin(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		c := NewFACounter(w, "c", WithCounterBound(100))
+		return []sim.Program{
+			{opCtrInc(c)},
+			{opCtrInc(c)},
+			{opCtrRead(c), opCtrRead(c)},
+		}
+	}
+	verifySL(t, 3, setup, spec.MonotonicCounter{})
+}
+
+func TestPackedMaxRegisterStrongLinTwoWritersOneReader(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		m := NewFAMaxRegister(w, "max", 3, WithMaxRegBound(5)) // 3 x 6 = 18 bits
+		return []sim.Program{
+			{opWriteMax(m, 2)},
+			{opWriteMax(m, 1)},
+			{opReadMax(m), opReadMax(m)},
+		}
+	}
+	v := verifySL(t, 3, setup, spec.MaxRegister{})
+	if v.Leaves == 0 {
+		t.Fatal("no executions explored")
+	}
+}
+
+func TestPackedMaxRegisterStrongLinWriteReadMix(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		m := NewFAMaxRegister(w, "max", 2, WithMaxRegBound(5))
+		return []sim.Program{
+			{opWriteMax(m, 1), opReadMax(m)},
+			{opWriteMax(m, 2), opReadMax(m)},
+		}
+	}
+	verifySL(t, 2, setup, spec.MaxRegister{})
+}
+
+func TestPackedMaxRegisterStrongLinNoopWrites(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		m := NewFAMaxRegister(w, "max", 2, WithMaxRegBound(5))
+		return []sim.Program{
+			{opWriteMax(m, 3), opWriteMax(m, 1)},
+			{opReadMax(m), opReadMax(m)},
+		}
+	}
+	verifySL(t, 2, setup, spec.MaxRegister{})
+}
+
+func TestPackedGSetStrongLin(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		s := NewFAGSet(w, "s", 3, WithGSetBound(5)) // 3 x 6 = 18 bits
+		return []sim.Program{
+			{opGSetAdd(s, 1)},
+			{opGSetAdd(s, 2)},
+			{opGSetHas(s, 1), opGSetHas(s, 2)},
+		}
+	}
+	verifySL(t, 3, setup, spec.GSet{})
+}
+
+func TestPackedGSetStrongLinDuplicateAdds(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		s := NewFAGSet(w, "s", 3, WithGSetBound(5))
+		return []sim.Program{
+			{opGSetAdd(s, 1), opGSetAdd(s, 1)},
+			{opGSetAdd(s, 1)},
+			{opGSetHas(s, 1)},
+		}
+	}
+	verifySL(t, 3, setup, spec.GSet{})
+}
+
+// The linearization-point certificates (every operation marks its single
+// fetch&add) must also verify on the packed engines.
+
+func TestPackedCounterCertificate(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		c := NewFACounter(w, "c", WithCounterBound(100))
+		return []sim.Program{
+			{opCtrInc(c), opCtrRead(c)},
+			{opCtrInc(c), opCtrRead(c)},
+		}
+	}
+	tree, err := sim.Explore(2, setup, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := history.CheckLinPointCertificate(tree, spec.MonotonicCounter{}); !res.Ok {
+		t.Fatalf("certificate rejected: %s", res.Failure)
+	}
+}
+
+func TestPackedGSetCertificate(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		s := NewFAGSet(w, "s", 2, WithGSetBound(5))
+		return []sim.Program{
+			{opGSetAdd(s, 1), opGSetHas(s, 2)},
+			{opGSetAdd(s, 2), opGSetHas(s, 1)},
+		}
+	}
+	tree, err := sim.Explore(2, setup, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := history.CheckLinPointCertificate(tree, spec.GSet{}); !res.Ok {
+		t.Fatalf("certificate rejected: %s", res.Failure)
+	}
+}
+
+// --- differential fuzz: packed vs wide, single-threaded oracle ---------------
+//
+// The wide cores are the reference; on any op sequence that stays inside the
+// packed bound, the packed cores must produce identical responses. The fuzz
+// corpus runs as ordinary unit tests; `go test -fuzz` explores further.
+
+func FuzzPackedVsWideCounter(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{2, 2, 2, 0, 0, 1, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w := sim.NewSoloWorld()
+		packed := NewFACounter(w, "p", WithCounterBound(1<<40))
+		wide := NewFACounter(w, "w")
+		th := sim.SoloThread(0)
+		for _, b := range data {
+			switch b % 3 {
+			case 0:
+				packed.Inc(th)
+				wide.Inc(th)
+			case 1:
+				k := int64(b / 3 % 16)
+				packed.Add(th, k)
+				wide.Add(th, k)
+			case 2:
+				if p, v := packed.Read(th), wide.Read(th); p != v {
+					t.Fatalf("packed Read = %d, wide Read = %d", p, v)
+				}
+			}
+		}
+		if p, v := packed.Read(th), wide.Read(th); p != v {
+			t.Fatalf("final packed Read = %d, wide Read = %d", p, v)
+		}
+	})
+}
+
+func FuzzPackedVsWideMaxReg(f *testing.F) {
+	f.Add([]byte{5, 17, 33, 2, 250, 9})
+	f.Add([]byte{0, 0, 255, 128, 64, 32})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const lanes, bound = 3, 6 // 3 x 7 = 21 bits: packs
+		w := sim.NewSoloWorld()
+		packed := NewFAMaxRegister(w, "p", lanes, WithMaxRegBound(bound))
+		wide := NewFAMaxRegister(w, "w", lanes)
+		if !packed.Packed() {
+			t.Fatal("fuzz config must pack")
+		}
+		for _, b := range data {
+			th := sim.SoloThread(int(b) % lanes)
+			if b%2 == 0 {
+				v := int64(b / 2 % (bound + 1))
+				packed.WriteMax(th, v)
+				wide.WriteMax(th, v)
+			} else if p, v := packed.ReadMax(th), wide.ReadMax(th); p != v {
+				t.Fatalf("packed ReadMax = %d, wide ReadMax = %d", p, v)
+			}
+		}
+		th := sim.SoloThread(0)
+		if p, v := packed.ReadMax(th), wide.ReadMax(th); p != v {
+			t.Fatalf("final packed ReadMax = %d, wide ReadMax = %d", p, v)
+		}
+	})
+}
+
+func FuzzPackedVsWideGSet(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{0, 0, 9, 9, 200, 100, 50})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const lanes, bound = 3, 6 // 3 x 7 = 21 bits: packs
+		w := sim.NewSoloWorld()
+		packed := NewFAGSet(w, "p", lanes, WithGSetBound(bound))
+		wide := NewFAGSet(w, "w", lanes)
+		if !packed.Packed() {
+			t.Fatal("fuzz config must pack")
+		}
+		for _, b := range data {
+			th := sim.SoloThread(int(b) % lanes)
+			x := int64(b / 4 % (bound + 1))
+			switch b % 3 {
+			case 0:
+				packed.Add(th, x)
+				wide.Add(th, x)
+			case 1:
+				if p, v := packed.Has(th, x), wide.Has(th, x); p != v {
+					t.Fatalf("packed Has(%d) = %v, wide Has(%d) = %v", x, p, x, v)
+				}
+			case 2:
+				if p, v := packed.Elems(th), wide.Elems(th); !reflect.DeepEqual(p, v) {
+					t.Fatalf("packed Elems = %v, wide Elems = %v", p, v)
+				}
+			}
+		}
+		th := sim.SoloThread(0)
+		if p, v := packed.Elems(th), wide.Elems(th); !reflect.DeepEqual(p, v) {
+			t.Fatalf("final packed Elems = %v, wide Elems = %v", p, v)
+		}
+	})
+}
+
+// --- randomized stress under real goroutine concurrency ----------------------
+
+func TestPackedMaxRegisterRealWorldStress(t *testing.T) {
+	w := prim.NewRealWorld()
+	const procs, bound = 4, 14 // 4 x 15 = 60 bits: packs
+	m := NewFAMaxRegister(w, "max", procs, WithMaxRegBound(bound))
+	if !m.Packed() {
+		t.Fatal("stress config must pack")
+	}
+	rngs := make([]*rand.Rand, procs)
+	for p := range rngs {
+		rngs[p] = rand.New(rand.NewSource(int64(p) + 41))
+	}
+	h := history.Stress(history.StressConfig{
+		Procs:      procs,
+		OpsPerProc: 40,
+		Gen: func(p, i int) history.StressOp {
+			if rngs[p].Intn(2) == 0 {
+				v := int64(rngs[p].Intn(bound + 1))
+				return history.StressOp{Op: spec.MkOp(spec.MethodWriteMax, v),
+					Run: func(t prim.Thread) string { m.WriteMax(t, v); return spec.RespOK }}
+			}
+			return history.StressOp{Op: spec.MkOp(spec.MethodReadMax),
+				Run: func(t prim.Thread) string { return spec.RespInt(m.ReadMax(t)) }}
+		},
+	})
+	if res := history.CheckLinearizable(h, spec.MaxRegister{}); !res.Ok {
+		t.Fatalf("stress history not linearizable:\n%s", h.String())
+	}
+}
+
+func TestPackedCounterRealWorldStress(t *testing.T) {
+	w := prim.NewRealWorld()
+	const procs = 4
+	c := NewFACounter(w, "c", WithCounterBound(1<<30))
+	rngs := make([]*rand.Rand, procs)
+	for p := range rngs {
+		rngs[p] = rand.New(rand.NewSource(int64(p) + 43))
+	}
+	h := history.Stress(history.StressConfig{
+		Procs:      procs,
+		OpsPerProc: 40,
+		Gen: func(p, i int) history.StressOp {
+			if rngs[p].Intn(3) == 0 {
+				return history.StressOp{Op: spec.MkOp(spec.MethodRead),
+					Run: func(t prim.Thread) string { return spec.RespInt(c.Read(t)) }}
+			}
+			return history.StressOp{Op: spec.MkOp(spec.MethodInc),
+				Run: func(t prim.Thread) string { c.Inc(t); return spec.RespOK }}
+		},
+	})
+	if res := history.CheckLinearizable(h, spec.MonotonicCounter{}); !res.Ok {
+		t.Fatalf("stress history not linearizable:\n%s", h.String())
+	}
+}

@@ -2,9 +2,9 @@ package core
 
 import (
 	"fmt"
-	"math/big"
 	"sync"
 
+	"stronglin/internal/interleave"
 	"stronglin/internal/prim"
 )
 
@@ -24,19 +24,68 @@ import (
 // test&set only because it must also RETURN the pre-increment value); a
 // monotone counter's inc returns nothing, so one consensus-number-2 primitive
 // suffices with no construction at all.
+//
+// With WithCounterBound the register becomes a single machine word
+// (prim.FetchAddInt — hardware XADD) when the declared maximum fits 62 bits;
+// every operation is still one fetch&add on one register, so the
+// linearization argument is unchanged. Operations that would push the count
+// past the packed capacity panic (the value is unrepresentable).
 type FACounter struct {
-	w prim.World
-	r prim.FetchAdd
+	w     prim.World
+	r     prim.FetchAdd    // wide engine; nil when packed
+	ri    prim.FetchAddInt // packed engine; nil when wide
+	bound int64            // -1: unbounded (wide); >= 0: declared max count
+}
+
+// maxPackedCount is the largest count the packed counter represents. Keeping
+// it below 2^62 leaves headroom so that a single in-range Add can never wrap
+// the int64 sign bit before the overflow check.
+const maxPackedCount = int64(1)<<62 - 1
+
+// CounterOption configures NewFACounter.
+type CounterOption func(*FACounter)
+
+// WithCounterBound declares that the counter value never exceeds bound
+// (>= 0). Any bound up to 2^62-1 is machine-word representable, so the
+// constructor selects the packed engine; larger bounds fall back to the wide
+// register. Unlike the max-register and set bounds, the declaration is a
+// capacity promise used only for engine selection, not a per-operation
+// constraint: an increment has no value to check against a domain (and a
+// shard of a sharded counter cannot see the global count at all). The packed
+// engine panics only when the count would exceed its 2^62-1 capacity.
+func WithCounterBound(bound int64) CounterOption {
+	if bound < 0 {
+		panic(fmt.Sprintf("core: WithCounterBound(%d): bound must be non-negative", bound))
+	}
+	return func(c *FACounter) { c.bound = bound }
 }
 
 // NewFACounter allocates the register name+".R"; the counter starts at 0.
-func NewFACounter(w prim.World, name string) *FACounter {
-	return &FACounter{w: w, r: w.FetchAdd(name + ".R")}
+func NewFACounter(w prim.World, name string, opts ...CounterOption) *FACounter {
+	c := &FACounter{w: w, bound: -1}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.bound >= 0 && c.bound <= maxPackedCount {
+		c.ri = w.FetchAddInt(name+".R", 0)
+	} else {
+		c.r = w.FetchAdd(name + ".R")
+	}
+	return c
 }
+
+// Packed reports whether the register is the packed machine word.
+func (c *FACounter) Packed() bool { return c.ri != nil }
 
 // Inc increments the counter.
 func (c *FACounter) Inc(t prim.Thread) {
-	c.r.FetchAdd(t, one)
+	if c.ri != nil {
+		if prev := c.ri.FetchAddInt(t, 1); prev >= maxPackedCount {
+			panic("core: FACounter.Inc: packed counter overflow")
+		}
+	} else {
+		c.r.FetchAdd(t, one)
+	}
 	prim.MarkLinPoint(c.w, t)
 }
 
@@ -45,13 +94,27 @@ func (c *FACounter) Add(t prim.Thread, k int64) {
 	if k < 0 {
 		panic(fmt.Sprintf("core: FACounter.Add(%d): deltas must be non-negative", k))
 	}
-	c.r.FetchAdd(t, big.NewInt(k))
+	if c.ri != nil {
+		if k > maxPackedCount {
+			panic(fmt.Sprintf("core: FACounter.Add(%d): delta exceeds the packed capacity", k))
+		}
+		if prev := c.ri.FetchAddInt(t, k); prev > maxPackedCount-k {
+			panic(fmt.Sprintf("core: FACounter.Add(%d): packed counter overflow", k))
+		}
+	} else {
+		c.r.FetchAdd(t, interleave.SmallInt(k))
+	}
 	prim.MarkLinPoint(c.w, t)
 }
 
 // Read returns the counter value.
 func (c *FACounter) Read(t prim.Thread) int64 {
-	v := c.r.FetchAdd(t, zero).Int64()
+	var v int64
+	if c.ri != nil {
+		v = c.ri.FetchAddInt(t, 0)
+	} else {
+		v = c.r.FetchAdd(t, zero).Int64()
+	}
 	prim.MarkLinPoint(c.w, t)
 	return v
 }
@@ -72,10 +135,20 @@ func (c *FACounter) Read(t prim.Thread) int64 {
 // scan plus an operation-graph linearization per operation, every FAGSet
 // operation is O(1) shared steps — the shard-friendly trade: it implements
 // only the grow-only set rather than every simple type.
+//
+// With WithGSetBound the register becomes a single machine word when the
+// element bitmap fits (lanes x (bound+1) <= 63 bits): one hardware XADD
+// register instead of the wide one, same single-fetch&add linearization
+// points; Add panics on elements beyond the bound (unrepresentable). When the
+// encoding does not fit, the constructor falls back to the wide register.
 type FAGSet struct {
 	n      int
 	w      prim.World
-	r      prim.FetchAdd
+	codec  interleave.Codec
+	r      prim.FetchAdd    // wide engine; nil when packed
+	rp     prim.FetchAddInt // packed engine; nil when wide
+	pc     interleave.Packed
+	bound  int64            // -1: unbounded (wide); >= 0: declared max element
 	laneOf func(id int) int // process ID -> lane index (identity by default)
 
 	// added[i] records which elements the process on lane i has already
@@ -100,13 +173,29 @@ func WithGSetLaneMap(laneOf func(id int) int) GSetOption {
 	return func(s *FAGSet) { s.laneOf = laneOf }
 }
 
+// WithGSetBound declares that every element is in [0, bound], and makes Add
+// panic on elements beyond it (like negatives); Has and Elems simply never
+// find such elements. When the element bitmap fits a machine word
+// (n x (bound+1) <= 63 bits) the construction runs over a single
+// prim.FetchAddInt register; otherwise it falls back to the wide register.
+// The bound is enforced either way, so behaviour does not depend on which
+// engine was selected (a sharded object whose shards host different lane
+// counts may mix engines).
+func WithGSetBound(bound int64) GSetOption {
+	if bound < 0 {
+		panic(fmt.Sprintf("core: WithGSetBound(%d): bound must be non-negative", bound))
+	}
+	return func(s *FAGSet) { s.bound = bound }
+}
+
 // NewFAGSet allocates the construction for n lanes using a single fetch&add
 // register named name+".R".
 func NewFAGSet(w prim.World, name string, n int, opts ...GSetOption) *FAGSet {
 	s := &FAGSet{
 		n:      n,
 		w:      w,
-		r:      w.FetchAdd(name + ".R"),
+		codec:  interleave.MustNew(n),
+		bound:  -1,
 		laneOf: func(id int) int { return id },
 		added:  make([]map[int64]struct{}, n),
 		mu:     make([]sync.Mutex, n),
@@ -117,13 +206,31 @@ func NewFAGSet(w prim.World, name string, n int, opts ...GSetOption) *FAGSet {
 	for _, o := range opts {
 		o(s)
 	}
+	// bound < 63 before the int conversion: a packable lane is at most 63
+	// bits, and a huge int64 bound must not truncate on 32-bit platforms. A
+	// bound that does not pack stays declared (and enforced) over the wide
+	// register.
+	if s.bound >= 0 && s.bound < 63 {
+		if pc, ok := interleave.NewPacked(n, int(s.bound)+1); ok {
+			s.pc = pc
+			s.rp = w.FetchAddInt(name+".R", 0)
+			return s
+		}
+	}
+	s.r = w.FetchAdd(name + ".R")
 	return s
 }
+
+// Packed reports whether the register is the packed machine word.
+func (s *FAGSet) Packed() bool { return s.rp != nil }
 
 // Add inserts x (which must be non-negative) on behalf of t.
 func (s *FAGSet) Add(t prim.Thread, x int64) {
 	if x < 0 {
 		panic(fmt.Sprintf("core: FAGSet.Add(%d): elements must be non-negative", x))
+	}
+	if s.bound >= 0 && x > s.bound {
+		panic(fmt.Sprintf("core: FAGSet.Add(%d): element exceeds the declared bound %d", x, s.bound))
 	}
 	i := s.laneOf(t.ID())
 	s.mu[i].Lock()
@@ -133,21 +240,42 @@ func (s *FAGSet) Add(t prim.Thread, x int64) {
 	}
 	s.mu[i].Unlock()
 	if dup {
-		s.r.FetchAdd(t, zero)
+		if s.rp != nil {
+			s.rp.FetchAddInt(t, 0)
+		} else {
+			s.r.FetchAdd(t, zero)
+		}
 		prim.MarkLinPoint(s.w, t)
 		return
 	}
-	delta := new(big.Int)
-	delta.SetBit(delta, int(x)*s.n+i, 1)
-	s.r.FetchAdd(t, delta)
+	if s.rp != nil {
+		s.rp.FetchAddInt(t, s.pc.Spread(int64(1)<<x, i))
+	} else {
+		s.r.FetchAdd(t, s.codec.SpreadBitDelta(i, int(x)))
+	}
 	prim.MarkLinPoint(s.w, t)
 }
 
 // Has reports membership of x.
 func (s *FAGSet) Has(t prim.Thread, x int64) bool {
+	if s.rp != nil {
+		word := s.rp.FetchAddInt(t, 0)
+		prim.MarkLinPoint(s.w, t)
+		if x < 0 || x > s.bound {
+			return false
+		}
+		for i := 0; i < s.n; i++ {
+			if s.pc.Lane(word, i)&(int64(1)<<x) != 0 {
+				return true
+			}
+		}
+		return false
+	}
 	word := s.r.FetchAdd(t, zero)
 	prim.MarkLinPoint(s.w, t)
-	if x < 0 {
+	// Out-of-domain queries are misses on the wide path too (and the bound
+	// check keeps a huge x from overflowing the int bit index below).
+	if x < 0 || (s.bound >= 0 && x > s.bound) {
 		return false
 	}
 	for i := 0; i < s.n; i++ {
@@ -160,6 +288,21 @@ func (s *FAGSet) Has(t prim.Thread, x int64) bool {
 
 // Elems returns the members in ascending order.
 func (s *FAGSet) Elems(t prim.Thread) []int64 {
+	if s.rp != nil {
+		word := s.rp.FetchAddInt(t, 0)
+		prim.MarkLinPoint(s.w, t)
+		var union int64
+		for i := 0; i < s.n; i++ {
+			union |= s.pc.Lane(word, i)
+		}
+		var out []int64
+		for x := int64(0); union != 0; x, union = x+1, union>>1 {
+			if union&1 == 1 {
+				out = append(out, x)
+			}
+		}
+		return out
+	}
 	word := s.r.FetchAdd(t, zero)
 	prim.MarkLinPoint(s.w, t)
 	var out []int64

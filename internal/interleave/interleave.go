@@ -13,6 +13,7 @@ package interleave
 import (
 	"fmt"
 	"math/big"
+	"sync"
 )
 
 // Codec maps between compact per-lane values and their interleaved positions
@@ -143,4 +144,84 @@ func UnaryDelta(from, to int) *big.Int {
 		out.SetBit(out, k, 1)
 	}
 	return out
+}
+
+// The delta memos cache the spread big.Ints of common small lane updates.
+// They are PROCESS-GLOBAL, not per-codec: within one register a raising lane
+// never repeats a (from, to) pair and an element bit is added once, so a
+// per-register cache could never hit — the hits come from siblings (the S
+// shard cores of a sharded object share lane geometry and value domain, and
+// re-walk the same deltas) and from same-shape registers elsewhere in the
+// process. Cached values are published once and never mutated afterwards;
+// FetchAdd neither retains nor modifies its delta argument, so sharing one
+// *big.Int across operations, registers and processes is safe.
+var (
+	unaryDeltas sync.Map // unaryDeltaKey -> *big.Int (Spread(UnaryDelta(from,to), lane))
+	bitDeltas   sync.Map // int bit position -> *big.Int (single absolute bit)
+)
+
+// unaryDeltaKey identifies a spread unary delta: the result depends on the
+// lane count n as well as the lane and value range.
+type unaryDeltaKey struct{ n, lane, from, to int }
+
+// memoMaxTo bounds the unary memo: deltas whose target value exceeds it are
+// built fresh, keeping each register shape to at most ~memoMaxTo^2/2 small
+// cached entries per lane.
+const memoMaxTo = 128
+
+// SpreadUnaryDelta returns Spread(UnaryDelta(from, to), lane), memoized for
+// small targets so the wide max-register write path stops allocating per
+// operation once a sibling register (e.g. another shard) has walked the same
+// raise. The returned value is shared and must not be mutated.
+func (c Codec) SpreadUnaryDelta(lane, from, to int) *big.Int {
+	if to > memoMaxTo {
+		return c.Spread(UnaryDelta(from, to), lane)
+	}
+	key := unaryDeltaKey{n: c.n, lane: lane, from: from, to: to}
+	if d, ok := unaryDeltas.Load(key); ok {
+		return d.(*big.Int)
+	}
+	d, _ := unaryDeltas.LoadOrStore(key, c.Spread(UnaryDelta(from, to), lane))
+	return d.(*big.Int)
+}
+
+// memoMaxBitPos bounds the single-bit memo (absolute positions, so it covers
+// element*lanes+lane for the grow-only set's common small elements).
+const memoMaxBitPos = 4096
+
+// SpreadBitDelta returns the delta with the single absolute bit k*n + lane
+// set — lane-local bit k of the given lane, the grow-only set's element
+// delta — memoized for small positions (a single-bit word depends only on
+// the absolute position, so the cache is shared across codecs). The returned
+// value is shared and must not be mutated.
+func (c Codec) SpreadBitDelta(lane, k int) *big.Int {
+	pos := c.BitPos(lane, k)
+	if pos > memoMaxBitPos {
+		out := new(big.Int)
+		return out.SetBit(out, pos, 1)
+	}
+	if d, ok := bitDeltas.Load(pos); ok {
+		return d.(*big.Int)
+	}
+	fresh := new(big.Int)
+	fresh.SetBit(fresh, pos, 1)
+	d, _ := bitDeltas.LoadOrStore(pos, fresh)
+	return d.(*big.Int)
+}
+
+// smallInts caches the plain big.Int encodings of small non-negative deltas
+// (the wide counter's Add argument). Shared and immutable.
+var smallInts sync.Map // int64 -> *big.Int
+
+// SmallInt returns a shared immutable *big.Int holding v (>= 0), cached for
+// small values. The returned value must not be mutated.
+func SmallInt(v int64) *big.Int {
+	if v < 0 || v > memoMaxTo {
+		return big.NewInt(v)
+	}
+	if d, ok := smallInts.Load(v); ok {
+		return d.(*big.Int)
+	}
+	d, _ := smallInts.LoadOrStore(v, big.NewInt(v))
+	return d.(*big.Int)
 }

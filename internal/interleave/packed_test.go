@@ -1,0 +1,183 @@
+package interleave
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestNewPackedBudget(t *testing.T) {
+	cases := []struct {
+		n, width int
+		ok       bool
+	}{
+		{1, 1, true}, {1, 63, true}, {2, 31, true}, {2, 32, false},
+		{3, 21, true}, {3, 22, false}, {63, 1, true}, {64, 1, false},
+		{0, 4, false}, {4, 0, false}, {-1, 4, false},
+	}
+	for _, c := range cases {
+		if _, ok := NewPacked(c.n, c.width); ok != c.ok {
+			t.Errorf("NewPacked(%d, %d) ok = %v, want %v", c.n, c.width, ok, c.ok)
+		}
+	}
+}
+
+func TestMustNewPackedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewPacked(8, 8) did not panic")
+		}
+	}()
+	MustNewPacked(8, 8)
+}
+
+func TestPackedSpreadLaneRoundTrip(t *testing.T) {
+	p := MustNewPacked(3, 7)
+	rng := rand.New(rand.NewSource(1))
+	word := int64(0)
+	want := make([]int64, 3)
+	for lane := 0; lane < 3; lane++ {
+		v := int64(rng.Intn(128))
+		want[lane] = v
+		word += p.Spread(v, lane)
+	}
+	for lane := 0; lane < 3; lane++ {
+		if got := p.Lane(word, lane); got != want[lane] {
+			t.Fatalf("Lane(%d) = %d, want %d", lane, got, want[lane])
+		}
+	}
+}
+
+func TestPackedSpreadRejectsOutOfRange(t *testing.T) {
+	p := MustNewPacked(2, 4)
+	for _, bad := range []int64{-1, 16, 99} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Spread(%d) did not panic", bad)
+				}
+			}()
+			p.Spread(bad, 0)
+		}()
+	}
+}
+
+// TestPackedMatchesWideUnary: raising lanes by unary deltas through the
+// packed codec decodes to the same per-lane unary values as the wide codec —
+// the packed word is a faithful bounded image of the interleaved big.Int.
+func TestPackedMatchesWideUnary(t *testing.T) {
+	const lanes, bound = 3, 5
+	p := MustNewPacked(lanes, bound+1)
+	c := MustNew(lanes)
+	rng := rand.New(rand.NewSource(7))
+
+	word := int64(0)
+	wide := new(big.Int)
+	cur := make([]int, lanes)
+	for step := 0; step < 200; step++ {
+		lane := rng.Intn(lanes)
+		to := 1 + rng.Intn(bound)
+		if to <= cur[lane] {
+			continue
+		}
+		word += p.Spread(PackedUnaryDelta(cur[lane], to), lane)
+		wide.Add(wide, c.Spread(UnaryDelta(cur[lane], to), lane))
+		cur[lane] = to
+
+		for i := 0; i < lanes; i++ {
+			pv := PackedUnaryValue(p.Lane(word, i))
+			wv := UnaryValue(c.Lane(wide, i))
+			if pv != wv || pv != cur[i] {
+				t.Fatalf("step %d lane %d: packed %d, wide %d, want %d", step, i, pv, wv, cur[i])
+			}
+		}
+	}
+}
+
+func TestPackedUnaryDelta(t *testing.T) {
+	for from := 0; from < 10; from++ {
+		for to := from + 1; to < 12; to++ {
+			got := PackedUnaryDelta(from, to)
+			want := int64(0)
+			for k := from + 1; k <= to; k++ {
+				want |= 1 << k
+			}
+			if got != want {
+				t.Fatalf("PackedUnaryDelta(%d, %d) = %b, want %b", from, to, got, want)
+			}
+		}
+	}
+}
+
+func TestPackedUnaryDeltaPanics(t *testing.T) {
+	for _, bad := range [][2]int{{3, 3}, {5, 2}, {-1, 4}, {10, 63}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PackedUnaryDelta(%d, %d) did not panic", bad[0], bad[1])
+				}
+			}()
+			PackedUnaryDelta(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestPackedUnaryValue(t *testing.T) {
+	if got := PackedUnaryValue(0); got != 0 {
+		t.Fatalf("PackedUnaryValue(0) = %d, want 0", got)
+	}
+	for k := 1; k < 20; k++ {
+		v := PackedUnaryDelta(0, k) // bits 1..k
+		if got := PackedUnaryValue(v); got != k {
+			t.Fatalf("PackedUnaryValue(unary %d) = %d", k, got)
+		}
+	}
+}
+
+// --- memoized wide deltas ----------------------------------------------------
+
+func TestSpreadUnaryDeltaMemoized(t *testing.T) {
+	c := MustNew(3)
+	a := c.SpreadUnaryDelta(1, 2, 5)
+	b := c.SpreadUnaryDelta(1, 2, 5)
+	if a != b {
+		t.Fatal("repeated small SpreadUnaryDelta did not return the cached value")
+	}
+	want := c.Spread(UnaryDelta(2, 5), 1)
+	if a.Cmp(want) != 0 {
+		t.Fatalf("memoized delta = %v, want %v", a, want)
+	}
+	// Beyond the memo cap it still computes correctly.
+	big1 := c.SpreadUnaryDelta(0, memoMaxTo, memoMaxTo+10)
+	if big1.Cmp(c.Spread(UnaryDelta(memoMaxTo, memoMaxTo+10), 0)) != 0 {
+		t.Fatal("uncached SpreadUnaryDelta mismatch")
+	}
+}
+
+func TestSpreadBitDeltaMemoized(t *testing.T) {
+	c := MustNew(4)
+	a := c.SpreadBitDelta(2, 7)
+	b := c.SpreadBitDelta(2, 7)
+	if a != b {
+		t.Fatal("repeated small SpreadBitDelta did not return the cached value")
+	}
+	if a.BitLen() != c.BitPos(2, 7)+1 || a.Bit(c.BitPos(2, 7)) != 1 {
+		t.Fatalf("SpreadBitDelta(2, 7) = %v, want single bit at %d", a, c.BitPos(2, 7))
+	}
+	huge := c.SpreadBitDelta(1, memoMaxBitPos)
+	if huge.Bit(c.BitPos(1, memoMaxBitPos)) != 1 {
+		t.Fatal("uncached SpreadBitDelta mismatch")
+	}
+}
+
+func TestSmallInt(t *testing.T) {
+	if SmallInt(5) != SmallInt(5) {
+		t.Fatal("SmallInt(5) not cached")
+	}
+	if SmallInt(5).Int64() != 5 {
+		t.Fatal("SmallInt(5) wrong value")
+	}
+	if SmallInt(memoMaxTo+1).Int64() != memoMaxTo+1 {
+		t.Fatal("uncached SmallInt wrong value")
+	}
+}

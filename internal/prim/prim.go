@@ -7,9 +7,11 @@
 // objects. Two worlds implement these interfaces:
 //
 //   - prim.NewRealWorld: primitives backed by sync/atomic (the wide
-//     fetch&add register is mutex-guarded, which is an implementation detail
-//     of the substrate — the primitive is specified atomic). Used for stress
-//     tests and benchmarks.
+//     fetch&add register is copy-on-write: mutating fetch&adds serialise on a
+//     mutex and publish immutable big.Int snapshots, while fetch&add(0) reads
+//     are single atomic pointer loads — an implementation detail of the
+//     substrate; the primitive is specified atomic). Used for stress tests
+//     and benchmarks.
 //   - sim.NewWorld (package internal/sim): primitives executed as single
 //     atomic steps of a deterministic cooperative scheduler, so that all
 //     interleavings of a bounded program can be enumerated. Used for model

@@ -62,7 +62,9 @@ func (w *RealWorld) TAS2(name string, p, q int) ReadableTAS {
 // FetchAdd allocates an unbounded-width fetch&add register, initially 0.
 func (w *RealWorld) FetchAdd(name string) FetchAdd {
 	w.claim(name)
-	return &realFetchAdd{val: new(big.Int)}
+	r := &realFetchAdd{}
+	r.val.Store(new(big.Int))
+	return r
 }
 
 // FetchAddInt allocates a machine-word fetch&add register.
@@ -120,22 +122,40 @@ type realTAS struct{ v atomic.Int64 }
 func (r *realTAS) TestAndSet(Thread) int64 { return r.v.Swap(1) }
 func (r *realTAS) Read(Thread) int64       { return r.v.Load() }
 
+// realFetchAdd is copy-on-write: the current value is an immutable big.Int
+// behind an atomic pointer. Mutating fetch&adds serialise on the mutex and
+// publish a fresh value; a read — fetch&add(0), the only way the paper's
+// constructions read the register — is a single atomic pointer load (its
+// linearization point), taking no lock and copying nothing. Published values
+// are never modified afterwards, which is why handing the same *big.Int to
+// every concurrent reader is safe (the FetchAdd contract forbids callers from
+// mutating the returned value).
 type realFetchAdd struct {
-	mu  sync.Mutex
-	val *big.Int
+	mu  sync.Mutex // serialises mutating fetch&adds
+	val atomic.Pointer[big.Int]
 }
 
 func (r *realFetchAdd) FetchAdd(_ Thread, delta *big.Int) *big.Int {
+	if delta.Sign() == 0 {
+		return r.val.Load()
+	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	prev := new(big.Int).Set(r.val)
-	r.val.Add(r.val, delta)
+	prev := r.val.Load()
+	r.val.Store(new(big.Int).Add(prev, delta))
+	r.mu.Unlock()
 	return prev
 }
 
 type realFetchAddInt struct{ v atomic.Int64 }
 
 func (r *realFetchAddInt) FetchAddInt(_ Thread, delta int64) int64 {
+	if delta == 0 {
+		// A read — fetch&add(0), the constructions' only read of the register —
+		// is a plain atomic load rather than a lock-prefixed XADD: it
+		// participates in the same total modification order (its linearization
+		// point is the load), like the copy-on-write wide register's read.
+		return r.v.Load()
+	}
 	return r.v.Add(delta) - delta
 }
 

@@ -1,9 +1,11 @@
 package prim
 
 import (
+	"fmt"
 	"math/big"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestRealRegister(t *testing.T) {
@@ -103,6 +105,80 @@ func TestRealFetchAddDoesNotAliasDelta(t *testing.T) {
 	delta.SetInt64(1000) // mutating the caller's delta must not affect the register
 	if cur := fa.FetchAdd(th, new(big.Int)); cur.Int64() != 4 {
 		t.Fatalf("register state = %v, want 4", cur)
+	}
+}
+
+// TestRealFetchAddReadIgnoresMutatorMutex pins the copy-on-write contract:
+// fetch&add(0) is an atomic pointer load that never touches the mutex
+// serialising mutators. The test holds the mutex and requires a concurrent
+// read to complete anyway — under the pre-COW implementation this deadlocks.
+func TestRealFetchAddReadIgnoresMutatorMutex(t *testing.T) {
+	w := NewRealWorld()
+	fa := w.FetchAdd("R")
+	th := RealThread(0)
+	fa.FetchAdd(th, big.NewInt(9))
+
+	r := fa.(*realFetchAdd)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	done := make(chan int64, 1)
+	go func() {
+		done <- fa.FetchAdd(RealThread(1), new(big.Int)).Int64()
+	}()
+	select {
+	case got := <-done:
+		if got != 9 {
+			t.Fatalf("read under held mutator mutex = %d, want 9", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("FetchAdd(0) blocked on the mutator mutex; reads must be lock-free")
+	}
+}
+
+// TestRealFetchAddCOWStress drives mutators against lock-free readers. Every
+// reader must observe a monotonically non-decreasing sequence of counts (the
+// register only grows here), and the final total must be exact. Run with
+// -race, this also certifies the safe publication of the immutable snapshots.
+func TestRealFetchAddCOWStress(t *testing.T) {
+	w := NewRealWorld()
+	fa := w.FetchAdd("R")
+	const writers, readers, reps = 4, 4, 300
+	var wg sync.WaitGroup
+	for p := 0; p < writers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			th := RealThread(p)
+			for i := 0; i < reps; i++ {
+				fa.FetchAdd(th, big.NewInt(1))
+			}
+		}(p)
+	}
+	errs := make(chan error, readers)
+	for p := 0; p < readers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			th := RealThread(writers + p)
+			last := int64(-1)
+			for i := 0; i < reps; i++ {
+				got := fa.FetchAdd(th, new(big.Int)).Int64()
+				if got < last {
+					errs <- fmt.Errorf("reader %d: value went backwards: %d after %d", p, got, last)
+					return
+				}
+				last = got
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := fa.FetchAdd(RealThread(0), new(big.Int)).Int64(); got != writers*reps {
+		t.Fatalf("final total = %d, want %d", got, writers*reps)
 	}
 }
 

@@ -64,6 +64,19 @@
 // times lanes, is what gets striped. Reads are lock-free rather than
 // wait-free (a retry consumes a write's announce), matching the guarantee of
 // the paper's Theorem 9/10 objects.
+//
+// # Packed shard cores
+//
+// With WithBound, each shard core additionally packs its register into a
+// single machine word when the per-shard encoding fits (internal/core's
+// bound options; internal/interleave.Packed). The compact lane maps are what
+// make this the common case: a shard hosts lanes/S writers, so its width
+// budget is S times larger than the unsharded construction's, and every
+// object register in the system — S shard words plus the epoch — is then a
+// hardware XADD int64. The strong-linearizability argument is untouched
+// (each shard operation is still one fetch&add on one register), and the
+// packed sharded objects pass the same exhaustive model checks as the wide
+// ones in the package tests.
 package shard
 
 import (
@@ -83,6 +96,44 @@ func validate(lanes, shards int) {
 	}
 }
 
+// Option configures the sharded constructors.
+type Option func(*config)
+
+type config struct {
+	bound int64 // -1: unbounded (wide cores)
+}
+
+// WithBound declares the value domain [0, bound] of the object (max-register
+// values, grow-only-set elements, or the counter's final count). Each shard
+// core then packs its register into a single machine word whenever its
+// per-shard encoding fits (internal/core's bound options) — sharding already
+// narrows every shard's register by the compact lane maps, so a bound that is
+// hopeless for the unsharded construction often packs per shard: "sharding
+// narrows the register" becomes "sharding makes the register a machine word".
+// Shards whose encoding does not fit fall back to the wide register
+// individually.
+//
+// For the max register and the grow-only set the bound is enforced on every
+// shard regardless of engine: writes beyond it panic uniformly, and reads
+// simply never see such values. For the counter it is a capacity declaration
+// only (a shard cannot see the global count, and any count up to 2^62-1 is
+// machine-word representable); the packed counter panics only at that
+// capacity.
+func WithBound(bound int64) Option {
+	if bound < 0 {
+		panic(fmt.Sprintf("shard: WithBound(%d): bound must be non-negative", bound))
+	}
+	return func(c *config) { c.bound = bound }
+}
+
+func buildConfig(opts []Option) config {
+	cfg := config{bound: -1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
 // Counter is a monotone counter striped across S fetch&add cores. Inc touches
 // the caller's shard and the epoch; Read performs an epoch-validated collect.
 type Counter struct {
@@ -91,20 +142,36 @@ type Counter struct {
 }
 
 // NewCounter builds a sharded counter for the given lane count.
-func NewCounter(w prim.World, name string, lanes, shards int) *Counter {
+func NewCounter(w prim.World, name string, lanes, shards int, opts ...Option) *Counter {
 	validate(lanes, shards)
+	cfg := buildConfig(opts)
 	c := &Counter{
 		shards: make([]*core.FACounter, shards),
 		epoch:  w.FetchAddInt(name+".epoch", 0),
 	}
 	for s := range c.shards {
-		c.shards[s] = core.NewFACounter(w, shardName(name, s))
+		var coreOpts []core.CounterOption
+		if cfg.bound >= 0 {
+			// Any one shard's count is bounded by the whole counter's.
+			coreOpts = append(coreOpts, core.WithCounterBound(cfg.bound))
+		}
+		c.shards[s] = core.NewFACounter(w, shardName(name, s), coreOpts...)
 	}
 	return c
 }
 
 // Shards returns the shard count S.
 func (c *Counter) Shards() int { return len(c.shards) }
+
+// Packed reports whether every shard core runs on a packed machine word.
+func (c *Counter) Packed() bool {
+	for _, s := range c.shards {
+		if !s.Packed() {
+			return false
+		}
+	}
+	return true
+}
 
 // Inc increments the counter via the caller's shard.
 func (c *Counter) Inc(t prim.Thread) {
@@ -150,22 +217,37 @@ type MaxRegister struct {
 // Shard s is a Theorem 1 construction hosting only the lanes mapped to it
 // (l % S == s), compacted to indices l/S — so each shard's unary register is
 // S times narrower than the unsharded construction's, which shrinks every
-// fetch&add proportionally on top of splitting writer contention.
-func NewMaxRegister(w prim.World, name string, lanes, shards int) *MaxRegister {
+// fetch&add proportionally on top of splitting writer contention. With
+// WithBound, that narrowing is what lets each shard pack into a machine word.
+func NewMaxRegister(w prim.World, name string, lanes, shards int, opts ...Option) *MaxRegister {
 	validate(lanes, shards)
+	cfg := buildConfig(opts)
 	m := &MaxRegister{
 		shards: make([]*core.FAMaxRegister, shards),
 		epoch:  w.FetchAddInt(name+".epoch", 0),
 	}
 	for s := range m.shards {
-		m.shards[s] = core.NewFAMaxRegister(w, shardName(name, s), laneCount(lanes, shards, s),
-			core.WithLaneMap(compactLane(shards)))
+		coreOpts := []core.MaxRegOption{core.WithLaneMap(compactLane(shards))}
+		if cfg.bound >= 0 {
+			coreOpts = append(coreOpts, core.WithMaxRegBound(cfg.bound))
+		}
+		m.shards[s] = core.NewFAMaxRegister(w, shardName(name, s), laneCount(lanes, shards, s), coreOpts...)
 	}
 	return m
 }
 
 // Shards returns the shard count S.
 func (m *MaxRegister) Shards() int { return len(m.shards) }
+
+// Packed reports whether every shard core runs on a packed machine word.
+func (m *MaxRegister) Packed() bool {
+	for _, s := range m.shards {
+		if !s.Packed() {
+			return false
+		}
+	}
+	return true
+}
 
 // WriteMax writes v (non-negative) via the caller's shard.
 func (m *MaxRegister) WriteMax(t prim.Thread, v int64) {
@@ -205,22 +287,37 @@ type GSet struct {
 
 // NewGSet builds a sharded grow-only set for the given lane count. Like the
 // max register, shard s hosts only its own lanes, compacted — narrowing each
-// shard's element-bit register by the shard count.
-func NewGSet(w prim.World, name string, lanes, shards int) *GSet {
+// shard's element-bit register by the shard count (and, with WithBound,
+// packing it into a machine word when the per-shard bitmap fits).
+func NewGSet(w prim.World, name string, lanes, shards int, opts ...Option) *GSet {
 	validate(lanes, shards)
+	cfg := buildConfig(opts)
 	g := &GSet{
 		shards: make([]*core.FAGSet, shards),
 		epoch:  w.FetchAddInt(name+".epoch", 0),
 	}
 	for s := range g.shards {
-		g.shards[s] = core.NewFAGSet(w, shardName(name, s), laneCount(lanes, shards, s),
-			core.WithGSetLaneMap(compactLane(shards)))
+		coreOpts := []core.GSetOption{core.WithGSetLaneMap(compactLane(shards))}
+		if cfg.bound >= 0 {
+			coreOpts = append(coreOpts, core.WithGSetBound(cfg.bound))
+		}
+		g.shards[s] = core.NewFAGSet(w, shardName(name, s), laneCount(lanes, shards, s), coreOpts...)
 	}
 	return g
 }
 
 // Shards returns the shard count S.
 func (g *GSet) Shards() int { return len(g.shards) }
+
+// Packed reports whether every shard core runs on a packed machine word.
+func (g *GSet) Packed() bool {
+	for _, s := range g.shards {
+		if !s.Packed() {
+			return false
+		}
+	}
+	return true
+}
 
 // Add inserts x (non-negative) via the caller's shard.
 func (g *GSet) Add(t prim.Thread, x int64) {

@@ -347,6 +347,212 @@ func TestShardedGSetStrongLinAddHasMix(t *testing.T) {
 	verifySL(t, 2, setup, spec.GSet{})
 }
 
+// --- Packed shard cores (WithBound) ------------------------------------------
+//
+// The packed sharded objects must pass the SAME exhaustive model checks as
+// the wide ones on the same 2-shard x 2-3-process configurations: a packed
+// shard operation is still one fetch&add step on one register, so the
+// configurations — and the strong-linearizability argument — carry over.
+
+func TestPackedShardedSequential(t *testing.T) {
+	w := sim.NewSoloWorld()
+	c := NewCounter(w, "c", 4, 2, WithBound(1<<30))
+	m := NewMaxRegister(w, "m", 4, 2, WithBound(20)) // 2 lanes/shard x 21 bits = 42
+	g := NewGSet(w, "g", 4, 2, WithBound(20))
+	if !c.Packed() || !m.Packed() || !g.Packed() {
+		t.Fatalf("Packed() = (%v, %v, %v), want all true", c.Packed(), m.Packed(), g.Packed())
+	}
+	for lane := 0; lane < 4; lane++ {
+		c.Inc(sim.SoloThread(lane))
+	}
+	m.WriteMax(sim.SoloThread(0), 17)
+	m.WriteMax(sim.SoloThread(1), 3)
+	g.Add(sim.SoloThread(2), 9)
+	g.Add(sim.SoloThread(3), 9)
+	if got := c.Read(sim.SoloThread(0)); got != 4 {
+		t.Fatalf("Read = %d, want 4", got)
+	}
+	if got := m.ReadMax(sim.SoloThread(2)); got != 17 {
+		t.Fatalf("ReadMax = %d, want 17", got)
+	}
+	if !g.Has(sim.SoloThread(0), 9) || g.Has(sim.SoloThread(0), 8) {
+		t.Fatal("membership after adds is wrong")
+	}
+}
+
+// TestPackedShardedWideFallback: a bound the per-shard encoding cannot hold
+// must still construct a working (wide) object.
+func TestPackedShardedWideFallback(t *testing.T) {
+	w := sim.NewSoloWorld()
+	m := NewMaxRegister(w, "m", 4, 2, WithBound(1<<20))
+	if m.Packed() {
+		t.Fatal("2 lanes x 2^20 bound cannot pack")
+	}
+	m.WriteMax(sim.SoloThread(1), 99999)
+	if got := m.ReadMax(sim.SoloThread(0)); got != 99999 {
+		t.Fatalf("ReadMax = %d, want 99999", got)
+	}
+}
+
+// TestMixedEngineShardsEnforceBoundUniformly: 3 lanes / 2 shards with bound
+// 31 gives shard 0 two lanes (2 x 32 = 64 bits: wide) and shard 1 one lane
+// (32 bits: packed). The declared bound must be enforced identically through
+// both shards — a write's fate cannot depend on which lane issued it.
+func TestMixedEngineShardsEnforceBoundUniformly(t *testing.T) {
+	w := sim.NewSoloWorld()
+	m := NewMaxRegister(w, "m", 3, 2, WithBound(31))
+	if m.Packed() {
+		t.Fatal("shard 0 must be wide in this config")
+	}
+	for _, id := range []int{0, 1} { // id 0 -> wide shard 0, id 1 -> packed shard 1
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("WriteMax(40) via lane %d did not panic", id)
+				}
+			}()
+			m.WriteMax(sim.SoloThread(id), 40)
+		}()
+	}
+	m.WriteMax(sim.SoloThread(0), 31)
+	m.WriteMax(sim.SoloThread(1), 30)
+	if got := m.ReadMax(sim.SoloThread(2)); got != 31 {
+		t.Fatalf("ReadMax = %d, want 31", got)
+	}
+}
+
+func TestPackedShardedCounterStrongLinTwoIncsOneReader(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check; skipped in -short mode")
+	}
+	setup := func(w *sim.World) []sim.Program {
+		c := NewCounter(w, "c", 3, 2, WithBound(100))
+		return []sim.Program{
+			{opInc(c)}, // shard 0
+			{opInc(c)}, // shard 1
+			{opRead(c)},
+		}
+	}
+	verifySL(t, 3, setup, spec.MonotonicCounter{})
+}
+
+func TestPackedShardedCounterStrongLinIncReadMix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check; skipped in -short mode")
+	}
+	setup := func(w *sim.World) []sim.Program {
+		c := NewCounter(w, "c", 2, 2, WithBound(100))
+		return []sim.Program{
+			{opInc(c), opRead(c)},
+			{opInc(c), opRead(c)},
+		}
+	}
+	verifySL(t, 2, setup, spec.MonotonicCounter{})
+}
+
+func TestPackedShardedMaxRegisterStrongLinTwoWritersOneReader(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check; skipped in -short mode")
+	}
+	setup := func(w *sim.World) []sim.Program {
+		m := NewMaxRegister(w, "m", 3, 2, WithBound(5))
+		return []sim.Program{
+			{opWriteMax(m, 2)}, // shard 0
+			{opWriteMax(m, 1)}, // shard 1
+			{opReadMax(m)},
+		}
+	}
+	verifySL(t, 3, setup, spec.MaxRegister{})
+}
+
+func TestPackedShardedMaxRegisterStrongLinWriteReadMix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check; skipped in -short mode")
+	}
+	setup := func(w *sim.World) []sim.Program {
+		m := NewMaxRegister(w, "m", 2, 2, WithBound(5))
+		return []sim.Program{
+			{opWriteMax(m, 2), opReadMax(m)},
+			{opWriteMax(m, 1), opReadMax(m)},
+		}
+	}
+	verifySL(t, 2, setup, spec.MaxRegister{})
+}
+
+func TestPackedShardedGSetStrongLinTwoAddersOneReader(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		g := NewGSet(w, "g", 3, 2, WithBound(5))
+		return []sim.Program{
+			{opAdd(g, 1)}, // shard 0
+			{opAdd(g, 2)}, // shard 1
+			{opHas(g, 2)}, // misses shard 0, witnesses shard 1
+		}
+	}
+	verifySL(t, 3, setup, spec.GSet{})
+}
+
+func TestPackedShardedGSetStrongLinAddHasMix(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		g := NewGSet(w, "g", 2, 2, WithBound(5))
+		return []sim.Program{
+			{opAdd(g, 1), opHas(g, 2)},
+			{opAdd(g, 2), opHas(g, 1)},
+		}
+	}
+	verifySL(t, 2, setup, spec.GSet{})
+}
+
+func TestPackedShardedCounterRealWorldStress(t *testing.T) {
+	w := prim.NewRealWorld()
+	const procs = 4
+	c := NewCounter(w, "c", procs, 2, WithBound(1<<30))
+	if !c.Packed() {
+		t.Fatal("stress config must pack")
+	}
+	rngs := stressRngs(procs, 53)
+	h := history.Stress(history.StressConfig{
+		Procs:      procs,
+		OpsPerProc: 40,
+		Gen: func(p, i int) history.StressOp {
+			if rngs[p].Intn(3) == 0 {
+				return history.StressOp{Op: spec.MkOp(spec.MethodRead),
+					Run: func(t prim.Thread) string { return spec.RespInt(c.Read(t)) }}
+			}
+			return history.StressOp{Op: spec.MkOp(spec.MethodInc),
+				Run: func(t prim.Thread) string { c.Inc(t); return spec.RespOK }}
+		},
+	})
+	if res := history.CheckLinearizable(h, spec.MonotonicCounter{}); !res.Ok {
+		t.Fatalf("stress history not linearizable:\n%s", h.String())
+	}
+}
+
+func TestPackedShardedMaxRegisterRealWorldStress(t *testing.T) {
+	w := prim.NewRealWorld()
+	const procs, bound = 4, 14 // 2 lanes/shard x 15 bits = 30: packs
+	m := NewMaxRegister(w, "m", procs, 2, WithBound(bound))
+	if !m.Packed() {
+		t.Fatal("stress config must pack")
+	}
+	rngs := stressRngs(procs, 59)
+	h := history.Stress(history.StressConfig{
+		Procs:      procs,
+		OpsPerProc: 30,
+		Gen: func(p, i int) history.StressOp {
+			if rngs[p].Intn(2) == 0 {
+				v := int64(rngs[p].Intn(bound + 1))
+				return history.StressOp{Op: spec.MkOp(spec.MethodWriteMax, v),
+					Run: func(t prim.Thread) string { m.WriteMax(t, v); return spec.RespOK }}
+			}
+			return history.StressOp{Op: spec.MkOp(spec.MethodReadMax),
+				Run: func(t prim.Thread) string { return spec.RespInt(m.ReadMax(t)) }}
+		},
+	})
+	if res := history.CheckLinearizable(h, spec.MaxRegister{}); !res.Ok {
+		t.Fatalf("stress history not linearizable:\n%s", h.String())
+	}
+}
+
 // --- Randomized stress under real goroutine concurrency ----------------------
 
 func TestShardedCounterRealWorldStress(t *testing.T) {

@@ -179,6 +179,22 @@ func NewPool(w *World, n int) *Pool {
 	return pool.New(w, "stronglin.pool", n)
 }
 
+// ShardOption configures the sharded constructors; see WithBound.
+type ShardOption = shard.Option
+
+// WithBound declares the value domain [0, bound] of a sharded object
+// (max-register values, grow-only-set elements, the counter's final count).
+// Each shard core then packs its register into a single machine word — a
+// hardware XADD int64 instead of the arbitrary-precision fetch&add — whenever
+// its per-shard encoding fits, with automatic per-shard fallback to the wide
+// register when it does not. The packed fast path removes the mutex, the
+// big.Int arithmetic, and all per-operation allocation from writes and reads;
+// the strong-linearizability guarantee (and its model checks) are unchanged.
+// Max-register writes and set adds beyond the bound panic (uniformly, whether
+// or not the shard packed); the counter's bound is a capacity declaration
+// used for engine selection only — see shard.WithBound.
+func WithBound(bound int64) ShardOption { return shard.WithBound(bound) }
+
 // ShardedCounter is a monotone counter whose increments stripe across S
 // independent fetch&add cores (shard picked by lane ID) and whose reads
 // combine the shards by an epoch-validated sum. Strong linearizability of
@@ -187,8 +203,8 @@ type ShardedCounter = shard.Counter
 
 // NewShardedCounter builds a sharded monotone counter for n processes over
 // shards cores (shards <= n).
-func NewShardedCounter(w *World, n, shards int) *ShardedCounter {
-	return shard.NewCounter(w, "stronglin.shardctr", n, shards)
+func NewShardedCounter(w *World, n, shards int, opts ...ShardOption) *ShardedCounter {
+	return shard.NewCounter(w, "stronglin.shardctr", n, shards, opts...)
 }
 
 // ShardedMaxRegister is a max register whose writes stripe across S
@@ -198,8 +214,8 @@ type ShardedMaxRegister = shard.MaxRegister
 
 // NewShardedMaxRegister builds a sharded max register for n processes over
 // shards cores (shards <= n).
-func NewShardedMaxRegister(w *World, n, shards int) *ShardedMaxRegister {
-	return shard.NewMaxRegister(w, "stronglin.shardmax", n, shards)
+func NewShardedMaxRegister(w *World, n, shards int, opts ...ShardOption) *ShardedMaxRegister {
+	return shard.NewMaxRegister(w, "stronglin.shardmax", n, shards, opts...)
 }
 
 // ShardedGSet is a grow-only set whose adds stripe across S independent
@@ -209,8 +225,8 @@ type ShardedGSet = shard.GSet
 
 // NewShardedGSet builds a sharded grow-only set for n processes over shards
 // cores (shards <= n).
-func NewShardedGSet(w *World, n, shards int) *ShardedGSet {
-	return shard.NewGSet(w, "stronglin.shardgset", n, shards)
+func NewShardedGSet(w *World, n, shards int, opts ...ShardOption) *ShardedGSet {
+	return shard.NewGSet(w, "stronglin.shardgset", n, shards, opts...)
 }
 
 // AdversaryOutcome aggregates strong-adversary game trials (see
