@@ -401,6 +401,77 @@ func BenchmarkPackedGSet(b *testing.B) {
 	})
 }
 
+// E-SNAP: the packed machine-word snapshot (Theorem 2 on binary fields over
+// one XADD register) against the wide big.Int register at the same lane count
+// and value domain. The packed rows must run at 0 allocs/op: Update is one
+// XADD of a signed in-lane field delta, Scan (via ScanInto) one XADD(0) plus
+// shift-and-mask. Update values cycle, so every wide update pays the full
+// posAdj-negAdj big.Int delta — the cost the packed engine deletes.
+func BenchmarkPackedSnapshot(b *testing.B) {
+	const lanes, bound = 4, 1<<15 - 1 // 4 x 15 = 60 bits: packs
+	th := prim.RealThread(0)
+	b.Run("packed-update", func(b *testing.B) {
+		s := core.NewFASnapshot(prim.NewRealWorld(), "s", lanes, core.WithSnapshotBound(bound))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.Update(th, int64(i)&bound)
+		}
+	})
+	b.Run("wide-update", func(b *testing.B) {
+		s := core.NewFASnapshot(prim.NewRealWorld(), "s", lanes)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.Update(th, int64(i)&bound)
+		}
+	})
+	b.Run("packed-scan", func(b *testing.B) {
+		s := core.NewFASnapshot(prim.NewRealWorld(), "s", lanes, core.WithSnapshotBound(bound))
+		s.Update(th, bound)
+		view := make([]int64, lanes)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.ScanInto(th, view)
+		}
+	})
+	b.Run("wide-scan", func(b *testing.B) {
+		s := core.NewFASnapshot(prim.NewRealWorld(), "s", lanes)
+		s.Update(th, bound)
+		view := make([]int64, lanes)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.ScanInto(th, view)
+		}
+	})
+}
+
+// E-SNAP simple-object op: one Algorithm 1 operation (logical-clock tick)
+// over the packed vs the wide snapshot. The snapshot step is one of many in
+// Execute (graph collect + linearize dominate as history grows), so the gap
+// is smaller than the raw-snapshot rows — the packed win here is that the
+// SHARED state is one machine word. 2 lanes x 31-bit fields give a ~2^31 op
+// budget, far beyond any b.N.
+func BenchmarkSimpleObjectOp(b *testing.B) {
+	const lanes, refBound = 2, int64(1)<<31 - 1 // 2 x 31 = 62 bits: packs
+	th := prim.RealThread(0)
+	b.Run("packed-clock-tick", func(b *testing.B) {
+		c := core.NewLogicalClockFromFA(prim.NewRealWorld(), "c", lanes, core.WithSnapshotBound(refBound))
+		if !c.Packed() {
+			b.Fatal("bench config must pack")
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Tick(th)
+		}
+	})
+	b.Run("wide-clock-tick", func(b *testing.B) {
+		c := core.NewLogicalClockFromFA(prim.NewRealWorld(), "c", lanes)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Tick(th)
+		}
+	})
+}
+
 // E-PACK contended read: fetch&add(0) on the wide register is a single atomic
 // pointer load under the copy-on-write implementation — it must stay 0
 // allocs/op and mutex-free while a writer keeps publishing. (Before COW this

@@ -25,6 +25,7 @@ import (
 
 	"stronglin/internal/baseline"
 	"stronglin/internal/core"
+	"stronglin/internal/interleave"
 	"stronglin/internal/prim"
 	"stronglin/internal/shard"
 )
@@ -119,6 +120,36 @@ func targets() []target {
 				return func(t prim.Thread, i int) {
 					if i%4 == 0 {
 						s.Update(t, int64(i%64))
+					} else {
+						s.Scan(t)
+					}
+				}
+			},
+		},
+		{
+			// Same small value domain as the packed row below, over the wide
+			// register: isolates the packing win from the value-magnitude win.
+			name: "snapshot: wide small values (SL)",
+			build: func(n int) func(prim.Thread, int) {
+				bound := packedSnapBound(n)
+				s := core.NewFASnapshot(prim.NewRealWorld(), "s", n)
+				return func(t prim.Thread, i int) {
+					if i%4 == 0 {
+						s.Update(t, int64(i)%(bound+1))
+					} else {
+						s.Scan(t)
+					}
+				}
+			},
+		},
+		{
+			name: "snapshot: packed word (Thm 2, SL)",
+			build: func(n int) func(prim.Thread, int) {
+				bound := packedSnapBound(n)
+				s := core.NewFASnapshot(prim.NewRealWorld(), "s", n, core.WithSnapshotBound(bound))
+				return func(t prim.Thread, i int) {
+					if i%4 == 0 {
+						s.Update(t, int64(i)%(bound+1))
 					} else {
 						s.Scan(t)
 					}
@@ -329,6 +360,24 @@ func packedMaxRegBound(n int) int64 {
 	b := int64(63/n - 1)
 	if b < 0 {
 		b = 0
+	}
+	return b
+}
+
+// packedSnapBound is the component bound both snapshot comparison rows share:
+// the largest value whose binary fields pack for n lanes (the engine's own
+// interleave.MaxFieldBound), capped at 63 to keep the written values modest.
+// The encoding therefore packs for every n up to 63; past 63 lanes no field
+// width fits (MaxFieldBound returns 0, the rows use bound 1) and the
+// "packed" row itself runs on the wide fallback (still like-for-like with
+// the wide row).
+func packedSnapBound(n int) int64 {
+	b := interleave.MaxFieldBound(n)
+	if b > 63 {
+		b = 63
+	}
+	if b < 1 {
+		b = 1
 	}
 	return b
 }

@@ -19,15 +19,25 @@
 //	POST /gset?x=7             add an element
 //	GET  /gset?x=7             membership query
 //	GET  /gset                 list elements
+//	POST /snapshot?v=3         update the leased lane's snapshot component
+//	GET  /snapshot             scan the full view
+//	POST /clock/tick           advance the logical clock (Algorithm 1)
+//	GET  /clock                read the logical clock
 //	GET  /stats                lanes, shards, lease and per-endpoint op counts
 //	GET  /healthz              liveness
 //
 // With -bound B the server declares the value domain [0, B] for max-register
-// values and grow-only-set elements (requests outside it are rejected with
-// 400), which lets each shard core pack its register into a single machine
-// word when the per-shard encoding fits — the packed fast path of
-// internal/core. The counter always runs packed (its capacity bound is a
-// machine word regardless). /stats reports which objects are packed.
+// values, grow-only-set elements and snapshot components (requests outside
+// it are rejected with 400), which lets each shard core — and the Theorem 2
+// snapshot — pack its register into a single machine word when the encoding
+// fits: the packed fast path of internal/core. The counter always runs
+// packed (its capacity bound is a machine word regardless), and so does the
+// logical clock: it is Algorithm 1 over a snapshot whose components hold
+// graph-node references, so the server declares the largest reference bound
+// that packs for the lane count. That bound is also the clock's lifetime
+// operation budget — requests past it get 503, not a panic. (Past 63 lanes
+// no reference bound packs; the clock then serves wide and unbounded.)
+// /stats reports which objects are packed, plus the clock's capacity.
 //
 // Load-generator mode (closed loop; drives an in-process server unless -url
 // names a remote one):
@@ -36,8 +46,10 @@
 //
 // It reports JSON on stdout: per-endpoint counts, error count, total
 // throughput, and per-request latency percentiles (p50/p95/p99) over the
-// successful requests. The workload mix is 50% writes (inc / wmax / add) and
-// 50% reads, spread across the three objects.
+// successful requests. The workload mix is 50% writes (inc / wmax / add /
+// update) and 50% reads, spread across the four unbounded-lifetime objects
+// (the capacity-bounded clock is excluded: a closed loop would spend its
+// budget in the first milliseconds and measure 503s).
 package main
 
 import (
@@ -63,7 +75,7 @@ var (
 	addr    = flag.String("addr", ":8080", "listen address (serve mode)")
 	lanes   = flag.Int("lanes", 8, "process identities in the lane pool")
 	shards  = flag.Int("shards", 4, "fetch&add cores per sharded object (<= lanes)")
-	bound   = flag.Int64("bound", 0, "value domain [0,bound] for maxreg values and gset elements; packs shard registers into machine words when the per-shard encoding fits (0 = unbounded wide registers)")
+	bound   = flag.Int64("bound", 0, "value domain [0,bound] for maxreg values, gset elements and snapshot components; packs the shard registers and the snapshot into machine words when the encodings fit (0 = unbounded wide registers)")
 	attack  = flag.Bool("attack", false, "run the closed-loop load generator instead of serving")
 	clients = flag.Int("clients", 32, "concurrent closed-loop clients (attack mode)")
 	dur     = flag.Duration("dur", 2*time.Second, "measurement duration (attack mode)")
@@ -100,8 +112,8 @@ func main() {
 // always packed regardless of -bound.
 const counterBound = int64(1) << 40
 
-// server owns one world: the lane pool, the sharded objects, and per-endpoint
-// op counters.
+// server owns one world: the lane pool, the sharded objects, the Theorem 2
+// snapshot, the Algorithm 1 logical clock, and per-endpoint op counters.
 type server struct {
 	lanes, shards int
 	maxValue      int64 // inclusive cap on client-supplied values
@@ -109,12 +121,28 @@ type server struct {
 	counter       *stronglin.ShardedCounter
 	maxreg        *stronglin.ShardedMaxRegister
 	gset          *stronglin.ShardedGSet
+	snap          *stronglin.Snapshot
+	clock         *stronglin.LogicalClock
 
 	ops struct {
 		counterInc, counterRead     atomic.Int64
 		maxregWrite, maxregRead     atomic.Int64
 		gsetAdd, gsetHas, gsetElems atomic.Int64
+		snapUpdate, snapScan        atomic.Int64
+		clockTick, clockRead        atomic.Int64
 	}
+}
+
+// clockCapacity is the largest snapshot bound that packs for the given lane
+// count (stronglin.MaxSnapshotBound, the engine's own budget arithmetic).
+// The clock's snapshot components hold graph-node references allocated
+// densely from 1, so this bound is exactly the number of clock operations
+// the server can execute before answering 503. Past 63 lanes no bound packs
+// at all; it returns 0 and the server falls back to an unbounded wide clock
+// (infinite lifetime, no packing) rather than serving a clock whose budget
+// is zero.
+func clockCapacity(lanes int) int64 {
+	return stronglin.MaxSnapshotBound(lanes)
 }
 
 // newServer builds the serving stack. bound > 0 declares the value domain of
@@ -124,6 +152,7 @@ func newServer(lanes, shards int, bound int64) *server {
 	w := stronglin.NewWorld()
 	maxValue := int64(defaultMaxValue)
 	var valueOpts []stronglin.ShardOption
+	var snapOpts []stronglin.SnapshotOption
 	if bound > 0 {
 		// The request cap never rises above the default: a bound too large to
 		// pack leaves the shards on wide registers, where a single huge value
@@ -133,6 +162,11 @@ func newServer(lanes, shards int, bound int64) *server {
 			maxValue = bound
 		}
 		valueOpts = append(valueOpts, stronglin.WithBound(bound))
+		snapOpts = append(snapOpts, stronglin.WithSnapshotBound(bound))
+	}
+	var clockOpts []stronglin.SnapshotOption
+	if cap := clockCapacity(lanes); cap > 0 {
+		clockOpts = append(clockOpts, stronglin.WithSnapshotBound(cap))
 	}
 	return &server{
 		lanes:    lanes,
@@ -142,6 +176,8 @@ func newServer(lanes, shards int, bound int64) *server {
 		counter:  stronglin.NewShardedCounter(w, lanes, shards, stronglin.WithBound(counterBound)),
 		maxreg:   stronglin.NewShardedMaxRegister(w, lanes, shards, valueOpts...),
 		gset:     stronglin.NewShardedGSet(w, lanes, shards, valueOpts...),
+		snap:     stronglin.NewSnapshot(w, lanes, snapOpts...),
+		clock:    stronglin.NewLogicalClock(w, lanes, clockOpts...),
 	}
 }
 
@@ -151,6 +187,9 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/counter", s.counterGet)
 	mux.HandleFunc("/maxreg", s.maxregHandler)
 	mux.HandleFunc("/gset", s.gsetHandler)
+	mux.HandleFunc("/snapshot", s.snapshotHandler)
+	mux.HandleFunc("/clock/tick", s.clockTick)
+	mux.HandleFunc("/clock", s.clockGet)
 	mux.HandleFunc("/stats", s.stats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -241,6 +280,66 @@ func (s *server) gsetHandler(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// snapshotHandler serves the Theorem 2 snapshot directly: POST ?v=V updates
+// the component of whichever lane the request leases, GET scans the view.
+// Out-of-bound values are rejected with 400 BEFORE any lease or shared step —
+// the packed engine would panic on them (uniform bound enforcement), and a
+// client mistake must never read as a server error.
+func (s *server) snapshotHandler(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		v, err := s.queryInt(r, "v")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.pool.With(func(t stronglin.Thread) { s.snap.Update(t, v) })
+		s.ops.snapUpdate.Add(1)
+		writeJSON(w, map[string]any{"ok": true})
+	case http.MethodGet:
+		var view []int64
+		s.pool.With(func(t stronglin.Thread) { view = s.snap.Scan(t) })
+		s.ops.snapScan.Add(1)
+		writeJSON(w, map[string]any{"view": view})
+	default:
+		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *server) clockTick(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var err error
+	s.pool.With(func(t stronglin.Thread) { err = s.clock.TryTick(t) })
+	if err != nil {
+		// The clock's packed reference budget is spent; the object is intact
+		// (reads of the final state still work via /stats-visible counters),
+		// but no further operations exist to serve.
+		http.Error(w, "clock capacity exhausted", http.StatusServiceUnavailable)
+		return
+	}
+	s.ops.clockTick.Add(1)
+	writeJSON(w, map[string]any{"ok": true})
+}
+
+func (s *server) clockGet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	var v int64
+	var err error
+	s.pool.With(func(t stronglin.Thread) { v, err = s.clock.TryRead(t) })
+	if err != nil {
+		http.Error(w, "clock capacity exhausted", http.StatusServiceUnavailable)
+		return
+	}
+	s.ops.clockRead.Add(1)
+	writeJSON(w, map[string]any{"value": v})
+}
+
 // statsSnapshot is the /stats document (and the per-endpoint section of the
 // attack report).
 type statsSnapshot struct {
@@ -250,6 +349,10 @@ type statsSnapshot struct {
 	CounterPacked bool  `json:"counter_packed"`
 	MaxregPacked  bool  `json:"maxreg_packed"`
 	GSetPacked    bool  `json:"gset_packed"`
+	SnapPacked    bool  `json:"snapshot_packed"`
+	ClockPacked   bool  `json:"clock_packed"`
+	ClockCapacity int64 `json:"clock_capacity"`
+	ClockUsed     int64 `json:"clock_used"`
 	LanesInUse    int   `json:"lanes_in_use"`
 	Acquires      int64 `json:"lease_acquires"`
 	CounterInc    int64 `json:"counter_inc"`
@@ -259,6 +362,10 @@ type statsSnapshot struct {
 	GSetAdd       int64 `json:"gset_add"`
 	GSetHas       int64 `json:"gset_has"`
 	GSetElems     int64 `json:"gset_elems"`
+	SnapUpdate    int64 `json:"snapshot_update"`
+	SnapScan      int64 `json:"snapshot_scan"`
+	ClockTick     int64 `json:"clock_tick"`
+	ClockRead     int64 `json:"clock_read"`
 }
 
 func (s *server) snapshot() statsSnapshot {
@@ -272,6 +379,10 @@ func (s *server) snapshot() statsSnapshot {
 		CounterPacked: s.counter.Packed(),
 		MaxregPacked:  s.maxreg.Packed(),
 		GSetPacked:    s.gset.Packed(),
+		SnapPacked:    s.snap.Packed(),
+		ClockPacked:   s.clock.Packed(),
+		ClockCapacity: s.clock.Capacity(),
+		ClockUsed:     s.clock.Used(),
 		LanesInUse:    s.pool.InUse(),
 		Acquires:      acquires,
 		CounterInc:    s.ops.counterInc.Load(),
@@ -281,6 +392,10 @@ func (s *server) snapshot() statsSnapshot {
 		GSetAdd:       s.ops.gsetAdd.Load(),
 		GSetHas:       s.ops.gsetHas.Load(),
 		GSetElems:     s.ops.gsetElems.Load(),
+		SnapUpdate:    s.ops.snapUpdate.Load(),
+		SnapScan:      s.ops.snapScan.Load(),
+		ClockTick:     s.ops.clockTick.Load(),
+		ClockRead:     s.ops.clockRead.Load(),
 	}
 }
 
@@ -455,8 +570,10 @@ func runAttack() error {
 }
 
 // fire issues the i-th request of client c: a 50/50 read/write mix across
-// the three objects. Written values are taken modulo valCap so they stay
-// inside the target's declared value domain.
+// the four objects (counter, maxreg, gset, snapshot). Written values are
+// taken modulo valCap so they stay inside the target's declared value domain
+// — for the snapshot this means a -bound attack drives the packed Theorem 2
+// word (one XADD per update, one per scan) rather than drowning in 400s.
 func fire(client *http.Client, target string, c, i int, valCap int64) error {
 	var resp *http.Response
 	var err error
@@ -464,7 +581,7 @@ func fire(client *http.Client, target string, c, i int, valCap int64) error {
 	if xCap > 256 {
 		xCap = 256
 	}
-	switch i % 6 {
+	switch i % 8 {
 	case 0:
 		resp, err = client.Post(target+"/counter/inc", "", nil)
 	case 1:
@@ -475,8 +592,12 @@ func fire(client *http.Client, target string, c, i int, valCap int64) error {
 		resp, err = client.Get(target + "/maxreg")
 	case 4:
 		resp, err = client.Post(fmt.Sprintf("%s/gset?x=%d", target, int64(c+i)%xCap), "", nil)
-	default:
+	case 5:
 		resp, err = client.Get(fmt.Sprintf("%s/gset?x=%d", target, int64(c+i)%xCap))
+	case 6:
+		resp, err = client.Post(fmt.Sprintf("%s/snapshot?v=%d", target, int64(c*17+i)%valCap), "", nil)
+	default:
+		resp, err = client.Get(target + "/snapshot")
 	}
 	if err != nil {
 		return err

@@ -68,9 +68,46 @@ func TestEndpoints(t *testing.T) {
 		t.Fatalf("gset elems = %v, want [5]", elems)
 	}
 
+	// Snapshot: the component written lands in the view (the lane depends on
+	// which lease the request drew, so assert on the multiset of values).
+	post("/snapshot?v=9")
+	view := get("/snapshot")["view"].([]any)
+	if len(view) != 4 {
+		t.Fatalf("snapshot view has %d components, want 4", len(view))
+	}
+	nines := 0
+	for _, c := range view {
+		if c.(float64) == 9 {
+			nines++
+		}
+	}
+	if nines != 1 {
+		t.Fatalf("snapshot view = %v, want exactly one component 9", view)
+	}
+
+	// Clock: two ticks then a read (the read is itself an operation, but
+	// reports the tick count).
+	post("/clock/tick")
+	post("/clock/tick")
+	if v := get("/clock")["value"].(float64); v != 2 {
+		t.Fatalf("clock = %v, want 2", v)
+	}
+
 	stats := get("/stats")
 	if got := stats["counter_inc"].(float64); got != 3 {
 		t.Fatalf("stats counter_inc = %v, want 3", got)
+	}
+	if got := stats["snapshot_update"].(float64); got != 1 {
+		t.Fatalf("stats snapshot_update = %v, want 1", got)
+	}
+	if got := stats["clock_tick"].(float64); got != 2 {
+		t.Fatalf("stats clock_tick = %v, want 2", got)
+	}
+	if got := stats["clock_used"].(float64); got != 3 { // 2 ticks + 1 read
+		t.Fatalf("stats clock_used = %v, want 3", got)
+	}
+	if packed := stats["clock_packed"].(bool); !packed {
+		t.Fatal("the clock must always run on the packed snapshot")
 	}
 	if got := stats["lanes_in_use"].(float64); got != 0 {
 		t.Fatalf("stats lanes_in_use = %v, want 0", got)
@@ -91,6 +128,12 @@ func TestBadRequests(t *testing.T) {
 		{http.MethodGet, "/gset?x=9000000000000000000", http.StatusBadRequest}, // near int64 max: would overflow the bit index
 		{http.MethodPost, "/gset?x=banana", http.StatusBadRequest},             // not an int
 		{http.MethodDelete, "/gset?x=1", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/snapshot", http.StatusBadRequest},               // missing v
+		{http.MethodPost, "/snapshot?v=-1", http.StatusBadRequest},          // negative
+		{http.MethodPost, "/snapshot?v=99999999999", http.StatusBadRequest}, // over maxValue
+		{http.MethodDelete, "/snapshot?v=1", http.StatusMethodNotAllowed},
+		{http.MethodGet, "/clock/tick", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/clock", http.StatusMethodNotAllowed},
 	} {
 		req, _ := http.NewRequest(c.method, ts.URL+c.path, nil)
 		resp, err := http.DefaultClient.Do(req)
@@ -124,6 +167,12 @@ func TestBoundedServerPacked(t *testing.T) {
 		t.Fatalf("packed = (%v, %v, %v), want all true",
 			stats.CounterPacked, stats.MaxregPacked, stats.GSetPacked)
 	}
+	// Snapshot: 4 lanes x FieldWidth(30)=5 bits = 20 <= 63 — packs too; with
+	// the clock the whole serving surface is machine-word end to end.
+	if !stats.SnapPacked || !stats.ClockPacked {
+		t.Fatalf("snapshot/clock packed = (%v, %v), want both true",
+			stats.SnapPacked, stats.ClockPacked)
+	}
 	if stats.MaxValue != 30 {
 		t.Fatalf("max_value = %d, want 30", stats.MaxValue)
 	}
@@ -141,6 +190,22 @@ func TestBoundedServerPacked(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("over-bound write: status %d, want 400", resp.StatusCode)
+	}
+	// An out-of-bound snapshot write must be a client error (400), never a
+	// 500 from the packed engine's bound panic.
+	if resp, err = http.Post(ts.URL+"/snapshot?v=30", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-bound snapshot write: status %d", resp.StatusCode)
+	}
+	if resp, err = http.Post(ts.URL+"/snapshot?v=31", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("over-bound snapshot write: status %d, want 400", resp.StatusCode)
 	}
 	if resp, err = http.Get(ts.URL + "/maxreg"); err != nil {
 		t.Fatal(err)
@@ -235,9 +300,71 @@ func TestConcurrentClients(t *testing.T) {
 	var out map[string]any
 	json.NewDecoder(resp.Body).Decode(&out)
 	resp.Body.Close()
-	// Each client's i%6==0 requests increment: ceil(25/6) = 5 per client.
-	want := float64(clients * 5)
+	// Each client's i%8==0 requests increment: i in 0..24 hits 0,8,16,24 —
+	// 4 per client.
+	want := float64(clients * 4)
 	if got := out["value"].(float64); got != want {
 		t.Fatalf("counter after load = %v, want %v", got, want)
+	}
+}
+
+// TestClockCapacityExhaustion: a tiny-lane server still has a finite clock
+// budget; requests past it get 503 (the budget is spent, the server is not
+// broken: every other endpoint keeps answering).
+func TestClockCapacityExhaustion(t *testing.T) {
+	// 31 lanes -> 63/31 = 2-bit fields -> capacity 3.
+	srv := newServer(31, 1, 0)
+	if got := srv.clock.Capacity(); got != 3 {
+		t.Fatalf("clock capacity = %d, want 3", got)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(ts.URL+"/clock/tick", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tick %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/clock/tick", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-capacity tick: status %d, want 503", resp.StatusCode)
+	}
+	// The rest of the server is unaffected.
+	if resp, err = http.Post(ts.URL+"/counter/inc", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("counter after clock exhaustion: status %d", resp.StatusCode)
+	}
+}
+
+// TestClockWideFallbackPast63Lanes: with more lanes than any reference bound
+// can pack, the clock must serve wide and unbounded — never with a zero
+// budget that would 503 every request from the start.
+func TestClockWideFallbackPast63Lanes(t *testing.T) {
+	srv := newServer(64, 1, 0)
+	if srv.clock.Packed() || srv.clock.Capacity() != -1 {
+		t.Fatalf("64-lane clock packed = %v, capacity = %d; want wide and unbounded",
+			srv.clock.Packed(), srv.clock.Capacity())
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/clock/tick", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("64-lane clock tick: status %d", resp.StatusCode)
 	}
 }

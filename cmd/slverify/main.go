@@ -141,10 +141,35 @@ func arrows() []arrow {
 			},
 		},
 		{
+			object: "packed snapshot", from: "fetch&add int64", progress: "wait-free", theorem: "Thm 2",
+			procs: 3, spec: spec.Snapshot{},
+			setup: func(w *sim.World) []sim.Program {
+				// 3 components x 2-bit binary fields = 6 bits: one XADD word.
+				s := core.NewFASnapshot(w, "s", 3, core.WithSnapshotBound(3))
+				return []sim.Program{
+					{opUpdate(s, 0, 1)}, {opUpdate(s, 1, 2)}, {opScan(s), opScan(s)},
+				}
+			},
+		},
+		{
 			object: "counter (simple type)", from: "snapshot", progress: "wait-free", theorem: "Thm 3/4",
 			procs: 3, spec: spec.Counter{},
 			setup: func(w *sim.World) []sim.Program {
 				o := core.NewSimpleObjectFromFA(w, "c", core.SimpleCounter{}, 3)
+				return []sim.Program{
+					{opExec(o, spec.MkOp(spec.MethodInc))},
+					{opExec(o, spec.MkOp(spec.MethodDec))},
+					{opExec(o, spec.MkOp(spec.MethodRead))},
+				}
+			},
+		},
+		{
+			object: "counter (packed simple)", from: "packed snapshot", progress: "wait-free", theorem: "Thm 3/4",
+			procs: 3, spec: spec.Counter{},
+			setup: func(w *sim.World) []sim.Program {
+				// References 1..3 fit 2-bit fields: the whole Algorithm 1
+				// composition's shared state is one XADD word.
+				o := core.NewSimpleObjectFromFA(w, "cp", core.SimpleCounter{}, 3, core.WithSnapshotBound(3))
 				return []sim.Program{
 					{opExec(o, spec.MkOp(spec.MethodInc))},
 					{opExec(o, spec.MkOp(spec.MethodDec))},

@@ -33,6 +33,12 @@ func main() {
 		strong.String(),
 		"distribution preserved")
 
+	packed := stronglin.PlayAdversary(stronglin.AdversaryVsStrongPacked, trials, 3)
+	fmt.Printf("%-52s %-12s %s\n",
+		"packed machine-word snapshot (Theorem 2, s.lin.)",
+		packed.String(),
+		"distribution preserved")
+
 	weak := stronglin.PlayAdversary(stronglin.AdversaryVsLinearizable, trials, 2)
 	fmt.Printf("%-52s %-12s %s\n",
 		"Afek et al. snapshot (linearizable only)",

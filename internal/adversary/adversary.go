@@ -61,6 +61,11 @@ const (
 	// AfekSnapshot is the linearizable-but-not-strongly-linearizable
 	// register snapshot.
 	AfekSnapshot
+	// PackedFASnapshot is the same Theorem 2 construction on its packed
+	// machine-word engine (bounded components, one XADD register). The game
+	// values fit a small bound, so the packed word hosts the identical
+	// single-fetch&add step structure — and must show the identical 1/2 rate.
+	PackedFASnapshot
 )
 
 func (k SnapshotKind) String() string {
@@ -69,6 +74,8 @@ func (k SnapshotKind) String() string {
 		return "fa-snapshot (strongly linearizable)"
 	case AfekSnapshot:
 		return "afek-snapshot (linearizable only)"
+	case PackedFASnapshot:
+		return "packed-fa-snapshot (strongly linearizable)"
 	default:
 		return "unknown"
 	}
@@ -102,6 +109,9 @@ func playOnce(kind SnapshotKind, coin int) bool {
 		switch kind {
 		case FASnapshot:
 			snap = core.NewFASnapshot(w, "snap", 3)
+		case PackedFASnapshot:
+			// Values 1..3 need 2-bit fields: 3 lanes x 2 = 6 bits, packs.
+			snap = core.NewFASnapshot(w, "snap", 3, core.WithSnapshotBound(3))
 		case AfekSnapshot:
 			snap = baseline.NewAfekSnapshot(w, "snap", 3)
 		}
@@ -138,10 +148,13 @@ func playOnce(kind SnapshotKind, coin int) bool {
 
 	var schedule []int
 	switch kind {
-	case FASnapshot:
+	case FASnapshot, PackedFASnapshot:
 		// Best the adversary can do: let update(1) complete, observe the
 		// coin (it already knows it here), then schedule the scan. The view
 		// will contain the update regardless of the coin: a coin of 0 loses.
+		// The packed engine is one FetchAddInt scheduler step per operation,
+		// exactly as the wide engine is one FetchAdd step, so the same
+		// schedule drives both.
 		schedule = concat(
 			rep(2, 4), // p2: both updates (invoke+fa each)
 			rep(1, 2), // p1: update(1)

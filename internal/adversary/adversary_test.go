@@ -23,6 +23,16 @@ func TestAdversaryBoundedAgainstFASnapshot(t *testing.T) {
 	}
 }
 
+// The packed machine-word engine must preserve the hyperproperty exactly as
+// the wide one does: the scanner's view is committed at its single XADD, so
+// the adversary stays at 1/2 whatever it schedules.
+func TestAdversaryBoundedAgainstPackedFASnapshot(t *testing.T) {
+	out := Play(PackedFASnapshot, 2000, 3)
+	if math.Abs(out.Rate()-0.5) > 0.05 {
+		t.Fatalf("adversary win rate vs packed fetch&add snapshot = %s, want ≈ 0.50", out)
+	}
+}
+
 func TestOutcomeString(t *testing.T) {
 	o := Outcome{Trials: 4, Matches: 3}
 	if got := o.String(); got != "3/4 (0.75)" {

@@ -410,6 +410,315 @@ func FuzzPackedVsWideGSet(f *testing.F) {
 	})
 }
 
+// --- packed snapshot (Theorem 2 on a machine word) ---------------------------
+
+func TestPackedSnapshotSelectionAndFallback(t *testing.T) {
+	w := sim.NewSoloWorld()
+	// 3 lanes x FieldWidth(100)=7 bits = 21 <= 63: packs.
+	if s := NewFASnapshot(w, "sp", 3, WithSnapshotBound(100)); !s.Packed() {
+		t.Error("snapshot with fitting bound did not pack")
+	}
+	if s := NewFASnapshot(w, "sw", 3); s.Packed() {
+		t.Error("unbounded snapshot packed")
+	}
+	// 4 lanes x FieldWidth(2^15)=16 bits = 64 > 63: falls back.
+	if s := NewFASnapshot(w, "sw2", 4, WithSnapshotBound(1<<15)); s.Packed() {
+		t.Error("snapshot with unfitting bound did not fall back to wide")
+	}
+	// 4 lanes x FieldWidth(2^15-1)=15 bits = 60 <= 63: packs.
+	if s := NewFASnapshot(w, "sp2", 4, WithSnapshotBound(1<<15-1)); !s.Packed() {
+		t.Error("snapshot with fitting 15-bit bound did not pack")
+	}
+	// Huge bounds fall back without truncation surprises.
+	if s := NewFASnapshot(w, "shuge", 2, WithSnapshotBound(1<<40)); s.Packed() {
+		t.Error("snapshot with huge bound did not fall back to wide")
+	}
+	// A single lane packs up to the full 63-bit budget.
+	if s := NewFASnapshot(w, "s1", 1, WithSnapshotBound(1<<62)); !s.Packed() {
+		t.Error("1-lane snapshot with 63-bit bound did not pack")
+	}
+}
+
+// TestPackedSnapshotSequential mirrors TestFASnapshotSequential on the packed
+// engine: overwrites with smaller values exercise negative field deltas, the
+// same-value path exercises XADD(0), and zeroing clears the field.
+func TestPackedSnapshotSequential(t *testing.T) {
+	w := sim.NewSoloWorld()
+	s := NewFASnapshot(w, "snap", 3, WithSnapshotBound(10)) // 3 x 4 = 12 bits
+	if !s.Packed() {
+		t.Fatal("config must pack")
+	}
+	if got := spec.RespVec(s.Scan(sim.SoloThread(0))); got != "[0 0 0]" {
+		t.Fatalf("initial scan = %s", got)
+	}
+	s.Update(sim.SoloThread(1), 7)
+	s.Update(sim.SoloThread(0), 3)
+	if got := spec.RespVec(s.Scan(sim.SoloThread(2))); got != "[3 7 0]" {
+		t.Fatalf("scan = %s", got)
+	}
+	s.Update(sim.SoloThread(1), 1) // smaller value: negative field delta
+	if got := spec.RespVec(s.Scan(sim.SoloThread(2))); got != "[3 1 0]" {
+		t.Fatalf("scan = %s", got)
+	}
+	s.Update(sim.SoloThread(1), 1) // same value: XADD(0) path
+	if got := spec.RespVec(s.Scan(sim.SoloThread(2))); got != "[3 1 0]" {
+		t.Fatalf("scan = %s", got)
+	}
+	s.Update(sim.SoloThread(0), 0) // zero clears the field
+	if got := spec.RespVec(s.Scan(sim.SoloThread(2))); got != "[0 1 0]" {
+		t.Fatalf("scan = %s", got)
+	}
+	if width := s.Width(sim.SoloThread(0)); width < 1 || width > 12 {
+		t.Fatalf("packed Width = %d, want within (0, 12]", width)
+	}
+}
+
+func TestPackedSnapshotRejectsOverBound(t *testing.T) {
+	w := sim.NewSoloWorld()
+	s := NewFASnapshot(w, "snap", 2, WithSnapshotBound(10))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Update beyond the packed bound did not panic")
+		}
+	}()
+	s.Update(sim.SoloThread(0), 11)
+}
+
+// TestSnapshotWideFallbackBoundEnforced: the declared bound must be enforced
+// even when the encoding falls back to the wide register, uniformly with the
+// other bounded cores.
+func TestSnapshotWideFallbackBoundEnforced(t *testing.T) {
+	w := sim.NewSoloWorld()
+	s := NewFASnapshot(w, "snap", 4, WithSnapshotBound(1<<15)) // 4 x 16 = 64: wide
+	if s.Packed() {
+		t.Fatal("config must fall back to wide")
+	}
+	th := sim.SoloThread(1)
+	s.Update(th, 1<<15)
+	if got := s.Scan(th)[1]; got != 1<<15 {
+		t.Fatalf("wide-fallback component = %d, want %d", got, 1<<15)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wide-fallback Update beyond the bound did not panic")
+		}
+	}()
+	s.Update(th, 1<<15+1)
+}
+
+func TestPackedSnapshotScanIntoLengthMismatch(t *testing.T) {
+	w := sim.NewSoloWorld()
+	s := NewFASnapshot(w, "snap", 3, WithSnapshotBound(5))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScanInto with a short view did not panic")
+		}
+	}()
+	s.ScanInto(sim.SoloThread(0), make([]int64, 2))
+}
+
+// --- packed snapshot: exhaustive strong-linearizability model checks ---------
+//
+// Same configurations as the wide snapshot's checks (TestFASnapshotStrongLin*):
+// the packed register is still one scheduler step per operation.
+
+func TestPackedSnapshotStrongLinTwoUpdatersOneScanner(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		s := NewFASnapshot(w, "snap", 3, WithSnapshotBound(3)) // 3 x 2 = 6 bits
+		return []sim.Program{
+			{opUpdate(s, 0, 1)},
+			{opUpdate(s, 1, 2)},
+			{opScan(s), opScan(s)},
+		}
+	}
+	verifySL(t, 3, setup, spec.Snapshot{})
+}
+
+func TestPackedSnapshotStrongLinOverwrites(t *testing.T) {
+	// The same component written twice, concurrent with scans: exercises
+	// positive and negative field deltas under contention.
+	setup := func(w *sim.World) []sim.Program {
+		s := NewFASnapshot(w, "snap", 2, WithSnapshotBound(3))
+		return []sim.Program{
+			{opUpdate(s, 0, 3), opUpdate(s, 0, 1)},
+			{opScan(s), opScan(s)},
+		}
+	}
+	verifySL(t, 2, setup, spec.Snapshot{})
+}
+
+func TestPackedSnapshotStrongLinSameValueUpdate(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		s := NewFASnapshot(w, "snap", 2, WithSnapshotBound(3))
+		return []sim.Program{
+			{opUpdate(s, 0, 2), opUpdate(s, 0, 2)},
+			{opScan(s), opScan(s)},
+		}
+	}
+	verifySL(t, 2, setup, spec.Snapshot{})
+}
+
+// The linearization-point certificate (every operation marks its single
+// fetch&add) must also verify on the packed snapshot engine.
+func TestPackedSnapshotCertificate(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		s := NewFASnapshot(w, "snap", 2, WithSnapshotBound(3))
+		return []sim.Program{
+			{opUpdate(s, 0, 1), opScan(s)},
+			{opUpdate(s, 1, 2), opScan(s)},
+		}
+	}
+	tree, err := sim.Explore(2, setup, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := history.CheckLinPointCertificate(tree, spec.Snapshot{}); !res.Ok {
+		t.Fatalf("certificate rejected: %s", res.Failure)
+	}
+}
+
+// --- Algorithm 1 over the packed snapshot (Theorem 4, machine-word) ----------
+
+// TestPackedSimpleCounterStrongLin: the full Theorem 4 composition with the
+// packed snapshot substituted — graph-node references are published through
+// the packed word's binary fields. 2 procs x 2 ops allocates references
+// 1..4, so bound 7 (3-bit fields, 2 x 3 = 6 bits) covers the run.
+func TestPackedSimpleCounterStrongLin(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		o := NewSimpleObjectFromFA(w, "ctr", SimpleCounter{}, 2, WithSnapshotBound(7))
+		if !o.SnapshotPacked() {
+			t.Fatal("config must pack")
+		}
+		return []sim.Program{
+			{opExecute(o, spec.MkOp(spec.MethodInc)), opExecute(o, spec.MkOp(spec.MethodRead))},
+			{opExecute(o, spec.MkOp(spec.MethodInc)), opExecute(o, spec.MkOp(spec.MethodRead))},
+		}
+	}
+	verifySL(t, 2, setup, spec.Counter{})
+}
+
+func TestPackedSimpleGSetStrongLin(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		o := NewSimpleObjectFromFA(w, "set", SimpleGSet{}, 2, WithSnapshotBound(7))
+		return []sim.Program{
+			{opExecute(o, spec.MkOp(spec.MethodAdd, 1)), opExecute(o, spec.MkOp(spec.MethodHas, 2))},
+			{opExecute(o, spec.MkOp(spec.MethodAdd, 2)), opExecute(o, spec.MkOp(spec.MethodHas, 1))},
+		}
+	}
+	verifySL(t, 2, setup, spec.GSet{})
+}
+
+func TestPackedSimpleLogicalClockStrongLin(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		o := NewSimpleObjectFromFA(w, "clk", SimpleLogicalClock{}, 2, WithSnapshotBound(7))
+		return []sim.Program{
+			{opExecute(o, spec.MkOp(spec.MethodTick)), opExecute(o, spec.MkOp(spec.MethodRead))},
+			{opExecute(o, spec.MkOp(spec.MethodTick))},
+		}
+	}
+	verifySL(t, 2, setup, spec.LogicalClock{})
+}
+
+// TestSimpleObjectCapacity: a bounded simple object refuses the operation
+// past its reference budget — TryExecute errors before any shared step,
+// Execute panics, and in-budget responses are unaffected.
+func TestSimpleObjectCapacity(t *testing.T) {
+	w := sim.NewSoloWorld()
+	c := NewLogicalClockFromFA(w, "clk", 1, WithSnapshotBound(3))
+	th := sim.SoloThread(0)
+	if !c.Packed() || c.Capacity() != 3 {
+		t.Fatalf("packed = %v, capacity = %d; want packed with capacity 3", c.Packed(), c.Capacity())
+	}
+	for i := 0; i < 2; i++ {
+		if err := c.TryTick(th); err != nil {
+			t.Fatalf("tick %d: %v", i, err)
+		}
+	}
+	v, err := c.TryRead(th)
+	if err != nil || v != 2 {
+		t.Fatalf("TryRead = (%d, %v), want (2, nil)", v, err)
+	}
+	if err := c.TryTick(th); err != ErrCapacityExhausted {
+		t.Fatalf("over-capacity TryTick error = %v, want ErrCapacityExhausted", err)
+	}
+	// Rejected attempts do not count against Used.
+	if got := c.Used(); got != 3 {
+		t.Fatalf("Used after exhaustion = %d, want 3", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-capacity Tick did not panic")
+		}
+	}()
+	c.Tick(th)
+}
+
+// --- differential fuzz: packed snapshot vs the wide oracle -------------------
+
+func FuzzPackedVsWideSnapshot(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6})
+	f.Add([]byte{200, 100, 50, 25, 12, 6, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const lanes, bound = 3, 6 // FieldWidth(6)=3: 3 x 3 = 9 bits, packs
+		w := sim.NewSoloWorld()
+		packed := NewFASnapshot(w, "p", lanes, WithSnapshotBound(bound))
+		wide := NewFASnapshot(w, "w", lanes)
+		if !packed.Packed() {
+			t.Fatal("fuzz config must pack")
+		}
+		for _, b := range data {
+			th := sim.SoloThread(int(b) % lanes)
+			if b%2 == 0 {
+				v := int64(b/2) % (bound + 1)
+				packed.Update(th, v)
+				wide.Update(th, v)
+			} else if p, v := packed.Scan(th), wide.Scan(th); !reflect.DeepEqual(p, v) {
+				t.Fatalf("packed Scan = %v, wide Scan = %v", p, v)
+			}
+		}
+		th := sim.SoloThread(0)
+		if p, v := packed.Scan(th), wide.Scan(th); !reflect.DeepEqual(p, v) {
+			t.Fatalf("final packed Scan = %v, wide Scan = %v", p, v)
+		}
+	})
+}
+
+func TestPackedSnapshotRealWorldStress(t *testing.T) {
+	w := prim.NewRealWorld()
+	const procs, bound = 4, 7 // 4 x 3 = 12 bits: packs
+	s := NewFASnapshot(w, "snap", procs, WithSnapshotBound(bound))
+	if !s.Packed() {
+		t.Fatal("stress config must pack")
+	}
+	rngs := make([]*rand.Rand, procs)
+	for p := range rngs {
+		rngs[p] = rand.New(rand.NewSource(int64(p) + 47))
+	}
+	h := history.Stress(history.StressConfig{
+		Procs:      procs,
+		OpsPerProc: 25,
+		Gen: func(p, i int) history.StressOp {
+			if rngs[p].Intn(2) == 0 {
+				v := int64(rngs[p].Intn(bound + 1))
+				return history.StressOp{
+					Op: spec.MkOp(spec.MethodUpdate, int64(p), v),
+					Run: func(t prim.Thread) string {
+						s.Update(t, v)
+						return spec.RespOK
+					},
+				}
+			}
+			return history.StressOp{
+				Op:  spec.MkOp(spec.MethodScan),
+				Run: func(t prim.Thread) string { return spec.RespVec(s.Scan(t)) },
+			}
+		},
+	})
+	if res := history.CheckLinearizable(h, spec.Snapshot{}); !res.Ok {
+		t.Fatalf("stress history not linearizable: %s", h.String())
+	}
+}
+
 // --- randomized stress under real goroutine concurrency ----------------------
 
 func TestPackedMaxRegisterRealWorldStress(t *testing.T) {

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"stronglin/internal/prim"
 	"stronglin/internal/spec"
@@ -51,6 +53,21 @@ type SimpleObject struct {
 	snap SnapshotAPI
 	n    int
 
+	// views[i] is process i's reusable scan buffer (single-writer, like a
+	// snapshot component); with a snapshot that supports ScanInto the scan
+	// step of Execute is then allocation-free on the packed engine.
+	views    [][]int64
+	scanInto func(t prim.Thread, view []int64) []int64 // nil: fall back to Scan
+
+	// capacity bounds the number of operations the object can execute: node
+	// references are published through the snapshot as component values, so
+	// a snapshot bound of B admits references 1..B — B operations in total.
+	// -1 means unbounded. reserved hands out execution slots before any
+	// shared step, so an over-capacity operation is refused cleanly instead
+	// of panicking mid-publish.
+	capacity int64
+	reserved atomic.Int64
+
 	// arena maps node references (published through the snapshot as int64
 	// component values) to nodes. It is Go-heap plumbing for the paper's
 	// "pointers to nodes", not a shared base object: references are only
@@ -61,6 +78,10 @@ type SimpleObject struct {
 	arena   map[int64]*graphNode
 	nextRef int64
 }
+
+// ErrCapacityExhausted is returned by TryExecute when a bounded simple
+// object has executed as many operations as its snapshot bound admits.
+var ErrCapacityExhausted = errors.New("core: SimpleObject: operation capacity exhausted (snapshot bound reached)")
 
 // graphNode is Algorithm 1's node struct: an invocation with its response
 // and the per-process preceding pointers.
@@ -73,26 +94,94 @@ type graphNode struct {
 }
 
 // NewSimpleObject builds the construction over the given snapshot for n
-// processes.
+// processes. A snapshot that declares a bound (Bound() >= 0) caps the
+// object's lifetime operation count at that bound — references are published
+// through the snapshot's components, so the value domain IS the reference
+// domain; see TryExecute.
 func NewSimpleObject(typ SimpleType, snap SnapshotAPI, n int) *SimpleObject {
-	return &SimpleObject{
-		typ:   typ,
-		snap:  snap,
-		n:     n,
-		arena: make(map[int64]*graphNode),
+	o := &SimpleObject{
+		typ:      typ,
+		snap:     snap,
+		n:        n,
+		capacity: -1,
+		views:    make([][]int64, n),
+		arena:    make(map[int64]*graphNode),
 	}
+	for i := range o.views {
+		o.views[i] = make([]int64, n)
+	}
+	if si, ok := snap.(interface {
+		ScanInto(t prim.Thread, view []int64) []int64
+	}); ok {
+		o.scanInto = si.ScanInto
+	}
+	if b, ok := snap.(interface{ Bound() int64 }); ok {
+		o.capacity = b.Bound()
+	}
+	return o
 }
 
 // NewSimpleObjectFromFA builds the construction over a fresh fetch&add
-// snapshot (Theorem 4's composition).
-func NewSimpleObjectFromFA(w prim.World, name string, typ SimpleType, n int) *SimpleObject {
-	return NewSimpleObject(typ, NewFASnapshot(w, name+".snap", n), n)
+// snapshot (Theorem 4's composition). With a WithSnapshotBound option the
+// snapshot — and with it the whole composition's shared state — becomes a
+// single packed machine word when the encoding fits; the bound then caps the
+// object's lifetime operation count (references 1..bound).
+func NewSimpleObjectFromFA(w prim.World, name string, typ SimpleType, n int, opts ...SnapshotOption) *SimpleObject {
+	return NewSimpleObject(typ, NewFASnapshot(w, name+".snap", n, opts...), n)
+}
+
+// SnapshotPacked reports whether the underlying snapshot runs on the packed
+// machine word.
+func (o *SimpleObject) SnapshotPacked() bool {
+	if p, ok := o.snap.(interface{ Packed() bool }); ok {
+		return p.Packed()
+	}
+	return false
+}
+
+// Capacity returns the lifetime operation budget imposed by the snapshot
+// bound, or -1 when unbounded.
+func (o *SimpleObject) Capacity() int64 { return o.capacity }
+
+// Executed returns how many operations have been admitted so far (for a
+// bounded object, never more than Capacity — rejected over-capacity attempts
+// do not count). It is an upper bound on completed operations.
+func (o *SimpleObject) Executed() int64 {
+	r := o.reserved.Load()
+	if o.capacity >= 0 && r > o.capacity {
+		return o.capacity
+	}
+	return r
 }
 
 // Execute runs one high-level operation on behalf of t and returns its
-// response (procedure execute_p of Algorithm 1).
+// response (procedure execute_p of Algorithm 1). It panics when a bounded
+// object's capacity is exhausted — uniform with the bound panics of the
+// packed cores; servers should use TryExecute instead.
 func (o *SimpleObject) Execute(t prim.Thread, invoke spec.Op) string {
-	view := o.snap.Scan(t)                                  // line 12
+	resp, err := o.TryExecute(t, invoke)
+	if err != nil {
+		panic(err.Error())
+	}
+	return resp
+}
+
+// TryExecute runs one high-level operation on behalf of t and returns its
+// response, or ErrCapacityExhausted — before taking any shared step — when a
+// bounded object has no execution slots left. Slots are reserved up front so
+// references never exceed the snapshot bound: at most capacity operations
+// pass the gate, and references are assigned densely from 1 in publish
+// order, so every published reference is within the declared value domain.
+func (o *SimpleObject) TryExecute(t prim.Thread, invoke spec.Op) (string, error) {
+	if o.reserved.Add(1) > o.capacity && o.capacity >= 0 {
+		return "", ErrCapacityExhausted
+	}
+	var view []int64
+	if o.scanInto != nil { // line 12
+		view = o.scanInto(t, o.views[t.ID()])
+	} else {
+		view = o.snap.Scan(t)
+	}
 	graph := o.collect(view)                                // line 13: BFS from the view
 	seq := o.linearize(graph)                               // line 14: sort of lingraph(G)
 	resp := o.respond(seq, invoke)                          // lines 17-19
@@ -101,7 +190,7 @@ func (o *SimpleObject) Execute(t prim.Thread, invoke spec.Op) string {
 	copy(node.preceding, view)
 	o.publish(node)
 	o.snap.Update(t, node.ref) // line 22
-	return resp                // line 23
+	return resp, nil           // line 23
 }
 
 func (o *SimpleObject) publish(n *graphNode) {

@@ -122,9 +122,11 @@ func NewCounter(snap SnapshotAPI, n int) *Counter {
 	return &Counter{obj: NewSimpleObject(SimpleCounter{}, snap, n)}
 }
 
-// NewCounterFromFA builds a counter over a fresh fetch&add snapshot.
-func NewCounterFromFA(w prim.World, name string, n int) *Counter {
-	return &Counter{obj: NewSimpleObjectFromFA(w, name, SimpleCounter{}, n)}
+// NewCounterFromFA builds a counter over a fresh fetch&add snapshot. A
+// WithSnapshotBound option packs the snapshot into a machine word when the
+// encoding fits, capping lifetime operations at the bound (see SimpleObject).
+func NewCounterFromFA(w prim.World, name string, n int, opts ...SnapshotOption) *Counter {
+	return &Counter{obj: NewSimpleObjectFromFA(w, name, SimpleCounter{}, n, opts...)}
 }
 
 // Inc increments the counter.
@@ -143,9 +145,10 @@ func (c *Counter) Read(t prim.Thread) int64 {
 type LogicalClock struct{ obj *SimpleObject }
 
 // NewLogicalClockFromFA builds a logical clock over a fresh fetch&add
-// snapshot.
-func NewLogicalClockFromFA(w prim.World, name string, n int) *LogicalClock {
-	return &LogicalClock{obj: NewSimpleObjectFromFA(w, name, SimpleLogicalClock{}, n)}
+// snapshot. A WithSnapshotBound option packs the snapshot into a machine
+// word when the encoding fits, capping lifetime operations at the bound.
+func NewLogicalClockFromFA(w prim.World, name string, n int, opts ...SnapshotOption) *LogicalClock {
+	return &LogicalClock{obj: NewSimpleObjectFromFA(w, name, SimpleLogicalClock{}, n, opts...)}
 }
 
 // Tick advances the clock.
@@ -156,13 +159,45 @@ func (c *LogicalClock) Read(t prim.Thread) int64 {
 	return mustParseInt(c.obj.Execute(t, spec.MkOp(spec.MethodRead)))
 }
 
+// TryTick advances the clock, or returns ErrCapacityExhausted when a bounded
+// clock has no operation slots left (the server-friendly form of Tick).
+func (c *LogicalClock) TryTick(t prim.Thread) error {
+	_, err := c.obj.TryExecute(t, spec.MkOp(spec.MethodTick))
+	return err
+}
+
+// TryRead returns the current time, or ErrCapacityExhausted (reads consume
+// an operation slot too: every Algorithm 1 operation publishes a node).
+func (c *LogicalClock) TryRead(t prim.Thread) (int64, error) {
+	resp, err := c.obj.TryExecute(t, spec.MkOp(spec.MethodRead))
+	if err != nil {
+		return 0, err
+	}
+	return mustParseInt(resp), nil
+}
+
+// Packed reports whether the clock's snapshot runs on the packed machine
+// word.
+func (c *LogicalClock) Packed() bool { return c.obj.SnapshotPacked() }
+
+// Capacity returns the clock's lifetime operation budget, or -1 when
+// unbounded.
+func (c *LogicalClock) Capacity() int64 { return c.obj.Capacity() }
+
+// Used returns how many operations the clock has admitted against that
+// budget (ticks and reads both count: every Algorithm 1 operation publishes
+// a node).
+func (c *LogicalClock) Used() int64 { return c.obj.Executed() }
+
 // GSet is a wait-free strongly-linearizable grow-only set built from
 // Algorithm 1 over a snapshot.
 type GSet struct{ obj *SimpleObject }
 
-// NewGSetFromFA builds a grow-only set over a fresh fetch&add snapshot.
-func NewGSetFromFA(w prim.World, name string, n int) *GSet {
-	return &GSet{obj: NewSimpleObjectFromFA(w, name, SimpleGSet{}, n)}
+// NewGSetFromFA builds a grow-only set over a fresh fetch&add snapshot. A
+// WithSnapshotBound option packs the snapshot into a machine word when the
+// encoding fits, capping lifetime operations at the bound.
+func NewGSetFromFA(w prim.World, name string, n int, opts ...SnapshotOption) *GSet {
+	return &GSet{obj: NewSimpleObjectFromFA(w, name, SimpleGSet{}, n, opts...)}
 }
 
 // Add inserts x.

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"math/big"
+	"math/bits"
 
 	"stronglin/internal/interleave"
 	"stronglin/internal/prim"
@@ -28,57 +28,129 @@ type SnapshotAPI interface {
 //
 // Every operation performs exactly one fetch&add, which is its linearization
 // point.
+//
+// With WithSnapshotBound the register becomes a single machine word when the
+// encoding fits (n x FieldWidth(maxValue) <= 63 bits): each component is a
+// fixed-width binary field of a hardware XADD register (prim.FetchAddInt).
+// Update is one XADD of the signed in-lane field delta (to−from, shifted to
+// the caller's field — the posAdj−negAdj of the wide path collapsed to one
+// subtraction), Scan is one XADD(0) followed by shift-and-mask decoding.
+// Each operation is still exactly one fetch&add on one register, so the
+// linearization argument is unchanged; only the per-operation cost drops (no
+// big.Int arithmetic, no allocation). When the bound does not fit, the
+// constructor silently falls back to the wide register with the bound still
+// enforced.
 type FASnapshot struct {
 	n     int
 	codec interleave.Codec
 	w     prim.World
-	r     prim.FetchAdd
-	prev  []*big.Int // prev[i] is accessed only by process i
+	r     prim.FetchAdd    // wide engine; nil when packed
+	rp    prim.FetchAddInt // packed engine; nil when wide
+	pc    interleave.Packed
+	bound int64   // -1: unbounded (wide); >= 0: declared max component value
+	prev  []int64 // prev[i] is accessed only by process i
 }
 
 var _ SnapshotAPI = (*FASnapshot)(nil)
 
+// SnapshotOption configures NewFASnapshot.
+type SnapshotOption func(*FASnapshot)
+
+// WithSnapshotBound declares that every component value is in [0, maxValue],
+// and makes Update panic on values beyond it (like negatives). When the
+// binary field encoding fits a machine word (n x FieldWidth(maxValue) <= 63
+// bits) the construction runs over a single prim.FetchAddInt register — the
+// packed fast path; when it does not fit, the constructor falls back to the
+// wide register. The bound is enforced either way, so behaviour does not
+// depend on which engine was selected.
+func WithSnapshotBound(maxValue int64) SnapshotOption {
+	if maxValue < 0 {
+		panic(fmt.Sprintf("core: WithSnapshotBound(%d): bound must be non-negative", maxValue))
+	}
+	return func(s *FASnapshot) { s.bound = maxValue }
+}
+
 // NewFASnapshot allocates the construction for n processes using a single
 // fetch&add register named name+".R". Components are initially 0.
-func NewFASnapshot(w prim.World, name string, n int) *FASnapshot {
+func NewFASnapshot(w prim.World, name string, n int, opts ...SnapshotOption) *FASnapshot {
 	s := &FASnapshot{
 		n:     n,
 		codec: interleave.MustNew(n),
 		w:     w,
-		r:     w.FetchAdd(name + ".R"),
-		prev:  make([]*big.Int, n),
+		bound: -1,
+		prev:  make([]int64, n),
 	}
-	for i := range s.prev {
-		s.prev[i] = new(big.Int)
+	for _, o := range opts {
+		o(s)
 	}
+	if s.bound >= 0 {
+		if pc, ok := interleave.NewPacked(n, interleave.FieldWidth(s.bound)); ok {
+			s.pc = pc
+			s.rp = w.FetchAddInt(name+".R", 0)
+			return s
+		}
+	}
+	s.r = w.FetchAdd(name + ".R")
 	return s
 }
+
+// Packed reports whether the register is the packed machine word.
+func (s *FASnapshot) Packed() bool { return s.rp != nil }
+
+// Bound returns the declared maximum component value, or -1 when unbounded.
+func (s *FASnapshot) Bound() int64 { return s.bound }
 
 // Update writes v (which must be non-negative) to the caller's component.
 func (s *FASnapshot) Update(t prim.Thread, v int64) {
 	if v < 0 {
 		panic(fmt.Sprintf("core: FASnapshot.Update(%d): values must be non-negative", v))
 	}
+	if s.bound >= 0 && v > s.bound {
+		panic(fmt.Sprintf("core: FASnapshot.Update(%d): value exceeds the declared bound %d", v, s.bound))
+	}
 	i := t.ID()
-	val := big.NewInt(v)
-	if val.Cmp(s.prev[i]) == 0 {
-		s.r.FetchAdd(t, zero)
+	if v == s.prev[i] {
+		if s.rp != nil {
+			s.rp.FetchAddInt(t, 0)
+		} else {
+			s.r.FetchAdd(t, zero)
+		}
 		prim.MarkLinPoint(s.w, t)
 		return
 	}
-	delta := s.codec.Delta(s.prev[i], val, i)
-	s.r.FetchAdd(t, delta)
+	if s.rp != nil {
+		s.rp.FetchAddInt(t, s.pc.FieldDelta(s.prev[i], v, i))
+	} else {
+		s.r.FetchAdd(t, s.codec.Delta(interleave.SmallInt(s.prev[i]), interleave.SmallInt(v), i))
+	}
 	prim.MarkLinPoint(s.w, t)
-	s.prev[i] = val
+	s.prev[i] = v
 }
 
 // Scan returns the current view.
 func (s *FASnapshot) Scan(t prim.Thread) []int64 {
+	return s.ScanInto(t, make([]int64, s.n))
+}
+
+// ScanInto is Scan writing the view into a caller-provided slice of length n
+// (returned for convenience). On the packed engine it is allocation-free:
+// one XADD(0) plus shift-and-mask decoding — the hot-path form used by the
+// simple-type construction and the E-SNAP benchmarks.
+func (s *FASnapshot) ScanInto(t prim.Thread, view []int64) []int64 {
+	if len(view) != s.n {
+		panic(fmt.Sprintf("core: FASnapshot.ScanInto: view has length %d, want %d", len(view), s.n))
+	}
+	if s.rp != nil {
+		word := s.rp.FetchAddInt(t, 0)
+		prim.MarkLinPoint(s.w, t)
+		for i := range view {
+			view[i] = s.pc.Lane(word, i)
+		}
+		return view
+	}
 	word := s.r.FetchAdd(t, zero)
 	prim.MarkLinPoint(s.w, t)
-	lanes := s.codec.Decode(word)
-	view := make([]int64, s.n)
-	for i, lane := range lanes {
+	for i, lane := range s.codec.Decode(word) {
 		view[i] = lane.Int64()
 	}
 	return view
@@ -87,5 +159,8 @@ func (s *FASnapshot) Scan(t prim.Thread) []int64 {
 // Width returns the current bit length of the shared register (see
 // FAMaxRegister.Width). It reads R with a fetch&add(0) step.
 func (s *FASnapshot) Width(t prim.Thread) int {
+	if s.rp != nil {
+		return bits.Len64(uint64(s.rp.FetchAddInt(t, 0)))
+	}
 	return s.r.FetchAdd(t, zero).BitLen()
 }

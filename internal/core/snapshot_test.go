@@ -119,6 +119,20 @@ func TestFASnapshotRealWorldStress(t *testing.T) {
 	}
 }
 
+// TestWideUpdateUnchangedValueAllocFree: the wide Update compares the new
+// value against a cached int64 (no big.NewInt per call), so re-writing the
+// same value — the fetch&add(0) fast path — allocates nothing. Small changed
+// values go through the interleave.SmallInt cache, so they stay cheap too.
+func TestWideUpdateUnchangedValueAllocFree(t *testing.T) {
+	w := prim.NewRealWorld()
+	s := NewFASnapshot(w, "snap", 2)
+	th := prim.RealThread(0)
+	s.Update(th, 5)
+	if allocs := testing.AllocsPerRun(200, func() { s.Update(th, 5) }); allocs != 0 {
+		t.Fatalf("unchanged-value wide Update allocates %.1f per op, want 0", allocs)
+	}
+}
+
 func TestFASnapshotWidth(t *testing.T) {
 	w := sim.NewSoloWorld()
 	s := NewFASnapshot(w, "snap", 4)

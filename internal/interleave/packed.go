@@ -2,6 +2,7 @@ package interleave
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 )
 
@@ -73,6 +74,56 @@ func (p Packed) Lane(word int64, lane int) int64 {
 		panic("interleave: packed Lane requires a non-negative word")
 	}
 	return (word >> (lane * p.width)) & p.mask
+}
+
+// FieldWidth returns the number of bits a binary field needs to hold every
+// value in [0, maxValue]: bits.Len64(maxValue), but at least 1 so that a
+// degenerate all-zero domain still occupies a real field. It is the width a
+// bounded-component snapshot passes to NewPacked. maxValue must be
+// non-negative.
+func FieldWidth(maxValue int64) int {
+	if maxValue < 0 {
+		panic(fmt.Sprintf("interleave: FieldWidth requires a non-negative maxValue, got %d", maxValue))
+	}
+	if maxValue == 0 {
+		return 1
+	}
+	return bits.Len64(uint64(maxValue))
+}
+
+// MaxFieldBound returns the largest maxValue whose binary-field encoding
+// packs for n lanes — the inverse of the NewPacked(n, FieldWidth(maxValue))
+// fit check, built on the same bit budget so bound-sizing callers can never
+// desynchronize from the engine. It returns 0 when not even a 1-bit field
+// fits (n > 63; note maxValue 0 itself still needs a 1-bit field, so 0 also
+// means "nothing packs").
+func MaxFieldBound(n int) int64 {
+	if n < 1 {
+		panic(fmt.Sprintf("interleave: MaxFieldBound requires n >= 1, got %d", n))
+	}
+	w := packedBits / n
+	if w < 1 {
+		return 0
+	}
+	if w >= 63 {
+		return math.MaxInt64 // FieldWidth(2^63-1) = 63: a single lane packs it
+	}
+	return int64(1)<<w - 1
+}
+
+// FieldDelta returns the signed fetch&add delta that changes the given lane's
+// binary field from value from to value to: (to - from) << (lane * width).
+// This is the packed analogue of Codec.Delta (the posAdj - negAdj update of
+// the snapshot construction, paper Section 3.2), collapsed to a single
+// machine-word subtraction and shift. Adding it to a word whose lane holds
+// from yields a word whose lane holds to with every other lane untouched:
+// the arithmetic is exact (both values are in [0, 2^width)), so no carry or
+// borrow escapes the field even though the delta itself may be negative.
+func (p Packed) FieldDelta(from, to int64, lane int) int64 {
+	if from < 0 || from > p.mask || to < 0 || to > p.mask {
+		panic(fmt.Sprintf("interleave: packed FieldDelta values (%d, %d) outside [0, %d]", from, to, p.mask))
+	}
+	return (to - from) << (lane * p.width)
 }
 
 // PackedUnaryValue is UnaryValue on a compact int64 lane: value K is

@@ -134,6 +134,123 @@ func TestPackedUnaryValue(t *testing.T) {
 	}
 }
 
+// --- binary field deltas (packed snapshot) -----------------------------------
+
+func TestFieldWidth(t *testing.T) {
+	cases := []struct {
+		maxValue int64
+		want     int
+	}{
+		{0, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1<<15 - 1, 15}, {1 << 15, 16}, {1<<62 - 1, 62}, {1<<63 - 1, 63},
+	}
+	for _, c := range cases {
+		if got := FieldWidth(c.maxValue); got != c.want {
+			t.Errorf("FieldWidth(%d) = %d, want %d", c.maxValue, got, c.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FieldWidth(-1) did not panic")
+		}
+	}()
+	FieldWidth(-1)
+}
+
+// TestMaxFieldBound: for every lane count the returned bound packs and is
+// maximal (bound+1 needs a wider field that no longer fits); past 63 lanes
+// nothing packs.
+func TestMaxFieldBound(t *testing.T) {
+	for n := 1; n <= 70; n++ {
+		b := MaxFieldBound(n)
+		if n > 63 {
+			if b != 0 {
+				t.Fatalf("MaxFieldBound(%d) = %d, want 0", n, b)
+			}
+			continue
+		}
+		if b < 1 {
+			t.Fatalf("MaxFieldBound(%d) = %d, want >= 1", n, b)
+		}
+		if _, ok := NewPacked(n, FieldWidth(b)); !ok {
+			t.Fatalf("MaxFieldBound(%d) = %d does not pack", n, b)
+		}
+		if b == int64(1)<<62 { // guard the +1 overflow for the 1-lane case
+			continue
+		}
+		if b != 1<<63-1 {
+			if _, ok := NewPacked(n, FieldWidth(b+1)); ok {
+				t.Fatalf("MaxFieldBound(%d) = %d is not maximal: %d also packs", n, b, b+1)
+			}
+		}
+	}
+}
+
+// TestFieldDeltaRoundTrip: applying signed field deltas to a packed word
+// tracks per-lane values exactly — raises, lowers, and zero-crossings never
+// leak into neighbouring fields. This is the correctness core of the packed
+// snapshot's Update.
+func TestFieldDeltaRoundTrip(t *testing.T) {
+	const lanes, width = 4, 5 // 20 bits
+	p := MustNewPacked(lanes, width)
+	rng := rand.New(rand.NewSource(3))
+	word := int64(0)
+	cur := make([]int64, lanes)
+	for step := 0; step < 500; step++ {
+		lane := rng.Intn(lanes)
+		to := int64(rng.Intn(1 << width))
+		word += p.FieldDelta(cur[lane], to, lane)
+		cur[lane] = to
+		if word < 0 {
+			t.Fatalf("step %d: word went negative", step)
+		}
+		for i := 0; i < lanes; i++ {
+			if got := p.Lane(word, i); got != cur[i] {
+				t.Fatalf("step %d lane %d: decoded %d, want %d", step, i, got, cur[i])
+			}
+		}
+	}
+}
+
+// TestFieldDeltaMatchesWideDelta: the packed field delta is numerically the
+// wide Codec.Delta of the same transition, re-laid onto contiguous fields —
+// verified by comparing full decoded states after each update on both codecs.
+func TestFieldDeltaMatchesWideDelta(t *testing.T) {
+	const lanes = 3
+	p := MustNewPacked(lanes, 4)
+	c := MustNew(lanes)
+	rng := rand.New(rand.NewSource(9))
+	word := int64(0)
+	wide := new(big.Int)
+	cur := make([]int64, lanes)
+	for step := 0; step < 300; step++ {
+		lane := rng.Intn(lanes)
+		to := int64(rng.Intn(16))
+		word += p.FieldDelta(cur[lane], to, lane)
+		wide.Add(wide, c.Delta(big.NewInt(cur[lane]), big.NewInt(to), lane))
+		cur[lane] = to
+		for i := 0; i < lanes; i++ {
+			if pv, wv := p.Lane(word, i), c.Lane(wide, i).Int64(); pv != wv || pv != cur[i] {
+				t.Fatalf("step %d lane %d: packed %d, wide %d, want %d", step, i, pv, wv, cur[i])
+			}
+		}
+	}
+}
+
+func TestFieldDeltaPanics(t *testing.T) {
+	p := MustNewPacked(2, 4)
+	for _, bad := range [][2]int64{{-1, 3}, {3, -1}, {16, 0}, {0, 16}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FieldDelta(%d, %d) did not panic", bad[0], bad[1])
+				}
+			}()
+			p.FieldDelta(bad[0], bad[1], 0)
+		}()
+	}
+}
+
 // --- memoized wide deltas ----------------------------------------------------
 
 func TestSpreadUnaryDeltaMemoized(t *testing.T) {

@@ -61,6 +61,7 @@ package stronglin
 import (
 	"stronglin/internal/adversary"
 	"stronglin/internal/core"
+	"stronglin/internal/interleave"
 	"stronglin/internal/pool"
 	"stronglin/internal/prim"
 	"stronglin/internal/shard"
@@ -91,9 +92,31 @@ func NewMaxRegister(w *World, n int) *MaxRegister {
 // single fetch&add register. Component i is written by Thread(i).
 type Snapshot = core.FASnapshot
 
+// SnapshotOption configures NewSnapshot and the Algorithm 1 constructors
+// layered on it; see WithSnapshotBound.
+type SnapshotOption = core.SnapshotOption
+
+// WithSnapshotBound declares the component value domain [0, maxValue] of a
+// snapshot. When the binary field encoding fits a machine word
+// (n × bitWidth(maxValue) ≤ 63) the snapshot runs over a single hardware
+// XADD int64 — Update is one XADD of a signed in-lane field delta, Scan one
+// XADD(0) plus shift-and-mask — with automatic wide fallback and the bound
+// enforced either way (Update past it panics). On an Algorithm 1 object the
+// snapshot components hold graph-node references, so the bound doubles as a
+// lifetime operation budget; see core.SimpleObject.TryExecute.
+func WithSnapshotBound(maxValue int64) SnapshotOption {
+	return core.WithSnapshotBound(maxValue)
+}
+
+// MaxSnapshotBound returns the largest WithSnapshotBound value that packs a
+// snapshot (or an Algorithm 1 object over one) for n processes, or 0 when no
+// bound packs (n > 63). Sizing bounds through it keeps callers in sync with
+// the packed engine's machine-word budget.
+func MaxSnapshotBound(n int) int64 { return interleave.MaxFieldBound(n) }
+
 // NewSnapshot builds a snapshot for n processes.
-func NewSnapshot(w *World, n int) *Snapshot {
-	return core.NewFASnapshot(w, "stronglin.snapshot", n)
+func NewSnapshot(w *World, n int, opts ...SnapshotOption) *Snapshot {
+	return core.NewFASnapshot(w, "stronglin.snapshot", n, opts...)
 }
 
 // Counter is a wait-free strongly-linearizable counter (Theorems 3–4:
@@ -101,8 +124,8 @@ func NewSnapshot(w *World, n int) *Snapshot {
 type Counter = core.Counter
 
 // NewCounter builds a counter for n processes.
-func NewCounter(w *World, n int) *Counter {
-	return core.NewCounterFromFA(w, "stronglin.counter", n)
+func NewCounter(w *World, n int, opts ...SnapshotOption) *Counter {
+	return core.NewCounterFromFA(w, "stronglin.counter", n, opts...)
 }
 
 // LogicalClock is a wait-free strongly-linearizable logical clock
@@ -110,16 +133,16 @@ func NewCounter(w *World, n int) *Counter {
 type LogicalClock = core.LogicalClock
 
 // NewLogicalClock builds a logical clock for n processes.
-func NewLogicalClock(w *World, n int) *LogicalClock {
-	return core.NewLogicalClockFromFA(w, "stronglin.clock", n)
+func NewLogicalClock(w *World, n int, opts ...SnapshotOption) *LogicalClock {
+	return core.NewLogicalClockFromFA(w, "stronglin.clock", n, opts...)
 }
 
 // GSet is a wait-free strongly-linearizable grow-only set (Theorems 3–4).
 type GSet = core.GSet
 
 // NewGSet builds a grow-only set for n processes.
-func NewGSet(w *World, n int) *GSet {
-	return core.NewGSetFromFA(w, "stronglin.gset", n)
+func NewGSet(w *World, n int, opts ...SnapshotOption) *GSet {
+	return core.NewGSetFromFA(w, "stronglin.gset", n, opts...)
 }
 
 // ReadableTAS is the paper's Theorem 5 object: a wait-free
@@ -241,6 +264,9 @@ const (
 	// AdversaryVsLinearizable attacks the merely-linearizable Afek et al.
 	// snapshot; the adversary wins every trial.
 	AdversaryVsLinearizable = adversary.AfekSnapshot
+	// AdversaryVsStrongPacked attacks the packed machine-word engine of the
+	// fetch&add snapshot; the win rate stays at 1/2, exactly as wide.
+	AdversaryVsStrongPacked = adversary.PackedFASnapshot
 )
 
 // PlayAdversary runs the hyperproperty-preservation game: a strong

@@ -140,4 +140,54 @@ func TestPublicAdversaryGame(t *testing.T) {
 	if got := PlayAdversary(AdversaryVsStrong, 200, 4).Rate(); got < 0.35 || got > 0.65 {
 		t.Fatalf("adversary vs strongly-linearizable snapshot = %.2f, want ≈ 0.5", got)
 	}
+	if got := PlayAdversary(AdversaryVsStrongPacked, 200, 5).Rate(); got < 0.35 || got > 0.65 {
+		t.Fatalf("adversary vs packed snapshot = %.2f, want ≈ 0.5", got)
+	}
+}
+
+// TestPublicBoundedSnapshotAndClock: the packed Theorem 2/Theorem 4 surface
+// through the facade — a bounded snapshot packs and enforces its domain, a
+// bounded clock packs and budgets its operations.
+func TestPublicBoundedSnapshotAndClock(t *testing.T) {
+	w := NewWorld()
+	const procs = 4
+
+	s := NewSnapshot(w, procs, WithSnapshotBound(100)) // 4 x 7 = 28 bits
+	if !s.Packed() {
+		t.Fatal("bounded snapshot must pack")
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			s.Update(Thread(p), int64(p+1))
+		}(p)
+	}
+	wg.Wait()
+	th := Thread(0)
+	for p, got := range s.Scan(th) {
+		if got != int64(p+1) {
+			t.Errorf("packed view[%d] = %d, want %d", p, got, p+1)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("packed snapshot Update(101) did not panic")
+			}
+		}()
+		s.Update(th, 101)
+	}()
+
+	clk := NewLogicalClock(w, procs, WithSnapshotBound(1000)) // refs fit 4 x 10 = 40 bits
+	if !clk.Packed() || clk.Capacity() != 1000 {
+		t.Fatalf("clock packed = %v, capacity = %d; want packed with capacity 1000", clk.Packed(), clk.Capacity())
+	}
+	if err := clk.TryTick(th); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := clk.TryRead(th); err != nil || v != 1 {
+		t.Fatalf("TryRead = (%d, %v), want (1, nil)", v, err)
+	}
 }
