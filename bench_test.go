@@ -444,6 +444,92 @@ func BenchmarkPackedSnapshot(b *testing.B) {
 	})
 }
 
+// E-SNAP multi-word: the k-XADD snapshot engine past the 63-bit ceiling
+// (n x bitWidth(maxValue) > 63, where PR 3's single packed word had to fall
+// back to the wide big.Int register) against that wide register at the same
+// lane count and value domain. Update is one XADD on the owning word plus
+// the epoch announce; ScanInto is the epoch-validated k-word gather. Both
+// must run at 0 allocs/op and ≥5x faster than wide at n=8 (the measured gap
+// is ~20-50x; see README).
+func BenchmarkMultiwordSnapshot(b *testing.B) {
+	for _, lanes := range []int{8, 16} {
+		// 15-bit fields: 4 lanes/word -> 2 words at n=8, 4 words at n=16.
+		const bound = 1<<15 - 1
+		th := prim.RealThread(0)
+		name := func(op string) string { return fmt.Sprintf("%s/n=%d", op, lanes) }
+		b.Run(name("multiword-update"), func(b *testing.B) {
+			s := core.NewFASnapshot(prim.NewRealWorld(), "s", lanes, core.WithSnapshotBound(bound))
+			if !s.Multiword() {
+				b.Fatal("bench config must stripe")
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.Update(th, int64(i)&bound)
+			}
+		})
+		b.Run(name("wide-update"), func(b *testing.B) {
+			s := core.NewFASnapshot(prim.NewRealWorld(), "s", lanes)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.Update(th, int64(i)&bound)
+			}
+		})
+		b.Run(name("multiword-scan"), func(b *testing.B) {
+			s := core.NewFASnapshot(prim.NewRealWorld(), "s", lanes, core.WithSnapshotBound(bound))
+			s.Update(th, bound)
+			view := make([]int64, lanes)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.ScanInto(th, view)
+			}
+		})
+		b.Run(name("wide-scan"), func(b *testing.B) {
+			s := core.NewFASnapshot(prim.NewRealWorld(), "s", lanes)
+			s.Update(th, bound)
+			view := make([]int64, lanes)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.ScanInto(th, view)
+			}
+		})
+	}
+}
+
+// E-SNAP multi-word under contention: the epoch-validated scan with a
+// concurrent updater continuously landing XADDs and announces — the retry
+// path and the writer-backoff hint are what this measures (single-threaded
+// scans never retry).
+func BenchmarkMultiwordSnapshotContendedScan(b *testing.B) {
+	const lanes, bound = 8, 1<<15 - 1
+	s := core.NewFASnapshot(prim.NewRealWorld(), "s", lanes, core.WithSnapshotBound(bound))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := prim.RealThread(1)
+		for v := int64(0); ; v++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Update(th, v&bound)
+			runtime.Gosched()
+		}
+	}()
+	th := prim.RealThread(0)
+	view := make([]int64, lanes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ScanInto(th, view)
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+}
+
 // E-SNAP simple-object op: one Algorithm 1 operation (logical-clock tick)
 // over the packed vs the wide snapshot. The snapshot step is one of many in
 // Execute (graph collect + linearize dominate as history grows), so the gap

@@ -157,6 +157,24 @@ func targets() []target {
 			},
 		},
 		{
+			// The multi-word engine at a word budget of ⌈p/2⌉ (31-bit fields):
+			// k XADD words + epoch-validated scans lift the 63-bit ceiling.
+			// At p ≤ 2 the bound fits one word and the constructor picks the
+			// packed engine — the row is then its lower bound.
+			name: "snapshot: multiword k-XADD (SL)",
+			build: func(n int) func(prim.Thread, int) {
+				bound := interleave.MaxMultiFieldBound(n, (n+1)/2)
+				s := core.NewFASnapshot(prim.NewRealWorld(), "s", n, core.WithSnapshotBound(bound))
+				return func(t prim.Thread, i int) {
+					if i%4 == 0 {
+						s.Update(t, int64(i%64))
+					} else {
+						s.Scan(t)
+					}
+				}
+			},
+		},
+		{
 			name: "snapshot: Afek registers (lin)",
 			build: func(n int) func(prim.Thread, int) {
 				s := baseline.NewAfekSnapshot(prim.NewRealWorld(), "s", n)

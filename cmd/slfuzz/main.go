@@ -6,7 +6,7 @@
 //
 //	slfuzz [-obj maxreg] [-procs 4] [-ops 40] [-rounds 20] [-seed 1]
 //
-// Objects: maxreg, snapshot, counter, rtas, mstas, fai, set, hwqueue,
+// Objects: maxreg, snapshot, multiword, counter, rtas, mstas, fai, set, hwqueue,
 // naivestack, aacmaxreg, afeksnapshot.
 package main
 
@@ -92,6 +92,21 @@ func workloads() map[string]struct {
 			return func(p, i int) history.StressOp {
 				if rngs[p].Intn(2) == 0 {
 					v := int64(rngs[p].Intn(8))
+					return history.StressOp{Op: spec.MkOp(spec.MethodUpdate, int64(p), v),
+						Run: func(t prim.Thread) string { s.Update(t, v); return spec.RespOK }}
+				}
+				return history.StressOp{Op: spec.MkOp(spec.MethodScan),
+					Run: func(t prim.Thread) string { return spec.RespVec(s.Scan(t)) }}
+			}
+		}, spec.Snapshot{}),
+		"multiword": mk(func(procs int, seed int64) func(p, i int) history.StressOp {
+			// 32-bit fields: one lane per word, so every scan is a genuine
+			// cross-word epoch-validated collect.
+			s := core.NewFASnapshot(prim.NewRealWorld(), "s", procs, core.WithSnapshotBound(1<<32-1))
+			rngs := perProcRNG(procs, seed)
+			return func(p, i int) history.StressOp {
+				if rngs[p].Intn(2) == 0 {
+					v := int64(rngs[p].Intn(1 << 16))
 					return history.StressOp{Op: spec.MkOp(spec.MethodUpdate, int64(p), v),
 						Run: func(t prim.Thread) string { s.Update(t, v); return spec.RespOK }}
 				}

@@ -21,6 +21,8 @@
 //	GET  /gset                 list elements
 //	POST /snapshot?v=3         update the leased lane's snapshot component
 //	GET  /snapshot             scan the full view
+//	POST /msnapshot?v=3        update the multi-word snapshot's component
+//	GET  /msnapshot            epoch-validated scan of the multi-word view
 //	POST /clock/tick           advance the logical clock (Algorithm 1)
 //	GET  /clock                read the logical clock
 //	GET  /stats                lanes, shards, lease and per-endpoint op counts
@@ -31,13 +33,20 @@
 // it are rejected with 400), which lets each shard core — and the Theorem 2
 // snapshot — pack its register into a single machine word when the encoding
 // fits: the packed fast path of internal/core. The counter always runs
-// packed (its capacity bound is a machine word regardless), and so does the
-// logical clock: it is Algorithm 1 over a snapshot whose components hold
-// graph-node references, so the server declares the largest reference bound
-// that packs for the lane count. That bound is also the clock's lifetime
-// operation budget — requests past it get 503, not a panic. (Past 63 lanes
-// no reference bound packs; the clock then serves wide and unbounded.)
-// /stats reports which objects are packed, plus the clock's capacity.
+// packed (its capacity bound is a machine word regardless). /msnapshot is a
+// second snapshot pinned to the multi-word engine's word-budget arithmetic —
+// components striped across ⌈lanes/2⌉ XADD words plus an epoch word — so a
+// k-XADD object is served at every lane count, whatever -bound says.
+//
+// The logical clock is Algorithm 1 over a snapshot whose components hold
+// graph-node references, so the server sizes its reference bound with the
+// same multi-word word-budget arithmetic (stronglin.MaxSnapshotBoundWords):
+// the clock is machine-word-backed at ANY lane count — the single packed
+// word when the bound fits one, k XADD words otherwise, including past 63
+// lanes where earlier servers had to fall back to the wide register — with a
+// lifetime operation budget of at least 2³¹−1. Requests past the true budget
+// get 503, not a panic. /stats reports each object's engine and word count,
+// plus the clock's capacity.
 //
 // Load-generator mode (closed loop; drives an in-process server unless -url
 // names a remote one):
@@ -47,9 +56,11 @@
 // It reports JSON on stdout: per-endpoint counts, error count, total
 // throughput, and per-request latency percentiles (p50/p95/p99) over the
 // successful requests. The workload mix is 50% writes (inc / wmax / add /
-// update) and 50% reads, spread across the four unbounded-lifetime objects
-// (the capacity-bounded clock is excluded: a closed loop would spend its
-// budget in the first milliseconds and measure 503s).
+// update) and 50% reads, spread across the five constant-cost objects —
+// counter, maxreg, gset, snapshot and the multi-word snapshot. The clock is
+// still excluded: its per-operation cost is Algorithm 1's operation-graph
+// walk, which grows with history, so a closed loop would measure the graph,
+// not the serving stack.
 package main
 
 import (
@@ -122,6 +133,7 @@ type server struct {
 	maxreg        *stronglin.ShardedMaxRegister
 	gset          *stronglin.ShardedGSet
 	snap          *stronglin.Snapshot
+	msnap         *stronglin.Snapshot // multi-word k-XADD engine, any lane count
 	clock         *stronglin.LogicalClock
 
 	ops struct {
@@ -129,26 +141,44 @@ type server struct {
 		maxregWrite, maxregRead     atomic.Int64
 		gsetAdd, gsetHas, gsetElems atomic.Int64
 		snapUpdate, snapScan        atomic.Int64
+		msnapUpdate, msnapScan      atomic.Int64
 		clockTick, clockRead        atomic.Int64
 	}
 }
 
-// clockCapacity is the largest snapshot bound that packs for the given lane
-// count (stronglin.MaxSnapshotBound, the engine's own budget arithmetic).
-// The clock's snapshot components hold graph-node references allocated
-// densely from 1, so this bound is exactly the number of clock operations
-// the server can execute before answering 503. Past 63 lanes no bound packs
-// at all; it returns 0 and the server falls back to an unbounded wide clock
-// (infinite lifetime, no packing) rather than serving a clock whose budget
-// is zero.
+// snapWords is the word budget the server grants its multi-word snapshot
+// engines: ⌈lanes/2⌉ words, i.e. at least a 31-bit field per lane. For the
+// clock that makes the reference budget ≥ 2³¹−1 at every lane count; scans
+// cost at most ⌈lanes/2⌉+2 XADD(0) reads.
+func snapWords(lanes int) int {
+	return (lanes + 1) / 2
+}
+
+// clockCapacity is the largest snapshot bound that stripes the given lane
+// count across the server's word budget (stronglin.MaxSnapshotBoundWords,
+// the multi-word engine's own budget arithmetic). The clock's snapshot
+// components hold graph-node references allocated densely from 1, so this
+// bound is exactly the number of clock operations the server can execute
+// before answering 503 — ≥ 2³¹−1 at any lane count, including past 63 lanes,
+// where the single packed word of earlier servers could not host the clock
+// at all and it fell back to wide. The engine stays machine-word end to end:
+// the constructor picks the single packed word when the bound fits one
+// (lanes ≤ 2) and the multi-word engine otherwise.
 func clockCapacity(lanes int) int64 {
-	return stronglin.MaxSnapshotBound(lanes)
+	return stronglin.MaxSnapshotBoundWords(lanes, snapWords(lanes))
 }
 
 // newServer builds the serving stack. bound > 0 declares the value domain of
 // the max register and grow-only set (packing their shard cores when the
 // per-shard encoding fits); bound = 0 keeps them wide with the default cap.
 func newServer(lanes, shards int, bound int64) *server {
+	return newServerClock(lanes, shards, bound, clockCapacity(lanes))
+}
+
+// newServerClock is newServer with an explicit clock reference budget; tests
+// use small budgets to drive the 503-past-true-budget path without 2³¹
+// requests.
+func newServerClock(lanes, shards int, bound, clockBudget int64) *server {
 	w := stronglin.NewWorld()
 	maxValue := int64(defaultMaxValue)
 	var valueOpts []stronglin.ShardOption
@@ -165,9 +195,13 @@ func newServer(lanes, shards int, bound int64) *server {
 		snapOpts = append(snapOpts, stronglin.WithSnapshotBound(bound))
 	}
 	var clockOpts []stronglin.SnapshotOption
-	if cap := clockCapacity(lanes); cap > 0 {
-		clockOpts = append(clockOpts, stronglin.WithSnapshotBound(cap))
+	if clockBudget > 0 {
+		clockOpts = append(clockOpts, stronglin.WithSnapshotBound(clockBudget))
 	}
+	// The dedicated multi-word snapshot always declares the word-budget
+	// bound, so it is machine-word-backed at every lane count (k XADD words
+	// past 2 lanes) — the engine the -attack mix drives alongside the
+	// -bound-dependent /snapshot.
 	return &server{
 		lanes:    lanes,
 		shards:   shards,
@@ -177,6 +211,7 @@ func newServer(lanes, shards int, bound int64) *server {
 		maxreg:   stronglin.NewShardedMaxRegister(w, lanes, shards, valueOpts...),
 		gset:     stronglin.NewShardedGSet(w, lanes, shards, valueOpts...),
 		snap:     stronglin.NewSnapshot(w, lanes, snapOpts...),
+		msnap:    stronglin.NewMultiwordSnapshot(w, lanes, snapWords(lanes)),
 		clock:    stronglin.NewLogicalClock(w, lanes, clockOpts...),
 	}
 }
@@ -188,6 +223,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/maxreg", s.maxregHandler)
 	mux.HandleFunc("/gset", s.gsetHandler)
 	mux.HandleFunc("/snapshot", s.snapshotHandler)
+	mux.HandleFunc("/msnapshot", s.msnapshotHandler)
 	mux.HandleFunc("/clock/tick", s.clockTick)
 	mux.HandleFunc("/clock", s.clockGet)
 	mux.HandleFunc("/stats", s.stats)
@@ -306,6 +342,32 @@ func (s *server) snapshotHandler(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// msnapshotHandler serves the multi-word snapshot: the same surface as
+// /snapshot, on the k-XADD engine whatever the lane count (Update: one XADD
+// on the owning word + epoch announce; Scan: lock-free epoch-validated
+// collect). Its bound is the server's word-budget arithmetic (≥ 2³¹−1), far
+// above the request value cap, so in-cap values are always in bound.
+func (s *server) msnapshotHandler(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		v, err := s.queryInt(r, "v")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.pool.With(func(t stronglin.Thread) { s.msnap.Update(t, v) })
+		s.ops.msnapUpdate.Add(1)
+		writeJSON(w, map[string]any{"ok": true})
+	case http.MethodGet:
+		var view []int64
+		s.pool.With(func(t stronglin.Thread) { view = s.msnap.Scan(t) })
+		s.ops.msnapScan.Add(1)
+		writeJSON(w, map[string]any{"view": view})
+	default:
+		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+	}
+}
+
 func (s *server) clockTick(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -343,29 +405,39 @@ func (s *server) clockGet(w http.ResponseWriter, r *http.Request) {
 // statsSnapshot is the /stats document (and the per-endpoint section of the
 // attack report).
 type statsSnapshot struct {
-	Lanes         int   `json:"lanes"`
-	Shards        int   `json:"shards"`
-	MaxValue      int64 `json:"max_value"`
-	CounterPacked bool  `json:"counter_packed"`
-	MaxregPacked  bool  `json:"maxreg_packed"`
-	GSetPacked    bool  `json:"gset_packed"`
-	SnapPacked    bool  `json:"snapshot_packed"`
-	ClockPacked   bool  `json:"clock_packed"`
-	ClockCapacity int64 `json:"clock_capacity"`
-	ClockUsed     int64 `json:"clock_used"`
-	LanesInUse    int   `json:"lanes_in_use"`
-	Acquires      int64 `json:"lease_acquires"`
-	CounterInc    int64 `json:"counter_inc"`
-	CounterRead   int64 `json:"counter_read"`
-	MaxregWrite   int64 `json:"maxreg_write"`
-	MaxregRead    int64 `json:"maxreg_read"`
-	GSetAdd       int64 `json:"gset_add"`
-	GSetHas       int64 `json:"gset_has"`
-	GSetElems     int64 `json:"gset_elems"`
-	SnapUpdate    int64 `json:"snapshot_update"`
-	SnapScan      int64 `json:"snapshot_scan"`
-	ClockTick     int64 `json:"clock_tick"`
-	ClockRead     int64 `json:"clock_read"`
+	Lanes         int    `json:"lanes"`
+	Shards        int    `json:"shards"`
+	MaxValue      int64  `json:"max_value"`
+	CounterPacked bool   `json:"counter_packed"`
+	MaxregPacked  bool   `json:"maxreg_packed"`
+	GSetPacked    bool   `json:"gset_packed"`
+	SnapPacked    bool   `json:"snapshot_packed"`
+	SnapEngine    string `json:"snapshot_engine"`
+	SnapWords     int    `json:"snapshot_words"`
+	MsnapEngine   string `json:"msnapshot_engine"`
+	MsnapWords    int    `json:"msnapshot_words"`
+	// ClockPacked reports a machine-word clock engine — the single packed
+	// word OR the multi-word striping (see ClockEngine for which).
+	ClockPacked   bool   `json:"clock_packed"`
+	ClockEngine   string `json:"clock_engine"`
+	ClockWords    int    `json:"clock_words"`
+	ClockCapacity int64  `json:"clock_capacity"`
+	ClockUsed     int64  `json:"clock_used"`
+	LanesInUse    int    `json:"lanes_in_use"`
+	Acquires      int64  `json:"lease_acquires"`
+	CounterInc    int64  `json:"counter_inc"`
+	CounterRead   int64  `json:"counter_read"`
+	MaxregWrite   int64  `json:"maxreg_write"`
+	MaxregRead    int64  `json:"maxreg_read"`
+	GSetAdd       int64  `json:"gset_add"`
+	GSetHas       int64  `json:"gset_has"`
+	GSetElems     int64  `json:"gset_elems"`
+	SnapUpdate    int64  `json:"snapshot_update"`
+	SnapScan      int64  `json:"snapshot_scan"`
+	MsnapUpdate   int64  `json:"msnapshot_update"`
+	MsnapScan     int64  `json:"msnapshot_scan"`
+	ClockTick     int64  `json:"clock_tick"`
+	ClockRead     int64  `json:"clock_read"`
 }
 
 func (s *server) snapshot() statsSnapshot {
@@ -380,7 +452,13 @@ func (s *server) snapshot() statsSnapshot {
 		MaxregPacked:  s.maxreg.Packed(),
 		GSetPacked:    s.gset.Packed(),
 		SnapPacked:    s.snap.Packed(),
-		ClockPacked:   s.clock.Packed(),
+		SnapEngine:    s.snap.Engine(),
+		SnapWords:     s.snap.Words(),
+		MsnapEngine:   s.msnap.Engine(),
+		MsnapWords:    s.msnap.Words(),
+		ClockPacked:   s.clock.Engine() != "wide",
+		ClockEngine:   s.clock.Engine(),
+		ClockWords:    s.clock.Words(),
 		ClockCapacity: s.clock.Capacity(),
 		ClockUsed:     s.clock.Used(),
 		LanesInUse:    s.pool.InUse(),
@@ -394,6 +472,8 @@ func (s *server) snapshot() statsSnapshot {
 		GSetElems:     s.ops.gsetElems.Load(),
 		SnapUpdate:    s.ops.snapUpdate.Load(),
 		SnapScan:      s.ops.snapScan.Load(),
+		MsnapUpdate:   s.ops.msnapUpdate.Load(),
+		MsnapScan:     s.ops.msnapScan.Load(),
 		ClockTick:     s.ops.clockTick.Load(),
 		ClockRead:     s.ops.clockRead.Load(),
 	}
@@ -570,10 +650,12 @@ func runAttack() error {
 }
 
 // fire issues the i-th request of client c: a 50/50 read/write mix across
-// the four objects (counter, maxreg, gset, snapshot). Written values are
-// taken modulo valCap so they stay inside the target's declared value domain
-// — for the snapshot this means a -bound attack drives the packed Theorem 2
-// word (one XADD per update, one per scan) rather than drowning in 400s.
+// the five objects (counter, maxreg, gset, snapshot, multi-word snapshot).
+// Written values are taken modulo valCap so they stay inside the target's
+// declared value domain — for the snapshot this means a -bound attack drives
+// the packed Theorem 2 word (one XADD per update, one per scan), and the
+// /msnapshot pair always drives the k-XADD engine's announce-completion
+// updates and epoch-validated scans.
 func fire(client *http.Client, target string, c, i int, valCap int64) error {
 	var resp *http.Response
 	var err error
@@ -581,7 +663,7 @@ func fire(client *http.Client, target string, c, i int, valCap int64) error {
 	if xCap > 256 {
 		xCap = 256
 	}
-	switch i % 8 {
+	switch i % 10 {
 	case 0:
 		resp, err = client.Post(target+"/counter/inc", "", nil)
 	case 1:
@@ -596,8 +678,12 @@ func fire(client *http.Client, target string, c, i int, valCap int64) error {
 		resp, err = client.Get(fmt.Sprintf("%s/gset?x=%d", target, int64(c+i)%xCap))
 	case 6:
 		resp, err = client.Post(fmt.Sprintf("%s/snapshot?v=%d", target, int64(c*17+i)%valCap), "", nil)
-	default:
+	case 7:
 		resp, err = client.Get(target + "/snapshot")
+	case 8:
+		resp, err = client.Post(fmt.Sprintf("%s/msnapshot?v=%d", target, int64(c*13+i)%valCap), "", nil)
+	default:
+		resp, err = client.Get(target + "/msnapshot")
 	}
 	if err != nil {
 		return err

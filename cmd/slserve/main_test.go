@@ -85,6 +85,22 @@ func TestEndpoints(t *testing.T) {
 		t.Fatalf("snapshot view = %v, want exactly one component 9", view)
 	}
 
+	// Multi-word snapshot: same surface, k-XADD engine.
+	post("/msnapshot?v=6")
+	mview := get("/msnapshot")["view"].([]any)
+	if len(mview) != 4 {
+		t.Fatalf("msnapshot view has %d components, want 4", len(mview))
+	}
+	sixes := 0
+	for _, c := range mview {
+		if c.(float64) == 6 {
+			sixes++
+		}
+	}
+	if sixes != 1 {
+		t.Fatalf("msnapshot view = %v, want exactly one component 6", mview)
+	}
+
 	// Clock: two ticks then a read (the read is itself an operation, but
 	// reports the tick count).
 	post("/clock/tick")
@@ -100,6 +116,16 @@ func TestEndpoints(t *testing.T) {
 	if got := stats["snapshot_update"].(float64); got != 1 {
 		t.Fatalf("stats snapshot_update = %v, want 1", got)
 	}
+	if got := stats["msnapshot_update"].(float64); got != 1 {
+		t.Fatalf("stats msnapshot_update = %v, want 1", got)
+	}
+	// 4 lanes with the ⌈lanes/2⌉-word budget: 2 words, 31-bit fields.
+	if eng := stats["msnapshot_engine"].(string); eng != "multiword" {
+		t.Fatalf("stats msnapshot_engine = %q, want multiword", eng)
+	}
+	if words := stats["msnapshot_words"].(float64); words != 2 {
+		t.Fatalf("stats msnapshot_words = %v, want 2", words)
+	}
 	if got := stats["clock_tick"].(float64); got != 2 {
 		t.Fatalf("stats clock_tick = %v, want 2", got)
 	}
@@ -107,7 +133,10 @@ func TestEndpoints(t *testing.T) {
 		t.Fatalf("stats clock_used = %v, want 3", got)
 	}
 	if packed := stats["clock_packed"].(bool); !packed {
-		t.Fatal("the clock must always run on the packed snapshot")
+		t.Fatal("the clock must always run on a machine-word snapshot engine")
+	}
+	if eng := stats["clock_engine"].(string); eng != "multiword" {
+		t.Fatalf("stats clock_engine = %q, want multiword at 4 lanes", eng)
 	}
 	if got := stats["lanes_in_use"].(float64); got != 0 {
 		t.Fatalf("stats lanes_in_use = %v, want 0", got)
@@ -132,6 +161,10 @@ func TestBadRequests(t *testing.T) {
 		{http.MethodPost, "/snapshot?v=-1", http.StatusBadRequest},          // negative
 		{http.MethodPost, "/snapshot?v=99999999999", http.StatusBadRequest}, // over maxValue
 		{http.MethodDelete, "/snapshot?v=1", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/msnapshot", http.StatusBadRequest},               // missing v
+		{http.MethodPost, "/msnapshot?v=-1", http.StatusBadRequest},          // negative
+		{http.MethodPost, "/msnapshot?v=99999999999", http.StatusBadRequest}, // over maxValue
+		{http.MethodDelete, "/msnapshot?v=1", http.StatusMethodNotAllowed},
 		{http.MethodGet, "/clock/tick", http.StatusMethodNotAllowed},
 		{http.MethodPost, "/clock", http.StatusMethodNotAllowed},
 	} {
@@ -300,22 +333,27 @@ func TestConcurrentClients(t *testing.T) {
 	var out map[string]any
 	json.NewDecoder(resp.Body).Decode(&out)
 	resp.Body.Close()
-	// Each client's i%8==0 requests increment: i in 0..24 hits 0,8,16,24 —
-	// 4 per client.
-	want := float64(clients * 4)
+	// Each client's i%10==0 requests increment: i in 0..24 hits 0,10,20 —
+	// 3 per client.
+	want := float64(clients * 3)
 	if got := out["value"].(float64); got != want {
 		t.Fatalf("counter after load = %v, want %v", got, want)
 	}
 }
 
-// TestClockCapacityExhaustion: a tiny-lane server still has a finite clock
-// budget; requests past it get 503 (the budget is spent, the server is not
-// broken: every other endpoint keeps answering).
+// TestClockCapacityExhaustion: the clock's budget is finite; requests past
+// the TRUE budget — and only past it — get 503 (the budget is spent, the
+// server is not broken: every other endpoint keeps answering). The
+// production budget is ≥ 2³¹−1, so the test injects a 3-op budget through
+// newServerClock — at 64 lanes, proving the gate works on the multi-word
+// engine past the old 63-lane ceiling.
 func TestClockCapacityExhaustion(t *testing.T) {
-	// 31 lanes -> 63/31 = 2-bit fields -> capacity 3.
-	srv := newServer(31, 1, 0)
+	srv := newServerClock(64, 1, 0, 3)
 	if got := srv.clock.Capacity(); got != 3 {
 		t.Fatalf("clock capacity = %d, want 3", got)
+	}
+	if eng := srv.clock.Engine(); eng != "multiword" {
+		t.Fatalf("64-lane clock engine = %s, want multiword", eng)
 	}
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
@@ -348,14 +386,21 @@ func TestClockCapacityExhaustion(t *testing.T) {
 	}
 }
 
-// TestClockWideFallbackPast63Lanes: with more lanes than any reference bound
-// can pack, the clock must serve wide and unbounded — never with a zero
-// budget that would 503 every request from the start.
-func TestClockWideFallbackPast63Lanes(t *testing.T) {
+// TestClockPackedPast63Lanes: past 63 lanes — where no single-word reference
+// bound exists and earlier servers fell back to a wide unbounded clock — the
+// multi-word engine keeps the clock machine-word-backed, with the 2³¹−1
+// budget the server's word-budget arithmetic grants (⌈lanes/2⌉ words =
+// 31-bit reference fields).
+func TestClockPackedPast63Lanes(t *testing.T) {
 	srv := newServer(64, 1, 0)
-	if srv.clock.Packed() || srv.clock.Capacity() != -1 {
-		t.Fatalf("64-lane clock packed = %v, capacity = %d; want wide and unbounded",
-			srv.clock.Packed(), srv.clock.Capacity())
+	if eng := srv.clock.Engine(); eng != "multiword" {
+		t.Fatalf("64-lane clock engine = %s, want multiword", eng)
+	}
+	if got, want := srv.clock.Capacity(), int64(1)<<31-1; got != want {
+		t.Fatalf("64-lane clock capacity = %d, want %d", got, want)
+	}
+	if words := srv.clock.Words(); words != 32 {
+		t.Fatalf("64-lane clock words = %d, want 32", words)
 	}
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
@@ -366,5 +411,15 @@ func TestClockWideFallbackPast63Lanes(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("64-lane clock tick: status %d", resp.StatusCode)
+	}
+	var stats statsSnapshot
+	if resp, err = http.Get(ts.URL + "/stats"); err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if !stats.ClockPacked || stats.ClockEngine != "multiword" {
+		t.Fatalf("stats clock engine = (%v, %q), want machine-word multiword",
+			stats.ClockPacked, stats.ClockEngine)
 	}
 }

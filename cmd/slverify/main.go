@@ -152,6 +152,21 @@ func arrows() []arrow {
 			},
 		},
 		{
+			object: "multiword-snapshot", from: "k x fetch&add int64", progress: "lock-free", theorem: "Thm 2+",
+			procs: 3, spec: spec.Snapshot{},
+			setup: func(w *sim.World) []sim.Program {
+				// 3 components x 22-bit fields: 2 lanes/word x 2 XADD words
+				// plus the announce-completion epoch word — the engine that
+				// lifts the single word's 63-bit ceiling. Scans are
+				// epoch-validated collects (lock-free); updates stay
+				// wait-free single XADDs.
+				s := core.NewFASnapshot(w, "s", 3, core.WithSnapshotBound(1<<22-1))
+				return []sim.Program{
+					{opUpdate(s, 0, 1)}, {opUpdate(s, 1, 2)}, {opScan(s)},
+				}
+			},
+		},
+		{
 			object: "counter (simple type)", from: "snapshot", progress: "wait-free", theorem: "Thm 3/4",
 			procs: 3, spec: spec.Counter{},
 			setup: func(w *sim.World) []sim.Program {
@@ -173,6 +188,20 @@ func arrows() []arrow {
 				return []sim.Program{
 					{opExec(o, spec.MkOp(spec.MethodInc))},
 					{opExec(o, spec.MkOp(spec.MethodDec))},
+					{opExec(o, spec.MkOp(spec.MethodRead))},
+				}
+			},
+		},
+		{
+			object: "multiword-simple", from: "multiword snapshot", progress: "wait-free", theorem: "Thm 3/4",
+			procs: 2, spec: spec.Counter{},
+			setup: func(w *sim.World) []sim.Program {
+				// Algorithm 1 with the multi-word snapshot substituted:
+				// graph-node references stripe across 2 XADD words (32-bit
+				// fields, one reference lane per word).
+				o := core.NewSimpleObjectFromFA(w, "cm", core.SimpleCounter{}, 2, core.WithSnapshotBound(1<<32-1))
+				return []sim.Program{
+					{opExec(o, spec.MkOp(spec.MethodInc))},
 					{opExec(o, spec.MkOp(spec.MethodRead))},
 				}
 			},

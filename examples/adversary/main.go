@@ -39,6 +39,12 @@ func main() {
 		packed.String(),
 		"distribution preserved")
 
+	multi := stronglin.PlayAdversary(stronglin.AdversaryVsStrongMultiword, trials, 4)
+	fmt.Printf("%-52s %-12s %s\n",
+		"multi-word k-XADD snapshot (epoch scans, s.lin.)",
+		multi.String(),
+		"distribution preserved")
+
 	weak := stronglin.PlayAdversary(stronglin.AdversaryVsLinearizable, trials, 2)
 	fmt.Printf("%-52s %-12s %s\n",
 		"Afek et al. snapshot (linearizable only)",

@@ -66,6 +66,13 @@ const (
 	// values fit a small bound, so the packed word hosts the identical
 	// single-fetch&add step structure — and must show the identical 1/2 rate.
 	PackedFASnapshot
+	// MultiwordFASnapshot is the snapshot on its multi-word engine: 3
+	// components striped over 2 XADD words plus the announce-completion epoch
+	// word. Scans are epoch-validated combining reads rather than single
+	// fetch&adds, but the engine is strongly linearizable, so the adversary's
+	// win rate must still be pinned at 1/2 — the scanner's view relative to a
+	// COMPLETED (announced) update is committed before the coin exists.
+	MultiwordFASnapshot
 )
 
 func (k SnapshotKind) String() string {
@@ -76,6 +83,8 @@ func (k SnapshotKind) String() string {
 		return "afek-snapshot (linearizable only)"
 	case PackedFASnapshot:
 		return "packed-fa-snapshot (strongly linearizable)"
+	case MultiwordFASnapshot:
+		return "multiword-fa-snapshot (strongly linearizable)"
 	default:
 		return "unknown"
 	}
@@ -112,6 +121,10 @@ func playOnce(kind SnapshotKind, coin int) bool {
 		case PackedFASnapshot:
 			// Values 1..3 need 2-bit fields: 3 lanes x 2 = 6 bits, packs.
 			snap = core.NewFASnapshot(w, "snap", 3, core.WithSnapshotBound(3))
+		case MultiwordFASnapshot:
+			// A 22-bit bound forces 2 lanes/word x 2 words for 3 lanes (3 x 22
+			// = 66 > 63 rules out the single packed word).
+			snap = core.NewFASnapshot(w, "snap", 3, core.WithSnapshotBound(1<<22-1))
 		case AfekSnapshot:
 			snap = baseline.NewAfekSnapshot(w, "snap", 3)
 		}
@@ -160,6 +173,19 @@ func playOnce(kind SnapshotKind, coin int) bool {
 			rep(1, 2), // p1: update(1)
 			rep(1, 1), // p1: flip
 			rep(0, 2), // p0: scan
+		)
+	case MultiwordFASnapshot:
+		// Same adversary strategy on the multi-word engine's step structure:
+		// an update is invoke + word XADD + epoch announce (3 steps), a scan
+		// is invoke + epoch read + 2 word reads + validating epoch read (5
+		// steps — no retries here, since no announce lands inside the
+		// window). update(1) is complete (announced) before the scan starts,
+		// so the validated view contains it on both coin branches: 1/2.
+		schedule = concat(
+			rep(2, 6), // p2: both updates
+			rep(1, 3), // p1: update(1)
+			rep(1, 1), // p1: flip
+			rep(0, 5), // p0: scan
 		)
 	case AfekSnapshot:
 		// Drive to the fork of the strong-linearizability counterexample:

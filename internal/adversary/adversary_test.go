@@ -33,6 +33,17 @@ func TestAdversaryBoundedAgainstPackedFASnapshot(t *testing.T) {
 	}
 }
 
+// The multi-word engine's epoch-validated scans must preserve the
+// hyperproperty too: update(1) has announced before the scan's window opens,
+// so the validated view contains it whatever the coin — the adversary stays
+// at 1/2.
+func TestAdversaryBoundedAgainstMultiwordFASnapshot(t *testing.T) {
+	out := Play(MultiwordFASnapshot, 2000, 5)
+	if math.Abs(out.Rate()-0.5) > 0.05 {
+		t.Fatalf("adversary win rate vs multi-word fetch&add snapshot = %s, want ≈ 0.50", out)
+	}
+}
+
 func TestOutcomeString(t *testing.T) {
 	o := Outcome{Trials: 4, Matches: 3}
 	if got := o.String(); got != "3/4 (0.75)" {

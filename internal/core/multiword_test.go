@@ -1,0 +1,523 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stronglin/internal/history"
+	"stronglin/internal/prim"
+	"stronglin/internal/sim"
+	"stronglin/internal/spec"
+)
+
+// The multi-word snapshot engine stripes components across k XADD words plus
+// an announce-completion epoch word, lifting the single packed word's
+// n x bitWidth(maxValue) <= 63 ceiling. It is verified the same three ways
+// as the packed cores — exhaustive strong-linearizability model checks on
+// bounded configurations (2 words x 2-3 procs x 1-2 ops), differential
+// fuzzing against the wide register as oracle, randomized linearizability
+// stress under real concurrency — plus the negative exhibit the design rests
+// on: the SAME collect without epoch validation is not even linearizable.
+
+// mwBound3 stripes 3 lanes over 2 words: FieldWidth = 22, 2 lanes/word.
+const mwBound3 = int64(1)<<22 - 1
+
+// mwBound2 stripes 2 lanes over 2 words: FieldWidth = 32, 1 lane/word.
+const mwBound2 = int64(1)<<32 - 1
+
+func TestMultiwordSelection(t *testing.T) {
+	w := sim.NewSoloWorld()
+	for _, c := range []struct {
+		name  string
+		n     int
+		bound int64
+		words int
+	}{
+		{"m8", 8, 1<<15 - 1, 2},             // 8 x 15 bits: 4 lanes/word x 2 words
+		{"m16", 16, 1<<15 - 1, 4},           // 16 x 15 bits: 4 words
+		{"m3", 3, mwBound3, 2},              // 3 x 22 bits: 2 words
+		{"m64", 64, 3, 3},                   // past 63 lanes entirely: 31 lanes/word
+		{"mmax", 2, math.MaxInt64, 2},       // full-width fields: 1 lane/word
+		{"m100", 100, int64(1)<<31 - 1, 50}, // 31-bit refs at 100 lanes
+	} {
+		s := NewFASnapshot(w, c.name, c.n, WithSnapshotBound(c.bound))
+		if !s.Multiword() || s.Packed() || s.Engine() != "multiword" {
+			t.Errorf("%s: engine = %s, want multiword", c.name, s.Engine())
+			continue
+		}
+		if s.Words() != c.words {
+			t.Errorf("%s: words = %d, want %d", c.name, s.Words(), c.words)
+		}
+	}
+	// A bound that fits one word still prefers the cheaper wait-free engine.
+	if s := NewFASnapshot(w, "single", 4, WithSnapshotBound(1<<15-1)); !s.Packed() || s.Multiword() {
+		t.Error("single-word-fitting bound must select the packed engine")
+	}
+	// No bound: the wide register remains the only unbounded substrate.
+	if s := NewFASnapshot(w, "wide", 4); s.Engine() != "wide" || s.Words() != 0 {
+		t.Errorf("unbounded engine = %s, words = %d; want wide, 0", s.Engine(), s.Words())
+	}
+}
+
+// TestMultiwordSnapshotSequential mirrors TestPackedSnapshotSequential on the
+// multi-word engine, with the lanes deliberately spanning both words.
+func TestMultiwordSnapshotSequential(t *testing.T) {
+	w := sim.NewSoloWorld()
+	s := NewFASnapshot(w, "snap", 3, WithSnapshotBound(mwBound3))
+	if !s.Multiword() || s.Words() != 2 {
+		t.Fatalf("engine = %s x %d words, want multiword x 2", s.Engine(), s.Words())
+	}
+	if got := spec.RespVec(s.Scan(sim.SoloThread(0))); got != "[0 0 0]" {
+		t.Fatalf("initial scan = %s", got)
+	}
+	s.Update(sim.SoloThread(2), 7) // lane 2: second word
+	s.Update(sim.SoloThread(0), 3) // lane 0: first word
+	if got := spec.RespVec(s.Scan(sim.SoloThread(1))); got != "[3 0 7]" {
+		t.Fatalf("scan = %s", got)
+	}
+	s.Update(sim.SoloThread(2), 1) // smaller value: negative field delta
+	if got := spec.RespVec(s.Scan(sim.SoloThread(1))); got != "[3 0 1]" {
+		t.Fatalf("scan = %s", got)
+	}
+	s.Update(sim.SoloThread(2), 1) // same value: single XADD(0), no announce
+	if got := spec.RespVec(s.Scan(sim.SoloThread(1))); got != "[3 0 1]" {
+		t.Fatalf("scan = %s", got)
+	}
+	s.Update(sim.SoloThread(0), 0) // zero clears the field
+	if got := spec.RespVec(s.Scan(sim.SoloThread(1))); got != "[0 0 1]" {
+		t.Fatalf("scan = %s", got)
+	}
+	s.Update(sim.SoloThread(1), mwBound3) // full-width value at a word boundary lane
+	if got := s.Scan(sim.SoloThread(0))[1]; got != mwBound3 {
+		t.Fatalf("component 1 = %d, want %d", got, mwBound3)
+	}
+	if width := s.Width(sim.SoloThread(0)); width < 1 || width > 2*63 {
+		t.Fatalf("multi-word Width = %d, want within (0, 126]", width)
+	}
+}
+
+func TestMultiwordSnapshotRejectsOverBound(t *testing.T) {
+	w := sim.NewSoloWorld()
+	s := NewFASnapshot(w, "snap", 2, WithSnapshotBound(mwBound2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Update beyond the multi-word bound did not panic")
+		}
+	}()
+	s.Update(sim.SoloThread(0), mwBound2+1)
+}
+
+func TestMultiwordScanIntoLengthMismatch(t *testing.T) {
+	w := sim.NewSoloWorld()
+	s := NewFASnapshot(w, "snap", 3, WithSnapshotBound(mwBound3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScanInto with a short view did not panic")
+		}
+	}()
+	s.ScanInto(sim.SoloThread(0), make([]int64, 2))
+}
+
+// --- exhaustive strong-linearizability model checks --------------------------
+//
+// 2 words x 2-3 procs x 1-2 ops: multi-word operations take several scheduler
+// steps (update: word XADD + announce; scan: epoch, k words, epoch, plus
+// retries), so the configurations are kept a notch smaller than the
+// single-fetch&add engines' to stay within the exploration cap.
+
+func TestMultiwordSnapshotStrongLinTwoUpdatersOneScanner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check; skipped in -short mode")
+	}
+	setup := func(w *sim.World) []sim.Program {
+		s := NewFASnapshot(w, "snap", 3, WithSnapshotBound(mwBound3)) // 2 words
+		return []sim.Program{
+			{opUpdate(s, 0, 1)},
+			{opUpdate(s, 1, 2)},
+			{opScan(s)},
+		}
+	}
+	verifySL(t, 3, setup, spec.Snapshot{})
+}
+
+// TestMultiwordSnapshotStrongLinCrossWord puts the updaters on DIFFERENT
+// words (1 lane per word): the interleavings where a collect reads one word
+// before an update and the other after are exactly the ones the epoch
+// validation must catch.
+func TestMultiwordSnapshotStrongLinCrossWord(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check; skipped in -short mode")
+	}
+	setup := func(w *sim.World) []sim.Program {
+		s := NewFASnapshot(w, "snap", 2, WithSnapshotBound(mwBound2)) // 1 lane/word
+		return []sim.Program{
+			{opUpdate(s, 0, 1), opScan(s)},
+			{opUpdate(s, 1, 2), opScan(s)},
+		}
+	}
+	verifySL(t, 2, setup, spec.Snapshot{})
+}
+
+func TestMultiwordSnapshotStrongLinOverwrites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check; skipped in -short mode")
+	}
+	// The same component written twice, concurrent with two scans: exercises
+	// negative field deltas and scan retries under repeated announces.
+	setup := func(w *sim.World) []sim.Program {
+		s := NewFASnapshot(w, "snap", 2, WithSnapshotBound(mwBound2))
+		return []sim.Program{
+			{opUpdate(s, 0, 3), opUpdate(s, 0, 1)},
+			{opScan(s), opScan(s)},
+		}
+	}
+	verifySL(t, 2, setup, spec.Snapshot{})
+}
+
+func TestMultiwordSnapshotStrongLinSameValueUpdate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check; skipped in -short mode")
+	}
+	setup := func(w *sim.World) []sim.Program {
+		s := NewFASnapshot(w, "snap", 2, WithSnapshotBound(mwBound2))
+		return []sim.Program{
+			{opUpdate(s, 0, 2), opUpdate(s, 0, 2)},
+			{opScan(s), opScan(s)},
+		}
+	}
+	verifySL(t, 2, setup, spec.Snapshot{})
+}
+
+// TestMultiwordNaiveScanNotLinearizable is the negative exhibit the engine's
+// design rests on (and the reason a multi-word snapshot is not just "k packed
+// snapshots"): the SAME k-word collect WITHOUT epoch validation is not even
+// linearizable. With one lane per word, a collect can read lane 0's word
+// before an update(1) that then COMPLETES, after which a later update(2) on
+// lane 1's word lands and is read — the view contains the later update but
+// not the earlier completed one, which no legal ordering explains. This is
+// the multi-register analogue of the sharded max register's broken
+// single-collect, and the reason naive combining reads fail the paper's
+// program (cf. the impossibility companion on consistent refereeing).
+func TestMultiwordNaiveScanNotLinearizable(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		s := NewFASnapshot(w, "snap", 3, WithSnapshotBound(mwBound2)) // FieldWidth 32: 1 lane/word, 3 words
+		naive := sim.Op{
+			Name: "scan-naive()",
+			Spec: spec.MkOp(spec.MethodScan),
+			Run: func(th prim.Thread) string {
+				return spec.RespVec(s.scanNaiveInto(th, make([]int64, 3)))
+			},
+		}
+		return []sim.Program{
+			{opUpdate(s, 0, 1)}, // word 0
+			{opUpdate(s, 1, 2)}, // word 1
+			{naive},
+		}
+	}
+	v, err := history.Verify(3, setup, spec.Snapshot{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Linearizable {
+		t.Fatal("the unvalidated multi-word collect must NOT be linearizable")
+	}
+	if v.StrongLin.Ok {
+		t.Fatal("the unvalidated multi-word collect must NOT be strongly linearizable")
+	}
+	t.Logf("naive collect counterexample: %s", v.LinViolation)
+}
+
+// --- linearization-point certificates ----------------------------------------
+
+// TestMultiwordUpdateCertificate: updates keep a fixed own-step linearization
+// point — the XADD on the owning word, marked before the announce — so
+// update-only trees certify linearly, exactly like the single-register
+// engines.
+func TestMultiwordUpdateCertificate(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		s := NewFASnapshot(w, "snap", 2, WithSnapshotBound(mwBound2))
+		return []sim.Program{
+			{opUpdate(s, 0, 1), opUpdate(s, 0, 3)},
+			{opUpdate(s, 1, 2)},
+		}
+	}
+	tree, err := sim.Explore(2, setup, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := history.CheckLinPointCertificate(tree, spec.Snapshot{}); !res.Ok {
+		t.Fatalf("update-only certificate rejected: %s", res.Failure)
+	}
+}
+
+// TestMultiwordScanDeclinesCertificate pins a deliberate design point: the
+// multi-word Scan declares NO linearization-point mark, because no fixed
+// own-step mark is valid — whether a concurrent not-yet-announced update is
+// in the view depends on the update's XADD timing relative to the scan's
+// read of that one word, so neither the validating epoch read nor any other
+// own step orders the scan against updates' marked XADDs on every execution
+// (the same reason internal/shard's combining reads carry no certificates).
+// The certificate checker therefore rejects mixed trees with a missing-mark
+// failure, and strong linearizability of the multi-word engine rests on the
+// game checker (the positive tests above).
+func TestMultiwordScanDeclinesCertificate(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		s := NewFASnapshot(w, "snap", 2, WithSnapshotBound(mwBound2))
+		return []sim.Program{
+			{opUpdate(s, 0, 1)},
+			{opScan(s)},
+		}
+	}
+	tree, err := sim.Explore(2, setup, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := history.CheckLinPointCertificate(tree, spec.Snapshot{})
+	if res.Ok {
+		t.Fatal("a tree with a multi-word scan must not certify by fixed marks")
+	}
+	t.Logf("certificate correctly rejected: %s", res.Failure)
+}
+
+// --- Algorithm 1 over the multi-word snapshot --------------------------------
+
+// TestMultiwordSimpleCounterStrongLin: the Theorem 4 composition with the
+// multi-word snapshot substituted — graph-node references stripe across two
+// XADD words (1 reference lane per word). One operation per process: each
+// Execute is a validated scan plus a publishing update, ~7 scheduler steps.
+func TestMultiwordSimpleCounterStrongLin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check; skipped in -short mode")
+	}
+	setup := func(w *sim.World) []sim.Program {
+		o := NewSimpleObjectFromFA(w, "ctr", SimpleCounter{}, 2, WithSnapshotBound(mwBound2))
+		if o.SnapshotEngine() != "multiword" {
+			t.Fatal("config must select the multi-word engine")
+		}
+		return []sim.Program{
+			{opExecute(o, spec.MkOp(spec.MethodInc))},
+			{opExecute(o, spec.MkOp(spec.MethodRead))},
+		}
+	}
+	verifySL(t, 2, setup, spec.Counter{})
+}
+
+func TestMultiwordSimpleClockStrongLin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check; skipped in -short mode")
+	}
+	setup := func(w *sim.World) []sim.Program {
+		o := NewSimpleObjectFromFA(w, "clk", SimpleLogicalClock{}, 2, WithSnapshotBound(mwBound2))
+		return []sim.Program{
+			{opExecute(o, spec.MkOp(spec.MethodTick))},
+			{opExecute(o, spec.MkOp(spec.MethodRead))},
+		}
+	}
+	verifySL(t, 2, setup, spec.LogicalClock{})
+}
+
+// TestMultiwordSimpleTypesPast63Lanes: the serving payoff — Algorithm 1
+// objects at lane counts no single word can host, still machine-word-backed
+// (clock, counter-with-read, max-with-read: the full simple-type trio).
+func TestMultiwordSimpleTypesPast63Lanes(t *testing.T) {
+	w := sim.NewSoloWorld()
+	refs := int64(1)<<31 - 1 // 31-bit reference budget
+
+	clk := NewLogicalClockFromFA(w, "clk", 64, WithSnapshotBound(refs))
+	if clk.Engine() != "multiword" || clk.Packed() {
+		t.Fatalf("64-lane clock engine = %s, want multiword", clk.Engine())
+	}
+	if clk.Capacity() != refs {
+		t.Fatalf("64-lane clock capacity = %d, want %d", clk.Capacity(), refs)
+	}
+	clk.Tick(sim.SoloThread(63))
+	clk.Tick(sim.SoloThread(0))
+	if got := clk.Read(sim.SoloThread(17)); got != 2 {
+		t.Fatalf("64-lane clock = %d, want 2", got)
+	}
+
+	ctr := NewCounterFromFA(w, "ctr", 100, WithSnapshotBound(refs))
+	if ctr.Engine() != "multiword" || ctr.Words() != 50 {
+		t.Fatalf("100-lane counter engine = %s x %d, want multiword x 50", ctr.Engine(), ctr.Words())
+	}
+	if err := ctr.TryInc(sim.SoloThread(99)); err != nil {
+		t.Fatal(err)
+	}
+	ctr.Inc(sim.SoloThread(42))
+	ctr.Dec(sim.SoloThread(0))
+	if got, err := ctr.TryRead(sim.SoloThread(7)); err != nil || got != 1 {
+		t.Fatalf("100-lane counter TryRead = (%d, %v), want (1, nil)", got, err)
+	}
+	if got := ctr.Used(); got != 4 {
+		t.Fatalf("counter Used = %d, want 4", got)
+	}
+
+	max := NewMaxFromFA(w, "max", 70, WithSnapshotBound(refs))
+	if max.Engine() != "multiword" {
+		t.Fatalf("70-lane max engine = %s, want multiword", max.Engine())
+	}
+	max.WriteMax(sim.SoloThread(69), 41)
+	if err := max.TryWriteMax(sim.SoloThread(1), 12); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := max.TryReadMax(sim.SoloThread(33)); err != nil || got != 41 {
+		t.Fatalf("70-lane max TryReadMax = (%d, %v), want (41, nil)", got, err)
+	}
+}
+
+// TestMultiwordSimpleObjectCapacity: the reference budget still gates
+// operations past 63 lanes — TryExecute refuses cleanly at the bound.
+func TestMultiwordSimpleObjectCapacity(t *testing.T) {
+	w := sim.NewSoloWorld()
+	c := NewLogicalClockFromFA(w, "clk", 64, WithSnapshotBound(3)) // 2-bit refs, 31 lanes/word
+	if c.Engine() != "multiword" || c.Capacity() != 3 {
+		t.Fatalf("engine = %s, capacity = %d; want multiword with capacity 3", c.Engine(), c.Capacity())
+	}
+	th := sim.SoloThread(40)
+	for i := 0; i < 3; i++ {
+		if err := c.TryTick(th); err != nil {
+			t.Fatalf("tick %d: %v", i, err)
+		}
+	}
+	if err := c.TryTick(th); err != ErrCapacityExhausted {
+		t.Fatalf("over-capacity TryTick error = %v, want ErrCapacityExhausted", err)
+	}
+}
+
+// --- differential fuzz: multi-word vs the wide oracle ------------------------
+
+func FuzzMultiwordVsWideSnapshot(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{250, 125, 60, 30, 15, 7, 3, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const lanes, bound = 8, 255 // FieldWidth 8: 7 lanes/word x 2 words
+		w := sim.NewSoloWorld()
+		multi := NewFASnapshot(w, "m", lanes, WithSnapshotBound(bound))
+		wide := NewFASnapshot(w, "w", lanes)
+		if !multi.Multiword() {
+			t.Fatal("fuzz config must stripe")
+		}
+		for _, b := range data {
+			th := sim.SoloThread(int(b) % lanes)
+			if b%2 == 0 {
+				v := int64(b)
+				multi.Update(th, v)
+				wide.Update(th, v)
+			} else if p, v := multi.Scan(th), wide.Scan(th); !reflect.DeepEqual(p, v) {
+				t.Fatalf("multi-word Scan = %v, wide Scan = %v", p, v)
+			}
+		}
+		th := sim.SoloThread(0)
+		if p, v := multi.Scan(th), wide.Scan(th); !reflect.DeepEqual(p, v) {
+			t.Fatalf("final multi-word Scan = %v, wide Scan = %v", p, v)
+		}
+	})
+}
+
+// --- randomized stress under real goroutine concurrency ----------------------
+
+func TestMultiwordSnapshotRealWorldStress(t *testing.T) {
+	w := prim.NewRealWorld()
+	const procs = 4
+	s := NewFASnapshot(w, "snap", procs, WithSnapshotBound(mwBound2)) // 1 lane/word x 4 words
+	if !s.Multiword() {
+		t.Fatal("stress config must stripe")
+	}
+	rngs := make([]*rand.Rand, procs)
+	for p := range rngs {
+		rngs[p] = rand.New(rand.NewSource(int64(p) + 53))
+	}
+	h := history.Stress(history.StressConfig{
+		Procs:      procs,
+		OpsPerProc: 25,
+		Gen: func(p, i int) history.StressOp {
+			if rngs[p].Intn(2) == 0 {
+				v := int64(rngs[p].Intn(1 << 16))
+				return history.StressOp{
+					Op: spec.MkOp(spec.MethodUpdate, int64(p), v),
+					Run: func(t prim.Thread) string {
+						s.Update(t, v)
+						return spec.RespOK
+					},
+				}
+			}
+			return history.StressOp{
+				Op:  spec.MkOp(spec.MethodScan),
+				Run: func(t prim.Thread) string { return spec.RespVec(s.Scan(t)) },
+			}
+		},
+	})
+	if res := history.CheckLinearizable(h, spec.Snapshot{}); !res.Ok {
+		t.Fatalf("stress history not linearizable: %s", h.String())
+	}
+}
+
+// TestMultiwordScanNeverBlocksUnderUpdates is the race-stress liveness check:
+// scans must keep completing (lock-free, with the writer-backoff hint
+// engaged) while every other lane updates continuously. Run under -race in
+// CI, this is also the data-race gate for the epoch/backoff machinery.
+func TestMultiwordScanNeverBlocksUnderUpdates(t *testing.T) {
+	w := prim.NewRealWorld()
+	const lanes = 4
+	s := NewFASnapshot(w, "snap", lanes, WithSnapshotBound(mwBound2))
+	if !s.Multiword() {
+		t.Fatal("config must stripe")
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for p := 1; p < lanes; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			th := prim.RealThread(p)
+			for v := int64(0); !stop.Load(); v++ {
+				s.Update(th, v%1024)
+			}
+		}(p)
+	}
+	th := prim.RealThread(0)
+	view := make([]int64, lanes)
+	deadline := time.Now().Add(200 * time.Millisecond)
+	scans := 0
+	for time.Now().Before(deadline) {
+		s.ScanInto(th, view)
+		for i := 1; i < lanes; i++ {
+			if view[i] < 0 || view[i] >= 1024 {
+				t.Errorf("scan saw impossible component %d = %d", i, view[i])
+			}
+		}
+		scans++
+	}
+	stop.Store(true)
+	wg.Wait()
+	if scans == 0 {
+		t.Fatal("no scan completed under concurrent updates")
+	}
+	t.Logf("%d scans completed under 3 continuous updaters", scans)
+}
+
+// TestMultiwordOpsAllocFree pins the 0 allocs/op contract of the hot path:
+// Update (XADD + announce) and ScanInto (epoch-validated gather) allocate
+// nothing in steady state.
+func TestMultiwordOpsAllocFree(t *testing.T) {
+	w := prim.NewRealWorld()
+	const lanes = 8
+	s := NewFASnapshot(w, "snap", lanes, WithSnapshotBound(1<<15-1))
+	if !s.Multiword() {
+		t.Fatal("config must stripe")
+	}
+	th := prim.RealThread(0)
+	var v int64
+	if allocs := testing.AllocsPerRun(200, func() { v++; s.Update(th, v%100) }); allocs != 0 {
+		t.Fatalf("multi-word Update allocates %.1f per op, want 0", allocs)
+	}
+	view := make([]int64, lanes)
+	if allocs := testing.AllocsPerRun(200, func() { s.ScanInto(th, view) }); allocs != 0 {
+		t.Fatalf("multi-word ScanInto allocates %.1f per op, want 0", allocs)
+	}
+}

@@ -421,17 +421,18 @@ func TestPackedSnapshotSelectionAndFallback(t *testing.T) {
 	if s := NewFASnapshot(w, "sw", 3); s.Packed() {
 		t.Error("unbounded snapshot packed")
 	}
-	// 4 lanes x FieldWidth(2^15)=16 bits = 64 > 63: falls back.
-	if s := NewFASnapshot(w, "sw2", 4, WithSnapshotBound(1<<15)); s.Packed() {
-		t.Error("snapshot with unfitting bound did not fall back to wide")
+	// 4 lanes x FieldWidth(2^15)=16 bits = 64 > 63: past the single word —
+	// since PR 4 that selects the multi-word engine, not the wide register.
+	if s := NewFASnapshot(w, "sw2", 4, WithSnapshotBound(1<<15)); s.Packed() || !s.Multiword() {
+		t.Error("snapshot with over-ceiling bound did not select the multi-word engine")
 	}
 	// 4 lanes x FieldWidth(2^15-1)=15 bits = 60 <= 63: packs.
 	if s := NewFASnapshot(w, "sp2", 4, WithSnapshotBound(1<<15-1)); !s.Packed() {
 		t.Error("snapshot with fitting 15-bit bound did not pack")
 	}
-	// Huge bounds fall back without truncation surprises.
-	if s := NewFASnapshot(w, "shuge", 2, WithSnapshotBound(1<<40)); s.Packed() {
-		t.Error("snapshot with huge bound did not fall back to wide")
+	// Huge bounds stripe across words without truncation surprises.
+	if s := NewFASnapshot(w, "shuge", 2, WithSnapshotBound(1<<40)); s.Packed() || !s.Multiword() {
+		t.Error("snapshot with huge bound did not select the multi-word engine")
 	}
 	// A single lane packs up to the full 63-bit budget.
 	if s := NewFASnapshot(w, "s1", 1, WithSnapshotBound(1<<62)); !s.Packed() {
@@ -485,13 +486,14 @@ func TestPackedSnapshotRejectsOverBound(t *testing.T) {
 }
 
 // TestSnapshotWideFallbackBoundEnforced: the declared bound must be enforced
-// even when the encoding falls back to the wide register, uniformly with the
-// other bounded cores.
+// even when the encoding exceeds the single packed word — since PR 4 that
+// configuration runs on the multi-word engine, uniformly with the other
+// bounded cores.
 func TestSnapshotWideFallbackBoundEnforced(t *testing.T) {
 	w := sim.NewSoloWorld()
-	s := NewFASnapshot(w, "snap", 4, WithSnapshotBound(1<<15)) // 4 x 16 = 64: wide
-	if s.Packed() {
-		t.Fatal("config must fall back to wide")
+	s := NewFASnapshot(w, "snap", 4, WithSnapshotBound(1<<15)) // 4 x 16 = 64: 2 words
+	if s.Packed() || !s.Multiword() {
+		t.Fatal("config must select the multi-word engine")
 	}
 	th := sim.SoloThread(1)
 	s.Update(th, 1<<15)

@@ -130,13 +130,34 @@ func NewSimpleObjectFromFA(w prim.World, name string, typ SimpleType, n int, opt
 	return NewSimpleObject(typ, NewFASnapshot(w, name+".snap", n, opts...), n)
 }
 
-// SnapshotPacked reports whether the underlying snapshot runs on the packed
-// machine word.
+// SnapshotPacked reports whether the underlying snapshot runs on a single
+// packed machine word.
 func (o *SimpleObject) SnapshotPacked() bool {
 	if p, ok := o.snap.(interface{ Packed() bool }); ok {
 		return p.Packed()
 	}
 	return false
+}
+
+// SnapshotEngine names the underlying snapshot's register substrate
+// ("packed", "multiword" or "wide"; "wide" when the snapshot does not report
+// one). A "multiword" simple object is how Algorithm 1 exceeds 63 lanes of
+// packed reference budget: the reference domain stripes across k XADD words
+// instead of shrinking to fit one.
+func (o *SimpleObject) SnapshotEngine() string {
+	if e, ok := o.snap.(interface{ Engine() string }); ok {
+		return e.Engine()
+	}
+	return "wide"
+}
+
+// SnapshotWords returns the number of machine words holding the snapshot's
+// components (0 on the wide register).
+func (o *SimpleObject) SnapshotWords() int {
+	if e, ok := o.snap.(interface{ Words() int }); ok {
+		return e.Words()
+	}
+	return 0
 }
 
 // Capacity returns the lifetime operation budget imposed by the snapshot

@@ -140,6 +140,44 @@ func (c *Counter) Read(t prim.Thread) int64 {
 	return mustParseInt(c.obj.Execute(t, spec.MkOp(spec.MethodRead)))
 }
 
+// TryInc increments the counter, or returns ErrCapacityExhausted when a
+// bounded counter has no operation slots left (the server-friendly form).
+func (c *Counter) TryInc(t prim.Thread) error {
+	_, err := c.obj.TryExecute(t, spec.MkOp(spec.MethodInc))
+	return err
+}
+
+// TryRead returns the counter value, or ErrCapacityExhausted (reads consume
+// an operation slot too: every Algorithm 1 operation publishes a node).
+func (c *Counter) TryRead(t prim.Thread) (int64, error) {
+	resp, err := c.obj.TryExecute(t, spec.MkOp(spec.MethodRead))
+	if err != nil {
+		return 0, err
+	}
+	return mustParseInt(resp), nil
+}
+
+// Packed reports whether the counter's snapshot runs on a single packed
+// machine word; Engine and Words name the substrate precisely (a "multiword"
+// counter-with-read exceeds 63 lanes of packed reference budget by striping
+// references across k XADD words).
+func (c *Counter) Packed() bool { return c.obj.SnapshotPacked() }
+
+// Engine names the counter's snapshot substrate ("packed", "multiword",
+// "wide").
+func (c *Counter) Engine() string { return c.obj.SnapshotEngine() }
+
+// Words returns the counter snapshot's machine-word count (0 when wide).
+func (c *Counter) Words() int { return c.obj.SnapshotWords() }
+
+// Capacity returns the counter's lifetime operation budget, or -1 when
+// unbounded.
+func (c *Counter) Capacity() int64 { return c.obj.Capacity() }
+
+// Used returns how many operations the counter has admitted against that
+// budget.
+func (c *Counter) Used() int64 { return c.obj.Executed() }
+
 // LogicalClock is a wait-free strongly-linearizable logical clock built from
 // Algorithm 1 over a snapshot.
 type LogicalClock struct{ obj *SimpleObject }
@@ -176,9 +214,17 @@ func (c *LogicalClock) TryRead(t prim.Thread) (int64, error) {
 	return mustParseInt(resp), nil
 }
 
-// Packed reports whether the clock's snapshot runs on the packed machine
-// word.
+// Packed reports whether the clock's snapshot runs on a single packed
+// machine word.
 func (c *LogicalClock) Packed() bool { return c.obj.SnapshotPacked() }
+
+// Engine names the clock's snapshot substrate ("packed", "multiword",
+// "wide"). A "multiword" clock is how the Algorithm 1 composition exceeds 63
+// lanes of packed reference budget.
+func (c *LogicalClock) Engine() string { return c.obj.SnapshotEngine() }
+
+// Words returns the clock snapshot's machine-word count (0 when wide).
+func (c *LogicalClock) Words() int { return c.obj.SnapshotWords() }
 
 // Capacity returns the clock's lifetime operation budget, or -1 when
 // unbounded.
@@ -207,3 +253,57 @@ func (s *GSet) Add(t prim.Thread, x int64) { s.obj.Execute(t, spec.MkOp(spec.Met
 func (s *GSet) Has(t prim.Thread, x int64) bool {
 	return s.obj.Execute(t, spec.MkOp(spec.MethodHas, x)) == "1"
 }
+
+// Max is a wait-free strongly-linearizable max-with-read built from
+// Algorithm 1 over a snapshot — the simple-type max register of the paper's
+// Section 3.3 examples, as a typed front-end. (Theorem 1's FAMaxRegister is
+// the direct construction; this one exists so that the Algorithm 1 pillar
+// covers the full clock / counter-with-read / max-with-read trio at any lane
+// count, machine-word-backed via the multi-word snapshot past 63 lanes.)
+type Max struct{ obj *SimpleObject }
+
+// NewMaxFromFA builds a max-with-read over a fresh fetch&add snapshot. A
+// WithSnapshotBound option selects the machine-word engine (single packed
+// word or multi-word), capping lifetime operations at the bound.
+func NewMaxFromFA(w prim.World, name string, n int, opts ...SnapshotOption) *Max {
+	return &Max{obj: NewSimpleObjectFromFA(w, name, SimpleMaxRegister{}, n, opts...)}
+}
+
+// WriteMax writes v.
+func (m *Max) WriteMax(t prim.Thread, v int64) {
+	m.obj.Execute(t, spec.MkOp(spec.MethodWriteMax, v))
+}
+
+// ReadMax returns the largest value written so far.
+func (m *Max) ReadMax(t prim.Thread) int64 {
+	return mustParseInt(m.obj.Execute(t, spec.MkOp(spec.MethodReadMax)))
+}
+
+// TryWriteMax writes v, or returns ErrCapacityExhausted when a bounded
+// object has no operation slots left.
+func (m *Max) TryWriteMax(t prim.Thread, v int64) error {
+	_, err := m.obj.TryExecute(t, spec.MkOp(spec.MethodWriteMax, v))
+	return err
+}
+
+// TryReadMax returns the largest value written so far, or
+// ErrCapacityExhausted.
+func (m *Max) TryReadMax(t prim.Thread) (int64, error) {
+	resp, err := m.obj.TryExecute(t, spec.MkOp(spec.MethodReadMax))
+	if err != nil {
+		return 0, err
+	}
+	return mustParseInt(resp), nil
+}
+
+// Engine names the snapshot substrate ("packed", "multiword", "wide").
+func (m *Max) Engine() string { return m.obj.SnapshotEngine() }
+
+// Words returns the snapshot's machine-word count (0 when wide).
+func (m *Max) Words() int { return m.obj.SnapshotWords() }
+
+// Capacity returns the lifetime operation budget, or -1 when unbounded.
+func (m *Max) Capacity() int64 { return m.obj.Capacity() }
+
+// Used returns how many operations have been admitted against that budget.
+func (m *Max) Used() int64 { return m.obj.Executed() }

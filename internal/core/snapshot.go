@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
+	"sync/atomic"
 
 	"stronglin/internal/interleave"
 	"stronglin/internal/prim"
@@ -29,40 +31,72 @@ type SnapshotAPI interface {
 // Every operation performs exactly one fetch&add, which is its linearization
 // point.
 //
-// With WithSnapshotBound the register becomes a single machine word when the
-// encoding fits (n x FieldWidth(maxValue) <= 63 bits): each component is a
-// fixed-width binary field of a hardware XADD register (prim.FetchAddInt).
-// Update is one XADD of the signed in-lane field delta (to−from, shifted to
-// the caller's field — the posAdj−negAdj of the wide path collapsed to one
-// subtraction), Scan is one XADD(0) followed by shift-and-mask decoding.
-// Each operation is still exactly one fetch&add on one register, so the
-// linearization argument is unchanged; only the per-operation cost drops (no
-// big.Int arithmetic, no allocation). When the bound does not fit, the
-// constructor silently falls back to the wide register with the bound still
-// enforced.
+// # Engine selection
+//
+// With WithSnapshotBound the constructor picks the cheapest register
+// substrate the declared bound admits, by the codec's own budget arithmetic:
+//
+//   - single packed word, when n x FieldWidth(maxValue) <= 63: each component
+//     is a fixed-width binary field of one hardware XADD register
+//     (prim.FetchAddInt). Update is one XADD of the signed in-lane field
+//     delta, Scan one XADD(0) plus shift-and-mask. One fetch&add per
+//     operation: the wide linearization argument transfers unchanged.
+//   - multi-word, otherwise (any bound fits: FieldWidth <= 63 always): the
+//     components are striped across k XADD words (interleave.MultiPacked)
+//     plus one epoch word. Update is one XADD of the field delta on the
+//     OWNING word — still its linearization point — followed by an
+//     announce-completion bump of the epoch; Scan snapshots the epoch, reads
+//     the k words, and re-reads the epoch, retrying until it is unchanged
+//     (the proven pattern of internal/shard's combining reads). Updates stay
+//     wait-free; scans are lock-free (a retry consumes an update's
+//     announce), with a retry-bounded writer-backoff hint so scans are not
+//     starved under real-world update storms. An unvalidated multi-word
+//     collect is NOT even linearizable — one word can be read before an
+//     update that a later-read word already reflects has started — and the
+//     model checker exhibits exactly that (see the package tests); the epoch
+//     validation is what restores strong linearizability.
+//   - wide big.Int register, only when no bound is declared.
+//
+// The bound is enforced identically on every engine (Update past it panics),
+// so behaviour never depends on which substrate was selected.
 type FASnapshot struct {
 	n     int
 	codec interleave.Codec
 	w     prim.World
-	r     prim.FetchAdd    // wide engine; nil when packed
-	rp    prim.FetchAddInt // packed engine; nil when wide
+	r     prim.FetchAdd    // wide engine; nil otherwise
+	rp    prim.FetchAddInt // single packed word; nil otherwise
 	pc    interleave.Packed
-	bound int64   // -1: unbounded (wide); >= 0: declared max component value
-	prev  []int64 // prev[i] is accessed only by process i
+	mp    interleave.MultiPacked
+	words []prim.FetchAddInt // multi-word engine; nil otherwise
+	epoch prim.FetchAddInt   // announce-completion word (multi-word engine)
+	bound int64              // -1: unbounded (wide); >= 0: declared max component value
+	prev  []int64            // prev[i] is accessed only by process i
+
+	// scanWait is the real-world writer-backoff hint: a scan whose collect
+	// keeps getting invalidated raises it, and updaters yield the processor
+	// before their XADD while it is up. It is scheduling advice outside the
+	// shared-memory protocol (the adversarial simulated scheduler explores
+	// all timings regardless), so it affects no correctness argument.
+	scanWait atomic.Int32
 }
 
 var _ SnapshotAPI = (*FASnapshot)(nil)
+
+// scanSpinRounds is how many invalidated collects a multi-word scan absorbs
+// before raising the writer-backoff hint.
+const scanSpinRounds = 2
 
 // SnapshotOption configures NewFASnapshot.
 type SnapshotOption func(*FASnapshot)
 
 // WithSnapshotBound declares that every component value is in [0, maxValue],
-// and makes Update panic on values beyond it (like negatives). When the
-// binary field encoding fits a machine word (n x FieldWidth(maxValue) <= 63
-// bits) the construction runs over a single prim.FetchAddInt register — the
-// packed fast path; when it does not fit, the constructor falls back to the
-// wide register. The bound is enforced either way, so behaviour does not
-// depend on which engine was selected.
+// and makes Update panic on values beyond it (like negatives). The bound
+// selects the register engine (see the type comment): one packed machine
+// word when n x FieldWidth(maxValue) <= 63 bits, the multi-word k-XADD
+// engine otherwise — so every bounded snapshot runs on hardware XADD words;
+// the wide big.Int register remains only for unbounded snapshots. The bound
+// is enforced on every engine, so behaviour does not depend on which was
+// selected.
 func WithSnapshotBound(maxValue int64) SnapshotOption {
 	if maxValue < 0 {
 		panic(fmt.Sprintf("core: WithSnapshotBound(%d): bound must be non-negative", maxValue))
@@ -71,7 +105,8 @@ func WithSnapshotBound(maxValue int64) SnapshotOption {
 }
 
 // NewFASnapshot allocates the construction for n processes using a single
-// fetch&add register named name+".R". Components are initially 0.
+// fetch&add register named name+".R" (or, on the multi-word engine, words
+// name+".R0".."R<k-1>" plus name+".epoch"). Components are initially 0.
 func NewFASnapshot(w prim.World, name string, n int, opts ...SnapshotOption) *FASnapshot {
 	s := &FASnapshot{
 		n:     n,
@@ -84,9 +119,19 @@ func NewFASnapshot(w prim.World, name string, n int, opts ...SnapshotOption) *FA
 		o(s)
 	}
 	if s.bound >= 0 {
-		if pc, ok := interleave.NewPacked(n, interleave.FieldWidth(s.bound)); ok {
+		width := interleave.FieldWidth(s.bound)
+		if pc, ok := interleave.NewPacked(n, width); ok {
 			s.pc = pc
 			s.rp = w.FetchAddInt(name+".R", 0)
+			return s
+		}
+		if mp, ok := interleave.NewMultiPacked(n, width); ok {
+			s.mp = mp
+			s.words = make([]prim.FetchAddInt, mp.Words())
+			for j := range s.words {
+				s.words[j] = w.FetchAddInt(fmt.Sprintf("%s.R%d", name, j), 0)
+			}
+			s.epoch = w.FetchAddInt(name+".epoch", 0)
 			return s
 		}
 	}
@@ -94,13 +139,49 @@ func NewFASnapshot(w prim.World, name string, n int, opts ...SnapshotOption) *FA
 	return s
 }
 
-// Packed reports whether the register is the packed machine word.
+// Packed reports whether the register is a single packed machine word.
 func (s *FASnapshot) Packed() bool { return s.rp != nil }
+
+// Multiword reports whether the components are striped across the k-XADD
+// multi-word engine.
+func (s *FASnapshot) Multiword() bool { return s.words != nil }
+
+// Words returns the number of machine words holding components: 1 on the
+// single packed word, k on the multi-word engine, 0 on the wide register
+// (whose width is unbounded; the epoch word of the multi-word engine is not
+// counted — it holds no component).
+func (s *FASnapshot) Words() int {
+	switch {
+	case s.rp != nil:
+		return 1
+	case s.words != nil:
+		return len(s.words)
+	default:
+		return 0
+	}
+}
+
+// Engine names the selected register substrate: "packed", "multiword" or
+// "wide".
+func (s *FASnapshot) Engine() string {
+	switch {
+	case s.rp != nil:
+		return "packed"
+	case s.words != nil:
+		return "multiword"
+	default:
+		return "wide"
+	}
+}
 
 // Bound returns the declared maximum component value, or -1 when unbounded.
 func (s *FASnapshot) Bound() int64 { return s.bound }
 
 // Update writes v (which must be non-negative) to the caller's component.
+// On the multi-word engine the XADD on the owning word is the linearization
+// point; the epoch bump that follows announces completion to validating
+// scans (an update is not complete — and so not forced into any scan's
+// linearization — until it has announced).
 func (s *FASnapshot) Update(t prim.Thread, v int64) {
 	if v < 0 {
 		panic(fmt.Sprintf("core: FASnapshot.Update(%d): values must be non-negative", v))
@@ -109,6 +190,26 @@ func (s *FASnapshot) Update(t prim.Thread, v int64) {
 		panic(fmt.Sprintf("core: FASnapshot.Update(%d): value exceeds the declared bound %d", v, s.bound))
 	}
 	i := t.ID()
+	if s.words != nil {
+		if s.scanWait.Load() != 0 {
+			runtime.Gosched() // back off: a scan is being starved by updates
+		}
+		if v == s.prev[i] {
+			// Unchanged value: the XADD(0) on the owning word is the whole
+			// operation (its linearization point, like the packed and wide
+			// fast paths). Nothing changed, so there is no completion to
+			// announce — bumping the epoch would only force concurrent scans
+			// into spurious re-collects of an identical state.
+			s.words[s.mp.WordOf(i)].FetchAddInt(t, 0)
+			prim.MarkLinPoint(s.w, t)
+			return
+		}
+		s.words[s.mp.WordOf(i)].FetchAddInt(t, s.mp.FieldDelta(s.prev[i], v, i))
+		prim.MarkLinPoint(s.w, t)
+		s.prev[i] = v
+		s.epoch.FetchAddInt(t, 1)
+		return
+	}
 	if v == s.prev[i] {
 		if s.rp != nil {
 			s.rp.FetchAddInt(t, 0)
@@ -133,12 +234,47 @@ func (s *FASnapshot) Scan(t prim.Thread) []int64 {
 }
 
 // ScanInto is Scan writing the view into a caller-provided slice of length n
-// (returned for convenience). On the packed engine it is allocation-free:
-// one XADD(0) plus shift-and-mask decoding — the hot-path form used by the
-// simple-type construction and the E-SNAP benchmarks.
+// (returned for convenience). On the machine-word engines it is
+// allocation-free: one XADD(0) plus shift-and-mask on the single packed
+// word; on the multi-word engine an epoch-validated collect — k relaxed
+// XADD(0) word reads bracketed by epoch reads, retried until the epoch is
+// unchanged. The multi-word scan is lock-free, not wait-free: every retry
+// consumes an update's announce, and after scanSpinRounds invalidated
+// collects the scan raises the writer-backoff hint so real-world update
+// storms cannot starve it indefinitely.
+//
+// The multi-word scan deliberately declares no linearization-point
+// certificate: unlike every single-register operation in this package, it
+// has NO fixed own-step linearization point — whether a concurrent
+// not-yet-announced update is included in the view depends on the timing of
+// the update's XADD relative to the scan's read of that one word, so no
+// single marked step orders the scan against updates' marked XADDs on every
+// execution (the package tests pin the certificate checker rejecting any
+// such marking). Strong linearizability is instead decided by the
+// execution-tree game checker, exactly as for internal/shard's
+// epoch-validated combining reads.
 func (s *FASnapshot) ScanInto(t prim.Thread, view []int64) []int64 {
 	if len(view) != s.n {
 		panic(fmt.Sprintf("core: FASnapshot.ScanInto: view has length %d, want %d", len(view), s.n))
+	}
+	if s.words != nil {
+		e := s.epoch.FetchAddInt(t, 0)
+		raised := false
+		for spins := 0; ; spins++ {
+			s.collectWords(t, view)
+			e2 := s.epoch.FetchAddInt(t, 0)
+			if e2 == e {
+				if raised {
+					s.scanWait.Add(-1)
+				}
+				return view
+			}
+			e = e2
+			if spins == scanSpinRounds && !raised {
+				raised = true
+				s.scanWait.Add(1)
+			}
+		}
 	}
 	if s.rp != nil {
 		word := s.rp.FetchAddInt(t, 0)
@@ -156,11 +292,43 @@ func (s *FASnapshot) ScanInto(t prim.Thread, view []int64) []int64 {
 	return view
 }
 
-// Width returns the current bit length of the shared register (see
-// FAMaxRegister.Width). It reads R with a fetch&add(0) step.
-func (s *FASnapshot) Width(t prim.Thread) int {
-	if s.rp != nil {
-		return bits.Len64(uint64(s.rp.FetchAddInt(t, 0)))
+// collectWords reads the k words once, in order, decoding each into view: a
+// single unvalidated collect. It is the body of the validated scan — and, on
+// its own, the negative exhibit: updates to different words can be observed
+// inconsistently with their real-time order, so scanNaiveInto (the collect
+// with no epoch validation) is not linearizable; the package tests pin the
+// counterexample.
+func (s *FASnapshot) collectWords(t prim.Thread, view []int64) {
+	for j, w := range s.words {
+		s.mp.GatherWord(w.FetchAddInt(t, 0), j, view)
 	}
-	return s.r.FetchAdd(t, zero).BitLen()
+}
+
+// scanNaiveInto is the unvalidated multi-word collect, kept exclusively for
+// the negative model check (like shard's readSingleCollect).
+func (s *FASnapshot) scanNaiveInto(t prim.Thread, view []int64) []int64 {
+	if len(view) != s.n {
+		panic(fmt.Sprintf("core: FASnapshot.scanNaiveInto: view has length %d, want %d", len(view), s.n))
+	}
+	s.collectWords(t, view)
+	return view
+}
+
+// Width returns the current bit length of the shared register (see
+// FAMaxRegister.Width): on the multi-word engine, the total occupied bits
+// summed over the k component words. It reads the register with
+// fetch&add(0) steps.
+func (s *FASnapshot) Width(t prim.Thread) int {
+	switch {
+	case s.rp != nil:
+		return bits.Len64(uint64(s.rp.FetchAddInt(t, 0)))
+	case s.words != nil:
+		total := 0
+		for _, w := range s.words {
+			total += bits.Len64(uint64(w.FetchAddInt(t, 0)))
+		}
+		return total
+	default:
+		return s.r.FetchAdd(t, zero).BitLen()
+	}
 }

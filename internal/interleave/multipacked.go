@@ -1,0 +1,167 @@
+package interleave
+
+import (
+	"fmt"
+	"math"
+)
+
+// MultiPacked is the multi-word extension of Packed: n lanes of width bits
+// each, striped across k machine words. Word w hosts the contiguous lane
+// range [w*perWord, (w+1)*perWord), each lane a fixed-width binary field of
+// its word — so a lane's field never straddles a word boundary, and a field
+// delta is still an exact in-word addition that cannot carry across lanes
+// (the Packed invariant, per word).
+//
+// Packed fits when n*width <= 63; MultiPacked fits whenever width <= 63,
+// whatever n: the word count grows instead of the bound shrinking. This is
+// the codec that lifts the single-word snapshot's n × bitWidth(maxValue) ≤ 63
+// ceiling. What it does NOT give for free is atomic cross-word reads: a
+// multi-word register state can only be observed one word at a time, so a
+// consumer that needs a consistent view must validate its collect (the
+// epoch/seqlock protocol of core.FASnapshot's multi-word engine — naive
+// multi-register combining reads are not even linearizable, let alone
+// strongly linearizable; see the engine's negative model check).
+//
+// The zero value is not usable; construct with NewMultiPacked.
+type MultiPacked struct {
+	n       int
+	width   int
+	perWord int // lanes hosted per word: floor(63 / width)
+	words   int // ceil(n / perWord)
+	mask    int64
+}
+
+// NewMultiPacked returns a codec striping n lanes of width bits over
+// ceil(n / floor(63/width)) words, or ok=false when no word can host even one
+// field (width > 63) or the shape is degenerate (n < 1, width < 1).
+func NewMultiPacked(n, width int) (MultiPacked, bool) {
+	if n < 1 || width < 1 || width > packedBits {
+		return MultiPacked{}, false
+	}
+	perWord := packedBits / width
+	return MultiPacked{
+		n:       n,
+		width:   width,
+		perWord: perWord,
+		words:   (n + perWord - 1) / perWord,
+		mask:    (int64(1) << width) - 1,
+	}, true
+}
+
+// MustNewMultiPacked is like NewMultiPacked but panics when the shape is
+// invalid. It is intended for callers that have already checked the width.
+func MustNewMultiPacked(n, width int) MultiPacked {
+	m, ok := NewMultiPacked(n, width)
+	if !ok {
+		panic(fmt.Sprintf("interleave: %d lanes x %d bits have no multi-word striping", n, width))
+	}
+	return m
+}
+
+// Lanes returns the number of lanes n.
+func (m MultiPacked) Lanes() int { return m.n }
+
+// LaneWidth returns the bits per lane.
+func (m MultiPacked) LaneWidth() int { return m.width }
+
+// Words returns the word count k.
+func (m MultiPacked) Words() int { return m.words }
+
+// LanesPerWord returns how many lanes each word hosts (the last word may host
+// fewer).
+func (m MultiPacked) LanesPerWord() int { return m.perWord }
+
+// WordOf returns the index of the word hosting the given lane.
+func (m MultiPacked) WordOf(lane int) int { return lane / m.perWord }
+
+// slot is the lane's field index within its word.
+func (m MultiPacked) slot(lane int) int { return lane % m.perWord }
+
+// Spread places the compact lane value v into the lane's field of its OWN
+// word: the value to add to word WordOf(lane) so that an all-zero field
+// becomes v. The multi-word analogue of Packed.Spread.
+func (m MultiPacked) Spread(v int64, lane int) int64 {
+	if v < 0 || v > m.mask {
+		panic(fmt.Sprintf("interleave: multipacked Spread value %d outside [0, %d]", v, m.mask))
+	}
+	return v << (m.slot(lane) * m.width)
+}
+
+// FieldDelta returns the signed fetch&add delta, to be applied to word
+// WordOf(lane), that changes the lane's binary field from value from to value
+// to: Packed.FieldDelta relative to the owning word. The arithmetic is exact
+// within the field, so no carry or borrow escapes it.
+func (m MultiPacked) FieldDelta(from, to int64, lane int) int64 {
+	if from < 0 || from > m.mask || to < 0 || to > m.mask {
+		panic(fmt.Sprintf("interleave: multipacked FieldDelta values (%d, %d) outside [0, %d]", from, to, m.mask))
+	}
+	return (to - from) << (m.slot(lane) * m.width)
+}
+
+// Lane extracts the given lane's value from the value of its OWN word (the
+// caller selects the word with WordOf). word must be non-negative.
+func (m MultiPacked) Lane(word int64, lane int) int64 {
+	if word < 0 {
+		panic("interleave: multipacked Lane requires a non-negative word")
+	}
+	return (word >> (m.slot(lane) * m.width)) & m.mask
+}
+
+// GatherWord decodes every lane hosted by word w from the word value into
+// view (a slice of length Lanes), leaving other words' lanes untouched: the
+// allocation-free scatter-gather half used by multi-word scans. Calling it
+// once per word with that word's value fills the whole view.
+func (m MultiPacked) GatherWord(word int64, w int, view []int64) {
+	if len(view) != m.n {
+		panic(fmt.Sprintf("interleave: multipacked GatherWord view has length %d, want %d", len(view), m.n))
+	}
+	if word < 0 {
+		panic("interleave: multipacked GatherWord requires a non-negative word")
+	}
+	lo := w * m.perWord
+	hi := lo + m.perWord
+	if hi > m.n {
+		hi = m.n
+	}
+	for lane := lo; lane < hi; lane++ {
+		view[lane] = (word >> ((lane - lo) * m.width)) & m.mask
+	}
+}
+
+// ScatterWords encodes a full view (length Lanes) into the per-word register
+// values, writing them into words (a slice of length Words): the inverse of
+// repeated GatherWord, used by tests and oracles.
+func (m MultiPacked) ScatterWords(view []int64, words []int64) {
+	if len(view) != m.n || len(words) != m.words {
+		panic(fmt.Sprintf("interleave: multipacked ScatterWords got (%d, %d), want (%d, %d)",
+			len(view), len(words), m.n, m.words))
+	}
+	for w := range words {
+		words[w] = 0
+	}
+	for lane, v := range view {
+		words[m.WordOf(lane)] |= m.Spread(v, lane)
+	}
+}
+
+// MaxMultiFieldBound returns the largest maxValue whose binary-field encoding
+// stripes n lanes over at most the given number of words — the multi-word
+// analogue of MaxFieldBound, built on the same per-word bit budget so
+// bound-sizing callers can never desynchronize from the engine. With words >=
+// n every lane gets its own word and the bound is the full 63-bit domain
+// (math.MaxInt64); it returns 0 when not even 1-bit fields fit the word
+// budget (n > 63*words).
+func MaxMultiFieldBound(n, words int) int64 {
+	if n < 1 || words < 1 {
+		panic(fmt.Sprintf("interleave: MaxMultiFieldBound requires n >= 1 and words >= 1, got (%d, %d)", n, words))
+	}
+	perWord := (n + words - 1) / words // the fullest word hosts this many lanes
+	w := packedBits / perWord
+	if w < 1 {
+		return 0
+	}
+	if w >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1)<<w - 1
+}

@@ -1,0 +1,159 @@
+package interleave
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMultiPackedShape(t *testing.T) {
+	for _, c := range []struct {
+		n, width       int
+		ok             bool
+		perWord, words int
+	}{
+		{n: 4, width: 15, ok: true, perWord: 4, words: 1}, // fits one word like Packed
+		{n: 8, width: 15, ok: true, perWord: 4, words: 2}, // past the 63-bit ceiling: 2 words
+		{n: 16, width: 15, ok: true, perWord: 4, words: 4},
+		{n: 3, width: 32, ok: true, perWord: 1, words: 3},  // one lane per word
+		{n: 64, width: 1, ok: true, perWord: 63, words: 2}, // 64 1-bit lanes: 2 words
+		{n: 2, width: 63, ok: true, perWord: 1, words: 2},  // full-width lanes
+		{n: 1, width: 64, ok: false},                       // no word hosts a 64-bit field
+		{n: 0, width: 1, ok: false},
+		{n: 1, width: 0, ok: false},
+	} {
+		m, ok := NewMultiPacked(c.n, c.width)
+		if ok != c.ok {
+			t.Errorf("NewMultiPacked(%d, %d) ok = %v, want %v", c.n, c.width, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if m.LanesPerWord() != c.perWord || m.Words() != c.words {
+			t.Errorf("NewMultiPacked(%d, %d) = %d lanes/word x %d words, want %d x %d",
+				c.n, c.width, m.LanesPerWord(), m.Words(), c.perWord, c.words)
+		}
+	}
+}
+
+func TestMultiPackedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, shape := range []struct{ n, width int }{
+		{8, 15}, {16, 15}, {3, 32}, {64, 1}, {100, 7}, {5, 63},
+	} {
+		m := MustNewMultiPacked(shape.n, shape.width)
+		view := make([]int64, shape.n)
+		for lane := range view {
+			view[lane] = rng.Int63() & m.mask
+		}
+		words := make([]int64, m.Words())
+		m.ScatterWords(view, words)
+		// Per-lane extraction agrees with the view.
+		for lane, want := range view {
+			if got := m.Lane(words[m.WordOf(lane)], lane); got != want {
+				t.Fatalf("%dx%d: Lane(%d) = %d, want %d", shape.n, shape.width, lane, got, want)
+			}
+		}
+		// Word-at-a-time gathering rebuilds the view exactly.
+		got := make([]int64, shape.n)
+		for w, word := range words {
+			m.GatherWord(word, w, got)
+		}
+		for lane := range view {
+			if got[lane] != view[lane] {
+				t.Fatalf("%dx%d: gathered view[%d] = %d, want %d", shape.n, shape.width, lane, got[lane], view[lane])
+			}
+		}
+	}
+}
+
+// TestMultiPackedFieldDelta: applying the delta to the owning word moves the
+// lane from -> to and leaves every other lane of that word untouched, for
+// random neighbours — the carry-free invariant the engine's single-XADD
+// Update rests on.
+func TestMultiPackedFieldDelta(t *testing.T) {
+	m := MustNewMultiPacked(8, 15) // 4 lanes/word x 2 words
+	rng := rand.New(rand.NewSource(72))
+	view := make([]int64, 8)
+	words := make([]int64, m.Words())
+	for i := 0; i < 2000; i++ {
+		lane := rng.Intn(8)
+		from := view[lane]
+		to := rng.Int63() & m.mask
+		words[m.WordOf(lane)] += m.FieldDelta(from, to, lane)
+		view[lane] = to
+		want := make([]int64, m.Words())
+		m.ScatterWords(view, want)
+		for w := range words {
+			if words[w] != want[w] {
+				t.Fatalf("step %d: word %d = %#x, want %#x", i, w, words[w], want[w])
+			}
+		}
+	}
+}
+
+func TestMultiPackedPanics(t *testing.T) {
+	m := MustNewMultiPacked(4, 15)
+	for name, f := range map[string]func(){
+		"spread-negative":    func() { m.Spread(-1, 0) },
+		"spread-over":        func() { m.Spread(1<<15, 0) },
+		"delta-over":         func() { m.FieldDelta(0, 1<<15, 0) },
+		"lane-negative-word": func() { m.Lane(-1, 0) },
+		"gather-short-view":  func() { m.GatherWord(0, 0, make([]int64, 3)) },
+		"scatter-bad-shape":  func() { m.ScatterWords(make([]int64, 4), make([]int64, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestMaxMultiFieldBoundRoundTrip: the bound arithmetic and the codec can
+// never desynchronize — striping FieldWidth(MaxMultiFieldBound(n, k)) always
+// fits within k words, and the next wider field does not (unless the bound is
+// already the whole int64 domain).
+func TestMaxMultiFieldBoundRoundTrip(t *testing.T) {
+	for n := 1; n <= 130; n++ {
+		for k := 1; k <= 9; k++ {
+			b := MaxMultiFieldBound(n, k)
+			if b == 0 {
+				if n <= packedBits*k {
+					t.Fatalf("MaxMultiFieldBound(%d, %d) = 0 but 1-bit fields fit", n, k)
+				}
+				continue
+			}
+			m, ok := NewMultiPacked(n, FieldWidth(b))
+			if !ok || m.Words() > k {
+				t.Fatalf("MaxMultiFieldBound(%d, %d) = %d does not stripe within %d words (got %d, ok %v)",
+					n, k, b, k, m.Words(), ok)
+			}
+			if b == math.MaxInt64 {
+				continue
+			}
+			if m2, ok := NewMultiPacked(n, FieldWidth(b)+1); ok && m2.Words() <= k {
+				t.Fatalf("MaxMultiFieldBound(%d, %d) = %d is not maximal: width %d also fits %d words",
+					n, k, b, FieldWidth(b)+1, m2.Words())
+			}
+		}
+	}
+}
+
+// TestMaxMultiFieldBoundExtendsSingleWord: with one word the multi-word
+// arithmetic degenerates to MaxFieldBound, and with n words every lane gets
+// the full 63-bit domain.
+func TestMaxMultiFieldBoundExtendsSingleWord(t *testing.T) {
+	for n := 1; n <= 80; n++ {
+		if got, want := MaxMultiFieldBound(n, 1), MaxFieldBound(n); got != want {
+			t.Fatalf("MaxMultiFieldBound(%d, 1) = %d, want MaxFieldBound = %d", n, got, want)
+		}
+		if got := MaxMultiFieldBound(n, n); got != math.MaxInt64 {
+			t.Fatalf("MaxMultiFieldBound(%d, %d) = %d, want MaxInt64", n, n, got)
+		}
+	}
+}

@@ -59,6 +59,8 @@
 package stronglin
 
 import (
+	"fmt"
+
 	"stronglin/internal/adversary"
 	"stronglin/internal/core"
 	"stronglin/internal/interleave"
@@ -97,11 +99,16 @@ type Snapshot = core.FASnapshot
 type SnapshotOption = core.SnapshotOption
 
 // WithSnapshotBound declares the component value domain [0, maxValue] of a
-// snapshot. When the binary field encoding fits a machine word
-// (n × bitWidth(maxValue) ≤ 63) the snapshot runs over a single hardware
-// XADD int64 — Update is one XADD of a signed in-lane field delta, Scan one
-// XADD(0) plus shift-and-mask — with automatic wide fallback and the bound
-// enforced either way (Update past it panics). On an Algorithm 1 object the
+// snapshot, selecting its register engine by the codec's budget arithmetic:
+// when n × bitWidth(maxValue) ≤ 63 the snapshot runs over a single hardware
+// XADD int64 (Update one XADD of a signed in-lane field delta, Scan one
+// XADD(0) plus shift-and-mask); otherwise it runs on the multi-word engine —
+// components striped across k XADD words plus an announce-completion epoch
+// word, Update still a single XADD on its owning word, Scan an
+// epoch-validated lock-free collect — so EVERY bounded snapshot is
+// machine-word-backed, at any lane count and bound, and the wide big.Int
+// register remains only for unbounded snapshots. The bound is enforced on
+// every engine (Update past it panics). On an Algorithm 1 object the
 // snapshot components hold graph-node references, so the bound doubles as a
 // lifetime operation budget; see core.SimpleObject.TryExecute.
 func WithSnapshotBound(maxValue int64) SnapshotOption {
@@ -109,14 +116,42 @@ func WithSnapshotBound(maxValue int64) SnapshotOption {
 }
 
 // MaxSnapshotBound returns the largest WithSnapshotBound value that packs a
-// snapshot (or an Algorithm 1 object over one) for n processes, or 0 when no
-// bound packs (n > 63). Sizing bounds through it keeps callers in sync with
-// the packed engine's machine-word budget.
+// snapshot (or an Algorithm 1 object over one) into a SINGLE machine word
+// for n processes, or 0 when no bound packs one word (n > 63). Sizing bounds
+// through it keeps callers in sync with the packed engine's machine-word
+// budget.
 func MaxSnapshotBound(n int) int64 { return interleave.MaxFieldBound(n) }
+
+// MaxSnapshotBoundWords returns the largest WithSnapshotBound value whose
+// encoding stripes n processes across at most the given number of machine
+// words — the multi-word engine's own budget arithmetic
+// (interleave.MaxMultiFieldBound). It generalizes MaxSnapshotBound (the
+// words=1 case) past the 63-bit ceiling: with words ≥ ⌈n/2⌉ every lane gets
+// at least a 31-bit field, so an Algorithm 1 object sized through it has a
+// ≥ 2³¹−1 operation budget at ANY lane count. Sizing bounds through it
+// keeps callers in sync with the engine's word-count arithmetic.
+func MaxSnapshotBoundWords(n, words int) int64 { return interleave.MaxMultiFieldBound(n, words) }
 
 // NewSnapshot builds a snapshot for n processes.
 func NewSnapshot(w *World, n int, opts ...SnapshotOption) *Snapshot {
 	return core.NewFASnapshot(w, "stronglin.snapshot", n, opts...)
+}
+
+// NewMultiwordSnapshot builds a second, independently named snapshot sized
+// by the multi-word engine's word-budget arithmetic: its bound is the
+// largest MaxSnapshotBoundWords(n, words) value, so the components stripe
+// across at most words machine words (the constructor still picks the
+// single packed word when the bound happens to fit one, e.g. n ≤ 2 with
+// words = ⌈n/2⌉). It panics when the word budget cannot host n lanes at all
+// (n > 63 × words — MaxSnapshotBoundWords returns 0, i.e. not even 1-bit
+// fields fit), rather than returning an object whose every nonzero Update
+// would panic. It can live in the same World as a NewSnapshot object.
+func NewMultiwordSnapshot(w *World, n, words int) *Snapshot {
+	bound := MaxSnapshotBoundWords(n, words)
+	if bound == 0 {
+		panic(fmt.Sprintf("stronglin: NewMultiwordSnapshot: %d words cannot host %d lanes (need at least ⌈n/63⌉ words)", words, n))
+	}
+	return core.NewFASnapshot(w, "stronglin.msnapshot", n, WithSnapshotBound(bound))
 }
 
 // Counter is a wait-free strongly-linearizable counter (Theorems 3–4:
@@ -143,6 +178,18 @@ type GSet = core.GSet
 // NewGSet builds a grow-only set for n processes.
 func NewGSet(w *World, n int, opts ...SnapshotOption) *GSet {
 	return core.NewGSetFromFA(w, "stronglin.gset", n, opts...)
+}
+
+// SimpleMax is a wait-free strongly-linearizable max-with-read built via
+// Algorithm 1 (Theorems 3–4) — the simple-type max register of Section 3.3,
+// as distinct from Theorem 1's direct MaxRegister construction. With a
+// WithSnapshotBound it is machine-word-backed at any lane count (multi-word
+// past 63 lanes).
+type SimpleMax = core.Max
+
+// NewSimpleMax builds a max-with-read for n processes.
+func NewSimpleMax(w *World, n int, opts ...SnapshotOption) *SimpleMax {
+	return core.NewMaxFromFA(w, "stronglin.simplemax", n, opts...)
 }
 
 // ReadableTAS is the paper's Theorem 5 object: a wait-free
@@ -267,6 +314,11 @@ const (
 	// AdversaryVsStrongPacked attacks the packed machine-word engine of the
 	// fetch&add snapshot; the win rate stays at 1/2, exactly as wide.
 	AdversaryVsStrongPacked = adversary.PackedFASnapshot
+	// AdversaryVsStrongMultiword attacks the multi-word k-XADD engine, whose
+	// scans are epoch-validated combining reads; the win rate stays at 1/2 —
+	// a completed (announced) update's visibility to a validated scan is
+	// committed before the coin exists.
+	AdversaryVsStrongMultiword = adversary.MultiwordFASnapshot
 )
 
 // PlayAdversary runs the hyperproperty-preservation game: a strong

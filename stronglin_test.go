@@ -143,6 +143,79 @@ func TestPublicAdversaryGame(t *testing.T) {
 	if got := PlayAdversary(AdversaryVsStrongPacked, 200, 5).Rate(); got < 0.35 || got > 0.65 {
 		t.Fatalf("adversary vs packed snapshot = %.2f, want ≈ 0.5", got)
 	}
+	if got := PlayAdversary(AdversaryVsStrongMultiword, 200, 6).Rate(); got < 0.35 || got > 0.65 {
+		t.Fatalf("adversary vs multi-word snapshot = %.2f, want ≈ 0.5", got)
+	}
+}
+
+// TestPublicMultiwordSurface: the k-XADD engine through the facade — the
+// word-budget arithmetic, the dedicated multi-word snapshot constructor, and
+// the Algorithm 1 trio past 63 lanes.
+func TestPublicMultiwordSurface(t *testing.T) {
+	if MaxSnapshotBound(64) != 0 {
+		t.Fatal("no single-word bound should pack 64 lanes")
+	}
+	if got, want := MaxSnapshotBoundWords(64, 32), int64(1)<<31-1; got != want {
+		t.Fatalf("MaxSnapshotBoundWords(64, 32) = %d, want %d", got, want)
+	}
+	if MaxSnapshotBoundWords(4, 1) != MaxSnapshotBound(4) {
+		t.Fatal("the words=1 case must agree with MaxSnapshotBound")
+	}
+	// An infeasible word budget (64 lanes need ≥ 2 words) is a constructor
+	// panic, not a bound-0 object whose every nonzero Update would panic.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewMultiwordSnapshot with an infeasible word budget did not panic")
+			}
+		}()
+		NewMultiwordSnapshot(NewWorld(), 64, 1)
+	}()
+
+	w := NewWorld()
+	const procs = 64
+	s := NewMultiwordSnapshot(w, procs, 32)
+	if s.Engine() != "multiword" || s.Words() != 32 {
+		t.Fatalf("engine = %s x %d words, want multiword x 32", s.Engine(), s.Words())
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			s.Update(Thread(p), int64(p+1))
+		}(p)
+	}
+	wg.Wait()
+	th := Thread(0)
+	for p, got := range s.Scan(th) {
+		if got != int64(p+1) {
+			t.Errorf("multi-word view[%d] = %d, want %d", p, got, p+1)
+		}
+	}
+
+	// The Algorithm 1 trio exceeds 63 lanes of packed reference budget.
+	refs := MaxSnapshotBoundWords(procs, 32)
+	clk := NewLogicalClock(w, procs, WithSnapshotBound(refs))
+	if clk.Engine() != "multiword" || clk.Capacity() != refs {
+		t.Fatalf("64-lane clock engine = %s, capacity = %d; want multiword, %d",
+			clk.Engine(), clk.Capacity(), refs)
+	}
+	clk.Tick(Thread(63))
+	if v, err := clk.TryRead(th); err != nil || v != 1 {
+		t.Fatalf("64-lane clock TryRead = (%d, %v), want (1, nil)", v, err)
+	}
+	ctr := NewCounter(w, procs, WithSnapshotBound(refs))
+	ctr.Inc(Thread(40))
+	if v, err := ctr.TryRead(th); err != nil || v != 1 {
+		t.Fatalf("64-lane counter TryRead = (%d, %v), want (1, nil)", v, err)
+	}
+	m := NewSimpleMax(w, procs, WithSnapshotBound(refs))
+	m.WriteMax(Thread(7), 42)
+	m.WriteMax(Thread(63), 9)
+	if v, err := m.TryReadMax(th); err != nil || v != 42 {
+		t.Fatalf("64-lane simple max TryReadMax = (%d, %v), want (42, nil)", v, err)
+	}
 }
 
 // TestPublicBoundedSnapshotAndClock: the packed Theorem 2/Theorem 4 surface
