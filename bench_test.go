@@ -447,13 +447,14 @@ func BenchmarkPackedSnapshot(b *testing.B) {
 // E-SNAP multi-word: the k-XADD snapshot engine past the 63-bit ceiling
 // (n x bitWidth(maxValue) > 63, where PR 3's single packed word had to fall
 // back to the wide big.Int register) against that wide register at the same
-// lane count and value domain. Update is one XADD on the owning word plus
-// the epoch announce; ScanInto is the epoch-validated k-word gather. Both
-// must run at 0 allocs/op and ≥5x faster than wide at n=8 (the measured gap
-// is ~20-50x; see README).
+// lane count and value domain. Update is a payload+sequence XADD on the
+// owning word plus at most one announce on word 0; ScanInto is the
+// double-collect k-word gather with its closing announce check. Both must
+// run at 0 allocs/op and ≥5x faster than wide at n=8 (the measured gap is
+// ~10-40x; see README).
 func BenchmarkMultiwordSnapshot(b *testing.B) {
 	for _, lanes := range []int{8, 16} {
-		// 15-bit fields: 4 lanes/word -> 2 words at n=8, 4 words at n=16.
+		// 15-bit fields: 3 lanes/word -> 3 words at n=8, 6 words at n=16.
 		const bound = 1<<15 - 1
 		th := prim.RealThread(0)
 		name := func(op string) string { return fmt.Sprintf("%s/n=%d", op, lanes) }
@@ -495,10 +496,10 @@ func BenchmarkMultiwordSnapshot(b *testing.B) {
 	}
 }
 
-// E-SNAP multi-word under contention: the epoch-validated scan with a
-// concurrent updater continuously landing XADDs and announces — the retry
-// path and the writer-backoff hint are what this measures (single-threaded
-// scans never retry).
+// E-SNAP multi-word under contention: the validated double-collect scan
+// with a concurrent updater continuously landing XADDs and announces — the
+// retry path and the writer-backoff hint are what this measures
+// (single-threaded scans never retry).
 func BenchmarkMultiwordSnapshotContendedScan(b *testing.B) {
 	const lanes, bound = 8, 1<<15 - 1
 	s := core.NewFASnapshot(prim.NewRealWorld(), "s", lanes, core.WithSnapshotBound(bound))

@@ -157,10 +157,11 @@ func targets() []target {
 			},
 		},
 		{
-			// The multi-word engine at a word budget of ⌈p/2⌉ (31-bit fields):
-			// k XADD words + epoch-validated scans lift the 63-bit ceiling.
-			// At p ≤ 2 the bound fits one word and the constructor picks the
-			// packed engine — the row is then its lower bound.
+			// The multi-word engine at a word budget of ⌈p/2⌉ (24-bit fields
+			// next to the per-word sequence fields): k XADD words + validated
+			// double-collect scans lift the 63-bit ceiling. At p ≤ 2 the
+			// bound fits one word and the constructor picks the packed
+			// engine — the row is then its lower bound.
 			name: "snapshot: multiword k-XADD (SL)",
 			build: func(n int) func(prim.Thread, int) {
 				bound := interleave.MaxMultiFieldBound(n, (n+1)/2)

@@ -101,7 +101,7 @@ func workloads() map[string]struct {
 		}, spec.Snapshot{}),
 		"multiword": mk(func(procs int, seed int64) func(p, i int) history.StressOp {
 			// 32-bit fields: one lane per word, so every scan is a genuine
-			// cross-word epoch-validated collect.
+			// cross-word validated double collect.
 			s := core.NewFASnapshot(prim.NewRealWorld(), "s", procs, core.WithSnapshotBound(1<<32-1))
 			rngs := perProcRNG(procs, seed)
 			return func(p, i int) history.StressOp {

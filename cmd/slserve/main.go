@@ -22,7 +22,7 @@
 //	POST /snapshot?v=3         update the leased lane's snapshot component
 //	GET  /snapshot             scan the full view
 //	POST /msnapshot?v=3        update the multi-word snapshot's component
-//	GET  /msnapshot            epoch-validated scan of the multi-word view
+//	GET  /msnapshot            validated double-collect scan of the multi-word view
 //	POST /clock/tick           advance the logical clock (Algorithm 1)
 //	GET  /clock                read the logical clock
 //	GET  /stats                lanes, shards, lease and per-endpoint op counts
@@ -35,18 +35,19 @@
 // fits: the packed fast path of internal/core. The counter always runs
 // packed (its capacity bound is a machine word regardless). /msnapshot is a
 // second snapshot pinned to the multi-word engine's word-budget arithmetic —
-// components striped across ⌈lanes/2⌉ XADD words plus an epoch word — so a
-// k-XADD object is served at every lane count, whatever -bound says.
+// components striped across ⌈lanes/2⌉ XADD words (24-bit fields next to the
+// per-word sequence fields) — so a k-XADD object is served at every lane
+// count, whatever -bound says.
 //
 // The logical clock is Algorithm 1 over a snapshot whose components hold
 // graph-node references, so the server sizes its reference bound with the
-// same multi-word word-budget arithmetic (stronglin.MaxSnapshotBoundWords):
-// the clock is machine-word-backed at ANY lane count — the single packed
-// word when the bound fits one, k XADD words otherwise, including past 63
-// lanes where earlier servers had to fall back to the wide register — with a
-// lifetime operation budget of at least 2³¹−1. Requests past the true budget
-// get 503, not a panic. /stats reports each object's engine and word count,
-// plus the clock's capacity.
+// multi-word engine's own budget arithmetic (stronglin.MaxSnapshotBoundWords
+// at a word per lane): the clock is machine-word-backed at ANY lane count —
+// the single packed word when the bound fits one, k XADD words otherwise,
+// including past 63 lanes where earlier servers had to fall back to the wide
+// register — with a lifetime operation budget of 2⁴⁸−1. Requests past the
+// true budget get 503, not a panic. /stats reports each object's engine and
+// word count, plus the clock's capacity.
 //
 // Load-generator mode (closed loop; drives an in-process server unless -url
 // names a remote one):
@@ -146,26 +147,26 @@ type server struct {
 	}
 }
 
-// snapWords is the word budget the server grants its multi-word snapshot
-// engines: ⌈lanes/2⌉ words, i.e. at least a 31-bit field per lane. For the
-// clock that makes the reference budget ≥ 2³¹−1 at every lane count; scans
-// cost at most ⌈lanes/2⌉+2 XADD(0) reads.
+// snapWords is the word budget the server grants its dedicated multi-word
+// snapshot: ⌈lanes/2⌉ words, i.e. at least a 24-bit field per lane next to
+// each word's sequence field — comfortably above the request value cap.
+// Scans cost at most 2·⌈lanes/2⌉+1 XADD(0) reads per validation round.
 func snapWords(lanes int) int {
 	return (lanes + 1) / 2
 }
 
-// clockCapacity is the largest snapshot bound that stripes the given lane
-// count across the server's word budget (stronglin.MaxSnapshotBoundWords,
-// the multi-word engine's own budget arithmetic). The clock's snapshot
-// components hold graph-node references allocated densely from 1, so this
-// bound is exactly the number of clock operations the server can execute
-// before answering 503 — ≥ 2³¹−1 at any lane count, including past 63 lanes,
-// where the single packed word of earlier servers could not host the clock
-// at all and it fell back to wide. The engine stays machine-word end to end:
-// the constructor picks the single packed word when the bound fits one
-// (lanes ≤ 2) and the multi-word engine otherwise.
+// clockCapacity is the largest snapshot bound the multi-word engine hosts
+// at a word per lane (stronglin.MaxSnapshotBoundWords, the engine's own
+// budget arithmetic). The clock's snapshot components hold graph-node
+// references allocated densely from 1, so this bound is exactly the number
+// of clock operations the server can execute before answering 503 — 2⁴⁸−1
+// at any lane count past one (full-payload 48-bit reference fields),
+// including past 63 lanes, where the single packed word of earlier servers
+// could not host the clock at all and it fell back to wide. The engine
+// stays machine-word end to end: the constructor picks the single packed
+// word when the bound fits one and the multi-word engine otherwise.
 func clockCapacity(lanes int) int64 {
-	return stronglin.MaxSnapshotBoundWords(lanes, snapWords(lanes))
+	return stronglin.MaxSnapshotBoundWords(lanes, lanes)
 }
 
 // newServer builds the serving stack. bound > 0 declares the value domain of
@@ -343,10 +344,11 @@ func (s *server) snapshotHandler(w http.ResponseWriter, r *http.Request) {
 }
 
 // msnapshotHandler serves the multi-word snapshot: the same surface as
-// /snapshot, on the k-XADD engine whatever the lane count (Update: one XADD
-// on the owning word + epoch announce; Scan: lock-free epoch-validated
-// collect). Its bound is the server's word-budget arithmetic (≥ 2³¹−1), far
-// above the request value cap, so in-cap values are always in bound.
+// /snapshot, on the k-XADD engine whatever the lane count (Update: one
+// payload+sequence XADD on the owning word plus at most one announce; Scan:
+// lock-free double collect with a closing announce check). Its bound is the
+// server's word-budget arithmetic (≥ 2²⁴−1), far above the request value
+// cap, so in-cap values are always in bound.
 func (s *server) msnapshotHandler(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
@@ -654,8 +656,8 @@ func runAttack() error {
 // Written values are taken modulo valCap so they stay inside the target's
 // declared value domain — for the snapshot this means a -bound attack drives
 // the packed Theorem 2 word (one XADD per update, one per scan), and the
-// /msnapshot pair always drives the k-XADD engine's announce-completion
-// updates and epoch-validated scans.
+// /msnapshot pair always drives the k-XADD engine's announcing updates and
+// validated double-collect scans.
 func fire(client *http.Client, target string, c, i int, valCap int64) error {
 	var resp *http.Response
 	var err error

@@ -388,19 +388,19 @@ func TestClockCapacityExhaustion(t *testing.T) {
 
 // TestClockPackedPast63Lanes: past 63 lanes — where no single-word reference
 // bound exists and earlier servers fell back to a wide unbounded clock — the
-// multi-word engine keeps the clock machine-word-backed, with the 2³¹−1
-// budget the server's word-budget arithmetic grants (⌈lanes/2⌉ words =
-// 31-bit reference fields).
+// multi-word engine keeps the clock machine-word-backed, with the 2⁴⁸−1
+// budget the server's word-budget arithmetic grants (a word per lane =
+// full-payload 48-bit reference fields).
 func TestClockPackedPast63Lanes(t *testing.T) {
 	srv := newServer(64, 1, 0)
 	if eng := srv.clock.Engine(); eng != "multiword" {
 		t.Fatalf("64-lane clock engine = %s, want multiword", eng)
 	}
-	if got, want := srv.clock.Capacity(), int64(1)<<31-1; got != want {
+	if got, want := srv.clock.Capacity(), int64(1)<<48-1; got != want {
 		t.Fatalf("64-lane clock capacity = %d, want %d", got, want)
 	}
-	if words := srv.clock.Words(); words != 32 {
-		t.Fatalf("64-lane clock words = %d, want 32", words)
+	if words := srv.clock.Words(); words != 64 {
+		t.Fatalf("64-lane clock words = %d, want 64", words)
 	}
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()

@@ -156,10 +156,11 @@ func arrows() []arrow {
 			procs: 3, spec: spec.Snapshot{},
 			setup: func(w *sim.World) []sim.Program {
 				// 3 components x 22-bit fields: 2 lanes/word x 2 XADD words
-				// plus the announce-completion epoch word — the engine that
-				// lifts the single word's 63-bit ceiling. Scans are
-				// epoch-validated collects (lock-free); updates stay
-				// wait-free single XADDs.
+				// with per-word sequence fields (word 0's doubling as the
+				// announce counter) — the engine that lifts the single
+				// word's 63-bit ceiling. Scans are double collects with a
+				// closing announce check (lock-free); updates stay wait-free
+				// (one payload XADD plus at most one announce).
 				s := core.NewFASnapshot(w, "s", 3, core.WithSnapshotBound(1<<22-1))
 				return []sim.Program{
 					{opUpdate(s, 0, 1)}, {opUpdate(s, 1, 2)}, {opScan(s)},

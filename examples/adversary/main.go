@@ -41,7 +41,7 @@ func main() {
 
 	multi := stronglin.PlayAdversary(stronglin.AdversaryVsStrongMultiword, trials, 4)
 	fmt.Printf("%-52s %-12s %s\n",
-		"multi-word k-XADD snapshot (epoch scans, s.lin.)",
+		"multi-word k-XADD snapshot (validated scans, s.lin.)",
 		multi.String(),
 		"distribution preserved")
 

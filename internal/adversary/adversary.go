@@ -67,10 +67,11 @@ const (
 	// single-fetch&add step structure — and must show the identical 1/2 rate.
 	PackedFASnapshot
 	// MultiwordFASnapshot is the snapshot on its multi-word engine: 3
-	// components striped over 2 XADD words plus the announce-completion epoch
-	// word. Scans are epoch-validated combining reads rather than single
-	// fetch&adds, but the engine is strongly linearizable, so the adversary's
-	// win rate must still be pinned at 1/2 — the scanner's view relative to a
+	// components striped over 2 XADD words carrying per-word sequence
+	// fields, word 0's doubling as the announce counter. Scans are double
+	// collects with a closing announce check rather than single fetch&adds,
+	// but the engine is strongly linearizable, so the adversary's win rate
+	// must still be pinned at 1/2 — the scanner's view relative to a
 	// COMPLETED (announced) update is committed before the coin exists.
 	MultiwordFASnapshot
 )
@@ -176,16 +177,18 @@ func playOnce(kind SnapshotKind, coin int) bool {
 		)
 	case MultiwordFASnapshot:
 		// Same adversary strategy on the multi-word engine's step structure:
-		// an update is invoke + word XADD + epoch announce (3 steps), a scan
-		// is invoke + epoch read + 2 word reads + validating epoch read (5
-		// steps — no retries here, since no announce lands inside the
-		// window). update(1) is complete (announced) before the scan starts,
-		// so the validated view contains it on both coin branches: 1/2.
+		// p2's updates own word 1 (invoke + payload XADD + announce on word
+		// 0: 3 steps each), p1's update owns word 0 (invoke + payload XADD
+		// with the announce fused in: 2 steps), and a scan is invoke + two
+		// 2-word collects + the closing word-0 read (6 steps — no retries
+		// here, since nothing lands inside the window). update(1) is
+		// complete (announced) before the scan starts, so the validated view
+		// contains it on both coin branches: 1/2.
 		schedule = concat(
 			rep(2, 6), // p2: both updates
-			rep(1, 3), // p1: update(1)
+			rep(1, 2), // p1: update(1)
 			rep(1, 1), // p1: flip
-			rep(0, 5), // p0: scan
+			rep(0, 6), // p0: scan
 		)
 	case AfekSnapshot:
 		// Drive to the fork of the strong-linearizability counterexample:

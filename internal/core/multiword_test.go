@@ -15,20 +15,35 @@ import (
 	"stronglin/internal/spec"
 )
 
-// The multi-word snapshot engine stripes components across k XADD words plus
-// an announce-completion epoch word, lifting the single packed word's
-// n x bitWidth(maxValue) <= 63 ceiling. It is verified the same three ways
-// as the packed cores — exhaustive strong-linearizability model checks on
-// bounded configurations (2 words x 2-3 procs x 1-2 ops), differential
-// fuzzing against the wide register as oracle, randomized linearizability
-// stress under real concurrency — plus the negative exhibit the design rests
-// on: the SAME collect without epoch validation is not even linearizable.
+// The multi-word snapshot engine stripes components across k XADD words —
+// each carrying a per-word sequence field that every value-changing update
+// bumps in the same XADD as its payload delta, word 0's doubling as the
+// announce counter — lifting the single packed word's
+// n x bitWidth(maxValue) <= 63 ceiling. Scans are double collects with a
+// closing announce check: two consecutive identical k-word reads pin the
+// state to a real instant, and a final matching re-read of word 0 anchors
+// that instant against completed updates. The engine is verified the same
+// three ways as the packed cores — exhaustive strong-linearizability model
+// checks on bounded configurations (2 words x 2-3 procs x 1-2 ops,
+// including cross-word updater placements), differential fuzzing against
+// the wide register as oracle, randomized linearizability stress under real
+// concurrency (including the 2-updater x 2-scanner view-comparability
+// property) — plus THREE negative exhibits, one per discarded design: a
+// single unvalidated collect is not even linearizable; announce-only
+// validation (this engine's originally shipped protocol) let two concurrent
+// scans validate incomparable views; and the double collect without the
+// closing check is linearizable but not strongly linearizable.
 
 // mwBound3 stripes 3 lanes over 2 words: FieldWidth = 22, 2 lanes/word.
 const mwBound3 = int64(1)<<22 - 1
 
 // mwBound2 stripes 2 lanes over 2 words: FieldWidth = 32, 1 lane/word.
 const mwBound2 = int64(1)<<32 - 1
+
+// mwBound24 stripes 2 lanes per word: FieldWidth = 24. With 3 lanes it is
+// the minimal cross-word shape whose updaters can sit on different words
+// while the scan still reads only 2 words.
+const mwBound24 = int64(1)<<24 - 1
 
 func TestMultiwordSelection(t *testing.T) {
 	w := sim.NewSoloWorld()
@@ -38,12 +53,12 @@ func TestMultiwordSelection(t *testing.T) {
 		bound int64
 		words int
 	}{
-		{"m8", 8, 1<<15 - 1, 2},             // 8 x 15 bits: 4 lanes/word x 2 words
-		{"m16", 16, 1<<15 - 1, 4},           // 16 x 15 bits: 4 words
-		{"m3", 3, mwBound3, 2},              // 3 x 22 bits: 2 words
-		{"m64", 64, 3, 3},                   // past 63 lanes entirely: 31 lanes/word
-		{"mmax", 2, math.MaxInt64, 2},       // full-width fields: 1 lane/word
-		{"m100", 100, int64(1)<<31 - 1, 50}, // 31-bit refs at 100 lanes
+		{"m8", 8, 1<<15 - 1, 3},              // 8 x 15 bits: 3 lanes/word x 3 words
+		{"m16", 16, 1<<15 - 1, 6},            // 16 x 15 bits: 6 words
+		{"m3", 3, mwBound3, 2},               // 3 x 22 bits: 2 words
+		{"m64", 64, 3, 3},                    // past 63 lanes entirely: 24 lanes/word
+		{"m48", 2, int64(1)<<48 - 1, 2},      // full-payload fields: 1 lane/word
+		{"m100", 100, int64(1)<<31 - 1, 100}, // 31-bit refs at 100 lanes
 	} {
 		s := NewFASnapshot(w, c.name, c.n, WithSnapshotBound(c.bound))
 		if !s.Multiword() || s.Packed() || s.Engine() != "multiword" {
@@ -61,6 +76,12 @@ func TestMultiwordSelection(t *testing.T) {
 	// No bound: the wide register remains the only unbounded substrate.
 	if s := NewFASnapshot(w, "wide", 4); s.Engine() != "wide" || s.Words() != 0 {
 		t.Errorf("unbounded engine = %s, words = %d; want wide, 0", s.Engine(), s.Words())
+	}
+	// A bound needing 49..63-bit fields exceeds the validated word's payload
+	// budget (interleave.LaneBits next to the sequence field): honest wide
+	// fallback instead of an unvalidatable striping.
+	if s := NewFASnapshot(w, "toowide", 2, WithSnapshotBound(math.MaxInt64)); s.Engine() != "wide" {
+		t.Errorf("63-bit fields at 2 lanes: engine = %s, want wide", s.Engine())
 	}
 }
 
@@ -125,10 +146,21 @@ func TestMultiwordScanIntoLengthMismatch(t *testing.T) {
 
 // --- exhaustive strong-linearizability model checks --------------------------
 //
-// 2 words x 2-3 procs x 1-2 ops: multi-word operations take several scheduler
-// steps (update: word XADD + announce; scan: epoch, k words, epoch, plus
-// retries), so the configurations are kept a notch smaller than the
-// single-fetch&add engines' to stay within the exploration cap.
+// 2 words x 2-3 procs x 1-2 ops: a multi-word update is one scheduler step
+// on word 0 and two elsewhere (payload XADD + announce), and a scan is
+// 2k+1 word reads plus retries, so the configurations are kept a notch
+// smaller than the single-fetch&add engines' to stay within the exploration
+// cap. Both hazards the protocol guards against have their minimal
+// EXHAUSTIVE witness inside this envelope except one: the double-collect
+// commitment hazard needs 2 cross-word updaters + 1 scanner (3 procs,
+// TestMultiwordUnanchoredScanNotStrongLin / the positive CrossWordUpdaters
+// twin), while the announce-only incomparable-views hazard needs a second
+// scanner (4 procs), whose full tree exceeds the exploration cap on any
+// protocol — that shape is pinned by a crafted-schedule refutation
+// (TestMultiwordAnnounceOnlyProtocolNotLinearizable, soundly: one
+// non-linearizable complete history refutes), a crafted-schedule positive
+// race (TestMultiwordCrossWordScansCraftedRace), and the real-concurrency
+// comparability stress (TestMultiwordConcurrentScansComparable).
 
 func TestMultiwordSnapshotStrongLinTwoUpdatersOneScanner(t *testing.T) {
 	if testing.Short() {
@@ -147,8 +179,8 @@ func TestMultiwordSnapshotStrongLinTwoUpdatersOneScanner(t *testing.T) {
 
 // TestMultiwordSnapshotStrongLinCrossWord puts the updaters on DIFFERENT
 // words (1 lane per word): the interleavings where a collect reads one word
-// before an update and the other after are exactly the ones the epoch
-// validation must catch.
+// before an update and the other after are exactly the ones the double
+// collect must catch.
 func TestMultiwordSnapshotStrongLinCrossWord(t *testing.T) {
 	if testing.Short() {
 		t.Skip("exhaustive model check; skipped in -short mode")
@@ -168,7 +200,7 @@ func TestMultiwordSnapshotStrongLinOverwrites(t *testing.T) {
 		t.Skip("exhaustive model check; skipped in -short mode")
 	}
 	// The same component written twice, concurrent with two scans: exercises
-	// negative field deltas and scan retries under repeated announces.
+	// negative field deltas and scan retries under repeated sequence bumps.
 	setup := func(w *sim.World) []sim.Program {
 		s := NewFASnapshot(w, "snap", 2, WithSnapshotBound(mwBound2))
 		return []sim.Program{
@@ -193,16 +225,254 @@ func TestMultiwordSnapshotStrongLinSameValueUpdate(t *testing.T) {
 	verifySL(t, 2, setup, spec.Snapshot{})
 }
 
+// TestMultiwordSnapshotStrongLinCrossWordUpdaters is the review-driven
+// envelope extension, and the shape under which BOTH discarded designs
+// fail: updaters on two DIFFERENT words concurrent with a full scan, all
+// three operations pairwise concurrent possible. Word 0's updater announces
+// in its payload XADD; word 1's updater announces in a separate step — so
+// this configuration exercises the completion hazard exhaustively: an
+// update can land after the scan's validated pair has passed its word and
+// complete while the scan is finishing, and the second updater keeps the
+// scan's outcome undetermined. The unanchored twin below shows the game
+// checker refuting the double collect WITHOUT the closing announce check on
+// exactly this configuration; the shipped protocol must win it.
+func TestMultiwordSnapshotStrongLinCrossWordUpdaters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check; skipped in -short mode")
+	}
+	setup := func(w *sim.World) []sim.Program {
+		s := NewFASnapshot(w, "snap", 3, WithSnapshotBound(mwBound24)) // lanes 0,1 word 0; lane 2 word 1
+		if s.Words() != 2 {
+			t.Fatalf("words = %d, want 2", s.Words())
+		}
+		return []sim.Program{
+			{opUpdate(s, 0, 1)}, // word 0: announce fused into the payload XADD
+			{opScan(s)},
+			{opUpdate(s, 2, 2)}, // word 1: separate announce step
+		}
+	}
+	verifySL(t, 3, setup, spec.Snapshot{})
+}
+
+// TestMultiwordUnanchoredScanNotStrongLin is the negative twin: the SAME
+// cross-word configuration, with the scan's closing announce check removed
+// (scanUnanchoredInto). Two consecutive identical collects still pin a true
+// state, so every complete execution is linearizable — but the pinned
+// instant may lie in the past of an update that already returned: after the
+// pair has validated word 0, the word-0 updater can land and complete while
+// the scan is still reading word 1, and whether the scan's eventual view
+// includes it still hangs on the word-1 updater. No eager linearization of
+// the pending scan survives both futures, so prefix-closure fails: the game
+// checker refutes strong linearizability exhaustively. This is the
+// linearizable-but-not-strongly-linearizable gap the library exists to
+// close, reproduced inside the multi-word engine — and the reason the
+// shipped scan's final step re-reads word 0.
+func TestMultiwordUnanchoredScanNotStrongLin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check; skipped in -short mode")
+	}
+	setup := func(w *sim.World) []sim.Program {
+		s := NewFASnapshot(w, "snap", 3, WithSnapshotBound(mwBound24))
+		unanchored := sim.Op{
+			Name: "scan-unanchored()",
+			Spec: spec.MkOp(spec.MethodScan),
+			Run: func(th prim.Thread) string {
+				return spec.RespVec(s.scanUnanchoredInto(th, make([]int64, 3)))
+			},
+		}
+		return []sim.Program{
+			{opUpdate(s, 0, 1)},
+			{unanchored},
+			{opUpdate(s, 2, 2)},
+		}
+	}
+	v, err := history.Verify(3, setup, spec.Snapshot{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Linearizable {
+		t.Fatalf("the unanchored double collect must stay linearizable (it returns true states): %s", v.LinViolation)
+	}
+	if v.StrongLin.Ok {
+		t.Fatal("the unanchored double collect must NOT be strongly linearizable")
+	}
+	t.Logf("unanchored-scan commitment counterexample: %v", v.StrongLin.Counterexample)
+}
+
+// TestMultiwordAnnounceOnlyProtocolNotLinearizable pins the bug this PR's
+// review caught in the engine's originally shipped protocol, on the minimal
+// 4-process shape that exhibits it (updaters on two words plus TWO
+// concurrent scanners — one process more than the exhaustive envelope
+// above, whose full tree exceeds the exploration cap; a single
+// non-linearizable complete history is a sound refutation). That protocol
+// striped components over k words WITHOUT per-word sequence fields and had
+// updates announce completion on a separate epoch word AFTER their payload
+// XADD, with scans validating one collect against an unchanged epoch. The
+// announce gap is fatal: with one update in flight on each word and neither
+// yet announced, both scans validate (the epoch never moved) yet split the
+// in-flight updates inconsistently — scan A sees update 1 but not update 2,
+// scan B sees update 2 but not update 1 — and no total order of the updates
+// explains both views. The test rebuilds that protocol from raw registers
+// and drives the window with a crafted schedule. The shipped engine closes
+// the gap structurally: the payload delta and the owning word's sequence
+// bump land in ONE XADD, so a collect pair can never half-see an update.
+func TestMultiwordAnnounceOnlyProtocolNotLinearizable(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		words := []prim.FetchAddInt{
+			w.FetchAddInt("old.R0", 0),
+			w.FetchAddInt("old.R1", 0),
+		}
+		epoch := w.FetchAddInt("old.epoch", 0)
+		update := func(word int, delta int64) sim.Op {
+			return sim.Op{
+				Name: spec.MkOp(spec.MethodUpdate, int64(word), delta).String(),
+				Spec: spec.MkOp(spec.MethodUpdate, int64(word), delta),
+				Run: func(th prim.Thread) string {
+					words[word].FetchAddInt(th, delta) // payload lands...
+					epoch.FetchAddInt(th, 1)           // ...and only then announces
+					return spec.RespOK
+				},
+			}
+		}
+		scan := sim.Op{
+			Name: "scan-epoch()",
+			Spec: spec.MkOp(spec.MethodScan),
+			Run: func(th prim.Thread) string {
+				view := make([]int64, 2)
+				e := epoch.FetchAddInt(th, 0)
+				for {
+					view[0] = words[0].FetchAddInt(th, 0)
+					view[1] = words[1].FetchAddInt(th, 0)
+					e2 := epoch.FetchAddInt(th, 0)
+					if e2 == e {
+						return spec.RespVec(view)
+					}
+					e = e2
+				}
+			},
+		}
+		return []sim.Program{
+			{update(0, 1)},
+			{update(1, 2)},
+			{scan},
+			{scan},
+		}
+	}
+	// The reviewed counterexample, step by step (procs: 0/1 = updaters on
+	// words 0/1; 2/3 = scanners): both scanners read epoch 0; scanner 3 reads
+	// word 0 BEFORE update 0 lands; update 0 lands (unannounced); scanner 2
+	// reads word 0 (sees it) and word 1 (empty); update 1 lands
+	// (unannounced); scanner 3 reads word 1 (sees it); both scanners re-read
+	// epoch 0 and validate — scanner 2 returns [1 0], scanner 3 returns
+	// [0 2]; the updates then announce and return.
+	schedule := []int{
+		2, 2, // scan A: invoke, epoch read (0)
+		3, 3, // scan B: invoke, epoch read (0)
+		3,    // scan B: word 0 read -> 0
+		0, 0, // update 0: invoke, XADD word 0
+		2, 2, // scan A: word 0 read -> 1, word 1 read -> 0
+		1, 1, // update 1: invoke, XADD word 1
+		3,    // scan B: word 1 read -> 2
+		2,    // scan A: epoch re-read (0): validates, returns [1 0]
+		3,    // scan B: epoch re-read (0): validates, returns [0 2]
+		0, 1, // both updates announce and return
+	}
+	exec, err := sim.Run(4, setup, schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exec.Complete {
+		t.Fatalf("crafted schedule did not complete the execution (schedule %v)", exec.Schedule)
+	}
+	h := history.FromEvents(4, exec.Ops, exec.Events)
+	res := history.CheckLinearizable(h, spec.Snapshot{})
+	if res.Ok {
+		t.Fatalf("the announce-only protocol linearized the incomparable-views history: %s", h.String())
+	}
+	t.Logf("announce-only counterexample history: %s", h.String())
+}
+
+// TestMultiwordCrossWordScansCraftedRace drives the SHIPPED engine through
+// the same adversarial window the announce-only counterexample exploits —
+// scan B reads word 0 before the word-0 update lands, scan A reads it
+// after, and the word-1 update lands between the two scans' reads of word 1
+// — then lets the run complete deterministically. Where the retired
+// protocol returned incomparable views, the shipped scans' validation
+// forces re-collects: the recorded history must be linearizable and the two
+// views componentwise comparable. (A deterministic regression for the
+// 4-proc shape; the exhaustive 3-proc checks and the randomized
+// comparability stress carry the general claim.)
+func TestMultiwordCrossWordScansCraftedRace(t *testing.T) {
+	var views [][]int64
+	setup := func(w *sim.World) []sim.Program {
+		s := NewFASnapshot(w, "snap", 4, WithSnapshotBound(mwBound24)) // lanes 0,1 word 0; lanes 2,3 word 1
+		scan := sim.Op{
+			Name: "scan()",
+			Spec: spec.MkOp(spec.MethodScan),
+			Run: func(th prim.Thread) string {
+				v := s.Scan(th)
+				views = append(views, v)
+				return spec.RespVec(v)
+			},
+		}
+		return []sim.Program{
+			{opUpdate(s, 0, 1)}, // word 0
+			{scan},              // scan A
+			{opUpdate(s, 2, 2)}, // word 1
+			{scan},              // scan B
+		}
+	}
+	// The critical window, as a lenient policy: play the crafted grant when
+	// it is enabled, fall back to the lowest enabled process otherwise, and
+	// round-robin the run to completion past the window.
+	window := []int{1, 3, 3, 0, 0, 1, 1, 2, 2, 3, 1, 1, 2}
+	policy := func(v sim.PolicyView) int {
+		if v.Step < len(window) {
+			p := window[v.Step]
+			for _, e := range v.Enabled {
+				if e == p {
+					return p
+				}
+			}
+		}
+		return v.Enabled[0]
+	}
+	exec, err := sim.RunToCompletion(4, setup, policy, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exec.Complete {
+		t.Fatalf("crafted race did not complete (schedule %v)", exec.Schedule)
+	}
+	h := history.FromEvents(4, exec.Ops, exec.Events)
+	if res := history.CheckLinearizable(h, spec.Snapshot{}); !res.Ok {
+		t.Fatalf("crafted race history not linearizable: %s", h.String())
+	}
+	if len(views) != 2 {
+		t.Fatalf("recorded %d views, want 2", len(views))
+	}
+	le, ge := true, true
+	for i := range views[0] {
+		le = le && views[0][i] <= views[1][i]
+		ge = ge && views[0][i] >= views[1][i]
+	}
+	if !le && !ge {
+		t.Fatalf("incomparable views under the crafted race: %v vs %v", views[0], views[1])
+	}
+	t.Logf("crafted race views: %v / %v, history: %s", views[0], views[1], h.String())
+}
+
 // TestMultiwordNaiveScanNotLinearizable is the negative exhibit the engine's
 // design rests on (and the reason a multi-word snapshot is not just "k packed
-// snapshots"): the SAME k-word collect WITHOUT epoch validation is not even
-// linearizable. With one lane per word, a collect can read lane 0's word
-// before an update(1) that then COMPLETES, after which a later update(2) on
-// lane 1's word lands and is read — the view contains the later update but
-// not the earlier completed one, which no legal ordering explains. This is
-// the multi-register analogue of the sharded max register's broken
-// single-collect, and the reason naive combining reads fail the paper's
-// program (cf. the impossibility companion on consistent refereeing).
+// snapshots"): a LONE k-word collect, without the validating second one, is
+// not even linearizable. With one lane per word, a collect can read lane 0's
+// word before an update(1) that then COMPLETES, after which a later
+// update(2) on lane 1's word lands and is read — the view contains the later
+// update but not the earlier completed one, which no legal ordering
+// explains. This is the multi-register analogue of the sharded max
+// register's broken single-collect, and the reason naive combining reads
+// fail the paper's program (cf. the impossibility companion on consistent
+// refereeing).
 func TestMultiwordNaiveScanNotLinearizable(t *testing.T) {
 	setup := func(w *sim.World) []sim.Program {
 		s := NewFASnapshot(w, "snap", 3, WithSnapshotBound(mwBound2)) // FieldWidth 32: 1 lane/word, 3 words
@@ -235,9 +505,8 @@ func TestMultiwordNaiveScanNotLinearizable(t *testing.T) {
 // --- linearization-point certificates ----------------------------------------
 
 // TestMultiwordUpdateCertificate: updates keep a fixed own-step linearization
-// point — the XADD on the owning word, marked before the announce — so
-// update-only trees certify linearly, exactly like the single-register
-// engines.
+// point — their single XADD on the owning word — so update-only trees
+// certify linearly, exactly like the single-register engines.
 func TestMultiwordUpdateCertificate(t *testing.T) {
 	setup := func(w *sim.World) []sim.Program {
 		s := NewFASnapshot(w, "snap", 2, WithSnapshotBound(mwBound2))
@@ -256,11 +525,11 @@ func TestMultiwordUpdateCertificate(t *testing.T) {
 }
 
 // TestMultiwordScanDeclinesCertificate pins a deliberate design point: the
-// multi-word Scan declares NO linearization-point mark, because no fixed
-// own-step mark is valid — whether a concurrent not-yet-announced update is
-// in the view depends on the update's XADD timing relative to the scan's
-// read of that one word, so neither the validating epoch read nor any other
-// own step orders the scan against updates' marked XADDs on every execution
+// multi-word Scan declares NO linearization-point mark. Its linearization
+// point is the first read of the round that validates, which is only
+// identified in hindsight — when that read executes, whether the round's
+// second reads will match still depends on updates that have not happened,
+// so no mark placed during execution names the right step on every branch
 // (the same reason internal/shard's combining reads carry no certificates).
 // The certificate checker therefore rejects mixed trees with a missing-mark
 // failure, and strong linearizability of the multi-word engine rests on the
@@ -342,8 +611,8 @@ func TestMultiwordSimpleTypesPast63Lanes(t *testing.T) {
 	}
 
 	ctr := NewCounterFromFA(w, "ctr", 100, WithSnapshotBound(refs))
-	if ctr.Engine() != "multiword" || ctr.Words() != 50 {
-		t.Fatalf("100-lane counter engine = %s x %d, want multiword x 50", ctr.Engine(), ctr.Words())
+	if ctr.Engine() != "multiword" || ctr.Words() != 100 {
+		t.Fatalf("100-lane counter engine = %s x %d, want multiword x 100", ctr.Engine(), ctr.Words())
 	}
 	if err := ctr.TryInc(sim.SoloThread(99)); err != nil {
 		t.Fatal(err)
@@ -374,7 +643,7 @@ func TestMultiwordSimpleTypesPast63Lanes(t *testing.T) {
 // operations past 63 lanes — TryExecute refuses cleanly at the bound.
 func TestMultiwordSimpleObjectCapacity(t *testing.T) {
 	w := sim.NewSoloWorld()
-	c := NewLogicalClockFromFA(w, "clk", 64, WithSnapshotBound(3)) // 2-bit refs, 31 lanes/word
+	c := NewLogicalClockFromFA(w, "clk", 64, WithSnapshotBound(3)) // 2-bit refs, 24 lanes/word
 	if c.Engine() != "multiword" || c.Capacity() != 3 {
 		t.Fatalf("engine = %s, capacity = %d; want multiword with capacity 3", c.Engine(), c.Capacity())
 	}
@@ -395,7 +664,7 @@ func FuzzMultiwordVsWideSnapshot(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
 	f.Add([]byte{250, 125, 60, 30, 15, 7, 3, 1})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		const lanes, bound = 8, 255 // FieldWidth 8: 7 lanes/word x 2 words
+		const lanes, bound = 8, 255 // FieldWidth 8: 6 lanes/word x 2 words
 		w := sim.NewSoloWorld()
 		multi := NewFASnapshot(w, "m", lanes, WithSnapshotBound(bound))
 		wide := NewFASnapshot(w, "w", lanes)
@@ -454,6 +723,73 @@ func TestMultiwordSnapshotRealWorldStress(t *testing.T) {
 	})
 	if res := history.CheckLinearizable(h, spec.Snapshot{}); !res.Ok {
 		t.Fatalf("stress history not linearizable: %s", h.String())
+	}
+}
+
+// TestMultiwordConcurrentScansComparable is the race-stress form of the
+// 4-proc property the exploration cap keeps out of the exhaustive envelope:
+// views returned by CONCURRENT scans must be pairwise comparable. Two
+// updaters write strictly increasing values to lanes on different words
+// while two scanners collect continuously; since every lane's history is
+// increasing, any two views the object may legally return are componentwise
+// ordered — a pair where one scanner saw lane 0's newer value but lane 1's
+// older one and the other scanner the reverse (exactly what the retired
+// announce-only protocol produced) is a linearizability violation this
+// assertion catches directly, without a checker in the loop.
+func TestMultiwordConcurrentScansComparable(t *testing.T) {
+	w := prim.NewRealWorld()
+	const lanes = 4
+	s := NewFASnapshot(w, "snap", lanes, WithSnapshotBound(mwBound2)) // 1 lane/word x 4 words
+	if !s.Multiword() {
+		t.Fatal("config must stripe")
+	}
+	const scanners, perScanner = 2, 400
+	var stop atomic.Bool
+	var updWG, scanWG sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		updWG.Add(1)
+		go func(p int) {
+			defer updWG.Done()
+			th := prim.RealThread(p)
+			for v := int64(1); !stop.Load(); v++ {
+				s.Update(th, v)
+			}
+		}(p)
+	}
+	views := make([][][]int64, scanners)
+	for sc := 0; sc < scanners; sc++ {
+		scanWG.Add(1)
+		go func(sc int) {
+			defer scanWG.Done()
+			th := prim.RealThread(2 + sc)
+			for i := 0; i < perScanner; i++ {
+				views[sc] = append(views[sc], s.Scan(th))
+			}
+		}(sc)
+	}
+	// Scanners finish their quota first, so every scan ran against live
+	// updaters; only then are the updaters released.
+	scanWG.Wait()
+	stop.Store(true)
+	updWG.Wait()
+	var all [][]int64
+	for sc := range views {
+		all = append(all, views[sc]...)
+	}
+	comparable := func(a, b []int64) bool {
+		le, ge := true, true
+		for i := range a {
+			le = le && a[i] <= b[i]
+			ge = ge && a[i] >= b[i]
+		}
+		return le || ge
+	}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if !comparable(all[i], all[j]) {
+				t.Fatalf("incomparable views: %v vs %v", all[i], all[j])
+			}
+		}
 	}
 }
 

@@ -41,21 +41,51 @@ type SnapshotAPI interface {
 //     (prim.FetchAddInt). Update is one XADD of the signed in-lane field
 //     delta, Scan one XADD(0) plus shift-and-mask. One fetch&add per
 //     operation: the wide linearization argument transfers unchanged.
-//   - multi-word, otherwise (any bound fits: FieldWidth <= 63 always): the
-//     components are striped across k XADD words (interleave.MultiPacked)
-//     plus one epoch word. Update is one XADD of the field delta on the
-//     OWNING word — still its linearization point — followed by an
-//     announce-completion bump of the epoch; Scan snapshots the epoch, reads
-//     the k words, and re-reads the epoch, retrying until it is unchanged
-//     (the proven pattern of internal/shard's combining reads). Updates stay
-//     wait-free; scans are lock-free (a retry consumes an update's
-//     announce), with a retry-bounded writer-backoff hint so scans are not
-//     starved under real-world update storms. An unvalidated multi-word
-//     collect is NOT even linearizable — one word can be read before an
-//     update that a later-read word already reflects has started — and the
-//     model checker exhibits exactly that (see the package tests); the epoch
-//     validation is what restores strong linearizability.
-//   - wide big.Int register, only when no bound is declared.
+//
+//   - multi-word, when FieldWidth(maxValue) <= interleave.LaneBits (48): the
+//     components are striped across k XADD words (interleave.MultiPacked),
+//     each carrying a 16-bit per-word sequence field above its lane payload.
+//     Word 0's sequence field doubles as the ANNOUNCE counter. Update is an
+//     XADD on the owning word — the field delta plus a sequence bump,
+//     landing atomically, the linearization point — followed, when the
+//     owning word is not word 0, by an announce bump of word 0's sequence
+//     field; an update owned by word 0 announces and publishes in the same
+//     single XADD. Updates are wait-free with a fixed own-step linearization
+//     point. Scan is a DOUBLE COLLECT with a closing announce check: read
+//     the k words repeatedly until two consecutive collects are identical
+//     (payload AND sequence fields), then re-read word 0 as the final step
+//     and return only if it still matches the validated pair, feeding every
+//     failed read back in as the next round's baseline. Scans are lock-free
+//     (a retry witnesses a concurrent update's step) with a retry-bounded
+//     writer-backoff hint so real-world update storms cannot starve them.
+//
+//     BOTH validations are load-bearing, and the package tests pin a
+//     counterexample for each half alone. Announce-only validation (one
+//     collect bracketed by announce-counter reads) is not even linearizable:
+//     an update's payload lands before its announce, so two in-flight
+//     updates on different words can be split inconsistently between two
+//     concurrent scans that both validate — incomparable views no update
+//     order explains (the sequence bump landing IN the payload XADD is what
+//     closes that window). Double collect alone is linearizable — two
+//     identical consecutive collects pin the k-word state to a real instant
+//     inside the scan, so every view is a true state and any two views are
+//     comparable — but NOT strongly linearizable: the pinned instant may lie
+//     in the PAST, so an update can land after a word's final validated read
+//     and RETURN while the scan is finishing, forcing the prefix-closed
+//     linearization to commit the scan's view before it is determined (a
+//     second writer still threatens the unread words). The closing announce
+//     check restores the commitment: every update that announced before the
+//     scan's final step is either in the view or forces a retry, so a
+//     returned view reflects all updates that completed before the scan
+//     did, and appending the scan after them is always consistent. Strong
+//     linearizability is decided mechanically by the execution-tree game
+//     checker, including on the cross-word configurations where each lone
+//     validation fails.
+//
+//   - wide big.Int register, when no bound is declared — or when the bound
+//     needs 49..63-bit fields, which exceed the validated multi-word
+//     payload budget (one 48+-bit field per word buys little over a wide
+//     limb anyway).
 //
 // The bound is enforced identically on every engine (Update past it panics),
 // so behaviour never depends on which substrate was selected.
@@ -68,7 +98,6 @@ type FASnapshot struct {
 	pc    interleave.Packed
 	mp    interleave.MultiPacked
 	words []prim.FetchAddInt // multi-word engine; nil otherwise
-	epoch prim.FetchAddInt   // announce-completion word (multi-word engine)
 	bound int64              // -1: unbounded (wide); >= 0: declared max component value
 	prev  []int64            // prev[i] is accessed only by process i
 
@@ -86,6 +115,12 @@ var _ SnapshotAPI = (*FASnapshot)(nil)
 // before raising the writer-backoff hint.
 const scanSpinRounds = 2
 
+// scanStackWords is the largest word count whose collect buffer lives on the
+// scanning goroutine's stack; larger registers fall back to a heap buffer
+// per scan. 64 words cover every multi-word shape the serving stack builds
+// (up to 64 full-width 48-bit lanes, or thousands of narrow ones).
+const scanStackWords = 64
+
 // SnapshotOption configures NewFASnapshot.
 type SnapshotOption func(*FASnapshot)
 
@@ -93,9 +128,9 @@ type SnapshotOption func(*FASnapshot)
 // and makes Update panic on values beyond it (like negatives). The bound
 // selects the register engine (see the type comment): one packed machine
 // word when n x FieldWidth(maxValue) <= 63 bits, the multi-word k-XADD
-// engine otherwise — so every bounded snapshot runs on hardware XADD words;
-// the wide big.Int register remains only for unbounded snapshots. The bound
-// is enforced on every engine, so behaviour does not depend on which was
+// engine when the field fits a validated word (FieldWidth <=
+// interleave.LaneBits), the wide big.Int register otherwise. The bound is
+// enforced on every engine, so behaviour does not depend on which was
 // selected.
 func WithSnapshotBound(maxValue int64) SnapshotOption {
 	if maxValue < 0 {
@@ -106,7 +141,7 @@ func WithSnapshotBound(maxValue int64) SnapshotOption {
 
 // NewFASnapshot allocates the construction for n processes using a single
 // fetch&add register named name+".R" (or, on the multi-word engine, words
-// name+".R0".."R<k-1>" plus name+".epoch"). Components are initially 0.
+// name+".R0".."R<k-1>"). Components are initially 0.
 func NewFASnapshot(w prim.World, name string, n int, opts ...SnapshotOption) *FASnapshot {
 	s := &FASnapshot{
 		n:     n,
@@ -131,7 +166,6 @@ func NewFASnapshot(w prim.World, name string, n int, opts ...SnapshotOption) *FA
 			for j := range s.words {
 				s.words[j] = w.FetchAddInt(fmt.Sprintf("%s.R%d", name, j), 0)
 			}
-			s.epoch = w.FetchAddInt(name+".epoch", 0)
 			return s
 		}
 	}
@@ -148,8 +182,7 @@ func (s *FASnapshot) Multiword() bool { return s.words != nil }
 
 // Words returns the number of machine words holding components: 1 on the
 // single packed word, k on the multi-word engine, 0 on the wide register
-// (whose width is unbounded; the epoch word of the multi-word engine is not
-// counted — it holds no component).
+// (whose width is unbounded).
 func (s *FASnapshot) Words() int {
 	switch {
 	case s.rp != nil:
@@ -178,10 +211,19 @@ func (s *FASnapshot) Engine() string {
 func (s *FASnapshot) Bound() int64 { return s.bound }
 
 // Update writes v (which must be non-negative) to the caller's component.
-// On the multi-word engine the XADD on the owning word is the linearization
-// point; the epoch bump that follows announces completion to validating
-// scans (an update is not complete — and so not forced into any scan's
-// linearization — until it has announced).
+// On the single-register engines Update is one fetch&add, its linearization
+// point. On the multi-word engine the payload XADD is the linearization
+// point, and it carries the owning word's sequence-field bump in the SAME
+// atomic step — so there is never a window in which an update's payload is
+// visible to collects but invisible to their validation: at every instant a
+// word's sequence field counts exactly the value changes its payload
+// reflects. The announce bump of word 0's sequence field that follows (for
+// updates not owned by word 0; a word-0 update's payload XADD is already
+// its announce) marks completion for the scans' closing check: an update is
+// not complete until it has announced, and a scan whose view misses the
+// payload retries rather than returning once the announce lands — which is
+// what lets the prefix-closed linearization leave an in-flight update after
+// any scan it is invisible to (see the type comment).
 func (s *FASnapshot) Update(t prim.Thread, v int64) {
 	if v < 0 {
 		panic(fmt.Sprintf("core: FASnapshot.Update(%d): values must be non-negative", v))
@@ -197,17 +239,23 @@ func (s *FASnapshot) Update(t prim.Thread, v int64) {
 		if v == s.prev[i] {
 			// Unchanged value: the XADD(0) on the owning word is the whole
 			// operation (its linearization point, like the packed and wide
-			// fast paths). Nothing changed, so there is no completion to
-			// announce — bumping the epoch would only force concurrent scans
-			// into spurious re-collects of an identical state.
+			// fast paths). The word is untouched, so there is no change for
+			// a collect to observe, nothing for its validation to miss, and
+			// no completion worth announcing — a scan linearizes correctly
+			// on either side of this operation.
 			s.words[s.mp.WordOf(i)].FetchAddInt(t, 0)
 			prim.MarkLinPoint(s.w, t)
 			return
 		}
-		s.words[s.mp.WordOf(i)].FetchAddInt(t, s.mp.FieldDelta(s.prev[i], v, i))
+		// Field delta plus sequence bump, one XADD: the linearization point.
+		// For a word-0 owner the bump is also the announce.
+		w := s.mp.WordOf(i)
+		s.words[w].FetchAddInt(t, s.mp.FieldDelta(s.prev[i], v, i))
 		prim.MarkLinPoint(s.w, t)
 		s.prev[i] = v
-		s.epoch.FetchAddInt(t, 1)
+		if w != 0 {
+			s.words[0].FetchAddInt(t, interleave.SeqIncrement) // announce completion
+		}
 		return
 	}
 	if v == s.prev[i] {
@@ -235,46 +283,90 @@ func (s *FASnapshot) Scan(t prim.Thread) []int64 {
 
 // ScanInto is Scan writing the view into a caller-provided slice of length n
 // (returned for convenience). On the machine-word engines it is
-// allocation-free: one XADD(0) plus shift-and-mask on the single packed
-// word; on the multi-word engine an epoch-validated collect — k relaxed
-// XADD(0) word reads bracketed by epoch reads, retried until the epoch is
-// unchanged. The multi-word scan is lock-free, not wait-free: every retry
-// consumes an update's announce, and after scanSpinRounds invalidated
-// collects the scan raises the writer-backoff hint so real-world update
-// storms cannot starve it indefinitely.
+// allocation-free (on the multi-word engine: up to scanStackWords words):
+// one XADD(0) plus shift-and-mask on the single packed word; on the
+// multi-word engine a DOUBLE COLLECT with a closing announce check — read
+// the k words repeatedly until two consecutive collects are identical (each
+// failed read seeding the next round's baseline), then re-read word 0 as
+// the final step and return only if it still matches the pair.
+//
+// The double collect makes the view a true state: identical means
+// bit-identical words, sequence fields included, and every value-changing
+// update bumps its word's sequence field in the same XADD as its payload
+// delta, so two identical reads of word j pin j as unmodified throughout
+// the interval between them (up to the 2^16 seqlock wrap caveat, see
+// interleave.MultiPacked). The k per-word intervals of a validated pair all
+// contain the instant between its two collects, so the returned view IS the
+// register state at a real moment inside the scan — in particular, any two
+// scans return states of the same single timeline, so their views are
+// always comparable. The closing word-0 read then anchors that moment
+// against completions: every update announces on word 0's sequence field
+// after (or, for word-0 owners, in the same XADD as) its payload, so an
+// update that announced before the scan's final step either has its payload
+// in the view — its announce predates the pair's word-0 reads, its XADD
+// predates the announce, and word order puts the pair's read of its word
+// later still, so a pair the XADD did not invalidate read the word after
+// the payload landed — or moved word 0's sequence field and forced a retry.
+// A returned view therefore reflects every update that completed before the
+// scan returned, which is exactly what lets the scan be APPENDED to a
+// prefix-closed linearization that has already committed those updates; the
+// same argument is why a failed check only reseeds the baseline rather than
+// discarding the pair history.
+//
+// Scans are lock-free, not wait-free: a retry witnesses a concurrent
+// update's step, and after scanSpinRounds invalidated rounds the scan
+// raises the writer-backoff hint so real-world update storms cannot starve
+// it indefinitely.
 //
 // The multi-word scan deliberately declares no linearization-point
-// certificate: unlike every single-register operation in this package, it
-// has NO fixed own-step linearization point — whether a concurrent
-// not-yet-announced update is included in the view depends on the timing of
-// the update's XADD relative to the scan's read of that one word, so no
-// single marked step orders the scan against updates' marked XADDs on every
-// execution (the package tests pin the certificate checker rejecting any
-// such marking). Strong linearizability is instead decided by the
-// execution-tree game checker, exactly as for internal/shard's
-// epoch-validated combining reads.
+// certificate: its linearization point is pinned by the pair of collects
+// that validates, which is only identified in hindsight — while those reads
+// execute, whether the pair validates (and survives its closing check)
+// still depends on updates that have not happened — so no mark placed
+// during execution names the right step on every branch (the package tests
+// pin the certificate checker rejecting any fixed marking). Strong
+// linearizability is instead decided by the execution-tree game checker,
+// exactly as for internal/shard's epoch-validated combining reads.
 func (s *FASnapshot) ScanInto(t prim.Thread, view []int64) []int64 {
 	if len(view) != s.n {
 		panic(fmt.Sprintf("core: FASnapshot.ScanInto: view has length %d, want %d", len(view), s.n))
 	}
 	if s.words != nil {
-		e := s.epoch.FetchAddInt(t, 0)
+		var stack [scanStackWords]int64
+		cur := collectBuf(&stack, len(s.words))
+		s.collectWords(t, cur)
 		raised := false
 		for spins := 0; ; spins++ {
-			s.collectWords(t, view)
-			e2 := s.epoch.FetchAddInt(t, 0)
-			if e2 == e {
-				if raised {
-					s.scanWait.Add(-1)
+			valid := true
+			for j := range s.words {
+				w := s.words[j].FetchAddInt(t, 0)
+				if w != cur[j] {
+					// This round failed, but its reads are the next round's
+					// baseline.
+					valid = false
+					cur[j] = w
 				}
-				return view
 			}
-			e = e2
+			if valid {
+				// Closing announce check: the scan's final shared step.
+				w0 := s.words[0].FetchAddInt(t, 0)
+				if w0 == cur[0] {
+					break
+				}
+				cur[0] = w0 // an announce landed: retry from the new baseline
+			}
 			if spins == scanSpinRounds && !raised {
 				raised = true
 				s.scanWait.Add(1)
 			}
 		}
+		if raised {
+			s.scanWait.Add(-1)
+		}
+		for j, w := range cur {
+			s.mp.GatherWord(w, j, view)
+		}
+		return view
 	}
 	if s.rp != nil {
 		word := s.rp.FetchAddInt(t, 0)
@@ -292,16 +384,61 @@ func (s *FASnapshot) ScanInto(t prim.Thread, view []int64) []int64 {
 	return view
 }
 
-// collectWords reads the k words once, in order, decoding each into view: a
-// single unvalidated collect. It is the body of the validated scan — and, on
-// its own, the negative exhibit: updates to different words can be observed
-// inconsistently with their real-time order, so scanNaiveInto (the collect
-// with no epoch validation) is not linearizable; the package tests pin the
-// counterexample.
-func (s *FASnapshot) collectWords(t prim.Thread, view []int64) {
-	for j, w := range s.words {
-		s.mp.GatherWord(w.FetchAddInt(t, 0), j, view)
+// collectBuf returns a k-word collect buffer backed by the caller's stack
+// array when it fits, falling back to the heap for larger registers (the
+// call inlines, so the array does not escape on the common path).
+func collectBuf(stack *[scanStackWords]int64, k int) []int64 {
+	if k <= scanStackWords {
+		return stack[:k]
 	}
+	return make([]int64, k)
+}
+
+// collectWords reads the k words once, in order: a single unvalidated
+// collect. It is one round's reads of the validated scan — and, decoded on
+// its own, the negative exhibit: updates to different words can be observed
+// inconsistently with their real-time order, so scanNaiveInto (a lone
+// collect with no second, validating one) is not linearizable; the package
+// tests pin the counterexample.
+func (s *FASnapshot) collectWords(t prim.Thread, words []int64) {
+	for j := range s.words {
+		words[j] = s.words[j].FetchAddInt(t, 0)
+	}
+}
+
+// scanUnanchoredInto is the double collect WITHOUT the closing announce
+// check, kept exclusively for the negative model check: two consecutive
+// identical collects pin a true state, so it is linearizable — but the
+// pinned instant may lie in the past of an update that has already
+// completed, and with a second writer threatening the other word no eager
+// linearization of the pending scan survives every future, so it is NOT
+// strongly linearizable (the package tests pin the game checker finding
+// exactly that). It is the reason the shipped scan's final step re-reads
+// word 0.
+func (s *FASnapshot) scanUnanchoredInto(t prim.Thread, view []int64) []int64 {
+	if len(view) != s.n {
+		panic(fmt.Sprintf("core: FASnapshot.scanUnanchoredInto: view has length %d, want %d", len(view), s.n))
+	}
+	var stack [scanStackWords]int64
+	cur := collectBuf(&stack, len(s.words))
+	s.collectWords(t, cur)
+	for {
+		valid := true
+		for j := range s.words {
+			w := s.words[j].FetchAddInt(t, 0)
+			if w != cur[j] {
+				valid = false
+				cur[j] = w
+			}
+		}
+		if valid {
+			break
+		}
+	}
+	for j, w := range cur {
+		s.mp.GatherWord(w, j, view)
+	}
+	return view
 }
 
 // scanNaiveInto is the unvalidated multi-word collect, kept exclusively for
@@ -310,14 +447,20 @@ func (s *FASnapshot) scanNaiveInto(t prim.Thread, view []int64) []int64 {
 	if len(view) != s.n {
 		panic(fmt.Sprintf("core: FASnapshot.scanNaiveInto: view has length %d, want %d", len(view), s.n))
 	}
-	s.collectWords(t, view)
+	var stack [scanStackWords]int64
+	cur := collectBuf(&stack, len(s.words))
+	s.collectWords(t, cur)
+	for j, w := range cur {
+		s.mp.GatherWord(w, j, view)
+	}
 	return view
 }
 
 // Width returns the current bit length of the shared register (see
-// FAMaxRegister.Width): on the multi-word engine, the total occupied bits
-// summed over the k component words. It reads the register with
-// fetch&add(0) steps.
+// FAMaxRegister.Width): on the multi-word engine, the total occupied lane
+// payload bits summed over the k component words (the per-word sequence
+// fields are bookkeeping, not component payload, and are not counted). It
+// reads the register with fetch&add(0) steps.
 func (s *FASnapshot) Width(t prim.Thread) int {
 	switch {
 	case s.rp != nil:
@@ -325,7 +468,7 @@ func (s *FASnapshot) Width(t prim.Thread) int {
 	case s.words != nil:
 		total := 0
 		for _, w := range s.words {
-			total += bits.Len64(uint64(w.FetchAddInt(t, 0)))
+			total += s.mp.PayloadLen(w.FetchAddInt(t, 0))
 		}
 		return total
 	default:

@@ -12,13 +12,15 @@ func TestMultiPackedShape(t *testing.T) {
 		ok             bool
 		perWord, words int
 	}{
-		{n: 4, width: 15, ok: true, perWord: 4, words: 1}, // fits one word like Packed
-		{n: 8, width: 15, ok: true, perWord: 4, words: 2}, // past the 63-bit ceiling: 2 words
-		{n: 16, width: 15, ok: true, perWord: 4, words: 4},
+		{n: 4, width: 15, ok: true, perWord: 3, words: 2}, // 48-bit payload budget: 3 lanes/word
+		{n: 8, width: 15, ok: true, perWord: 3, words: 3}, // past the 63-bit ceiling
+		{n: 16, width: 15, ok: true, perWord: 3, words: 6},
 		{n: 3, width: 32, ok: true, perWord: 1, words: 3},  // one lane per word
-		{n: 64, width: 1, ok: true, perWord: 63, words: 2}, // 64 1-bit lanes: 2 words
-		{n: 2, width: 63, ok: true, perWord: 1, words: 2},  // full-width lanes
-		{n: 1, width: 64, ok: false},                       // no word hosts a 64-bit field
+		{n: 64, width: 1, ok: true, perWord: 48, words: 2}, // 64 1-bit lanes: 2 words
+		{n: 2, width: 48, ok: true, perWord: 1, words: 2},  // full-payload lanes
+		{n: 2, width: 49, ok: false},                       // no payload room next to the sequence field
+		{n: 2, width: 63, ok: false},
+		{n: 1, width: 64, ok: false},
 		{n: 0, width: 1, ok: false},
 		{n: 1, width: 0, ok: false},
 	} {
@@ -40,7 +42,7 @@ func TestMultiPackedShape(t *testing.T) {
 func TestMultiPackedRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(71))
 	for _, shape := range []struct{ n, width int }{
-		{8, 15}, {16, 15}, {3, 32}, {64, 1}, {100, 7}, {5, 63},
+		{8, 15}, {16, 15}, {3, 32}, {64, 1}, {100, 7}, {5, 48},
 	} {
 		m := MustNewMultiPacked(shape.n, shape.width)
 		view := make([]int64, shape.n)
@@ -49,6 +51,11 @@ func TestMultiPackedRoundTrip(t *testing.T) {
 		}
 		words := make([]int64, m.Words())
 		m.ScatterWords(view, words)
+		// Extraction must see through any sequence-field state, including a
+		// set sign bit, so load the counters with random values first.
+		for w := range words {
+			words[w] += int64(rng.Intn(1<<SeqBits)) * SeqIncrement
+		}
 		// Per-lane extraction agrees with the view.
 		for lane, want := range view {
 			if got := m.Lane(words[m.WordOf(lane)], lane); got != want {
@@ -69,39 +76,70 @@ func TestMultiPackedRoundTrip(t *testing.T) {
 }
 
 // TestMultiPackedFieldDelta: applying the delta to the owning word moves the
-// lane from -> to and leaves every other lane of that word untouched, for
-// random neighbours — the carry-free invariant the engine's single-XADD
-// Update rests on.
+// lane from -> to, bumps the word's sequence field by exactly one, and leaves
+// every other lane of that word untouched, for random neighbours — the
+// carry-free invariant the engine's single-XADD Update rests on.
 func TestMultiPackedFieldDelta(t *testing.T) {
-	m := MustNewMultiPacked(8, 15) // 4 lanes/word x 2 words
+	m := MustNewMultiPacked(8, 15) // 3 lanes/word x 3 words
 	rng := rand.New(rand.NewSource(72))
 	view := make([]int64, 8)
 	words := make([]int64, m.Words())
+	changes := make([]int64, m.Words())
 	for i := 0; i < 2000; i++ {
 		lane := rng.Intn(8)
 		from := view[lane]
 		to := rng.Int63() & m.mask
 		words[m.WordOf(lane)] += m.FieldDelta(from, to, lane)
+		changes[m.WordOf(lane)]++
 		view[lane] = to
 		want := make([]int64, m.Words())
 		m.ScatterWords(view, want)
 		for w := range words {
-			if words[w] != want[w] {
-				t.Fatalf("step %d: word %d = %#x, want %#x", i, w, words[w], want[w])
+			if m.Payload(words[w]) != want[w] {
+				t.Fatalf("step %d: word %d payload = %#x, want %#x", i, w, m.Payload(words[w]), want[w])
+			}
+			if m.Seq(words[w]) != changes[w]%(1<<SeqBits) {
+				t.Fatalf("step %d: word %d seq = %d, want %d", i, w, m.Seq(words[w]), changes[w])
 			}
 		}
+	}
+}
+
+// TestMultiPackedSeqWrap: the sequence field wraps through the sign bit
+// without disturbing lane payloads — 2^16 value-changing updates return the
+// counter to 0 and the word to its pre-wrap payload.
+func TestMultiPackedSeqWrap(t *testing.T) {
+	m := MustNewMultiPacked(2, 32) // 1 lane/word
+	word := m.Spread(12345, 0)
+	sawNegative := false
+	for i := 0; i < 1<<SeqBits; i++ {
+		if got := m.Seq(word); got != int64(i) {
+			t.Fatalf("after %d bumps: seq = %d", i, got)
+		}
+		if got := m.Lane(word, 0); got != 12345 {
+			t.Fatalf("after %d bumps: lane = %d, want 12345", i, got)
+		}
+		if word < 0 {
+			sawNegative = true
+		}
+		word += SeqIncrement
+	}
+	if !sawNegative {
+		t.Fatal("the sequence field never crossed the sign bit")
+	}
+	if word < 0 || m.Seq(word) != 0 || m.Payload(word) != m.Spread(12345, 0) {
+		t.Fatalf("after wrap: word = %#x, want clean payload with seq 0", word)
 	}
 }
 
 func TestMultiPackedPanics(t *testing.T) {
 	m := MustNewMultiPacked(4, 15)
 	for name, f := range map[string]func(){
-		"spread-negative":    func() { m.Spread(-1, 0) },
-		"spread-over":        func() { m.Spread(1<<15, 0) },
-		"delta-over":         func() { m.FieldDelta(0, 1<<15, 0) },
-		"lane-negative-word": func() { m.Lane(-1, 0) },
-		"gather-short-view":  func() { m.GatherWord(0, 0, make([]int64, 3)) },
-		"scatter-bad-shape":  func() { m.ScatterWords(make([]int64, 4), make([]int64, 2)) },
+		"spread-negative":   func() { m.Spread(-1, 0) },
+		"spread-over":       func() { m.Spread(1<<15, 0) },
+		"delta-over":        func() { m.FieldDelta(0, 1<<15, 0) },
+		"gather-short-view": func() { m.GatherWord(0, 0, make([]int64, 3)) },
+		"scatter-bad-shape": func() { m.ScatterWords(make([]int64, 4), make([]int64, 1)) },
 	} {
 		func() {
 			defer func() {
@@ -114,31 +152,41 @@ func TestMultiPackedPanics(t *testing.T) {
 	}
 }
 
-// TestMaxMultiFieldBoundRoundTrip: the bound arithmetic and the codec can
-// never desynchronize — striping FieldWidth(MaxMultiFieldBound(n, k)) always
-// fits within k words, and the next wider field does not (unless the bound is
-// already the whole int64 domain).
+// fitsWords mirrors the engine-selection rule: a bound of the given field
+// width is hosted within k machine words if the single packed word takes it
+// (one word, no sequence field) or the multi-word codec stripes it across at
+// most k.
+func fitsWords(n, width, k int) bool {
+	if _, ok := NewPacked(n, width); ok {
+		return true
+	}
+	m, ok := NewMultiPacked(n, width)
+	return ok && m.Words() <= k
+}
+
+// TestMaxMultiFieldBoundRoundTrip: the bound arithmetic and the engine
+// selection can never desynchronize — FieldWidth(MaxMultiFieldBound(n, k))
+// always fits within k words, and the next wider field does not (unless the
+// bound is already the whole int64 domain).
 func TestMaxMultiFieldBoundRoundTrip(t *testing.T) {
 	for n := 1; n <= 130; n++ {
 		for k := 1; k <= 9; k++ {
 			b := MaxMultiFieldBound(n, k)
 			if b == 0 {
-				if n <= packedBits*k {
+				if n <= LaneBits*k || n <= packedBits {
 					t.Fatalf("MaxMultiFieldBound(%d, %d) = 0 but 1-bit fields fit", n, k)
 				}
 				continue
 			}
-			m, ok := NewMultiPacked(n, FieldWidth(b))
-			if !ok || m.Words() > k {
-				t.Fatalf("MaxMultiFieldBound(%d, %d) = %d does not stripe within %d words (got %d, ok %v)",
-					n, k, b, k, m.Words(), ok)
+			if !fitsWords(n, FieldWidth(b), k) {
+				t.Fatalf("MaxMultiFieldBound(%d, %d) = %d does not fit %d words", n, k, b, k)
 			}
 			if b == math.MaxInt64 {
 				continue
 			}
-			if m2, ok := NewMultiPacked(n, FieldWidth(b)+1); ok && m2.Words() <= k {
-				t.Fatalf("MaxMultiFieldBound(%d, %d) = %d is not maximal: width %d also fits %d words",
-					n, k, b, FieldWidth(b)+1, m2.Words())
+			if fitsWords(n, FieldWidth(b)+1, k) {
+				t.Fatalf("MaxMultiFieldBound(%d, %d) = %d is not maximal: width %d also fits",
+					n, k, b, FieldWidth(b)+1)
 			}
 		}
 	}
@@ -146,14 +194,19 @@ func TestMaxMultiFieldBoundRoundTrip(t *testing.T) {
 
 // TestMaxMultiFieldBoundExtendsSingleWord: with one word the multi-word
 // arithmetic degenerates to MaxFieldBound, and with n words every lane gets
-// the full 63-bit domain.
+// a full-payload LaneBits field (the packed word's full 63-bit domain for a
+// single lane, where no collect needs validating).
 func TestMaxMultiFieldBoundExtendsSingleWord(t *testing.T) {
 	for n := 1; n <= 80; n++ {
 		if got, want := MaxMultiFieldBound(n, 1), MaxFieldBound(n); got != want {
 			t.Fatalf("MaxMultiFieldBound(%d, 1) = %d, want MaxFieldBound = %d", n, got, want)
 		}
-		if got := MaxMultiFieldBound(n, n); got != math.MaxInt64 {
-			t.Fatalf("MaxMultiFieldBound(%d, %d) = %d, want MaxInt64", n, n, got)
+		want := int64(1)<<LaneBits - 1
+		if n == 1 {
+			want = math.MaxInt64
+		}
+		if got := MaxMultiFieldBound(n, n); got != want {
+			t.Fatalf("MaxMultiFieldBound(%d, %d) = %d, want %d", n, n, got, want)
 		}
 	}
 }

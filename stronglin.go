@@ -102,12 +102,15 @@ type SnapshotOption = core.SnapshotOption
 // snapshot, selecting its register engine by the codec's budget arithmetic:
 // when n × bitWidth(maxValue) ≤ 63 the snapshot runs over a single hardware
 // XADD int64 (Update one XADD of a signed in-lane field delta, Scan one
-// XADD(0) plus shift-and-mask); otherwise it runs on the multi-word engine —
-// components striped across k XADD words plus an announce-completion epoch
-// word, Update still a single XADD on its owning word, Scan an
-// epoch-validated lock-free collect — so EVERY bounded snapshot is
-// machine-word-backed, at any lane count and bound, and the wide big.Int
-// register remains only for unbounded snapshots. The bound is enforced on
+// XADD(0) plus shift-and-mask); when bitWidth(maxValue) ≤ 48 it runs on the
+// multi-word engine — components striped across k XADD words, each with a
+// per-word sequence field that updates bump atomically with their payload
+// (word 0's doubling as the announce counter), Update one payload XADD plus
+// at most one announce, Scan a lock-free double collect with a closing
+// announce check — so every bounded snapshot with fields up to 48 bits is
+// machine-word-backed at any lane count. The wide big.Int register remains
+// for unbounded snapshots and for bounds needing 49..63-bit fields (which
+// exceed the validated multi-word payload budget). The bound is enforced on
 // every engine (Update past it panics). On an Algorithm 1 object the
 // snapshot components hold graph-node references, so the bound doubles as a
 // lifetime operation budget; see core.SimpleObject.TryExecute.
@@ -123,13 +126,14 @@ func WithSnapshotBound(maxValue int64) SnapshotOption {
 func MaxSnapshotBound(n int) int64 { return interleave.MaxFieldBound(n) }
 
 // MaxSnapshotBoundWords returns the largest WithSnapshotBound value whose
-// encoding stripes n processes across at most the given number of machine
+// encoding hosts n processes within at most the given number of machine
 // words — the multi-word engine's own budget arithmetic
-// (interleave.MaxMultiFieldBound). It generalizes MaxSnapshotBound (the
-// words=1 case) past the 63-bit ceiling: with words ≥ ⌈n/2⌉ every lane gets
-// at least a 31-bit field, so an Algorithm 1 object sized through it has a
-// ≥ 2³¹−1 operation budget at ANY lane count. Sizing bounds through it
-// keeps callers in sync with the engine's word-count arithmetic.
+// (interleave.MaxMultiFieldBound: 48 payload bits per word next to the
+// sequence field). It generalizes MaxSnapshotBound (the words=1 case) past
+// the 63-bit ceiling: with words ≥ ⌈n/2⌉ every lane gets at least a 24-bit
+// field (a ≥ 2²⁴−1 operation budget for an Algorithm 1 object at ANY lane
+// count), and with words ≥ n a full 48-bit field (≥ 2⁴⁸−1). Sizing bounds
+// through it keeps callers in sync with the engine's word-count arithmetic.
 func MaxSnapshotBoundWords(n, words int) int64 { return interleave.MaxMultiFieldBound(n, words) }
 
 // NewSnapshot builds a snapshot for n processes.
@@ -143,13 +147,14 @@ func NewSnapshot(w *World, n int, opts ...SnapshotOption) *Snapshot {
 // across at most words machine words (the constructor still picks the
 // single packed word when the bound happens to fit one, e.g. n ≤ 2 with
 // words = ⌈n/2⌉). It panics when the word budget cannot host n lanes at all
-// (n > 63 × words — MaxSnapshotBoundWords returns 0, i.e. not even 1-bit
-// fields fit), rather than returning an object whose every nonzero Update
-// would panic. It can live in the same World as a NewSnapshot object.
+// (n > 48 × words and n > 63 — MaxSnapshotBoundWords returns 0, i.e. not
+// even 1-bit fields fit), rather than returning an object whose every
+// nonzero Update would panic. It can live in the same World as a
+// NewSnapshot object.
 func NewMultiwordSnapshot(w *World, n, words int) *Snapshot {
 	bound := MaxSnapshotBoundWords(n, words)
 	if bound == 0 {
-		panic(fmt.Sprintf("stronglin: NewMultiwordSnapshot: %d words cannot host %d lanes (need at least ⌈n/63⌉ words)", words, n))
+		panic(fmt.Sprintf("stronglin: NewMultiwordSnapshot: %d words cannot host %d lanes (need at least ⌈n/48⌉ words)", words, n))
 	}
 	return core.NewFASnapshot(w, "stronglin.msnapshot", n, WithSnapshotBound(bound))
 }
@@ -315,9 +320,9 @@ const (
 	// fetch&add snapshot; the win rate stays at 1/2, exactly as wide.
 	AdversaryVsStrongPacked = adversary.PackedFASnapshot
 	// AdversaryVsStrongMultiword attacks the multi-word k-XADD engine, whose
-	// scans are epoch-validated combining reads; the win rate stays at 1/2 —
-	// a completed (announced) update's visibility to a validated scan is
-	// committed before the coin exists.
+	// scans are double collects with a closing announce check; the win rate
+	// stays at 1/2 — a completed (announced) update's visibility to a
+	// validated scan is committed before the coin exists.
 	AdversaryVsStrongMultiword = adversary.MultiwordFASnapshot
 )
 

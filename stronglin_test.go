@@ -155,8 +155,14 @@ func TestPublicMultiwordSurface(t *testing.T) {
 	if MaxSnapshotBound(64) != 0 {
 		t.Fatal("no single-word bound should pack 64 lanes")
 	}
-	if got, want := MaxSnapshotBoundWords(64, 32), int64(1)<<31-1; got != want {
+	// 32 words host 64 lanes at 2 lanes/word: 24-bit fields next to the
+	// per-word sequence fields.
+	if got, want := MaxSnapshotBoundWords(64, 32), int64(1)<<24-1; got != want {
 		t.Fatalf("MaxSnapshotBoundWords(64, 32) = %d, want %d", got, want)
+	}
+	// A word per lane buys the full 48-bit payload domain.
+	if got, want := MaxSnapshotBoundWords(64, 64), int64(1)<<48-1; got != want {
+		t.Fatalf("MaxSnapshotBoundWords(64, 64) = %d, want %d", got, want)
 	}
 	if MaxSnapshotBoundWords(4, 1) != MaxSnapshotBound(4) {
 		t.Fatal("the words=1 case must agree with MaxSnapshotBound")
