@@ -498,37 +498,55 @@ func BenchmarkMultiwordSnapshot(b *testing.B) {
 
 // E-SNAP multi-word under contention: the validated double-collect scan
 // with a concurrent updater continuously landing XADDs and announces — the
-// retry path and the writer-backoff hint are what this measures
-// (single-threaded scans never retry).
+// retry path and (since PR 5) the helping machinery are what this measures
+// (single-threaded scans never retry). The default-budget row is the
+// shipped configuration; the budget0 row forces every failed round straight
+// into the pressure-raise/adopt path, pricing the helping worst case. Both
+// must stay 0 allocs/op on the scanner side (the only allocation in the
+// machinery is the HELPER's deposit, on the updater).
 func BenchmarkMultiwordSnapshotContendedScan(b *testing.B) {
-	const lanes, bound = 8, 1<<15 - 1
-	s := core.NewFASnapshot(prim.NewRealWorld(), "s", lanes, core.WithSnapshotBound(bound))
-	stop := make(chan struct{})
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		th := prim.RealThread(1)
-		for v := int64(0); ; v++ {
-			select {
-			case <-stop:
-				return
-			default:
+	for _, cfg := range []struct {
+		name   string
+		budget int
+	}{{"default-budget", -1}, {"budget0-adopt", 0}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			const lanes, bound = 8, 1<<15 - 1
+			opts := []core.SnapshotOption{core.WithSnapshotBound(bound)}
+			if cfg.budget >= 0 {
+				opts = append(opts, core.WithScanRetryBudget(cfg.budget))
 			}
-			s.Update(th, v&bound)
-			runtime.Gosched()
-		}
-	}()
-	th := prim.RealThread(0)
-	view := make([]int64, lanes)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		s.ScanInto(th, view)
+			s := core.NewFASnapshot(prim.NewRealWorld(), "s", lanes, opts...)
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := prim.RealThread(1)
+				for v := int64(0); ; v++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					s.Update(th, v&bound)
+					runtime.Gosched()
+				}
+			}()
+			th := prim.RealThread(0)
+			view := make([]int64, lanes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.ScanInto(th, view)
+			}
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+			deposits, adopts := s.HelpStats()
+			b.ReportMetric(float64(deposits), "deposits")
+			b.ReportMetric(float64(adopts), "adopts")
+		})
 	}
-	b.StopTimer()
-	close(stop)
-	wg.Wait()
 }
 
 // E-SNAP simple-object op: one Algorithm 1 operation (logical-clock tick)

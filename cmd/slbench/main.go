@@ -176,6 +176,26 @@ func targets() []target {
 			},
 		},
 		{
+			// The helped engine with a zero retry budget: every scan that
+			// fails a single round raises pressure and adoption becomes the
+			// common completion under contention — the worst-case helping
+			// configuration. Uncontended (p=1) it must track the multiword
+			// row above; the gap under contention prices the help machinery.
+			name: "snapshot: mw helped b0 (SL)",
+			build: func(n int) func(prim.Thread, int) {
+				bound := interleave.MaxMultiFieldBound(n, (n+1)/2)
+				s := core.NewFASnapshot(prim.NewRealWorld(), "s", n,
+					core.WithSnapshotBound(bound), core.WithScanRetryBudget(0))
+				return func(t prim.Thread, i int) {
+					if i%4 == 0 {
+						s.Update(t, int64(i%64))
+					} else {
+						s.Scan(t)
+					}
+				}
+			},
+		},
+		{
 			name: "snapshot: Afek registers (lin)",
 			build: func(n int) func(prim.Thread, int) {
 				s := baseline.NewAfekSnapshot(prim.NewRealWorld(), "s", n)

@@ -6,8 +6,10 @@
 //
 //	slfuzz [-obj maxreg] [-procs 4] [-ops 40] [-rounds 20] [-seed 1]
 //
-// Objects: maxreg, snapshot, multiword, counter, rtas, mstas, fai, set, hwqueue,
-// naivestack, aacmaxreg, afeksnapshot.
+// Objects: maxreg, snapshot, multiword, multiword-help, sharded-help,
+// counter, rtas, mstas, fai, set, hwqueue, naivestack, aacmaxreg,
+// afeksnapshot. The -help workloads force the PR 5 adopt path with a zero
+// scan/read retry budget under an update-heavy mix.
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"stronglin/internal/core"
 	"stronglin/internal/history"
 	"stronglin/internal/prim"
+	"stronglin/internal/shard"
 	"stronglin/internal/spec"
 )
 
@@ -114,6 +117,46 @@ func workloads() map[string]struct {
 					Run: func(t prim.Thread) string { return spec.RespVec(s.Scan(t)) }}
 			}
 		}, spec.Snapshot{}),
+		"multiword-help": mk(func(procs int, seed int64) func(p, i int) history.StressOp {
+			// The helping path under duress: a ZERO retry budget makes every
+			// scan that fails one validation round raise pressure, so any
+			// genuinely contended scan is completed by adopting an updater's
+			// deposited view. An update-heavy mix (2:1) keeps deposits
+			// flowing; the WGL check against the sequential snapshot spec is
+			// the oracle — an adopted view that resurrected a past state or
+			// tore across words would fail it exactly like a miscomputed
+			// collect. The final round's stderr-free pass plus internal/core's
+			// FuzzMultiwordHelpedVsWideSnapshot (same engine against the wide
+			// register, value for value) is the differential story.
+			s := core.NewFASnapshot(prim.NewRealWorld(), "s", procs,
+				core.WithSnapshotBound(1<<32-1), core.WithScanRetryBudget(0))
+			rngs := perProcRNG(procs, seed)
+			return func(p, i int) history.StressOp {
+				if rngs[p].Intn(3) != 0 {
+					v := int64(rngs[p].Intn(1 << 16))
+					return history.StressOp{Op: spec.MkOp(spec.MethodUpdate, int64(p), v),
+						Run: func(t prim.Thread) string { s.Update(t, v); return spec.RespOK }}
+				}
+				return history.StressOp{Op: spec.MkOp(spec.MethodScan),
+					Run: func(t prim.Thread) string { return spec.RespVec(s.Scan(t)) }}
+			}
+		}, spec.Snapshot{}),
+		"sharded-help": mk(func(procs int, seed int64) func(p, i int) history.StressOp {
+			// The sharded counter's helped read with a zero retry budget:
+			// contended reads raise pressure in the epoch's high bits and
+			// adopt writer-deposited validated sums; the WGL check is the
+			// oracle.
+			c := shard.NewCounter(prim.NewRealWorld(), "c", procs, 2, shard.WithReadRetryBudget(0))
+			rngs := perProcRNG(procs, seed)
+			return func(p, i int) history.StressOp {
+				if rngs[p].Intn(3) != 0 {
+					return history.StressOp{Op: spec.MkOp(spec.MethodInc),
+						Run: func(t prim.Thread) string { c.Inc(t); return spec.RespOK }}
+				}
+				return history.StressOp{Op: spec.MkOp(spec.MethodRead),
+					Run: func(t prim.Thread) string { return spec.RespInt(c.Read(t)) }}
+			}
+		}, spec.MonotonicCounter{}),
 		"counter": mk(func(procs int, seed int64) func(p, i int) history.StressOp {
 			c := core.NewCounterFromFA(prim.NewRealWorld(), "c", procs)
 			rngs := perProcRNG(procs, seed)

@@ -346,9 +346,11 @@ func (s *server) snapshotHandler(w http.ResponseWriter, r *http.Request) {
 // msnapshotHandler serves the multi-word snapshot: the same surface as
 // /snapshot, on the k-XADD engine whatever the lane count (Update: one
 // payload+sequence XADD on the owning word plus at most one announce; Scan:
-// lock-free double collect with a closing announce check). Its bound is the
-// server's word-budget arithmetic (≥ 2²⁴−1), far above the request value
-// cap, so in-cap values are always in bound.
+// anchored double collect, HELPED under update storms — a starving scan is
+// completed by updater-deposited validated views; /stats's msnapshot_help
+// counts the deposits and adoptions). Its bound is the server's word-budget
+// arithmetic (≥ 2²⁴−1), far above the request value cap, so in-cap values
+// are always in bound.
 func (s *server) msnapshotHandler(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
@@ -425,21 +427,40 @@ type statsSnapshot struct {
 	ClockWords    int    `json:"clock_words"`
 	ClockCapacity int64  `json:"clock_capacity"`
 	ClockUsed     int64  `json:"clock_used"`
-	LanesInUse    int    `json:"lanes_in_use"`
-	Acquires      int64  `json:"lease_acquires"`
-	CounterInc    int64  `json:"counter_inc"`
-	CounterRead   int64  `json:"counter_read"`
-	MaxregWrite   int64  `json:"maxreg_write"`
-	MaxregRead    int64  `json:"maxreg_read"`
-	GSetAdd       int64  `json:"gset_add"`
-	GSetHas       int64  `json:"gset_has"`
-	GSetElems     int64  `json:"gset_elems"`
-	SnapUpdate    int64  `json:"snapshot_update"`
-	SnapScan      int64  `json:"snapshot_scan"`
-	MsnapUpdate   int64  `json:"msnapshot_update"`
-	MsnapScan     int64  `json:"msnapshot_scan"`
-	ClockTick     int64  `json:"clock_tick"`
-	ClockRead     int64  `json:"clock_read"`
+	// Helping telemetry (PR 5): per-object helper deposits made by writes
+	// and reads/scans that returned an adopted view. Non-zero counts mean
+	// some combining read exhausted its retry budget under write pressure
+	// and was completed by the wait-free helping path.
+	CounterHelp helpStats `json:"counter_help"`
+	MaxregHelp  helpStats `json:"maxreg_help"`
+	GSetHelp    helpStats `json:"gset_help"`
+	SnapHelp    helpStats `json:"snapshot_help"`
+	MsnapHelp   helpStats `json:"msnapshot_help"`
+	LanesInUse  int       `json:"lanes_in_use"`
+	Acquires    int64     `json:"lease_acquires"`
+	CounterInc  int64     `json:"counter_inc"`
+	CounterRead int64     `json:"counter_read"`
+	MaxregWrite int64     `json:"maxreg_write"`
+	MaxregRead  int64     `json:"maxreg_read"`
+	GSetAdd     int64     `json:"gset_add"`
+	GSetHas     int64     `json:"gset_has"`
+	GSetElems   int64     `json:"gset_elems"`
+	SnapUpdate  int64     `json:"snapshot_update"`
+	SnapScan    int64     `json:"snapshot_scan"`
+	MsnapUpdate int64     `json:"msnapshot_update"`
+	MsnapScan   int64     `json:"msnapshot_scan"`
+	ClockTick   int64     `json:"clock_tick"`
+	ClockRead   int64     `json:"clock_read"`
+}
+
+// helpStats is one object's helping telemetry in /stats.
+type helpStats struct {
+	Deposits int64 `json:"deposits"`
+	Adopts   int64 `json:"adopts"`
+}
+
+func mkHelpStats(deposits, adopts int64) helpStats {
+	return helpStats{Deposits: deposits, Adopts: adopts}
 }
 
 func (s *server) snapshot() statsSnapshot {
@@ -463,6 +484,11 @@ func (s *server) snapshot() statsSnapshot {
 		ClockWords:    s.clock.Words(),
 		ClockCapacity: s.clock.Capacity(),
 		ClockUsed:     s.clock.Used(),
+		CounterHelp:   mkHelpStats(s.counter.HelpStats()),
+		MaxregHelp:    mkHelpStats(s.maxreg.HelpStats()),
+		GSetHelp:      mkHelpStats(s.gset.HelpStats()),
+		SnapHelp:      mkHelpStats(s.snap.HelpStats()),
+		MsnapHelp:     mkHelpStats(s.msnap.HelpStats()),
 		LanesInUse:    s.pool.InUse(),
 		Acquires:      acquires,
 		CounterInc:    s.ops.counterInc.Load(),

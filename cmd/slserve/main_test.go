@@ -141,6 +141,17 @@ func TestEndpoints(t *testing.T) {
 	if got := stats["lanes_in_use"].(float64); got != 0 {
 		t.Fatalf("stats lanes_in_use = %v, want 0", got)
 	}
+	// Helping telemetry is reported per object; a sequential exchange never
+	// starves a read, so the counts are present and zero.
+	for _, key := range []string{"counter_help", "maxreg_help", "gset_help", "snapshot_help", "msnapshot_help"} {
+		h, ok := stats[key].(map[string]any)
+		if !ok {
+			t.Fatalf("stats %s missing or malformed: %v", key, stats[key])
+		}
+		if h["deposits"].(float64) != 0 || h["adopts"].(float64) != 0 {
+			t.Fatalf("stats %s = %v, want zero helping under sequential load", key, h)
+		}
+	}
 }
 
 func TestBadRequests(t *testing.T) {

@@ -24,6 +24,7 @@ import (
 	"stronglin/internal/core"
 	"stronglin/internal/history"
 	"stronglin/internal/prim"
+	"stronglin/internal/shard"
 	"stronglin/internal/sim"
 	"stronglin/internal/spec"
 )
@@ -164,6 +165,43 @@ func arrows() []arrow {
 				s := core.NewFASnapshot(w, "s", 3, core.WithSnapshotBound(1<<22-1))
 				return []sim.Program{
 					{opUpdate(s, 0, 1)}, {opUpdate(s, 1, 2)}, {opScan(s)},
+				}
+			},
+		},
+		{
+			object: "mw-snapshot helped", from: "k-XADD + help slot", progress: "wait-free*", theorem: "Thm 2+",
+			procs: 2, spec: spec.Snapshot{}, slow: true,
+			setup: func(w *sim.World) []sim.Program {
+				// PR 5: the helping path, exhaustively — a budget-0 scan
+				// (pressure raised after the first failed round) against a
+				// word-1 updater, the minimal shape where the explored tree
+				// contains helper deposits AND adoptions. "wait-free*": the
+				// helped scan's own steps are bounded under the update storms
+				// that starve the plain lock-free scan (the progress witness
+				// in internal/core); an adversary splitting the two-step
+				// slot-read/witness window can still force retries.
+				s := core.NewFASnapshot(w, "s", 2,
+					core.WithSnapshotBound(1<<32-1), core.WithScanRetryBudget(0))
+				return []sim.Program{
+					{opScan(s)},
+					{opUpdate(s, 1, 1)},
+				}
+			},
+		},
+		{
+			object: "sharded-counter helped", from: "epoch hi-bits + slot", progress: "wait-free*", theorem: "—",
+			procs: 2, spec: spec.MonotonicCounter{}, slow: true,
+			setup: func(w *sim.World) []sim.Program {
+				// PR 5: the sharded layer's helped combining read, exhaustive
+				// on the 1-write budget-0 shape (raise + raised slot-reading
+				// rounds in-tree; the shard pressure poll is fused into the
+				// epoch announce, so ADOPTION needs a second write after the
+				// raise — a tree past 3M nodes, covered instead by the
+				// crafted adoption race and storm witness in internal/shard).
+				c := shard.NewCounter(w, "c", 2, 2, shard.WithReadRetryBudget(0))
+				return []sim.Program{
+					{opCounterRead(c)},
+					{opCounterInc(c)},
 				}
 			},
 		},
@@ -386,6 +424,16 @@ func opUpdate(s core.SnapshotAPI, comp, v int64) sim.Op {
 func opScan(s core.SnapshotAPI) sim.Op {
 	return sim.Op{Name: "scan", Spec: spec.MkOp(spec.MethodScan),
 		Run: func(t prim.Thread) string { return spec.RespVec(s.Scan(t)) }}
+}
+
+func opCounterInc(c *shard.Counter) sim.Op {
+	return sim.Op{Name: "inc", Spec: spec.MkOp(spec.MethodInc),
+		Run: func(t prim.Thread) string { c.Inc(t); return spec.RespOK }}
+}
+
+func opCounterRead(c *shard.Counter) sim.Op {
+	return sim.Op{Name: "read", Spec: spec.MkOp(spec.MethodRead),
+		Run: func(t prim.Thread) string { return spec.RespInt(c.Read(t)) }}
 }
 
 func opExec(o *core.SimpleObject, op spec.Op) sim.Op {

@@ -178,17 +178,19 @@ func playOnce(kind SnapshotKind, coin int) bool {
 	case MultiwordFASnapshot:
 		// Same adversary strategy on the multi-word engine's step structure:
 		// p2's updates own word 1 (invoke + payload XADD + announce on word
-		// 0: 3 steps each), p1's update owns word 0 (invoke + payload XADD
-		// with the announce fused in: 2 steps), and a scan is invoke + two
-		// 2-word collects + the closing word-0 read (6 steps — no retries
-		// here, since nothing lands inside the window). update(1) is
+		// 0 + pressure poll: 4 steps each), p1's update owns word 0 (invoke
+		// + payload XADD with the announce fused in + pressure poll: 3
+		// steps), and a scan is invoke + two anchored 2-word collects (5
+		// steps — the validating round's word-0 read is the closing check;
+		// no retries here, since nothing lands inside the window, and no
+		// pressure is ever raised, so the updates never help). update(1) is
 		// complete (announced) before the scan starts, so the validated view
 		// contains it on both coin branches: 1/2.
 		schedule = concat(
-			rep(2, 6), // p2: both updates
-			rep(1, 2), // p1: update(1)
+			rep(2, 8), // p2: both updates
+			rep(1, 3), // p1: update(1)
 			rep(1, 1), // p1: flip
-			rep(0, 6), // p0: scan
+			rep(0, 5), // p0: scan
 		)
 	case AfekSnapshot:
 		// Drive to the fork of the strong-linearizability counterexample:

@@ -19,20 +19,27 @@ import (
 // each carrying a per-word sequence field that every value-changing update
 // bumps in the same XADD as its payload delta, word 0's doubling as the
 // announce counter — lifting the single packed word's
-// n x bitWidth(maxValue) <= 63 ceiling. Scans are double collects with a
-// closing announce check: two consecutive identical k-word reads pin the
-// state to a real instant, and a final matching re-read of word 0 anchors
-// that instant against completed updates. The engine is verified the same
-// three ways as the packed cores — exhaustive strong-linearizability model
-// checks on bounded configurations (2 words x 2-3 procs x 1-2 ops,
-// including cross-word updater placements), differential fuzzing against
-// the wide register as oracle, randomized linearizability stress under real
-// concurrency (including the 2-updater x 2-scanner view-comparability
-// property) — plus THREE negative exhibits, one per discarded design: a
-// single unvalidated collect is not even linearizable; announce-only
-// validation (this engine's originally shipped protocol) let two concurrent
-// scans validate incomparable views; and the double collect without the
-// closing check is linearizable but not strongly linearizable.
+// n x bitWidth(maxValue) <= 63 ceiling. Scans are ANCHORED double collects:
+// two consecutive identical k-word reads, each round reading word 0 LAST,
+// pin the state to a real instant, and the validating round's own word-0
+// read anchors that instant against completed updates. Starving scans are
+// HELPED: updates poll a pressure register after announcing and deposit
+// validated collects that a scan past its retry budget adopts, with the
+// same word-0 witness as its final step (helping_test.go carries the
+// helped-path checks and the progress witnesses live in progress_test.go).
+// The engine is verified the same three ways as the packed cores —
+// exhaustive strong-linearizability model checks on bounded configurations
+// (2 words x 2-3 procs x 1-2 ops, including cross-word updater
+// placements), differential fuzzing against the wide register as oracle,
+// randomized linearizability stress under real concurrency (including the
+// 2-updater x 2-scanner view-comparability property) — plus FOUR negative
+// exhibits, one per discarded design: a single unvalidated collect is not
+// even linearizable; announce-only validation (this engine's originally
+// shipped protocol) let two concurrent scans validate incomparable views;
+// the double collect whose rounds read word 0 first is linearizable but
+// not strongly linearizable; and the same commitment hazard reappears in
+// the help path when an adopted view skips the word-0 witness
+// (helping_test.go).
 
 // mwBound3 stripes 3 lanes over 2 words: FieldWidth = 22, 2 lanes/word.
 const mwBound3 = int64(1)<<22 - 1
@@ -146,17 +153,19 @@ func TestMultiwordScanIntoLengthMismatch(t *testing.T) {
 
 // --- exhaustive strong-linearizability model checks --------------------------
 //
-// 2 words x 2-3 procs x 1-2 ops: a multi-word update is one scheduler step
-// on word 0 and two elsewhere (payload XADD + announce), and a scan is
-// 2k+1 word reads plus retries, so the configurations are kept a notch
-// smaller than the single-fetch&add engines' to stay within the exploration
-// cap. Both hazards the protocol guards against have their minimal
-// EXHAUSTIVE witness inside this envelope except one: the double-collect
-// commitment hazard needs 2 cross-word updaters + 1 scanner (3 procs,
-// TestMultiwordUnanchoredScanNotStrongLin / the positive CrossWordUpdaters
-// twin), while the announce-only incomparable-views hazard needs a second
-// scanner (4 procs), whose full tree exceeds the exploration cap on any
-// protocol — that shape is pinned by a crafted-schedule refutation
+// 2 words x 2-3 procs x 1-2 ops: a multi-word update is two scheduler steps
+// on word 0 and three elsewhere (payload XADD [+ announce] + pressure
+// poll), and a scan is 2k word reads plus retries, so the configurations
+// are kept a notch smaller than the single-fetch&add engines' to stay
+// within the exploration cap. Both hazards the protocol guards against have
+// their minimal EXHAUSTIVE witness inside this envelope except one: the
+// double-collect commitment hazard needs 2 cross-word updaters + 1 scanner
+// (3 procs, TestMultiwordUnanchoredScanNotStrongLin / the positive
+// CrossWordUpdaters twin — both past the default node cap since helping
+// grew the updates, both checked complete under an explicit 800k cap),
+// while the announce-only incomparable-views hazard needs a second scanner
+// (4 procs), whose full tree exceeds the exploration cap on any protocol —
+// that shape is pinned by a crafted-schedule refutation
 // (TestMultiwordAnnounceOnlyProtocolNotLinearizable, soundly: one
 // non-linearizable complete history refutes), a crafted-schedule positive
 // race (TestMultiwordCrossWordScansCraftedRace), and the real-concurrency
@@ -234,14 +243,23 @@ func TestMultiwordSnapshotStrongLinSameValueUpdate(t *testing.T) {
 // update can land after the scan's validated pair has passed its word and
 // complete while the scan is finishing, and the second updater keeps the
 // scan's outcome undetermined. The unanchored twin below shows the game
-// checker refuting the double collect WITHOUT the closing announce check on
-// exactly this configuration; the shipped protocol must win it.
+// checker refuting the word-0-first double collect on exactly this
+// configuration; the shipped protocol must win it.
+//
+// PR 5 sizing: helping costs every value-changing update one pressure-poll
+// step, which put this configuration past the default 400k-node cap —
+// 652244 nodes now, checked under an explicit 800k cap. The retry budget is
+// pinned to 3, one above the largest failed-round count three update events
+// can force, so the pressure raise is unreachable here and the tree
+// exhausts the CORE protocol (identical to the default-budget protocol
+// until a raise); the raised/adopt machinery has its own exhaustive config
+// (TestMultiwordHelpedScanStrongLin*), crafted races and stress.
 func TestMultiwordSnapshotStrongLinCrossWordUpdaters(t *testing.T) {
 	if testing.Short() {
 		t.Skip("exhaustive model check; skipped in -short mode")
 	}
 	setup := func(w *sim.World) []sim.Program {
-		s := NewFASnapshot(w, "snap", 3, WithSnapshotBound(mwBound24)) // lanes 0,1 word 0; lane 2 word 1
+		s := NewFASnapshot(w, "snap", 3, WithSnapshotBound(mwBound24), WithScanRetryBudget(3)) // lanes 0,1 word 0; lane 2 word 1
 		if s.Words() != 2 {
 			t.Fatalf("words = %d, want 2", s.Words())
 		}
@@ -251,22 +269,34 @@ func TestMultiwordSnapshotStrongLinCrossWordUpdaters(t *testing.T) {
 			{opUpdate(s, 2, 2)}, // word 1: separate announce step
 		}
 	}
-	verifySL(t, 3, setup, spec.Snapshot{})
+	v, err := history.Verify(3, setup, spec.Snapshot{}, &sim.ExploreOptions{MaxNodes: 800000}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Linearizable {
+		t.Fatalf("linearizability violated: %s", v.LinViolation)
+	}
+	if !v.StrongLin.Ok {
+		t.Fatalf("strong linearizability violated: %v", v.StrongLin.Counterexample)
+	}
 }
 
 // TestMultiwordUnanchoredScanNotStrongLin is the negative twin: the SAME
-// cross-word configuration, with the scan's closing announce check removed
-// (scanUnanchoredInto). Two consecutive identical collects still pin a true
-// state, so every complete execution is linearizable — but the pinned
-// instant may lie in the past of an update that already returned: after the
-// pair has validated word 0, the word-0 updater can land and complete while
-// the scan is still reading word 1, and whether the scan's eventual view
-// includes it still hangs on the word-1 updater. No eager linearization of
-// the pending scan survives both futures, so prefix-closure fails: the game
-// checker refutes strong linearizability exhaustively. This is the
+// cross-word configuration, with the scan's rounds reading word 0 FIRST
+// instead of last (scanUnanchoredInto) — equivalently, the anchored scan
+// with its closing announce witness removed. Two consecutive identical
+// collects still pin a true state, so every complete execution is
+// linearizable — but the pinned instant may lie in the past of an update
+// that already returned: after the pair has validated word 0, the word-0
+// updater can land and complete while the scan is still reading word 1,
+// and whether the scan's eventual view includes it still hangs on the
+// word-1 updater. No eager linearization of the pending scan survives both
+// futures, so prefix-closure fails: the game checker refutes strong
+// linearizability exhaustively. This is the
 // linearizable-but-not-strongly-linearizable gap the library exists to
 // close, reproduced inside the multi-word engine — and the reason the
-// shipped scan's final step re-reads word 0.
+// shipped rounds read word 0 last. (800k-node cap for the same reason as
+// the positive twin above: helping's pressure poll grew the updates.)
 func TestMultiwordUnanchoredScanNotStrongLin(t *testing.T) {
 	if testing.Short() {
 		t.Skip("exhaustive model check; skipped in -short mode")
@@ -286,7 +316,7 @@ func TestMultiwordUnanchoredScanNotStrongLin(t *testing.T) {
 			{opUpdate(s, 2, 2)},
 		}
 	}
-	v, err := history.Verify(3, setup, spec.Snapshot{}, nil, nil)
+	v, err := history.Verify(3, setup, spec.Snapshot{}, &sim.ExploreOptions{MaxNodes: 800000}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

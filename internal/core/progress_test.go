@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"stronglin/internal/prim"
 	"stronglin/internal/sim"
 	"stronglin/internal/spec"
 )
@@ -250,6 +251,89 @@ func TestTASSetTakeNotWaitFree(t *testing.T) {
 	if !(s1 < s2 && s2 < s3) {
 		t.Fatalf("victim step counts %d,%d,%d do not grow with churn", s1, s2, s3)
 	}
+}
+
+// --- wait-freedom of the helped multi-word scan (PR 5) -----------------------
+//
+// The storm adversary itself (sim.AnchorStormPolicy) lives in internal/sim
+// so that this witness and internal/shard's drive the identical scheduler.
+
+// victimSteps counts the victim's shared steps in a completed execution.
+func victimSteps(t *testing.T, exec *sim.Execution, victim int) int {
+	t.Helper()
+	if !exec.Complete {
+		t.Fatalf("storm run incomplete (schedule %v)", exec.Schedule)
+	}
+	steps := 0
+	for _, e := range exec.Events {
+		if e.Kind == sim.EventStep && e.Proc == victim {
+			steps++
+		}
+	}
+	return steps
+}
+
+// multiwordStormScanSteps runs one scan against a storm of `storm`
+// value-changing word-1 updates under the anchor-storm adversary and
+// returns the scanner's own step count. helped selects the shipped
+// (budget-0, adopting) ScanInto; otherwise the scanner runs scanSpinInto,
+// the PR 4 lock-free protocol without helping.
+func multiwordStormScanSteps(t *testing.T, storm int, helped bool) int {
+	t.Helper()
+	setup := func(w *sim.World) []sim.Program {
+		s := NewFASnapshot(w, "snap", 2, WithSnapshotBound(1<<32-1), WithScanRetryBudget(0))
+		scan := sim.Op{
+			Name: "scan()",
+			Spec: spec.MkOp(spec.MethodScan),
+			Run: func(th prim.Thread) string {
+				if helped {
+					return spec.RespVec(s.ScanInto(th, make([]int64, 2)))
+				}
+				return spec.RespVec(s.scanSpinInto(th, make([]int64, 2)))
+			},
+		}
+		var updates sim.Program
+		for i := 0; i < storm; i++ {
+			updates = append(updates, opUpdate(s, 1, int64(1+i%2)))
+		}
+		return []sim.Program{{scan}, updates}
+	}
+	exec, err := sim.RunToCompletion(2, setup, sim.AnchorStormPolicy(0, 1, "snap.R0"), 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return victimSteps(t, exec, 0)
+}
+
+// TestMultiwordScanStormStarvesLockFreeBaseline pins the starvation the
+// helping path exists to close: under the anchor-storm adversary the PR 4
+// lock-free scan retries for as long as the storm lasts — its own step
+// count grows linearly with the storm length, with no schedule-independent
+// bound.
+func TestMultiwordScanStormStarvesLockFreeBaseline(t *testing.T) {
+	s1, s2, s3 := multiwordStormScanSteps(t, 6, false), multiwordStormScanSteps(t, 12, false), multiwordStormScanSteps(t, 24, false)
+	if !(s1 < s2 && s2 < s3) {
+		t.Fatalf("lock-free scan steps %d/%d/%d do not grow with the storm — the baseline is not starving", s1, s2, s3)
+	}
+	t.Logf("lock-free scan own steps under storms 6/12/24: %d/%d/%d (unbounded growth)", s1, s2, s3)
+}
+
+// TestMultiwordHelpedScanWaitFreeUnderStorm is the progress witness: on the
+// SAME adversary schedule, the helped scan raises pressure, the storm's own
+// writes deposit validated views, and the scan adopts — completing within a
+// fixed own-step budget independent of the storm length.
+func TestMultiwordHelpedScanWaitFreeUnderStorm(t *testing.T) {
+	const fixedBudget = 16
+	base := multiwordStormScanSteps(t, 6, true)
+	if base > fixedBudget {
+		t.Fatalf("helped scan took %d own steps, want <= %d", base, fixedBudget)
+	}
+	for _, storm := range []int{12, 24, 48} {
+		if got := multiwordStormScanSteps(t, storm, true); got != base {
+			t.Fatalf("helped scan steps = %d under storm %d, want the storm-independent %d", got, storm, base)
+		}
+	}
+	t.Logf("helped scan own steps: %d under storms 6/12/24/48 (fixed budget %d)", base, fixedBudget)
 }
 
 // Universal comparator: lock-free only — a CAS loop can be made to retry.

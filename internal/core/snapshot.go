@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math/bits"
-	"runtime"
 	"sync/atomic"
 
 	"stronglin/internal/interleave"
@@ -51,13 +50,45 @@ type SnapshotAPI interface {
 //     owning word is not word 0, by an announce bump of word 0's sequence
 //     field; an update owned by word 0 announces and publishes in the same
 //     single XADD. Updates are wait-free with a fixed own-step linearization
-//     point. Scan is a DOUBLE COLLECT with a closing announce check: read
-//     the k words repeatedly until two consecutive collects are identical
-//     (payload AND sequence fields), then re-read word 0 as the final step
-//     and return only if it still matches the validated pair, feeding every
-//     failed read back in as the next round's baseline. Scans are lock-free
-//     (a retry witnesses a concurrent update's step) with a retry-bounded
-//     writer-backoff hint so real-world update storms cannot starve them.
+//     point. Scan is a DOUBLE COLLECT with an ANCHORED word order: read the
+//     k words repeatedly — words 1..k-1 first, word 0 LAST — until two
+//     consecutive collects are identical (payload AND sequence fields),
+//     feeding every failed read back in as the next round's baseline. The
+//     validating round's own word-0 read is then the scan's final shared
+//     step and doubles as the closing announce check: an update announced
+//     before it either has its payload in the pair's baseline or landed
+//     inside the pair's interval for some word and invalidated the round —
+//     so no separate closing re-read is needed (word 0 read FIRST, the
+//     unanchored order, is the negative exhibit).
+//
+//     Scans that keep failing are HELPED. A scan that exhausts its retry
+//     budget raises a pressure register (one XADD; the PR 4 writer-backoff
+//     hint promoted from scheduling advice to a protocol step). Every
+//     value-changing update reads the pressure register after announcing;
+//     while it is raised the updater performs a bounded validated collect of
+//     its own — a double collect, no closing read — and deposits the raw
+//     validated words in the help slot, a register holding the freshest
+//     helper view keyed by its word-0 value (payload plus sequence/announce
+//     field). A starving scan adopts the deposit: it re-reads word 0 as its
+//     final view-determining step and takes the deposited view only if word
+//     0 still equals the deposit's word 0 — the SAME closing announce check
+//     the unhelped path performs against its own collect pair, so adoption
+//     cannot resurrect a past state (an update announced after the helper's
+//     validation moves word 0's sequence field and forces a retry; the
+//     negative twin in the package tests pins that skipping this witness is
+//     linearizable but NOT strongly linearizable). Adoption bounds the
+//     scanner's own steps against the update storms that starve the plain
+//     double collect — any single-updater storm in particular, since each
+//     storm update must refresh the deposit before its next announce can
+//     invalidate it (the progress witness in the package tests pins the
+//     fixed own-step budget on the schedule that provably starves the
+//     unhelped scan). Against adversarial multi-writer schedules a retry of
+//     the adopt check still consumes a fresh announce, so scans remain
+//     lock-free in the strict sense — the helpers shrink the starvation
+//     window from the full k-word collect to the two steps between the slot
+//     read and the word-0 witness (cf. the helping impossibilities around
+//     consistent refereeing for why a scheduler this strong cannot be
+//     defeated outright).
 //
 //     BOTH validations are load-bearing, and the package tests pin a
 //     counterexample for each half alone. Announce-only validation (one
@@ -101,19 +132,45 @@ type FASnapshot struct {
 	bound int64              // -1: unbounded (wide); >= 0: declared max component value
 	prev  []int64            // prev[i] is accessed only by process i
 
-	// scanWait is the real-world writer-backoff hint: a scan whose collect
-	// keeps getting invalidated raises it, and updaters yield the processor
-	// before their XADD while it is up. It is scheduling advice outside the
-	// shared-memory protocol (the adversarial simulated scheduler explores
-	// all timings regardless), so it affects no correctness argument.
-	scanWait atomic.Int32
+	// Multi-word helping machinery (nil/zero on the single-register engines).
+	// pressure counts the scans currently past their retry budget; slot holds
+	// the freshest helper deposit. spinBudget is how many invalidated rounds a
+	// scan absorbs before raising pressure (WithScanRetryBudget).
+	pressure   prim.FetchAddInt
+	slot       prim.AnyRegister
+	spinBudget int
+
+	// helpDeposits/scanAdopts are telemetry only (never read by the
+	// protocol): how many helper views were deposited and how many scans
+	// returned an adopted view.
+	helpDeposits atomic.Int64
+	scanAdopts   atomic.Int64
+}
+
+// mwDeposit is a helper's validated collect: the raw k words of a double
+// collect whose two reads were bit-identical, words[0] carrying the word-0
+// payload+sequence value the adopting scan's closing witness must still see.
+// The slice is immutable once deposited. An empty words slice is the
+// no-deposit sentinel: the slot's initial value, restored by the last
+// raised scan when it lowers pressure.
+type mwDeposit struct {
+	words []int64
 }
 
 var _ SnapshotAPI = (*FASnapshot)(nil)
 
-// scanSpinRounds is how many invalidated collects a multi-word scan absorbs
-// before raising the writer-backoff hint.
+// scanSpinRounds is the default retry budget: how many invalidated collects
+// a multi-word scan absorbs before raising the pressure register and trying
+// to adopt helper deposits (WithScanRetryBudget overrides it).
 const scanSpinRounds = 2
+
+// helperRounds bounds the validation attempts of an updater's help collect,
+// keeping updates wait-free: a helper whose collect is invalidated gives up
+// — the invalidating update inherits the obligation at its own pressure
+// check. One attempt suffices: an uninterfered helper always validates, and
+// under interference the interferer re-helps (the bound also keeps the
+// helped configurations inside the model checker's exploration budget).
+const helperRounds = 1
 
 // scanStackWords is the largest word count whose collect buffer lives on the
 // scanning goroutine's stack; larger registers fall back to a heap buffer
@@ -139,16 +196,32 @@ func WithSnapshotBound(maxValue int64) SnapshotOption {
 	return func(s *FASnapshot) { s.bound = maxValue }
 }
 
+// WithScanRetryBudget sets how many invalidated collect rounds a multi-word
+// scan absorbs before raising the pressure register and adopting helper
+// deposits (default scanSpinRounds). A budget of 0 requests help after the
+// first failed round — the configuration the adopt-path model checks and the
+// differential fuzzers use to make adoption the common case. The budget
+// affects progress only, never the returned views: adopted and self-collected
+// views pass the same closing word-0 witness. No-op on the single-register
+// engines, whose scans are one fetch&add.
+func WithScanRetryBudget(rounds int) SnapshotOption {
+	if rounds < 0 {
+		panic(fmt.Sprintf("core: WithScanRetryBudget(%d): budget must be non-negative", rounds))
+	}
+	return func(s *FASnapshot) { s.spinBudget = rounds }
+}
+
 // NewFASnapshot allocates the construction for n processes using a single
 // fetch&add register named name+".R" (or, on the multi-word engine, words
 // name+".R0".."R<k-1>"). Components are initially 0.
 func NewFASnapshot(w prim.World, name string, n int, opts ...SnapshotOption) *FASnapshot {
 	s := &FASnapshot{
-		n:     n,
-		codec: interleave.MustNew(n),
-		w:     w,
-		bound: -1,
-		prev:  make([]int64, n),
+		n:          n,
+		codec:      interleave.MustNew(n),
+		w:          w,
+		bound:      -1,
+		spinBudget: scanSpinRounds,
+		prev:       make([]int64, n),
 	}
 	for _, o := range opts {
 		o(s)
@@ -166,6 +239,8 @@ func NewFASnapshot(w prim.World, name string, n int, opts ...SnapshotOption) *FA
 			for j := range s.words {
 				s.words[j] = w.FetchAddInt(fmt.Sprintf("%s.R%d", name, j), 0)
 			}
+			s.pressure = w.FetchAddInt(name+".help", 0)
+			s.slot = w.AnyRegister(name+".slot", &mwDeposit{})
 			return s
 		}
 	}
@@ -210,6 +285,14 @@ func (s *FASnapshot) Engine() string {
 // Bound returns the declared maximum component value, or -1 when unbounded.
 func (s *FASnapshot) Bound() int64 { return s.bound }
 
+// HelpStats reports the multi-word helping telemetry: how many helper views
+// updaters have deposited, and how many scans returned an adopted view. Both
+// are 0 on the single-register engines (their one-step scans never need
+// help) and in any run where no scan exhausted its retry budget.
+func (s *FASnapshot) HelpStats() (deposits, adopts int64) {
+	return s.helpDeposits.Load(), s.scanAdopts.Load()
+}
+
 // Update writes v (which must be non-negative) to the caller's component.
 // On the single-register engines Update is one fetch&add, its linearization
 // point. On the multi-word engine the payload XADD is the linearization
@@ -224,6 +307,14 @@ func (s *FASnapshot) Bound() int64 { return s.bound }
 // payload retries rather than returning once the announce lands — which is
 // what lets the prefix-closed linearization leave an in-flight update after
 // any scan it is invisible to (see the type comment).
+//
+// After announcing, a value-changing update reads the pressure register and,
+// while any scan is past its retry budget, performs its help obligation: a
+// bounded validated collect deposited in the help slot (helpScan). All the
+// help steps trail the update's linearization point and touch neither its
+// response nor its component, so the update's own argument is unchanged; the
+// helper bound keeps updates wait-free (payload + announce + pressure read +
+// at most (helperRounds+1)·k collect reads + one deposit).
 func (s *FASnapshot) Update(t prim.Thread, v int64) {
 	if v < 0 {
 		panic(fmt.Sprintf("core: FASnapshot.Update(%d): values must be non-negative", v))
@@ -233,16 +324,14 @@ func (s *FASnapshot) Update(t prim.Thread, v int64) {
 	}
 	i := t.ID()
 	if s.words != nil {
-		if s.scanWait.Load() != 0 {
-			runtime.Gosched() // back off: a scan is being starved by updates
-		}
 		if v == s.prev[i] {
 			// Unchanged value: the XADD(0) on the owning word is the whole
 			// operation (its linearization point, like the packed and wide
 			// fast paths). The word is untouched, so there is no change for
 			// a collect to observe, nothing for its validation to miss, and
 			// no completion worth announcing — a scan linearizes correctly
-			// on either side of this operation.
+			// on either side of this operation, and since the update
+			// invalidates no collect, it owes no help either.
 			s.words[s.mp.WordOf(i)].FetchAddInt(t, 0)
 			prim.MarkLinPoint(s.w, t)
 			return
@@ -255,6 +344,9 @@ func (s *FASnapshot) Update(t prim.Thread, v int64) {
 		s.prev[i] = v
 		if w != 0 {
 			s.words[0].FetchAddInt(t, interleave.SeqIncrement) // announce completion
+		}
+		if s.pressure.FetchAddInt(t, 0) != 0 {
+			s.helpScan(t) // a scan is starving: collect and deposit for it
 		}
 		return
 	}
@@ -285,10 +377,11 @@ func (s *FASnapshot) Scan(t prim.Thread) []int64 {
 // (returned for convenience). On the machine-word engines it is
 // allocation-free (on the multi-word engine: up to scanStackWords words):
 // one XADD(0) plus shift-and-mask on the single packed word; on the
-// multi-word engine a DOUBLE COLLECT with a closing announce check — read
-// the k words repeatedly until two consecutive collects are identical (each
-// failed read seeding the next round's baseline), then re-read word 0 as
-// the final step and return only if it still matches the pair.
+// multi-word engine an ANCHORED DOUBLE COLLECT — read the k words
+// repeatedly, words 1..k-1 first and word 0 LAST, until two consecutive
+// collects are identical (each failed read seeding the next round's
+// baseline); the validating round's word-0 read, the scan's final shared
+// step, is the closing announce check.
 //
 // The double collect makes the view a true state: identical means
 // bit-identical words, sequence fields included, and every value-changing
@@ -299,34 +392,52 @@ func (s *FASnapshot) Scan(t prim.Thread) []int64 {
 // contain the instant between its two collects, so the returned view IS the
 // register state at a real moment inside the scan — in particular, any two
 // scans return states of the same single timeline, so their views are
-// always comparable. The closing word-0 read then anchors that moment
-// against completions: every update announces on word 0's sequence field
-// after (or, for word-0 owners, in the same XADD as) its payload, so an
-// update that announced before the scan's final step either has its payload
-// in the view — its announce predates the pair's word-0 reads, its XADD
-// predates the announce, and word order puts the pair's read of its word
-// later still, so a pair the XADD did not invalidate read the word after
-// the payload landed — or moved word 0's sequence field and forced a retry.
-// A returned view therefore reflects every update that completed before the
-// scan returned, which is exactly what lets the scan be APPENDED to a
-// prefix-closed linearization that has already committed those updates; the
-// same argument is why a failed check only reseeds the baseline rather than
-// discarding the pair history.
+// always comparable. The anchored order then makes the pair's LAST word-0
+// read anchor that moment against completions: every update announces on
+// word 0's sequence field after (or, for word-0 owners, in the same XADD
+// as) its payload, so an update that announced before the scan's final step
+// either announced before the pair's first word-0 read — its payload XADD
+// predates the announce, and a pair it did not invalidate read its word
+// after the payload landed, so the payload is in the view — or moved word
+// 0's sequence field between the pair's two word-0 reads and invalidated
+// the round. A returned view therefore reflects every update that completed
+// before the scan returned, which is exactly what lets the scan be APPENDED
+// to a prefix-closed linearization that has already committed those
+// updates; the same argument is why a failed round only reseeds the
+// baseline rather than discarding the pair history. Reading word 0 FIRST
+// instead breaks exactly this anchoring (scanUnanchoredInto, the negative
+// exhibit).
 //
-// Scans are lock-free, not wait-free: a retry witnesses a concurrent
-// update's step, and after scanSpinRounds invalidated rounds the scan
-// raises the writer-backoff hint so real-world update storms cannot starve
-// it indefinitely.
+// Scans that exhaust their retry budget (WithScanRetryBudget, default
+// scanSpinRounds) raise the pressure register, obliging every subsequent
+// value-changing update to deposit a validated collect of its own in the
+// help slot. From then on each round is preceded by a slot read, and a
+// round that fails attempts an ADOPT: take the deposited view if the
+// round's final word-0 read — the scan's most recent shared step, performed
+// AFTER the slot read — still equals the deposit's word 0. That is the
+// identical closing announce check applied to a helper's pair instead of
+// the scan's own, so the adopted view carries the
+// same guarantee: it is a true state (the helper's double collect) that
+// every update announced before the scan's final step is in (else word 0's
+// sequence field moved and the adopt retries). Adoption is what bounds a
+// starved scanner's own steps: each storm update must refresh the deposit
+// before announcing again, so any single-updater storm — the schedule that
+// starves the plain double collect unboundedly, pinned by the progress
+// witness — now feeds the scanner a fresh deposit it adopts within a fixed
+// budget. Under adversarial multi-writer schedules an adopt retry still
+// consumes a fresh announce (lock-free in the strict sense; see the type
+// comment).
 //
 // The multi-word scan deliberately declares no linearization-point
 // certificate: its linearization point is pinned by the pair of collects
-// that validates, which is only identified in hindsight — while those reads
-// execute, whether the pair validates (and survives its closing check)
-// still depends on updates that have not happened — so no mark placed
-// during execution names the right step on every branch (the package tests
-// pin the certificate checker rejecting any fixed marking). Strong
-// linearizability is instead decided by the execution-tree game checker,
-// exactly as for internal/shard's epoch-validated combining reads.
+// that validates (the helper's pair, on an adopted view), which is only
+// identified in hindsight — while those reads execute, whether the pair
+// validates (and survives its closing check) still depends on updates that
+// have not happened — so no mark placed during execution names the right
+// step on every branch (the package tests pin the certificate checker
+// rejecting any fixed marking). Strong linearizability is instead decided
+// by the execution-tree game checker, exactly as for internal/shard's
+// epoch-validated combining reads.
 func (s *FASnapshot) ScanInto(t prim.Thread, view []int64) []int64 {
 	if len(view) != s.n {
 		panic(fmt.Sprintf("core: FASnapshot.ScanInto: view has length %d, want %d", len(view), s.n))
@@ -334,34 +445,50 @@ func (s *FASnapshot) ScanInto(t prim.Thread, view []int64) []int64 {
 	if s.words != nil {
 		var stack [scanStackWords]int64
 		cur := collectBuf(&stack, len(s.words))
-		s.collectWords(t, cur)
-		raised := false
+		s.collectWordsAnchored(t, cur)
+		raised, adopted := false, false
 		for spins := 0; ; spins++ {
-			valid := true
-			for j := range s.words {
-				w := s.words[j].FetchAddInt(t, 0)
-				if w != cur[j] {
-					// This round failed, but its reads are the next round's
-					// baseline.
-					valid = false
-					cur[j] = w
+			// The adoption candidate must be read BEFORE the round's word-0
+			// read: the witness has to be the later of the two, or an update
+			// could announce (and complete) between them unseen.
+			var dep *mwDeposit
+			if raised {
+				if d, ok := s.slot.ReadAny(t).(*mwDeposit); ok && len(d.words) == len(s.words) {
+					dep = d
 				}
 			}
-			if valid {
-				// Closing announce check: the scan's final shared step.
-				w0 := s.words[0].FetchAddInt(t, 0)
-				if w0 == cur[0] {
-					break
-				}
-				cur[0] = w0 // an announce landed: retry from the new baseline
+			if s.roundAnchored(t, cur) {
+				break // the round's own word-0 read is the closing witness
 			}
-			if spins == scanSpinRounds && !raised {
+			// The round failed, but its reads are the next round's baseline —
+			// and cur[0] now holds the word-0 value the round read LAST, the
+			// scan's most recent shared step: the witness for adoption.
+			if dep != nil && cur[0] == dep.words[0] {
+				copy(cur, dep.words)
+				adopted = true
+				break
+			}
+			if spins >= s.spinBudget && !raised {
 				raised = true
-				s.scanWait.Add(1)
+				s.pressure.FetchAddInt(t, 1)
 			}
 		}
 		if raised {
-			s.scanWait.Add(-1)
+			// Lowering returns the previous count for free: the LAST raised
+			// scan clears the slot, so deposits never outlive the pressure
+			// episode that solicited them. A deposit that persisted across
+			// idle epochs would widen the 2^16 seq-wrap ABA caveat from
+			// "wraps inside one scan's window" to "wraps over the deposit's
+			// unbounded lifetime"; clearing restores the original scope.
+			// (The clear may race a concurrent raise and clobber a fresher
+			// deposit — a progress delay for that scan, never a wrong view:
+			// adoption still demands the word-0 witness.)
+			if s.pressure.FetchAddInt(t, -1) == 1 {
+				s.slot.WriteAny(t, &mwDeposit{})
+			}
+			if adopted {
+				s.scanAdopts.Add(1)
+			}
 		}
 		for j, w := range cur {
 			s.mp.GatherWord(w, j, view)
@@ -394,27 +521,94 @@ func collectBuf(stack *[scanStackWords]int64, k int) []int64 {
 	return make([]int64, k)
 }
 
-// collectWords reads the k words once, in order: a single unvalidated
-// collect. It is one round's reads of the validated scan — and, decoded on
-// its own, the negative exhibit: updates to different words can be observed
-// inconsistently with their real-time order, so scanNaiveInto (a lone
-// collect with no second, validating one) is not linearizable; the package
-// tests pin the counterexample.
+// helpScan is an updater's help obligation, run after its announce while the
+// pressure register is raised: a bounded validated double collect whose raw
+// words, if two consecutive collects are bit-identical, are deposited in the
+// help slot for starving scans to adopt. No closing word-0 read is needed
+// here — the ADOPTING scan performs that witness itself against the
+// deposit's word 0, which is what anchors the deposited state against
+// completions at adoption time. The helper gives up after helperRounds
+// invalidated rounds (keeping updates wait-free): whichever update
+// invalidated it will read the still-raised pressure register after its own
+// announce and inherit the obligation. Deposits are last-writer-wins; a
+// stale deposit never corrupts a scan (its word-0 witness fails and the scan
+// retries), it only delays adoption.
+func (s *FASnapshot) helpScan(t prim.Thread) {
+	var stack [scanStackWords]int64
+	cur := collectBuf(&stack, len(s.words))
+	s.collectWordsAnchored(t, cur)
+	for r := 0; r < helperRounds; r++ {
+		if s.roundAnchored(t, cur) {
+			s.slot.WriteAny(t, &mwDeposit{words: append([]int64(nil), cur...)})
+			s.helpDeposits.Add(1)
+			return
+		}
+	}
+}
+
+// collectWordsAnchored reads the k words once in ANCHORED order — words
+// 1..k-1 first, word 0 LAST — the order every shipped collect uses. Reading
+// the announce counter (word 0's sequence field) last is what lets a
+// validating round's own word-0 read double as the scan's closing announce
+// witness: an update announced before that read either predates the pair's
+// earlier read of its word (its payload is in the baseline) or lands inside
+// the pair's interval for some word and invalidates the round. The
+// word-0-FIRST collect without a separate closing re-read is the negative
+// exhibit (scanUnanchoredInto).
+func (s *FASnapshot) collectWordsAnchored(t prim.Thread, words []int64) {
+	for j := 1; j < len(s.words); j++ {
+		words[j] = s.words[j].FetchAddInt(t, 0)
+	}
+	words[0] = s.words[0].FetchAddInt(t, 0)
+}
+
+// roundAnchored re-reads the k words in anchored order against the baseline
+// cur and reports whether all matched (a validated pair whose final word-0
+// read is the closing announce witness). Mismatching reads become the next
+// round's baseline; after a failed round cur[0] holds the word-0 value read
+// last — the caller's most recent shared step, and therefore the witness an
+// adoption check may compare a deposit against.
+func (s *FASnapshot) roundAnchored(t prim.Thread, cur []int64) bool {
+	valid := true
+	for j := 1; j < len(s.words); j++ {
+		w := s.words[j].FetchAddInt(t, 0)
+		if w != cur[j] {
+			valid = false
+			cur[j] = w
+		}
+	}
+	w0 := s.words[0].FetchAddInt(t, 0)
+	if w0 != cur[0] {
+		valid = false
+		cur[0] = w0
+	}
+	return valid
+}
+
+// collectWords reads the k words once, in index order (word 0 FIRST): the
+// unanchored collect of the negative exhibits. Decoded on its own it is the
+// coarsest one: updates to different words can be observed inconsistently
+// with their real-time order, so scanNaiveInto (a lone collect with no
+// second, validating one) is not linearizable; the package tests pin the
+// counterexample.
 func (s *FASnapshot) collectWords(t prim.Thread, words []int64) {
 	for j := range s.words {
 		words[j] = s.words[j].FetchAddInt(t, 0)
 	}
 }
 
-// scanUnanchoredInto is the double collect WITHOUT the closing announce
-// check, kept exclusively for the negative model check: two consecutive
-// identical collects pin a true state, so it is linearizable — but the
-// pinned instant may lie in the past of an update that has already
-// completed, and with a second writer threatening the other word no eager
-// linearization of the pending scan survives every future, so it is NOT
-// strongly linearizable (the package tests pin the game checker finding
-// exactly that). It is the reason the shipped scan's final step re-reads
-// word 0.
+// scanUnanchoredInto is the UNANCHORED double collect — word 0 read FIRST
+// in every round instead of last, so the scan's final step does not witness
+// the announce counter — kept exclusively for the negative model check: two
+// consecutive identical collects still pin a true state, so it is
+// linearizable — but the pinned instant may lie in the past of an update
+// that has already completed (announced after the pair's early word-0 read,
+// before the scan's later reads of the other words), and with a second
+// writer threatening the other word no eager linearization of the pending
+// scan survives every future, so it is NOT strongly linearizable (the
+// package tests pin the game checker finding exactly that). It is the
+// reason the shipped rounds read word 0 last: the announce witness must be
+// the scan's final shared step.
 func (s *FASnapshot) scanUnanchoredInto(t prim.Thread, view []int64) []int64 {
 	if len(view) != s.n {
 		panic(fmt.Sprintf("core: FASnapshot.scanUnanchoredInto: view has length %d, want %d", len(view), s.n))
@@ -435,6 +629,65 @@ func (s *FASnapshot) scanUnanchoredInto(t prim.Thread, view []int64) []int64 {
 			break
 		}
 	}
+	for j, w := range cur {
+		s.mp.GatherWord(w, j, view)
+	}
+	return view
+}
+
+// scanSpinInto is the PR 4 lock-free scan — the shipped protocol WITHOUT the
+// pressure/adopt machinery — kept exclusively for the progress witness and
+// the bench baseline: under the single-updater storm schedule its retry
+// count (and so the scanner's own steps) grows without bound, which is
+// exactly the starvation the helping path closes. Its returned views carry
+// the full double-collect + closing-check guarantee; only progress differs.
+func (s *FASnapshot) scanSpinInto(t prim.Thread, view []int64) []int64 {
+	if len(view) != s.n {
+		panic(fmt.Sprintf("core: FASnapshot.scanSpinInto: view has length %d, want %d", len(view), s.n))
+	}
+	var stack [scanStackWords]int64
+	cur := collectBuf(&stack, len(s.words))
+	s.collectWordsAnchored(t, cur)
+	for !s.roundAnchored(t, cur) {
+	}
+	for j, w := range cur {
+		s.mp.GatherWord(w, j, view)
+	}
+	return view
+}
+
+// scanAdoptUnanchoredInto is the helping path WITHOUT the closing word-0
+// witness on adoption, kept exclusively for the negative model check: it
+// raises pressure immediately and returns the first helper deposit it sees
+// AS IS. The deposit is a true state (the helper's double collect pins it),
+// so crafted executions stay linearizable — but the pinned instant may lie
+// in the past of an update that announced after the helper validated and
+// RETURNED before the scan does, and with a second deposit still possible
+// the scan's eventual view hangs on scheduling: no eager linearization of
+// the pending scan survives every future. The package tests pin the game
+// checker refuting strong linearizability on a schedule tree, documenting
+// that HELPING DOES NOT EXEMPT the announce-as-final-step rule — an adopted
+// view needs the same closing witness a self-collected one does. Falls back
+// to validated own rounds while no deposit exists so crafted schedules can
+// still complete.
+func (s *FASnapshot) scanAdoptUnanchoredInto(t prim.Thread, view []int64) []int64 {
+	if len(view) != s.n {
+		panic(fmt.Sprintf("core: FASnapshot.scanAdoptUnanchoredInto: view has length %d, want %d", len(view), s.n))
+	}
+	s.pressure.FetchAddInt(t, 1)
+	var stack [scanStackWords]int64
+	cur := collectBuf(&stack, len(s.words))
+	s.collectWordsAnchored(t, cur)
+	for {
+		if d, ok := s.slot.ReadAny(t).(*mwDeposit); ok && len(d.words) == len(s.words) {
+			copy(cur, d.words) // adopt with NO closing word-0 witness: the bug
+			break
+		}
+		if s.roundAnchored(t, cur) {
+			break
+		}
+	}
+	s.pressure.FetchAddInt(t, -1)
 	for j, w := range cur {
 		s.mp.GatherWord(w, j, view)
 	}

@@ -61,9 +61,51 @@
 // special case of fetch&add (hardware XADD on an int64) — the expensive,
 // contended work of the unsharded constructions, the mutex-guarded
 // arbitrary-precision arithmetic on registers whose width grows with values
-// times lanes, is what gets striped. Reads are lock-free rather than
-// wait-free (a retry consumes a write's announce), matching the guarantee of
-// the paper's Theorem 9/10 objects.
+// times lanes, is what gets striped.
+//
+// # Helping: reads survive write storms
+//
+// An epoch-validated collect alone is only lock-free: every retry consumes a
+// concurrent write's announce, so a write storm can starve a reader
+// indefinitely. The sharded objects therefore HELP starving readers, with
+// the same discipline as internal/core's multi-word snapshot scans.
+//
+// The pressure signal rides the epoch register itself: the low 48 bits
+// count announces, the bits above them count readers currently past their
+// retry budget (WithReadRetryBudget, default 2 rounds). A starving reader
+// raises pressure with fetch&add(epoch, 2^48) and lowers it on return —
+// ordinary epoch movement to everyone else's validation, which compares
+// exact values. A write already performs fetch&add(epoch, 1) to announce,
+// and that XADD RETURNS the previous epoch — so writes learn of starving
+// readers for free, with zero additional steps on the uncontended path.
+// A write whose announce returns raised pressure bits then performs one
+// bounded epoch-validated collect of its own and deposits the combined
+// value, keyed by the exact epoch value it validated at, in the help slot.
+//
+// From then on each of the starving reader's rounds also reads the slot
+// BEFORE its closing epoch read, and a round whose own validation fails
+// ADOPTS the deposit if the closing epoch read — still the read's final
+// shared step — equals the deposit's epoch: the identical validation
+// applied to a helper's collect instead of the reader's own, so an adopted
+// value carries the same strong-linearizability argument (every write that
+// completed before the read's final step had announced before the helper's
+// window opened, so the deposit includes its shard step; a write announcing
+// after the helper validated moves the epoch and forces a retry — adoption
+// cannot resurrect a past value). Helping bounds a starved reader's own
+// steps against any single-writer storm — each storm write must refresh the
+// deposit before its next announce can invalidate it (the progress witness
+// in the package tests pins the fixed budget on the schedule that provably
+// starves the unhelped read) — while writes stay wait-free: the helper's
+// collect is bounded, and a helper that keeps being invalidated gives up,
+// leaving the obligation to whichever write invalidated it. Against
+// adversarial multi-writer schedules an adopt retry still consumes a fresh
+// announce (strictly, reads remain lock-free, matching the guarantee of the
+// paper's Theorem 9/10 objects; the helpers shrink the starvation window
+// from the full S-shard collect to the two steps between the slot read and
+// the epoch witness). The 2^48 announce capacity before the count would
+// carry into the pressure bits is of a kind with the engine's other
+// rollover caveats (ROADMAP); at one announce per nanosecond it is ~3 days
+// of continuous writes, and the count is per-object.
 //
 // # Packed shard cores
 //
@@ -82,6 +124,7 @@ package shard
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"stronglin/internal/core"
 	"stronglin/internal/prim"
@@ -100,7 +143,101 @@ func validate(lanes, shards int) {
 type Option func(*config)
 
 type config struct {
-	bound int64 // -1: unbounded (wide cores)
+	bound  int64 // -1: unbounded (wide cores)
+	budget int   // failed validation rounds a read absorbs before raising pressure
+}
+
+// readSpinRounds is the default read retry budget (WithReadRetryBudget).
+const readSpinRounds = 2
+
+// helperRounds bounds the validation attempts of a writer's help collect,
+// keeping writes wait-free: a helper whose collect is invalidated gives up —
+// the invalidating write inherits the obligation at its own pressure check.
+// One attempt suffices: an uninterfered helper always validates, and under
+// interference the interferer re-helps (the bound also keeps the helped
+// configurations inside the model checker's exploration budget).
+const helperRounds = 1
+
+// WithReadRetryBudget sets how many invalidated collect rounds a combining
+// read absorbs before raising the pressure register and adopting helper
+// deposits (default readSpinRounds). A budget of 0 requests help after the
+// first failed round — the configuration the adopt-path model checks use to
+// make adoption the common case. The budget affects progress only, never
+// returned values: adopted and self-collected values pass the same closing
+// epoch validation.
+func WithReadRetryBudget(rounds int) Option {
+	if rounds < 0 {
+		panic(fmt.Sprintf("shard: WithReadRetryBudget(%d): budget must be non-negative", rounds))
+	}
+	return func(c *config) { c.budget = rounds }
+}
+
+// pressureUnit is one raised reader in the epoch register's pressure bits:
+// announce counts occupy the low 48 bits, starving-reader counts the bits
+// above (see the package comment's helping section).
+const pressureUnit = int64(1) << 48
+
+// helpDeposit is a helper's epoch-validated collect: the combined value
+// (value for the counter and max register, elems for the grow-only set)
+// and the exact epoch value the helper's validation window closed at
+// (pressure bits included — the adopting reader compares exact values).
+// Immutable once deposited; epoch -1 is the no-deposit sentinel — the
+// slot's initial value, restored by the last raised reader when it lowers
+// pressure.
+type helpDeposit struct {
+	epoch int64
+	value int64
+	elems []int64
+}
+
+// helpKit is the per-object helping machinery: the help slot writers
+// deposit into and the read retry budget. The pressure signal itself rides
+// the object's epoch register. deposits/adopts are telemetry only (never
+// read by the protocol).
+type helpKit struct {
+	slot   prim.AnyRegister
+	budget int
+
+	deposits atomic.Int64
+	adopts   atomic.Int64
+}
+
+func newHelpKit(w prim.World, name string, budget int) *helpKit {
+	return &helpKit{
+		slot:   w.AnyRegister(name+".slot", &helpDeposit{epoch: -1}),
+		budget: budget,
+	}
+}
+
+// announce performs a write's epoch announce — fetch&add(epoch, 1), exactly
+// the step the pre-helping protocol performed — and inspects the returned
+// previous value for raised pressure bits: learning of starving readers
+// costs the write zero additional steps. While pressure is raised the write
+// honours its help obligation: a bounded epoch-validated collect deposited
+// in the help slot, keyed by the exact epoch value it validated at.
+// Deposits are last-writer-wins; a stale deposit never corrupts a read (its
+// epoch witness fails and the read retries), it only delays adoption.
+func (k *helpKit) announce(t prim.Thread, epoch prim.FetchAddInt, collect func(prim.Thread) (int64, []int64)) {
+	if epoch.FetchAddInt(t, 1) < pressureUnit {
+		return
+	}
+	e := epoch.FetchAddInt(t, 0)
+	for r := 0; r < helperRounds; r++ {
+		v, elems := collect(t)
+		e2 := epoch.FetchAddInt(t, 0)
+		if e2 == e {
+			k.slot.WriteAny(t, &helpDeposit{epoch: e2, value: v, elems: elems})
+			k.deposits.Add(1)
+			return
+		}
+		e = e2
+	}
+}
+
+// HelpStats reports an object's helping telemetry: helper deposits made by
+// writes and reads that returned an adopted value.
+func (k *helpKit) HelpStats() (deposits, adopts int64) {
+	return k.deposits.Load(), k.adopts.Load()
 }
 
 // WithBound declares the value domain [0, bound] of the object (max-register
@@ -127,7 +264,7 @@ func WithBound(bound int64) Option {
 }
 
 func buildConfig(opts []Option) config {
-	cfg := config{bound: -1}
+	cfg := config{bound: -1, budget: readSpinRounds}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -139,6 +276,7 @@ func buildConfig(opts []Option) config {
 type Counter struct {
 	shards []*core.FACounter
 	epoch  prim.FetchAddInt
+	help   *helpKit
 }
 
 // NewCounter builds a sharded counter for the given lane count.
@@ -148,6 +286,7 @@ func NewCounter(w prim.World, name string, lanes, shards int, opts ...Option) *C
 	c := &Counter{
 		shards: make([]*core.FACounter, shards),
 		epoch:  w.FetchAddInt(name+".epoch", 0),
+		help:   newHelpKit(w, name, cfg.budget),
 	}
 	for s := range c.shards {
 		var coreOpts []core.CounterOption
@@ -173,26 +312,38 @@ func (c *Counter) Packed() bool {
 	return true
 }
 
-// Inc increments the counter via the caller's shard.
+// Inc increments the counter via the caller's shard and announces on the
+// epoch; the announce's return value carries the pressure bits, so the
+// write additionally honours its help obligation — depositing a validated
+// sum — exactly while a reader is starving (see the package comment).
 func (c *Counter) Inc(t prim.Thread) {
 	c.shards[t.ID()%len(c.shards)].Inc(t)
-	c.epoch.FetchAddInt(t, 1)
+	c.help.announce(t, c.epoch, c.collectSum)
 }
 
 // Add adds k (non-negative) via the caller's shard.
 func (c *Counter) Add(t prim.Thread, k int64) {
 	c.shards[t.ID()%len(c.shards)].Add(t, k)
-	c.epoch.FetchAddInt(t, 1)
+	c.help.announce(t, c.epoch, c.collectSum)
+}
+
+// collectSum is the counter's help collect: the unvalidated sum (the
+// helper's afterWrite wraps it in its own epoch validation).
+func (c *Counter) collectSum(t prim.Thread) (int64, []int64) {
+	return c.readSingleCollect(t), nil
 }
 
 // Read returns the counter value: an epoch-validated sum of one read per
-// shard. Lock-free: a retry consumes a write's epoch announce.
+// shard, adopting a helper's validated sum once starved (see the package
+// comment's helping protocol).
 func (c *Counter) Read(t prim.Thread) int64 {
-	v := epochValidated(t, c.epoch, func() (int64, bool) {
-		return c.readSingleCollect(t), false
-	})
-	return v
+	return validatedRead(t, c.epoch, c.help,
+		func() (int64, bool) { return c.readSingleCollect(t), false },
+		func(d *helpDeposit) int64 { return d.value })
 }
+
+// HelpStats reports the counter's helping telemetry (deposits, adopts).
+func (c *Counter) HelpStats() (int64, int64) { return c.help.HelpStats() }
 
 // readSingleCollect is the naive combine kept for the negative model check:
 // linearizable (the sum passes through every intermediate total) but not
@@ -205,12 +356,31 @@ func (c *Counter) readSingleCollect(t prim.Thread) int64 {
 	return sum
 }
 
+// readSpin is the pre-helping lock-free read — epoch-validated collect with
+// unbounded retries, no pressure, no adoption — kept exclusively for the
+// progress witness: under the single-writer storm schedule its retry count
+// (and so the reader's own steps) grows without bound, which is exactly the
+// starvation the helping path closes. Its returned values carry the full
+// epoch-validation guarantee; only progress differs.
+func (c *Counter) readSpin(t prim.Thread) int64 {
+	e := c.epoch.FetchAddInt(t, 0)
+	for {
+		v := c.readSingleCollect(t)
+		e2 := c.epoch.FetchAddInt(t, 0)
+		if e2 == e {
+			return v
+		}
+		e = e2
+	}
+}
+
 // MaxRegister is a max register striped across S fetch&add unary cores.
 // WriteMax touches the caller's shard and the epoch; ReadMax performs an
 // epoch-validated collect.
 type MaxRegister struct {
 	shards []*core.FAMaxRegister
 	epoch  prim.FetchAddInt
+	help   *helpKit
 }
 
 // NewMaxRegister builds a sharded max register for the given lane count.
@@ -225,6 +395,7 @@ func NewMaxRegister(w prim.World, name string, lanes, shards int, opts ...Option
 	m := &MaxRegister{
 		shards: make([]*core.FAMaxRegister, shards),
 		epoch:  w.FetchAddInt(name+".epoch", 0),
+		help:   newHelpKit(w, name, cfg.budget),
 	}
 	for s := range m.shards {
 		coreOpts := []core.MaxRegOption{core.WithLaneMap(compactLane(shards))}
@@ -249,20 +420,31 @@ func (m *MaxRegister) Packed() bool {
 	return true
 }
 
-// WriteMax writes v (non-negative) via the caller's shard.
+// WriteMax writes v (non-negative) via the caller's shard and announces on
+// the epoch, honouring its help obligation when the announce's return value
+// carries raised pressure bits (see the package comment).
 func (m *MaxRegister) WriteMax(t prim.Thread, v int64) {
 	m.shards[t.ID()%len(m.shards)].WriteMax(t, v)
-	m.epoch.FetchAddInt(t, 1)
+	m.help.announce(t, m.epoch, m.collectMax)
+}
+
+// collectMax is the max register's help collect (unvalidated; afterWrite
+// epoch-validates it).
+func (m *MaxRegister) collectMax(t prim.Thread) (int64, []int64) {
+	return m.readMaxSingleCollect(t), nil
 }
 
 // ReadMax returns the largest value written so far: an epoch-validated max of
-// one read per shard. Lock-free: a retry consumes a write's epoch announce.
+// one read per shard, adopting a helper's validated max once starved (see
+// the package comment's helping protocol).
 func (m *MaxRegister) ReadMax(t prim.Thread) int64 {
-	v := epochValidated(t, m.epoch, func() (int64, bool) {
-		return m.readMaxSingleCollect(t), false
-	})
-	return v
+	return validatedRead(t, m.epoch, m.help,
+		func() (int64, bool) { return m.readMaxSingleCollect(t), false },
+		func(d *helpDeposit) int64 { return d.value })
 }
+
+// HelpStats reports the register's helping telemetry (deposits, adopts).
+func (m *MaxRegister) HelpStats() (int64, int64) { return m.help.HelpStats() }
 
 // readMaxSingleCollect is the broken combine kept for the negative model
 // check: one unvalidated collect is not even linearizable. See the package
@@ -283,6 +465,7 @@ func (m *MaxRegister) readMaxSingleCollect(t prim.Thread) int64 {
 type GSet struct {
 	shards []*core.FAGSet
 	epoch  prim.FetchAddInt
+	help   *helpKit
 }
 
 // NewGSet builds a sharded grow-only set for the given lane count. Like the
@@ -295,6 +478,7 @@ func NewGSet(w prim.World, name string, lanes, shards int, opts ...Option) *GSet
 	g := &GSet{
 		shards: make([]*core.FAGSet, shards),
 		epoch:  w.FetchAddInt(name+".epoch", 0),
+		help:   newHelpKit(w, name, cfg.budget),
 	}
 	for s := range g.shards {
 		coreOpts := []core.GSetOption{core.WithGSetLaneMap(compactLane(shards))}
@@ -319,22 +503,45 @@ func (g *GSet) Packed() bool {
 	return true
 }
 
-// Add inserts x (non-negative) via the caller's shard.
+// Add inserts x (non-negative) via the caller's shard and announces on the
+// epoch, honouring its help obligation when the announce's return value
+// carries raised pressure bits: the grow-only set's helper deposits the
+// full validated UNION, which answers any starving membership query or
+// enumeration.
 func (g *GSet) Add(t prim.Thread, x int64) {
 	g.shards[t.ID()%len(g.shards)].Add(t, x)
-	g.epoch.FetchAddInt(t, 1)
+	g.help.announce(t, g.epoch, g.collectUnion)
+}
+
+// collectUnion is the set's help collect: the unvalidated shard union
+// (afterWrite epoch-validates it).
+func (g *GSet) collectUnion(t prim.Thread) (int64, []int64) {
+	return 0, g.unionSingleCollect(t)
 }
 
 // Has reports membership of x. A hit needs no validation — membership only
 // grows, so "present" stays appendable after any later operations; a miss is
-// epoch-validated like the other combining reads.
+// epoch-validated like the other combining reads, and a starved miss adopts
+// a helper's validated union (absent from the union at the witnessed epoch
+// means absent, full stop).
 func (g *GSet) Has(t prim.Thread, x int64) bool {
-	hit := epochValidated(t, g.epoch, func() (bool, bool) {
-		found := g.hasSingleCollect(t, x)
-		return found, found // a witnessed hit is final without validation
-	})
-	return hit
+	return validatedRead(t, g.epoch, g.help,
+		func() (bool, bool) {
+			found := g.hasSingleCollect(t, x)
+			return found, found // a witnessed hit is final without validation
+		},
+		func(d *helpDeposit) bool {
+			for _, y := range d.elems {
+				if y == x {
+					return true
+				}
+			}
+			return false
+		})
 }
+
+// HelpStats reports the set's helping telemetry (deposits, adopts).
+func (g *GSet) HelpStats() (int64, int64) { return g.help.HelpStats() }
 
 // hasSingleCollect is the naive combine kept for the negative model check:
 // linearizable (a miss at t_s implies a miss at t_1 by monotonicity) but not
@@ -349,46 +556,104 @@ func (g *GSet) hasSingleCollect(t prim.Thread, x int64) bool {
 }
 
 // Elems returns the members in ascending order: an epoch-validated union of
-// the shards.
+// the shards, adopting a helper's validated union once starved.
 func (g *GSet) Elems(t prim.Thread) []int64 {
-	out := epochValidated(t, g.epoch, func() ([]int64, bool) {
-		seen := make(map[int64]struct{})
-		var union []int64
-		for _, s := range g.shards {
-			for _, x := range s.Elems(t) {
-				if _, dup := seen[x]; !dup {
-					seen[x] = struct{}{}
-					union = append(union, x)
-				}
-			}
-		}
-		return union, false
-	})
+	out := validatedRead(t, g.epoch, g.help,
+		func() ([]int64, bool) { return g.unionSingleCollect(t), false },
+		func(d *helpDeposit) []int64 { return append([]int64(nil), d.elems...) })
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// epochValidated is the package's seqlock-style combining-read protocol,
-// written once: snapshot the epoch, run collect, re-read the epoch, and
-// retry until the epoch is unchanged — at which point every write that
-// completed before the final epoch read had announced before the window
-// opened, so collect saw its shard step (the strong-linearizability argument
-// in the package comment). A collect may short-circuit by returning
-// final=true for values that need no validation (e.g. a witnessed membership
-// hit, which monotonicity keeps true forever).
-func epochValidated[T any](t prim.Thread, epoch prim.FetchAddInt, collect func() (v T, final bool)) T {
+// unionSingleCollect is one unvalidated union of the shards, deduplicated
+// (validatedRead and afterWrite wrap it in the epoch validation).
+func (g *GSet) unionSingleCollect(t prim.Thread) []int64 {
+	seen := make(map[int64]struct{})
+	var union []int64
+	for _, s := range g.shards {
+		for _, x := range s.Elems(t) {
+			if _, dup := seen[x]; !dup {
+				seen[x] = struct{}{}
+				union = append(union, x)
+			}
+		}
+	}
+	return union
+}
+
+// validatedRead is the package's combining-read protocol, written once:
+// snapshot the epoch, run collect, re-read the epoch, and retry until the
+// epoch is unchanged — at which point every write that completed before the
+// final epoch read had announced before the window opened, so collect saw
+// its shard step (the strong-linearizability argument in the package
+// comment). A collect may short-circuit by returning final=true for values
+// that need no validation (e.g. a witnessed membership hit, which
+// monotonicity keeps true forever).
+//
+// A read past its retry budget raises the pressure register and from then
+// on reads the help slot before each closing epoch read: when its own round
+// fails validation but the deposit's epoch equals the closing read — the
+// read's final shared step, performed AFTER the slot read — it returns
+// adopt(deposit) instead. The adopted value passed the identical epoch
+// validation (the helper's), witnessed still-current by the read's own
+// final step; see the package comment's helping section.
+func validatedRead[T any](t prim.Thread, epoch prim.FetchAddInt, k *helpKit,
+	collect func() (v T, final bool), adopt func(*helpDeposit) T) T {
 	e := epoch.FetchAddInt(t, 0)
-	for {
+	raised, adopted := false, false
+	var out T
+	for spins := 0; ; spins++ {
 		v, final := collect()
 		if final {
-			return v
+			out = v
+			break
+		}
+		// The adoption candidate must be read BEFORE the closing epoch read:
+		// the witness has to be the later of the two, or a write could
+		// announce (and complete) between them unseen.
+		var dep *helpDeposit
+		if raised {
+			if d, ok := k.slot.ReadAny(t).(*helpDeposit); ok && d.epoch >= 0 {
+				dep = d
+			}
 		}
 		e2 := epoch.FetchAddInt(t, 0)
 		if e2 == e {
-			return v
+			out = v
+			break
+		}
+		if dep != nil && dep.epoch == e2 {
+			out = adopt(dep)
+			adopted = true
+			break
 		}
 		e = e2
+		if spins >= k.budget && !raised {
+			// Raise pressure in the epoch's high bits; the XADD's return
+			// value gives the exact post-raise epoch, the next round's
+			// baseline (the raise is ordinary epoch movement to every other
+			// reader's validation).
+			raised = true
+			e = epoch.FetchAddInt(t, pressureUnit) + pressureUnit
+		}
 	}
+	if raised {
+		// Lowering returns the previous epoch for free: the LAST raised
+		// reader clears the slot, so deposits never outlive the pressure
+		// episode that solicited them (a persistent deposit would reopen an
+		// adopt window across the epoch's 2^48-announce rollover; clearing
+		// bounds the exposure to one episode). The clear may race a
+		// concurrent raise and clobber a fresher deposit — a progress delay
+		// for that reader, never a wrong value: adoption still demands the
+		// closing epoch witness.
+		if epoch.FetchAddInt(t, -pressureUnit)>>48 == 1 {
+			k.slot.WriteAny(t, &helpDeposit{epoch: -1})
+		}
+		if adopted {
+			k.adopts.Add(1)
+		}
+	}
+	return out
 }
 
 func shardName(base string, s int) string {

@@ -628,6 +628,217 @@ func TestShardedGSetRealWorldStress(t *testing.T) {
 	}
 }
 
+// --- helped combining reads: exhaustive model checks (PR 5) ------------------
+
+// The helped sharded reads are verified in layers, because the shard
+// pressure poll is FUSED into the epoch announce: adoption needs a write
+// that announces AFTER the reader raised, i.e. a second write — and the
+// 2-write budget-0 tree exceeds 3M nodes, far past the exploration budget
+// (measured; the core engine's 1-update shape stays exhaustive because its
+// poll is a separate step after the announce). The split, mirroring PR
+// 4.1's envelope discipline: (1) exhaustive budget-0 checks on the 1-write
+// shape, whose trees contain the raise and the raised rounds' slot reads
+// on many branches; (2) a crafted-schedule deterministic adoption
+// (TestShardedHelpedAdoptCraftedRace: lin-checked, adopted value pinned);
+// (3) the storm progress witnesses below, where adoption is what bounds
+// the reader; (4) real-concurrency stress via the budget-0 slfuzz
+// workloads. The witness-free-adoption hazard itself is pinned once, in
+// internal/core (TestMultiwordAdoptUnanchoredNotStrongLin) — the shard
+// adopt performs the structurally identical closing epoch witness through
+// the shared validatedRead.
+
+// TestShardedHelpedCounterStrongLin: exhaustive budget-0 counter — the
+// reader raises pressure after its first failed round and every later
+// round reads the help slot before its closing epoch witness.
+func TestShardedHelpedCounterStrongLin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check; skipped in -short mode")
+	}
+	setup := func(w *sim.World) []sim.Program {
+		c := NewCounter(w, "c", 2, 2, WithReadRetryBudget(0))
+		return []sim.Program{
+			{opRead(c)},
+			{opInc(c)},
+		}
+	}
+	verifySL(t, 2, setup, spec.MonotonicCounter{})
+}
+
+// TestShardedHelpedMaxRegisterStrongLin: the budget-0 helped shape on the
+// max register, whose combine (max) is the one that is not even
+// linearizable without validation.
+func TestShardedHelpedMaxRegisterStrongLin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check; skipped in -short mode")
+	}
+	setup := func(w *sim.World) []sim.Program {
+		m := NewMaxRegister(w, "m", 2, 2, WithReadRetryBudget(0))
+		return []sim.Program{
+			{opReadMax(m)},
+			{opWriteMax(m, 2)},
+		}
+	}
+	verifySL(t, 2, setup, spec.MaxRegister{})
+}
+
+// TestShardedHelpedGSetStrongLin: the budget-0 helped shape on the
+// grow-only set — a miss must validate (or adopt) every round.
+func TestShardedHelpedGSetStrongLin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check; skipped in -short mode")
+	}
+	setup := func(w *sim.World) []sim.Program {
+		g := NewGSet(w, "g", 2, 2, WithReadRetryBudget(0))
+		return []sim.Program{
+			{opHas(g, 3)},
+			{opAdd(g, 1)},
+		}
+	}
+	verifySL(t, 2, setup, spec.GSet{})
+}
+
+// TestShardedHelpedAdoptCraftedRace drives the shipped counter through a
+// deterministic adoption: the budget-0 reader fails its first round on
+// inc1's announce and raises pressure in the epoch's high bits; inc2's
+// announce returns the raised bits, so it deposits an epoch-validated sum;
+// the reader's next round fails its own validation (inc2 announced since)
+// but the deposit's epoch equals the closing read — the reader must adopt,
+// return the deposited sum, and the recorded history must linearize.
+func TestShardedHelpedAdoptCraftedRace(t *testing.T) {
+	var adopted int64
+	setup := func(w *sim.World) []sim.Program {
+		c := NewCounter(w, "c", 2, 2, WithReadRetryBudget(0))
+		read := sim.Op{
+			Name: "read()",
+			Spec: spec.MkOp(spec.MethodRead),
+			Run: func(th prim.Thread) string {
+				v := c.Read(th)
+				_, adopted = c.HelpStats()
+				return spec.RespInt(v)
+			},
+		}
+		return []sim.Program{
+			{read},
+			{opInc(c), opInc(c)},
+		}
+	}
+	window := []int{
+		0, 0, // read: invoke, epoch baseline
+		1, 1, 1, // inc1: invoke, shard XADD, announce (sees no pressure) -> returns
+		0, 0, 0, // read round 0: c0, c1, epoch (moved) -> fail
+		0,                      // read: raise pressure (epoch high bits)
+		1, 1, 1, 1, 1, 1, 1, 1, // inc2: invoke, shard, announce (sees pressure), help e, c0, c1, e2, deposit -> returns
+		0, 0, 0, 0, // read round 1: c0, c1, slot (deposit), epoch -> own fail, deposit epoch matches -> ADOPT
+		0, // read: lower pressure -> returns
+	}
+	policy := func(v sim.PolicyView) int {
+		if v.Step < len(window) {
+			p := window[v.Step]
+			for _, e := range v.Enabled {
+				if e == p {
+					return p
+				}
+			}
+		}
+		return v.Enabled[0]
+	}
+	exec, err := sim.RunToCompletion(2, setup, policy, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exec.Complete {
+		t.Fatalf("crafted adoption did not complete (schedule %v)", exec.Schedule)
+	}
+	h := history.FromEvents(2, exec.Ops, exec.Events)
+	if res := history.CheckLinearizable(h, spec.MonotonicCounter{}); !res.Ok {
+		t.Fatalf("crafted adoption history not linearizable: %s", h.String())
+	}
+	if adopted == 0 {
+		t.Fatalf("crafted schedule did not reach the adopt path (schedule %v, history %s)", exec.Schedule, h.String())
+	}
+	if got := exec.Responses()[0]; got != spec.RespInt(2) {
+		t.Fatalf("adopted read = %s, want %s (the helper's validated sum)", got, spec.RespInt(2))
+	}
+	t.Logf("adopted read, history: %s", h.String())
+}
+
+// --- wait-freedom of the helped combining read (PR 5) ------------------------
+//
+// The storm adversary (sim.AnchorStormPolicy, anchored here on the epoch
+// register) lives in internal/sim so that this witness and internal/core's
+// drive the identical scheduler.
+
+// shardedStormReadSteps runs one counter read against a storm of
+// increments under the anchor-storm adversary and returns the reader's own
+// step count. helped selects the shipped (budget-0, adopting) Read;
+// otherwise the reader runs readSpin, the pre-helping lock-free protocol.
+func shardedStormReadSteps(t *testing.T, storm int, helped bool) int {
+	t.Helper()
+	setup := func(w *sim.World) []sim.Program {
+		c := NewCounter(w, "c", 2, 2, WithReadRetryBudget(0))
+		read := sim.Op{
+			Name: "read()",
+			Spec: spec.MkOp(spec.MethodRead),
+			Run: func(th prim.Thread) string {
+				if helped {
+					return spec.RespInt(c.Read(th))
+				}
+				return spec.RespInt(c.readSpin(th))
+			},
+		}
+		var incs sim.Program
+		for i := 0; i < storm; i++ {
+			incs = append(incs, opInc(c))
+		}
+		return []sim.Program{{read}, incs}
+	}
+	exec, err := sim.RunToCompletion(2, setup, sim.AnchorStormPolicy(0, 1, "c.epoch"), 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exec.Complete {
+		t.Fatalf("storm run incomplete (schedule %v)", exec.Schedule)
+	}
+	steps := 0
+	for _, e := range exec.Events {
+		if e.Kind == sim.EventStep && e.Proc == 0 {
+			steps++
+		}
+	}
+	return steps
+}
+
+// TestShardedReadStormStarvesLockFreeBaseline pins the starvation the
+// helping path closes: under the anchor-storm adversary the pre-helping
+// epoch-validated read retries for as long as the storm lasts — its own
+// step count grows linearly, with no schedule-independent bound.
+func TestShardedReadStormStarvesLockFreeBaseline(t *testing.T) {
+	s1, s2, s3 := shardedStormReadSteps(t, 6, false), shardedStormReadSteps(t, 12, false), shardedStormReadSteps(t, 24, false)
+	if !(s1 < s2 && s2 < s3) {
+		t.Fatalf("lock-free read steps %d/%d/%d do not grow with the storm — the baseline is not starving", s1, s2, s3)
+	}
+	t.Logf("lock-free read own steps under storms 6/12/24: %d/%d/%d (unbounded growth)", s1, s2, s3)
+}
+
+// TestShardedHelpedReadWaitFreeUnderStorm is the progress witness: on the
+// SAME adversary schedule, the helped read raises pressure in the epoch's
+// high bits, the storm's own writes deposit validated sums, and the read
+// adopts — completing within a fixed own-step budget independent of the
+// storm length.
+func TestShardedHelpedReadWaitFreeUnderStorm(t *testing.T) {
+	const fixedBudget = 16
+	base := shardedStormReadSteps(t, 6, true)
+	if base > fixedBudget {
+		t.Fatalf("helped read took %d own steps, want <= %d", base, fixedBudget)
+	}
+	for _, storm := range []int{12, 24, 48} {
+		if got := shardedStormReadSteps(t, storm, true); got != base {
+			t.Fatalf("helped read steps = %d under storm %d, want the storm-independent %d", got, storm, base)
+		}
+	}
+	t.Logf("helped read own steps: %d under storms 6/12/24/48 (fixed budget %d)", base, fixedBudget)
+}
+
 func stressRngs(procs int, seed int64) []*rand.Rand {
 	out := make([]*rand.Rand, procs)
 	for p := range out {

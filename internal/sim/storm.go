@@ -1,0 +1,71 @@
+package sim
+
+import "strings"
+
+// MidOp reports whether the given process has an invoked-but-unreturned
+// operation in the trace.
+func MidOp(events []Event, proc int) bool {
+	inv, ret := 0, 0
+	for _, e := range events {
+		if e.Proc != proc {
+			continue
+		}
+		switch e.Kind {
+		case EventInvoke:
+			inv++
+		case EventReturn:
+			ret++
+		}
+	}
+	return inv > ret
+}
+
+// AnchorStormPolicy is the storm adversary of the wait-freedom progress
+// witnesses (internal/core, internal/shard): the victim runs freely, but
+// immediately after every step it takes on the ANCHOR register — the
+// announce word whose closing read validates its combining read — the storm
+// writer lands one COMPLETE write. Every one of the victim's validation
+// rounds therefore has a write announced inside its window: an unhelped
+// lock-free combining read retries for as long as the storm lasts (its own
+// steps grow with the storm), while under helping each injected write is
+// itself obliged to deposit a validated view the victim adopts within a
+// fixed number of own steps. The injection points deliberately sit BETWEEN
+// the victim's iterations — an even stronger adversary could split the
+// two-step slot-read/witness window itself, which is the strict
+// lock-freedom residue the helping docs disclose; this policy pins the
+// storm every real workload produces. The anchor is matched as a prefix of
+// the step's Info string (object names, e.g. "snap.R0" or "c.epoch").
+func AnchorStormPolicy(victim, writer int, anchor string) Policy {
+	lastInjected := -1
+	return func(v PolicyView) int {
+		enabled := func(p int) bool {
+			for _, e := range v.Enabled {
+				if e == p {
+					return true
+				}
+			}
+			return false
+		}
+		if !enabled(writer) {
+			return victim
+		}
+		if !enabled(victim) {
+			return writer
+		}
+		if MidOp(v.Events, writer) {
+			return writer // finish the in-flight storm write
+		}
+		for i := len(v.Events) - 1; i >= 0; i-- {
+			e := v.Events[i]
+			if e.Proc != victim || e.Kind != EventStep {
+				continue
+			}
+			if i > lastInjected && strings.HasPrefix(e.Info, anchor+".") {
+				lastInjected = i
+				return writer // land one full write right after the witness read
+			}
+			break
+		}
+		return victim
+	}
+}

@@ -118,6 +118,21 @@ func WithSnapshotBound(maxValue int64) SnapshotOption {
 	return core.WithSnapshotBound(maxValue)
 }
 
+// WithScanRetryBudget sets how many invalidated collect rounds a multi-word
+// snapshot scan absorbs before raising the helping protocol's pressure
+// register and adopting helper deposits (default 2). Multi-word scans are
+// HELPED: an update that announces while the pressure register is raised
+// performs a bounded validated collect of its own and deposits it in the
+// help slot; a starving scan adopts the freshest deposit, its final step
+// still witnessing word 0's sequence field so adoption cannot resurrect a
+// past state. The budget affects progress only, never returned views — a
+// budget of 0 (help after the first failed round) is useful for fuzzing the
+// adopt path. Snapshot.HelpStats reports the deposit/adopt telemetry. No-op
+// on the single-word and wide engines, whose scans are one fetch&add.
+func WithScanRetryBudget(rounds int) SnapshotOption {
+	return core.WithScanRetryBudget(rounds)
+}
+
 // MaxSnapshotBound returns the largest WithSnapshotBound value that packs a
 // snapshot (or an Algorithm 1 object over one) into a SINGLE machine word
 // for n processes, or 0 when no bound packs one word (n > 63). Sizing bounds
@@ -269,6 +284,20 @@ type ShardOption = shard.Option
 // or not the shard packed); the counter's bound is a capacity declaration
 // used for engine selection only — see shard.WithBound.
 func WithBound(bound int64) ShardOption { return shard.WithBound(bound) }
+
+// WithReadRetryBudget sets how many invalidated collect rounds a sharded
+// object's combining read absorbs before raising pressure (carried in the
+// epoch register's high bits) and adopting helper deposits (default 2). The
+// sharded reads are HELPED: a write whose epoch announce returns raised
+// pressure bits deposits an epoch-validated collect of its own, and a
+// starving read adopts it, its closing epoch read still witnessing that no
+// write completed since the helper validated. The budget affects progress
+// only, never returned values; each sharded object's HelpStats reports the
+// deposit/adopt telemetry. See internal/shard's package comment for the
+// protocol and its strong-linearizability argument.
+func WithReadRetryBudget(rounds int) ShardOption {
+	return shard.WithReadRetryBudget(rounds)
+}
 
 // ShardedCounter is a monotone counter whose increments stripe across S
 // independent fetch&add cores (shard picked by lane ID) and whose reads

@@ -224,6 +224,56 @@ func TestPublicMultiwordSurface(t *testing.T) {
 	}
 }
 
+// TestPublicHelpingSurface: the PR 5 wait-free-helping surface through the
+// facade — the retry-budget options construct working objects, and the
+// HelpStats telemetry is reachable on the snapshot and every sharded
+// object (zero under sequential use: nothing starves).
+func TestPublicHelpingSurface(t *testing.T) {
+	w := NewWorld()
+	const procs = 4
+	s := NewSnapshot(w, procs, WithSnapshotBound(1<<32-1), WithScanRetryBudget(0))
+	if s.Engine() != "multiword" {
+		t.Fatalf("engine = %s, want multiword", s.Engine())
+	}
+	s.Update(Thread(1), 7)
+	if got := s.Scan(Thread(0))[1]; got != 7 {
+		t.Fatalf("scan[1] = %d, want 7", got)
+	}
+	if d, a := s.HelpStats(); d != 0 || a != 0 {
+		t.Fatalf("sequential snapshot HelpStats = (%d, %d), want (0, 0)", d, a)
+	}
+
+	c := NewShardedCounter(w, procs, 2, WithReadRetryBudget(0))
+	c.Inc(Thread(2))
+	if got := c.Read(Thread(0)); got != 1 {
+		t.Fatalf("sharded counter = %d, want 1", got)
+	}
+	m := NewShardedMaxRegister(w, procs, 2, WithReadRetryBudget(1))
+	m.WriteMax(Thread(1), 5)
+	if got := m.ReadMax(Thread(0)); got != 5 {
+		t.Fatalf("sharded max = %d, want 5", got)
+	}
+	g := NewShardedGSet(w, procs, 2, WithReadRetryBudget(0))
+	g.Add(Thread(3), 2)
+	if !g.Has(Thread(0), 2) {
+		t.Fatal("sharded gset lost its element")
+	}
+	for _, obj := range []interface{ HelpStats() (int64, int64) }{c, m, g} {
+		if d, a := obj.HelpStats(); d != 0 || a != 0 {
+			t.Fatalf("sequential sharded HelpStats = (%d, %d), want (0, 0)", d, a)
+		}
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative scan retry budget did not panic")
+			}
+		}()
+		NewSnapshot(NewWorld(), 2, WithSnapshotBound(1<<32-1), WithScanRetryBudget(-1))
+	}()
+}
+
 // TestPublicBoundedSnapshotAndClock: the packed Theorem 2/Theorem 4 surface
 // through the facade — a bounded snapshot packs and enforces its domain, a
 // bounded clock packs and budgets its operations.
