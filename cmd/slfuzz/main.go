@@ -42,7 +42,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("fuzzing %s: %d rounds × %d procs × %d ops\n", *obj, *rounds, *procs, *ops)
+	fmt.Printf("fuzzing %s: %d rounds × %d procs × %d ops, base seed %d\n", *obj, *rounds, *procs, *ops, *seed)
 	states := 0
 	for r := 0; r < *rounds; r++ {
 		gen := wl.build(*procs, *seed+int64(r))
@@ -50,7 +50,11 @@ func main() {
 		res := history.CheckLinearizable(h, wl.sp)
 		states += res.States
 		if !res.Ok {
-			fmt.Printf("round %d: NOT LINEARIZABLE\n%s\n", r, h.String())
+			// The failure report names the exact reproducing invocation: the
+			// round's effective seed is -seed + round, so rerunning with
+			// -seed <that> -rounds 1 replays the schedule's RNG draws.
+			fmt.Printf("round %d: NOT LINEARIZABLE (base -seed %d, reproduce with -obj %s -procs %d -ops %d -rounds 1 -seed %d)\n%s\n",
+				r, *seed, *obj, *procs, *ops, *seed+int64(r), h.String())
 			os.Exit(1)
 		}
 	}

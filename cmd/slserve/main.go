@@ -49,19 +49,50 @@
 // true budget get 503, not a panic. /stats reports each object's engine and
 // word count, plus the clock's capacity.
 //
-// Load-generator mode (closed loop; drives an in-process server unless -url
-// names a remote one):
+// # Observability
 //
-//	slserve -attack [-clients 32] [-dur 2s] [-lanes 8] [-shards 4] [-bound B] [-url http://host:port]
+// GET /metrics serves the Prometheus text format from the internal/obs
+// registry: request counts/errors/latency, per-object helping telemetry
+// (deposits, adopts, adopt misses, retries, pressure raises), retry-round
+// histograms, lane-lease waits/steals, and the LIFETIME WATERMARKS — epoch
+// announce counts against the 2⁴⁸ budget, per-word sequence fields against
+// the mod-2¹⁶ wrap, clock references against the Algorithm 1 capacity. The
+// watermarks are derived at scrape time from the registers themselves, so
+// serving them costs the protocol paths nothing. With -debug-addr HOST:PORT
+// a second listener additionally serves /metrics and net/http/pprof (the
+// profiling surface stays off the public port). -scan-budget N overrides the
+// helped objects' scan/read retry budgets (0 makes adoption the common case
+// — the forced-adopt configuration the tests drive).
 //
-// It reports JSON on stdout: per-endpoint counts, error count, total
-// throughput, and per-request latency percentiles (p50/p95/p99) over the
-// successful requests. The workload mix is 50% writes (inc / wmax / add /
-// update) and 50% reads, spread across the five constant-cost objects —
-// counter, maxreg, gset, snapshot and the multi-word snapshot. The clock is
-// still excluded: its per-operation cost is Algorithm 1's operation-graph
-// walk, which grows with history, so a closed loop would measure the graph,
-// not the serving stack.
+// Load-generator mode (drives an in-process server unless -url names a
+// remote one):
+//
+//	slserve -attack [-clients 32] [-dur 2s] [-arrivals closed|poisson|burst]
+//	        [-rate 5000] [-burst-size 32] [-mix default|read-heavy|write-storm|storm]
+//	        [-lanes 8] [-shards 4] [-bound B] [-url http://host:port]
+//
+// It reports JSON on stdout: per-endpoint counts, error count, throughput,
+// and latency percentiles computed from the shared obs histogram (identical
+// machinery in every mode, so reports are comparable across loop modes; the
+// report labels its loop mode and arrival process).
+//
+// -arrivals closed is the classic closed loop: each client fires its next
+// request when the previous response lands, so offered load adapts to the
+// server and queueing is INVISIBLE in the latencies. -arrivals poisson is an
+// OPEN LOOP: request start times are pre-drawn from a Poisson process of
+// -rate requests/sec, and each request's latency is measured from its
+// INTENDED send time — not from when a worker got around to sending it — so
+// scheduler backlog (coordinated omission) counts against the server,
+// and overload shows up as diverging tail percentiles instead of silently
+// throttled throughput. -arrivals burst sends the same offered rate in
+// trains of -burst-size back-to-back requests. The workload mixes: default
+// (50/50 read/write across the five constant-cost objects), read-heavy (90%
+// reads), write-storm (90% writes), and storm — an adversarial starvation
+// shape like sim.AnchorStormPolicy: updates hammer the multi-word snapshot
+// while scans try to validate against them, driving the helping counters
+// under real traffic. The clock is still excluded: its per-operation cost is
+// Algorithm 1's operation-graph walk, which grows with history, so the
+// generator would measure the graph, not the serving stack.
 package main
 
 import (
@@ -70,28 +101,36 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math"
+	"math/rand"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
-	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"stronglin"
+	"stronglin/internal/obs"
 )
 
 var (
-	addr    = flag.String("addr", ":8080", "listen address (serve mode)")
-	lanes   = flag.Int("lanes", 8, "process identities in the lane pool")
-	shards  = flag.Int("shards", 4, "fetch&add cores per sharded object (<= lanes)")
-	bound   = flag.Int64("bound", 0, "value domain [0,bound] for maxreg values, gset elements and snapshot components; packs the shard registers and the snapshot into machine words when the encodings fit (0 = unbounded wide registers)")
-	attack  = flag.Bool("attack", false, "run the closed-loop load generator instead of serving")
-	clients = flag.Int("clients", 32, "concurrent closed-loop clients (attack mode)")
-	dur     = flag.Duration("dur", 2*time.Second, "measurement duration (attack mode)")
-	url     = flag.String("url", "", "attack a remote slserve instead of an in-process one")
+	addr       = flag.String("addr", ":8080", "listen address (serve mode)")
+	debugAddr  = flag.String("debug-addr", "", "extra listener serving /metrics and net/http/pprof (serve mode; empty = none)")
+	lanes      = flag.Int("lanes", 8, "process identities in the lane pool")
+	shards     = flag.Int("shards", 4, "fetch&add cores per sharded object (<= lanes)")
+	bound      = flag.Int64("bound", 0, "value domain [0,bound] for maxreg values, gset elements and snapshot components; packs the shard registers and the snapshot into machine words when the encodings fit (0 = unbounded wide registers)")
+	scanBudget = flag.Int("scan-budget", -1, "scan/read retry budget of the helped objects before they solicit help (-1 = library default; 0 makes adoption the common case)")
+	attack     = flag.Bool("attack", false, "run the load generator instead of serving")
+	clients    = flag.Int("clients", 32, "concurrent load-generator workers (attack mode)")
+	dur        = flag.Duration("dur", 2*time.Second, "measurement duration (attack mode)")
+	url        = flag.String("url", "", "attack a remote slserve instead of an in-process one")
+	arrivals   = flag.String("arrivals", "closed", "attack arrival process: closed (next request when the last returns), poisson (open loop at -rate), burst (open loop, -burst-size trains)")
+	rate       = flag.Float64("rate", 5000, "open-loop offered load in requests/sec (poisson and burst arrivals)")
+	burstSize  = flag.Int("burst-size", 32, "requests per train (burst arrivals)")
+	mixName    = flag.String("mix", "default", "attack workload mix: default, read-heavy, write-storm, storm")
+	attackSeed = flag.Int64("attack-seed", 1, "seed for the open-loop arrival schedule")
 )
 
 func main() {
@@ -112,6 +151,14 @@ func main() {
 		return
 	}
 	srv := newServer(*lanes, *shards, *bound)
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, srv.debugHandler()); err != nil {
+				fmt.Fprintln(os.Stderr, "slserve: debug listener:", err)
+			}
+		}()
+		fmt.Printf("slserve: debug listener (metrics + pprof) on %s\n", *debugAddr)
+	}
 	fmt.Printf("slserve: %d lanes, %d shards, listening on %s\n", *lanes, *shards, *addr)
 	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
 		fmt.Fprintln(os.Stderr, "slserve:", err)
@@ -125,7 +172,8 @@ func main() {
 const counterBound = int64(1) << 40
 
 // server owns one world: the lane pool, the sharded objects, the Theorem 2
-// snapshot, the Algorithm 1 logical clock, and per-endpoint op counters.
+// snapshot, the Algorithm 1 logical clock, per-endpoint op counters, and the
+// obs registry every metric family is published through.
 type server struct {
 	lanes, shards int
 	maxValue      int64 // inclusive cap on client-supplied values
@@ -136,6 +184,17 @@ type server struct {
 	snap          *stronglin.Snapshot
 	msnap         *stronglin.Snapshot // multi-word k-XADD engine, any lane count
 	clock         *stronglin.LogicalClock
+
+	// reg is this server's metric registry (per-server, not the package
+	// default: tests and the attack generator build several servers per
+	// process). reqTotal/reqErrors/reqDur are fed by the handler middleware;
+	// clockRejects counts 503s from the spent Algorithm 1 budget; everything
+	// else is scrape-time closures over telemetry the engines already keep.
+	reg          *obs.Registry
+	reqTotal     *obs.Counter
+	reqErrors    *obs.Counter
+	reqDur       *obs.Histogram
+	clockRejects *obs.Counter
 
 	ops struct {
 		counterInc, counterRead     atomic.Int64
@@ -180,7 +239,18 @@ func newServer(lanes, shards int, bound int64) *server {
 // use small budgets to drive the 503-past-true-budget path without 2³¹
 // requests.
 func newServerClock(lanes, shards int, bound, clockBudget int64) *server {
+	return newServerCfg(lanes, shards, bound, clockBudget, *scanBudget)
+}
+
+// newServerCfg is the full constructor: scanBudget >= 0 overrides the helped
+// objects' scan/read retry budgets (0 = solicit help after the first failed
+// round, the forced-adopt configuration), scanBudget < 0 keeps the library
+// defaults. Every object is built with its retry-round histogram attached,
+// and the registry closes over the engines' own telemetry for everything
+// else, so the instrumentation adds no hot-path steps of its own.
+func newServerCfg(lanes, shards int, bound, clockBudget int64, scanBudget int) *server {
 	w := stronglin.NewWorld()
+	reg := obs.NewRegistry()
 	maxValue := int64(defaultMaxValue)
 	var valueOpts []stronglin.ShardOption
 	var snapOpts []stronglin.SnapshotOption
@@ -195,6 +265,29 @@ func newServerClock(lanes, shards int, bound, clockBudget int64) *server {
 		valueOpts = append(valueOpts, stronglin.WithBound(bound))
 		snapOpts = append(snapOpts, stronglin.WithSnapshotBound(bound))
 	}
+	var msnapOpts []stronglin.SnapshotOption
+	if scanBudget >= 0 {
+		valueOpts = append(valueOpts, stronglin.WithReadRetryBudget(scanBudget))
+		snapOpts = append(snapOpts, stronglin.WithScanRetryBudget(scanBudget))
+		msnapOpts = append(msnapOpts, stronglin.WithScanRetryBudget(scanBudget))
+	}
+	// Retry-round histograms, one per helped object: contended completions
+	// only, so attaching them leaves the fast paths untouched.
+	shardObs := func(name string) stronglin.ShardOption {
+		return stronglin.WithShardObs(stronglin.ShardMetrics{
+			ReadRounds: reg.Histogram("slserve_"+name+"_read_rounds", "failed validation rounds per contended "+name+" combining read"),
+		})
+	}
+	counterOpts := []stronglin.ShardOption{stronglin.WithBound(counterBound), shardObs("counter")}
+	if scanBudget >= 0 {
+		counterOpts = append(counterOpts, stronglin.WithReadRetryBudget(scanBudget))
+	}
+	snapOpts = append(snapOpts, stronglin.WithSnapshotObs(stronglin.SnapMetrics{
+		ScanRounds: reg.Histogram("slserve_snapshot_scan_rounds", "failed validation rounds per contended snapshot scan"),
+	}))
+	msnapOpts = append(msnapOpts, stronglin.WithSnapshotObs(stronglin.SnapMetrics{
+		ScanRounds: reg.Histogram("slserve_msnapshot_scan_rounds", "failed validation rounds per contended multi-word snapshot scan"),
+	}))
 	var clockOpts []stronglin.SnapshotOption
 	if clockBudget > 0 {
 		clockOpts = append(clockOpts, stronglin.WithSnapshotBound(clockBudget))
@@ -203,18 +296,70 @@ func newServerClock(lanes, shards int, bound, clockBudget int64) *server {
 	// bound, so it is machine-word-backed at every lane count (k XADD words
 	// past 2 lanes) — the engine the -attack mix drives alongside the
 	// -bound-dependent /snapshot.
-	return &server{
+	s := &server{
 		lanes:    lanes,
 		shards:   shards,
 		maxValue: maxValue,
 		pool:     stronglin.NewPool(w, lanes),
-		counter:  stronglin.NewShardedCounter(w, lanes, shards, stronglin.WithBound(counterBound)),
-		maxreg:   stronglin.NewShardedMaxRegister(w, lanes, shards, valueOpts...),
-		gset:     stronglin.NewShardedGSet(w, lanes, shards, valueOpts...),
+		counter:  stronglin.NewShardedCounter(w, lanes, shards, counterOpts...),
+		maxreg:   stronglin.NewShardedMaxRegister(w, lanes, shards, append(valueOpts, shardObs("maxreg"))...),
+		gset:     stronglin.NewShardedGSet(w, lanes, shards, append(valueOpts, shardObs("gset"))...),
 		snap:     stronglin.NewSnapshot(w, lanes, snapOpts...),
-		msnap:    stronglin.NewMultiwordSnapshot(w, lanes, snapWords(lanes)),
+		msnap:    stronglin.NewMultiwordSnapshot(w, lanes, snapWords(lanes), msnapOpts...),
 		clock:    stronglin.NewLogicalClock(w, lanes, clockOpts...),
+		reg:      reg,
 	}
+	s.registerMetrics()
+	return s
+}
+
+// registerMetrics publishes every metric family. The request instruments are
+// allocated here and fed by the handler middleware; all protocol telemetry is
+// scrape-time closures over counters the engines keep anyway (HelpStats, the
+// pool's lease counters) or over the registers themselves (the lifetime
+// watermarks), so scrapes read — never tax — the hot paths. The register
+// reads use Thread(0) without a lease: the real world's fetch&add ignores the
+// thread for an XADD(0), and /metrics must answer even with every lane out.
+func (s *server) registerMetrics() {
+	s.reqTotal = s.reg.Counter("slserve_requests_total", "HTTP requests served (all endpoints)")
+	s.reqErrors = s.reg.Counter("slserve_request_errors_total", "HTTP responses with status >= 400")
+	s.reqDur = s.reg.Histogram("slserve_request_duration_ns", "request handling latency in nanoseconds")
+	s.clockRejects = s.reg.Counter("slserve_clock_capacity_rejections_total", "clock requests answered 503: the Algorithm 1 reference budget is spent")
+
+	// Helping telemetry per combining-read object: the protocol-health block
+	// (see internal/obs.HelpStats for what each field counts).
+	help := func(name string, fn func() stronglin.HelpStats) {
+		s.reg.CounterFunc("slserve_"+name+"_help_deposits_total", name+" helper views deposited by writers under raised pressure", func() int64 { return fn().Deposits })
+		s.reg.CounterFunc("slserve_"+name+"_help_adopts_total", name+" reads/scans completed by adopting a helper deposit", func() int64 { return fn().Adopts })
+		s.reg.CounterFunc("slserve_"+name+"_help_adopt_misses_total", name+" adoption attempts whose closing witness failed", func() int64 { return fn().AdoptMisses })
+		s.reg.CounterFunc("slserve_"+name+"_retries_total", name+" failed validation rounds across all reads/scans", func() int64 { return fn().Retries })
+		s.reg.CounterFunc("slserve_"+name+"_pressure_raises_total", name+" reads/scans that exhausted their retry budget and solicited help", func() int64 { return fn().Raises })
+	}
+	help("counter", s.counter.HelpStats)
+	help("maxreg", s.maxreg.HelpStats)
+	help("gset", s.gset.HelpStats)
+	help("snapshot", s.snap.HelpStats)
+	help("msnapshot", s.msnap.HelpStats)
+
+	// Lifetime watermarks: where each bounded budget currently stands. These
+	// are the sensors the live-migration plans trigger on (ROADMAP).
+	t0 := stronglin.Thread(0)
+	s.reg.GaugeFunc("slserve_counter_epoch_announces", "counter epoch announce count against its 2^48 lifetime budget", func() int64 { return s.counter.EpochAnnounces(t0) })
+	s.reg.GaugeFunc("slserve_maxreg_epoch_announces", "maxreg epoch announce count against its 2^48 lifetime budget", func() int64 { return s.maxreg.EpochAnnounces(t0) })
+	s.reg.GaugeFunc("slserve_gset_epoch_announces", "gset epoch announce count against its 2^48 lifetime budget", func() int64 { return s.gset.EpochAnnounces(t0) })
+	s.reg.GaugeFunc("slserve_counter_pressure_raised", "counter readers currently holding pressure raised", func() int64 { return s.counter.PressureRaised(t0) })
+	s.reg.GaugeFunc("slserve_maxreg_pressure_raised", "maxreg readers currently holding pressure raised", func() int64 { return s.maxreg.PressureRaised(t0) })
+	s.reg.GaugeFunc("slserve_gset_pressure_raised", "gset readers currently holding pressure raised", func() int64 { return s.gset.PressureRaised(t0) })
+	s.reg.GaugeFunc("slserve_snapshot_seq_watermark", "highest per-word sequence field of the snapshot against the mod-2^16 wrap (0 on non-multiword engines)", func() int64 { return s.snap.SeqWatermark(t0) })
+	s.reg.GaugeFunc("slserve_msnapshot_seq_watermark", "highest per-word sequence field of the multi-word snapshot against the mod-2^16 wrap", func() int64 { return s.msnap.SeqWatermark(t0) })
+	s.reg.GaugeFunc("slserve_clock_capacity", "Algorithm 1 reference capacity of the logical clock", s.clock.Capacity)
+	s.reg.GaugeFunc("slserve_clock_used", "Algorithm 1 references consumed by the logical clock", s.clock.Used)
+
+	// Lane-lease pressure: sizing signals for the pool.
+	s.reg.CounterFunc("slserve_lease_acquires_total", "lane leases granted", func() int64 { return s.pool.Acquires(t0) })
+	s.reg.CounterFunc("slserve_lease_waits_total", "lease acquisitions that found every lane out and parked", s.pool.Waits)
+	s.reg.CounterFunc("slserve_lease_steals_total", "lane claims that won a probe past their seeded lane", s.pool.Steals)
+	s.reg.GaugeFunc("slserve_lanes_in_use", "lanes currently leased", func() int64 { return int64(s.pool.InUse()) })
 }
 
 func (s *server) handler() http.Handler {
@@ -228,10 +373,58 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/clock/tick", s.clockTick)
 	mux.HandleFunc("/clock", s.clockGet)
 	mux.HandleFunc("/stats", s.stats)
+	mux.HandleFunc("/metrics", s.metrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	return s.instrumented(mux)
+}
+
+// debugHandler is the -debug-addr surface: the same /metrics plus
+// net/http/pprof, mounted explicitly so the profiler never leaks onto the
+// public mux (and the default mux stays untouched).
+func (s *server) debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// metrics serves the registry in the Prometheus text exposition format.
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+// statusWriter captures the response code for the error counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrumented wraps the public mux with the request telemetry: one counter
+// increment, one histogram observation, and (on >= 400) one error increment
+// per request — padded atomics, no locks, no allocation beyond the wrapper.
+func (s *server) instrumented(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(&sw, r)
+		s.reqTotal.Inc()
+		if sw.code >= 400 {
+			s.reqErrors.Inc()
+		}
+		s.reqDur.Observe(time.Since(t0).Nanoseconds())
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -383,6 +576,7 @@ func (s *server) clockTick(w http.ResponseWriter, r *http.Request) {
 		// The clock's packed reference budget is spent; the object is intact
 		// (reads of the final state still work via /stats-visible counters),
 		// but no further operations exist to serve.
+		s.clockRejects.Inc()
 		http.Error(w, "clock capacity exhausted", http.StatusServiceUnavailable)
 		return
 	}
@@ -399,6 +593,7 @@ func (s *server) clockGet(w http.ResponseWriter, r *http.Request) {
 	var err error
 	s.pool.With(func(t stronglin.Thread) { v, err = s.clock.TryRead(t) })
 	if err != nil {
+		s.clockRejects.Inc()
 		http.Error(w, "clock capacity exhausted", http.StatusServiceUnavailable)
 		return
 	}
@@ -427,10 +622,12 @@ type statsSnapshot struct {
 	ClockWords    int    `json:"clock_words"`
 	ClockCapacity int64  `json:"clock_capacity"`
 	ClockUsed     int64  `json:"clock_used"`
-	// Helping telemetry (PR 5): per-object helper deposits made by writes
-	// and reads/scans that returned an adopted view. Non-zero counts mean
-	// some combining read exhausted its retry budget under write pressure
-	// and was completed by the wait-free helping path.
+	// Helping telemetry: per-object helper deposits, adopted reads/scans,
+	// failed adoption witnesses, failed validation rounds, and
+	// pressure-raise episodes. Non-zero deposit/adopt counts mean some
+	// combining read exhausted its retry budget under write pressure and was
+	// completed by the wait-free helping path; retries alone mean rounds
+	// failed but self-validation still won within budget.
 	CounterHelp helpStats `json:"counter_help"`
 	MaxregHelp  helpStats `json:"maxreg_help"`
 	GSetHelp    helpStats `json:"gset_help"`
@@ -453,14 +650,24 @@ type statsSnapshot struct {
 	ClockRead   int64     `json:"clock_read"`
 }
 
-// helpStats is one object's helping telemetry in /stats.
+// helpStats is one object's helping telemetry in /stats — the JSON shape of
+// stronglin.HelpStats.
 type helpStats struct {
-	Deposits int64 `json:"deposits"`
-	Adopts   int64 `json:"adopts"`
+	Deposits    int64 `json:"deposits"`
+	Adopts      int64 `json:"adopts"`
+	AdoptMisses int64 `json:"adopt_misses"`
+	Retries     int64 `json:"retries"`
+	Raises      int64 `json:"raises"`
 }
 
-func mkHelpStats(deposits, adopts int64) helpStats {
-	return helpStats{Deposits: deposits, Adopts: adopts}
+func mkHelpStats(hs stronglin.HelpStats) helpStats {
+	return helpStats{
+		Deposits:    hs.Deposits,
+		Adopts:      hs.Adopts,
+		AdoptMisses: hs.AdoptMisses,
+		Retries:     hs.Retries,
+		Raises:      hs.Raises,
+	}
 }
 
 func (s *server) snapshot() statsSnapshot {
@@ -537,11 +744,25 @@ func (s *server) queryInt(r *http.Request, key string) (int64, error) {
 // attackReport is the JSON document the load generator prints. Requests and
 // OpsPerSec count SUCCESSFUL requests only, so a down or erroring target
 // reports its failure rather than inflated throughput; LatencyMS likewise
-// aggregates successful requests only.
+// aggregates successful requests only. The report labels its loop mode:
+// closed-loop latencies exclude queueing by construction (each client waits
+// for its response before offering more load), open-loop latencies include it
+// (measured from the request's intended send time), so the two are only
+// comparable knowing which loop produced them.
 type attackReport struct {
-	Target    string        `json:"target"`
-	Clients   int           `json:"clients"`
-	Duration  string        `json:"duration"`
+	Target   string `json:"target"`
+	Clients  int    `json:"clients"`
+	Duration string `json:"duration"`
+	// Loop is "closed" or "open"; Arrivals the arrival process that drove it.
+	Loop     string  `json:"loop"`
+	Arrivals string  `json:"arrivals"`
+	Mix      string  `json:"mix"`
+	RateRPS  float64 `json:"rate_rps,omitempty"` // offered load (open loop)
+	// Offered counts scheduled arrivals; Unsent the schedule tail abandoned
+	// by the overload watchdog (nonzero only when the target fell an order
+	// of magnitude behind the offered rate).
+	Offered   int64         `json:"offered,omitempty"`
+	Unsent    int64         `json:"unsent,omitempty"`
 	Requests  int64         `json:"requests"`
 	Errors    int64         `json:"errors"`
 	OpsPerSec float64       `json:"ops_per_sec"`
@@ -557,34 +778,112 @@ type latencyMS struct {
 	Max float64 `json:"max"`
 }
 
-// percentile returns the q-quantile (0 < q <= 1) of the sorted durations by
-// the nearest-rank method; 0 on an empty sample.
-func percentile(sorted []time.Duration, q float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	rank := int(math.Ceil(q * float64(len(sorted))))
-	if rank < 1 {
-		rank = 1
-	}
-	return sorted[rank-1]
-}
-
-func summarizeLatency(samples []time.Duration) latencyMS {
-	if len(samples) == 0 {
+// summarizeHist renders the shared latency histogram (nanosecond
+// observations) as millisecond percentiles — the one summary path every loop
+// mode reports through. The true maximum is carried by a gauge watermark
+// (histogram buckets are log₂-ranged, so their upper bounds overestimate it).
+func summarizeHist(h *obs.Histogram, max *obs.Gauge) latencyMS {
+	if h.Count() == 0 {
 		return latencyMS{}
 	}
-	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
-	return latencyMS{
-		P50: ms(percentile(samples, 0.50)),
-		P95: ms(percentile(samples, 0.95)),
-		P99: ms(percentile(samples, 0.99)),
-		Max: ms(samples[len(samples)-1]),
+	hi := float64(max.Load())
+	// Bucket upper bounds overestimate within the top bucket; the exact
+	// watermark caps every quantile so p99 can never exceed the true max.
+	q := func(p float64) float64 {
+		v := h.Quantile(p)
+		if v > hi {
+			v = hi
+		}
+		return v / float64(time.Millisecond)
 	}
+	return latencyMS{
+		P50: q(0.50),
+		P95: q(0.95),
+		P99: q(0.99),
+		Max: hi / float64(time.Millisecond),
+	}
+}
+
+// pickOp maps (mix, client, sequence) to an op code 0..9 (see fire). The
+// codes pair up as write/read per object: counter (0/1), maxreg (2/3), gset
+// (4/5), snapshot (6/7), multi-word snapshot (8/9).
+func pickOp(mix string, c, i int) int {
+	switch mix {
+	case "read-heavy":
+		// 10% writes round-robined across the objects, 90% reads.
+		if i%10 == 0 {
+			return ((c + i) % 5) * 2
+		}
+		return ((c+i)%5)*2 + 1
+	case "write-storm":
+		// 90% writes, 10% reads: every object's epoch/announce traffic with
+		// barely any readers — the combining reads that do run retry hard.
+		if i%10 == 9 {
+			return ((c+i)%5)*2 + 1
+		}
+		return ((c + i) % 5) * 2
+	case "storm":
+		// Adversarial starvation, shaped like sim.AnchorStormPolicy: a wall
+		// of multi-word snapshot updates (announce traffic on word 0, the
+		// scan's anchor) against a minority of scans trying to validate —
+		// the schedule family that starves the unhelped double collect and
+		// drives the deposit/adopt machinery under real traffic.
+		if i%5 == 4 {
+			return 9 // msnapshot scan
+		}
+		return 8 // msnapshot update
+	default: // "default": the original 50/50 mix
+		return i % 10
+	}
+}
+
+func validMix(mix string) bool {
+	switch mix {
+	case "default", "read-heavy", "write-storm", "storm":
+		return true
+	}
+	return false
+}
+
+// attackTelemetry is the shared per-run instrumentation: every successful
+// request lands one latency observation (nanoseconds) in the histogram and
+// raises the max watermark, whatever the loop mode.
+type attackTelemetry struct {
+	latency  obs.Histogram
+	latMax   obs.Gauge
+	requests atomic.Int64
+	errors   atomic.Int64
+}
+
+func (a *attackTelemetry) record(lat time.Duration, err error) {
+	if err != nil {
+		a.errors.Add(1)
+		return
+	}
+	a.latency.Observe(lat.Nanoseconds())
+	a.latMax.Mark(lat.Nanoseconds())
+	a.requests.Add(1)
 }
 
 func runAttack() error {
+	if !validMix(*mixName) {
+		return fmt.Errorf("unknown -mix %q (want default, read-heavy, write-storm or storm)", *mixName)
+	}
+	openLoop := false
+	switch *arrivals {
+	case "closed":
+	case "poisson", "burst":
+		openLoop = true
+		if *rate <= 0 {
+			return fmt.Errorf("-arrivals %s needs -rate > 0, got %v", *arrivals, *rate)
+		}
+		if *arrivals == "burst" && *burstSize < 1 {
+			return fmt.Errorf("-burst-size must be >= 1, got %d", *burstSize)
+		}
+	default:
+		return fmt.Errorf("unknown -arrivals %q (want closed, poisson or burst)", *arrivals)
+	}
+
 	target := *url
 	var srv *server
 	if target == "" {
@@ -614,47 +913,29 @@ func runAttack() error {
 		valCap = *bound + 1
 	}
 
-	var requests, errors atomic.Int64
-	var stop atomic.Bool
-	var wg sync.WaitGroup
-	// Each client records its own successful-request latencies; slices are
-	// merged after the run (no shared state on the hot path).
-	latencies := make([][]time.Duration, *clients)
-	for c := 0; c < *clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			for i := 0; !stop.Load(); i++ {
-				t0 := time.Now()
-				if err := fire(client, target, c, i, valCap); err != nil {
-					errors.Add(1)
-				} else {
-					latencies[c] = append(latencies[c], time.Since(t0))
-					requests.Add(1)
-				}
-			}
-		}(c)
-	}
-	start := time.Now()
-	time.Sleep(*dur)
-	stop.Store(true)
-	wg.Wait()
-	elapsed := time.Since(start)
-
-	var all []time.Duration
-	for _, l := range latencies {
-		all = append(all, l...)
-	}
-
+	tele := &attackTelemetry{}
 	rep := attackReport{
-		Target:    target,
-		Clients:   *clients,
-		Duration:  elapsed.String(),
-		Requests:  requests.Load(),
-		Errors:    errors.Load(),
-		OpsPerSec: float64(requests.Load()) / elapsed.Seconds(),
-		LatencyMS: summarizeLatency(all),
+		Target:   target,
+		Clients:  *clients,
+		Arrivals: *arrivals,
+		Mix:      *mixName,
 	}
+	var elapsed time.Duration
+	if openLoop {
+		rep.Loop = "open"
+		rep.RateRPS = *rate
+		offered, unsent, el := runOpenLoop(client, target, valCap, tele)
+		rep.Offered, rep.Unsent, elapsed = offered, unsent, el
+	} else {
+		rep.Loop = "closed"
+		elapsed = runClosedLoop(client, target, valCap, tele)
+	}
+
+	rep.Duration = elapsed.String()
+	rep.Requests = tele.requests.Load()
+	rep.Errors = tele.errors.Load()
+	rep.OpsPerSec = float64(tele.requests.Load()) / elapsed.Seconds()
+	rep.LatencyMS = summarizeHist(&tele.latency, &tele.latMax)
 	if srv != nil {
 		rep.Stats = srv.snapshot()
 	} else {
@@ -677,21 +958,125 @@ func runAttack() error {
 	return enc.Encode(rep)
 }
 
-// fire issues the i-th request of client c: a 50/50 read/write mix across
-// the five objects (counter, maxreg, gset, snapshot, multi-word snapshot).
-// Written values are taken modulo valCap so they stay inside the target's
-// declared value domain — for the snapshot this means a -bound attack drives
-// the packed Theorem 2 word (one XADD per update, one per scan), and the
-// /msnapshot pair always drives the k-XADD engine's announcing updates and
-// validated double-collect scans.
-func fire(client *http.Client, target string, c, i int, valCap int64) error {
+// runClosedLoop is the classic closed loop: each of the -clients workers
+// fires its next request as soon as the previous response lands, for -dur.
+// Latency is response time as the CLIENT experienced it; offered load adapts
+// to the server, so queueing never shows in these numbers.
+func runClosedLoop(client *http.Client, target string, valCap int64, tele *attackTelemetry) time.Duration {
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				t0 := time.Now()
+				err := fire(client, target, pickOp(*mixName, c, i), c, i, valCap)
+				tele.record(time.Since(t0), err)
+			}
+		}(c)
+	}
+	start := time.Now()
+	time.Sleep(*dur)
+	stop.Store(true)
+	wg.Wait()
+	return time.Since(start)
+}
+
+// runOpenLoop offers load at -rate regardless of how the target keeps up.
+// The arrival schedule — every request's INTENDED send instant — is drawn up
+// front (-attack-seed makes it reproducible): exponential gaps for poisson,
+// -burst-size trains at the same aggregate rate for burst. Workers claim
+// schedule entries in order, sleep until each entry's instant, fire, and
+// record latency from the INTENDED instant, not the actual send — so when
+// all workers are busy and entries fire late, the backlog time counts
+// against the server. This is the standard defence against coordinated
+// omission: a closed loop silently stops offering load exactly when the
+// server is slowest, which deletes the worst samples from the tail.
+//
+// Workers drain the whole schedule even past -dur (the queueing tail is the
+// point), but a watchdog abandons the remainder once the run exceeds 10x
+// -dur — the report's unsent count then says the target was hopelessly
+// overloaded rather than hanging the generator forever.
+func runOpenLoop(client *http.Client, target string, valCap int64, tele *attackTelemetry) (offered, unsent int64, elapsed time.Duration) {
+	offsets := buildSchedule(*arrivals, *rate, *burstSize, *dur, *attackSeed)
+	offered = int64(len(offsets))
+	var next atomic.Int64
+	var abandon atomic.Bool
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := time.AfterFunc(10*(*dur), func() { abandon.Store(true) })
+	defer deadline.Stop()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for !abandon.Load() {
+				idx := next.Add(1) - 1
+				if idx >= int64(len(offsets)) {
+					return
+				}
+				intended := start.Add(offsets[idx])
+				if d := time.Until(intended); d > 0 {
+					time.Sleep(d)
+				}
+				err := fire(client, target, pickOp(*mixName, c, int(idx)), c, int(idx), valCap)
+				// Coordinated-omission-safe: latency from the intended send
+				// instant, so time spent waiting for a free worker (server
+				// backlog) is charged to this request.
+				tele.record(time.Since(intended), err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed = time.Since(start)
+	if claimed := next.Load(); claimed < offered {
+		unsent = offered - claimed
+	}
+	return offered, unsent, elapsed
+}
+
+// buildSchedule draws the open-loop arrival offsets covering dur at the
+// given aggregate rate: exponential inter-arrival gaps (poisson) or
+// back-to-back trains of burstSize with exponential gaps between trains
+// (burst — same offered rate, maximally clumped). Offsets are ascending.
+func buildSchedule(kind string, rate float64, burstSize int, dur time.Duration, seed int64) []time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	var offsets []time.Duration
+	switch kind {
+	case "burst":
+		// Trains of burstSize at one instant; gaps between train STARTS are
+		// exponential with mean burstSize/rate, preserving the aggregate rate.
+		meanGap := float64(burstSize) / rate
+		for t := 0.0; t < dur.Seconds(); t += rng.ExpFloat64() * meanGap {
+			at := time.Duration(t * float64(time.Second))
+			for b := 0; b < burstSize; b++ {
+				offsets = append(offsets, at)
+			}
+		}
+	default: // "poisson"
+		for t := 0.0; t < dur.Seconds(); t += rng.ExpFloat64() / rate {
+			offsets = append(offsets, time.Duration(t*float64(time.Second)))
+		}
+	}
+	return offsets
+}
+
+// fire issues one request. op codes pair write/read per object: 0/1 counter
+// inc/read, 2/3 maxreg write/read, 4/5 gset add/has, 6/7 snapshot
+// update/scan, 8/9 multi-word snapshot update/scan. Written values are taken
+// modulo valCap so they stay inside the target's declared value domain — for
+// the snapshot this means a -bound attack drives the packed Theorem 2 word
+// (one XADD per update, one per scan), and the /msnapshot pair always drives
+// the k-XADD engine's announcing updates and validated double-collect scans.
+func fire(client *http.Client, target string, op, c, i int, valCap int64) error {
 	var resp *http.Response
 	var err error
 	xCap := valCap
 	if xCap > 256 {
 		xCap = 256
 	}
-	switch i % 10 {
+	switch op {
 	case 0:
 		resp, err = client.Post(target+"/counter/inc", "", nil)
 	case 1:

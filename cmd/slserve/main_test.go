@@ -3,9 +3,13 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -294,17 +298,314 @@ func TestHugeBoundKeepsRequestCap(t *testing.T) {
 }
 
 func TestLatencyPercentiles(t *testing.T) {
-	if got := summarizeLatency(nil); got != (latencyMS{}) {
+	var tele attackTelemetry
+	if got := summarizeHist(&tele.latency, &tele.latMax); got != (latencyMS{}) {
 		t.Fatalf("empty sample percentiles = %+v, want zeros", got)
 	}
-	samples := make([]time.Duration, 100)
-	for i := range samples {
-		samples[i] = time.Duration(i+1) * time.Millisecond // 1ms..100ms
+	for i := 1; i <= 100; i++ {
+		tele.record(time.Duration(i)*time.Millisecond, nil) // 1ms..100ms
 	}
-	got := summarizeLatency(samples)
-	if got.P50 != 50 || got.P95 != 95 || got.P99 != 99 || got.Max != 100 {
-		t.Fatalf("percentiles = %+v, want p50=50 p95=95 p99=99 max=100", got)
+	got := summarizeHist(&tele.latency, &tele.latMax)
+	// The log₂ histogram reports quantiles with bucket-resolution error; the
+	// max comes from the exact gauge watermark.
+	if got.P50 < 25 || got.P50 > 100 {
+		t.Fatalf("p50 = %v, want within the 1..100ms sample range (coarse)", got.P50)
 	}
+	if got.P95 < got.P50 || got.P99 < got.P95 {
+		t.Fatalf("quantiles not monotone: %+v", got)
+	}
+	if got.Max != 100 {
+		t.Fatalf("max = %v, want exactly 100 (gauge watermark)", got.Max)
+	}
+	if n := tele.requests.Load(); n != 100 {
+		t.Fatalf("requests = %d, want 100", n)
+	}
+	tele.record(0, fmt.Errorf("boom"))
+	if e := tele.errors.Load(); e != 1 {
+		t.Fatalf("errors = %d, want 1", e)
+	}
+	if n := tele.latency.Count(); n != 100 {
+		t.Fatalf("errored request leaked into the latency histogram: count %d", n)
+	}
+}
+
+// TestBuildSchedule: the open-loop arrival schedule is reproducible per seed,
+// ascending, covers the run, and the burst variant clumps arrivals into
+// trains of exactly -burst-size at identical instants.
+func TestBuildSchedule(t *testing.T) {
+	a := buildSchedule("poisson", 1000, 0, 100*time.Millisecond, 7)
+	b := buildSchedule("poisson", 1000, 0, 100*time.Millisecond, 7)
+	if len(a) == 0 {
+		t.Fatal("empty poisson schedule")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different schedule lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different offset at %d: %v vs %v", i, a[i], b[i])
+		}
+		if i > 0 && a[i] < a[i-1] {
+			t.Fatalf("offsets not ascending at %d: %v < %v", i, a[i], a[i-1])
+		}
+	}
+	// ~1000 req/s for 100ms ≈ 100 arrivals; accept a generous Poisson band.
+	if len(a) < 50 || len(a) > 200 {
+		t.Fatalf("poisson schedule has %d arrivals, want ~100", len(a))
+	}
+
+	bs := buildSchedule("burst", 1000, 8, 100*time.Millisecond, 7)
+	if len(bs)%8 != 0 {
+		t.Fatalf("burst schedule length %d not a multiple of the train size 8", len(bs))
+	}
+	for i := 0; i < len(bs); i += 8 {
+		for j := 1; j < 8; j++ {
+			if bs[i+j] != bs[i] {
+				t.Fatalf("train starting at %d not clumped: %v vs %v", i, bs[i+j], bs[i])
+			}
+		}
+	}
+}
+
+// TestPickOp: every mix yields only valid op codes and honours its declared
+// read/write ratio.
+func TestPickOp(t *testing.T) {
+	isWrite := func(op int) bool { return op%2 == 0 }
+	for _, mix := range []string{"default", "read-heavy", "write-storm", "storm"} {
+		if !validMix(mix) {
+			t.Fatalf("validMix(%q) = false", mix)
+		}
+		writes := 0
+		const n = 1000
+		for i := 0; i < n; i++ {
+			op := pickOp(mix, 3, i)
+			if op < 0 || op > 9 {
+				t.Fatalf("mix %q: op %d out of range", mix, op)
+			}
+			if mix == "storm" && op != 8 && op != 9 {
+				t.Fatalf("mix storm must stay on the multi-word snapshot, got op %d", op)
+			}
+			if isWrite(op) {
+				writes++
+			}
+		}
+		switch mix {
+		case "read-heavy":
+			if writes != n/10 {
+				t.Fatalf("read-heavy writes = %d, want %d", writes, n/10)
+			}
+		case "write-storm":
+			if writes != n*9/10 {
+				t.Fatalf("write-storm writes = %d, want %d", writes, n*9/10)
+			}
+		case "storm":
+			if writes != n*4/5 {
+				t.Fatalf("storm writes = %d, want %d", writes, n*4/5)
+			}
+		case "default":
+			if writes != n/2 {
+				t.Fatalf("default writes = %d, want %d", writes, n/2)
+			}
+		}
+	}
+	if validMix("bogus") {
+		t.Fatal("validMix accepted an unknown mix")
+	}
+}
+
+// TestMetricsEndpoint is the golden-name test: every metric the server
+// registers must appear in the /metrics text, the document must parse as
+// Prometheus 0.0.4 exposition (HELP/TYPE then samples), and after traffic the
+// request counter and latency histogram must have moved.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := newServer(4, 2, 0)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	// Drive one request through every object so funcs have state to report.
+	for _, p := range []string{"/counter/inc", "/maxreg?v=3", "/gset?x=1", "/snapshot?v=2", "/msnapshot?v=2", "/clock/tick"} {
+		resp, err := http.Post(ts.URL+p, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q, want text/plain exposition", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+
+	// Golden names: everything the registry knows is in the text.
+	names := srv.reg.SortedNames()
+	if len(names) < 30 {
+		t.Fatalf("registry has only %d metrics, expected the full PR 6 catalog (30+)", len(names))
+	}
+	for _, name := range names {
+		if !strings.Contains(text, "# TYPE "+name+" ") {
+			t.Errorf("metric %s missing a TYPE line in /metrics", name)
+		}
+		if !strings.Contains(text, "# HELP "+name+" ") {
+			t.Errorf("metric %s missing a HELP line in /metrics", name)
+		}
+	}
+	// A few load-bearing names spelled out, so a silent registry rename fails
+	// loudly here rather than in a dashboard.
+	for _, name := range []string{
+		"slserve_requests_total",
+		"slserve_request_duration_ns_bucket", // histogram samples carry suffixes
+		"slserve_request_duration_ns_count",
+		"slserve_counter_help_deposits_total",
+		"slserve_msnapshot_help_adopts_total",
+		"slserve_msnapshot_retries_total",
+		"slserve_msnapshot_pressure_raises_total",
+		"slserve_snapshot_seq_watermark",
+		"slserve_counter_epoch_announces",
+		"slserve_clock_capacity",
+		"slserve_clock_used",
+		"slserve_lease_acquires_total",
+		"slserve_lease_waits_total",
+		"slserve_lanes_in_use",
+	} {
+		if !strings.Contains(text, "\n"+name+" ") && !strings.Contains(text, "\n"+name+"{") {
+			t.Errorf("expected sample line for %s in /metrics", name)
+		}
+	}
+
+	// Every non-comment line parses as `name{labels} value` with a numeric
+	// value, and histograms carry the +Inf bucket.
+	sawInf := false
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+			t.Fatalf("non-numeric value in sample line %q: %v", line, err)
+		}
+		if strings.Contains(line, `le="+Inf"`) {
+			sawInf = true
+		}
+	}
+	if !sawInf {
+		t.Fatal("no +Inf histogram bucket in /metrics")
+	}
+
+	// The traffic above went through the instrumented mux: ticker counters
+	// moved. (+1 for the /metrics scrape itself not yet recorded.)
+	if n := srv.reqTotal.Load(); n < 6 {
+		t.Fatalf("slserve_requests_total = %d after 6 requests", n)
+	}
+	if n := srv.reqDur.Count(); n < 6 {
+		t.Fatalf("request duration histogram count = %d after 6 requests", n)
+	}
+}
+
+// TestForcedAdoptTelemetry builds the server with a zero scan-retry budget —
+// every contended combining read raises pressure immediately — drives a
+// storm through the server's own lease pool (HTTP round-trips serialize the
+// engine ops too much to collide), and asserts the PR 6 helping telemetry
+// moves: retries and pressure raises on the multi-word snapshot, with
+// deposits/adopts consistent. This is the end-to-end proof that the counters
+// are wired to the protocol, not decorative.
+func TestForcedAdoptTelemetry(t *testing.T) {
+	srv := newServerCfg(4, 2, 0, 0, 0) // scanBudget 0: raise on first failed round
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	// Long-lived leases, tight loops: per-op pool round-trips would space the
+	// engine ops out so far that collects almost never collide.
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	// Updater wall: half the lanes hammer announcing updates.
+	for u := 0; u < 2; u++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l := srv.pool.Acquire()
+			defer l.Release()
+			for v := int64(1); !stop.Load(); v++ {
+				srv.msnap.Update(l.Thread(), v%1024)
+			}
+		}()
+	}
+	// Scanner minority: validated double collects against the wall.
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l := srv.pool.Acquire()
+			defer l.Release()
+			for !stop.Load() {
+				srv.msnap.Scan(l.Thread())
+			}
+		}()
+	}
+	// Run until the counters move (on a single-core box interleaving only
+	// happens at preemption points, so collisions are sparse); the deadline
+	// only bounds a genuinely dead telemetry path.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		hs := srv.msnap.HelpStats()
+		if hs.Retries > 0 && hs.Raises > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	hs := srv.msnap.HelpStats()
+	t.Logf("msnapshot help stats under storm: %+v", hs)
+	if hs.Retries == 0 {
+		t.Fatal("zero scan retries under an msnapshot update storm — retry telemetry is dead")
+	}
+	if hs.Raises == 0 {
+		t.Fatal("zero pressure raises with scan budget 0 under contention — raise telemetry is dead")
+	}
+	if hs.Deposits < hs.Adopts {
+		t.Fatalf("adopts (%d) exceed deposits (%d)", hs.Adopts, hs.Deposits)
+	}
+	// The same counters flow through /stats and /metrics.
+	body := metricsText(t, ts.URL)
+	if !strings.Contains(body, "slserve_msnapshot_scan_rounds_count") {
+		t.Fatal("scan-rounds histogram missing from /metrics")
+	}
+	if !strings.Contains(body, fmt.Sprintf("slserve_msnapshot_retries_total %d", hs.Retries)) {
+		t.Fatalf("slserve_msnapshot_retries_total does not report %d", hs.Retries)
+	}
+}
+
+func metricsText(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
 }
 
 // TestConcurrentClients floods the server with more concurrent clients than
@@ -324,7 +625,7 @@ func TestConcurrentClients(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; i < reqs; i++ {
-				if err := fire(http.DefaultClient, ts.URL, c, i, 1024); err != nil {
+				if err := fire(http.DefaultClient, ts.URL, pickOp("default", c, i), c, i, 1024); err != nil {
 					errs <- fmt.Errorf("client %d: %w", c, err)
 					return
 				}

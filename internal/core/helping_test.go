@@ -51,9 +51,9 @@ func TestMultiwordHelpedScanStrongLin(t *testing.T) {
 			run := op.Run
 			op.Run = func(th prim.Thread) string {
 				resp := run(th)
-				d, a := s.HelpStats()
-				deposits.Add(d)
-				adopts.Add(a)
+				hs := s.HelpStats()
+				deposits.Add(hs.Deposits)
+				adopts.Add(hs.Adopts)
 				return resp
 			}
 			return op
@@ -87,7 +87,7 @@ func TestMultiwordHelpedAdoptCraftedRace(t *testing.T) {
 			Spec: spec.MkOp(spec.MethodScan),
 			Run: func(th prim.Thread) string {
 				view = s.Scan(th)
-				_, adopted = s.HelpStats()
+				adopted = s.HelpStats().Adopts
 				return spec.RespVec(view)
 			},
 		}
@@ -299,8 +299,9 @@ func TestMultiwordHelpedConcurrentScansComparable(t *testing.T) {
 			}
 		}
 	}
-	d, a := s.HelpStats()
-	t.Logf("helping under stress: %d deposits, %d adopted scans (of %d)", d, a, scanners*perScanner)
+	hs := s.HelpStats()
+	t.Logf("helping under stress: %d deposits, %d adopted scans (of %d), %d retries, %d raises, %d adopt misses",
+		hs.Deposits, hs.Adopts, scanners*perScanner, hs.Retries, hs.Raises, hs.AdoptMisses)
 }
 
 // TestMultiwordHelpedOpsAllocFree pins the scan side of the 0 allocs/op

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"stronglin/internal/interleave"
+	"stronglin/internal/obs"
 	"stronglin/internal/prim"
 )
 
@@ -140,11 +141,22 @@ type FASnapshot struct {
 	slot       prim.AnyRegister
 	spinBudget int
 
-	// helpDeposits/scanAdopts are telemetry only (never read by the
-	// protocol): how many helper views were deposited and how many scans
-	// returned an adopted view.
-	helpDeposits atomic.Int64
-	scanAdopts   atomic.Int64
+	// Telemetry (never read by the protocol). All counts are batched on the
+	// SLOW path only — a scan that validates its first round and an update
+	// that owes no help touch none of them, so the instrumented fast paths
+	// carry zero added atomic operations. helpDeposits/scanAdopts predate the
+	// rest; scanRetries counts failed validation rounds, pressureRaises
+	// counts raise episodes (scans that exhausted their budget), adoptMisses
+	// counts adoption attempts whose closing word-0 witness failed.
+	helpDeposits   atomic.Int64
+	scanAdopts     atomic.Int64
+	scanRetries    atomic.Int64
+	pressureRaises atomic.Int64
+	adoptMisses    atomic.Int64
+
+	// met is the optional scrape-layer instrumentation (WithSnapshotObs);
+	// nil fields are no-ops, observed on contended completions only.
+	met obs.SnapMetrics
 }
 
 // mwDeposit is a helper's validated collect: the raw k words of a double
@@ -209,6 +221,15 @@ func WithScanRetryBudget(rounds int) SnapshotOption {
 		panic(fmt.Sprintf("core: WithScanRetryBudget(%d): budget must be non-negative", rounds))
 	}
 	return func(s *FASnapshot) { s.spinBudget = rounds }
+}
+
+// WithSnapshotObs attaches optional scrape-layer instrumentation: histograms
+// observed on CONTENDED scan completions only (a scan that validates its
+// first round is never observed), so the uncontended fast path is untouched.
+// Nil fields inside m are no-ops. The always-on HelpStats counters are kept
+// regardless; this option adds the distribution view on top.
+func WithSnapshotObs(m obs.SnapMetrics) SnapshotOption {
+	return func(s *FASnapshot) { s.met = m }
 }
 
 // NewFASnapshot allocates the construction for n processes using a single
@@ -285,12 +306,41 @@ func (s *FASnapshot) Engine() string {
 // Bound returns the declared maximum component value, or -1 when unbounded.
 func (s *FASnapshot) Bound() int64 { return s.bound }
 
-// HelpStats reports the multi-word helping telemetry: how many helper views
-// updaters have deposited, and how many scans returned an adopted view. Both
-// are 0 on the single-register engines (their one-step scans never need
-// help) and in any run where no scan exhausted its retry budget.
-func (s *FASnapshot) HelpStats() (deposits, adopts int64) {
-	return s.helpDeposits.Load(), s.scanAdopts.Load()
+// HelpStats reports the multi-word helping telemetry: helper deposits, scans
+// that returned an adopted view, adoption attempts whose closing word-0
+// witness failed, failed scan validation rounds, and pressure-raise episodes.
+// All fields are 0 on the single-register engines (their one-step scans never
+// need help or retry) and in any run where every scan validated its first
+// round. Safe to call from any goroutine; counts are slow-path events only.
+func (s *FASnapshot) HelpStats() obs.HelpStats {
+	return obs.HelpStats{
+		Deposits:    s.helpDeposits.Load(),
+		Adopts:      s.scanAdopts.Load(),
+		AdoptMisses: s.adoptMisses.Load(),
+		Retries:     s.scanRetries.Load(),
+		Raises:      s.pressureRaises.Load(),
+	}
+}
+
+// SeqWatermark returns the highest per-word sequence-field value currently
+// visible across the component words — the lifetime watermark of the
+// multi-word engine's mod-2^16 sequence budget (interleave.SeqBits). The
+// counters wrap by design, so the watermark is a position within the current
+// wrap window, not a total update count; approaching 2^16−1 means the next
+// wrap is near, which is only a hazard if a scan could be descheduled across
+// it (see interleave.MultiPacked). 0 on the single-register engines, which
+// have no sequence fields. It reads the words with fetch&add(0) steps.
+func (s *FASnapshot) SeqWatermark(t prim.Thread) int64 {
+	if s.words == nil {
+		return 0
+	}
+	var max int64
+	for _, w := range s.words {
+		if q := s.mp.Seq(w.FetchAddInt(t, 0)); q > max {
+			max = q
+		}
+	}
+	return max
 }
 
 // Update writes v (which must be non-negative) to the caller's component.
@@ -447,6 +497,7 @@ func (s *FASnapshot) ScanInto(t prim.Thread, view []int64) []int64 {
 		cur := collectBuf(&stack, len(s.words))
 		s.collectWordsAnchored(t, cur)
 		raised, adopted := false, false
+		var failedRounds, missed int64
 		for spins := 0; ; spins++ {
 			// The adoption candidate must be read BEFORE the round's word-0
 			// read: the witness has to be the later of the two, or an update
@@ -460,20 +511,34 @@ func (s *FASnapshot) ScanInto(t prim.Thread, view []int64) []int64 {
 			if s.roundAnchored(t, cur) {
 				break // the round's own word-0 read is the closing witness
 			}
+			failedRounds++
 			// The round failed, but its reads are the next round's baseline —
 			// and cur[0] now holds the word-0 value the round read LAST, the
 			// scan's most recent shared step: the witness for adoption.
-			if dep != nil && cur[0] == dep.words[0] {
-				copy(cur, dep.words)
-				adopted = true
-				break
+			if dep != nil {
+				if cur[0] == dep.words[0] {
+					copy(cur, dep.words)
+					adopted = true
+					break
+				}
+				missed++ // deposit present but an announce moved past it
 			}
 			if spins >= s.spinBudget && !raised {
 				raised = true
 				s.pressure.FetchAddInt(t, 1)
 			}
 		}
+		// Telemetry, batched: a scan that validated its first round skips all
+		// of it — the uncontended fast path carries zero added atomic ops.
+		if failedRounds > 0 {
+			s.scanRetries.Add(failedRounds)
+			if missed > 0 {
+				s.adoptMisses.Add(missed)
+			}
+			s.met.ScanRounds.Observe(failedRounds)
+		}
 		if raised {
+			s.pressureRaises.Add(1)
 			// Lowering returns the previous count for free: the LAST raised
 			// scan clears the slot, so deposits never outlive the pressure
 			// episode that solicited them. A deposit that persisted across

@@ -40,6 +40,7 @@ package pool
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"stronglin/internal/prim"
 )
@@ -51,6 +52,15 @@ type Pool struct {
 	gens  []prim.Register  // gens[i]: generation stamp of lane i's current lease
 	reg   prim.FetchAddInt // acquisition tickets; also seeds probe cursors
 	slots chan struct{}    // admission: at most n concurrent claimants
+
+	// Telemetry (never read by the leasing protocol). waits counts Acquires
+	// that found every lane leased and parked; steals counts claims that won
+	// a lane other than their ticket-seeded start — both signs the lane
+	// population is too small for the goroutine population. Counted off the
+	// uncontended path only: an Acquire that admits immediately and wins its
+	// seeded lane touches neither.
+	waits  atomic.Int64
+	steals atomic.Int64
 }
 
 // New builds a pool of n lanes whose base objects are allocated from w under
@@ -113,7 +123,12 @@ func (l Lease) Release() {
 
 // Acquire claims a free lane, blocking while all lanes are leased.
 func (p *Pool) Acquire() Lease {
-	<-p.slots
+	select {
+	case <-p.slots:
+	default:
+		p.waits.Add(1)
+		<-p.slots
+	}
 	return p.claim()
 }
 
@@ -140,6 +155,9 @@ func (p *Pool) claim() Lease {
 		for i := 0; i < p.n; i++ {
 			lane := (start + i) % p.n
 			if p.lanes[lane].Swap(prim.RealThread(lane), 1) == 0 {
+				if i != 0 {
+					p.steals.Add(1) // seeded lane was taken; won a later probe
+				}
 				// Stamp the lease generation. Between winning the swap and
 				// releasing, the holder is the lane's only writer, so the
 				// ticket (unique per acquisition) is safe to publish with a
@@ -170,3 +188,11 @@ func (p *Pool) InUse() int { return p.n - len(p.slots) }
 func (p *Pool) Acquires(t prim.Thread) int64 {
 	return p.reg.FetchAddInt(t, 0)
 }
+
+// Waits returns how many Acquires found every lane leased and had to park —
+// the lease-starvation signal for sizing the lane population.
+func (p *Pool) Waits() int64 { return p.waits.Load() }
+
+// Steals returns how many claims found their ticket-seeded lane taken and won
+// a later probe instead — probe-collision pressure short of full starvation.
+func (p *Pool) Steals() int64 { return p.steals.Load() }

@@ -127,6 +127,7 @@ import (
 	"sync/atomic"
 
 	"stronglin/internal/core"
+	"stronglin/internal/obs"
 	"stronglin/internal/prim"
 )
 
@@ -145,6 +146,7 @@ type Option func(*config)
 type config struct {
 	bound  int64 // -1: unbounded (wide cores)
 	budget int   // failed validation rounds a read absorbs before raising pressure
+	met    obs.ShardMetrics
 }
 
 // readSpinRounds is the default read retry budget (WithReadRetryBudget).
@@ -172,6 +174,15 @@ func WithReadRetryBudget(rounds int) Option {
 	return func(c *config) { c.budget = rounds }
 }
 
+// WithObs attaches optional scrape-layer instrumentation: histograms observed
+// on CONTENDED read completions only (a read whose first round validates is
+// never observed), so the uncontended fast path is untouched. Nil fields
+// inside m are no-ops. The always-on HelpStats counters are kept regardless;
+// this option adds the distribution view on top.
+func WithObs(m obs.ShardMetrics) Option {
+	return func(c *config) { c.met = m }
+}
+
 // pressureUnit is one raised reader in the epoch register's pressure bits:
 // announce counts occupy the low 48 bits, starving-reader counts the bits
 // above (see the package comment's helping section).
@@ -192,20 +203,27 @@ type helpDeposit struct {
 
 // helpKit is the per-object helping machinery: the help slot writers
 // deposit into and the read retry budget. The pressure signal itself rides
-// the object's epoch register. deposits/adopts are telemetry only (never
-// read by the protocol).
+// the object's epoch register. The atomic counters are telemetry only (never
+// read by the protocol), and all of them are batched on the SLOW path — a
+// read whose first round validates touches none of them, so the instrumented
+// fast paths carry zero added atomic operations.
 type helpKit struct {
 	slot   prim.AnyRegister
 	budget int
+	met    obs.ShardMetrics
 
-	deposits atomic.Int64
-	adopts   atomic.Int64
+	deposits    atomic.Int64
+	adopts      atomic.Int64
+	adoptMisses atomic.Int64
+	retries     atomic.Int64
+	raises      atomic.Int64
 }
 
-func newHelpKit(w prim.World, name string, budget int) *helpKit {
+func newHelpKit(w prim.World, name string, cfg config) *helpKit {
 	return &helpKit{
 		slot:   w.AnyRegister(name+".slot", &helpDeposit{epoch: -1}),
-		budget: budget,
+		budget: cfg.budget,
+		met:    cfg.met,
 	}
 }
 
@@ -235,10 +253,28 @@ func (k *helpKit) announce(t prim.Thread, epoch prim.FetchAddInt, collect func(p
 }
 
 // HelpStats reports an object's helping telemetry: helper deposits made by
-// writes and reads that returned an adopted value.
-func (k *helpKit) HelpStats() (deposits, adopts int64) {
-	return k.deposits.Load(), k.adopts.Load()
+// writes, reads that returned an adopted value, adoption attempts whose
+// closing epoch witness failed, failed validation rounds, and pressure-raise
+// episodes. Safe to call from any goroutine; counts are slow-path events.
+func (k *helpKit) HelpStats() obs.HelpStats {
+	return obs.HelpStats{
+		Deposits:    k.deposits.Load(),
+		Adopts:      k.adopts.Load(),
+		AdoptMisses: k.adoptMisses.Load(),
+		Retries:     k.retries.Load(),
+		Raises:      k.raises.Load(),
+	}
 }
+
+// epochAnnounces extracts the announce count from an epoch value: the low 48
+// bits, the position within the register's 2^48 announce lifetime budget (the
+// rollover caveat in the package comment). The watermark the live-migration
+// plans trigger on.
+func epochAnnounces(e int64) int64 { return e & (pressureUnit - 1) }
+
+// epochPressure extracts the raised-reader count from an epoch value (the
+// bits above the announce count).
+func epochPressure(e int64) int64 { return e >> 48 }
 
 // WithBound declares the value domain [0, bound] of the object (max-register
 // values, grow-only-set elements, or the counter's final count). Each shard
@@ -286,7 +322,7 @@ func NewCounter(w prim.World, name string, lanes, shards int, opts ...Option) *C
 	c := &Counter{
 		shards: make([]*core.FACounter, shards),
 		epoch:  w.FetchAddInt(name+".epoch", 0),
-		help:   newHelpKit(w, name, cfg.budget),
+		help:   newHelpKit(w, name, cfg),
 	}
 	for s := range c.shards {
 		var coreOpts []core.CounterOption
@@ -342,8 +378,21 @@ func (c *Counter) Read(t prim.Thread) int64 {
 		func(d *helpDeposit) int64 { return d.value })
 }
 
-// HelpStats reports the counter's helping telemetry (deposits, adopts).
-func (c *Counter) HelpStats() (int64, int64) { return c.help.HelpStats() }
+// HelpStats reports the counter's helping telemetry.
+func (c *Counter) HelpStats() obs.HelpStats { return c.help.HelpStats() }
+
+// EpochAnnounces returns the counter's epoch announce count — the position
+// within the register's 2^48 announce lifetime budget (the rollover caveat in
+// the package comment), the watermark migration planning triggers on.
+func (c *Counter) EpochAnnounces(t prim.Thread) int64 {
+	return epochAnnounces(c.epoch.FetchAddInt(t, 0))
+}
+
+// PressureRaised returns how many readers currently hold the epoch's pressure
+// bits raised (an instantaneous gauge, usually 0).
+func (c *Counter) PressureRaised(t prim.Thread) int64 {
+	return epochPressure(c.epoch.FetchAddInt(t, 0))
+}
 
 // readSingleCollect is the naive combine kept for the negative model check:
 // linearizable (the sum passes through every intermediate total) but not
@@ -395,7 +444,7 @@ func NewMaxRegister(w prim.World, name string, lanes, shards int, opts ...Option
 	m := &MaxRegister{
 		shards: make([]*core.FAMaxRegister, shards),
 		epoch:  w.FetchAddInt(name+".epoch", 0),
-		help:   newHelpKit(w, name, cfg.budget),
+		help:   newHelpKit(w, name, cfg),
 	}
 	for s := range m.shards {
 		coreOpts := []core.MaxRegOption{core.WithLaneMap(compactLane(shards))}
@@ -443,8 +492,19 @@ func (m *MaxRegister) ReadMax(t prim.Thread) int64 {
 		func(d *helpDeposit) int64 { return d.value })
 }
 
-// HelpStats reports the register's helping telemetry (deposits, adopts).
-func (m *MaxRegister) HelpStats() (int64, int64) { return m.help.HelpStats() }
+// HelpStats reports the register's helping telemetry.
+func (m *MaxRegister) HelpStats() obs.HelpStats { return m.help.HelpStats() }
+
+// EpochAnnounces returns the register's epoch announce count (see
+// Counter.EpochAnnounces).
+func (m *MaxRegister) EpochAnnounces(t prim.Thread) int64 {
+	return epochAnnounces(m.epoch.FetchAddInt(t, 0))
+}
+
+// PressureRaised returns the register's currently-raised reader count.
+func (m *MaxRegister) PressureRaised(t prim.Thread) int64 {
+	return epochPressure(m.epoch.FetchAddInt(t, 0))
+}
 
 // readMaxSingleCollect is the broken combine kept for the negative model
 // check: one unvalidated collect is not even linearizable. See the package
@@ -478,7 +538,7 @@ func NewGSet(w prim.World, name string, lanes, shards int, opts ...Option) *GSet
 	g := &GSet{
 		shards: make([]*core.FAGSet, shards),
 		epoch:  w.FetchAddInt(name+".epoch", 0),
-		help:   newHelpKit(w, name, cfg.budget),
+		help:   newHelpKit(w, name, cfg),
 	}
 	for s := range g.shards {
 		coreOpts := []core.GSetOption{core.WithGSetLaneMap(compactLane(shards))}
@@ -540,8 +600,19 @@ func (g *GSet) Has(t prim.Thread, x int64) bool {
 		})
 }
 
-// HelpStats reports the set's helping telemetry (deposits, adopts).
-func (g *GSet) HelpStats() (int64, int64) { return g.help.HelpStats() }
+// HelpStats reports the set's helping telemetry.
+func (g *GSet) HelpStats() obs.HelpStats { return g.help.HelpStats() }
+
+// EpochAnnounces returns the set's epoch announce count (see
+// Counter.EpochAnnounces).
+func (g *GSet) EpochAnnounces(t prim.Thread) int64 {
+	return epochAnnounces(g.epoch.FetchAddInt(t, 0))
+}
+
+// PressureRaised returns the set's currently-raised reader count.
+func (g *GSet) PressureRaised(t prim.Thread) int64 {
+	return epochPressure(g.epoch.FetchAddInt(t, 0))
+}
 
 // hasSingleCollect is the naive combine kept for the negative model check:
 // linearizable (a miss at t_s implies a miss at t_1 by monotonicity) but not
@@ -601,6 +672,7 @@ func validatedRead[T any](t prim.Thread, epoch prim.FetchAddInt, k *helpKit,
 	collect func() (v T, final bool), adopt func(*helpDeposit) T) T {
 	e := epoch.FetchAddInt(t, 0)
 	raised, adopted := false, false
+	var failedRounds, missed int64
 	var out T
 	for spins := 0; ; spins++ {
 		v, final := collect()
@@ -622,10 +694,14 @@ func validatedRead[T any](t prim.Thread, epoch prim.FetchAddInt, k *helpKit,
 			out = v
 			break
 		}
-		if dep != nil && dep.epoch == e2 {
-			out = adopt(dep)
-			adopted = true
-			break
+		failedRounds++
+		if dep != nil {
+			if dep.epoch == e2 {
+				out = adopt(dep)
+				adopted = true
+				break
+			}
+			missed++ // deposit present but an announce moved past it
 		}
 		e = e2
 		if spins >= k.budget && !raised {
@@ -637,7 +713,18 @@ func validatedRead[T any](t prim.Thread, epoch prim.FetchAddInt, k *helpKit,
 			e = epoch.FetchAddInt(t, pressureUnit) + pressureUnit
 		}
 	}
+	// Telemetry, batched: a read whose first round validates (or whose first
+	// collect is final) skips all of it — the uncontended fast path carries
+	// zero added atomic ops.
+	if failedRounds > 0 {
+		k.retries.Add(failedRounds)
+		if missed > 0 {
+			k.adoptMisses.Add(missed)
+		}
+		k.met.ReadRounds.Observe(failedRounds)
+	}
 	if raised {
+		k.raises.Add(1)
 		// Lowering returns the previous epoch for free: the LAST raised
 		// reader clears the slot, so deposits never outlive the pressure
 		// episode that solicited them (a persistent deposit would reopen an

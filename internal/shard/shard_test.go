@@ -713,7 +713,7 @@ func TestShardedHelpedAdoptCraftedRace(t *testing.T) {
 			Spec: spec.MkOp(spec.MethodRead),
 			Run: func(th prim.Thread) string {
 				v := c.Read(th)
-				_, adopted = c.HelpStats()
+				adopted = c.HelpStats().Adopts
 				return spec.RespInt(v)
 			},
 		}

@@ -1,0 +1,45 @@
+#!/bin/sh
+# Records the perf-trajectory baseline (BENCH_PR6.json): the slbench cells
+# the CI perf gate compares against (slbench -baseline), plus a closed/open
+# loop attack pair on the same host. The pair is the coordinated-omission
+# exhibit: both runs use the same mix and duration, but the open-loop run
+# offers 2x the closed loop's measured throughput, so its percentiles carry
+# the queueing delay the closed loop structurally cannot see.
+#
+# Usage: scripts/record_baseline.sh [output.json]
+#
+# Rerecord on the branch's merge host whenever slbench rows are added or an
+# intentional perf change lands, and commit the result.
+set -e
+cd "$(dirname "$0")/.."
+out=${1:-BENCH_PR6.json}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go run ./cmd/slbench -dur 100ms -procs 1,4 -json >"$tmp/slbench.json"
+go run ./cmd/slserve -attack -dur 3s -clients 4 -mix default >"$tmp/closed.json"
+rate=$(python3 -c "import json; print(int(json.load(open('$tmp/closed.json'))['ops_per_sec'] * 2))")
+go run ./cmd/slserve -attack -dur 3s -clients 4 -mix default \
+	-arrivals poisson -rate "$rate" -attack-seed 1 >"$tmp/open.json"
+
+python3 - "$out" "$tmp" <<'EOF'
+import json, sys
+out, tmp = sys.argv[1], sys.argv[2]
+doc = {
+    "slbench": json.load(open(tmp + "/slbench.json")),
+    "attack": [json.load(open(tmp + "/closed.json")),
+               json.load(open(tmp + "/open.json"))],
+}
+# The server-stats blocks are a point-in-time diagnostic, not a trajectory;
+# keep the baseline file to the rows the gate and the README cite.
+for a in doc["attack"]:
+    a.pop("server_stats", None)
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+closed, open_ = doc["attack"]
+print(f"closed loop: {closed['ops_per_sec']:.0f} ops/s, p99 {closed['latency_ms']['p99']:.2f} ms")
+print(f"open loop @ {open_['rate_rps']:.0f} rps offered: p99 {open_['latency_ms']['p99']:.2f} ms"
+      f" ({open_.get('unsent', 0)} unsent)")
+EOF
+echo "wrote $out"

@@ -64,6 +64,7 @@ import (
 	"stronglin/internal/adversary"
 	"stronglin/internal/core"
 	"stronglin/internal/interleave"
+	"stronglin/internal/obs"
 	"stronglin/internal/pool"
 	"stronglin/internal/prim"
 	"stronglin/internal/shard"
@@ -133,6 +134,34 @@ func WithScanRetryBudget(rounds int) SnapshotOption {
 	return core.WithScanRetryBudget(rounds)
 }
 
+// HelpStats is the helping/retry telemetry block reported by
+// Snapshot.HelpStats and the sharded objects' HelpStats: helper deposits,
+// adopted reads/scans, failed adoption witnesses, failed validation rounds,
+// and pressure-raise episodes. All counts are slow-path events — an
+// uncontended operation touches none of them.
+type HelpStats = obs.HelpStats
+
+// SnapMetrics is optional scrape-layer snapshot instrumentation for
+// WithSnapshotObs; see internal/obs.
+type SnapMetrics = obs.SnapMetrics
+
+// ShardMetrics is optional scrape-layer sharded-object instrumentation for
+// WithShardObs; see internal/obs.
+type ShardMetrics = obs.ShardMetrics
+
+// WithSnapshotObs attaches optional retry-distribution histograms to a
+// snapshot, observed on contended scan completions only (the uncontended
+// fast path is untouched; nil fields are no-ops).
+func WithSnapshotObs(m SnapMetrics) SnapshotOption {
+	return core.WithSnapshotObs(m)
+}
+
+// WithShardObs attaches optional retry-distribution histograms to a sharded
+// object, observed on contended combining-read completions only.
+func WithShardObs(m ShardMetrics) ShardOption {
+	return shard.WithObs(m)
+}
+
 // MaxSnapshotBound returns the largest WithSnapshotBound value that packs a
 // snapshot (or an Algorithm 1 object over one) into a SINGLE machine word
 // for n processes, or 0 when no bound packs one word (n > 63). Sizing bounds
@@ -166,12 +195,15 @@ func NewSnapshot(w *World, n int, opts ...SnapshotOption) *Snapshot {
 // even 1-bit fields fit), rather than returning an object whose every
 // nonzero Update would panic. It can live in the same World as a
 // NewSnapshot object.
-func NewMultiwordSnapshot(w *World, n, words int) *Snapshot {
+// Extra options (a scan retry budget, WithSnapshotObs) apply after the
+// engine-selecting bound.
+func NewMultiwordSnapshot(w *World, n, words int, opts ...SnapshotOption) *Snapshot {
 	bound := MaxSnapshotBoundWords(n, words)
 	if bound == 0 {
 		panic(fmt.Sprintf("stronglin: NewMultiwordSnapshot: %d words cannot host %d lanes (need at least ⌈n/48⌉ words)", words, n))
 	}
-	return core.NewFASnapshot(w, "stronglin.msnapshot", n, WithSnapshotBound(bound))
+	return core.NewFASnapshot(w, "stronglin.msnapshot", n,
+		append([]SnapshotOption{WithSnapshotBound(bound)}, opts...)...)
 }
 
 // Counter is a wait-free strongly-linearizable counter (Theorems 3–4:

@@ -239,8 +239,8 @@ func TestPublicHelpingSurface(t *testing.T) {
 	if got := s.Scan(Thread(0))[1]; got != 7 {
 		t.Fatalf("scan[1] = %d, want 7", got)
 	}
-	if d, a := s.HelpStats(); d != 0 || a != 0 {
-		t.Fatalf("sequential snapshot HelpStats = (%d, %d), want (0, 0)", d, a)
+	if hs := s.HelpStats(); hs != (HelpStats{}) {
+		t.Fatalf("sequential snapshot HelpStats = %+v, want all zero", hs)
 	}
 
 	c := NewShardedCounter(w, procs, 2, WithReadRetryBudget(0))
@@ -258,9 +258,9 @@ func TestPublicHelpingSurface(t *testing.T) {
 	if !g.Has(Thread(0), 2) {
 		t.Fatal("sharded gset lost its element")
 	}
-	for _, obj := range []interface{ HelpStats() (int64, int64) }{c, m, g} {
-		if d, a := obj.HelpStats(); d != 0 || a != 0 {
-			t.Fatalf("sequential sharded HelpStats = (%d, %d), want (0, 0)", d, a)
+	for _, obj := range []interface{ HelpStats() HelpStats }{c, m, g} {
+		if hs := obj.HelpStats(); hs != (HelpStats{}) {
+			t.Fatalf("sequential sharded HelpStats = %+v, want all zero", hs)
 		}
 	}
 
