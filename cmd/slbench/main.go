@@ -79,14 +79,14 @@ func main() {
 		enc.Encode(cells)
 	} else {
 		fmt.Printf("throughput (ops/sec), %v per cell\n\n", *dur)
-		header := fmt.Sprintf("%-34s", "implementation")
+		header := fmt.Sprintf("%-38s", "implementation")
 		for _, p := range procs {
 			header += fmt.Sprintf(" %12s", "p="+strconv.Itoa(p))
 		}
 		fmt.Println(header)
 		i := 0
 		for range targets() {
-			row := fmt.Sprintf("%-34s", cells[i].Name)
+			row := fmt.Sprintf("%-38s", cells[i].Name)
 			for range procs {
 				row += fmt.Sprintf(" %12s", human(cells[i].OpsPerSec))
 				i++
@@ -135,13 +135,13 @@ func gate(cur []cell, baselinePath string, tol float64) error {
 	for _, c := range base {
 		baseBy[key{c.Name, c.Procs}] = c.OpsPerSec
 	}
-	var regressions []string
+	var regressions, newRows, removedRows []string
 	matched := make(map[key]bool)
 	for _, c := range cur {
 		k := key{c.Name, c.Procs}
 		b, ok := baseBy[k]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "slbench: gate: no baseline cell for %q p=%d (new row? skipping)\n", c.Name, c.Procs)
+			newRows = append(newRows, fmt.Sprintf("%q p=%d", c.Name, c.Procs))
 			continue
 		}
 		matched[k] = true
@@ -153,8 +153,19 @@ func gate(cur []cell, baselinePath string, tol float64) error {
 	}
 	for _, c := range base {
 		if k := (key{c.Name, c.Procs}); !matched[k] {
-			fmt.Fprintf(os.Stderr, "slbench: gate: baseline cell %q p=%d not measured this run (removed row? skipping)\n", c.Name, c.Procs)
+			removedRows = append(removedRows, fmt.Sprintf("%q p=%d", c.Name, c.Procs))
 		}
+	}
+	// Name every skipped cell so a drifting baseline is visible in the gate
+	// log even when nothing regresses: rows listed here need the trajectory
+	// file re-recorded before the gate covers them again.
+	if len(newRows) > 0 {
+		fmt.Fprintf(os.Stderr, "slbench: gate: %d cell(s) have no baseline, skipped (new rows?): %s\n",
+			len(newRows), strings.Join(newRows, ", "))
+	}
+	if len(removedRows) > 0 {
+		fmt.Fprintf(os.Stderr, "slbench: gate: %d baseline cell(s) not measured this run, skipped (removed rows?): %s\n",
+			len(removedRows), strings.Join(removedRows, ", "))
 	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("%d cell(s) regressed past the %.0f%% tolerance:\n  %s",
@@ -274,6 +285,44 @@ func targets() []target {
 			},
 		},
 		{
+			// PR 7 anchor-revalidated view cache under a read-mostly mix:
+			// one update per 1024 ops keeps the anchor moving (each one
+			// forces a miss + full collect + refresh) while the steady
+			// state is the two-load cache-hit scan. Compare against the
+			// uncached row below, which runs the identical workload on the
+			// bare multiword engine — the gap is what the cache buys.
+			name: "snapshot: mw cached rd-mostly (SL)",
+			build: func(n int) func(prim.Thread, int) {
+				bound := interleave.MaxMultiFieldBound(n, (n+1)/2)
+				s := core.NewFASnapshot(prim.NewRealWorld(), "s", n,
+					core.WithSnapshotBound(bound), core.WithViewCache(true))
+				views := perProcViews(n)
+				return func(t prim.Thread, i int) {
+					if i%1024 == 0 {
+						s.Update(t, int64(i%64))
+					} else {
+						s.ScanInto(t, views[t.(prim.RealThread)])
+					}
+				}
+			},
+		},
+		{
+			name: "snapshot: mw rd-mostly (SL)",
+			build: func(n int) func(prim.Thread, int) {
+				bound := interleave.MaxMultiFieldBound(n, (n+1)/2)
+				s := core.NewFASnapshot(prim.NewRealWorld(), "s", n,
+					core.WithSnapshotBound(bound))
+				views := perProcViews(n)
+				return func(t prim.Thread, i int) {
+					if i%1024 == 0 {
+						s.Update(t, int64(i%64))
+					} else {
+						s.ScanInto(t, views[t.(prim.RealThread)])
+					}
+				}
+			},
+		},
+		{
 			name: "snapshot: Afek registers (lin)",
 			build: func(n int) func(prim.Thread, int) {
 				s := baseline.NewAfekSnapshot(prim.NewRealWorld(), "s", n)
@@ -334,6 +383,24 @@ func targets() []target {
 						c.Read(t)
 					} else {
 						c.Inc(t)
+					}
+				}
+			},
+		},
+		{
+			// The epoch-keyed combine cache (PR 7) on the sharded counter's
+			// read path, same read-mostly mix as the snapshot cached rows: a
+			// hit re-validates with one epoch read instead of a double
+			// collect over every shard.
+			name: "counter: sharded cached rd-mostly (SL)",
+			build: func(n int) func(prim.Thread, int) {
+				c := shard.NewCounter(prim.NewRealWorld(), "c", n, min(4, n),
+					shard.WithBound(1<<40), shard.WithReadCache(true))
+				return func(t prim.Thread, i int) {
+					if i%1024 == 0 {
+						c.Inc(t)
+					} else {
+						c.Read(t)
 					}
 				}
 			},
@@ -497,6 +564,17 @@ func packedSnapBound(n int) int64 {
 		b = 1
 	}
 	return b
+}
+
+// perProcViews allocates one scan scratch view per goroutine so the cached
+// rows measure the engine, not per-scan allocation; measure hands goroutine p
+// the thread RealThread(p), which doubles as the index here.
+func perProcViews(n int) [][]int64 {
+	views := make([][]int64, n)
+	for p := range views {
+		views[p] = make([]int64, n)
+	}
+	return views
 }
 
 func measure(tg target, procs int, d time.Duration) float64 {

@@ -6,10 +6,12 @@
 //
 //	slfuzz [-obj maxreg] [-procs 4] [-ops 40] [-rounds 20] [-seed 1]
 //
-// Objects: maxreg, snapshot, multiword, multiword-help, sharded-help,
-// counter, rtas, mstas, fai, set, hwqueue, naivestack, aacmaxreg,
-// afeksnapshot. The -help workloads force the PR 5 adopt path with a zero
-// scan/read retry budget under an update-heavy mix.
+// Objects: maxreg, snapshot, multiword, multiword-cached, multiword-help,
+// sharded-cached, sharded-help, counter, rtas, mstas, fai, set, hwqueue,
+// naivestack, aacmaxreg, afeksnapshot. The -help workloads force the PR 5
+// adopt path with a zero scan/read retry budget under an update-heavy mix;
+// the -cached workloads run the PR 7 anchor-revalidated caches under a
+// read-heavy mix so hits, refreshes, and cache races all occur.
 package main
 
 import (
@@ -121,6 +123,44 @@ func workloads() map[string]struct {
 					Run: func(t prim.Thread) string { return spec.RespVec(s.Scan(t)) }}
 			}
 		}, spec.Snapshot{}),
+		"multiword-cached": mk(func(procs int, seed int64) func(p, i int) history.StressOp {
+			// The PR 7 anchor-revalidated view cache under a read-heavy mix
+			// (3:1 scans): most scans are served from the cache off a word-0
+			// anchor probe, while the interleaved updates keep moving the
+			// anchor so hit, miss-refresh, and concurrent cache-write/scan
+			// races all occur. The WGL check is the oracle — a stale cached
+			// view served past a completed update is a resurrected past state
+			// and fails it exactly like the negative twin
+			// (scanCachedStaleInto) does in the model check.
+			s := core.NewFASnapshot(prim.NewRealWorld(), "s", procs,
+				core.WithSnapshotBound(1<<32-1), core.WithViewCache(true))
+			rngs := perProcRNG(procs, seed)
+			return func(p, i int) history.StressOp {
+				if rngs[p].Intn(4) == 0 {
+					v := int64(rngs[p].Intn(1 << 16))
+					return history.StressOp{Op: spec.MkOp(spec.MethodUpdate, int64(p), v),
+						Run: func(t prim.Thread) string { s.Update(t, v); return spec.RespOK }}
+				}
+				return history.StressOp{Op: spec.MkOp(spec.MethodScan),
+					Run: func(t prim.Thread) string { return spec.RespVec(s.Scan(t)) }}
+			}
+		}, spec.Snapshot{}),
+		"sharded-cached": mk(func(procs int, seed int64) func(p, i int) history.StressOp {
+			// The epoch-keyed combine cache on the sharded counter's read
+			// path under the same read-heavy mix; a cached sum served after
+			// a completed Inc would be non-monotonic and fail the counter
+			// spec.
+			c := shard.NewCounter(prim.NewRealWorld(), "c", procs, 2, shard.WithReadCache(true))
+			rngs := perProcRNG(procs, seed)
+			return func(p, i int) history.StressOp {
+				if rngs[p].Intn(4) == 0 {
+					return history.StressOp{Op: spec.MkOp(spec.MethodInc),
+						Run: func(t prim.Thread) string { c.Inc(t); return spec.RespOK }}
+				}
+				return history.StressOp{Op: spec.MkOp(spec.MethodRead),
+					Run: func(t prim.Thread) string { return spec.RespInt(c.Read(t)) }}
+			}
+		}, spec.MonotonicCounter{}),
 		"multiword-help": mk(func(procs int, seed int64) func(p, i int) history.StressOp {
 			// The helping path under duress: a ZERO retry budget makes every
 			// scan that fails one validation round raise pressure, so any

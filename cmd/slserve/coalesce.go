@@ -1,0 +1,129 @@
+package main
+
+import (
+	"sync"
+
+	"stronglin/internal/obs"
+)
+
+// Server-side op coalescing (-coalesce): when several HTTP requests of the
+// same kind are in flight at once, one of them — the leader — performs a
+// single engine operation on behalf of the whole group.
+//
+//   - Additive writes fold: N concurrent /counter/inc requests become ONE
+//     Counter.Add of their sum (one XADD on the owning shard instead of N),
+//     and concurrent /gset adds become one pass over the distinct elements.
+//   - Reads share: concurrent GETs of the same object ride one validated
+//     combining read / snapshot scan and all return its view.
+//
+// Both directions preserve per-request strong linearizability. The leader's
+// engine operation starts only after every member has joined the batch and
+// completes before any member responds, so it lies inside every member's
+// request interval: a folded write linearizes all N requests at the single
+// XADD's point (each increment's effect is exactly its contribution to the
+// sum), and a shared read hands every member a view produced by one real
+// validated operation inside its interval — the server never invents or
+// replays a value. What coalescing changes is only the COST: the engine sees
+// one operation (and the pool grants one lease) where it saw N.
+//
+// The mechanics are leader/follower with no dedicated goroutines, in the
+// style of a combining funnel: the first arrival at an idle coalescer runs
+// solo; arrivals while an operation is in flight fold themselves into the
+// single `next` batch, whose creator parks as the next leader and is released
+// when the current operation finishes. Arrival order is a mutex, so folding
+// is plain field updates; batch results are published by the happens-before
+// edges of the two channel closes.
+
+// batch is one coalesced unit of work: the folded write payload going in,
+// the leader-published result coming out.
+type batch struct {
+	start chan struct{} // closed when this batch's leader may run (nil for a solo leader)
+	done  chan struct{} // closed when the leader has applied the batch
+	n     int64         // requests folded into this batch
+
+	sum   int64   // folded additive payload (counter increments)
+	elems []int64 // folded set elements (gset adds; deduplicated at apply)
+
+	val  int64   // leader-published scalar result (counter / max register reads)
+	view []int64 // leader-published view result (snapshot scans, gset element lists)
+}
+
+// coalescer serializes one kind of engine operation and folds concurrent
+// requests for it into batches. The zero value is usable; instruments are
+// optional (nil-safe obs types).
+type coalescer struct {
+	mu   sync.Mutex
+	busy bool   // an operation is in flight; arrivals join `next`
+	next *batch // the batch the next leader will run (nil until someone waits)
+
+	size     *obs.Histogram // batch sizes, one observation per applied batch
+	absorbed *obs.Counter   // follower requests absorbed into a leader's batch (size-1 each)
+}
+
+// do folds one request into a batch and returns that batch after its engine
+// operation has been applied. fold runs under the coalescer mutex (field
+// updates only — no engine steps, no blocking); apply runs the single engine
+// operation and publishes results onto the batch. Exactly one goroutine per
+// batch runs apply.
+func (co *coalescer) do(fold func(*batch), apply func(*batch)) *batch {
+	co.mu.Lock()
+	if !co.busy {
+		// Idle: run solo, uncoalesced. This is the steady-state fast path —
+		// one mutex acquire on each side of the engine op.
+		co.busy = true
+		b := &batch{done: make(chan struct{}), n: 1}
+		fold(b)
+		co.mu.Unlock()
+		co.run(b, apply)
+		return b
+	}
+	b := co.next
+	leader := b == nil
+	if leader {
+		b = &batch{start: make(chan struct{}), done: make(chan struct{}), n: 1}
+		co.next = b
+	} else {
+		b.n++
+	}
+	fold(b)
+	co.mu.Unlock()
+	if leader {
+		<-b.start // released by the in-flight operation's finish
+		co.run(b, apply)
+	} else {
+		<-b.done
+	}
+	return b
+}
+
+// run applies a batch and then hands the coalescer to the waiting next
+// leader (or marks it idle). The hand-off is deferred so a panicking engine
+// op (surfaced to the client by net/http) cannot wedge every later request.
+func (co *coalescer) run(b *batch, apply func(*batch)) {
+	defer func() {
+		close(b.done)
+		co.finish()
+	}()
+	co.size.Observe(b.n)
+	if b.n > 1 {
+		co.absorbed.Add(b.n - 1)
+	}
+	apply(b)
+}
+
+// finish releases the parked next leader, if any; otherwise the coalescer
+// goes idle. Popping `next` under the mutex is what closes the batch to new
+// members: every fold into it happened before the pop, so the released
+// leader reads the folded payload race-free through the start-channel close.
+func (co *coalescer) finish() {
+	co.mu.Lock()
+	nxt := co.next
+	co.next = nil
+	if nxt == nil {
+		co.busy = false
+	}
+	co.mu.Unlock()
+	if nxt != nil {
+		close(nxt.start)
+	}
+}

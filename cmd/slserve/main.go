@@ -51,10 +51,24 @@
 //
 // # Observability
 //
+// The served engines run with their validated-view caches on (the library
+// default is off): each combining read and multi-word scan publishes its
+// validated result keyed by the epoch/anchor it validated at, and
+// steady-state reads re-validate with ONE fresh register read instead of a
+// full collect. With -coalesce (default on) the server additionally folds
+// concurrent same-kind requests into one engine operation: N simultaneous
+// counter increments become a single XADD of their sum, concurrent gset adds
+// one pass over the distinct elements, and concurrent GETs of an object share
+// one validated view — see coalesce.go for the leader/follower mechanics and
+// why both directions preserve per-request strong linearizability.
+//
 // GET /metrics serves the Prometheus text format from the internal/obs
-// registry: request counts/errors/latency, per-object helping telemetry
-// (deposits, adopts, adopt misses, retries, pressure raises), retry-round
-// histograms, lane-lease waits/steals, and the LIFETIME WATERMARKS — epoch
+// registry: request counts/errors/latency (aggregate AND a per-endpoint
+// duration histogram family), per-object helping telemetry (deposits,
+// adopts, adopt misses, retries, pressure raises), cache hit/miss/refresh
+// counters, coalesced batch-size histograms with absorbed-request counters,
+// retry-round histograms, lane-lease waits/steals, and the LIFETIME
+// WATERMARKS — epoch
 // announce counts against the 2⁴⁸ budget, per-word sequence fields against
 // the mod-2¹⁶ wrap, clock references against the Algorithm 1 capacity. The
 // watermarks are derived at scrape time from the registers themselves, so
@@ -122,6 +136,7 @@ var (
 	shards     = flag.Int("shards", 4, "fetch&add cores per sharded object (<= lanes)")
 	bound      = flag.Int64("bound", 0, "value domain [0,bound] for maxreg values, gset elements and snapshot components; packs the shard registers and the snapshot into machine words when the encodings fit (0 = unbounded wide registers)")
 	scanBudget = flag.Int("scan-budget", -1, "scan/read retry budget of the helped objects before they solicit help (-1 = library default; 0 makes adoption the common case)")
+	coalesce   = flag.Bool("coalesce", true, "fold concurrent same-kind requests into one engine operation: additive writes batch into a single XADD, concurrent reads share one validated view")
 	attack     = flag.Bool("attack", false, "run the load generator instead of serving")
 	clients    = flag.Int("clients", 32, "concurrent load-generator workers (attack mode)")
 	dur        = flag.Duration("dur", 2*time.Second, "measurement duration (attack mode)")
@@ -196,6 +211,22 @@ type server struct {
 	reqDur       *obs.Histogram
 	clockRejects *obs.Counter
 
+	// endpointDur is the per-endpoint request-duration histogram family,
+	// keyed by URL path; built once in registerMetrics, read-only after.
+	endpointDur map[string]*obs.Histogram
+
+	// coalesce gates the leader/follower batching in coalesce.go: additive
+	// writes fold into one XADD, concurrent reads share one validated view.
+	// One coalescer per (object, operation kind); each one serializes only
+	// its own kind, so different endpoints never queue behind each other.
+	coalesce bool
+	co       struct {
+		counterInc, counterRead coalescer
+		maxregRead              coalescer
+		gsetAdd, gsetElems      coalescer
+		snapScan, msnapScan     coalescer
+	}
+
 	ops struct {
 		counterInc, counterRead     atomic.Int64
 		maxregWrite, maxregRead     atomic.Int64
@@ -239,16 +270,19 @@ func newServer(lanes, shards int, bound int64) *server {
 // use small budgets to drive the 503-past-true-budget path without 2³¹
 // requests.
 func newServerClock(lanes, shards int, bound, clockBudget int64) *server {
-	return newServerCfg(lanes, shards, bound, clockBudget, *scanBudget)
+	return newServerCfg(lanes, shards, bound, clockBudget, *scanBudget, true)
 }
 
 // newServerCfg is the full constructor: scanBudget >= 0 overrides the helped
 // objects' scan/read retry budgets (0 = solicit help after the first failed
 // round, the forced-adopt configuration), scanBudget < 0 keeps the library
-// defaults. Every object is built with its retry-round histogram attached,
-// and the registry closes over the engines' own telemetry for everything
-// else, so the instrumentation adds no hot-path steps of its own.
-func newServerCfg(lanes, shards int, bound, clockBudget int64, scanBudget int) *server {
+// defaults; cached enables the validated-view caches (always true in
+// production — tests that must see every scan run a full collect, like the
+// forced-adopt storm, pass false). Every object is built with its retry-round
+// histogram attached, and the registry closes over the engines' own telemetry
+// for everything else, so the instrumentation adds no hot-path steps of its
+// own.
+func newServerCfg(lanes, shards int, bound, clockBudget int64, scanBudget int, cached bool) *server {
 	w := stronglin.NewWorld()
 	reg := obs.NewRegistry()
 	maxValue := int64(defaultMaxValue)
@@ -271,22 +305,31 @@ func newServerCfg(lanes, shards int, bound, clockBudget int64, scanBudget int) *
 		snapOpts = append(snapOpts, stronglin.WithScanRetryBudget(scanBudget))
 		msnapOpts = append(msnapOpts, stronglin.WithScanRetryBudget(scanBudget))
 	}
-	// Retry-round histograms, one per helped object: contended completions
-	// only, so attaching them leaves the fast paths untouched.
+	// Retry-round histograms plus cache-hit counters, one set per helped
+	// object: contended completions and anchor-match hits only, so attaching
+	// them leaves the uncached fast paths untouched.
 	shardObs := func(name string) stronglin.ShardOption {
 		return stronglin.WithShardObs(stronglin.ShardMetrics{
 			ReadRounds: reg.Histogram("slserve_"+name+"_read_rounds", "failed validation rounds per contended "+name+" combining read"),
+			CacheHits:  reg.Counter("slserve_"+name+"_cache_hits_total", name+" combining reads served from the epoch-validated combine cache"),
 		})
 	}
-	counterOpts := []stronglin.ShardOption{stronglin.WithBound(counterBound), shardObs("counter")}
+	// The server is a deployment, so the validated-view caches are on: each
+	// combining read / multi-word scan publishes its validated result keyed
+	// by the epoch/anchor it validated at, and steady-state reads re-validate
+	// with one fresh register read instead of a full collect. (The library
+	// default is off; the cached configurations carry their own model checks.)
+	valueOpts = append(valueOpts, stronglin.WithReadCache(cached))
+	counterOpts := []stronglin.ShardOption{stronglin.WithBound(counterBound), stronglin.WithReadCache(cached), shardObs("counter")}
 	if scanBudget >= 0 {
 		counterOpts = append(counterOpts, stronglin.WithReadRetryBudget(scanBudget))
 	}
 	snapOpts = append(snapOpts, stronglin.WithSnapshotObs(stronglin.SnapMetrics{
 		ScanRounds: reg.Histogram("slserve_snapshot_scan_rounds", "failed validation rounds per contended snapshot scan"),
 	}))
-	msnapOpts = append(msnapOpts, stronglin.WithSnapshotObs(stronglin.SnapMetrics{
+	msnapOpts = append(msnapOpts, stronglin.WithViewCache(cached), stronglin.WithSnapshotObs(stronglin.SnapMetrics{
 		ScanRounds: reg.Histogram("slserve_msnapshot_scan_rounds", "failed validation rounds per contended multi-word snapshot scan"),
+		CacheHits:  reg.Counter("slserve_msnapshot_cache_hits_total", "multi-word snapshot scans served from the anchor-revalidated view cache"),
 	}))
 	var clockOpts []stronglin.SnapshotOption
 	if clockBudget > 0 {
@@ -308,6 +351,7 @@ func newServerCfg(lanes, shards int, bound, clockBudget int64, scanBudget int) *
 		msnap:    stronglin.NewMultiwordSnapshot(w, lanes, snapWords(lanes), msnapOpts...),
 		clock:    stronglin.NewLogicalClock(w, lanes, clockOpts...),
 		reg:      reg,
+		coalesce: *coalesce,
 	}
 	s.registerMetrics()
 	return s
@@ -340,6 +384,53 @@ func (s *server) registerMetrics() {
 	help("gset", s.gset.HelpStats)
 	help("snapshot", s.snap.HelpStats)
 	help("msnapshot", s.msnap.HelpStats)
+
+	// View-/combine-cache telemetry per cached object. Hits are real counters
+	// wired into the engines at construction (the only instrument on the hit
+	// path); misses and refreshes bracket full collects, so the engines count
+	// them anyway and the registry reads them at scrape time.
+	cache := func(name string, fn func() stronglin.CacheStats) {
+		s.reg.CounterFunc("slserve_"+name+"_cache_misses_total", name+" reads/scans whose cache probe found no valid entry and fell back to a full collect", func() int64 { return fn().Misses })
+		s.reg.CounterFunc("slserve_"+name+"_cache_refreshes_total", name+" validated collects that republished the cache entry", func() int64 { return fn().Refreshes })
+	}
+	cache("counter", s.counter.CacheStats)
+	cache("maxreg", s.maxreg.CacheStats)
+	cache("gset", s.gset.CacheStats)
+	cache("msnapshot", s.msnap.CacheStats)
+
+	// Per-endpoint request-duration histogram family: the same observation
+	// the aggregate slserve_request_duration_ns gets, split by URL path so a
+	// slow endpoint (a contended scan, a clock walk) is visible on its own.
+	s.endpointDur = make(map[string]*obs.Histogram)
+	for _, e := range []struct{ path, name string }{
+		{"/counter/inc", "counter_inc"},
+		{"/counter", "counter"},
+		{"/maxreg", "maxreg"},
+		{"/gset", "gset"},
+		{"/snapshot", "snapshot"},
+		{"/msnapshot", "msnapshot"},
+		{"/clock/tick", "clock_tick"},
+		{"/clock", "clock"},
+		{"/stats", "stats"},
+		{"/metrics", "metrics"},
+	} {
+		s.endpointDur[e.path] = s.reg.Histogram("slserve_endpoint_"+e.name+"_duration_ns", e.path+" request handling latency in nanoseconds")
+	}
+
+	// Coalescing telemetry: batch sizes (one observation per applied batch)
+	// and the requests absorbed into another request's batch — the engine
+	// operations that never happened.
+	mkco := func(co *coalescer, name, what string) {
+		co.size = s.reg.Histogram("slserve_coalesce_"+name+"_batch_size", what+" requests folded per coalesced batch")
+		co.absorbed = s.reg.Counter("slserve_coalesce_"+name+"_absorbed_total", what+" requests absorbed into another request's batch (engine operations saved)")
+	}
+	mkco(&s.co.counterInc, "counter_inc", "counter increment")
+	mkco(&s.co.counterRead, "counter_read", "counter read")
+	mkco(&s.co.maxregRead, "maxreg_read", "max-register read")
+	mkco(&s.co.gsetAdd, "gset_add", "gset add")
+	mkco(&s.co.gsetElems, "gset_elems", "gset element-list")
+	mkco(&s.co.snapScan, "snapshot_scan", "snapshot scan")
+	mkco(&s.co.msnapScan, "msnapshot_scan", "multi-word snapshot scan")
 
 	// Lifetime watermarks: where each bounded budget currently stands. These
 	// are the sensors the live-migration plans trigger on (ROADMAP).
@@ -423,7 +514,10 @@ func (s *server) instrumented(next http.Handler) http.Handler {
 		if sw.code >= 400 {
 			s.reqErrors.Inc()
 		}
-		s.reqDur.Observe(time.Since(t0).Nanoseconds())
+		ns := time.Since(t0).Nanoseconds()
+		s.reqDur.Observe(ns)
+		// Per-endpoint split: unknown paths (404s) only land in the aggregate.
+		s.endpointDur[r.URL.Path].Observe(ns)
 	})
 }
 
@@ -440,7 +534,17 @@ func (s *server) counterInc(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	s.pool.With(func(t stronglin.Thread) { s.counter.Inc(t) })
+	if s.coalesce {
+		// N concurrent increments fold into ONE Add of their sum — a single
+		// XADD on the owning shard carries every request's contribution.
+		s.co.counterInc.do(
+			func(b *batch) { b.sum++ },
+			func(b *batch) {
+				s.pool.With(func(t stronglin.Thread) { s.counter.Add(t, b.sum) })
+			})
+	} else {
+		s.pool.With(func(t stronglin.Thread) { s.counter.Inc(t) })
+	}
 	s.ops.counterInc.Add(1)
 	writeJSON(w, map[string]any{"ok": true})
 }
@@ -451,7 +555,18 @@ func (s *server) counterGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var v int64
-	s.pool.With(func(t stronglin.Thread) { v = s.counter.Read(t) })
+	if s.coalesce {
+		// Concurrent reads share one validated combining read: the leader's
+		// read lies inside every member's request interval.
+		b := s.co.counterRead.do(
+			func(*batch) {},
+			func(b *batch) {
+				s.pool.With(func(t stronglin.Thread) { b.val = s.counter.Read(t) })
+			})
+		v = b.val
+	} else {
+		s.pool.With(func(t stronglin.Thread) { v = s.counter.Read(t) })
+	}
 	s.ops.counterRead.Add(1)
 	writeJSON(w, map[string]any{"value": v})
 }
@@ -469,7 +584,16 @@ func (s *server) maxregHandler(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]any{"ok": true})
 	case http.MethodGet:
 		var v int64
-		s.pool.With(func(t stronglin.Thread) { v = s.maxreg.ReadMax(t) })
+		if s.coalesce {
+			b := s.co.maxregRead.do(
+				func(*batch) {},
+				func(b *batch) {
+					s.pool.With(func(t stronglin.Thread) { b.val = s.maxreg.ReadMax(t) })
+				})
+			v = b.val
+		} else {
+			s.pool.With(func(t stronglin.Thread) { v = s.maxreg.ReadMax(t) })
+		}
 		s.ops.maxregRead.Add(1)
 		writeJSON(w, map[string]any{"value": v})
 	default:
@@ -485,13 +609,41 @@ func (s *server) gsetHandler(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		s.pool.With(func(t stronglin.Thread) { s.gset.Add(t, x) })
+		if s.coalesce {
+			// Concurrent adds fold into one batch; the leader inserts the
+			// DISTINCT elements under a single lease (duplicate requests for
+			// the same element collapse to one XADD on its shard).
+			s.co.gsetAdd.do(
+				func(b *batch) { b.elems = append(b.elems, x) },
+				func(b *batch) {
+					s.pool.With(func(t stronglin.Thread) {
+						seen := make(map[int64]bool, len(b.elems))
+						for _, e := range b.elems {
+							if !seen[e] {
+								seen[e] = true
+								s.gset.Add(t, e)
+							}
+						}
+					})
+				})
+		} else {
+			s.pool.With(func(t stronglin.Thread) { s.gset.Add(t, x) })
+		}
 		s.ops.gsetAdd.Add(1)
 		writeJSON(w, map[string]any{"ok": true})
 	case http.MethodGet:
 		if r.URL.Query().Get("x") == "" {
 			var elems []int64
-			s.pool.With(func(t stronglin.Thread) { elems = s.gset.Elems(t) })
+			if s.coalesce {
+				b := s.co.gsetElems.do(
+					func(*batch) {},
+					func(b *batch) {
+						s.pool.With(func(t stronglin.Thread) { b.view = s.gset.Elems(t) })
+					})
+				elems = b.view
+			} else {
+				s.pool.With(func(t stronglin.Thread) { elems = s.gset.Elems(t) })
+			}
 			s.ops.gsetElems.Add(1)
 			writeJSON(w, map[string]any{"elems": elems})
 			return
@@ -528,7 +680,16 @@ func (s *server) snapshotHandler(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]any{"ok": true})
 	case http.MethodGet:
 		var view []int64
-		s.pool.With(func(t stronglin.Thread) { view = s.snap.Scan(t) })
+		if s.coalesce {
+			b := s.co.snapScan.do(
+				func(*batch) {},
+				func(b *batch) {
+					s.pool.With(func(t stronglin.Thread) { b.view = s.snap.Scan(t) })
+				})
+			view = b.view
+		} else {
+			s.pool.With(func(t stronglin.Thread) { view = s.snap.Scan(t) })
+		}
 		s.ops.snapScan.Add(1)
 		writeJSON(w, map[string]any{"view": view})
 	default:
@@ -557,7 +718,19 @@ func (s *server) msnapshotHandler(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]any{"ok": true})
 	case http.MethodGet:
 		var view []int64
-		s.pool.With(func(t stronglin.Thread) { view = s.msnap.Scan(t) })
+		if s.coalesce {
+			// One anchor-revalidated scan serves the whole concurrent group;
+			// under a quiet anchor that scan is itself a cache hit, so a GET
+			// burst costs two register reads total.
+			b := s.co.msnapScan.do(
+				func(*batch) {},
+				func(b *batch) {
+					s.pool.With(func(t stronglin.Thread) { b.view = s.msnap.Scan(t) })
+				})
+			view = b.view
+		} else {
+			s.pool.With(func(t stronglin.Thread) { view = s.msnap.Scan(t) })
+		}
 		s.ops.msnapScan.Add(1)
 		writeJSON(w, map[string]any{"view": view})
 	default:
@@ -633,21 +806,31 @@ type statsSnapshot struct {
 	GSetHelp    helpStats `json:"gset_help"`
 	SnapHelp    helpStats `json:"snapshot_help"`
 	MsnapHelp   helpStats `json:"msnapshot_help"`
-	LanesInUse  int       `json:"lanes_in_use"`
-	Acquires    int64     `json:"lease_acquires"`
-	CounterInc  int64     `json:"counter_inc"`
-	CounterRead int64     `json:"counter_read"`
-	MaxregWrite int64     `json:"maxreg_write"`
-	MaxregRead  int64     `json:"maxreg_read"`
-	GSetAdd     int64     `json:"gset_add"`
-	GSetHas     int64     `json:"gset_has"`
-	GSetElems   int64     `json:"gset_elems"`
-	SnapUpdate  int64     `json:"snapshot_update"`
-	SnapScan    int64     `json:"snapshot_scan"`
-	MsnapUpdate int64     `json:"msnapshot_update"`
-	MsnapScan   int64     `json:"msnapshot_scan"`
-	ClockTick   int64     `json:"clock_tick"`
-	ClockRead   int64     `json:"clock_read"`
+	// Cache telemetry: per-object anchor-/epoch-validated view-cache
+	// hit/miss/refresh counts (zero when the engine carries no cache).
+	CounterCache cacheStats `json:"counter_cache"`
+	MaxregCache  cacheStats `json:"maxreg_cache"`
+	GSetCache    cacheStats `json:"gset_cache"`
+	MsnapCache   cacheStats `json:"msnapshot_cache"`
+	// Coalescing: whether request batching is on, and how many requests rode
+	// another request's batch instead of running their own engine operation.
+	Coalesce         bool  `json:"coalesce"`
+	CoalesceAbsorbed int64 `json:"coalesce_absorbed"`
+	LanesInUse       int   `json:"lanes_in_use"`
+	Acquires         int64 `json:"lease_acquires"`
+	CounterInc       int64 `json:"counter_inc"`
+	CounterRead      int64 `json:"counter_read"`
+	MaxregWrite      int64 `json:"maxreg_write"`
+	MaxregRead       int64 `json:"maxreg_read"`
+	GSetAdd          int64 `json:"gset_add"`
+	GSetHas          int64 `json:"gset_has"`
+	GSetElems        int64 `json:"gset_elems"`
+	SnapUpdate       int64 `json:"snapshot_update"`
+	SnapScan         int64 `json:"snapshot_scan"`
+	MsnapUpdate      int64 `json:"msnapshot_update"`
+	MsnapScan        int64 `json:"msnapshot_scan"`
+	ClockTick        int64 `json:"clock_tick"`
+	ClockRead        int64 `json:"clock_read"`
 }
 
 // helpStats is one object's helping telemetry in /stats — the JSON shape of
@@ -670,47 +853,78 @@ func mkHelpStats(hs stronglin.HelpStats) helpStats {
 	}
 }
 
+// cacheStats is one object's view-/combine-cache telemetry in /stats — the
+// JSON shape of stronglin.CacheStats.
+type cacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Refreshes int64 `json:"refreshes"`
+}
+
+func mkCacheStats(cs stronglin.CacheStats) cacheStats {
+	return cacheStats{Hits: cs.Hits, Misses: cs.Misses, Refreshes: cs.Refreshes}
+}
+
+// coalesceAbsorbed totals the follower requests every coalescer absorbed —
+// the engine operations batching saved.
+func (s *server) coalesceAbsorbed() int64 {
+	var n int64
+	for _, co := range []*coalescer{
+		&s.co.counterInc, &s.co.counterRead, &s.co.maxregRead,
+		&s.co.gsetAdd, &s.co.gsetElems, &s.co.snapScan, &s.co.msnapScan,
+	} {
+		n += co.absorbed.Load()
+	}
+	return n
+}
+
 func (s *server) snapshot() statsSnapshot {
 	// Reading the ticket register needs no lease (and must not take one:
 	// /stats should answer even when every lane is out to slow writers).
 	acquires := s.pool.Acquires(stronglin.Thread(0))
 	return statsSnapshot{
-		Lanes:         s.lanes,
-		Shards:        s.shards,
-		MaxValue:      s.maxValue,
-		CounterPacked: s.counter.Packed(),
-		MaxregPacked:  s.maxreg.Packed(),
-		GSetPacked:    s.gset.Packed(),
-		SnapPacked:    s.snap.Packed(),
-		SnapEngine:    s.snap.Engine(),
-		SnapWords:     s.snap.Words(),
-		MsnapEngine:   s.msnap.Engine(),
-		MsnapWords:    s.msnap.Words(),
-		ClockPacked:   s.clock.Engine() != "wide",
-		ClockEngine:   s.clock.Engine(),
-		ClockWords:    s.clock.Words(),
-		ClockCapacity: s.clock.Capacity(),
-		ClockUsed:     s.clock.Used(),
-		CounterHelp:   mkHelpStats(s.counter.HelpStats()),
-		MaxregHelp:    mkHelpStats(s.maxreg.HelpStats()),
-		GSetHelp:      mkHelpStats(s.gset.HelpStats()),
-		SnapHelp:      mkHelpStats(s.snap.HelpStats()),
-		MsnapHelp:     mkHelpStats(s.msnap.HelpStats()),
-		LanesInUse:    s.pool.InUse(),
-		Acquires:      acquires,
-		CounterInc:    s.ops.counterInc.Load(),
-		CounterRead:   s.ops.counterRead.Load(),
-		MaxregWrite:   s.ops.maxregWrite.Load(),
-		MaxregRead:    s.ops.maxregRead.Load(),
-		GSetAdd:       s.ops.gsetAdd.Load(),
-		GSetHas:       s.ops.gsetHas.Load(),
-		GSetElems:     s.ops.gsetElems.Load(),
-		SnapUpdate:    s.ops.snapUpdate.Load(),
-		SnapScan:      s.ops.snapScan.Load(),
-		MsnapUpdate:   s.ops.msnapUpdate.Load(),
-		MsnapScan:     s.ops.msnapScan.Load(),
-		ClockTick:     s.ops.clockTick.Load(),
-		ClockRead:     s.ops.clockRead.Load(),
+		Lanes:            s.lanes,
+		Shards:           s.shards,
+		MaxValue:         s.maxValue,
+		CounterPacked:    s.counter.Packed(),
+		MaxregPacked:     s.maxreg.Packed(),
+		GSetPacked:       s.gset.Packed(),
+		SnapPacked:       s.snap.Packed(),
+		SnapEngine:       s.snap.Engine(),
+		SnapWords:        s.snap.Words(),
+		MsnapEngine:      s.msnap.Engine(),
+		MsnapWords:       s.msnap.Words(),
+		ClockPacked:      s.clock.Engine() != "wide",
+		ClockEngine:      s.clock.Engine(),
+		ClockWords:       s.clock.Words(),
+		ClockCapacity:    s.clock.Capacity(),
+		ClockUsed:        s.clock.Used(),
+		CounterHelp:      mkHelpStats(s.counter.HelpStats()),
+		MaxregHelp:       mkHelpStats(s.maxreg.HelpStats()),
+		GSetHelp:         mkHelpStats(s.gset.HelpStats()),
+		SnapHelp:         mkHelpStats(s.snap.HelpStats()),
+		MsnapHelp:        mkHelpStats(s.msnap.HelpStats()),
+		CounterCache:     mkCacheStats(s.counter.CacheStats()),
+		MaxregCache:      mkCacheStats(s.maxreg.CacheStats()),
+		GSetCache:        mkCacheStats(s.gset.CacheStats()),
+		MsnapCache:       mkCacheStats(s.msnap.CacheStats()),
+		Coalesce:         s.coalesce,
+		CoalesceAbsorbed: s.coalesceAbsorbed(),
+		LanesInUse:       s.pool.InUse(),
+		Acquires:         acquires,
+		CounterInc:       s.ops.counterInc.Load(),
+		CounterRead:      s.ops.counterRead.Load(),
+		MaxregWrite:      s.ops.maxregWrite.Load(),
+		MaxregRead:       s.ops.maxregRead.Load(),
+		GSetAdd:          s.ops.gsetAdd.Load(),
+		GSetHas:          s.ops.gsetHas.Load(),
+		GSetElems:        s.ops.gsetElems.Load(),
+		SnapUpdate:       s.ops.snapUpdate.Load(),
+		SnapScan:         s.ops.snapScan.Load(),
+		MsnapUpdate:      s.ops.msnapUpdate.Load(),
+		MsnapScan:        s.ops.msnapScan.Load(),
+		ClockTick:        s.ops.clockTick.Load(),
+		ClockRead:        s.ops.clockRead.Load(),
 	}
 }
 

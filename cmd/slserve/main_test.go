@@ -145,6 +145,19 @@ func TestEndpoints(t *testing.T) {
 	if got := stats["lanes_in_use"].(float64); got != 0 {
 		t.Fatalf("stats lanes_in_use = %v, want 0", got)
 	}
+	// The serving configuration: caches on, coalescing on (solo batches under
+	// sequential load — nothing to absorb), cache blocks present per object.
+	if on := stats["coalesce"].(bool); !on {
+		t.Fatal("stats coalesce = false, want the default-on batching")
+	}
+	if got := stats["coalesce_absorbed"].(float64); got != 0 {
+		t.Fatalf("stats coalesce_absorbed = %v under sequential load, want 0", got)
+	}
+	for _, key := range []string{"counter_cache", "maxreg_cache", "gset_cache", "msnapshot_cache"} {
+		if _, ok := stats[key].(map[string]any); !ok {
+			t.Fatalf("stats %s missing or malformed: %v", key, stats[key])
+		}
+	}
 	// Helping telemetry is reported per object; a sequential exchange never
 	// starves a read, so the counts are present and zero.
 	for _, key := range []string{"counter_help", "maxreg_help", "gset_help", "snapshot_help", "msnapshot_help"} {
@@ -478,6 +491,17 @@ func TestMetricsEndpoint(t *testing.T) {
 		"slserve_lease_acquires_total",
 		"slserve_lease_waits_total",
 		"slserve_lanes_in_use",
+		// PR 7: view-/combine-cache telemetry, the per-endpoint duration
+		// family, and the coalescing instruments.
+		"slserve_counter_cache_hits_total",
+		"slserve_counter_cache_misses_total",
+		"slserve_counter_cache_refreshes_total",
+		"slserve_msnapshot_cache_hits_total",
+		"slserve_msnapshot_cache_misses_total",
+		"slserve_endpoint_counter_inc_duration_ns_count",
+		"slserve_endpoint_msnapshot_duration_ns_count",
+		"slserve_coalesce_counter_inc_batch_size_count",
+		"slserve_coalesce_msnapshot_scan_absorbed_total",
 	} {
 		if !strings.Contains(text, "\n"+name+" ") && !strings.Contains(text, "\n"+name+"{") {
 			t.Errorf("expected sample line for %s in /metrics", name)
@@ -524,7 +548,12 @@ func TestMetricsEndpoint(t *testing.T) {
 // deposits/adopts consistent. This is the end-to-end proof that the counters
 // are wired to the protocol, not decorative.
 func TestForcedAdoptTelemetry(t *testing.T) {
-	srv := newServerCfg(4, 2, 0, 0, 0) // scanBudget 0: raise on first failed round
+	// scanBudget 0: raise on the first failed round. The view cache is OFF
+	// here: a cache-hit scan is two loads that almost never straddle an
+	// update on a small box, so a cached storm simply stops retrying — the
+	// cache's own telemetry has its own test; this one must see full
+	// collects contend.
+	srv := newServerCfg(4, 2, 0, 0, 0, false)
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 
@@ -594,6 +623,68 @@ func TestForcedAdoptTelemetry(t *testing.T) {
 	}
 }
 
+// TestCachedScanTelemetry: the production server serves steady-state reads
+// from the validated-view caches, and the hit/miss/refresh counters flow
+// end to end — engine, /stats and /metrics must all agree.
+func TestCachedScanTelemetry(t *testing.T) {
+	srv := newServer(4, 2, 0)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	req := func(method, path string) {
+		t.Helper()
+		r, _ := http.NewRequest(method, ts.URL+path, nil)
+		resp, err := http.DefaultClient.Do(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s %s: status %d", method, path, resp.StatusCode)
+		}
+	}
+	const quiet = 20
+	req(http.MethodPost, "/msnapshot?v=3")
+	req(http.MethodPost, "/counter/inc")
+	for i := 0; i < quiet; i++ {
+		req(http.MethodGet, "/msnapshot")
+		req(http.MethodGet, "/counter")
+	}
+
+	// Sequential GETs after the writes: the first scan refreshes the cache,
+	// every later one must serve by anchor match.
+	mcs := srv.msnap.CacheStats()
+	if mcs.Refreshes == 0 || mcs.Hits < quiet-1 {
+		t.Fatalf("msnapshot cache stats %+v after %d quiescent scans, want a refresh and ~%d hits", mcs, quiet, quiet-1)
+	}
+	ccs := srv.counter.CacheStats()
+	if ccs.Refreshes == 0 || ccs.Hits < quiet-1 {
+		t.Fatalf("counter cache stats %+v after %d quiescent reads, want a refresh and ~%d hits", ccs, quiet, quiet-1)
+	}
+
+	// The same counts through /stats...
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats statsSnapshot
+	json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if stats.MsnapCache.Hits < mcs.Hits || stats.CounterCache.Hits < ccs.Hits {
+		t.Fatalf("/stats cache blocks (%+v, %+v) lag the engines (%+v, %+v)",
+			stats.MsnapCache, stats.CounterCache, mcs, ccs)
+	}
+	// ...and /metrics.
+	body := metricsText(t, ts.URL)
+	if !strings.Contains(body, fmt.Sprintf("slserve_msnapshot_cache_hits_total %d", srv.msnap.CacheStats().Hits)) {
+		t.Fatal("slserve_msnapshot_cache_hits_total does not report the engine's hit count")
+	}
+	if !strings.Contains(body, "slserve_counter_cache_refreshes_total") {
+		t.Fatal("counter cache refresh counter missing from /metrics")
+	}
+}
+
 func metricsText(t *testing.T, base string) string {
 	t.Helper()
 	resp, err := http.Get(base + "/metrics")
@@ -651,6 +742,156 @@ func TestConcurrentClients(t *testing.T) {
 	if got := out["value"].(float64); got != want {
 		t.Fatalf("counter after load = %v, want %v", got, want)
 	}
+}
+
+// TestCoalescerFoldsAndShares drives the leader/follower batching directly
+// with a gated leader: while the first operation is parked in apply, every
+// later arrival must fold into the single next batch, whose leader then runs
+// ONE apply carrying the whole folded payload — and every member of a shared
+// batch reads the same leader-published result. This is the deterministic
+// mechanics check; the HTTP-level count preservation rides
+// TestCoalescedIncsPreserveCount and TestConcurrentClients.
+func TestCoalescerFoldsAndShares(t *testing.T) {
+	var co coalescer
+	var applied atomic.Int64 // folded payload summed across applies
+	var batches atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		co.do(
+			func(b *batch) { b.sum++ },
+			func(b *batch) {
+				batches.Add(1)
+				<-gate // hold the coalescer busy while the followers arrive
+				applied.Add(b.sum)
+				b.val = 100
+			})
+	}()
+	waitFor := func(cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatal("coalescer never reached the expected state")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor(func() bool {
+		co.mu.Lock()
+		defer co.mu.Unlock()
+		return co.busy
+	})
+
+	const followers = 16
+	results := make(chan *batch, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results <- co.do(
+				func(b *batch) { b.sum++ },
+				func(b *batch) {
+					batches.Add(1)
+					applied.Add(b.sum)
+					b.val = 200
+				})
+		}()
+	}
+	// Every follower folds into the one pending batch before the gate opens.
+	waitFor(func() bool {
+		co.mu.Lock()
+		defer co.mu.Unlock()
+		return co.next != nil && co.next.n == followers
+	})
+	close(gate)
+	wg.Wait()
+	close(results)
+
+	if got := applied.Load(); got != followers+1 {
+		t.Fatalf("applied payload sums to %d, want %d (a fold was lost or double-applied)", got, followers+1)
+	}
+	if got := batches.Load(); got != 2 {
+		t.Fatalf("ran %d applies, want 2 (the gated solo leader + one folded batch)", got)
+	}
+	var shared *batch
+	for b := range results {
+		if shared == nil {
+			shared = b
+		}
+		if b != shared || b.val != 200 {
+			t.Fatal("followers did not share the one folded batch's published result")
+		}
+	}
+	if shared.n != followers {
+		t.Fatalf("folded batch carried n=%d, want %d", shared.n, followers)
+	}
+	// After the dust settles the coalescer is idle again.
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.busy || co.next != nil {
+		t.Fatalf("coalescer not idle after drain: busy=%v next=%v", co.busy, co.next)
+	}
+}
+
+// TestCoalescedIncsPreserveCount floods /counter/inc through the coalescing
+// server: whatever the batching folds, the final counter must equal the
+// request count exactly — a lost or double-counted fold shows here.
+func TestCoalescedIncsPreserveCount(t *testing.T) {
+	srv := newServer(4, 2, 0)
+	if !srv.coalesce {
+		t.Fatal("server must coalesce by default")
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	const clients, reqs = 24, 20
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < reqs; i++ {
+				resp, err := http.Post(ts.URL+"/counter/inc", "", nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("inc status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if got := out["value"].(float64); got != clients*reqs {
+		t.Fatalf("counter after coalesced flood = %v, want %d", got, clients*reqs)
+	}
+	// The batch-size histogram saw every applied batch; the absorbed counter
+	// and the histogram must agree with the request count exactly.
+	if n := srv.co.counterInc.size.Count(); n == 0 {
+		t.Fatal("coalescer batch-size histogram never observed a batch")
+	}
+	t.Logf("inc batches applied: %d for %d requests (%d absorbed)",
+		srv.co.counterInc.size.Count(), clients*reqs, srv.co.counterInc.absorbed.Load())
 }
 
 // TestClockCapacityExhaustion: the clock's budget is finite; requests past

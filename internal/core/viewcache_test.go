@@ -1,0 +1,305 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"stronglin/internal/history"
+	"stronglin/internal/obs"
+	"stronglin/internal/prim"
+	"stronglin/internal/sim"
+	"stronglin/internal/spec"
+)
+
+// The multi-word snapshot's VIEW CACHE (WithViewCache): a validated scan
+// publishes its decoded view keyed by the collect's word-0 value, and a later
+// scan serves the cached view after re-validating the anchor with ONE fresh
+// word-0 read — still its final view-determining step, the identical closing
+// announce witness the full collect and the adopt path end with. This file
+// verifies the cached configuration the package's usual three ways: an
+// exhaustive strong-linearizability model check whose exploration provably
+// reaches cache hits AND refreshes, randomized real-concurrency stress
+// (comparability under an update storm, then a quiescent phase pinning the
+// hit path), and a read-heavy diff-fuzz against the wide oracle — plus the
+// negative twin: serving the cache WITHOUT the fresh word-0 witness
+// (scanCachedStaleInto) is linearizable on the crafted executions but NOT
+// strongly linearizable, pinned by sim.TreeFromSchedules +
+// history.CheckStrongLin. The cache does not exempt the
+// announce-as-final-step rule.
+
+// TestMultiwordCachedScanStrongLin is the exhaustive cached-path check: two
+// scans against a word-1 updater (payload and announce on different words,
+// the shape whose in-flight states are hardest on validation) with the view
+// cache enabled. The op wrappers tally the cache telemetry across the
+// exploration's stateless replays: the tree this verdict covers must
+// actually contain refresh branches AND anchor-match hit branches — a serve
+// of a previously validated view re-witnessed by one fresh word-0 read —
+// otherwise the test is vacuous and fails.
+func TestMultiwordCachedScanStrongLin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check; skipped in -short mode")
+	}
+	var hits obs.Counter
+	var misses, refreshes atomic.Int64
+	setup := func(w *sim.World) []sim.Program {
+		s := NewFASnapshot(w, "snap", 2, WithSnapshotBound(mwBound2), WithViewCache(true),
+			WithSnapshotObs(obs.SnapMetrics{CacheHits: &hits}))
+		if s.Words() != 2 {
+			t.Fatalf("words = %d, want 2", s.Words())
+		}
+		tally := func(op sim.Op) sim.Op {
+			run := op.Run
+			op.Run = func(th prim.Thread) string {
+				resp := run(th)
+				cs := s.CacheStats()
+				misses.Add(cs.Misses)
+				refreshes.Add(cs.Refreshes)
+				return resp
+			}
+			return op
+		}
+		return []sim.Program{
+			{tally(opScan(s)), tally(opScan(s))},
+			{tally(opUpdate(s, 1, 1))}, // lane 1: word 1, separate announce
+		}
+	}
+	verifySL(t, 2, setup, spec.Snapshot{})
+	if hits.Load() == 0 || refreshes.Load() == 0 {
+		t.Fatalf("exploration reached hits=%d refreshes=%d (misses=%d); the cached-path verdict must cover both",
+			hits.Load(), refreshes.Load(), misses.Load())
+	}
+	t.Logf("view cache reached across replays: hits=%d misses=%d refreshes=%d",
+		hits.Load(), misses.Load(), refreshes.Load())
+}
+
+// TestMultiwordCachedStaleNotStrongLin pins the negative twin of the view
+// cache, mirroring scanUnanchoredInto's lesson one layer up: a scan that
+// serves the cached view WITHOUT the fresh word-0 witness
+// (scanCachedStaleInto) returns a true state — some validated collect pinned
+// it — so crafted executions stay linearizable; but the pinned instant may
+// lie in the past of an update that completed after the entry was published,
+// and the stale scan's eventual view hangs on whether a fresh scan refreshes
+// the shared entry first. The schedule tree below contains exactly that
+// commitment point: a scan warms the cache, the stale scan is invoked, a
+// word-0 update completes (staling the entry), and the two futures diverge —
+// serve the stale entry now (view without the completed update) or after a
+// fresh scan has refreshed it (view with it). No prefix-closed linearization
+// survives both: sim.TreeFromSchedules + history.CheckStrongLin refute
+// strong linearizability, soundly (a pruned tree only removes futures). The
+// shipped fast path's one fresh word-0 read is what forecloses this: on the
+// stale anchor it misses and falls back to the collect.
+func TestMultiwordCachedStaleNotStrongLin(t *testing.T) {
+	setup := func(w *sim.World) []sim.Program {
+		s := NewFASnapshot(w, "snap", 3, WithSnapshotBound(mwBound24), WithViewCache(true)) // lanes 0,1 word 0; lane 2 word 1
+		twin := sim.Op{
+			Name: "scan-cached-stale()",
+			Spec: spec.MkOp(spec.MethodScan),
+			Run: func(th prim.Thread) string {
+				return spec.RespVec(s.scanCachedStaleInto(th, make([]int64, 3)))
+			},
+		}
+		return []sim.Program{
+			{opUpdate(s, 0, 1)}, // word 0: completes while the stale entry survives
+			{twin},
+			{opScan(s), opScan(s)}, // warm the cache, then refresh it in future B
+		}
+	}
+	// Shared prefix: p2's first scan validates and publishes ([0 0], anchor
+	// a0); the twin is invoked (no steps yet); upd0 completes — its payload
+	// XADD moves word 0, staling the entry without touching it.
+	prefix := []int{
+		2, 2, 2, 2, 2, 2, 2, // scan A: invoke, cache read (cold), collect w1 w0, round w1 w0, publish
+		1,       // twin: invoke
+		0, 0, 0, // upd0: invoke, payload w0 (= announce), pressure poll
+	}
+	// Future A: the twin serves the STALE entry right away (view [0 0],
+	// missing completed upd0); p2's second scan then sees the moved anchor,
+	// misses, and re-collects [1 0].
+	futureA := []int{1, 2, 2, 2, 2, 2, 2, 2, 2}
+	// Future B: p2's second scan refreshes the entry FIRST (miss: cache read,
+	// stale-anchor probe, collect, round, publish [1 0]) — and the twin
+	// serves THAT (view [1 0]).
+	futureB := []int{2, 2, 2, 2, 2, 2, 2, 2, 1}
+
+	futures := []struct {
+		name, wantTwin string
+		sched          []int
+	}{
+		{"A", spec.RespVec([]int64{0, 0, 0}), append(append([]int{}, prefix...), futureA...)},
+		{"B", spec.RespVec([]int64{1, 0, 0}), append(append([]int{}, prefix...), futureB...)},
+	}
+	var schedules [][]int
+	for _, f := range futures {
+		exec, err := sim.Run(3, setup, f.sched)
+		if err != nil {
+			t.Fatalf("schedule %s: %v", f.name, err)
+		}
+		if !exec.Complete {
+			t.Fatalf("schedule %s incomplete: %v (enabled at end: %v)", f.name, exec.Schedule, exec.Enabled[len(exec.Enabled)-1])
+		}
+		if got := exec.Responses()[1]; got != f.wantTwin {
+			t.Fatalf("schedule %s: twin scan returned %s, want %s", f.name, got, f.wantTwin)
+		}
+		h := history.FromEvents(3, exec.Ops, exec.Events)
+		if res := history.CheckLinearizable(h, spec.Snapshot{}); !res.Ok {
+			t.Fatalf("schedule %s must stay linearizable (cached views are true states): %s", f.name, h.String())
+		}
+		schedules = append(schedules, append([]int{}, exec.Schedule...))
+	}
+
+	tree, err := sim.TreeFromSchedules(3, setup, schedules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := history.CheckStrongLin(tree, spec.Snapshot{}, nil)
+	if res.Ok {
+		t.Fatal("the witness-free cached serve must NOT be strongly linearizable on the branching futures")
+	}
+	t.Logf("witness-free cached-serve commitment counterexample: %v", res.Counterexample)
+}
+
+// TestMultiwordCachedScansComparableUnderRace races cached scans against an
+// update storm under real goroutine concurrency: 2 updaters storm different
+// words while 2 scanners drive the cached fast path — every returned view,
+// served or collected, must remain pairwise comparable (each lane's history
+// is strictly increasing, so incomparability would expose a torn or
+// resurrected view). A quiescent phase then pins the hit path
+// deterministically: with the updaters stopped, the first scan refreshes the
+// entry and every later scan must serve it by anchor match, agreeing with
+// the final collected state exactly.
+func TestMultiwordCachedScansComparableUnderRace(t *testing.T) {
+	w := prim.NewRealWorld()
+	const lanes = 4
+	var hits obs.Counter
+	s := NewFASnapshot(w, "snap", lanes, WithSnapshotBound(mwBound2), WithViewCache(true),
+		WithSnapshotObs(obs.SnapMetrics{CacheHits: &hits}))
+	if !s.Multiword() {
+		t.Fatal("config must stripe")
+	}
+	const scanners, perScanner = 2, 400
+	var stop atomic.Bool
+	var updWG, scanWG sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		updWG.Add(1)
+		go func(p int) {
+			defer updWG.Done()
+			th := prim.RealThread(p)
+			for v := int64(1); !stop.Load(); v++ {
+				s.Update(th, v)
+			}
+		}(p)
+	}
+	views := make([][][]int64, scanners)
+	for sc := 0; sc < scanners; sc++ {
+		scanWG.Add(1)
+		go func(sc int) {
+			defer scanWG.Done()
+			th := prim.RealThread(2 + sc)
+			for i := 0; i < perScanner; i++ {
+				views[sc] = append(views[sc], s.Scan(th))
+			}
+		}(sc)
+	}
+	scanWG.Wait()
+	stop.Store(true)
+	updWG.Wait()
+	var all [][]int64
+	for sc := range views {
+		all = append(all, views[sc]...)
+	}
+	comparable := func(a, b []int64) bool {
+		le, ge := true, true
+		for i := range a {
+			le = le && a[i] <= b[i]
+			ge = ge && a[i] >= b[i]
+		}
+		return le || ge
+	}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if !comparable(all[i], all[j]) {
+				t.Fatalf("incomparable views: %v vs %v", all[i], all[j])
+			}
+		}
+	}
+	// Quiescent phase: the object no longer changes, so after one refreshing
+	// scan every scan must hit — and every served view must equal the
+	// collected state bit for bit.
+	th := prim.RealThread(2)
+	want := s.Scan(th)
+	before := hits.Load()
+	const quiet = 100
+	for i := 0; i < quiet; i++ {
+		if got := s.Scan(th); !reflect.DeepEqual(got, want) {
+			t.Fatalf("quiescent cached scan %d = %v, want %v", i, got, want)
+		}
+	}
+	gained := hits.Load() - before
+	if gained < quiet {
+		t.Fatalf("quiescent phase hit %d times, want at least %d", gained, quiet)
+	}
+	cs := s.CacheStats()
+	t.Logf("view cache under stress: %d hits, %d misses, %d refreshes over %d scans",
+		hits.Load(), cs.Misses, cs.Refreshes, scanners*perScanner+quiet+1)
+}
+
+// TestMultiwordCachedScanAllocFree pins the steady-state 0 allocs/op
+// contract of the cached fast path: once the entry is warm and the object
+// quiescent, ScanInto serves hits — two register reads and a copy into the
+// caller's view — without allocating. (The refresh on a miss allocates the
+// published entry; that is a change-driven cost the contended bench carries,
+// absorbed here by AllocsPerRun's warmup run.)
+func TestMultiwordCachedScanAllocFree(t *testing.T) {
+	w := prim.NewRealWorld()
+	const lanes = 8
+	s := NewFASnapshot(w, "snap", lanes, WithSnapshotBound(1<<15-1), WithViewCache(true))
+	if !s.Multiword() {
+		t.Fatal("config must stripe")
+	}
+	th := prim.RealThread(0)
+	s.Update(th, 42)
+	view := make([]int64, lanes)
+	if allocs := testing.AllocsPerRun(200, func() { s.ScanInto(th, view) }); allocs != 0 {
+		t.Fatalf("cached ScanInto allocates %.1f per op, want 0", allocs)
+	}
+	if cs := s.CacheStats(); cs.Refreshes == 0 {
+		t.Fatalf("alloc loop never refreshed the cache: %+v", cs)
+	}
+}
+
+// FuzzMultiwordCachedVsWideSnapshot diff-fuzzes the cached engine against
+// the wide register as oracle on a read-heavy mix (three scans per update on
+// average, so most scans land on a warm anchor), exactly like the other
+// engines' fuzzes: same updates applied to both, every scan must agree. This
+// pins hit/miss boundary behaviour around every anchor movement — a scan
+// right after an update must miss and re-collect, repeated scans must serve
+// the identical view.
+func FuzzMultiwordCachedVsWideSnapshot(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{250, 125, 60, 30, 15, 7, 3, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const lanes, bound = 8, 255
+		w := sim.NewSoloWorld()
+		cachedS := NewFASnapshot(w, "c", lanes, WithSnapshotBound(bound), WithViewCache(true))
+		wide := NewFASnapshot(w, "w", lanes)
+		if !cachedS.Multiword() {
+			t.Fatal("fuzz config must stripe")
+		}
+		for _, b := range data {
+			th := sim.SoloThread(int(b) % lanes)
+			if b%4 == 0 {
+				v := int64(b)
+				cachedS.Update(th, v)
+				wide.Update(th, v)
+			} else if p, v := cachedS.Scan(th), wide.Scan(th); !reflect.DeepEqual(p, v) {
+				t.Fatalf("cached Scan = %v, wide Scan = %v", p, v)
+			}
+		}
+		th := sim.SoloThread(0)
+		if p, v := cachedS.Scan(th), wide.Scan(th); !reflect.DeepEqual(p, v) {
+			t.Fatalf("final cached Scan = %v, wide Scan = %v", p, v)
+		}
+	})
+}

@@ -1,0 +1,173 @@
+package shard
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"stronglin/internal/obs"
+	"stronglin/internal/prim"
+	"stronglin/internal/sim"
+	"stronglin/internal/spec"
+)
+
+// The sharded objects' COMBINE CACHE (WithReadCache): a validated combining
+// read publishes its combined value keyed by the exact epoch value it
+// validated at, and a later read serves it after re-validating the epoch
+// with one fresh read — its final shared step, the identical closing epoch
+// witness the collect loop and the adopt path end with. The cached
+// configurations are verified by exhaustive strong-linearizability model
+// checks whose explorations provably reach hits AND refreshes (counter and
+// max register — the max being the combine that is not even linearizable
+// unvalidated), plus a real-concurrency quiescent-phase check pinning the
+// hit path on all three objects. The witness-free stale-serve hazard itself
+// is pinned once, in internal/core (TestMultiwordCachedStaleNotStrongLin) —
+// the shard cache performs the structurally identical closing witness
+// through validatedRead, exactly as the adopt path defers to core's
+// witness-free-adoption twin.
+
+// cachedTally wraps a program's ops to accumulate an object's cache
+// telemetry across the exploration's stateless replays, for the
+// non-vacuity assertions.
+func cachedTally(stats func() obs.CacheStats, misses, refreshes *atomic.Int64, op sim.Op) sim.Op {
+	run := op.Run
+	op.Run = func(th prim.Thread) string {
+		resp := run(th)
+		cs := stats()
+		misses.Add(cs.Misses)
+		refreshes.Add(cs.Refreshes)
+		return resp
+	}
+	return op
+}
+
+// TestShardedCachedCounterStrongLin is the exhaustive cached-path check on
+// the counter: two combining reads against one increment with the combine
+// cache enabled. The tree this verdict covers must actually contain refresh
+// branches AND epoch-match hit branches, otherwise the test is vacuous and
+// fails.
+func TestShardedCachedCounterStrongLin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check; skipped in -short mode")
+	}
+	var hits obs.Counter
+	var misses, refreshes atomic.Int64
+	setup := func(w *sim.World) []sim.Program {
+		c := NewCounter(w, "c", 2, 2, WithReadCache(true),
+			WithObs(obs.ShardMetrics{CacheHits: &hits}))
+		tally := func(op sim.Op) sim.Op { return cachedTally(c.CacheStats, &misses, &refreshes, op) }
+		return []sim.Program{
+			{tally(opRead(c)), tally(opRead(c))},
+			{tally(opInc(c))},
+		}
+	}
+	verifySL(t, 2, setup, spec.MonotonicCounter{})
+	if hits.Load() == 0 || refreshes.Load() == 0 {
+		t.Fatalf("exploration reached hits=%d refreshes=%d (misses=%d); the cached-path verdict must cover both",
+			hits.Load(), refreshes.Load(), misses.Load())
+	}
+	t.Logf("combine cache reached across replays: hits=%d misses=%d refreshes=%d",
+		hits.Load(), misses.Load(), refreshes.Load())
+}
+
+// TestShardedCachedMaxRegisterStrongLin: the cached shape on the max
+// register, whose combine (max) is the one that is not even linearizable
+// without validation — serving a cached max past its epoch would be the
+// single-collect trap all over again.
+func TestShardedCachedMaxRegisterStrongLin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check; skipped in -short mode")
+	}
+	var hits obs.Counter
+	var misses, refreshes atomic.Int64
+	setup := func(w *sim.World) []sim.Program {
+		m := NewMaxRegister(w, "m", 2, 2, WithReadCache(true),
+			WithObs(obs.ShardMetrics{CacheHits: &hits}))
+		tally := func(op sim.Op) sim.Op { return cachedTally(m.CacheStats, &misses, &refreshes, op) }
+		return []sim.Program{
+			{tally(opReadMax(m)), tally(opReadMax(m))},
+			{tally(opWriteMax(m, 2))},
+		}
+	}
+	verifySL(t, 2, setup, spec.MaxRegister{})
+	if hits.Load() == 0 || refreshes.Load() == 0 {
+		t.Fatalf("exploration reached hits=%d refreshes=%d (misses=%d); the cached-path verdict must cover both",
+			hits.Load(), refreshes.Load(), misses.Load())
+	}
+}
+
+// TestShardedCachedQuiescentHits pins the hit path deterministically on all
+// three objects under the real world: once the object stops changing, the
+// first validated read publishes the entry and every later read must serve
+// it by epoch match, agreeing with the collected value exactly. The gset
+// leg also pins the membership read's serve-only contract: Has never
+// refreshes the cache (its collect does not compute the union), it serves
+// entries published by Elems.
+func TestShardedCachedQuiescentHits(t *testing.T) {
+	w := prim.NewRealWorld()
+	var chits, mhits, ghits obs.Counter
+	c := NewCounter(w, "c", 4, 2, WithReadCache(true), WithObs(obs.ShardMetrics{CacheHits: &chits}))
+	m := NewMaxRegister(w, "m", 4, 2, WithReadCache(true), WithObs(obs.ShardMetrics{CacheHits: &mhits}))
+	g := NewGSet(w, "g", 4, 2, WithReadCache(true), WithObs(obs.ShardMetrics{CacheHits: &ghits}))
+	for lane := 0; lane < 4; lane++ {
+		th := prim.RealThread(lane)
+		c.Inc(th)
+		m.WriteMax(th, int64(10+lane))
+		g.Add(th, int64(lane))
+	}
+	th := prim.RealThread(0)
+	const quiet = 50
+
+	if got := c.Read(th); got != 4 {
+		t.Fatalf("counter Read = %d, want 4", got)
+	}
+	before := chits.Load()
+	for i := 0; i < quiet; i++ {
+		if got := c.Read(th); got != 4 {
+			t.Fatalf("quiescent counter Read %d = %d, want 4", i, got)
+		}
+	}
+	if gained := chits.Load() - before; gained < quiet {
+		t.Fatalf("quiescent counter reads hit %d times, want at least %d (stats %+v)", gained, quiet, c.CacheStats())
+	}
+
+	if got := m.ReadMax(th); got != 13 {
+		t.Fatalf("ReadMax = %d, want 13", got)
+	}
+	before = mhits.Load()
+	for i := 0; i < quiet; i++ {
+		if got := m.ReadMax(th); got != 13 {
+			t.Fatalf("quiescent ReadMax %d = %d, want 13", i, got)
+		}
+	}
+	if gained := mhits.Load() - before; gained < quiet {
+		t.Fatalf("quiescent max reads hit %d times, want at least %d (stats %+v)", gained, quiet, m.CacheStats())
+	}
+
+	want := []int64{0, 1, 2, 3}
+	if got := g.Elems(th); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Elems = %v, want %v", got, want)
+	}
+	before = ghits.Load()
+	for i := 0; i < quiet; i++ {
+		if got := g.Elems(th); !reflect.DeepEqual(got, want) {
+			t.Fatalf("quiescent Elems %d = %v, want %v", i, got, want)
+		}
+		if !g.Has(th, 2) || g.Has(th, 9) {
+			t.Fatalf("quiescent membership %d is wrong", i)
+		}
+	}
+	// Elems hits plus Has(2)/Has(9) serves: Has(2)'s direct shard witness may
+	// shortcut before the cache, so only the Elems serves are guaranteed.
+	if gained := ghits.Load() - before; gained < quiet {
+		t.Fatalf("quiescent gset reads hit %d times, want at least %d (stats %+v)", gained, quiet, g.CacheStats())
+	}
+	refreshes := g.CacheStats().Refreshes
+	for i := 0; i < quiet; i++ {
+		g.Has(th, 2)
+		g.Has(th, 9)
+	}
+	if got := g.CacheStats().Refreshes; got != refreshes {
+		t.Fatalf("Has refreshed the cache (%d -> %d); membership reads are serve-only", refreshes, got)
+	}
+}

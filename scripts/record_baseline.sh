@@ -1,10 +1,11 @@
 #!/bin/sh
-# Records the perf-trajectory baseline (BENCH_PR6.json): the slbench cells
-# the CI perf gate compares against (slbench -baseline), plus a closed/open
-# loop attack pair on the same host. The pair is the coordinated-omission
-# exhibit: both runs use the same mix and duration, but the open-loop run
-# offers 2x the closed loop's measured throughput, so its percentiles carry
-# the queueing delay the closed loop structurally cannot see.
+# Records the perf-trajectory baseline (BENCH_PR7.json): the slbench cells
+# the CI perf gate compares against (slbench -baseline) — including the PR 7
+# cached-scan/cached-read rows — plus a closed/open loop attack pair on the
+# same host. The pair is the coordinated-omission exhibit: both runs use the
+# same mix and duration, but the open-loop run offers 2x the closed loop's
+# measured throughput, so its percentiles carry the queueing delay the
+# closed loop structurally cannot see.
 #
 # Usage: scripts/record_baseline.sh [output.json]
 #
@@ -12,7 +13,7 @@
 # intentional perf change lands, and commit the result.
 set -e
 cd "$(dirname "$0")/.."
-out=${1:-BENCH_PR6.json}
+out=${1:-BENCH_PR7.json}
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
