@@ -120,9 +120,11 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"stronglin"
@@ -146,6 +148,18 @@ var (
 	burstSize  = flag.Int("burst-size", 32, "requests per train (burst arrivals)")
 	mixName    = flag.String("mix", "default", "attack workload mix: default, read-heavy, write-storm, storm")
 	attackSeed = flag.Int64("attack-seed", 1, "seed for the open-loop arrival schedule")
+
+	// Watermark-triggered live re-base (see internal/migrate): the renewable
+	// budgets — the snapshots' mod-2^16 sequence fields and the sharded
+	// objects' 2^48 epoch announce counts — are watched against warn/crit
+	// fractions, rolled over live past warn, and surfaced on /healthz and the
+	// slserve_*_watermark_state gauges.
+	watermarkWarn   = flag.Float64("watermark-warn", 0.5, "budget fraction at which a live re-base is due (watermark state 1, /healthz 429)")
+	watermarkCrit   = flag.Float64("watermark-crit", 0.9, "budget fraction at which the budget is nearly spent (watermark state 2, /healthz 503)")
+	watermarkBudget = flag.Int64("watermark-budget", 0, "override the watched budget domains (0 = the true protocol budgets); the soak harness forces a tiny budget so rollovers fire every few hundred operations instead of every few trillion")
+	rollover        = flag.Bool("rollover", true, "run the watermark controller: re-base any engine live when it crosses -watermark-warn")
+	rolloverEvery   = flag.Duration("rollover-interval", time.Second, "watermark controller poll interval")
+	drainTimeout    = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain deadline after SIGTERM/SIGINT")
 )
 
 func main() {
@@ -158,6 +172,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "slserve: -bound must be non-negative, got %d\n", *bound)
 		os.Exit(2)
 	}
+	if !(*watermarkWarn > 0 && *watermarkWarn <= *watermarkCrit && *watermarkCrit < 1) {
+		fmt.Fprintf(os.Stderr, "slserve: need 0 < -watermark-warn <= -watermark-crit < 1, got %v and %v\n", *watermarkWarn, *watermarkCrit)
+		os.Exit(2)
+	}
 	if *attack {
 		if err := runAttack(); err != nil {
 			fmt.Fprintln(os.Stderr, "slserve:", err)
@@ -165,20 +183,61 @@ func main() {
 		}
 		return
 	}
+	if err := runServe(context.Background()); err != nil {
+		fmt.Fprintln(os.Stderr, "slserve:", err)
+		os.Exit(1)
+	}
+}
+
+// runServe is serve mode: listen until the context is cancelled or a
+// SIGTERM/SIGINT lands, then drain and exit cleanly — stop accepting, let
+// every in-flight request (coalescing leaders and the followers parked on
+// their batches included) finish inside -drain-timeout, and return nil so
+// the process exits 0. Orchestrators read that exit as a clean handoff;
+// anything else (a listener error, an overrun drain) returns the error and
+// exits 1.
+func runServe(ctx context.Context) error {
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	srv := newServer(*lanes, *shards, *bound)
+	if *rollover {
+		srv.startRollover(ctx, *rolloverEvery)
+	}
+	var dbg *http.Server
 	if *debugAddr != "" {
+		dbg = &http.Server{Addr: *debugAddr, Handler: srv.debugHandler()}
 		go func() {
-			if err := http.ListenAndServe(*debugAddr, srv.debugHandler()); err != nil {
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "slserve: debug listener:", err)
 			}
 		}()
 		fmt.Printf("slserve: debug listener (metrics + pprof) on %s\n", *debugAddr)
 	}
+	hs := &http.Server{Addr: *addr, Handler: srv.handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Printf("slserve: %d lanes, %d shards, listening on %s\n", *lanes, *shards, *addr)
-	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
-		fmt.Fprintln(os.Stderr, "slserve:", err)
-		os.Exit(1)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
 	}
+	stop() // a second signal during the drain kills the process the hard way
+	fmt.Println("slserve: signal received, draining")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if dbg != nil {
+		if err := dbg.Shutdown(dctx); err != nil {
+			return fmt.Errorf("debug drain: %w", err)
+		}
+	}
+	fmt.Println("slserve: drained")
+	return nil
 }
 
 // counterBound is the declared capacity of the served counters: any bound up
@@ -210,6 +269,12 @@ type server struct {
 	reqErrors    *obs.Counter
 	reqDur       *obs.Histogram
 	clockRejects *obs.Counter
+
+	// rebaser watches the renewable budgets (seq watermarks, epoch announce
+	// counts) and performs the live re-bases; targetNames mirrors its target
+	// order for the per-engine watermark-state gauges and /healthz.
+	rebaser     *stronglin.Rebaser
+	targetNames []string
 
 	// endpointDur is the per-endpoint request-duration histogram family,
 	// keyed by URL path; built once in registerMetrics, read-only after.
@@ -327,6 +392,12 @@ func newServerCfg(lanes, shards int, bound, clockBudget int64, scanBudget int, c
 	snapOpts = append(snapOpts, stronglin.WithSnapshotObs(stronglin.SnapMetrics{
 		ScanRounds: reg.Histogram("slserve_snapshot_scan_rounds", "failed validation rounds per contended snapshot scan"),
 	}))
+	// Both snapshots opt into live re-base. On a multi-word engine the option
+	// arms the generation chain; on the single-register engines it is a no-op
+	// (their substrates have no sequence fields to exhaust), and the rebaser
+	// below only watches engines that report RebaseEnabled.
+	snapOpts = append(snapOpts, stronglin.WithLiveRebase(true))
+	msnapOpts = append(msnapOpts, stronglin.WithLiveRebase(true))
 	msnapOpts = append(msnapOpts, stronglin.WithViewCache(cached), stronglin.WithSnapshotObs(stronglin.SnapMetrics{
 		ScanRounds: reg.Histogram("slserve_msnapshot_scan_rounds", "failed validation rounds per contended multi-word snapshot scan"),
 		CacheHits:  reg.Counter("slserve_msnapshot_cache_hits_total", "multi-word snapshot scans served from the anchor-revalidated view cache"),
@@ -353,8 +424,55 @@ func newServerCfg(lanes, shards int, bound, clockBudget int64, scanBudget int, c
 		reg:      reg,
 		coalesce: *coalesce,
 	}
+	// The rebaser watches every renewable budget the server holds. The clock
+	// is deliberately absent: Algorithm 1's reference budget is terminal (the
+	// operation graph is the history), so it degrades to 503 instead.
+	targets := []stronglin.RebaseTarget{
+		stronglin.CounterRebaseTarget("counter", s.counter),
+		stronglin.MaxRegisterRebaseTarget("maxreg", s.maxreg),
+		stronglin.GSetRebaseTarget("gset", s.gset),
+	}
+	// The snapshots join only when they landed on the multi-word engine
+	// (small lane counts pick the packed word, whose scans have no sequence
+	// fields to renew — nothing to watch).
+	if s.msnap.RebaseEnabled() {
+		targets = append(targets, stronglin.SnapshotRebaseTarget("msnapshot", s.msnap))
+	}
+	if s.snap.RebaseEnabled() {
+		targets = append(targets, stronglin.SnapshotRebaseTarget("snapshot", s.snap))
+	}
+	if *watermarkBudget > 0 {
+		for i := range targets {
+			targets[i] = targets[i].WithBudget(*watermarkBudget)
+		}
+	}
+	reb, err := stronglin.NewRebaser(stronglin.RebaseThresholds{Warn: *watermarkWarn, Crit: *watermarkCrit}, targets...)
+	if err != nil {
+		panic("slserve: " + err.Error()) // main validated the flags; unreachable
+	}
+	s.rebaser = reb
+	s.targetNames = reb.Targets()
 	s.registerMetrics()
 	return s
+}
+
+// startRollover launches the watermark controller: every interval it takes
+// one Rebaser step, re-basing any engine at or past -watermark-warn. The
+// step leases a lane like any client operation; the controller stops with
+// the context (the graceful-shutdown path cancels it before the drain).
+func (s *server) startRollover(ctx context.Context, every time.Duration) {
+	go func() {
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				s.pool.With(func(t stronglin.Thread) { s.rebaser.Step(t) })
+			}
+		}
+	}()
 }
 
 // registerMetrics publishes every metric family. The request instruments are
@@ -446,6 +564,22 @@ func (s *server) registerMetrics() {
 	s.reg.GaugeFunc("slserve_clock_capacity", "Algorithm 1 reference capacity of the logical clock", s.clock.Capacity)
 	s.reg.GaugeFunc("slserve_clock_used", "Algorithm 1 references consumed by the logical clock", s.clock.Used)
 
+	// Watermark states and rollover telemetry: one state gauge per watched
+	// engine (0 ok, 1 warn = re-base due, 2 crit), the worst state (what
+	// /healthz answers from), completed rollovers, and each engine's current
+	// generation — which increments are the rollovers actually landing.
+	for i, name := range s.targetNames {
+		i := i
+		s.reg.GaugeFunc("slserve_"+name+"_watermark_state", name+" budget watermark state: 0 ok, 1 warn (re-base due), 2 crit", func() int64 { return int64(s.rebaser.StateOf(t0, i)) })
+	}
+	s.reg.GaugeFunc("slserve_watermark_state", "worst watermark state across the watched engines (what /healthz degrades on)", func() int64 { return int64(s.rebaser.State(t0)) })
+	s.reg.CounterFunc("slserve_rollovers_total", "live re-bases completed by the watermark controller", func() int64 { return s.rebaser.Stats().Rollovers })
+	s.reg.CounterFunc("slserve_rollovers_refused_total", "shard rollovers declined below their announce floor (an external racer, never the controller)", func() int64 { return s.rebaser.Stats().Refused })
+	s.reg.GaugeFunc("slserve_counter_epoch_generation", "counter epoch rollover generation", func() int64 { return s.counter.EpochGeneration(t0) })
+	s.reg.GaugeFunc("slserve_maxreg_epoch_generation", "maxreg epoch rollover generation", func() int64 { return s.maxreg.EpochGeneration(t0) })
+	s.reg.GaugeFunc("slserve_gset_epoch_generation", "gset epoch rollover generation", func() int64 { return s.gset.EpochGeneration(t0) })
+	s.reg.GaugeFunc("slserve_msnapshot_generation", "multi-word snapshot re-base generation (completed cutovers)", func() int64 { return s.msnap.Generation(t0) })
+
 	// Lane-lease pressure: sizing signals for the pool.
 	s.reg.CounterFunc("slserve_lease_acquires_total", "lane leases granted", func() int64 { return s.pool.Acquires(t0) })
 	s.reg.CounterFunc("slserve_lease_waits_total", "lease acquisitions that found every lane out and parked", s.pool.Waits)
@@ -465,10 +599,46 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/clock", s.clockGet)
 	mux.HandleFunc("/stats", s.stats)
 	mux.HandleFunc("/metrics", s.metrics)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/healthz", s.healthz)
 	return s.instrumented(mux)
+}
+
+// healthz degrades with the watermark state instead of lying until the
+// budgets wrap: 200 while every watched budget is below warn, 429 once a
+// re-base is due (load balancers should shed elective traffic; the
+// controller renews the budget on its next step), 503 past crit. Both
+// degraded answers carry the structured unavailability body — a completed
+// rollover returns the endpoint to 200, so Retry-After is honest.
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	st := s.rebaser.State(stronglin.Thread(0))
+	switch st {
+	case stronglin.WatermarkCrit:
+		s.unavailable(w, http.StatusServiceUnavailable, "watermark critical: a budget is nearly spent and a live re-base is in flight or due", true)
+	case stronglin.WatermarkWarn:
+		s.unavailable(w, http.StatusTooManyRequests, "watermark warn: a live re-base is due", true)
+	default:
+		fmt.Fprintln(w, "ok")
+	}
+}
+
+// unavailable answers a load-shedding status (429/503) with a Retry-After
+// hint and a structured JSON body, so clients can distinguish "back off and
+// retry" (retryable: a watermark crossing the controller will re-base away
+// within about one -rollover-interval) from "this resource is finished"
+// (the clock's terminal Algorithm 1 budget) without parsing prose.
+func (s *server) unavailable(w http.ResponseWriter, code int, reason string, retryable bool) {
+	retryAfter := int64(rolloverEvery.Seconds())
+	if retryAfter < 1 {
+		retryAfter = 1
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", strconv.FormatInt(retryAfter, 10))
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error":               reason,
+		"retryable":           retryable,
+		"retry_after_seconds": retryAfter,
+	})
 }
 
 // debugHandler is the -debug-addr surface: the same /metrics plus
@@ -750,7 +920,7 @@ func (s *server) clockTick(w http.ResponseWriter, r *http.Request) {
 		// (reads of the final state still work via /stats-visible counters),
 		// but no further operations exist to serve.
 		s.clockRejects.Inc()
-		http.Error(w, "clock capacity exhausted", http.StatusServiceUnavailable)
+		s.unavailable(w, http.StatusServiceUnavailable, "clock capacity exhausted: the Algorithm 1 reference budget is terminal", false)
 		return
 	}
 	s.ops.clockTick.Add(1)
@@ -767,7 +937,7 @@ func (s *server) clockGet(w http.ResponseWriter, r *http.Request) {
 	s.pool.With(func(t stronglin.Thread) { v, err = s.clock.TryRead(t) })
 	if err != nil {
 		s.clockRejects.Inc()
-		http.Error(w, "clock capacity exhausted", http.StatusServiceUnavailable)
+		s.unavailable(w, http.StatusServiceUnavailable, "clock capacity exhausted: the Algorithm 1 reference budget is terminal", false)
 		return
 	}
 	s.ops.clockRead.Add(1)
@@ -812,6 +982,17 @@ type statsSnapshot struct {
 	MaxregCache  cacheStats `json:"maxreg_cache"`
 	GSetCache    cacheStats `json:"gset_cache"`
 	MsnapCache   cacheStats `json:"msnapshot_cache"`
+	// Watermark / live re-base telemetry: the worst budget state across the
+	// watched engines ("ok", "warn", "crit" — what /healthz answers from),
+	// completed and refused rollovers, each sharded object's epoch rollover
+	// generation, and the multi-word snapshot's cutover block.
+	WatermarkState    string                `json:"watermark_state"`
+	Rollovers         int64                 `json:"rollovers"`
+	RolloversRefused  int64                 `json:"rollovers_refused"`
+	CounterGeneration int64                 `json:"counter_epoch_generation"`
+	MaxregGeneration  int64                 `json:"maxreg_epoch_generation"`
+	GSetGeneration    int64                 `json:"gset_epoch_generation"`
+	MsnapRebase       stronglin.RebaseStats `json:"msnapshot_rebase"`
 	// Coalescing: whether request batching is on, and how many requests rode
 	// another request's batch instead of running their own engine operation.
 	Coalesce         bool  `json:"coalesce"`
@@ -883,48 +1064,55 @@ func (s *server) snapshot() statsSnapshot {
 	// /stats should answer even when every lane is out to slow writers).
 	acquires := s.pool.Acquires(stronglin.Thread(0))
 	return statsSnapshot{
-		Lanes:            s.lanes,
-		Shards:           s.shards,
-		MaxValue:         s.maxValue,
-		CounterPacked:    s.counter.Packed(),
-		MaxregPacked:     s.maxreg.Packed(),
-		GSetPacked:       s.gset.Packed(),
-		SnapPacked:       s.snap.Packed(),
-		SnapEngine:       s.snap.Engine(),
-		SnapWords:        s.snap.Words(),
-		MsnapEngine:      s.msnap.Engine(),
-		MsnapWords:       s.msnap.Words(),
-		ClockPacked:      s.clock.Engine() != "wide",
-		ClockEngine:      s.clock.Engine(),
-		ClockWords:       s.clock.Words(),
-		ClockCapacity:    s.clock.Capacity(),
-		ClockUsed:        s.clock.Used(),
-		CounterHelp:      mkHelpStats(s.counter.HelpStats()),
-		MaxregHelp:       mkHelpStats(s.maxreg.HelpStats()),
-		GSetHelp:         mkHelpStats(s.gset.HelpStats()),
-		SnapHelp:         mkHelpStats(s.snap.HelpStats()),
-		MsnapHelp:        mkHelpStats(s.msnap.HelpStats()),
-		CounterCache:     mkCacheStats(s.counter.CacheStats()),
-		MaxregCache:      mkCacheStats(s.maxreg.CacheStats()),
-		GSetCache:        mkCacheStats(s.gset.CacheStats()),
-		MsnapCache:       mkCacheStats(s.msnap.CacheStats()),
-		Coalesce:         s.coalesce,
-		CoalesceAbsorbed: s.coalesceAbsorbed(),
-		LanesInUse:       s.pool.InUse(),
-		Acquires:         acquires,
-		CounterInc:       s.ops.counterInc.Load(),
-		CounterRead:      s.ops.counterRead.Load(),
-		MaxregWrite:      s.ops.maxregWrite.Load(),
-		MaxregRead:       s.ops.maxregRead.Load(),
-		GSetAdd:          s.ops.gsetAdd.Load(),
-		GSetHas:          s.ops.gsetHas.Load(),
-		GSetElems:        s.ops.gsetElems.Load(),
-		SnapUpdate:       s.ops.snapUpdate.Load(),
-		SnapScan:         s.ops.snapScan.Load(),
-		MsnapUpdate:      s.ops.msnapUpdate.Load(),
-		MsnapScan:        s.ops.msnapScan.Load(),
-		ClockTick:        s.ops.clockTick.Load(),
-		ClockRead:        s.ops.clockRead.Load(),
+		Lanes:             s.lanes,
+		Shards:            s.shards,
+		MaxValue:          s.maxValue,
+		CounterPacked:     s.counter.Packed(),
+		MaxregPacked:      s.maxreg.Packed(),
+		GSetPacked:        s.gset.Packed(),
+		SnapPacked:        s.snap.Packed(),
+		SnapEngine:        s.snap.Engine(),
+		SnapWords:         s.snap.Words(),
+		MsnapEngine:       s.msnap.Engine(),
+		MsnapWords:        s.msnap.Words(),
+		ClockPacked:       s.clock.Engine() != "wide",
+		ClockEngine:       s.clock.Engine(),
+		ClockWords:        s.clock.Words(),
+		ClockCapacity:     s.clock.Capacity(),
+		ClockUsed:         s.clock.Used(),
+		CounterHelp:       mkHelpStats(s.counter.HelpStats()),
+		MaxregHelp:        mkHelpStats(s.maxreg.HelpStats()),
+		GSetHelp:          mkHelpStats(s.gset.HelpStats()),
+		SnapHelp:          mkHelpStats(s.snap.HelpStats()),
+		MsnapHelp:         mkHelpStats(s.msnap.HelpStats()),
+		CounterCache:      mkCacheStats(s.counter.CacheStats()),
+		MaxregCache:       mkCacheStats(s.maxreg.CacheStats()),
+		GSetCache:         mkCacheStats(s.gset.CacheStats()),
+		MsnapCache:        mkCacheStats(s.msnap.CacheStats()),
+		WatermarkState:    s.rebaser.State(stronglin.Thread(0)).String(),
+		Rollovers:         s.rebaser.Stats().Rollovers,
+		RolloversRefused:  s.rebaser.Stats().Refused,
+		CounterGeneration: s.counter.EpochGeneration(stronglin.Thread(0)),
+		MaxregGeneration:  s.maxreg.EpochGeneration(stronglin.Thread(0)),
+		GSetGeneration:    s.gset.EpochGeneration(stronglin.Thread(0)),
+		MsnapRebase:       s.msnap.RebaseStats(),
+		Coalesce:          s.coalesce,
+		CoalesceAbsorbed:  s.coalesceAbsorbed(),
+		LanesInUse:        s.pool.InUse(),
+		Acquires:          acquires,
+		CounterInc:        s.ops.counterInc.Load(),
+		CounterRead:       s.ops.counterRead.Load(),
+		MaxregWrite:       s.ops.maxregWrite.Load(),
+		MaxregRead:        s.ops.maxregRead.Load(),
+		GSetAdd:           s.ops.gsetAdd.Load(),
+		GSetHas:           s.ops.gsetHas.Load(),
+		GSetElems:         s.ops.gsetElems.Load(),
+		SnapUpdate:        s.ops.snapUpdate.Load(),
+		SnapScan:          s.ops.snapScan.Load(),
+		MsnapUpdate:       s.ops.msnapUpdate.Load(),
+		MsnapScan:         s.ops.msnapScan.Load(),
+		ClockTick:         s.ops.clockTick.Load(),
+		ClockRead:         s.ops.clockRead.Load(),
 	}
 }
 
@@ -1104,6 +1292,13 @@ func runAttack() error {
 		// Self-contained run: serve the stack from this process on a loopback
 		// port and attack it over real HTTP.
 		srv = newServer(*lanes, *shards, *bound)
+		if *rollover {
+			// The soak harness forces a tiny -watermark-budget here, so the
+			// controller rolls the engines over repeatedly under full load.
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			srv.startRollover(ctx, *rolloverEvery)
+		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return err

@@ -1,0 +1,278 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"stronglin"
+)
+
+// setFlag swaps a flag-backed global for the test and restores it on cleanup
+// (slserve's constructors read the flag globals, matching -coalesce et al.;
+// package tests run sequentially, so the swap is race-free).
+func setFlag[T any](t *testing.T, p *T, v T) {
+	t.Helper()
+	old := *p
+	*p = v
+	t.Cleanup(func() { *p = old })
+}
+
+// TestHealthzDegradesAndRecovers walks /healthz through the full watermark
+// ladder on a forced 8-operation budget: 200 while fresh, 429 at the warn
+// line, 503 with the structured unavailability body past crit, and — after
+// one controller step re-bases the counter live — back to 200 with the
+// counter's value intact and its generation advanced.
+func TestHealthzDegradesAndRecovers(t *testing.T) {
+	setFlag(t, watermarkBudget, int64(8))
+	srv := newServer(4, 2, 0)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	health := func() *http.Response {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	inc := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			resp, err := http.Post(ts.URL+"/counter/inc", "", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("inc: status %d", resp.StatusCode)
+			}
+		}
+	}
+
+	if resp := health(); resp.StatusCode != http.StatusOK {
+		t.Fatalf("fresh healthz = %d, want 200", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+
+	inc(4) // 4/8 announces: the warn line (0.5)
+	resp := health()
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("healthz at warn = %d, want 429", resp.StatusCode)
+	}
+
+	inc(4) // 8/8: past crit (0.9)
+	resp = health()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz at crit = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 healthz missing Retry-After")
+	}
+	var body struct {
+		Error     string `json:"error"`
+		Retryable bool   `json:"retryable"`
+		RetryS    int64  `json:"retry_after_seconds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("503 healthz body not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if body.Error == "" || !body.Retryable || body.RetryS < 1 {
+		t.Fatalf("503 healthz body = %+v, want a retryable structured error", body)
+	}
+
+	// One controller step renews the budget live.
+	srv.pool.With(func(th stronglin.Thread) { srv.rebaser.Step(th) })
+	if resp := health(); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after rollover = %d, want 200", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+
+	var st statsSnapshot
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if st.WatermarkState != "ok" || st.Rollovers < 1 || st.CounterGeneration < 1 {
+		t.Fatalf("stats after rollover = state %q rollovers %d gen %d, want ok/>=1/>=1",
+			st.WatermarkState, st.Rollovers, st.CounterGeneration)
+	}
+
+	// The re-based counter kept its value.
+	cresp, err := http.Get(ts.URL + "/counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cv struct {
+		Value int64 `json:"value"`
+	}
+	if err := json.NewDecoder(cresp.Body).Decode(&cv); err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+	if cv.Value != 8 {
+		t.Fatalf("counter after rollover = %d, want 8", cv.Value)
+	}
+}
+
+// TestClockExhaustion503Shape pins the structured unavailability answer on
+// the one budget that is NOT renewable: the clock's 503 carries Retry-After
+// and the JSON body, with retryable false — clients can tell a terminal
+// budget from a watermark crossing without parsing prose.
+func TestClockExhaustion503Shape(t *testing.T) {
+	srv := newServerClock(4, 2, 0, 2)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/clock/tick", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tick %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/clock/tick", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-capacity tick: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("clock 503 missing Retry-After")
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("clock 503 Content-Type = %q, want application/json", ct)
+	}
+	var body struct {
+		Error     string `json:"error"`
+		Retryable bool   `json:"retryable"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("clock 503 body not JSON: %v", err)
+	}
+	if body.Error == "" || body.Retryable {
+		t.Fatalf("clock 503 body = %+v, want a terminal (non-retryable) structured error", body)
+	}
+}
+
+// TestAutoRolloverUnderLoad is the soak in miniature: a forced tiny budget,
+// the watermark controller polling fast, and client traffic running
+// throughout. Every request must succeed while the engines roll over
+// underneath — the counter's count survives its epoch rollovers, the
+// multi-word snapshot's view survives its cutovers, and the stats document
+// records the generations advancing.
+func TestAutoRolloverUnderLoad(t *testing.T) {
+	setFlag(t, watermarkBudget, int64(64))
+	srv := newServer(4, 2, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv.startRollover(ctx, 2*time.Millisecond)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	const incs, updates = 400, 300
+	for i := 0; i < incs; i++ {
+		resp, err := http.Post(ts.URL+"/counter/inc", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("inc %d: status %d (a rollover failed a client request)", i, resp.StatusCode)
+		}
+		if i%100 == 99 {
+			time.Sleep(10 * time.Millisecond) // let the controller tick mid-load
+		}
+	}
+	for i := 1; i <= updates; i++ {
+		resp, err := http.Post(ts.URL+"/msnapshot?v="+strconv.Itoa(i%1000), "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("msnapshot update %d: status %d", i, resp.StatusCode)
+		}
+		if i%100 == 99 {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	time.Sleep(20 * time.Millisecond) // one final controller pass
+
+	cresp, err := http.Get(ts.URL + "/counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cv struct {
+		Value int64 `json:"value"`
+	}
+	if err := json.NewDecoder(cresp.Body).Decode(&cv); err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+	if cv.Value != incs {
+		t.Fatalf("counter after live rollovers = %d, want %d (lost updates)", cv.Value, incs)
+	}
+
+	var st statsSnapshot
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if st.Rollovers < 2 {
+		t.Fatalf("rollovers = %d, want the controller to have re-based repeatedly", st.Rollovers)
+	}
+	if st.CounterGeneration < 1 {
+		t.Fatalf("counter generation = %d, want >= 1", st.CounterGeneration)
+	}
+	if st.MsnapRebase.Generations < 1 {
+		t.Fatalf("msnapshot generations = %d, want >= 1", st.MsnapRebase.Generations)
+	}
+	if st.RolloversRefused != 0 {
+		t.Fatalf("rollovers refused = %d, want 0 (the controller is the only migrator)", st.RolloversRefused)
+	}
+}
+
+// TestGracefulShutdownDrains exercises the serve-mode lifecycle: runServe
+// comes up, answers traffic, and — when its context is cancelled, the same
+// path a SIGTERM takes — drains and returns nil, the exit-0 contract
+// orchestrators rely on.
+func TestGracefulShutdownDrains(t *testing.T) {
+	setFlag(t, addr, "127.0.0.1:0")
+	setFlag(t, debugAddr, "")
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- runServe(ctx) }()
+	time.Sleep(100 * time.Millisecond) // let the listener come up
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("runServe after cancel = %v, want nil (exit 0)", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("runServe did not drain within 5s of cancellation")
+	}
+}

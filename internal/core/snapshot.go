@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 	"sync/atomic"
 
 	"stronglin/internal/interleave"
@@ -132,31 +133,34 @@ type SnapshotAPI interface {
 // so behaviour never depends on which substrate was selected.
 type FASnapshot struct {
 	n     int
+	name  string
 	codec interleave.Codec
 	w     prim.World
 	r     prim.FetchAdd    // wide engine; nil otherwise
 	rp    prim.FetchAddInt // single packed word; nil otherwise
 	pc    interleave.Packed
 	mp    interleave.MultiPacked
-	words []prim.FetchAddInt // multi-word engine; nil otherwise
-	bound int64              // -1: unbounded (wide); >= 0: declared max component value
-	prev  []int64            // prev[i] is accessed only by process i
+	bound int64   // -1: unbounded (wide); >= 0: declared max component value
+	prev  []int64 // prev[i] is accessed only by process i
 
-	// Multi-word helping machinery (nil/zero on the single-register engines).
-	// pressure counts the scans currently past their retry budget; slot holds
-	// the freshest helper deposit. spinBudget is how many invalidated rounds a
-	// scan absorbs before raising pressure (WithScanRetryBudget).
-	pressure   prim.FetchAddInt
-	slot       prim.AnyRegister
+	// Multi-word engine (nil on the single-register engines): eng is
+	// generation 0 — the k component words, the pressure register counting
+	// scans past their retry budget, the help slot holding the freshest
+	// helper deposit, and the optional view cache. With live re-base on
+	// (WithLiveRebase) eng is merely the FIRST generation: Rebase rolls the
+	// state onto successors chained through the generation next pointers (see
+	// rebase.go), and curGen[i] pins the generation process i last used
+	// (process-local — curGen[i] is only accessed by process i; nil when
+	// re-base is off, in which case eng is the engine forever). spinBudget is
+	// how many invalidated rounds a scan absorbs before raising pressure
+	// (WithScanRetryBudget).
+	eng        *mwGen
+	curGen     []*mwGen
+	rebaseOn   bool
+	genMu      sync.Mutex
+	nextGens   map[int64]*mwGen
 	spinBudget int
-
-	// cache is the multi-word view cache: the last validated view keyed by
-	// its word-0 anchor (WithViewCache, opt-in; nil when disabled or on the
-	// single-register engines). A scan reads it, then re-validates the
-	// anchor with ONE fresh word-0 read — still the scan's final
-	// view-determining step — and returns the cached view on a match.
-	cache   prim.AnyRegister
-	cacheOn bool
+	cacheOn    bool
 
 	// Telemetry (never read by the protocol). All counts are batched on the
 	// SLOW path only — a scan that validates its first round and an update
@@ -177,6 +181,11 @@ type FASnapshot struct {
 	// exists to keep at two loads and a copy).
 	cacheMisses    atomic.Int64
 	cacheRefreshes atomic.Int64
+
+	// rebaseCounters adds the live re-base telemetry (rebase.go), same
+	// slow-path-only discipline: cutovers, parks and diverts are rare by
+	// construction.
+	rebaseCounters
 
 	// met is the optional scrape-layer instrumentation (WithSnapshotObs);
 	// nil fields are no-ops, observed on contended completions only.
@@ -297,6 +306,7 @@ func WithSnapshotObs(m obs.SnapMetrics) SnapshotOption {
 func NewFASnapshot(w prim.World, name string, n int, opts ...SnapshotOption) *FASnapshot {
 	s := &FASnapshot{
 		n:          n,
+		name:       name,
 		codec:      interleave.MustNew(n),
 		w:          w,
 		bound:      -1,
@@ -315,14 +325,12 @@ func NewFASnapshot(w prim.World, name string, n int, opts ...SnapshotOption) *FA
 		}
 		if mp, ok := interleave.NewMultiPacked(n, width); ok {
 			s.mp = mp
-			s.words = make([]prim.FetchAddInt, mp.Words())
-			for j := range s.words {
-				s.words[j] = w.FetchAddInt(fmt.Sprintf("%s.R%d", name, j), 0)
-			}
-			s.pressure = w.FetchAddInt(name+".help", 0)
-			s.slot = w.AnyRegister(name+".slot", &mwDeposit{})
-			if s.cacheOn {
-				s.cache = w.AnyRegister(name+".cache", &mwCachedView{})
+			s.eng = s.newGen(0)
+			if s.rebaseOn {
+				s.curGen = make([]*mwGen, n)
+				for i := range s.curGen {
+					s.curGen[i] = s.eng
+				}
 			}
 			return s
 		}
@@ -336,7 +344,7 @@ func (s *FASnapshot) Packed() bool { return s.rp != nil }
 
 // Multiword reports whether the components are striped across the k-XADD
 // multi-word engine.
-func (s *FASnapshot) Multiword() bool { return s.words != nil }
+func (s *FASnapshot) Multiword() bool { return s.eng != nil }
 
 // Words returns the number of machine words holding components: 1 on the
 // single packed word, k on the multi-word engine, 0 on the wide register
@@ -345,8 +353,8 @@ func (s *FASnapshot) Words() int {
 	switch {
 	case s.rp != nil:
 		return 1
-	case s.words != nil:
-		return len(s.words)
+	case s.eng != nil:
+		return len(s.eng.words)
 	default:
 		return 0
 	}
@@ -358,7 +366,7 @@ func (s *FASnapshot) Engine() string {
 	switch {
 	case s.rp != nil:
 		return "packed"
-	case s.words != nil:
+	case s.eng != nil:
 		return "multiword"
 	default:
 		return "wide"
@@ -405,13 +413,19 @@ func (s *FASnapshot) CacheStats() obs.CacheStats {
 // wrap window, not a total update count; approaching 2^16−1 means the next
 // wrap is near, which is only a hazard if a scan could be descheduled across
 // it (see interleave.MultiPacked). 0 on the single-register engines, which
-// have no sequence fields. It reads the words with fetch&add(0) steps.
+// have no sequence fields. It reads the words with fetch&add(0) steps —
+// the LIVE generation's words, with re-base on: a completed cutover resets
+// the sequence fields, which is exactly the renewal the watermark drives.
 func (s *FASnapshot) SeqWatermark(t prim.Thread) int64 {
-	if s.words == nil {
+	if s.eng == nil {
 		return 0
 	}
+	g := s.eng
+	if s.rebaseOn {
+		g = s.liveGen(t)
+	}
 	var max int64
-	for _, w := range s.words {
+	for _, w := range g.words {
 		if q := s.mp.Seq(w.FetchAddInt(t, 0)); q > max {
 			max = q
 		}
@@ -449,7 +463,8 @@ func (s *FASnapshot) Update(t prim.Thread, v int64) {
 		panic(fmt.Sprintf("core: FASnapshot.Update(%d): value exceeds the declared bound %d", v, s.bound))
 	}
 	i := t.ID()
-	if s.words != nil {
+	if s.eng != nil {
+		g := s.engineFor(t)
 		if v == s.prev[i] {
 			// Unchanged value: the XADD(0) on the owning word is the whole
 			// operation (its linearization point, like the packed and wide
@@ -457,22 +472,35 @@ func (s *FASnapshot) Update(t prim.Thread, v int64) {
 			// a collect to observe, nothing for its validation to miss, and
 			// no completion worth announcing — a scan linearizes correctly
 			// on either side of this operation, and since the update
-			// invalidates no collect, it owes no help either.
-			s.words[s.mp.WordOf(i)].FetchAddInt(t, 0)
+			// invalidates no collect, it owes no help either. Safe even on a
+			// generation a cutover has since retired: re-basing carries the
+			// lane values over, so the successor's lane equals prev[i] too.
+			g.words[s.mp.WordOf(i)].FetchAddInt(t, 0)
 			prim.MarkLinPoint(s.w, t)
 			return
 		}
 		// Field delta plus sequence bump, one XADD: the linearization point.
 		// For a word-0 owner the bump is also the announce.
 		w := s.mp.WordOf(i)
-		s.words[w].FetchAddInt(t, s.mp.FieldDelta(s.prev[i], v, i))
+		g.words[w].FetchAddInt(t, s.mp.FieldDelta(s.prev[i], v, i))
 		prim.MarkLinPoint(s.w, t)
 		s.prev[i] = v
 		if w != 0 {
-			s.words[0].FetchAddInt(t, interleave.SeqIncrement) // announce completion
+			g.words[0].FetchAddInt(t, interleave.SeqIncrement) // announce completion
 		}
-		if s.pressure.FetchAddInt(t, 0) != 0 {
-			s.helpScan(t) // a scan is starving: collect and deposit for it
+		// The pressure poll — already a protocol step (the helping
+		// obligation) — doubles as the cutover check: a raised count means a
+		// scan is starving and the update owes a help collect; the cutover
+		// bit means a migrator armed this generation and the update must
+		// reconcile itself onto the successor (its XADD above may have missed
+		// the final collect). Divert wins when both hold: the starving scan
+		// is parking on the migrator's deposit anyway.
+		if p := g.pressure.FetchAddInt(t, 0); p != 0 {
+			if s.rebaseOn && p&mwCutoverBit != 0 {
+				s.divertUpdate(t, g, i, v)
+			} else {
+				s.helpScan(t, g) // a scan is starving: collect and deposit for it
+			}
 		}
 		return
 	}
@@ -572,36 +600,52 @@ func (s *FASnapshot) ScanInto(t prim.Thread, view []int64) []int64 {
 	if len(view) != s.n {
 		panic(fmt.Sprintf("core: FASnapshot.ScanInto: view has length %d, want %d", len(view), s.n))
 	}
-	if s.words != nil {
-		// View-cache fast path: read the cached entry, then ONE fresh word-0
-		// read. On an anchor match that read — performed AFTER the cache read,
-		// so it is the scan's final view-determining shared step — is the same
-		// closing announce witness the full collect's validating round ends
-		// with: every value-changing update moves word 0 (its own payload XADD
-		// for a word-0 owner, its announce bump otherwise) before it completes,
-		// so an unchanged word 0 certifies that no update completed since the
-		// cached collect validated, and the cached view IS the current state.
-		// Serving the cache without this witness is the negative twin
-		// (scanCachedStaleInto). The anchor compares full word-0 values, so
-		// the sequence fields' mod-2^16 wrap caveat widens here from one
-		// scan's window to the cache entry's lifetime: a false match needs
-		// 2^16 announces to elapse with word 0's payload lanes restored
-		// bit-identically while some other word changed — the same rollover
-		// family the migration plans (ROADMAP) retire; active objects refresh
-		// the entry on every miss, which keeps the window short in practice.
-		var cached *mwCachedView
-		if s.cache != nil {
-			if c, ok := s.cache.ReadAny(t).(*mwCachedView); ok && c.view != nil {
-				if s.words[0].FetchAddInt(t, 0) == c.anchor {
-					s.met.CacheHits.Inc()
-					copy(view, c.view)
-					return view
+	if s.eng != nil {
+		// With live re-base on, a scan may cross generations: a cutover
+		// discovered mid-collect parks the scan (scanCollectGen returns the
+		// installed successor) and the scan restarts there, re-pinning the
+		// process's generation. With re-base off the loop body runs exactly
+		// once on generation 0 — the pre-rebase protocol, step for step.
+		g := s.engineFor(t)
+		for {
+			// View-cache fast path: read the cached entry, then ONE fresh word-0
+			// read. On an anchor match that read — performed AFTER the cache read,
+			// so it is the scan's final view-determining shared step — is the same
+			// closing announce witness the full collect's validating round ends
+			// with: every value-changing update moves word 0 (its own payload XADD
+			// for a word-0 owner, its announce bump otherwise) before it completes,
+			// so an unchanged word 0 certifies that no update completed since the
+			// cached collect validated, and the cached view IS the current state.
+			// A cutover cannot be served stale either: the migrator's ARM bumps
+			// word 0 before any divert or install, so an anchor match also
+			// certifies no cutover transition intervened. Serving the cache
+			// without this witness is the negative twin (scanCachedStaleInto).
+			// The anchor compares full word-0 values, so the sequence fields'
+			// mod-2^16 wrap caveat widens here from one scan's window to the
+			// cache entry's lifetime: a false match needs 2^16 announces to
+			// elapse with word 0's payload lanes restored bit-identically while
+			// some other word changed — exactly the window the watermark-driven
+			// live re-base (rebase.go, internal/migrate) retires; active objects
+			// refresh the entry on every miss, which keeps it short meanwhile.
+			var cached *mwCachedView
+			if g.cache != nil {
+				if c, ok := g.cache.ReadAny(t).(*mwCachedView); ok && c.view != nil {
+					if g.words[0].FetchAddInt(t, 0) == c.anchor {
+						s.met.CacheHits.Inc()
+						copy(view, c.view)
+						return view
+					}
+					cached = c
 				}
-				cached = c
+				s.cacheMisses.Add(1) // cold entry or a completed update moved the anchor
 			}
-			s.cacheMisses.Add(1) // cold entry or a completed update moved the anchor
+			next := s.scanCollectGen(t, g, view, cached)
+			if next == nil {
+				return view
+			}
+			s.setGen(t, next)
+			g = next
 		}
-		return s.scanCollectInto(t, view, cached)
 	}
 	if s.rp != nil {
 		word := s.rp.FetchAddInt(t, 0)
@@ -619,17 +663,21 @@ func (s *FASnapshot) ScanInto(t prim.Thread, view []int64) []int64 {
 	return view
 }
 
-// scanCollectInto is the multi-word helped double collect — ScanInto past a
-// cache miss (cached carries the stale entry read at scan start, nil when
-// cold or uncached). It lives in its own frame so the cache-hit fast path
-// never pays for the collect buffer: the scanStackWords stack array below is
-// zeroed on every call to the function that declares it, which would tax
-// every hit with half a kilobyte of frame clearing if it sat in ScanInto.
-func (s *FASnapshot) scanCollectInto(t prim.Thread, view []int64, cached *mwCachedView) []int64 {
+// scanCollectGen is the multi-word helped double collect on generation g —
+// ScanInto past a cache miss (cached carries the stale entry read at scan
+// start, nil when cold or uncached). It returns nil after writing the view,
+// or the installed successor generation when a cutover parked the scan
+// without a view (the caller restarts there). It lives in its own frame so
+// the cache-hit fast path never pays for the collect buffer: the
+// scanStackWords stack array below is zeroed on every call to the function
+// that declares it, which would tax every hit with half a kilobyte of frame
+// clearing if it sat in ScanInto.
+func (s *FASnapshot) scanCollectGen(t prim.Thread, g *mwGen, view []int64, cached *mwCachedView) *mwGen {
 	var stack [scanStackWords]int64
-	cur := collectBuf(&stack, len(s.words))
-	s.collectWordsAnchored(t, cur)
+	cur := collectBuf(&stack, len(g.words))
+	s.collectWordsAnchored(t, g, cur)
 	raised, adopted := false, false
+	var next *mwGen
 	var failedRounds, missed int64
 	for spins := 0; ; spins++ {
 		// The adoption candidate must be read BEFORE the round's word-0
@@ -637,17 +685,43 @@ func (s *FASnapshot) scanCollectInto(t prim.Thread, view []int64, cached *mwCach
 		// could announce (and complete) between them unseen.
 		var dep *mwDeposit
 		if raised {
-			if d, ok := s.slot.ReadAny(t).(*mwDeposit); ok && len(d.words) == len(s.words) {
+			if d, ok := g.slot.ReadAny(t).(*mwDeposit); ok && len(d.words) == len(g.words) {
 				dep = d
 			}
 		}
-		if s.roundAnchored(t, cur) {
-			break // the round's own word-0 read is the closing witness
+		valid, cut := s.roundAnchoredCut(t, g, cur, s.rebaseOn)
+		if valid {
+			if !cut {
+				break // the round's own word-0 read is the closing witness
+			}
+			// PARK: the round validated but a cutover is in flight — reading
+			// the bit INSIDE the pair (between the words-1..k-1 reads and the
+			// closing word-0 read) is what proves a bit-clear return precedes
+			// the install (see rebase.go). Re-read the slot for the
+			// migrator's final deposit and take ONE fresh word-0 read as the
+			// scan's final shared step: on a match adopt the deposit — the
+			// standard closing witness, applied to the final collect — else
+			// the flip announce has landed, so await the install and restart
+			// on the successor. One attempt only: an unbounded adopt retry
+			// here could spin forever against the migrator's own announces.
+			pd, _ := g.slot.ReadAny(t).(*mwDeposit)
+			if pd != nil && len(pd.words) == len(g.words) &&
+				g.words[0].FetchAddInt(t, 0) == pd.words[0] {
+				copy(cur, pd.words)
+				adopted = true
+				s.parkAdopts.Add(1)
+				break
+			}
+			s.parkWaits.Add(1)
+			next = s.awaitNext(t, g)
+			break
 		}
 		failedRounds++
 		// The round failed, but its reads are the next round's baseline —
 		// and cur[0] now holds the word-0 value the round read LAST, the
-		// scan's most recent shared step: the witness for adoption.
+		// scan's most recent shared step: the witness for adoption. (A
+		// cutover's arm announce moves word 0, so a stale pre-arm deposit
+		// can never pass this check either.)
 		if dep != nil {
 			if cur[0] == dep.words[0] {
 				copy(cur, dep.words)
@@ -658,7 +732,7 @@ func (s *FASnapshot) scanCollectInto(t prim.Thread, view []int64, cached *mwCach
 		}
 		if spins >= s.spinBudget && !raised {
 			raised = true
-			s.pressure.FetchAddInt(t, 1)
+			g.pressure.FetchAddInt(t, 1)
 		}
 	}
 	// Telemetry, batched: a scan that validated its first round skips all
@@ -680,13 +754,20 @@ func (s *FASnapshot) scanCollectInto(t prim.Thread, view []int64, cached *mwCach
 		// unbounded lifetime"; clearing restores the original scope.
 		// (The clear may race a concurrent raise and clobber a fresher
 		// deposit — a progress delay for that scan, never a wrong view:
-		// adoption still demands the word-0 witness.)
-		if s.pressure.FetchAddInt(t, -1) == 1 {
-			s.slot.WriteAny(t, &mwDeposit{})
+		// adoption still demands the word-0 witness.) On an ARMED
+		// generation the clear can never fire: the cutover bit is set in
+		// the same register and never cleared, so the previous count reads
+		// bit+1, not 1 — the migrator's final deposit outlives every
+		// pressure episode, which is what parked stragglers adopt.
+		if g.pressure.FetchAddInt(t, -1) == 1 {
+			g.slot.WriteAny(t, &mwDeposit{})
 		}
 		if adopted {
 			s.scanAdopts.Add(1)
 		}
+	}
+	if next != nil {
+		return next // parked across the cutover: restart on the successor
 	}
 	for j, w := range cur {
 		s.mp.GatherWord(w, j, view)
@@ -697,11 +778,11 @@ func (s *FASnapshot) scanCollectInto(t prim.Thread, view []int64, cached *mwCach
 	// anchor. Last-writer-wins, like the help slot: a concurrent scan's
 	// overwrite can only delay hits, never corrupt one — a hit still
 	// demands its own fresh witness.
-	if s.cache != nil && (cached == nil || cached.anchor != cur[0]) {
-		s.cache.WriteAny(t, &mwCachedView{anchor: cur[0], view: append([]int64(nil), view...)})
+	if g.cache != nil && (cached == nil || cached.anchor != cur[0]) {
+		g.cache.WriteAny(t, &mwCachedView{anchor: cur[0], view: append([]int64(nil), view...)})
 		s.cacheRefreshes.Add(1)
 	}
-	return view
+	return nil
 }
 
 // collectBuf returns a k-word collect buffer backed by the caller's stack
@@ -726,13 +807,13 @@ func collectBuf(stack *[scanStackWords]int64, k int) []int64 {
 // announce and inherit the obligation. Deposits are last-writer-wins; a
 // stale deposit never corrupts a scan (its word-0 witness fails and the scan
 // retries), it only delays adoption.
-func (s *FASnapshot) helpScan(t prim.Thread) {
+func (s *FASnapshot) helpScan(t prim.Thread, g *mwGen) {
 	var stack [scanStackWords]int64
-	cur := collectBuf(&stack, len(s.words))
-	s.collectWordsAnchored(t, cur)
+	cur := collectBuf(&stack, len(g.words))
+	s.collectWordsAnchored(t, g, cur)
 	for r := 0; r < helperRounds; r++ {
-		if s.roundAnchored(t, cur) {
-			s.slot.WriteAny(t, &mwDeposit{words: append([]int64(nil), cur...)})
+		if s.roundAnchored(t, g, cur) {
+			g.slot.WriteAny(t, &mwDeposit{words: append([]int64(nil), cur...)})
 			s.helpDeposits.Add(1)
 			return
 		}
@@ -748,11 +829,11 @@ func (s *FASnapshot) helpScan(t prim.Thread) {
 // the pair's interval for some word and invalidates the round. The
 // word-0-FIRST collect without a separate closing re-read is the negative
 // exhibit (scanUnanchoredInto).
-func (s *FASnapshot) collectWordsAnchored(t prim.Thread, words []int64) {
-	for j := 1; j < len(s.words); j++ {
-		words[j] = s.words[j].FetchAddInt(t, 0)
+func (s *FASnapshot) collectWordsAnchored(t prim.Thread, g *mwGen, words []int64) {
+	for j := 1; j < len(g.words); j++ {
+		words[j] = g.words[j].FetchAddInt(t, 0)
 	}
-	words[0] = s.words[0].FetchAddInt(t, 0)
+	words[0] = g.words[0].FetchAddInt(t, 0)
 }
 
 // roundAnchored re-reads the k words in anchored order against the baseline
@@ -761,21 +842,38 @@ func (s *FASnapshot) collectWordsAnchored(t prim.Thread, words []int64) {
 // round's baseline; after a failed round cur[0] holds the word-0 value read
 // last — the caller's most recent shared step, and therefore the witness an
 // adoption check may compare a deposit against.
-func (s *FASnapshot) roundAnchored(t prim.Thread, cur []int64) bool {
-	valid := true
-	for j := 1; j < len(s.words); j++ {
-		w := s.words[j].FetchAddInt(t, 0)
+func (s *FASnapshot) roundAnchored(t prim.Thread, g *mwGen, cur []int64) bool {
+	valid, _ := s.roundAnchoredCut(t, g, cur, false)
+	return valid
+}
+
+// roundAnchoredCut is roundAnchored with the rebase-mode cutover check: when
+// rebase is set, the round also reads g's pressure register BETWEEN the
+// words-1..k-1 reads and the closing word-0 read, reporting whether the
+// cutover bit was set. The placement is load-bearing (rebase.go's park
+// argument): a pair that validates with the bit CLEAR proves the migrator's
+// arm announce either invalidated this pair or postdates its closing word-0
+// read — so the install postdates the scan's final shared step and the
+// bit-clear return needs no further check. With rebase false the pressure
+// read is skipped and the round is the pre-rebase protocol's, step for step.
+func (s *FASnapshot) roundAnchoredCut(t prim.Thread, g *mwGen, cur []int64, rebase bool) (valid, cut bool) {
+	valid = true
+	for j := 1; j < len(g.words); j++ {
+		w := g.words[j].FetchAddInt(t, 0)
 		if w != cur[j] {
 			valid = false
 			cur[j] = w
 		}
 	}
-	w0 := s.words[0].FetchAddInt(t, 0)
+	if rebase {
+		cut = g.pressure.FetchAddInt(t, 0)&mwCutoverBit != 0
+	}
+	w0 := g.words[0].FetchAddInt(t, 0)
 	if w0 != cur[0] {
 		valid = false
 		cur[0] = w0
 	}
-	return valid
+	return valid, cut
 }
 
 // collectWords reads the k words once, in index order (word 0 FIRST): the
@@ -784,9 +882,9 @@ func (s *FASnapshot) roundAnchored(t prim.Thread, cur []int64) bool {
 // with their real-time order, so scanNaiveInto (a lone collect with no
 // second, validating one) is not linearizable; the package tests pin the
 // counterexample.
-func (s *FASnapshot) collectWords(t prim.Thread, words []int64) {
-	for j := range s.words {
-		words[j] = s.words[j].FetchAddInt(t, 0)
+func (s *FASnapshot) collectWords(t prim.Thread, g *mwGen, words []int64) {
+	for j := range g.words {
+		words[j] = g.words[j].FetchAddInt(t, 0)
 	}
 }
 
@@ -806,13 +904,14 @@ func (s *FASnapshot) scanUnanchoredInto(t prim.Thread, view []int64) []int64 {
 	if len(view) != s.n {
 		panic(fmt.Sprintf("core: FASnapshot.scanUnanchoredInto: view has length %d, want %d", len(view), s.n))
 	}
+	g := s.eng
 	var stack [scanStackWords]int64
-	cur := collectBuf(&stack, len(s.words))
-	s.collectWords(t, cur)
+	cur := collectBuf(&stack, len(g.words))
+	s.collectWords(t, g, cur)
 	for {
 		valid := true
-		for j := range s.words {
-			w := s.words[j].FetchAddInt(t, 0)
+		for j := range g.words {
+			w := g.words[j].FetchAddInt(t, 0)
 			if w != cur[j] {
 				valid = false
 				cur[j] = w
@@ -838,10 +937,11 @@ func (s *FASnapshot) scanSpinInto(t prim.Thread, view []int64) []int64 {
 	if len(view) != s.n {
 		panic(fmt.Sprintf("core: FASnapshot.scanSpinInto: view has length %d, want %d", len(view), s.n))
 	}
+	g := s.eng
 	var stack [scanStackWords]int64
-	cur := collectBuf(&stack, len(s.words))
-	s.collectWordsAnchored(t, cur)
-	for !s.roundAnchored(t, cur) {
+	cur := collectBuf(&stack, len(g.words))
+	s.collectWordsAnchored(t, g, cur)
+	for !s.roundAnchored(t, g, cur) {
 	}
 	for j, w := range cur {
 		s.mp.GatherWord(w, j, view)
@@ -867,20 +967,21 @@ func (s *FASnapshot) scanAdoptUnanchoredInto(t prim.Thread, view []int64) []int6
 	if len(view) != s.n {
 		panic(fmt.Sprintf("core: FASnapshot.scanAdoptUnanchoredInto: view has length %d, want %d", len(view), s.n))
 	}
-	s.pressure.FetchAddInt(t, 1)
+	g := s.eng
+	g.pressure.FetchAddInt(t, 1)
 	var stack [scanStackWords]int64
-	cur := collectBuf(&stack, len(s.words))
-	s.collectWordsAnchored(t, cur)
+	cur := collectBuf(&stack, len(g.words))
+	s.collectWordsAnchored(t, g, cur)
 	for {
-		if d, ok := s.slot.ReadAny(t).(*mwDeposit); ok && len(d.words) == len(s.words) {
+		if d, ok := g.slot.ReadAny(t).(*mwDeposit); ok && len(d.words) == len(g.words) {
 			copy(cur, d.words) // adopt with NO closing word-0 witness: the bug
 			break
 		}
-		if s.roundAnchored(t, cur) {
+		if s.roundAnchored(t, g, cur) {
 			break
 		}
 	}
-	s.pressure.FetchAddInt(t, -1)
+	g.pressure.FetchAddInt(t, -1)
 	for j, w := range cur {
 		s.mp.GatherWord(w, j, view)
 	}
@@ -904,7 +1005,7 @@ func (s *FASnapshot) scanCachedStaleInto(t prim.Thread, view []int64) []int64 {
 	if len(view) != s.n {
 		panic(fmt.Sprintf("core: FASnapshot.scanCachedStaleInto: view has length %d, want %d", len(view), s.n))
 	}
-	if c, ok := s.cache.ReadAny(t).(*mwCachedView); ok && c.view != nil {
+	if c, ok := s.eng.cache.ReadAny(t).(*mwCachedView); ok && c.view != nil {
 		copy(view, c.view) // serve the cache with NO fresh word-0 witness: the bug
 		return view
 	}
@@ -917,9 +1018,10 @@ func (s *FASnapshot) scanNaiveInto(t prim.Thread, view []int64) []int64 {
 	if len(view) != s.n {
 		panic(fmt.Sprintf("core: FASnapshot.scanNaiveInto: view has length %d, want %d", len(view), s.n))
 	}
+	g := s.eng
 	var stack [scanStackWords]int64
-	cur := collectBuf(&stack, len(s.words))
-	s.collectWords(t, cur)
+	cur := collectBuf(&stack, len(g.words))
+	s.collectWords(t, g, cur)
 	for j, w := range cur {
 		s.mp.GatherWord(w, j, view)
 	}
@@ -935,9 +1037,13 @@ func (s *FASnapshot) Width(t prim.Thread) int {
 	switch {
 	case s.rp != nil:
 		return bits.Len64(uint64(s.rp.FetchAddInt(t, 0)))
-	case s.words != nil:
+	case s.eng != nil:
+		g := s.eng
+		if s.rebaseOn {
+			g = s.liveGen(t)
+		}
 		total := 0
-		for _, w := range s.words {
+		for _, w := range g.words {
 			total += s.mp.PayloadLen(w.FetchAddInt(t, 0))
 		}
 		return total

@@ -1,0 +1,277 @@
+// Package migrate turns the protocol's finite budgets into renewable ones.
+//
+// Two consumable resources bound how long the paper's objects can run. The
+// multi-word snapshot spends its mod-2^16 per-word sequence field
+// (interleave.SeqBits) on every update, and the sharded objects spend the
+// 48-bit announce count of their epoch register on every increment. Both
+// budgets are enormous in wall-clock terms, but both are FINITE, and a
+// long-lived deployment that merely waits for them to wrap trades a proof
+// obligation for a probability argument. The live re-base primitives close
+// that gap — core.FASnapshot.Rebase rolls the snapshot onto a fresh
+// generation of words, and the sharded objects' RolloverEpoch rewinds the
+// epoch register under a generation bump — but they are deliberately
+// mechanism, not policy: each performs exactly one cutover when called and
+// leaves WHEN to call it to the caller.
+//
+// This package is that caller. A Rebaser watches a set of Targets (one per
+// live object), classifies each watermark against warn/crit thresholds, and
+// performs the re-base when a target crosses its warn line. It also owns the
+// one piece of serialisation the primitives demand: at most one cutover may
+// run at a time per object (core.FASnapshot.Rebase and shard.RolloverEpoch
+// both state this contract), and the Rebaser's mutex provides it. The
+// primitives themselves tolerate a CRASHED migrator — a cutover that died
+// mid-flight is adopted and completed by the next call — so the mutex is a
+// liveness convenience, not a safety requirement; the injected-failure tests
+// in this package prove exactly that, by killing and stalling migrators with
+// the internal/sim fault hooks and checking the surviving histories.
+//
+// States degrade, they do not fail: StateWarn means a re-base is due (and
+// the Rebaser performs it on its next Step), StateCrit means the budget is
+// nearly spent and the operator should be paged — but even crit is recovered
+// by a successful rollover, after which the target reports StateOK again.
+// cmd/slserve maps these states onto its /healthz endpoint and the
+// slserve_*_watermark_state gauges.
+package migrate
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"stronglin/internal/core"
+	"stronglin/internal/interleave"
+	"stronglin/internal/prim"
+	"stronglin/internal/shard"
+)
+
+// State classifies a target's budget consumption.
+type State int
+
+const (
+	// StateOK: the watermark is below the warn threshold.
+	StateOK State = iota
+	// StateWarn: a re-base is due; the Rebaser performs it on its next Step.
+	StateWarn
+	// StateCrit: the budget is nearly spent. A rollover still recovers it.
+	StateCrit
+)
+
+func (s State) String() string {
+	switch s {
+	case StateOK:
+		return "ok"
+	case StateWarn:
+		return "warn"
+	case StateCrit:
+		return "crit"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Thresholds are fractions of a target's budget: a watermark at or above
+// Warn*Budget is StateWarn (and triggers a re-base), at or above Crit*Budget
+// is StateCrit.
+type Thresholds struct {
+	Warn float64
+	Crit float64
+}
+
+// DefaultThresholds re-bases at half the budget and pages at 90%. Half the
+// sequence budget is 2^15 updates per word between cutovers, which keeps the
+// witness arguments comfortably inside their no-wrap envelope.
+func DefaultThresholds() Thresholds { return Thresholds{Warn: 0.5, Crit: 0.9} }
+
+func (th Thresholds) validate() error {
+	if !(th.Warn > 0 && th.Warn <= th.Crit && th.Crit < 1) {
+		return fmt.Errorf("migrate: thresholds need 0 < warn <= crit < 1, got warn=%v crit=%v", th.Warn, th.Crit)
+	}
+	return nil
+}
+
+// SeqBudget is the multi-word snapshot's per-word sequence budget: the
+// watermark domain of core.FASnapshot.SeqWatermark.
+const SeqBudget = int64(1)<<interleave.SeqBits - 1
+
+// EpochBudget is the sharded objects' announce budget: the watermark domain
+// of their EpochAnnounces decoders (bits 0..47 of the epoch register).
+const EpochBudget = int64(1)<<48 - 1
+
+// Target is one live object whose budget the Rebaser renews. Watermark reads
+// the current consumption (scrape-safe, any thread), Budget is the domain it
+// is measured against, and rebase performs one cutover with the given floor.
+type Target struct {
+	// Name labels the target in telemetry (e.g. "counter", "msnapshot").
+	Name string
+	// Budget is the watermark domain; thresholds are fractions of it.
+	Budget int64
+	// Watermark reads the target's current budget consumption.
+	Watermark func(prim.Thread) int64
+	// rebase performs one cutover. floor is the refusal threshold handed to
+	// the shard rollover (ignored by the snapshot, whose budget renewal has
+	// no floor). It reports whether a cutover was performed.
+	rebase func(t prim.Thread, floor int64) bool
+}
+
+// WithBudget overrides the target's watermark domain. The protocol budget is
+// unchanged — only the thresholds tighten. The soak harness uses this to
+// force rollovers every few hundred operations instead of every few
+// trillion, so a minutes-long run crosses the watermark many times.
+func (tg Target) WithBudget(b int64) Target {
+	if b <= 0 {
+		panic(fmt.Sprintf("migrate: budget override must be positive, got %d", b))
+	}
+	tg.Budget = b
+	return tg
+}
+
+// SnapshotTarget watches a multi-word snapshot's sequence watermark and
+// renews it with core.FASnapshot.Rebase. Panics unless the snapshot was
+// built with core.WithLiveRebase on the multi-word engine: wiring a
+// non-rebasable snapshot into the Rebaser is a configuration bug, and the
+// watermark it would silently ignore is exactly the wrap this package
+// exists to prevent.
+func SnapshotTarget(name string, s *core.FASnapshot) Target {
+	if !s.RebaseEnabled() {
+		panic(fmt.Sprintf("migrate: snapshot target %q is not rebase-enabled (engine %s)", name, s.Engine()))
+	}
+	return Target{
+		Name:      name,
+		Budget:    SeqBudget,
+		Watermark: s.SeqWatermark,
+		rebase: func(t prim.Thread, _ int64) bool {
+			s.Rebase(t)
+			return true
+		},
+	}
+}
+
+// rollable is the epoch-rollover surface shared by the sharded objects.
+type rollable interface {
+	EpochAnnounces(t prim.Thread) int64
+	RolloverEpoch(t prim.Thread, minAnnounces int64) (int64, bool)
+}
+
+func shardTarget(name string, o rollable) Target {
+	return Target{
+		Name:      name,
+		Budget:    EpochBudget,
+		Watermark: o.EpochAnnounces,
+		rebase: func(t prim.Thread, floor int64) bool {
+			_, ok := o.RolloverEpoch(t, floor)
+			return ok
+		},
+	}
+}
+
+// CounterTarget watches a sharded counter's epoch announce count and renews
+// it with RolloverEpoch.
+func CounterTarget(name string, c *shard.Counter) Target { return shardTarget(name, c) }
+
+// MaxRegisterTarget is CounterTarget for a sharded max-register.
+func MaxRegisterTarget(name string, m *shard.MaxRegister) Target { return shardTarget(name, m) }
+
+// GSetTarget is CounterTarget for a sharded grow-only set.
+func GSetTarget(name string, g *shard.GSet) Target { return shardTarget(name, g) }
+
+// Stats is the Rebaser's cumulative telemetry. Read with Rebaser.Stats.
+type Stats struct {
+	// Rollovers counts cutovers performed across all targets.
+	Rollovers int64 `json:"rollovers"`
+	// Refused counts shard rollovers declined below their floor. Under the
+	// Rebaser's own gating this stays zero; a nonzero count means an external
+	// caller raced a RolloverEpoch against the Rebaser.
+	Refused int64 `json:"refused"`
+}
+
+// Rebaser drives watermark-triggered live re-bases over a set of targets.
+// It serialises cutovers (the at-most-one-migrator contract of the
+// underlying primitives) and is safe for concurrent use: State/StateOf are
+// lock-free scrapes, Step takes the cutover lock.
+type Rebaser struct {
+	mu        sync.Mutex
+	thr       Thresholds
+	targets   []Target
+	rollovers atomic.Int64
+	refused   atomic.Int64
+}
+
+// NewRebaser builds a Rebaser over the given targets. Thresholds must
+// satisfy 0 < warn <= crit < 1.
+func NewRebaser(thr Thresholds, targets ...Target) (*Rebaser, error) {
+	if err := thr.validate(); err != nil {
+		return nil, err
+	}
+	for i, tg := range targets {
+		if tg.Name == "" || tg.Budget <= 0 || tg.Watermark == nil || tg.rebase == nil {
+			return nil, fmt.Errorf("migrate: target %d (%q) is incomplete", i, tg.Name)
+		}
+	}
+	return &Rebaser{thr: thr, targets: targets}, nil
+}
+
+// Targets returns the watched target names, in StateOf index order.
+func (r *Rebaser) Targets() []string {
+	names := make([]string, len(r.targets))
+	for i, tg := range r.targets {
+		names[i] = tg.Name
+	}
+	return names
+}
+
+func (r *Rebaser) classify(w int64, budget int64) State {
+	frac := float64(w) / float64(budget)
+	switch {
+	case frac >= r.thr.Crit:
+		return StateCrit
+	case frac >= r.thr.Warn:
+		return StateWarn
+	}
+	return StateOK
+}
+
+// StateOf classifies target i's current watermark. Scrape-safe.
+func (r *Rebaser) StateOf(t prim.Thread, i int) State {
+	tg := &r.targets[i]
+	return r.classify(tg.Watermark(t), tg.Budget)
+}
+
+// State is the worst StateOf across all targets. Scrape-safe.
+func (r *Rebaser) State(t prim.Thread) State {
+	worst := StateOK
+	for i := range r.targets {
+		if s := r.StateOf(t, i); s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// Step evaluates every target once and re-bases those at or past their warn
+// line, returning the number of cutovers performed. The floor handed to the
+// shard rollovers is the warn line itself, so the quantitative ABA backstop
+// documented in internal/shard (64 floor-sized generations inside one reader
+// window) is pinned to the operator's own threshold.
+func (r *Rebaser) Step(t prim.Thread) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for i := range r.targets {
+		tg := &r.targets[i]
+		floor := int64(r.thr.Warn * float64(tg.Budget))
+		if tg.Watermark(t) < floor {
+			continue
+		}
+		if !tg.rebase(t, floor) {
+			r.refused.Add(1)
+			continue
+		}
+		r.rollovers.Add(1)
+		n++
+	}
+	return n
+}
+
+// Stats reads the cumulative telemetry.
+func (r *Rebaser) Stats() Stats {
+	return Stats{Rollovers: r.rollovers.Load(), Refused: r.refused.Load()}
+}

@@ -1,0 +1,386 @@
+package migrate
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"stronglin/internal/core"
+	"stronglin/internal/history"
+	"stronglin/internal/prim"
+	"stronglin/internal/shard"
+	"stronglin/internal/sim"
+	"stronglin/internal/spec"
+)
+
+// mwBound2 stripes 2 lanes over 2 words (FieldWidth 32, 1 lane/word): the
+// minimal multi-word shape, same as core's exhaustive cutover configs.
+const mwBound2 = int64(1)<<32 - 1
+
+// mwBound3 stripes 3 lanes over 2 words (FieldWidth 22, 2 lanes/word).
+const mwBound3 = int64(1)<<22 - 1
+
+func opUpdate(s *core.FASnapshot, i, v int64) sim.Op {
+	return sim.Op{
+		Name: spec.MkOp(spec.MethodUpdate, i, v).String(),
+		Spec: spec.MkOp(spec.MethodUpdate, i, v),
+		Run: func(t prim.Thread) string {
+			s.Update(t, v)
+			return spec.RespOK
+		},
+	}
+}
+
+func opScan(s *core.FASnapshot) sim.Op {
+	return sim.Op{
+		Name: "scan()",
+		Spec: spec.MkOp(spec.MethodScan),
+		Run:  func(t prim.Thread) string { return spec.RespVec(s.Scan(t)) },
+	}
+}
+
+// opRebase models the live cutover as the operation it linearizes as: the
+// scan returning the migrator's final validated deposit (see core.Rebase).
+func opRebase(s *core.FASnapshot) sim.Op {
+	return sim.Op{
+		Name: "rebase()",
+		Spec: spec.MkOp(spec.MethodScan),
+		Run:  func(t prim.Thread) string { return spec.RespVec(s.RebaseView(t)) },
+	}
+}
+
+// lowestEnabled is the deterministic base policy the fault rules filter: the
+// lowest-numbered unfaulted process runs until it blocks or finishes, so the
+// stall/kill windows fully determine the interleaving.
+func lowestEnabled(v sim.PolicyView) int { return v.Enabled[0] }
+
+func checkLin(t *testing.T, procs int, exec *sim.Execution) {
+	t.Helper()
+	h := history.FromEvents(procs, exec.Ops, exec.Events)
+	if res := history.CheckLinearizable(h, spec.Snapshot{}); !res.Ok {
+		t.Fatalf("history not linearizable:\n%v", exec.Events)
+	}
+}
+
+// --- Watermark states and the Rebaser's trigger ---------------------------
+
+func TestWatermarkStatesAndStep(t *testing.T) {
+	w := sim.NewSoloWorld()
+	th := sim.SoloThread(0)
+	c := shard.NewCounter(w, "c", 2, 2)
+	s := core.NewFASnapshot(w, "snap", 2, core.WithSnapshotBound(mwBound2), core.WithLiveRebase(true))
+
+	// Budget 8 with warn 0.5 / crit 0.9: warn at 4, crit at 8.
+	r, err := NewRebaser(DefaultThresholds(),
+		CounterTarget("counter", c).WithBudget(8),
+		SnapshotTarget("msnapshot", s).WithBudget(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Targets(); !reflect.DeepEqual(got, []string{"counter", "msnapshot"}) {
+		t.Fatalf("targets = %v", got)
+	}
+
+	for i := 0; i < 3; i++ {
+		c.Inc(th)
+	}
+	if got := r.StateOf(th, 0); got != StateOK {
+		t.Fatalf("state at 3/8 = %v, want ok", got)
+	}
+	if n := r.Step(th); n != 0 {
+		t.Fatalf("step below warn performed %d rollovers", n)
+	}
+	c.Inc(th) // 4/8: the warn line
+	if got := r.StateOf(th, 0); got != StateWarn {
+		t.Fatalf("state at 4/8 = %v, want warn", got)
+	}
+	if got := r.State(th); got != StateWarn {
+		t.Fatalf("aggregate state = %v, want warn (worst target)", got)
+	}
+	if n := r.Step(th); n != 1 {
+		t.Fatalf("step at warn performed %d rollovers, want 1", n)
+	}
+	if got := r.StateOf(th, 0); got != StateOK {
+		t.Fatalf("state after rollover = %v, want ok", got)
+	}
+	if got := c.Read(th); got != 4 {
+		t.Fatalf("counter after rollover = %d, want 4", got)
+	}
+	if got := c.EpochGeneration(th); got != 1 {
+		t.Fatalf("generation after step = %d, want 1", got)
+	}
+
+	// The snapshot target crosses crit, and one Step recovers it too.
+	for i := int64(1); i <= 8; i++ {
+		s.Update(sim.SoloThread(1), i)
+	}
+	if got := r.StateOf(th, 1); got != StateCrit {
+		t.Fatalf("snapshot state at 8/8 = %v, want crit", got)
+	}
+	if got := r.State(th); got != StateCrit {
+		t.Fatalf("aggregate state = %v, want crit", got)
+	}
+	if n := r.Step(th); n != 1 {
+		t.Fatalf("step at crit performed %d rollovers, want 1", n)
+	}
+	if got := s.SeqWatermark(th); got != 0 {
+		t.Fatalf("seq watermark after rebase = %d, want 0", got)
+	}
+	if got := r.State(th); got != StateOK {
+		t.Fatalf("aggregate state after recovery = %v, want ok", got)
+	}
+	if st := r.Stats(); st.Rollovers != 2 || st.Refused != 0 {
+		t.Fatalf("stats = %+v, want 2 rollovers, 0 refused", st)
+	}
+	// A second Step right after is a no-op: the budgets are fresh.
+	if n := r.Step(th); n != 0 {
+		t.Fatalf("step on fresh budgets performed %d rollovers", n)
+	}
+}
+
+func TestRebaserValidation(t *testing.T) {
+	w := sim.NewSoloWorld()
+	c := shard.NewCounter(w, "c", 2, 2)
+	if _, err := NewRebaser(Thresholds{Warn: 0.9, Crit: 0.5}, CounterTarget("c", c)); err == nil {
+		t.Fatal("inverted thresholds accepted")
+	}
+	if _, err := NewRebaser(Thresholds{Warn: 0, Crit: 0.5}, CounterTarget("c", c)); err == nil {
+		t.Fatal("zero warn accepted")
+	}
+	if _, err := NewRebaser(DefaultThresholds(), Target{Name: "hollow"}); err == nil {
+		t.Fatal("incomplete target accepted")
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("SnapshotTarget accepted a non-rebasable snapshot")
+		}
+		if !strings.Contains(fmt.Sprint(r), "not rebase-enabled") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	SnapshotTarget("plain", core.NewFASnapshot(w, "plain", 2, core.WithSnapshotBound(mwBound2)))
+}
+
+// --- Injected-failure proofs ----------------------------------------------
+//
+// Each drives the live cutover through a sim world with a fault rule from
+// internal/sim layered over the deterministic lowest-enabled policy, then
+// checks the surviving history: linearizable, and the stalled/killed
+// process's update is never lost.
+
+// TestFaultWriterStalledAcrossCutover freezes a writer between its payload
+// XADD and its cutover poll, runs a complete re-base over it, and resumes
+// it into a world two pointer-hops ahead: the poll observes the armed
+// generation, the update diverts, and the payload — already inside the
+// migrator's final validated collect — is carried, not re-applied.
+func TestFaultWriterStalledAcrossCutover(t *testing.T) {
+	var s *core.FASnapshot
+	setup := func(w *sim.World) []sim.Program {
+		s = core.NewFASnapshot(w, "snap", 3, core.WithSnapshotBound(mwBound3), core.WithLiveRebase(true))
+		return []sim.Program{
+			{opUpdate(s, 0, 5)},    // the stalled writer
+			{opRebase(s)},          // the migrator
+			{opScan(s), opScan(s)}, // scans on both sides of the resume
+		}
+	}
+	// The writer is frozen after 2 grants (invoke + payload XADD), squarely
+	// mid-operation, and thawed at step 30 — after the install (the migrator
+	// needs ~20 grants) but while the scanner still has its second scan
+	// outstanding, so the resumed writer finishes before that scan begins.
+	base := lowestEnabled
+	policy := sim.FaultedPolicy(3, base, sim.Stall(0, 2, 30))
+	exec, err := sim.RunToCompletion(3, setup, policy, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exec.Complete {
+		t.Fatalf("execution incomplete:\n%v", exec.Events)
+	}
+	resp := exec.Responses()
+	if resp[3] != "[5 0 0]" { // the scan after the writer's resume
+		t.Fatalf("final scan = %q, want [5 0 0] (stalled update lost?)", resp[3])
+	}
+	checkLin(t, 3, exec)
+	st := s.RebaseStats()
+	if st.Generations != 1 || st.Diverts < 1 {
+		t.Fatalf("stats = %+v, want 1 generation and a diverted update", st)
+	}
+}
+
+// TestFaultReaderParkedTwoGenerations opens a scan's validation window on
+// generation 0, freezes it while two complete cutovers run over it, and
+// resumes it into generation 2: the scan parks on each retired generation in
+// turn (both deposits fail the fresh-word witness — blind adoption is the
+// pinned negative twin in core), awaits each install, and re-collects on the
+// live generation.
+func TestFaultReaderParkedTwoGenerations(t *testing.T) {
+	var s *core.FASnapshot
+	setup := func(w *sim.World) []sim.Program {
+		s = core.NewFASnapshot(w, "snap", 3, core.WithSnapshotBound(mwBound3), core.WithLiveRebase(true))
+		return []sim.Program{
+			{opUpdate(s, 0, 5)},
+			{opScan(s)}, // the parked reader
+			{opRebase(s), opRebase(s), opScan(s), opScan(s)}, // the migrator, with slack work
+		}
+	}
+	// Freeze the reader 2 grants into its scan (window open, collect begun)
+	// and thaw it only after the second install has landed; the migrator's
+	// trailing scans keep the schedule from wedging while the reader is out.
+	policy := sim.FaultedPolicy(3, lowestEnabled, sim.Stall(1, 5, 50))
+	exec, err := sim.RunToCompletion(3, setup, policy, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exec.Complete {
+		t.Fatalf("execution incomplete:\n%v", exec.Events)
+	}
+	resp := exec.Responses()
+	if resp[1] != "[5 0 0]" { // the parked reader's scan
+		t.Fatalf("parked scan = %q, want [5 0 0]", resp[1])
+	}
+	checkLin(t, 3, exec)
+	st := s.RebaseStats()
+	if st.Generations != 2 {
+		t.Fatalf("generations = %d, want 2", st.Generations)
+	}
+	if st.ParkWaits < 2 {
+		t.Fatalf("stats = %+v, want the reader parked through both generations", st)
+	}
+}
+
+// TestFaultMigratorKilledRestarted kills a migrator at each of several
+// depths into its cutover — before the arm, mid-collect, after the deposit —
+// and has a second migrator call Rebase afresh. The restart adopts whatever
+// the corpse left (an armed bit, a partial pre-load) and completes the
+// cutover; the history stays linearizable with the writer's update intact,
+// exactly the contract core.Rebase documents for crashed migrators.
+func TestFaultMigratorKilledRestarted(t *testing.T) {
+	// The full cutover on this shape takes 15-17 grants; every kill point
+	// below leaves it genuinely mid-flight.
+	for _, kill := range []int{2, 5, 8, 11, 13, 14} {
+		var s *core.FASnapshot
+		setup := func(w *sim.World) []sim.Program {
+			s = core.NewFASnapshot(w, "snap", 4, core.WithSnapshotBound(mwBound3), core.WithLiveRebase(true))
+			return []sim.Program{
+				{opUpdate(s, 0, 5)},
+				{opRebase(s)}, // killed mid-cutover
+				{opRebase(s)}, // the restart
+				{opScan(s)},
+			}
+		}
+		policy := sim.FaultedPolicy(4, lowestEnabled, sim.Kill(1, kill))
+		exec, err := sim.RunToCompletion(4, setup, policy, 300)
+		if err != nil {
+			t.Fatalf("kill@%d: %v", kill, err)
+		}
+		if exec.Complete {
+			t.Fatalf("kill@%d: execution completed despite the killed migrator", kill)
+		}
+		resp := exec.Responses()
+		if _, ok := resp[1]; ok {
+			t.Fatalf("kill@%d: the killed migrator's op responded %q", kill, resp[1])
+		}
+		if resp[2] != "[5 0 0 0]" { // the restart's rebase view
+			t.Fatalf("kill@%d: restart rebase view = %q, want [5 0 0 0]", kill, resp[2])
+		}
+		if resp[3] != "[5 0 0 0]" { // the trailing scan
+			t.Fatalf("kill@%d: post-cutover scan = %q, want [5 0 0 0]", kill, resp[3])
+		}
+		checkLin(t, 4, exec)
+		if g := s.RebaseStats().Generations; g < 1 {
+			t.Fatalf("kill@%d: no cutover completed", kill)
+		}
+	}
+}
+
+// --- The sequence-wrap pin (real world) -----------------------------------
+
+// TestSeqWrapRollover is the wrap-pinning satellite: it spends the sequence
+// budget to within striking distance of 2^16 on real atomics, watches the
+// watermark cross warn and then crit, and has the Rebaser roll the snapshot
+// over live — concurrent scans running throughout — before the mod-2^16
+// counters can wrap. After the cutover the budget is fresh and the values
+// intact.
+func TestSeqWrapRollover(t *testing.T) {
+	w := prim.NewRealWorld()
+	s := core.NewFASnapshot(w, "snap", 2, core.WithSnapshotBound(mwBound2), core.WithLiveRebase(true))
+	r, err := NewRebaser(DefaultThresholds(), SnapshotTarget("msnapshot", s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	updater, scanner := prim.RealThread(1), prim.RealThread(0)
+
+	// A scanner runs through the entire burn-down and the cutover itself:
+	// every view it returns must be monotone in the updater's lane.
+	stop := make(chan struct{})
+	scanErr := make(chan string, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var prev int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := s.Scan(scanner)
+			if v[0] != 0 || v[1] < prev {
+				select {
+				case scanErr <- spec.RespVec(v):
+				default:
+				}
+				return
+			}
+			prev = v[1]
+		}
+	}()
+
+	// 60000 distinct values: the watermark lands at ~92% of the 2^16 budget,
+	// past crit, with ~5500 updates of headroom before the wrap.
+	const burn = 60000
+	for i := int64(1); i <= burn; i++ {
+		s.Update(updater, i)
+	}
+	if wm := s.SeqWatermark(updater); wm < burn {
+		t.Fatalf("seq watermark = %d, want >= %d", wm, burn)
+	}
+	if got := r.State(updater); got != StateCrit {
+		t.Fatalf("state near the wrap = %v, want crit", got)
+	}
+
+	if n := r.Step(updater); n != 1 {
+		t.Fatalf("step performed %d rollovers, want 1", n)
+	}
+	if g := s.Generation(updater); g != 1 {
+		t.Fatalf("generation = %d, want 1", g)
+	}
+	if wm := s.SeqWatermark(updater); wm >= burn {
+		t.Fatalf("seq watermark after rollover = %d: the budget was not renewed", wm)
+	}
+	if got := r.State(updater); got != StateOK {
+		t.Fatalf("state after rollover = %v, want ok", got)
+	}
+
+	// Life goes on, on the fresh budget.
+	for i := int64(burn + 1); i <= burn+100; i++ {
+		s.Update(updater, i)
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case bad := <-scanErr:
+		t.Fatalf("concurrent scan regressed: %s", bad)
+	default:
+	}
+	if got := spec.RespVec(s.Scan(scanner)); got != spec.RespVec([]int64{0, burn + 100}) {
+		t.Fatalf("final scan = %s, want [0 %d]", got, burn+100)
+	}
+	if st := r.Stats(); st.Rollovers != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 rollover", st)
+	}
+}

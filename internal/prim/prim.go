@@ -152,6 +152,34 @@ func MarkLinPoint(w World, t Thread) {
 	}
 }
 
+// Awaiter is implemented by worlds that support a CONDITIONAL read step on an
+// AnyRegister: the step executes (and returns the register's value) only once
+// ready reports true of it. The simulated world models it as a step that is
+// simply not enabled while the condition is false — which keeps exhaustive
+// exploration finite where a read-and-retry spin would branch forever — and
+// the real world spins. Semantically an await is a plain read that the
+// scheduler happens to grant only when the predicate holds: a weak-fairness
+// assumption, not a new primitive (the elided reads all return values the
+// predicate rejects and carry no information). The migration protocol's
+// wait-for-generation-flip is its only client.
+type Awaiter interface {
+	AwaitAny(t Thread, r AnyRegister, ready func(any) bool) any
+}
+
+// AwaitAny reads r repeatedly until ready accepts its value, and returns that
+// value. On worlds implementing Awaiter the wait is a single conditional step
+// (see Awaiter); elsewhere it degrades to a read spin.
+func AwaitAny(w World, t Thread, r AnyRegister, ready func(any) bool) any {
+	if a, ok := w.(Awaiter); ok {
+		return a.AwaitAny(t, r, ready)
+	}
+	for {
+		if v := r.ReadAny(t); ready(v) {
+			return v
+		}
+	}
+}
+
 // World allocates shared base objects. Each object has a name, unique within
 // the world, which identifies it in recorded execution traces and in the
 // base-object state collections used by the reduction of Lemma 12.

@@ -3,6 +3,7 @@ package prim
 import (
 	"fmt"
 	"math/big"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -16,6 +17,20 @@ type RealWorld struct {
 }
 
 var _ World = (*RealWorld)(nil)
+var _ Awaiter = (*RealWorld)(nil)
+
+// AwaitAny implements Awaiter by spinning on the register, yielding the
+// processor between probes. The real scheduler provides the weak fairness the
+// simulated world's conditional step models (see Awaiter): the writer that
+// makes ready true is a running goroutine, so the spin terminates.
+func (w *RealWorld) AwaitAny(t Thread, r AnyRegister, ready func(any) bool) any {
+	for {
+		if v := r.ReadAny(t); ready(v) {
+			return v
+		}
+		runtime.Gosched()
+	}
+}
 
 // NewRealWorld returns an empty real world.
 func NewRealWorld() *RealWorld {

@@ -104,8 +104,45 @@
 // from the full S-shard collect to the two steps between the slot read and
 // the epoch witness). The 2^48 announce capacity before the count would
 // carry into the pressure bits is of a kind with the engine's other
-// rollover caveats (ROADMAP); at one announce per nanosecond it is ~3 days
-// of continuous writes, and the count is per-object.
+// rollover caveats; at one announce per nanosecond it is ~3 days of
+// continuous writes, and the count is per-object — and unlike the
+// pre-migration engine it is no longer terminal: RolloverEpoch re-bases the
+// announce count live (see the live-rollover section below).
+//
+// # Live epoch rollover: the announce budget is renewable
+//
+// RolloverEpoch (on every sharded object) rewinds the epoch's announce
+// count to ~0 without stopping traffic, converting the 2^48 announce budget
+// from a lifetime into a lease. The whole cutover is one short sequence on
+// the migrator — no writer or reader path changes, and no operation blocks:
+//
+//  1. ARM: set epochCutoverBit with one fetch&add. The bit announces a
+//     rollover in flight (at most one runs at a time — internal/migrate
+//     serialises — and a crashed migrator's rollover is completed by simply
+//     calling RolloverEpoch again, which sees the bit and skips to step 2).
+//  2. FLUSH: overwrite the help slot and the combine cache with the
+//     no-deposit sentinel, so no combine validated against a pre-rollover
+//     epoch value survives the rewind.
+//  3. REWIND: read the epoch, take wound = its current announce count, and
+//     apply ONE fetch&add of (epochGenUnit - wound - epochCutoverBit) —
+//     rewinding the announces, bumping the rollover GENERATION field (bits
+//     56..61), and disarming, atomically. Announces that land between the
+//     read and the rewind survive as the new epoch's small starting count.
+//
+// Safety is the exact-value epoch witness plus the generation field: every
+// validation in the package — collect rounds, adoptions, cache hits —
+// compares exact 64-bit epoch values, and the rewind moves the generation,
+// so no value read before the rewind can equal one read after it. The ABA
+// a bare rewind would open (a reader's window spanning the rollover closing
+// on a bytewise-equal epoch) therefore needs the generation to wrap all the
+// way around: 64 rollovers, each at least the caller's announce floor apart,
+// inside one reader's open window — with the slot and cache also flushed
+// every rollover. The floor (RolloverEpoch's minAnnounces, the watermark
+// thresholds in cmd/slserve) makes that quantitatively absurd rather than
+// merely unlikely: 64 x floor announces must fit between two adjacent steps
+// of one reader. The generation field narrows raised-reader capacity from
+// 2^14 to 2^8 concurrent starved readers (pressure bits 48..55), still far
+// above any deployment's concurrent slow-path population.
 //
 // # Cached combines: steady-state reads skip the collect
 //
@@ -219,10 +256,30 @@ func WithObs(m obs.ShardMetrics) Option {
 	return func(c *config) { c.met = m }
 }
 
-// pressureUnit is one raised reader in the epoch register's pressure bits:
-// announce counts occupy the low 48 bits, starving-reader counts the bits
-// above (see the package comment's helping section).
+// pressureUnit is one raised reader in the epoch register's pressure bits.
+// The epoch register's full layout (see the package comment's helping and
+// live-rollover sections):
+//
+//	bits  0..47  announce count (monotone within a generation)
+//	bits 48..55  raised-reader pressure (up to 256 concurrent starved reads)
+//	bits 56..61  rollover generation (mod 64, bumped by RolloverEpoch)
+//	bit  62      epochCutoverBit — a rollover is in flight
 const pressureUnit = int64(1) << 48
+
+// epochGenUnit is one rollover generation: RolloverEpoch's rewind adds it so
+// that post-rollover epoch values can never compare equal to pre-rollover
+// ones, no matter where the rewound announce count lands. 6 bits wide.
+const epochGenUnit = int64(1) << 56
+
+// epochGenCount is the generation field's modulus (64): the number of live
+// rollovers before generations recur — the residual ABA window the package
+// comment's live-rollover section bounds.
+const epochGenCount = int64(epochCutoverBit / epochGenUnit)
+
+// epochCutoverBit marks a rollover in flight on the epoch register itself,
+// the same announce-as-final-step discipline as internal/core's mwCutoverBit.
+// Set by RolloverEpoch's arm step, cleared atomically by its rewind step.
+const epochCutoverBit = int64(1) << 62
 
 // helpDeposit is a helper's epoch-validated collect: the combined value
 // (value for the counter and max register, elems for the grow-only set)
@@ -293,7 +350,7 @@ func newHelpKit(w prim.World, name string, cfg config) *helpKit {
 // Deposits are last-writer-wins; a stale deposit never corrupts a read (its
 // epoch witness fails and the read retries), it only delays adoption.
 func (k *helpKit) announce(t prim.Thread, epoch prim.FetchAddInt, collect func(prim.Thread) (int64, []int64)) {
-	if epoch.FetchAddInt(t, 1) < pressureUnit {
+	if epochPressure(epoch.FetchAddInt(t, 1)) == 0 {
 		return
 	}
 	e := epoch.FetchAddInt(t, 0)
@@ -339,9 +396,63 @@ func (k *helpKit) CacheStats() obs.CacheStats {
 // plans trigger on.
 func epochAnnounces(e int64) int64 { return e & (pressureUnit - 1) }
 
-// epochPressure extracts the raised-reader count from an epoch value (the
-// bits above the announce count).
-func epochPressure(e int64) int64 { return e >> 48 }
+// epochPressure extracts the raised-reader count from an epoch value: bits
+// 48..55, masked so neither the rollover generation nor an in-flight
+// cutover bit reads as phantom pressure.
+func epochPressure(e int64) int64 { return (e >> 48) & (epochGenUnit/pressureUnit - 1) }
+
+// epochGeneration extracts the rollover generation from an epoch value
+// (bits 56..61): how many times RolloverEpoch has re-based the announce
+// count, mod epochGenCount.
+func epochGeneration(e int64) int64 { return (e >> 56) & (epochGenCount - 1) }
+
+// rebaseEpoch is the live epoch rollover shared by the three objects (the
+// package comment's live-rollover section): floor-check, ARM, FLUSH the help
+// slot and combine cache, then one rewind-bump-disarm fetch&add. Returns the
+// announce count it wound back and whether a rollover ran at all — a count
+// below minAnnounces is refused (and reported as (0, false)), EXCEPT when
+// the cutover bit is already set, which marks a crashed migrator's rollover:
+// the call adopts it and completes the remaining steps idempotently (the
+// flush re-writes a sentinel, the rewind measures wound fresh).
+//
+// At most one rollover may run at a time (internal/migrate serialises);
+// writers and readers need no quiescence — announces landing inside the
+// window simply survive the rewind as the new generation's starting count,
+// and every in-flight validation window spanning the rewind fails its exact
+// epoch comparison (the generation moved) and retries against post-rollover
+// values.
+func rebaseEpoch(t prim.Thread, epoch prim.FetchAddInt, k *helpKit, minAnnounces int64) (int64, bool) {
+	e := epoch.FetchAddInt(t, 0)
+	if e&epochCutoverBit == 0 {
+		if epochAnnounces(e) < minAnnounces {
+			return 0, false
+		}
+		epoch.FetchAddInt(t, epochCutoverBit) // ARM: a rollover is in flight
+	}
+	// FLUSH: no combine validated against a pre-rollover epoch value may
+	// survive the rewind. Clearing races a concurrent helper deposit or
+	// cache refresh exactly like the last raised reader's clear does — a
+	// progress delay for one reader, never a wrong value (adoption and cache
+	// hits still demand their own closing epoch witness, which the rewind's
+	// generation bump forces to miss).
+	k.slot.WriteAny(t, &helpDeposit{epoch: -1})
+	if k.cache != nil {
+		k.cache.WriteAny(t, &helpDeposit{epoch: -1})
+	}
+	// REWIND: one fetch&add rewinds the announces measured this instant,
+	// bumps the generation, and clears the cutover bit atomically. At the
+	// generation modulus the +epochGenUnit carry would land on the cutover
+	// bit; subtract the full field instead so the generation wraps to 0
+	// with the bit still cleanly cleared.
+	cur := epoch.FetchAddInt(t, 0)
+	wound := epochAnnounces(cur)
+	delta := epochGenUnit - wound - epochCutoverBit
+	if epochGeneration(cur) == epochGenCount-1 {
+		delta = -(epochGenCount-1)*epochGenUnit - wound - epochCutoverBit
+	}
+	epoch.FetchAddInt(t, delta)
+	return wound, true
+}
 
 // WithBound declares the value domain [0, bound] of the object (max-register
 // values, grow-only-set elements, or the counter's final count). Each shard
@@ -466,6 +577,24 @@ func (c *Counter) PressureRaised(t prim.Thread) int64 {
 	return epochPressure(c.epoch.FetchAddInt(t, 0))
 }
 
+// EpochGeneration returns how many live rollovers the counter's epoch has
+// absorbed (mod 64 — see the package comment's live-rollover section).
+func (c *Counter) EpochGeneration(t prim.Thread) int64 {
+	return epochGeneration(c.epoch.FetchAddInt(t, 0))
+}
+
+// RolloverEpoch performs one live re-base of the counter's epoch register:
+// the announce count — the object's 2^48 lifetime write budget — is wound
+// back to ~0 without stopping traffic (see the package comment's
+// live-rollover section). Refused, returning (0, false), while the count is
+// below minAnnounces: the floor is the quantitative ABA argument, so callers
+// pass their watermark threshold, not 0. At most one rollover may run at a
+// time (internal/migrate serialises); a crashed rollover is completed by
+// calling again.
+func (c *Counter) RolloverEpoch(t prim.Thread, minAnnounces int64) (int64, bool) {
+	return rebaseEpoch(t, c.epoch, c.help, minAnnounces)
+}
+
 // readSingleCollect is the naive combine kept for the negative model check:
 // linearizable (the sum passes through every intermediate total) but not
 // strongly linearizable (see the package comment's trap).
@@ -582,6 +711,18 @@ func (m *MaxRegister) PressureRaised(t prim.Thread) int64 {
 	return epochPressure(m.epoch.FetchAddInt(t, 0))
 }
 
+// EpochGeneration returns how many live rollovers the register's epoch has
+// absorbed (see Counter.EpochGeneration).
+func (m *MaxRegister) EpochGeneration(t prim.Thread) int64 {
+	return epochGeneration(m.epoch.FetchAddInt(t, 0))
+}
+
+// RolloverEpoch performs one live re-base of the register's epoch announce
+// count (see Counter.RolloverEpoch).
+func (m *MaxRegister) RolloverEpoch(t prim.Thread, minAnnounces int64) (int64, bool) {
+	return rebaseEpoch(t, m.epoch, m.help, minAnnounces)
+}
+
 // readMaxSingleCollect is the broken combine kept for the negative model
 // check: one unvalidated collect is not even linearizable. See the package
 // comment's counterexample.
@@ -695,6 +836,18 @@ func (g *GSet) EpochAnnounces(t prim.Thread) int64 {
 // PressureRaised returns the set's currently-raised reader count.
 func (g *GSet) PressureRaised(t prim.Thread) int64 {
 	return epochPressure(g.epoch.FetchAddInt(t, 0))
+}
+
+// EpochGeneration returns how many live rollovers the set's epoch has
+// absorbed (see Counter.EpochGeneration).
+func (g *GSet) EpochGeneration(t prim.Thread) int64 {
+	return epochGeneration(g.epoch.FetchAddInt(t, 0))
+}
+
+// RolloverEpoch performs one live re-base of the set's epoch announce count
+// (see Counter.RolloverEpoch).
+func (g *GSet) RolloverEpoch(t prim.Thread, minAnnounces int64) (int64, bool) {
+	return rebaseEpoch(t, g.epoch, g.help, minAnnounces)
 }
 
 // hasSingleCollect is the naive combine kept for the negative model check:
@@ -866,7 +1019,7 @@ func validatedRead[T any](t prim.Thread, epoch prim.FetchAddInt, k *helpKit,
 		// concurrent raise and clobber a fresher deposit — a progress delay
 		// for that reader, never a wrong value: adoption still demands the
 		// closing epoch witness.
-		if epoch.FetchAddInt(t, -pressureUnit)>>48 == 1 {
+		if epochPressure(epoch.FetchAddInt(t, -pressureUnit)) == 1 {
 			k.slot.WriteAny(t, &helpDeposit{epoch: -1})
 		}
 		if adopted {

@@ -168,11 +168,14 @@ func TreeFromSchedules(procs int, setup Setup, schedules [][]int) (*Tree, error)
 				}
 			}
 			if child == nil {
+				// A node with no enabled process is only Complete if every
+				// program finished — conditional steps (World.AwaitAny) can
+				// leave processes blocked with work outstanding.
 				child = &Node{
 					Proc:     p,
 					Events:   exec.Batch(i),
 					Enabled:  exec.Enabled[i+1],
-					Complete: len(exec.Enabled[i+1]) == 0,
+					Complete: len(exec.Enabled[i+1]) == 0 && exec.Complete,
 				}
 				cur.Children = append(cur.Children, child)
 				tree.Nodes++

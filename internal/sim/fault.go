@@ -1,0 +1,75 @@
+package sim
+
+// Fault injection: deterministic failure hooks layered over any scheduling
+// Policy. A crash in this model is a process that is never scheduled again
+// (crash_test.go's observation that crash scenarios are prefixes of the
+// execution tree), and a stall is a window of the schedule in which a process
+// is withheld — both are expressible as FILTERS on the enabled set, so they
+// compose with any base policy (fixed schedules, round-robin, the anchor
+// storm) without touching the runner. The migration fault harness
+// (internal/migrate) drives its injected-failure proofs through these: a
+// writer stalled mid-XADD across a cutover, a reader parked through two
+// generations, a migrator killed mid-cutover and restarted by another
+// process.
+//
+// Executions under faults may end INCOMPLETE (killed or starved processes
+// leave operations pending, and processes blocked on conditional steps —
+// World.AwaitAny — can deadlock once their waker is dead). That is recorded,
+// not hidden: Execution.Complete stays false, and the history checkers treat
+// the unfinished operations as pending, exactly as the formal definitions
+// require.
+
+// FaultRule reports whether proc may be scheduled at this point. grants[p] is
+// the number of grants process p has received so far.
+type FaultRule func(v PolicyView, grants []int, proc int) bool
+
+// Kill crashes victim after it has received afterGrants grants: from then on
+// it is never scheduled again. Kill(victim, 0) prevents it from ever running.
+func Kill(victim, afterGrants int) FaultRule {
+	return func(_ PolicyView, grants []int, p int) bool {
+		return p != victim || grants[victim] < afterGrants
+	}
+}
+
+// Stall withholds victim while the global step count is in [from, until): it
+// keeps whatever operation it has in flight — mid-XADD, mid-collect — frozen
+// across the window, then resumes. Stall(victim, from, 1<<62) is a kill that
+// triggers at a global time instead of a grant count.
+func Stall(victim, from, until int) FaultRule {
+	return func(v PolicyView, _ []int, p int) bool {
+		return p != victim || v.Step < from || v.Step >= until
+	}
+}
+
+// FaultedPolicy wraps base so that processes suppressed by any rule are
+// removed from the enabled set before base sees it. When every enabled
+// process is suppressed the run stops (the remaining system is wedged by the
+// injected faults); base is never shown an empty set.
+func FaultedPolicy(procs int, base Policy, rules ...FaultRule) Policy {
+	grants := make([]int, procs)
+	return func(v PolicyView) int {
+		filtered := make([]int, 0, len(v.Enabled))
+		for _, p := range v.Enabled {
+			ok := true
+			for _, r := range rules {
+				if !r(v, grants, p) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				filtered = append(filtered, p)
+			}
+		}
+		if len(filtered) == 0 {
+			return -1
+		}
+		fv := v
+		fv.Enabled = filtered
+		pick := base(fv)
+		if pick >= 0 && pick < procs {
+			grants[pick]++
+		}
+		return pick
+	}
+}

@@ -96,6 +96,13 @@ type procMsg struct {
 	info   string
 	resp   string
 	panicV any
+	// cond, when non-nil, gates a CONDITIONAL step (World.AwaitAny): the
+	// process is enabled only while cond reports true. The scheduler evaluates
+	// it between grants — every process is blocked then, so the closure may
+	// read object state directly — and it is a pure function of the object
+	// states, so replays of a schedule prefix reproduce the same enabled sets
+	// (which is what keeps Explore and TreeFromSchedules deterministic).
+	cond func() bool
 }
 
 type procState struct {
@@ -123,8 +130,16 @@ func (r *runner) markLinPoint(proc int) {
 }
 
 func (r *runner) step(pid int, info string, fn func()) {
+	r.stepCond(pid, info, nil, fn)
+}
+
+// stepCond is step with an optional enabling condition: while cond reports
+// false the process is simply not schedulable (see procMsg.cond). A run whose
+// only enabled processes are all condition-blocked ends incomplete — the
+// deadlock is recorded, not hidden.
+func (r *runner) stepCond(pid int, info string, cond func() bool, fn func()) {
 	p := r.procs[pid]
-	r.send(p, procMsg{kind: msgYield, opID: p.curOp, info: info})
+	r.send(p, procMsg{kind: msgYield, opID: p.curOp, info: info, cond: cond})
 	select {
 	case <-p.grant:
 	case <-r.abort:
@@ -239,7 +254,11 @@ func RunPolicy(procs int, setup Setup, policy Policy, maxSteps int) (*Execution,
 		enabled := enabledSet(status)
 		exec.Enabled = append(exec.Enabled, enabled)
 		if len(enabled) == 0 {
-			exec.Complete = true
+			// No schedulable process: either every program finished, or the
+			// remaining ones are all blocked on conditional steps (a deadlock —
+			// e.g. awaiting a generation flip whose migrator was killed). Only
+			// the former is a complete execution.
+			exec.Complete = allDone(status)
 			break
 		}
 		if step >= maxSteps {
@@ -249,7 +268,8 @@ func RunPolicy(procs int, setup Setup, policy Policy, maxSteps int) (*Execution,
 		if pick < 0 {
 			break
 		}
-		if pick >= procs || status[pick].kind != msgYield {
+		if pick >= procs || status[pick].kind != msgYield ||
+			(status[pick].cond != nil && !status[pick].cond()) {
 			return nil, fmt.Errorf("%w: process %d at step %d", ErrNotEnabled, pick, step)
 		}
 
@@ -289,12 +309,21 @@ func RunPolicy(procs int, setup Setup, policy Policy, maxSteps int) (*Execution,
 func enabledSet(status []procMsg) []int {
 	var out []int
 	for p, m := range status {
-		if m.kind == msgYield {
+		if m.kind == msgYield && (m.cond == nil || m.cond()) {
 			out = append(out, p)
 		}
 	}
 	sort.Ints(out)
 	return out
+}
+
+func allDone(status []procMsg) bool {
+	for _, m := range status {
+		if m.kind != msgProgDone {
+			return false
+		}
+	}
+	return true
 }
 
 // RunInline executes ops sequentially, in order, on a detached world on

@@ -19,6 +19,7 @@ type World struct {
 }
 
 var _ prim.World = (*World)(nil)
+var _ prim.Awaiter = (*World)(nil)
 
 // NewSoloWorld returns a detached world in which primitive operations
 // execute immediately. It is used for sequential testing of constructions
@@ -97,6 +98,32 @@ func (w *World) access(t prim.Thread, info string, fn func()) {
 		return
 	}
 	w.runner.step(t.ID(), info, fn)
+}
+
+// AwaitAny implements prim.Awaiter: one CONDITIONAL read step on r that the
+// scheduler grants only while ready accepts the register's current value (see
+// procMsg.cond — between grants every process is blocked, so the predicate
+// may inspect the object directly, and it is a pure function of the object
+// state, keeping replay deterministic). Modelling the wait this way — instead
+// of a read-and-retry spin — is what keeps exhaustive exploration finite: the
+// elided reads would all return values the predicate rejects and carry no
+// information, so suppressing those branches is a weak-fairness assumption,
+// not a loss of generality. In solo mode an await whose condition does not
+// already hold panics (there is no other process to make it true).
+func (w *World) AwaitAny(t prim.Thread, r prim.AnyRegister, ready func(any) bool) any {
+	sr, ok := r.(*simAnyRegister)
+	if !ok || sr.w != w {
+		panic("sim: AwaitAny on a register from another world")
+	}
+	if w.runner == nil {
+		if !ready(sr.o.val) {
+			panic(fmt.Sprintf("sim: AwaitAny on %q would block forever in solo mode", sr.o.name))
+		}
+		return sr.o.val
+	}
+	var v any
+	w.runner.stepCond(t.ID(), sr.o.name+".await", func() bool { return ready(sr.o.val) }, func() { v = sr.o.val })
+	return v
 }
 
 // ObjectNames returns the names of all allocated objects in allocation

@@ -64,6 +64,7 @@ import (
 	"stronglin/internal/adversary"
 	"stronglin/internal/core"
 	"stronglin/internal/interleave"
+	"stronglin/internal/migrate"
 	"stronglin/internal/obs"
 	"stronglin/internal/pool"
 	"stronglin/internal/prim"
@@ -147,6 +148,25 @@ func WithScanRetryBudget(rounds int) SnapshotOption {
 func WithViewCache(enabled bool) SnapshotOption {
 	return core.WithViewCache(enabled)
 }
+
+// WithLiveRebase enables the multi-word snapshot engine's live re-base: the
+// Snapshot gains Rebase, which rolls the running object onto a fresh
+// generation of words — renewing the mod-2^16 per-word sequence budget —
+// without stopping readers or writers. Generation, CutoverInFlight,
+// SeqWatermark, and RebaseStats expose the scrape-safe telemetry. At most
+// one Rebase may run at a time; the Rebaser (see NewRebaser) provides the
+// serialisation and the watermark-triggered policy. No-op on the
+// single-register engines, whose substrates have no sequence fields to
+// exhaust.
+func WithLiveRebase(enabled bool) SnapshotOption {
+	return core.WithLiveRebase(enabled)
+}
+
+// RebaseStats is the live re-base telemetry block reported by
+// Snapshot.RebaseStats: completed cutovers, scans that parked and adopted
+// the migrator's deposit, scans that parked and awaited the install, and
+// updates diverted onto a successor generation.
+type RebaseStats = core.RebaseStats
 
 // WithReadCache is WithViewCache for the sharded objects: a validated
 // combining read publishes its combined value keyed by the exact epoch value
@@ -395,6 +415,69 @@ type ShardedGSet = shard.GSet
 // cores (shards <= n).
 func NewShardedGSet(w *World, n, shards int, opts ...ShardOption) *ShardedGSet {
 	return shard.NewGSet(w, "stronglin.shardgset", n, shards, opts...)
+}
+
+// WatermarkState classifies a watched object's budget consumption; see
+// NewRebaser.
+type WatermarkState = migrate.State
+
+// Watermark states, in degradation order. Warn means a re-base is due (the
+// Rebaser performs it on its next Step); Crit means the budget is nearly
+// spent — and a successful rollover still recovers it to OK.
+const (
+	WatermarkOK   = migrate.StateOK
+	WatermarkWarn = migrate.StateWarn
+	WatermarkCrit = migrate.StateCrit
+)
+
+// RebaseThresholds are the warn/crit fractions of a watched budget; see
+// NewRebaser.
+type RebaseThresholds = migrate.Thresholds
+
+// DefaultRebaseThresholds re-bases at half the budget and pages at 90%.
+func DefaultRebaseThresholds() RebaseThresholds { return migrate.DefaultThresholds() }
+
+// RebaseTarget is one live object whose finite budget a Rebaser renews:
+// the multi-word snapshot's mod-2^16 sequence budget, or a sharded object's
+// 2^48 epoch announce budget.
+type RebaseTarget = migrate.Target
+
+// SnapshotRebaseTarget watches a multi-word snapshot's sequence watermark
+// and renews it with a live Rebase. The snapshot must have been built with
+// WithLiveRebase.
+func SnapshotRebaseTarget(name string, s *Snapshot) RebaseTarget {
+	return migrate.SnapshotTarget(name, s)
+}
+
+// CounterRebaseTarget watches a sharded counter's epoch announce count and
+// renews it with RolloverEpoch.
+func CounterRebaseTarget(name string, c *ShardedCounter) RebaseTarget {
+	return migrate.CounterTarget(name, c)
+}
+
+// MaxRegisterRebaseTarget is CounterRebaseTarget for a sharded max-register.
+func MaxRegisterRebaseTarget(name string, m *ShardedMaxRegister) RebaseTarget {
+	return migrate.MaxRegisterTarget(name, m)
+}
+
+// GSetRebaseTarget is CounterRebaseTarget for a sharded grow-only set.
+func GSetRebaseTarget(name string, g *ShardedGSet) RebaseTarget {
+	return migrate.GSetTarget(name, g)
+}
+
+// Rebaser drives watermark-triggered live re-bases over a set of targets,
+// serialising cutovers (the at-most-one-migrator contract of the underlying
+// primitives). State and StateOf are scrape-safe; Step performs the due
+// cutovers.
+type Rebaser = migrate.Rebaser
+
+// RebaserStats is the Rebaser's cumulative telemetry.
+type RebaserStats = migrate.Stats
+
+// NewRebaser builds a Rebaser over the given targets. Thresholds must
+// satisfy 0 < warn <= crit < 1.
+func NewRebaser(thr RebaseThresholds, targets ...RebaseTarget) (*Rebaser, error) {
+	return migrate.NewRebaser(thr, targets...)
 }
 
 // AdversaryOutcome aggregates strong-adversary game trials (see
