@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"stronglin/internal/baseline"
+	"stronglin/internal/cluster"
 	"stronglin/internal/core"
 	"stronglin/internal/interleave"
 	"stronglin/internal/prim"
@@ -384,6 +385,32 @@ func targets() []target {
 					} else {
 						c.Inc(t)
 					}
+				}
+			},
+		},
+		{
+			// The ownership-routing discipline (internal/cluster) wrapped
+			// around the identical sharded packed counter: every op pays
+			// Table.Route's record read, drain-slot occupy/release and
+			// record re-validation on top of the engine op. The gap to the
+			// row above is the routing tier's per-request protocol cost
+			// with no network in the way — what a frontend adds to an
+			// owner-local operation beyond the HTTP hop itself.
+			name: "counter: cluster-routed (SL)",
+			build: func(n int) func(prim.Thread, int) {
+				w := prim.NewRealWorld()
+				c := shard.NewCounter(w, "c", n, min(4, n), shard.WithBound(1<<40))
+				tb := cluster.NewTable(w, "route", n, 0, "counter")
+				noop := func() {}
+				return func(t prim.Thread, i int) {
+					tb.Route(t, t.ID(), "counter", func(int, int64) error {
+						if i%4 == 0 {
+							c.Read(t)
+						} else {
+							c.Inc(t)
+						}
+						return nil
+					}, noop, noop)
 				}
 			},
 		},

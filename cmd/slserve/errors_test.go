@@ -1,0 +1,186 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// errShape is the one error contract: every non-200 from every endpoint.
+type errShape struct {
+	Error             *string `json:"error"`
+	Retryable         *bool   `json:"retryable"`
+	RetryAfterSeconds *int64  `json:"retry_after_seconds"`
+}
+
+// assertErrShape fails unless rec carries the uniform JSON error body with
+// all three fields present and the expected retryable classification.
+func assertErrShape(t *testing.T, rec *httptest.ResponseRecorder, retryable bool) {
+	t.Helper()
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("error response Content-Type = %q, want application/json (body %q)", ct, rec.Body.String())
+	}
+	var e errShape
+	dec := json.NewDecoder(strings.NewReader(rec.Body.String()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&e); err != nil {
+		t.Fatalf("error body %q does not decode as {error, retryable, retry_after_seconds}: %v", rec.Body.String(), err)
+	}
+	if e.Error == nil || *e.Error == "" {
+		t.Fatalf("error body %q: missing or empty 'error'", rec.Body.String())
+	}
+	if e.Retryable == nil {
+		t.Fatalf("error body %q: missing 'retryable'", rec.Body.String())
+	}
+	if e.RetryAfterSeconds == nil {
+		t.Fatalf("error body %q: missing 'retry_after_seconds'", rec.Body.String())
+	}
+	if *e.Retryable != retryable {
+		t.Fatalf("retryable = %v, want %v (body %q)", *e.Retryable, retryable, rec.Body.String())
+	}
+	if *e.RetryAfterSeconds < 0 {
+		t.Fatalf("retry_after_seconds = %d, want >= 0", *e.RetryAfterSeconds)
+	}
+	if *e.RetryAfterSeconds > 0 && rec.Header().Get("Retry-After") == "" {
+		t.Fatalf("retry_after_seconds %d without a Retry-After header", *e.RetryAfterSeconds)
+	}
+}
+
+// TestErrorShapeUniform drives every endpoint's non-200 classes — wrong
+// method, bad parameter, fenced generation, terminal budget — and asserts
+// each answers the one shared shape. A new endpoint that hand-rolls its
+// errors breaks here, not in a client.
+func TestErrorShapeUniform(t *testing.T) {
+	// Tiny clock budget: the second tick exhausts Algorithm 1's references,
+	// the terminal (non-retryable) 503.
+	srv := newServerClock(4, 2, 0, 1)
+	h := srv.handler()
+	do := func(method, target, gen string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(method, target, nil)
+		if gen != "" {
+			req.Header.Set("X-SL-Gen", gen)
+		}
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+	if rec := do(http.MethodPost, "/clock/tick", ""); rec.Code != http.StatusOK {
+		t.Fatalf("first tick: %d %s", rec.Code, rec.Body.String())
+	}
+
+	cases := []struct {
+		name      string
+		method    string
+		target    string
+		gen       string
+		wantCode  int
+		retryable bool
+	}{
+		{"counter-inc-wrong-method", http.MethodGet, "/counter/inc", "", http.StatusMethodNotAllowed, false},
+		{"counter-add-wrong-method", http.MethodGet, "/counter/add", "", http.StatusMethodNotAllowed, false},
+		{"counter-get-wrong-method", http.MethodPost, "/counter", "", http.StatusMethodNotAllowed, false},
+		{"maxreg-wrong-method", http.MethodDelete, "/maxreg", "", http.StatusMethodNotAllowed, false},
+		{"gset-wrong-method", http.MethodDelete, "/gset", "", http.StatusMethodNotAllowed, false},
+		{"snapshot-wrong-method", http.MethodDelete, "/snapshot", "", http.StatusMethodNotAllowed, false},
+		{"msnapshot-wrong-method", http.MethodDelete, "/msnapshot", "", http.StatusMethodNotAllowed, false},
+		{"clock-tick-wrong-method", http.MethodGet, "/clock/tick", "", http.StatusMethodNotAllowed, false},
+		{"fence-wrong-method", http.MethodGet, "/fence", "", http.StatusMethodNotAllowed, false},
+		{"counter-add-missing-d", http.MethodPost, "/counter/add", "", http.StatusBadRequest, false},
+		{"counter-add-negative-d", http.MethodPost, "/counter/add?d=-1", "", http.StatusBadRequest, false},
+		{"maxreg-missing-v", http.MethodPost, "/maxreg", "", http.StatusBadRequest, false},
+		{"maxreg-bad-v", http.MethodPost, "/maxreg?v=zebra", "", http.StatusBadRequest, false},
+		{"gset-missing-x", http.MethodPost, "/gset", "", http.StatusBadRequest, false},
+		{"gset-bad-membership-x", http.MethodGet, "/gset?x=zebra", "", http.StatusBadRequest, false},
+		{"snapshot-missing-v", http.MethodPost, "/snapshot", "", http.StatusBadRequest, false},
+		{"msnapshot-missing-v", http.MethodPost, "/msnapshot", "", http.StatusBadRequest, false},
+		{"fence-bad-obj", http.MethodPost, "/fence?obj=clock&gen=1", "", http.StatusBadRequest, false},
+		{"fence-bad-gen", http.MethodPost, "/fence?obj=counter&gen=-3", "", http.StatusBadRequest, false},
+		{"bad-gen-header", http.MethodPost, "/counter/inc", "zebra", http.StatusBadRequest, false},
+		{"clock-budget-terminal", http.MethodPost, "/clock/tick", "", http.StatusServiceUnavailable, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := do(tc.method, tc.target, tc.gen)
+			if rec.Code != tc.wantCode {
+				t.Fatalf("%s %s: code %d, want %d (body %s)", tc.method, tc.target, rec.Code, tc.wantCode, rec.Body.String())
+			}
+			assertErrShape(t, rec, tc.retryable)
+		})
+	}
+
+	// The fenced-generation 409: raise the counter floor past a request's
+	// generation; the refusal is retryable (the routing tier re-routes).
+	if rec := do(http.MethodPost, "/fence?obj=counter&gen=5", ""); rec.Code != http.StatusOK {
+		t.Fatalf("fence: %d %s", rec.Code, rec.Body.String())
+	}
+	rec := do(http.MethodPost, "/counter/inc", "3")
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("fenced inc: code %d, want 409 (body %s)", rec.Code, rec.Body.String())
+	}
+	assertErrShape(t, rec, true)
+	// At or above the floor is admitted — the fence is a floor, not a wall.
+	if rec := do(http.MethodPost, "/counter/inc", "5"); rec.Code != http.StatusOK {
+		t.Fatalf("inc at floor: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestAttackClientHonorsRetryContract pins the load generator's side of the
+// shape: retryable 503s are retried with the Retry-After hint honored (and
+// counted), non-retryable refusals are surfaced immediately, and a target
+// that never recovers exhausts the budget into the exhausted counter.
+func TestAttackClientHonorsRetryContract(t *testing.T) {
+	var hits atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			writeErr(w, http.StatusServiceUnavailable, "transient refusal", true, 0)
+			return
+		}
+		writeJSON(w, map[string]any{"ok": true})
+	}))
+	defer flaky.Close()
+	client := &http.Client{Timeout: time.Second}
+	tele := &attackTelemetry{}
+	if err := fireWithRetry(client, flaky.URL, 0, 0, 0, 1024, tele); err != nil {
+		t.Fatalf("retryable target never succeeded: %v", err)
+	}
+	if got := tele.retried.Load(); got != 2 {
+		t.Fatalf("retried = %d, want 2", got)
+	}
+	if tele.exhausted.Load() != 0 {
+		t.Fatalf("exhausted = %d, want 0", tele.exhausted.Load())
+	}
+
+	terminal := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, http.StatusBadRequest, "bad parameter", false, 0)
+	}))
+	defer terminal.Close()
+	tele = &attackTelemetry{}
+	err := fireWithRetry(client, terminal.URL, 0, 0, 0, 1024, tele)
+	var se *statusError
+	if !errors.As(err, &se) || se.code != http.StatusBadRequest {
+		t.Fatalf("non-retryable refusal = %v, want statusError 400", err)
+	}
+	if tele.retried.Load() != 0 {
+		t.Fatalf("non-retryable refusal was retried %d times", tele.retried.Load())
+	}
+
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, http.StatusServiceUnavailable, "still down", true, 0)
+	}))
+	defer dead.Close()
+	tele = &attackTelemetry{}
+	if err := fireWithRetry(client, dead.URL, 0, 0, 0, 1024, tele); err == nil {
+		t.Fatal("never-recovering target reported success")
+	}
+	if tele.exhausted.Load() != 1 {
+		t.Fatalf("exhausted = %d, want 1", tele.exhausted.Load())
+	}
+	if tele.retried.Load() != 3 {
+		t.Fatalf("retried = %d, want the full budget of 3", tele.retried.Load())
+	}
+}

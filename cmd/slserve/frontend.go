@@ -1,0 +1,811 @@
+// Frontend mode: slserve -frontend -backends http://a,http://b,http://c
+//
+// The frontend is the routing tier over a pool of single-node slserve
+// backends. It owns NO object state — the impossibility results (arXiv
+// 2108.01651) leave single ownership as the only honest distribution for
+// strongly-linearizable objects, so every routed object (counter, maxreg,
+// gset) lives at exactly one backend at a time, chosen by rendezvous
+// hashing over the live membership view. The frontend's job is the part
+// that IS distributed: deciding ownership, moving it when a backend dies
+// (the fenced handoff protocol of internal/cluster, model-checked in the
+// simulated world), and absorbing the churn so clients see only bounded
+// retries — never a lost acked update, never an answer split across two
+// owners.
+//
+// Request path: lease a drain slot, Table.Route validates the ownership
+// record (one packed register word — generation, owner, cutover can never
+// tear), the apply step proxies the request to the owner carrying X-SL-Gen,
+// and the backend's own fence floor 409s any generation that raced a
+// handoff (Route re-routes). Acks fold into the frontend's per-object
+// ledgers BEFORE the slot is released, which is exactly what makes the
+// migrator's drain barrier meaningful: drained ⇒ every acked effect is in
+// the ledger ⇒ the seed carries it.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"stronglin/internal/cluster"
+	"stronglin/internal/obs"
+	"stronglin/internal/prim"
+)
+
+var (
+	frontendMode    = flag.Bool("frontend", false, "run the routing tier over -backends instead of serving objects locally")
+	backendsFlag    = flag.String("backends", "", "comma-separated backend base URLs (frontend mode)")
+	routeTimeout    = flag.Duration("route-timeout", 2*time.Second, "per-proxied-request timeout (frontend mode)")
+	routeRetries    = flag.Int("retries", 3, "retry budget per client request across re-routes and retryable refusals (frontend mode)")
+	hedgeAfter      = flag.Duration("hedge-after", 0, "duplicate a slow READ to the same owner after this delay, first answer wins (0 = off; frontend mode)")
+	healthEvery     = flag.Duration("health-interval", 250*time.Millisecond, "backend /healthz probe interval (frontend mode)")
+	healthDownAfter = flag.Int("health-down-after", 2, "consecutive bad probes before a backend is down (frontend mode)")
+	healthUpAfter   = flag.Int("health-up-after", 2, "consecutive good probes before a down backend rejoins (frontend mode)")
+	handoffDrain    = flag.Duration("handoff-drain", 500*time.Millisecond, "drain wait for in-flight routed requests before a handoff steals their slots (frontend mode)")
+	degradedReads   = flag.Bool("degraded-reads", true, "serve reads from the acked ledger (marked X-SL-Degraded) while no owner is reachable; off = 503 (frontend mode)")
+)
+
+// frontendConfig carries the frontend tunables explicitly so tests build
+// frontends without touching flag globals.
+type frontendConfig struct {
+	backends      []string
+	routeTimeout  time.Duration
+	retries       int
+	hedgeAfter    time.Duration
+	health        cluster.HealthConfig
+	drain         time.Duration
+	degradedReads bool
+	slots         int
+}
+
+func (c frontendConfig) withDefaults() frontendConfig {
+	if c.routeTimeout <= 0 {
+		c.routeTimeout = 2 * time.Second
+	}
+	if c.retries < 0 {
+		c.retries = 0
+	}
+	if c.drain <= 0 {
+		c.drain = 500 * time.Millisecond
+	}
+	if c.slots <= 0 {
+		c.slots = 64
+	}
+	return c
+}
+
+// frontend is the routing tier: the ownership table (on a real prim world —
+// the same protocol the simulated games model-check), the health view, the
+// acked ledgers, and the proxy surface.
+type frontend struct {
+	cfg    frontendConfig
+	tb     *cluster.Table
+	health *cluster.Health
+	client *http.Client
+	slots  chan int
+	kick   chan struct{} // reconciler wake signal (coalesced)
+
+	// Acked ledgers: one per routed object, folded by Route's ack closure
+	// before the drain slot is released. They are the crash-handoff seed
+	// (the old owner is gone; the acked history is what must survive) and
+	// the degraded-read source. counterLedger counts acked increments;
+	// maxLedger is the max over acked write-max values; gsetLedger the set
+	// of acked adds.
+	counterLedger atomic.Int64
+	maxLedger     atomic.Int64
+	gsetMu        sync.Mutex
+	gsetLedger    map[int64]struct{}
+
+	reg             *obs.Registry
+	reqTotal        *obs.Counter
+	reqErrors       *obs.Counter
+	reqDur          *obs.Histogram
+	handoffs        *obs.Counter
+	handoffFailures *obs.Counter
+	handoffDur      *obs.Histogram
+	retriesTotal    *obs.Counter
+	hedges          *obs.Counter
+	degraded        *obs.Counter
+	backoffNs       *obs.Histogram
+}
+
+func newFrontend(cfg frontendConfig) *frontend {
+	cfg = cfg.withDefaults()
+	w := prim.NewRealWorld()
+	f := &frontend{
+		cfg:        cfg,
+		tb:         cluster.NewTable(w, "route", cfg.slots, -1, "counter", "maxreg", "gset"),
+		client:     &http.Client{Timeout: cfg.routeTimeout},
+		slots:      make(chan int, cfg.slots),
+		kick:       make(chan struct{}, 1),
+		gsetLedger: make(map[int64]struct{}),
+		reg:        obs.NewRegistry(),
+	}
+	for i := 0; i < cfg.slots; i++ {
+		f.slots <- i
+	}
+	f.health = cluster.NewHealth(cfg.backends, cfg.health, func(int64) {
+		select {
+		case f.kick <- struct{}{}:
+		default:
+		}
+	})
+	f.registerMetrics()
+	return f
+}
+
+func (f *frontend) registerMetrics() {
+	f.reqTotal = f.reg.Counter("slfront_requests_total", "client requests handled by the frontend")
+	f.reqErrors = f.reg.Counter("slfront_request_errors_total", "client requests answered >= 400")
+	f.reqDur = f.reg.Histogram("slfront_request_duration_ns", "client request latency including retries and backoff")
+	f.handoffs = f.reg.Counter("cluster_handoffs_total", "completed ownership handoffs (fence, drain, seed, install)")
+	f.handoffFailures = f.reg.Counter("cluster_handoff_failures_total", "handoffs abandoned mid-flight (seed unreachable); retried by the reconciler")
+	f.handoffDur = f.reg.Histogram("cluster_handoff_duration_ns", "fence-to-install latency of completed handoffs")
+	f.retriesTotal = f.reg.Counter("cluster_retries_total", "proxied-request retries after retryable refusals")
+	f.hedges = f.reg.Counter("cluster_hedges_total", "hedged read duplicates fired")
+	f.degraded = f.reg.Counter("cluster_degraded_reads_total", "reads served from the acked ledger while no owner was reachable")
+	f.backoffNs = f.reg.Histogram("cluster_backoff_ns", "per-retry backoff sleeps (jittered, Retry-After honored)")
+	f.reg.GaugeFunc("cluster_epoch", "health view epoch (bumps on any backend state change)", f.health.Epoch)
+	f.reg.CounterFunc("cluster_reroutes_total", "routing re-validations (record moved or backend fenced the generation)", f.tb.Stats.Reroutes.Load)
+	f.reg.CounterFunc("cluster_raced_total", "requests refused retryable because a handoff stole their slot", f.tb.Stats.Raced.Load)
+	f.reg.CounterFunc("cluster_steals_total", "drain slots stolen at handoff drain timeout", f.tb.Stats.Steals.Load)
+	f.reg.CounterFunc("cluster_fences_total", "handoffs started (ownership records fenced)", f.tb.Stats.Fences.Load)
+	for i := range f.cfg.backends {
+		i := i
+		f.reg.GaugeFunc(fmt.Sprintf("cluster_backend_%d_state", i),
+			fmt.Sprintf("backend %d health (0 up, 1 degraded, 2 down)", i),
+			func() int64 { return int64(f.health.State(i)) })
+	}
+}
+
+// foldMax folds an acked write-max value into the max ledger.
+func (f *frontend) foldMax(v int64) {
+	for {
+		cur := f.maxLedger.Load()
+		if v <= cur || f.maxLedger.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+func (f *frontend) addElem(x int64) {
+	f.gsetMu.Lock()
+	f.gsetLedger[x] = struct{}{}
+	f.gsetMu.Unlock()
+}
+
+func (f *frontend) gsetSnapshot() []int64 {
+	f.gsetMu.Lock()
+	out := make([]int64, 0, len(f.gsetLedger))
+	for e := range f.gsetLedger {
+		out = append(out, e)
+	}
+	f.gsetMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (f *frontend) hasElem(x int64) bool {
+	f.gsetMu.Lock()
+	_, ok := f.gsetLedger[x]
+	f.gsetMu.Unlock()
+	return ok
+}
+
+// ---------------------------------------------------------------------------
+// Reconciler: drive ownership toward the rendezvous choice over the live view.
+
+// startReconciler runs the single reconciliation goroutine: woken by health
+// state changes and by a safety-net tick (a handoff abandoned because the
+// seed target died mid-flight leaves the cutover bit up; the tick retries it
+// even if no further probe flips state).
+func (f *frontend) startReconciler(ctx context.Context) {
+	interval := f.cfg.health.Interval
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-f.kick:
+			case <-tick.C:
+			}
+			f.reconcileOnce(ctx)
+		}
+	}()
+}
+
+// reconcileOnce moves every object whose recorded owner disagrees with the
+// rendezvous owner of the current view (or whose last handoff was left
+// mid-cutover). Serialized: only the reconciler goroutine and the startup
+// path call it, never concurrently.
+func (f *frontend) reconcileOnce(ctx context.Context) {
+	t := prim.RealThread(0)
+	view := f.health.View()
+	cands := view.Candidates()
+	for _, key := range f.tb.Keys() {
+		owner, _, settled := f.tb.Owner(t, key)
+		want := cluster.RendezvousOwner(key, f.cfg.backends, cands)
+		if want < 0 {
+			// No candidate at all: leave the record as-is (routes refuse
+			// retryable / serve degraded reads) rather than thrash.
+			continue
+		}
+		if settled && owner == want {
+			continue
+		}
+		f.handoff(ctx, t, key, want)
+	}
+}
+
+// handoff runs the transfer protocol for one object: fence (table + old
+// owner's HTTP floor), drain-or-steal, seed the successor with the
+// authoritative value, install. A failed seed leaves the cutover bit up —
+// routing refuses ErrMigrating, no request can land anywhere — and the
+// reconciler's next pass re-fences (the generation bumps again) and retries.
+func (f *frontend) handoff(ctx context.Context, t prim.Thread, key string, newOwner int) {
+	start := time.Now()
+	oldOwner, gen := f.tb.Fence(t, key)
+
+	// Raise the old owner's backend-side floor. Success means the fence is
+	// BILATERAL — when /fence returns, no request of a retired generation is
+	// still applying there (the gate's write lock), so a post-fence read of
+	// the old owner is the object's authoritative value, phantoms included.
+	// Failure (crashed, partitioned) means crash handoff: the acked ledger
+	// alone seeds the successor, which is exactly the guarantee acks bought.
+	graceful := false
+	if oldOwner >= 0 {
+		graceful = f.postFence(ctx, oldOwner, key, gen) == nil
+	}
+
+	// Drain: every slot released proves its request's ack is in the ledger.
+	// Stragglers past the budget get their slots STOLEN — Route withdraws
+	// their acks and refuses them retryable, so the seed never misses an
+	// acked effect.
+	deadline := time.Now().Add(f.cfg.drain)
+	for !f.tb.Drained(t, key) {
+		if time.Now().After(deadline) {
+			f.tb.StealSlots(t, key)
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	if err := f.seed(ctx, key, oldOwner, newOwner, gen, graceful); err != nil {
+		f.handoffFailures.Inc()
+		return
+	}
+	f.tb.Install(t, key, newOwner)
+	f.handoffs.Inc()
+	f.handoffDur.Observe(time.Since(start).Nanoseconds())
+}
+
+// seed makes newOwner authoritative for key at generation gen: the acked
+// ledger merged (monotone objects — max/union/monotone-add deltas, all
+// idempotent under the re-seeding a retried handoff causes) with the old
+// owner's post-fence value when the handoff is graceful.
+func (f *frontend) seed(ctx context.Context, key string, oldOwner, newOwner int, gen int64, graceful bool) error {
+	switch key {
+	case "counter":
+		auth := f.counterLedger.Load()
+		if graceful {
+			if v, err := f.getValue(ctx, oldOwner, gen, "/counter"); err == nil && v > auth {
+				auth = v
+			}
+		}
+		// The successor may hold a stale value from an earlier tenure; the
+		// counter only grows, so stale <= authoritative and one /counter/add
+		// of the difference reconciles it.
+		cur, err := f.getValue(ctx, newOwner, gen, "/counter")
+		if err != nil {
+			return err
+		}
+		if auth > cur {
+			return f.post(ctx, newOwner, gen, fmt.Sprintf("/counter/add?d=%d", auth-cur))
+		}
+	case "maxreg":
+		auth := f.maxLedger.Load()
+		if graceful {
+			if v, err := f.getValue(ctx, oldOwner, gen, "/maxreg"); err == nil && v > auth {
+				auth = v
+			}
+		}
+		if auth > 0 {
+			return f.post(ctx, newOwner, gen, fmt.Sprintf("/maxreg?v=%d", auth))
+		}
+	case "gset":
+		elems := f.gsetSnapshot()
+		if graceful {
+			if old, err := f.getElems(ctx, oldOwner, gen); err == nil {
+				merged := make(map[int64]struct{}, len(elems)+len(old))
+				for _, e := range elems {
+					merged[e] = struct{}{}
+				}
+				for _, e := range old {
+					merged[e] = struct{}{}
+				}
+				elems = elems[:0]
+				for e := range merged {
+					elems = append(elems, e)
+				}
+			}
+		}
+		for _, e := range elems {
+			if err := f.post(ctx, newOwner, gen, fmt.Sprintf("/gset?x=%d", e)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (f *frontend) postFence(ctx context.Context, owner int, key string, gen int64) error {
+	return f.post(ctx, owner, gen, fmt.Sprintf("/fence?obj=%s&gen=%d", key, gen))
+}
+
+// post issues a migration POST at owner carrying gen; any non-200 is an error.
+func (f *frontend) post(ctx context.Context, owner int, gen int64, uri string) error {
+	_, err := f.do(ctx, owner, gen, http.MethodPost, uri)
+	return err
+}
+
+func (f *frontend) getValue(ctx context.Context, owner int, gen int64, uri string) (int64, error) {
+	body, err := f.do(ctx, owner, gen, http.MethodGet, uri)
+	if err != nil {
+		return 0, err
+	}
+	var v struct {
+		Value int64 `json:"value"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		return 0, err
+	}
+	return v.Value, nil
+}
+
+func (f *frontend) getElems(ctx context.Context, owner int, gen int64) ([]int64, error) {
+	body, err := f.do(ctx, owner, gen, http.MethodGet, "/gset")
+	if err != nil {
+		return nil, err
+	}
+	var v struct {
+		Elems []int64 `json:"elems"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		return nil, err
+	}
+	return v.Elems, nil
+}
+
+// do is the one backend HTTP call: carries the ownership generation, maps
+// 409 to cluster.ErrFenced (Route re-routes on it) and any other non-200 to
+// a *statusError decoded from the uniform error shape.
+func (f *frontend) do(ctx context.Context, owner int, gen int64, method, uri string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, method, f.cfg.backends[owner]+uri, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("X-SL-Gen", strconv.FormatInt(gen, 10))
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusOK {
+		return io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	}
+	if resp.StatusCode == http.StatusConflict {
+		return nil, cluster.ErrFenced
+	}
+	var body struct {
+		Error             string `json:"error"`
+		Retryable         bool   `json:"retryable"`
+		RetryAfterSeconds int64  `json:"retry_after_seconds"`
+	}
+	json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body)
+	return nil, &statusError{
+		code:       resp.StatusCode,
+		reason:     body.Error,
+		retryable:  body.Retryable,
+		retryAfter: time.Duration(body.RetryAfterSeconds) * time.Second,
+	}
+}
+
+// hedgedGet is do() for reads with tail-latency hedging: if the owner has
+// not answered within hedgeAfter, fire ONE duplicate at the same owner (the
+// only authoritative backend — hedging elsewhere would be a consistency
+// bug, not an optimization) and take the first success. Reads are
+// idempotent, so the losing duplicate is harmless.
+func (f *frontend) hedgedGet(ctx context.Context, owner int, gen int64, uri string) ([]byte, error) {
+	if f.cfg.hedgeAfter <= 0 {
+		return f.do(ctx, owner, gen, http.MethodGet, uri)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type res struct {
+		body []byte
+		err  error
+	}
+	ch := make(chan res, 2)
+	launch := func() {
+		b, err := f.do(cctx, owner, gen, http.MethodGet, uri)
+		ch <- res{b, err}
+	}
+	go launch()
+	outstanding := 1
+	timer := time.NewTimer(f.cfg.hedgeAfter)
+	defer timer.Stop()
+	var lastErr error
+	for {
+		select {
+		case r := <-ch:
+			if r.err == nil {
+				return r.body, nil
+			}
+			lastErr = r.err
+			outstanding--
+			if outstanding == 0 {
+				return nil, lastErr
+			}
+		case <-timer.C:
+			f.hedges.Inc()
+			outstanding++
+			go launch()
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Proxy surface.
+
+func (f *frontend) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/counter/inc", func(w http.ResponseWriter, r *http.Request) {
+		f.serveRouted(w, r, "counter", false,
+			func() { f.counterLedger.Add(1) },
+			func() { f.counterLedger.Add(-1) })
+	})
+	mux.HandleFunc("/counter", func(w http.ResponseWriter, r *http.Request) {
+		f.serveRouted(w, r, "counter", true, func() {}, func() {})
+	})
+	mux.HandleFunc("/maxreg", func(w http.ResponseWriter, r *http.Request) {
+		ack, unack := func() {}, func() {}
+		isRead := r.Method != http.MethodPost
+		if !isRead {
+			// Fold the acked value into the max ledger. An unparseable v is
+			// the backend's 400 to give; the ack then never runs.
+			if v, err := strconv.ParseInt(r.URL.Query().Get("v"), 10, 64); err == nil {
+				ack = func() { f.foldMax(v) }
+			}
+		}
+		f.serveRouted(w, r, "maxreg", isRead, ack, unack)
+	})
+	mux.HandleFunc("/gset", func(w http.ResponseWriter, r *http.Request) {
+		ack, unack := func() {}, func() {}
+		isRead := r.Method != http.MethodPost
+		if !isRead {
+			if x, err := strconv.ParseInt(r.URL.Query().Get("x"), 10, 64); err == nil {
+				ack = func() { f.addElem(x) }
+			}
+		}
+		f.serveRouted(w, r, "gset", isRead, ack, unack)
+	})
+	mux.HandleFunc("/stats", f.stats)
+	mux.HandleFunc("/metrics", f.metrics)
+	mux.HandleFunc("/healthz", f.healthz)
+	return f.instrumented(mux)
+}
+
+func (f *frontend) instrumented(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(&sw, r)
+		f.reqTotal.Inc()
+		if sw.code >= 400 {
+			f.reqErrors.Inc()
+		}
+		f.reqDur.Observe(time.Since(t0).Nanoseconds())
+	})
+}
+
+// serveRouted is the proxy core: lease a slot, Route through the ownership
+// table (apply = the backend HTTP call), and absorb handoff churn behind a
+// bounded retry loop with jittered exponential backoff that honors the
+// backend's structured Retry-After hints. Guarantees to the client:
+//
+//   - 200 means the op executed at the object's sole owner and (for writes)
+//     its ack is in the ledger every future handoff seeds from;
+//   - 503 retryable means the op did NOT ack — a raced handoff may have
+//     landed its effect before refusing (the at-least-once corner, carried
+//     as an unacked phantom: value can run ahead of acked history, never
+//     behind);
+//   - a response is never assembled from two owners.
+func (f *frontend) serveRouted(w http.ResponseWriter, r *http.Request, key string, isRead bool, ack, unack func()) {
+	var slot int
+	select {
+	case slot = <-f.slots:
+	case <-r.Context().Done():
+		writeErr(w, http.StatusServiceUnavailable, "router slot pool exhausted", true, 1)
+		return
+	}
+	defer func() { f.slots <- slot }()
+
+	t := prim.RealThread(1)
+	uri := r.URL.RequestURI()
+	backoff := 5 * time.Millisecond
+	var body []byte
+	for attempt := 0; ; attempt++ {
+		var sErr *statusError
+		err := f.tb.Route(t, slot, key, func(owner int, gen int64) error {
+			var berr error
+			if isRead {
+				body, berr = f.hedgedGet(r.Context(), owner, gen, uri)
+			} else {
+				body, berr = f.do(r.Context(), owner, gen, r.Method, uri)
+			}
+			return berr
+		}, ack, unack)
+
+		if err == nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(body)
+			return
+		}
+		retryable := true
+		sleep := backoff
+		switch {
+		case errors.As(err, &sErr):
+			retryable = sErr.retryable
+			if sErr.retryAfter > 0 {
+				sleep = sErr.retryAfter
+			}
+		case errors.Is(err, cluster.ErrMigrating),
+			errors.Is(err, cluster.ErrNoOwner),
+			errors.Is(err, cluster.ErrRacedHandoff),
+			errors.Is(err, cluster.ErrRerouteLimit):
+			// Handoff churn: the reconciler is (or will be) moving the
+			// object; back off one beat and chase the new record.
+		default:
+			// Transport error to the owner — likely the failure the health
+			// checker is about to notice. Retry; the record may move.
+		}
+		if !retryable {
+			writeErr(w, sErr.code, sErr.reason, false, 0)
+			return
+		}
+		if attempt >= f.cfg.retries {
+			f.refuse(w, r, key, err, isRead)
+			return
+		}
+		f.retriesTotal.Inc()
+		if sleep > 250*time.Millisecond {
+			sleep = 250 * time.Millisecond
+		}
+		jittered := time.Duration(rand.Int63n(int64(sleep))) + sleep/2
+		f.backoffNs.Observe(int64(jittered))
+		select {
+		case <-time.After(jittered):
+		case <-r.Context().Done():
+			writeErr(w, http.StatusServiceUnavailable, "client gone during retry backoff", true, 0)
+			return
+		}
+		backoff *= 2
+	}
+}
+
+// refuse ends a request whose retry budget is spent with no reachable
+// owner. Reads degrade to the acked ledger — a stale-bounded answer (every
+// acked write up to the last completed fold; marked X-SL-Degraded so
+// clients can tell) — when the operator allows it; writes always refuse
+// retryable, because "accepted" without an owner would be an ack no seed is
+// obligated to carry.
+func (f *frontend) refuse(w http.ResponseWriter, r *http.Request, key string, err error, isRead bool) {
+	if isRead && f.cfg.degradedReads {
+		f.degraded.Inc()
+		w.Header().Set("X-SL-Degraded", "true")
+		switch key {
+		case "counter":
+			writeJSON(w, map[string]any{"value": f.counterLedger.Load()})
+		case "maxreg":
+			writeJSON(w, map[string]any{"value": f.maxLedger.Load()})
+		case "gset":
+			if raw := r.URL.Query().Get("x"); raw != "" {
+				x, perr := strconv.ParseInt(raw, 10, 64)
+				if perr != nil {
+					writeErr(w, http.StatusBadRequest, "x must be an integer", false, 0)
+					return
+				}
+				writeJSON(w, map[string]any{"member": f.hasElem(x)})
+			} else {
+				writeJSON(w, map[string]any{"elems": f.gsetSnapshot()})
+			}
+		}
+		return
+	}
+	retryAfter := int64(f.cfg.health.Interval / time.Second)
+	if retryAfter < 1 {
+		retryAfter = 1
+	}
+	writeErr(w, http.StatusServiceUnavailable,
+		fmt.Sprintf("no reachable owner for %s: %v", key, err), true, retryAfter)
+}
+
+// frontStats is the frontend /stats document.
+type frontStats struct {
+	Backends        []frontBackendStat  `json:"backends"`
+	Epoch           int64               `json:"epoch"`
+	Objects         map[string]frontOwn `json:"objects"`
+	Handoffs        int64               `json:"handoffs"`
+	HandoffFailures int64               `json:"handoff_failures"`
+	Retries         int64               `json:"retries"`
+	Hedges          int64               `json:"hedges"`
+	DegradedReads   int64               `json:"degraded_reads"`
+	Reroutes        int64               `json:"reroutes"`
+	Raced           int64               `json:"raced"`
+	Steals          int64               `json:"steals"`
+	Fences          int64               `json:"fences"`
+	CounterLedger   int64               `json:"counter_ledger"`
+	MaxregLedger    int64               `json:"maxreg_ledger"`
+	GSetLedgerSize  int                 `json:"gset_ledger_size"`
+}
+
+type frontBackendStat struct {
+	URL   string `json:"url"`
+	State string `json:"state"`
+}
+
+type frontOwn struct {
+	Owner   int   `json:"owner"`
+	Gen     int64 `json:"gen"`
+	Settled bool  `json:"settled"`
+}
+
+func (f *frontend) snapshotStats() frontStats {
+	t := prim.RealThread(1)
+	st := frontStats{
+		Epoch:           f.health.Epoch(),
+		Objects:         make(map[string]frontOwn),
+		Handoffs:        f.handoffs.Load(),
+		HandoffFailures: f.handoffFailures.Load(),
+		Retries:         f.retriesTotal.Load(),
+		Hedges:          f.hedges.Load(),
+		DegradedReads:   f.degraded.Load(),
+		Reroutes:        f.tb.Stats.Reroutes.Load(),
+		Raced:           f.tb.Stats.Raced.Load(),
+		Steals:          f.tb.Stats.Steals.Load(),
+		Fences:          f.tb.Stats.Fences.Load(),
+		CounterLedger:   f.counterLedger.Load(),
+		MaxregLedger:    f.maxLedger.Load(),
+	}
+	f.gsetMu.Lock()
+	st.GSetLedgerSize = len(f.gsetLedger)
+	f.gsetMu.Unlock()
+	for i, u := range f.cfg.backends {
+		st.Backends = append(st.Backends, frontBackendStat{URL: u, State: f.health.State(i).String()})
+	}
+	for _, key := range f.tb.Keys() {
+		owner, gen, settled := f.tb.Owner(t, key)
+		st.Objects[key] = frontOwn{Owner: owner, Gen: gen, Settled: settled}
+	}
+	return st
+}
+
+func (f *frontend) stats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only", false, 0)
+		return
+	}
+	writeJSON(w, f.snapshotStats())
+}
+
+func (f *frontend) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	f.reg.WritePrometheus(w)
+}
+
+// healthz: the frontend is healthy while at least one backend is a
+// candidate owner — with none, every write is refusing and the operator
+// should know from the load balancer, not the error rate.
+func (f *frontend) healthz(w http.ResponseWriter, r *http.Request) {
+	if len(f.health.View().Candidates()) == 0 {
+		writeErr(w, http.StatusServiceUnavailable, "no live backend", true, 1)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// start brings the routing tier up: one synchronous probe sweep so the
+// initial view reflects reality (a dead backend at boot must not receive
+// ownership), one synchronous reconcile so every object HAS an owner before
+// the first client request, then the background checker and reconciler.
+func (f *frontend) start(ctx context.Context) {
+	f.health.Sweep(ctx)
+	f.reconcileOnce(ctx)
+	f.health.Start(ctx)
+	f.startReconciler(ctx)
+}
+
+// runFrontend is -frontend mode: the same listen/drain skeleton as
+// runServe, serving the routing tier.
+func runFrontend(ctx context.Context) error {
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var backends []string
+	for _, b := range splitComma(*backendsFlag) {
+		backends = append(backends, b)
+	}
+	if len(backends) == 0 {
+		return errors.New("-frontend requires -backends URL[,URL...]")
+	}
+	f := newFrontend(frontendConfig{
+		backends:     backends,
+		routeTimeout: *routeTimeout,
+		retries:      *routeRetries,
+		hedgeAfter:   *hedgeAfter,
+		health: cluster.HealthConfig{
+			Interval:  *healthEvery,
+			DownAfter: *healthDownAfter,
+			UpAfter:   *healthUpAfter,
+		},
+		drain:         *handoffDrain,
+		degradedReads: *degradedReads,
+	})
+	f.start(ctx)
+
+	hs := &http.Server{Addr: *addr, Handler: f.handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Printf("slserve: frontend over %d backends, listening on %s\n", len(backends), *addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("slserve: signal received, draining")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Println("slserve: drained")
+	return nil
+}
+
+// splitComma splits a comma-separated flag value, dropping empty elements.
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if part := s[start:i]; part != "" {
+				out = append(out, part)
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

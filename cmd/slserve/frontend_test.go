@@ -1,0 +1,420 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stronglin/internal/cluster"
+	"stronglin/internal/prim"
+)
+
+// fastHealth is a probe config tests drive manually (Sweep) or on a tight
+// loop: single-probe transitions keep failover deterministic per sweep.
+func fastHealth() cluster.HealthConfig {
+	return cluster.HealthConfig{
+		Interval:  20 * time.Millisecond,
+		Timeout:   200 * time.Millisecond,
+		DownAfter: 1,
+		UpAfter:   1,
+	}
+}
+
+func newTestFrontend(backends []string, h cluster.HealthConfig) *frontend {
+	return newFrontend(frontendConfig{
+		backends:      backends,
+		routeTimeout:  time.Second,
+		retries:       4,
+		health:        h,
+		drain:         100 * time.Millisecond,
+		degradedReads: true,
+		slots:         16,
+	})
+}
+
+// feReq drives one request through the frontend handler.
+func feReq(t *testing.T, h http.Handler, method, target string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(method, target, nil))
+	return rec
+}
+
+func feValue(t *testing.T, rec *httptest.ResponseRecorder) int64 {
+	t.Helper()
+	var v struct {
+		Value int64 `json:"value"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatalf("decoding %q: %v", rec.Body.String(), err)
+	}
+	return v.Value
+}
+
+// TestFrontendRoutesAndFailsOver is the deterministic failover test: three
+// real single-node backends, manual health sweeps, one killed owner. The
+// frontend must move ownership (fence, drain, seed, install), keep every
+// acked write, and answer reads from exactly one owner throughout.
+func TestFrontendRoutesAndFailsOver(t *testing.T) {
+	ctx := context.Background()
+	var urls []string
+	var servers []*httptest.Server
+	for i := 0; i < 3; i++ {
+		ts := httptest.NewServer(newServer(4, 2, 0).handler())
+		defer ts.Close()
+		servers = append(servers, ts)
+		urls = append(urls, ts.URL)
+	}
+	f := newTestFrontend(urls, fastHealth())
+	f.health.Sweep(ctx)
+	f.reconcileOnce(ctx)
+	h := f.handler()
+
+	for i := 0; i < 5; i++ {
+		if rec := feReq(t, h, http.MethodPost, "/counter/inc"); rec.Code != http.StatusOK {
+			t.Fatalf("inc %d: %d %s", i, rec.Code, rec.Body.String())
+		}
+	}
+	if rec := feReq(t, h, http.MethodPost, "/maxreg?v=7"); rec.Code != http.StatusOK {
+		t.Fatalf("maxreg write: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := feReq(t, h, http.MethodPost, "/gset?x=3"); rec.Code != http.StatusOK {
+		t.Fatalf("gset add: %d %s", rec.Code, rec.Body.String())
+	}
+	if got := feValue(t, feReq(t, h, http.MethodGet, "/counter")); got != 5 {
+		t.Fatalf("counter before failover = %d, want 5", got)
+	}
+	if f.counterLedger.Load() != 5 {
+		t.Fatalf("acked ledger = %d, want 5", f.counterLedger.Load())
+	}
+
+	// Kill the counter's owner and let one sweep + reconcile move it.
+	owner, genBefore, settled := f.tb.Owner(thread1, "counter")
+	if !settled || owner < 0 {
+		t.Fatalf("counter unowned before failover: owner=%d settled=%v", owner, settled)
+	}
+	servers[owner].Close()
+	f.health.Sweep(ctx)
+	f.reconcileOnce(ctx)
+
+	newOwner, genAfter, settled := f.tb.Owner(thread1, "counter")
+	if !settled {
+		t.Fatalf("counter still mid-cutover after reconcile")
+	}
+	if newOwner == owner {
+		t.Fatalf("ownership did not move off dead backend %d", owner)
+	}
+	if genAfter <= genBefore {
+		t.Fatalf("fence generation did not advance: %d -> %d", genBefore, genAfter)
+	}
+
+	// Every acked write survived the crash handoff via the ledgers.
+	if got := feValue(t, feReq(t, h, http.MethodGet, "/counter")); got != 5 {
+		t.Fatalf("counter after failover = %d, want 5 (lost acked updates)", got)
+	}
+	if got := feValue(t, feReq(t, h, http.MethodGet, "/maxreg")); got != 7 {
+		t.Fatalf("maxreg after failover = %d, want 7", got)
+	}
+	rec := feReq(t, h, http.MethodGet, "/gset?x=3")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "true") {
+		t.Fatalf("gset membership after failover: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := feReq(t, h, http.MethodPost, "/counter/inc"); rec.Code != http.StatusOK {
+		t.Fatalf("inc after failover: %d %s", rec.Code, rec.Body.String())
+	}
+	if got := feValue(t, feReq(t, h, http.MethodGet, "/counter")); got != 6 {
+		t.Fatalf("counter after post-failover inc = %d, want 6", got)
+	}
+
+	st := f.snapshotStats()
+	if st.Handoffs < 4 { // 3 initial installs + at least the failover
+		t.Fatalf("handoffs = %d, want >= 4", st.Handoffs)
+	}
+	if st.Objects["counter"].Owner != newOwner {
+		t.Fatalf("stats owner %d != table owner %d", st.Objects["counter"].Owner, newOwner)
+	}
+}
+
+// TestFrontendDegradedReads: with every backend dead, reads answer from the
+// acked ledger under X-SL-Degraded, and writes refuse 503-retryable with the
+// structured body — never a silent ack without an owner.
+func TestFrontendDegradedReads(t *testing.T) {
+	ctx := context.Background()
+	var urls []string
+	var servers []*httptest.Server
+	for i := 0; i < 2; i++ {
+		ts := httptest.NewServer(newServer(4, 2, 0).handler())
+		defer ts.Close()
+		servers = append(servers, ts)
+		urls = append(urls, ts.URL)
+	}
+	f := newTestFrontend(urls, fastHealth())
+	f.cfg.retries = 1 // dead-pool refusals should not grind through a long budget
+	f.health.Sweep(ctx)
+	f.reconcileOnce(ctx)
+	h := f.handler()
+
+	for i := 0; i < 3; i++ {
+		if rec := feReq(t, h, http.MethodPost, "/counter/inc"); rec.Code != http.StatusOK {
+			t.Fatalf("inc %d: %d %s", i, rec.Code, rec.Body.String())
+		}
+	}
+	feReq(t, h, http.MethodPost, "/gset?x=9")
+	for _, ts := range servers {
+		ts.Close()
+	}
+	f.health.Sweep(ctx)
+	f.reconcileOnce(ctx) // no candidates: ownership stays put, owner unreachable
+
+	rec := feReq(t, h, http.MethodGet, "/counter")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("degraded read: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("X-SL-Degraded") != "true" {
+		t.Fatalf("degraded read not marked: headers %v", rec.Header())
+	}
+	if got := feValue(t, rec); got != 3 {
+		t.Fatalf("degraded counter read = %d, want ledger 3", got)
+	}
+	rec = feReq(t, h, http.MethodGet, "/gset?x=9")
+	if rec.Code != http.StatusOK || rec.Header().Get("X-SL-Degraded") != "true" {
+		t.Fatalf("degraded gset read: %d, headers %v", rec.Code, rec.Header())
+	}
+
+	rec = feReq(t, h, http.MethodPost, "/counter/inc")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("write with dead pool = %d, want 503", rec.Code)
+	}
+	var body struct {
+		Error             string `json:"error"`
+		Retryable         bool   `json:"retryable"`
+		RetryAfterSeconds int64  `json:"retry_after_seconds"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("503 body %q: %v", rec.Body.String(), err)
+	}
+	if !body.Retryable {
+		t.Fatalf("dead-pool write refusal must be retryable: %+v", body)
+	}
+	if f.counterLedger.Load() != 3 {
+		t.Fatalf("refused write mutated the ledger: %d", f.counterLedger.Load())
+	}
+	if f.degraded.Load() < 2 {
+		t.Fatalf("degraded reads counter = %d, want >= 2", f.degraded.Load())
+	}
+}
+
+// TestFrontendForwardsBackendErrors: a non-retryable backend refusal (bad
+// parameter) must come back with the backend's status and the uniform shape,
+// not be retried into a 503.
+func TestFrontendForwardsBackendErrors(t *testing.T) {
+	ctx := context.Background()
+	ts := httptest.NewServer(newServer(4, 2, 0).handler())
+	defer ts.Close()
+	f := newTestFrontend([]string{ts.URL}, fastHealth())
+	f.health.Sweep(ctx)
+	f.reconcileOnce(ctx)
+	h := f.handler()
+
+	rec := feReq(t, h, http.MethodPost, "/maxreg?v=notanumber")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad maxreg value = %d, want 400: %s", rec.Code, rec.Body.String())
+	}
+	assertErrShape(t, rec, false)
+	if f.retriesTotal.Load() != 0 {
+		t.Fatalf("non-retryable error was retried %d times", f.retriesTotal.Load())
+	}
+	if f.maxLedger.Load() != 0 {
+		t.Fatalf("refused write folded into ledger: %d", f.maxLedger.Load())
+	}
+}
+
+// thread1 matches the thread serveRouted uses; tests peek the table with it.
+var thread1 = prim.RealThread(1)
+
+// poolBackend is a restartable real-listener backend for the chaos test:
+// kill drops the listener and every in-flight request (a crash, not a
+// drain), restart binds a FRESH server to the same address — a rebooted
+// process with empty state, which is exactly what makes lost-update bugs
+// visible.
+type poolBackend struct {
+	addr string
+	mu   sync.Mutex
+	srv  *http.Server
+}
+
+func startPoolBackend(t *testing.T, addr string) *poolBackend {
+	t.Helper()
+	b := &poolBackend{addr: addr}
+	b.restart(t)
+	return b
+}
+
+func (b *poolBackend) restart(t *testing.T) {
+	t.Helper()
+	var ln net.Listener
+	var err error
+	// The just-killed listener's port can linger for a beat; retry briefly.
+	for i := 0; i < 50; i++ {
+		ln, err = net.Listen("tcp", b.addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", b.addr, err)
+	}
+	if b.addr == "127.0.0.1:0" {
+		b.addr = ln.Addr().String()
+	}
+	srv := &http.Server{Handler: newServer(4, 2, 0).handler()}
+	go srv.Serve(ln)
+	b.mu.Lock()
+	b.srv = srv
+	b.mu.Unlock()
+}
+
+func (b *poolBackend) kill() {
+	b.mu.Lock()
+	srv := b.srv
+	b.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
+}
+
+// TestFrontendChaosKillRestart is the live soak: three real backends, the
+// frontend running its own health loop and reconciler, concurrent clients
+// hammering /counter/inc through it, and the counter's owner killed dead
+// mid-soak then rebooted empty. Invariant at the bar: ZERO LOST ACKED
+// INCREMENTS — the final counter is >= the number of 200s the clients got
+// (phantoms from raced handoffs may push it above, never below) — and the
+// acked ledger equals the 200 count exactly.
+func TestFrontendChaosKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live chaos soak")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var backends []*poolBackend
+	var urls []string
+	for i := 0; i < 3; i++ {
+		b := startPoolBackend(t, "127.0.0.1:0")
+		defer b.kill()
+		backends = append(backends, b)
+		urls = append(urls, "http://"+b.addr)
+	}
+	f := newFrontend(frontendConfig{
+		backends:     urls,
+		routeTimeout: 500 * time.Millisecond,
+		retries:      6,
+		health: cluster.HealthConfig{
+			Interval:  20 * time.Millisecond,
+			Timeout:   150 * time.Millisecond,
+			DownAfter: 2,
+			UpAfter:   1,
+		},
+		drain:         50 * time.Millisecond,
+		degradedReads: true,
+		slots:         32,
+	})
+	f.start(ctx)
+	fe := httptest.NewServer(f.handler())
+	defer fe.Close()
+
+	var acked atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	client := &http.Client{Timeout: 2 * time.Second}
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				resp, err := client.Post(fe.URL+"/counter/inc", "", nil)
+				if err != nil {
+					continue
+				}
+				ok := resp.StatusCode == http.StatusOK
+				drainBody(resp)
+				if ok {
+					acked.Add(1)
+				}
+			}
+		}()
+	}
+
+	// Let traffic flow, then crash the counter's owner mid-soak.
+	time.Sleep(400 * time.Millisecond)
+	owner, _, _ := f.tb.Owner(thread1, "counter")
+	if owner < 0 {
+		t.Fatalf("counter unowned at kill time")
+	}
+	backends[owner].kill()
+	time.Sleep(400 * time.Millisecond) // failover + post-failover traffic
+	backends[owner].restart(t)         // reboot empty; health readmits it
+	time.Sleep(400 * time.Millisecond)
+
+	stop.Store(true)
+	wg.Wait()
+
+	total := acked.Load()
+	if total == 0 {
+		t.Fatalf("no increment was ever acked")
+	}
+	if got := f.counterLedger.Load(); got != total {
+		t.Fatalf("acked ledger %d != acked responses %d", got, total)
+	}
+
+	// The settled owner's counter must carry every acked increment. Retry
+	// the read briefly: the readmitted backend may still be mid-handoff.
+	var final int64
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		resp, err := client.Get(fe.URL + "/counter")
+		if err == nil {
+			var v struct {
+				Value int64 `json:"value"`
+			}
+			degradedAnswer := resp.Header.Get("X-SL-Degraded") == "true"
+			decodeErr := json.NewDecoder(resp.Body).Decode(&v)
+			drainBody(resp)
+			if decodeErr == nil && resp.StatusCode == http.StatusOK && !degradedAnswer {
+				final = v.Value
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no authoritative read within deadline")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if final < total {
+		t.Fatalf("LOST UPDATE: final counter %d < acked increments %d", final, total)
+	}
+
+	st := f.snapshotStats()
+	if st.Handoffs < 4 { // 3 initial installs + at least the failover
+		t.Fatalf("handoffs = %d, want >= 4 (kill went unnoticed?)", st.Handoffs)
+	}
+	t.Logf("chaos soak: acked=%d final=%d phantoms=%d handoffs=%d steals=%d raced=%d retries=%d",
+		total, final, final-total, st.Handoffs, st.Steals, st.Raced, st.Retries)
+}
+
+// drainBody keeps the keep-alive connection reusable under load.
+func drainBody(resp *http.Response) {
+	if resp != nil && resp.Body != nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}

@@ -112,6 +112,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -183,6 +184,13 @@ func main() {
 		}
 		return
 	}
+	if *frontendMode {
+		if err := runFrontend(context.Background()); err != nil {
+			fmt.Fprintln(os.Stderr, "slserve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := runServe(context.Background()); err != nil {
 		fmt.Fprintln(os.Stderr, "slserve:", err)
 		os.Exit(1)
@@ -197,10 +205,22 @@ func main() {
 // anything else (a listener error, an overrun drain) returns the error and
 // exits 1.
 func runServe(ctx context.Context) error {
+	srv := newServer(*lanes, *shards, *bound)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("slserve: %d lanes, %d shards, listening on %s\n", *lanes, *shards, ln.Addr())
+	return serveLoop(ctx, srv, ln)
+}
+
+// serveLoop is runServe minus construction and binding, split out so the
+// lifecycle tests can race signals against a server and listener they hold:
+// serve on ln until ctx cancels or a signal lands, then drain.
+func serveLoop(ctx context.Context, srv *server, ln net.Listener) error {
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := newServer(*lanes, *shards, *bound)
 	if *rollover {
 		srv.startRollover(ctx, *rolloverEvery)
 	}
@@ -214,10 +234,9 @@ func runServe(ctx context.Context) error {
 		}()
 		fmt.Printf("slserve: debug listener (metrics + pprof) on %s\n", *debugAddr)
 	}
-	hs := &http.Server{Addr: *addr, Handler: srv.handler()}
+	hs := &http.Server{Handler: srv.handler()}
 	errc := make(chan error, 1)
-	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Printf("slserve: %d lanes, %d shards, listening on %s\n", *lanes, *shards, *addr)
+	go func() { errc <- hs.Serve(ln) }()
 
 	select {
 	case err := <-errc:
@@ -244,6 +263,65 @@ func runServe(ctx context.Context) error {
 // to 2^62-1 packs the counter cores into machine words, so the counter is
 // always packed regardless of -bound.
 const counterBound = int64(1) << 40
+
+// fenceGate is one routed object's backend-side ownership fence. A routing
+// tier moving the object away POSTs /fence to raise the floor; every
+// request the tier routes carries its ownership generation in X-SL-Gen, and
+// a generation below the floor is refused 409 — the request raced a handoff
+// and must re-route. The read-write lock is what makes the cluster games'
+// one-atomic-step model of "fence check + apply" honest in real HTTP: a
+// request's check and its engine operation share the read side, and raise
+// takes the write side, so when /fence returns no straggler of a retired
+// generation can still be mid-apply (its effect is complete and visible to
+// the migrator's post-fence value read, or it never starts and gets 409).
+type fenceGate struct {
+	mu    sync.RWMutex
+	floor int64
+}
+
+// admit runs apply iff gen clears the floor, holding the gate against a
+// concurrent raise for the duration of apply.
+func (g *fenceGate) admit(gen int64, apply func()) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if gen < g.floor {
+		return false
+	}
+	apply()
+	return true
+}
+
+// raise lifts the floor to gen (monotone) and returns the resulting floor.
+// It blocks until every admitted apply in flight has finished.
+func (g *fenceGate) raise(gen int64) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if gen > g.floor {
+		g.floor = gen
+	}
+	return g.floor
+}
+
+// Floor reads the current floor.
+func (g *fenceGate) Floor() int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.floor
+}
+
+// reqGen extracts the request's ownership generation. Requests without the
+// header (direct single-node clients) are never fenced.
+func reqGen(r *http.Request) (int64, error) {
+	raw := r.Header.Get("X-SL-Gen")
+	if raw == "" {
+		return int64(^uint64(0) >> 1), nil
+	}
+	g, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || g < 0 {
+		return 0, fmt.Errorf("X-SL-Gen must be a non-negative integer, got %q", raw)
+	}
+	return g, nil
+}
 
 // server owns one world: the lane pool, the sharded objects, the Theorem 2
 // snapshot, the Algorithm 1 logical clock, per-endpoint op counters, and the
@@ -300,6 +378,37 @@ type server struct {
 		msnapUpdate, msnapScan      atomic.Int64
 		clockTick, clockRead        atomic.Int64
 	}
+
+	// fences are the routed objects' backend-side ownership fences (the
+	// cluster handoff protocol's 409 surface); fenceRejects counts requests
+	// refused below a floor.
+	fences struct {
+		counter, maxreg, gset fenceGate
+	}
+	fenceRejects atomic.Int64
+}
+
+// fenceOf maps a /fence obj parameter to its gate (nil = unknown object;
+// only the routed objects carry fences).
+func (s *server) fenceOf(obj string) *fenceGate {
+	switch obj {
+	case "counter":
+		return &s.fences.counter
+	case "maxreg":
+		return &s.fences.maxreg
+	case "gset":
+		return &s.fences.gset
+	}
+	return nil
+}
+
+// fenced answers the 409 a request below an object's fence floor gets: the
+// ownership generation it carries is retired, the routing tier must re-read
+// the ownership record and re-route. Always retryable — the object lives
+// on, just elsewhere.
+func (s *server) fenced(w http.ResponseWriter) {
+	s.fenceRejects.Add(1)
+	writeErr(w, http.StatusConflict, "generation fenced: object ownership moved", true, 0)
 }
 
 // snapWords is the word budget the server grants its dedicated multi-word
@@ -522,6 +631,7 @@ func (s *server) registerMetrics() {
 	s.endpointDur = make(map[string]*obs.Histogram)
 	for _, e := range []struct{ path, name string }{
 		{"/counter/inc", "counter_inc"},
+		{"/counter/add", "counter_add"},
 		{"/counter", "counter"},
 		{"/maxreg", "maxreg"},
 		{"/gset", "gset"},
@@ -580,6 +690,14 @@ func (s *server) registerMetrics() {
 	s.reg.GaugeFunc("slserve_gset_epoch_generation", "gset epoch rollover generation", func() int64 { return s.gset.EpochGeneration(t0) })
 	s.reg.GaugeFunc("slserve_msnapshot_generation", "multi-word snapshot re-base generation (completed cutovers)", func() int64 { return s.msnap.Generation(t0) })
 
+	// Ownership-fence telemetry: the per-object fence floors a routing tier
+	// has raised here and the requests refused below one (each refusal is a
+	// raced handoff the cluster layer re-routed).
+	s.reg.GaugeFunc("slserve_counter_fence_floor", "counter ownership fence floor (0 = never fenced)", s.fences.counter.Floor)
+	s.reg.GaugeFunc("slserve_maxreg_fence_floor", "maxreg ownership fence floor (0 = never fenced)", s.fences.maxreg.Floor)
+	s.reg.GaugeFunc("slserve_gset_fence_floor", "gset ownership fence floor (0 = never fenced)", s.fences.gset.Floor)
+	s.reg.CounterFunc("slserve_fence_rejects_total", "requests refused 409 below an ownership fence floor", s.fenceRejects.Load)
+
 	// Lane-lease pressure: sizing signals for the pool.
 	s.reg.CounterFunc("slserve_lease_acquires_total", "lane leases granted", func() int64 { return s.pool.Acquires(t0) })
 	s.reg.CounterFunc("slserve_lease_waits_total", "lease acquisitions that found every lane out and parked", s.pool.Waits)
@@ -590,6 +708,7 @@ func (s *server) registerMetrics() {
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/counter/inc", s.counterInc)
+	mux.HandleFunc("/counter/add", s.counterAdd)
 	mux.HandleFunc("/counter", s.counterGet)
 	mux.HandleFunc("/maxreg", s.maxregHandler)
 	mux.HandleFunc("/gset", s.gsetHandler)
@@ -600,6 +719,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/stats", s.stats)
 	mux.HandleFunc("/metrics", s.metrics)
 	mux.HandleFunc("/healthz", s.healthz)
+	mux.HandleFunc("/fence", s.fenceHandler)
 	return s.instrumented(mux)
 }
 
@@ -621,24 +741,40 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// unavailable answers a load-shedding status (429/503) with a Retry-After
-// hint and a structured JSON body, so clients can distinguish "back off and
-// retry" (retryable: a watermark crossing the controller will re-base away
-// within about one -rollover-interval) from "this resource is finished"
-// (the clock's terminal Algorithm 1 budget) without parsing prose.
-func (s *server) unavailable(w http.ResponseWriter, code int, reason string, retryable bool) {
-	retryAfter := int64(rolloverEvery.Seconds())
-	if retryAfter < 1 {
-		retryAfter = 1
+// writeErr is THE error shape: every non-200 response from every endpoint —
+// wrong method, bad parameter, fenced generation, spent budget — carries the
+// same JSON body {error, retryable, retry_after_seconds}, so a routing tier
+// (or any client) classifies failures by two typed fields instead of
+// per-endpoint prose. retryAfter <= 0 means "no hint" (the field still
+// appears, as 0, so the shape never varies); retryAfter > 0 additionally
+// sets the Retry-After header for clients that only speak HTTP.
+func writeErr(w http.ResponseWriter, code int, reason string, retryable bool, retryAfter int64) {
+	if retryAfter < 0 {
+		retryAfter = 0
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("Retry-After", strconv.FormatInt(retryAfter, 10))
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.FormatInt(retryAfter, 10))
+	}
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]any{
 		"error":               reason,
 		"retryable":           retryable,
 		"retry_after_seconds": retryAfter,
 	})
+}
+
+// unavailable answers a load-shedding status (429/503) with a Retry-After
+// hint, so clients can distinguish "back off and retry" (retryable: a
+// watermark crossing the controller will re-base away within about one
+// -rollover-interval) from "this resource is finished" (the clock's
+// terminal Algorithm 1 budget) without parsing prose.
+func (s *server) unavailable(w http.ResponseWriter, code int, reason string, retryable bool) {
+	retryAfter := int64(rolloverEvery.Seconds())
+	if retryAfter < 1 {
+		retryAfter = 1
+	}
+	writeErr(w, code, reason, retryable, retryAfter)
 }
 
 // debugHandler is the -debug-addr surface: the same /metrics plus
@@ -701,118 +837,224 @@ func writeJSON(w http.ResponseWriter, v any) {
 
 func (s *server) counterInc(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		writeErr(w, http.StatusMethodNotAllowed, "POST only", false, 0)
 		return
 	}
-	if s.coalesce {
-		// N concurrent increments fold into ONE Add of their sum — a single
-		// XADD on the owning shard carries every request's contribution.
-		s.co.counterInc.do(
-			func(b *batch) { b.sum++ },
-			func(b *batch) {
-				s.pool.With(func(t stronglin.Thread) { s.counter.Add(t, b.sum) })
-			})
-	} else {
-		s.pool.With(func(t stronglin.Thread) { s.counter.Inc(t) })
+	gen, err := reqGen(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error(), false, 0)
+		return
+	}
+	if !s.fences.counter.admit(gen, func() {
+		if s.coalesce {
+			// N concurrent increments fold into ONE Add of their sum — a single
+			// XADD on the owning shard carries every request's contribution.
+			s.co.counterInc.do(
+				func(b *batch) { b.sum++ },
+				func(b *batch) {
+					s.pool.With(func(t stronglin.Thread) { s.counter.Add(t, b.sum) })
+				})
+		} else {
+			s.pool.With(func(t stronglin.Thread) { s.counter.Inc(t) })
+		}
+	}) {
+		s.fenced(w)
+		return
 	}
 	s.ops.counterInc.Add(1)
 	writeJSON(w, map[string]any{"ok": true})
 }
 
+// counterAdd is the migration surface: POST /counter/add?d=N folds N into
+// the counter in one operation — how a routing tier seeds a new owner with
+// an acked ledger value without replaying N increments. Gated by the same
+// fence as /counter/inc.
+func (s *server) counterAdd(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only", false, 0)
+		return
+	}
+	gen, err := reqGen(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error(), false, 0)
+		return
+	}
+	raw := r.URL.Query().Get("d")
+	d, perr := strconv.ParseInt(raw, 10, 64)
+	if raw == "" || perr != nil || d < 0 || d > counterBound {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Sprintf("query parameter %q must be an integer in [0, %d]", "d", counterBound), false, 0)
+		return
+	}
+	if !s.fences.counter.admit(gen, func() {
+		if d > 0 {
+			s.pool.With(func(t stronglin.Thread) { s.counter.Add(t, d) })
+		}
+	}) {
+		s.fenced(w)
+		return
+	}
+	s.ops.counterInc.Add(1)
+	writeJSON(w, map[string]any{"ok": true})
+}
+
+// fenceHandler raises a routed object's fence floor: POST /fence?obj=O&gen=G.
+// Monotone and idempotent — re-fencing at or below the floor answers the
+// standing floor. When this returns, no request of a generation below G is
+// in flight anymore (raise holds the gate's write side), so the caller may
+// read the object's authoritative value and migrate it.
+func (s *server) fenceHandler(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only", false, 0)
+		return
+	}
+	g := s.fenceOf(r.URL.Query().Get("obj"))
+	if g == nil {
+		writeErr(w, http.StatusBadRequest, "obj must be one of counter, maxreg, gset", false, 0)
+		return
+	}
+	gen, err := strconv.ParseInt(r.URL.Query().Get("gen"), 10, 64)
+	if err != nil || gen < 0 {
+		writeErr(w, http.StatusBadRequest, "gen must be a non-negative integer", false, 0)
+		return
+	}
+	writeJSON(w, map[string]any{"ok": true, "floor": g.raise(gen)})
+}
+
 func (s *server) counterGet(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		writeErr(w, http.StatusMethodNotAllowed, "GET only", false, 0)
+		return
+	}
+	gen, err := reqGen(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error(), false, 0)
 		return
 	}
 	var v int64
-	if s.coalesce {
-		// Concurrent reads share one validated combining read: the leader's
-		// read lies inside every member's request interval.
-		b := s.co.counterRead.do(
-			func(*batch) {},
-			func(b *batch) {
-				s.pool.With(func(t stronglin.Thread) { b.val = s.counter.Read(t) })
-			})
-		v = b.val
-	} else {
-		s.pool.With(func(t stronglin.Thread) { v = s.counter.Read(t) })
+	if !s.fences.counter.admit(gen, func() {
+		if s.coalesce {
+			// Concurrent reads share one validated combining read: the leader's
+			// read lies inside every member's request interval.
+			b := s.co.counterRead.do(
+				func(*batch) {},
+				func(b *batch) {
+					s.pool.With(func(t stronglin.Thread) { b.val = s.counter.Read(t) })
+				})
+			v = b.val
+		} else {
+			s.pool.With(func(t stronglin.Thread) { v = s.counter.Read(t) })
+		}
+	}) {
+		s.fenced(w)
+		return
 	}
 	s.ops.counterRead.Add(1)
 	writeJSON(w, map[string]any{"value": v})
 }
 
 func (s *server) maxregHandler(w http.ResponseWriter, r *http.Request) {
+	gen, gerr := reqGen(r)
+	if gerr != nil {
+		writeErr(w, http.StatusBadRequest, gerr.Error(), false, 0)
+		return
+	}
 	switch r.Method {
 	case http.MethodPost:
 		v, err := s.queryInt(r, "v")
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			writeErr(w, http.StatusBadRequest, err.Error(), false, 0)
 			return
 		}
-		s.pool.With(func(t stronglin.Thread) { s.maxreg.WriteMax(t, v) })
+		if !s.fences.maxreg.admit(gen, func() {
+			s.pool.With(func(t stronglin.Thread) { s.maxreg.WriteMax(t, v) })
+		}) {
+			s.fenced(w)
+			return
+		}
 		s.ops.maxregWrite.Add(1)
 		writeJSON(w, map[string]any{"ok": true})
 	case http.MethodGet:
 		var v int64
-		if s.coalesce {
-			b := s.co.maxregRead.do(
-				func(*batch) {},
-				func(b *batch) {
-					s.pool.With(func(t stronglin.Thread) { b.val = s.maxreg.ReadMax(t) })
-				})
-			v = b.val
-		} else {
-			s.pool.With(func(t stronglin.Thread) { v = s.maxreg.ReadMax(t) })
+		if !s.fences.maxreg.admit(gen, func() {
+			if s.coalesce {
+				b := s.co.maxregRead.do(
+					func(*batch) {},
+					func(b *batch) {
+						s.pool.With(func(t stronglin.Thread) { b.val = s.maxreg.ReadMax(t) })
+					})
+				v = b.val
+			} else {
+				s.pool.With(func(t stronglin.Thread) { v = s.maxreg.ReadMax(t) })
+			}
+		}) {
+			s.fenced(w)
+			return
 		}
 		s.ops.maxregRead.Add(1)
 		writeJSON(w, map[string]any{"value": v})
 	default:
-		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+		writeErr(w, http.StatusMethodNotAllowed, "GET or POST only", false, 0)
 	}
 }
 
 func (s *server) gsetHandler(w http.ResponseWriter, r *http.Request) {
+	gen, gerr := reqGen(r)
+	if gerr != nil {
+		writeErr(w, http.StatusBadRequest, gerr.Error(), false, 0)
+		return
+	}
 	switch r.Method {
 	case http.MethodPost:
 		x, err := s.queryInt(r, "x")
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			writeErr(w, http.StatusBadRequest, err.Error(), false, 0)
 			return
 		}
-		if s.coalesce {
-			// Concurrent adds fold into one batch; the leader inserts the
-			// DISTINCT elements under a single lease (duplicate requests for
-			// the same element collapse to one XADD on its shard).
-			s.co.gsetAdd.do(
-				func(b *batch) { b.elems = append(b.elems, x) },
-				func(b *batch) {
-					s.pool.With(func(t stronglin.Thread) {
-						seen := make(map[int64]bool, len(b.elems))
-						for _, e := range b.elems {
-							if !seen[e] {
-								seen[e] = true
-								s.gset.Add(t, e)
+		if !s.fences.gset.admit(gen, func() {
+			if s.coalesce {
+				// Concurrent adds fold into one batch; the leader inserts the
+				// DISTINCT elements under a single lease (duplicate requests for
+				// the same element collapse to one XADD on its shard).
+				s.co.gsetAdd.do(
+					func(b *batch) { b.elems = append(b.elems, x) },
+					func(b *batch) {
+						s.pool.With(func(t stronglin.Thread) {
+							seen := make(map[int64]bool, len(b.elems))
+							for _, e := range b.elems {
+								if !seen[e] {
+									seen[e] = true
+									s.gset.Add(t, e)
+								}
 							}
-						}
+						})
 					})
-				})
-		} else {
-			s.pool.With(func(t stronglin.Thread) { s.gset.Add(t, x) })
+			} else {
+				s.pool.With(func(t stronglin.Thread) { s.gset.Add(t, x) })
+			}
+		}) {
+			s.fenced(w)
+			return
 		}
 		s.ops.gsetAdd.Add(1)
 		writeJSON(w, map[string]any{"ok": true})
 	case http.MethodGet:
 		if r.URL.Query().Get("x") == "" {
 			var elems []int64
-			if s.coalesce {
-				b := s.co.gsetElems.do(
-					func(*batch) {},
-					func(b *batch) {
-						s.pool.With(func(t stronglin.Thread) { b.view = s.gset.Elems(t) })
-					})
-				elems = b.view
-			} else {
-				s.pool.With(func(t stronglin.Thread) { elems = s.gset.Elems(t) })
+			if !s.fences.gset.admit(gen, func() {
+				if s.coalesce {
+					b := s.co.gsetElems.do(
+						func(*batch) {},
+						func(b *batch) {
+							s.pool.With(func(t stronglin.Thread) { b.view = s.gset.Elems(t) })
+						})
+					elems = b.view
+				} else {
+					s.pool.With(func(t stronglin.Thread) { elems = s.gset.Elems(t) })
+				}
+			}) {
+				s.fenced(w)
+				return
 			}
 			s.ops.gsetElems.Add(1)
 			writeJSON(w, map[string]any{"elems": elems})
@@ -820,15 +1062,20 @@ func (s *server) gsetHandler(w http.ResponseWriter, r *http.Request) {
 		}
 		x, err := s.queryInt(r, "x")
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			writeErr(w, http.StatusBadRequest, err.Error(), false, 0)
 			return
 		}
 		var member bool
-		s.pool.With(func(t stronglin.Thread) { member = s.gset.Has(t, x) })
+		if !s.fences.gset.admit(gen, func() {
+			s.pool.With(func(t stronglin.Thread) { member = s.gset.Has(t, x) })
+		}) {
+			s.fenced(w)
+			return
+		}
 		s.ops.gsetHas.Add(1)
 		writeJSON(w, map[string]any{"member": member})
 	default:
-		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+		writeErr(w, http.StatusMethodNotAllowed, "GET or POST only", false, 0)
 	}
 }
 
@@ -842,7 +1089,7 @@ func (s *server) snapshotHandler(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPost:
 		v, err := s.queryInt(r, "v")
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			writeErr(w, http.StatusBadRequest, err.Error(), false, 0)
 			return
 		}
 		s.pool.With(func(t stronglin.Thread) { s.snap.Update(t, v) })
@@ -863,7 +1110,7 @@ func (s *server) snapshotHandler(w http.ResponseWriter, r *http.Request) {
 		s.ops.snapScan.Add(1)
 		writeJSON(w, map[string]any{"view": view})
 	default:
-		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+		writeErr(w, http.StatusMethodNotAllowed, "GET or POST only", false, 0)
 	}
 }
 
@@ -880,7 +1127,7 @@ func (s *server) msnapshotHandler(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPost:
 		v, err := s.queryInt(r, "v")
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			writeErr(w, http.StatusBadRequest, err.Error(), false, 0)
 			return
 		}
 		s.pool.With(func(t stronglin.Thread) { s.msnap.Update(t, v) })
@@ -904,13 +1151,13 @@ func (s *server) msnapshotHandler(w http.ResponseWriter, r *http.Request) {
 		s.ops.msnapScan.Add(1)
 		writeJSON(w, map[string]any{"view": view})
 	default:
-		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+		writeErr(w, http.StatusMethodNotAllowed, "GET or POST only", false, 0)
 	}
 }
 
 func (s *server) clockTick(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		writeErr(w, http.StatusMethodNotAllowed, "POST only", false, 0)
 		return
 	}
 	var err error
@@ -929,7 +1176,7 @@ func (s *server) clockTick(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) clockGet(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		writeErr(w, http.StatusMethodNotAllowed, "GET only", false, 0)
 		return
 	}
 	var v int64
@@ -993,6 +1240,12 @@ type statsSnapshot struct {
 	MaxregGeneration  int64                 `json:"maxreg_epoch_generation"`
 	GSetGeneration    int64                 `json:"gset_epoch_generation"`
 	MsnapRebase       stronglin.RebaseStats `json:"msnapshot_rebase"`
+	// Ownership fences: each routed object's backend-side fence floor (the
+	// cluster handoff's 409 surface) and the requests refused below one.
+	CounterFenceFloor int64 `json:"counter_fence_floor"`
+	MaxregFenceFloor  int64 `json:"maxreg_fence_floor"`
+	GSetFenceFloor    int64 `json:"gset_fence_floor"`
+	FenceRejects      int64 `json:"fence_rejects"`
 	// Coalescing: whether request batching is on, and how many requests rode
 	// another request's batch instead of running their own engine operation.
 	Coalesce         bool  `json:"coalesce"`
@@ -1096,6 +1349,10 @@ func (s *server) snapshot() statsSnapshot {
 		MaxregGeneration:  s.maxreg.EpochGeneration(stronglin.Thread(0)),
 		GSetGeneration:    s.gset.EpochGeneration(stronglin.Thread(0)),
 		MsnapRebase:       s.msnap.RebaseStats(),
+		CounterFenceFloor: s.fences.counter.Floor(),
+		MaxregFenceFloor:  s.fences.maxreg.Floor(),
+		GSetFenceFloor:    s.fences.gset.Floor(),
+		FenceRejects:      s.fenceRejects.Load(),
 		Coalesce:          s.coalesce,
 		CoalesceAbsorbed:  s.coalesceAbsorbed(),
 		LanesInUse:        s.pool.InUse(),
@@ -1163,10 +1420,15 @@ type attackReport struct {
 	// Offered counts scheduled arrivals; Unsent the schedule tail abandoned
 	// by the overload watchdog (nonzero only when the target fell an order
 	// of magnitude behind the offered rate).
-	Offered   int64         `json:"offered,omitempty"`
-	Unsent    int64         `json:"unsent,omitempty"`
-	Requests  int64         `json:"requests"`
-	Errors    int64         `json:"errors"`
+	Offered  int64 `json:"offered,omitempty"`
+	Unsent   int64 `json:"unsent,omitempty"`
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	// Retried counts retry attempts honored on retryable statuses (the
+	// server's structured 503/429 bodies); Exhausted the logical requests
+	// still refused after the whole retry budget (a subset of Errors).
+	Retried   int64         `json:"retried"`
+	Exhausted int64         `json:"exhausted"`
 	OpsPerSec float64       `json:"ops_per_sec"`
 	LatencyMS latencyMS     `json:"latency_ms"`
 	Stats     statsSnapshot `json:"server_stats"`
@@ -1234,6 +1496,15 @@ func pickOp(mix string, c, i int) int {
 			return 9 // msnapshot scan
 		}
 		return 8 // msnapshot update
+	case "counter":
+		// Counter-only, write-heavy: the mix the multi-backend chaos soak
+		// drives through the routing frontend, where every increment's ack
+		// must survive ownership handoffs (lost-update accounting needs a
+		// single monotone object).
+		if i%4 == 3 {
+			return 1 // counter read
+		}
+		return 0 // counter inc
 	default: // "default": the original 50/50 mix
 		return i % 10
 	}
@@ -1241,7 +1512,7 @@ func pickOp(mix string, c, i int) int {
 
 func validMix(mix string) bool {
 	switch mix {
-	case "default", "read-heavy", "write-storm", "storm":
+	case "default", "read-heavy", "write-storm", "storm", "counter":
 		return true
 	}
 	return false
@@ -1249,12 +1520,17 @@ func validMix(mix string) bool {
 
 // attackTelemetry is the shared per-run instrumentation: every successful
 // request lands one latency observation (nanoseconds) in the histogram and
-// raises the max watermark, whatever the loop mode.
+// raises the max watermark, whatever the loop mode. retried counts retry
+// attempts honored on retryable statuses; exhausted counts logical requests
+// that stayed retryable through the whole retry budget (those also land in
+// errors — an exhausted request IS a failed request, just a classified one).
 type attackTelemetry struct {
-	latency  obs.Histogram
-	latMax   obs.Gauge
-	requests atomic.Int64
-	errors   atomic.Int64
+	latency   obs.Histogram
+	latMax    obs.Gauge
+	requests  atomic.Int64
+	errors    atomic.Int64
+	retried   atomic.Int64
+	exhausted atomic.Int64
 }
 
 func (a *attackTelemetry) record(lat time.Duration, err error) {
@@ -1265,6 +1541,55 @@ func (a *attackTelemetry) record(lat time.Duration, err error) {
 	a.latency.Observe(lat.Nanoseconds())
 	a.latMax.Mark(lat.Nanoseconds())
 	a.requests.Add(1)
+}
+
+// statusError is a non-200 answer decoded into the server's uniform error
+// shape: {error, retryable, retry_after_seconds}. The attack client backs
+// off and retries exactly when the server says to — a 503 mid-rollover or a
+// 503 from a routing frontend with a dead owner is load-shedding, not
+// failure, and hammering it would measure the wrong thing.
+type statusError struct {
+	code       int
+	reason     string
+	retryable  bool
+	retryAfter time.Duration
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("status %d (%s)", e.code, e.reason)
+}
+
+// fireWithRetry drives one logical request through fire, honoring the
+// structured retry contract: on a retryable status it sleeps the server's
+// retry_after_seconds hint (capped — the generator must keep offering load —
+// and jittered to avoid retry convoys), up to maxRetries times. Exhausting
+// the budget on a still-retryable status is reported as exhausted.
+func fireWithRetry(client *http.Client, target string, op, c, i int, valCap int64, tele *attackTelemetry) error {
+	const maxRetries = 3
+	const sleepCap = 100 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		err := fire(client, target, op, c, i, valCap)
+		var se *statusError
+		if err == nil || !errors.As(err, &se) || !se.retryable {
+			return err
+		}
+		if attempt == maxRetries {
+			tele.exhausted.Add(1)
+			return err
+		}
+		tele.retried.Add(1)
+		sleep := se.retryAfter
+		if sleep <= 0 {
+			// No hint: exponential base so bare-503 targets still see backoff.
+			sleep = time.Duration(1<<attempt) * 5 * time.Millisecond
+		}
+		if sleep > sleepCap {
+			sleep = sleepCap
+		}
+		// Full jitter: a fleet of clients refused together must not return
+		// together.
+		time.Sleep(time.Duration(rand.Int63n(int64(sleep))) + sleep/2)
+	}
 }
 
 func runAttack() error {
@@ -1343,6 +1668,8 @@ func runAttack() error {
 	rep.Duration = elapsed.String()
 	rep.Requests = tele.requests.Load()
 	rep.Errors = tele.errors.Load()
+	rep.Retried = tele.retried.Load()
+	rep.Exhausted = tele.exhausted.Load()
 	rep.OpsPerSec = float64(tele.requests.Load()) / elapsed.Seconds()
 	rep.LatencyMS = summarizeHist(&tele.latency, &tele.latMax)
 	if srv != nil {
@@ -1380,7 +1707,7 @@ func runClosedLoop(client *http.Client, target string, valCap int64, tele *attac
 			defer wg.Done()
 			for i := 0; !stop.Load(); i++ {
 				t0 := time.Now()
-				err := fire(client, target, pickOp(*mixName, c, i), c, i, valCap)
+				err := fireWithRetry(client, target, pickOp(*mixName, c, i), c, i, valCap, tele)
 				tele.record(time.Since(t0), err)
 			}
 		}(c)
@@ -1429,10 +1756,11 @@ func runOpenLoop(client *http.Client, target string, valCap int64, tele *attackT
 				if d := time.Until(intended); d > 0 {
 					time.Sleep(d)
 				}
-				err := fire(client, target, pickOp(*mixName, c, int(idx)), c, int(idx), valCap)
+				err := fireWithRetry(client, target, pickOp(*mixName, c, int(idx)), c, int(idx), valCap, tele)
 				// Coordinated-omission-safe: latency from the intended send
 				// instant, so time spent waiting for a free worker (server
-				// backlog) is charged to this request.
+				// backlog) is charged to this request — retry backoffs
+				// included, since the server asked for them.
 				tele.record(time.Since(intended), err)
 			}
 		}(c)
@@ -1510,13 +1838,29 @@ func fire(client *http.Client, target string, op, c, i int, valCap int64) error 
 	if err != nil {
 		return err
 	}
+	if resp.StatusCode != http.StatusOK {
+		// Decode the uniform error shape so the caller can honor the retry
+		// contract; a body that isn't the shape (a 404's plain text) just
+		// leaves the zero values — not retryable, no hint.
+		var body struct {
+			Error             string `json:"error"`
+			Retryable         bool   `json:"retryable"`
+			RetryAfterSeconds int64  `json:"retry_after_seconds"`
+		}
+		json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return &statusError{
+			code:       resp.StatusCode,
+			reason:     body.Error,
+			retryable:  body.Retryable,
+			retryAfter: time.Duration(body.RetryAfterSeconds) * time.Second,
+		}
+	}
 	// Drain before closing so the keep-alive connection is reusable;
 	// otherwise every request pays a fresh TCP handshake and the report
 	// measures connection setup, not the server.
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("status %d", resp.StatusCode)
-	}
 	return nil
 }

@@ -1,0 +1,110 @@
+// Package cluster distributes the served objects across a pool of backend
+// processes under the only guarantee the impossibility results leave open:
+// SINGLE OWNERSHIP. Strong linearizability cannot survive naive replication
+// in a message-passing system (arXiv 2108.01651, arXiv 2105.06614), so this
+// package never replicates an object — each object key maps to exactly one
+// owner backend (rendezvous hashing over the live membership view), every
+// operation on the object executes at its owner, and every SL argument stays
+// node-local where the repo's model checks already hold.
+//
+// What remains distributed is OWNERSHIP ITSELF, and moving it is exactly the
+// cutover problem internal/migrate solved for in-process generations. The
+// ownership Table (table.go) reuses that discipline on prim registers, so
+// the transfer protocol runs unchanged in the simulated world where its
+// races are model-checked:
+//
+//   - a fence GENERATION per object, bumped before any transfer; routed
+//     requests register in a slot tagged with the generation they read and
+//     re-validate it before dispatching, so a request that raced a handoff
+//     re-routes instead of landing at a retired owner;
+//   - a CUTOVER flag flipped only AFTER the new owner holds the migrated
+//     value (flip-after-migrate); while it is up, routing answers
+//     ErrMigrating rather than guessing an owner;
+//   - a DRAIN barrier: the migrator waits for every registered slot to
+//     clear (each cleared slot proves that request's effect is already
+//     folded into the front tier's acked ledger and therefore into the
+//     seed), or times out and STEALS the stragglers — a stolen slot's
+//     request is refused without an ack, never acked against a seed that
+//     missed it.
+//
+// The health checker (health.go) consumes the slserve /healthz ladder —
+// 200 up, 429 degraded (alive, shedding), 503 or unreachable counting
+// toward down — and publishes an epoch-numbered membership view; ownership
+// follows the view via rendezvous hashing, so any two components that agree
+// on the member list and liveness agree on every owner without
+// coordination.
+package cluster
+
+import "hash/fnv"
+
+// BackendState classifies one backend in the current membership view.
+type BackendState int32
+
+// Backend states, ordered by health.
+const (
+	// StateUp: consecutive healthy probes (HTTP 200).
+	StateUp BackendState = iota
+	// StateDegraded: the backend answers but sheds load (HTTP 429, a
+	// watermark warn) or reports a budget near exhaustion (HTTP 503 counts
+	// toward down — see Health). Degraded backends keep their ownerships:
+	// they are alive, and churning ownership on a shedding signal would
+	// trade a slow answer for a handoff storm.
+	StateDegraded
+	// StateDown: consecutive failed probes (unreachable, or 503 — nearly
+	// spent). Down backends lose their ownerships via fenced handoff.
+	StateDown
+)
+
+func (s BackendState) String() string {
+	switch s {
+	case StateUp:
+		return "up"
+	case StateDegraded:
+		return "degraded"
+	case StateDown:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// View is an epoch-numbered membership snapshot: which backends are
+// candidates for ownership. Epochs only move forward; a larger epoch wins.
+type View struct {
+	Epoch int64
+	// Alive[i] reports whether backend i (by pool index) may own objects.
+	Alive []bool
+}
+
+// Candidates returns the alive backend indices, in pool order.
+func (v View) Candidates() []int {
+	var out []int
+	for i, ok := range v.Alive {
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// RendezvousOwner maps key to its owner among the candidate backends by
+// highest-random-weight (rendezvous) hashing over (key, member URL): every
+// component that agrees on the member list and the candidate set computes
+// the same owner with no coordination, and removing one member re-maps only
+// that member's keys. Returns -1 when no candidate is alive.
+func RendezvousOwner(key string, members []string, candidates []int) int {
+	best, bestHash := -1, uint64(0)
+	for _, i := range candidates {
+		if i < 0 || i >= len(members) {
+			continue
+		}
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		h.Write([]byte{0})
+		h.Write([]byte(members[i]))
+		if hv := h.Sum64(); best == -1 || hv > bestHash || (hv == bestHash && i < best) {
+			best, bestHash = i, hv
+		}
+	}
+	return best
+}

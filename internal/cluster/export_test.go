@@ -1,0 +1,5 @@
+package cluster
+
+// UnpackRecord exposes the packed ownership-record layout to the external
+// game tests, which decode the final record state after a run.
+func UnpackRecord(rec int64) (gen int64, owner int, cutover bool) { return unpackRec(rec) }

@@ -1,0 +1,710 @@
+package cluster_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"stronglin/internal/cluster"
+	"stronglin/internal/prim"
+	"stronglin/internal/sim"
+)
+
+// The games model the distributed system the frontend runs: two backend
+// counters (beA, beB), each ONE CAS word encoding its fence floor next to
+// its value — the real backend serializes each request's fence check with
+// its application, so modeling both as a single atomic step is exact — a
+// front-tier acked LEDGER (a fetch&add), and the ownership Table under
+// test. Route folds the ack into the ledger AFTER a successful apply and
+// retracts it if the request's drain slot was stolen, so the final ledger
+// value equals the number of client-visible acks exactly. A handoff moves
+// the counter from backend A (owner 0) to backend B (owner 1) through the
+// fenced cutover; the invariants checked at every complete leaf are the
+// distribution contract itself:
+//
+//	no lost acked update   value(B) covers every ledger ack
+//	single ownership       no apply lands at A after A's fence,
+//	                       none lands at B before B's install
+//
+// plus the response discipline (a routed increment is acked, re-routed, or
+// refused-retryable — never silently dropped).
+
+const (
+	floorShift = 44
+	valMask    = (int64(1) << floorShift) - 1
+)
+
+type gameEnv struct {
+	tb     *cluster.Table
+	be     []prim.CAS
+	ledger prim.FetchAddInt
+
+	// log records protocol milestones in global step order (the runner
+	// serializes steps, and the code appending after a step's access runs
+	// inside that grant): "applyA"/"applyB" on a successful backend CAS,
+	// "fencedA" once A's floor holds the handoff generation, "install"
+	// when B becomes owner.
+	log []string
+}
+
+// newGameEnv starts every game with backend A (index 0) owning the counter.
+func newGameEnv(w *sim.World, slots int) *gameEnv {
+	return &gameEnv{
+		tb:     cluster.NewTable(w, "route", slots, 0, "counter"),
+		be:     []prim.CAS{w.CAS("beA", 0), w.CAS("beB", 0)},
+		ledger: w.FetchAddInt("ledger", 0),
+	}
+}
+
+func beName(owner int) string {
+	if owner == 0 {
+		return "A"
+	}
+	return "B"
+}
+
+// applyInc is one increment landing at owner: fence check and application
+// are one CAS on the backend's word. No ack here — Route owns the ack.
+func (e *gameEnv) applyInc(t prim.Thread, owner int, gen int64) error {
+	for {
+		v := e.be[owner].Read(t)
+		if gen < v>>floorShift {
+			return cluster.ErrFenced
+		}
+		if e.be[owner].CompareAndSwap(t, v, (v>>floorShift)<<floorShift|(v&valMask)+1) {
+			e.log = append(e.log, "apply"+beName(owner))
+			return nil
+		}
+	}
+}
+
+// fenceBackend raises owner's floor to gen: from this step on no apply
+// carrying an older generation can land there. (Requests can only carry
+// gen itself once the NEW owner is installed — the packed record makes a
+// torn generation/owner read impossible — so floor = gen with a strict <
+// check fences every request of the retired tenure.)
+func (e *gameEnv) fenceBackend(t prim.Thread, owner int, gen int64) {
+	for {
+		v := e.be[owner].Read(t)
+		if v>>floorShift >= gen {
+			e.log = append(e.log, "fenced"+beName(owner))
+			return
+		}
+		if e.be[owner].CompareAndSwap(t, v, gen<<floorShift|v&valMask) {
+			e.log = append(e.log, "fenced"+beName(owner))
+			return
+		}
+	}
+}
+
+// seedBackend installs the migrated value at the successor (monotone: only
+// raises).
+func (e *gameEnv) seedBackend(t prim.Thread, to int, seed int64) {
+	for {
+		v := e.be[to].Read(t)
+		if v&valMask >= seed {
+			return
+		}
+		if e.be[to].CompareAndSwap(t, v, (v>>floorShift)<<floorShift|seed) {
+			return
+		}
+	}
+}
+
+// opRoutedInc: one fenced routed increment holding drain slot `slot`.
+// Happy path is 9 grants: invoke, record read, slot occupy, record
+// re-validate, backend read, backend CAS, ledger ack, slot check, release.
+func (e *gameEnv) opRoutedInc(slot int) sim.Op {
+	return sim.Op{
+		Name: fmt.Sprintf("routedInc(slot%d)", slot),
+		Run: func(t prim.Thread) string {
+			err := e.tb.Route(t, slot, "counter",
+				func(owner int, gen int64) error { return e.applyInc(t, owner, gen) },
+				func() { e.ledger.FetchAddInt(t, 1) },
+				func() { e.ledger.FetchAddInt(t, -1) })
+			switch {
+			case err == nil:
+				return "acked"
+			case errors.Is(err, cluster.ErrRacedHandoff):
+				return "raced"
+			case errors.Is(err, cluster.ErrMigrating):
+				return "migrating"
+			default:
+				return "err:" + err.Error()
+			}
+		},
+	}
+}
+
+// opHandoff is the fenced ownership transfer A -> B. steal=false waits for
+// the drain barrier (each slot a conditional step — the exhaustive game's
+// migrator); steal=true takes the stragglers' slots immediately (the
+// timeout path). graceful=true additionally merges the retired owner's
+// post-fence value into the seed (the live-backend handoff; without it the
+// seed is the acked ledger alone — the crash handoff, where the old
+// backend's memory is gone).
+func (e *gameEnv) opHandoff(steal, graceful bool) sim.Op {
+	return sim.Op{
+		Name: "handoff(A->B)",
+		Run: func(t prim.Thread) string {
+			old, gen := e.tb.Fence(t, "counter")
+			if old >= 0 {
+				e.fenceBackend(t, old, gen)
+			}
+			if steal {
+				e.tb.StealSlots(t, "counter")
+			} else {
+				e.tb.AwaitDrain(t, "counter")
+			}
+			seed := e.ledger.FetchAddInt(t, 0)
+			if graceful && old >= 0 {
+				if v := e.be[old].Read(t) & valMask; v > seed {
+					seed = v
+				}
+			}
+			e.seedBackend(t, 1, seed)
+			e.tb.Install(t, "counter", 1)
+			e.log = append(e.log, "install")
+			return "done"
+		},
+	}
+}
+
+// opHandoffNoFence is the NEGATIVE TWIN: the same transfer with the fence
+// discipline deleted — no cutover flag, no generation bump, no backend
+// fence, no drain. It reads the ledger, seeds B, and flips the owner.
+func (e *gameEnv) opHandoffNoFence() sim.Op {
+	return sim.Op{
+		Name: "handoffNoFence(A->B)",
+		Run: func(t prim.Thread) string {
+			seed := e.ledger.FetchAddInt(t, 0)
+			e.seedBackend(t, 1, seed)
+			e.tb.Install(t, "counter", 1)
+			e.log = append(e.log, "install")
+			return "done"
+		},
+	}
+}
+
+// opProbe reads the ownership record n times — a routing-tier process that
+// keeps the scheduler fed (partition games sever every client; without a
+// live process the faulted policy would stop the run the moment the
+// migrator finishes, and the severed clients would never resume).
+func (e *gameEnv) opProbe(n int) sim.Op {
+	return sim.Op{
+		Name: "probe",
+		Run: func(t prim.Thread) string {
+			for i := 0; i < n; i++ {
+				e.tb.Owner(t, "counter")
+			}
+			return "done"
+		},
+	}
+}
+
+// peekI reads a world object's final state after a run.
+func peekI(t *testing.T, w *sim.World, name string) int64 {
+	t.Helper()
+	st, ok := w.PeekObject(name)
+	if !ok {
+		t.Fatalf("no object %q", name)
+	}
+	return st.I64
+}
+
+// peekOwner decodes the final ownership record.
+func peekOwner(t *testing.T, w *sim.World) (owner int, gen int64, cutover bool) {
+	t.Helper()
+	gen, owner, cutover = cluster.UnpackRecord(peekI(t, w, "route.counter.rec"))
+	return owner, gen, cutover
+}
+
+// ackedReturns counts the client operations that returned "acked" — with
+// Route's ack/unack bookkeeping this must equal the final ledger value.
+func ackedReturns(exec *sim.Execution) int64 {
+	n := int64(0)
+	for _, ev := range exec.Events {
+		if ev.Kind == sim.EventReturn && ev.Resp == "acked" {
+			n++
+		}
+	}
+	return n
+}
+
+// checkSingleOwnership asserts the log ordering that IS the no-dual-owner
+// claim: once A is fenced no apply lands at A, and no apply lands at B
+// before B's install (fence always precedes install in the protocol, so
+// the two acceptance windows never overlap).
+func checkSingleOwnership(t *testing.T, log []string, ctx string) {
+	t.Helper()
+	fenced, installed := false, false
+	for _, ev := range log {
+		switch ev {
+		case "fencedA":
+			fenced = true
+		case "install":
+			installed = true
+		case "applyA":
+			if fenced {
+				t.Fatalf("%s: apply landed at A AFTER its fence (dual ownership): log %v", ctx, log)
+			}
+		case "applyB":
+			if !installed {
+				t.Fatalf("%s: apply landed at B BEFORE its install (dual ownership): log %v", ctx, log)
+			}
+		}
+	}
+}
+
+// checkLedgerIsAcks pins the ack/unack bookkeeping: the final ledger value
+// equals the number of acked client responses (raced requests retract).
+func checkLedgerIsAcks(t *testing.T, w *sim.World, exec *sim.Execution, ctx string) int64 {
+	t.Helper()
+	acked := peekI(t, w, "ledger")
+	if rets := ackedReturns(exec); acked != rets {
+		t.Fatalf("%s: ledger %d != %d acked responses — ack/unack bookkeeping broke", ctx, acked, rets)
+	}
+	return acked
+}
+
+// exhaustGames runs EVERY schedule of the given programs (depth-first over
+// the enabled sets, one sim.Run per prefix — the same cost model as
+// sim.Explore, with the per-run env visible to the leaf check). The check
+// receives the run's env, world and execution at every complete leaf.
+func exhaustGames(t *testing.T, procs, maxNodes int,
+	build func(w *sim.World) (*gameEnv, []sim.Program),
+	check func(t *testing.T, env *gameEnv, w *sim.World, exec *sim.Execution)) (leaves int) {
+	t.Helper()
+	nodes := 0
+	var dfs func(prefix []int)
+	dfs = func(prefix []int) {
+		nodes++
+		if nodes > maxNodes {
+			t.Fatalf("game tree exceeded %d nodes — shrink the shape", maxNodes)
+		}
+		var env *gameEnv
+		var world *sim.World
+		exec, err := sim.Run(procs, func(w *sim.World) []sim.Program {
+			world = w
+			var progs []sim.Program
+			env, progs = build(w)
+			return progs
+		}, prefix)
+		if err != nil {
+			t.Fatalf("schedule %v: %v", prefix, err)
+		}
+		next := exec.Enabled[len(prefix)]
+		if len(next) == 0 {
+			if !exec.Complete {
+				t.Fatalf("wedged execution (no fault injected): schedule %v", prefix)
+			}
+			leaves++
+			check(t, env, world, exec)
+			return
+		}
+		for _, p := range next {
+			dfs(append(prefix[:len(prefix):len(prefix)], p))
+		}
+	}
+	dfs(nil)
+	t.Logf("exhausted %d nodes, %d complete leaves", nodes, leaves)
+	return leaves
+}
+
+// respOf returns the response of proc's single operation.
+func respOf(exec *sim.Execution, proc int) string {
+	for _, ev := range exec.Events {
+		if ev.Kind == sim.EventReturn && ev.Proc == proc {
+			return ev.Resp
+		}
+	}
+	return ""
+}
+
+// TestExhaustiveHandoffNoLostUpdate is the model check of the tentpole
+// claim: ONE routed increment against ONE full fenced handoff (drain
+// barrier, crash-style ledger seed), under EVERY interleaving. At every
+// complete leaf: ownership has settled on B, B's value equals the acked
+// ledger exactly (an acked increment is never lost, an unacked one never
+// counted — with the drain barrier and no slot stealing there are no
+// phantoms either), the apply/fence/install ordering shows no
+// dual-ownership window, and the increment's response is "acked" or
+// "migrating" (refused-retryable before any effect), never a silent drop.
+// Coverage assertions pin that the tree actually contains the interesting
+// leaves: acks at A, acks at B (post-install re-routes), and cutover
+// refusals.
+func TestExhaustiveHandoffNoLostUpdate(t *testing.T) {
+	tally := map[string]int{}
+	leaves := exhaustGames(t, 2, 4_000_000,
+		func(w *sim.World) (*gameEnv, []sim.Program) {
+			env := newGameEnv(w, 1)
+			return env, []sim.Program{
+				{env.opRoutedInc(0)},
+				{env.opHandoff(false, false)},
+			}
+		},
+		func(t *testing.T, env *gameEnv, w *sim.World, exec *sim.Execution) {
+			acked := checkLedgerIsAcks(t, w, exec, fmt.Sprintf("schedule %v", exec.Schedule))
+			valB := peekI(t, w, "beB") & valMask
+			owner, _, cutover := peekOwner(t, w)
+			if owner != 1 || cutover {
+				t.Fatalf("record (owner %d, cutover %v) after handoff, want settled on 1: %v",
+					owner, cutover, exec.Schedule)
+			}
+			if valB != acked {
+				t.Fatalf("LOST/PHANTOM UPDATE: backend B holds %d, acked ledger %d: schedule %v\nlog %v",
+					valB, acked, exec.Schedule, env.log)
+			}
+			resp := respOf(exec, 0)
+			if resp != "acked" && resp != "migrating" {
+				t.Fatalf("routed inc answered %q, want acked or migrating: %v", resp, exec.Schedule)
+			}
+			checkSingleOwnership(t, env.log, fmt.Sprintf("schedule %v", exec.Schedule))
+			key := resp
+			for _, ev := range env.log {
+				if ev == "applyA" {
+					key += "+A"
+				}
+				if ev == "applyB" {
+					key += "+B"
+				}
+			}
+			if env.tb.Stats.Reroutes.Load() > 0 {
+				key += "+rerouted"
+			}
+			tally[key]++
+		})
+	if leaves < 100 {
+		t.Fatalf("only %d leaves — the game did not explore", leaves)
+	}
+	for _, want := range []string{"acked+A", "acked+B+rerouted", "migrating"} {
+		if tally[want] == 0 {
+			t.Fatalf("no leaf of class %q — vacuous coverage: %v", want, tally)
+		}
+	}
+	t.Logf("leaf classes: %v", tally)
+}
+
+// TestFenceFreeTwinLosesUpdate pins the negative twin: the identical
+// transfer WITHOUT the fence discipline, on the crafted schedule where a
+// routed increment occupies its slot and validates against the
+// pre-handoff record, the fence-free migrator then moves ownership, and
+// the increment lands at the RETIRED backend and is acked. The acked
+// update is not in the new owner's value — a reader at B is served a
+// resurrected past state — which is exactly the lost-update the record
+// re-validation + backend fence + drain barrier exist to prevent; the
+// crafted schedules under the REAL handoff re-route or refuse the same
+// increment.
+func TestFenceFreeTwinLosesUpdate(t *testing.T) {
+	var env *gameEnv
+	var world *sim.World
+	// Client (proc 0), 4 grants: invoke, record read, slot occupy, record
+	// re-validate — all against the old record. Migrator (proc 1), 5
+	// grants: invoke, ledger read (0 — nothing acked yet), B read (seed 0,
+	// no CAS), record read+write (owner flip; no generation bump, no
+	// fence). Client resumes, 5 grants: A read (no floor — the fence never
+	// happened), A CAS, ledger ack, slot check (never stolen — no steal
+	// either), release.
+	sched := []int{
+		0, 0, 0, 0,
+		1, 1, 1, 1, 1,
+		0, 0, 0, 0, 0,
+	}
+	exec, err := sim.Run(2, func(w *sim.World) []sim.Program {
+		world = w
+		env = newGameEnv(w, 1)
+		return []sim.Program{
+			{env.opRoutedInc(0)},
+			{env.opHandoffNoFence()},
+		}
+	}, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exec.Complete {
+		t.Fatalf("crafted schedule incomplete: enabled %v", exec.Enabled[len(exec.Schedule)])
+	}
+	acked := peekI(t, world, "ledger")
+	valB := peekI(t, world, "beB") & valMask
+	valA := peekI(t, world, "beA") & valMask
+	owner, _, _ := peekOwner(t, world)
+	if respOf(exec, 0) != "acked" {
+		t.Fatalf("twin setup drifted: inc answered %q, want acked", respOf(exec, 0))
+	}
+	if owner != 1 || acked != 1 {
+		t.Fatalf("twin setup drifted: owner %d acked %d", owner, acked)
+	}
+	// THE defect, pinned: the acked increment lives only at the retired
+	// backend; the authoritative owner B serves 0.
+	if valB != 0 || valA != 1 {
+		t.Fatalf("fence-free twin did not lose the update (valA %d valB %d) — is the discipline still load-bearing?", valA, valB)
+	}
+}
+
+// TestCraftedHandoffRaces drives the fenced handoff through three crafted
+// alignments of a routed increment against a transfer, each with exact
+// outcome assertions.
+func TestCraftedHandoffRaces(t *testing.T) {
+	run := func(t *testing.T, steal, graceful bool, sched []int) (*gameEnv, *sim.World, *sim.Execution) {
+		t.Helper()
+		var env *gameEnv
+		var world *sim.World
+		exec, err := sim.Run(2, func(w *sim.World) []sim.Program {
+			world = w
+			env = newGameEnv(w, 1)
+			return []sim.Program{
+				{env.opRoutedInc(0)},
+				{env.opHandoff(steal, graceful)},
+			}
+		}, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !exec.Complete {
+			t.Fatalf("crafted schedule incomplete: schedule %v, enabled %v", exec.Schedule, exec.Enabled[len(exec.Schedule)])
+		}
+		checkSingleOwnership(t, env.log, "crafted")
+		return env, world, exec
+	}
+
+	t.Run("validated-then-fenced-reroutes-to-B", func(t *testing.T) {
+		// The fence-free twin's client prefix, against the REAL handoff
+		// with slot stealing: the client occupies and validates (4 grants),
+		// the full fenced crash transfer runs (11 grants: invoke, fence
+		// read+write, A fence read+CAS, steal read+write, ledger, B read,
+		// install read+write), and the client's apply at A bounces off the
+		// fence floor and re-routes to B (10 grants: A read -> ErrFenced,
+		// release, then a full fresh attempt at B) — acked there, exact.
+		sched := []int{
+			0, 0, 0, 0,
+			1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+			0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+		}
+		env, world, exec := run(t, true, false, sched)
+		if got := respOf(exec, 0); got != "acked" {
+			t.Fatalf("resp = %q, want acked (re-routed)", got)
+		}
+		if valB := peekI(t, world, "beB") & valMask; valB != 1 || peekI(t, world, "ledger") != 1 {
+			t.Fatalf("valB %d ledger %d, want 1/1", valB, peekI(t, world, "ledger"))
+		}
+		if env.tb.Stats.Reroutes.Load() == 0 {
+			t.Fatal("expected a fenced re-route")
+		}
+	})
+
+	t.Run("pre-occupy-invalidated-by-record-move", func(t *testing.T) {
+		// The client reads the old record but has NOT occupied when the
+		// whole drain-barrier transfer runs (10 grants — the drain's
+		// conditional step fires immediately, the slot is free); its
+		// occupy/re-validate pair catches the moved record and re-routes
+		// cleanly to B (11 grants: occupy, failed validate, release, fresh
+		// 8-grant attempt at B).
+		sched := []int{
+			0, 0,
+			1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+			0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+		}
+		env, world, exec := run(t, false, false, sched)
+		if got := respOf(exec, 0); got != "acked" {
+			t.Fatalf("resp = %q, want acked at B", got)
+		}
+		if valB := peekI(t, world, "beB") & valMask; valB != 1 {
+			t.Fatalf("valB = %d, want 1", valB)
+		}
+		if env.tb.Stats.Reroutes.Load() == 0 {
+			t.Fatal("expected a record-moved re-route")
+		}
+	})
+
+	t.Run("stolen-slot-refused-without-ack", func(t *testing.T) {
+		// The client applies at A pre-fence (6 grants, CAS landed) but its
+		// slot is STOLEN before it can ack: the graceful steal transfer
+		// runs (13 grants; its ledger read sees 0, the graceful merge
+		// reads A's value 1 and seeds B with it), then the client resumes
+		// (4 grants: ack, slot check -> stolen, unack, release) and is
+		// refused raced-retryable. The effect it landed travels to B as an
+		// UNACKED phantom — value >= ledger, a legal pending op — and the
+		// final ledger is 0 because the ack was retracted.
+		sched := []int{
+			0, 0, 0, 0, 0, 0,
+			1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+			0, 0, 0, 0,
+		}
+		env, world, exec := run(t, true, true, sched)
+		if got := respOf(exec, 0); got != "raced" {
+			t.Fatalf("resp = %q, want raced (stolen slot must refuse the ack)", got)
+		}
+		acked := peekI(t, world, "ledger")
+		valB := peekI(t, world, "beB") & valMask
+		if acked != 0 {
+			t.Fatalf("ledger = %d, want 0 (raced request's ack must be retracted)", acked)
+		}
+		if valB != 1 {
+			t.Fatalf("valB = %d, want 1 (graceful seed carries the pending effect)", valB)
+		}
+		if env.tb.Stats.Raced.Load() != 1 || env.tb.Stats.Steals.Load() != 1 {
+			t.Fatalf("stats raced/steals = %d/%d, want 1/1",
+				env.tb.Stats.Raced.Load(), env.tb.Stats.Steals.Load())
+		}
+	})
+}
+
+// TestPartitionedClientsResumeSafely exercises the NEW Partition fault
+// hook: two clients are severed mid-route (slots occupied, applies not
+// yet landed), the migrator completes a steal handoff alone, and when the
+// partition heals the clients resume against the moved record. Every
+// resumed request re-routes (its occupied slot was stolen, its record
+// re-validation fails) and either acks at B or is refused retryable — no
+// effect is ever acked against the retired owner. A probe process is
+// never severed, so the run keeps stepping until the window heals.
+func TestPartitionedClientsResumeSafely(t *testing.T) {
+	var env *gameEnv
+	var world *sim.World
+	// Round-robin over 4 procs: by step 10 each client has 3 grants —
+	// invoke, record read, slot OCCUPY — then [10,40) severs both clients.
+	// The migrator (~14 grants, alternating with the probe) finishes its
+	// steal handoff well inside the window; the probe keeps the run alive
+	// to step 40, where the clients resume against ownership settled on B.
+	exec, err := sim.RunToCompletion(4, func(w *sim.World) []sim.Program {
+		world = w
+		env = newGameEnv(w, 2)
+		return []sim.Program{
+			{env.opRoutedInc(0)},
+			{env.opRoutedInc(1)},
+			{env.opHandoff(true, true)},
+			{env.opProbe(40)},
+		}
+	}, sim.FaultedPolicy(4, sim.RoundRobinPolicy(), sim.Partition([]int{0, 1}, 10, 40)), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exec.Complete {
+		t.Fatalf("partitioned run incomplete: enabled %v", exec.Enabled[len(exec.Schedule)])
+	}
+	checkSingleOwnership(t, env.log, "partition")
+	acked := checkLedgerIsAcks(t, world, exec, "partition")
+	valB := peekI(t, world, "beB") & valMask
+	if owner, _, cutover := peekOwner(t, world); owner != 1 || cutover {
+		t.Fatalf("record (owner %d, cutover %v), want settled on 1", owner, cutover)
+	}
+	if valB < acked {
+		t.Fatalf("LOST UPDATE across partition: valB %d < acked %d (log %v)", valB, acked, env.log)
+	}
+	// Coverage: the partition must have caught both clients with occupied
+	// slots — the migrator's timeout path stole them.
+	if env.tb.Stats.Steals.Load() == 0 {
+		t.Fatalf("partition window missed the clients (no slots stolen) — retune the window")
+	}
+	ackedClients := 0
+	for p := 0; p <= 1; p++ {
+		switch r := respOf(exec, p); r {
+		case "acked":
+			ackedClients++
+		case "raced", "migrating":
+		default:
+			t.Fatalf("client %d answered %q, want acked/raced/migrating", p, r)
+		}
+	}
+	if ackedClients == 0 {
+		t.Fatal("no client acked after the heal — the resume path was not exercised")
+	}
+}
+
+// TestKilledMigratorAdopted kills the migrator at every depth of its
+// handoff and lets a second migrator run the SAME transfer: fencing is
+// idempotent-by-rebump, stealing and seeding are monotone, install is
+// last — so adoption completes from any prefix, ownership settles on B,
+// and no acked update is lost.
+func TestKilledMigratorAdopted(t *testing.T) {
+	for depth := 0; depth <= 16; depth++ {
+		depth := depth
+		t.Run(fmt.Sprintf("kill-at-%d", depth), func(t *testing.T) {
+			var env *gameEnv
+			var world *sim.World
+			exec, err := sim.RunToCompletion(3, func(w *sim.World) []sim.Program {
+				world = w
+				env = newGameEnv(w, 1)
+				return []sim.Program{
+					{env.opRoutedInc(0)},
+					{env.opHandoff(true, true)},
+					{env.opHandoff(true, true)},
+				}
+			}, sim.FaultedPolicy(3, sim.RoundRobinPolicy(), sim.Kill(1, depth)), 400)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The killed migrator's op stays pending; the run is
+			// "incomplete" by definition. What must have finished is the
+			// CLIENT and the ADOPTER — check their returns directly.
+			if respOf(exec, 2) != "done" {
+				t.Fatalf("adopter did not complete (kill at %d)", depth)
+			}
+			if r := respOf(exec, 0); r != "acked" && r != "raced" && r != "migrating" {
+				t.Fatalf("client answered %q (kill at %d)", r, depth)
+			}
+			acked := peekI(t, world, "ledger")
+			valB := peekI(t, world, "beB") & valMask
+			if owner, _, cutover := peekOwner(t, world); owner != 1 || cutover {
+				t.Fatalf("record (owner %d, cutover %v) after adoption, want settled on 1", owner, cutover)
+			}
+			if valB < acked {
+				t.Fatalf("LOST UPDATE under killed migrator: valB %d < acked %d (log %v)",
+					valB, acked, env.log)
+			}
+			checkSingleOwnership(t, env.log, fmt.Sprintf("kill-at-%d", depth))
+		})
+	}
+}
+
+// TestRandomizedHandoffStress sweeps random schedules over 2 clients x 2
+// increments against a graceful steal handoff: the statistical sweep over
+// the 3-proc interleaving space the exhaustive 2-proc game cannot cover.
+// Invariants at every leaf: the ledger equals the acked responses, B's
+// value covers every ack, and any excess over the acks is bounded by the
+// raced (refused) requests whose landed effects travelled as phantoms.
+func TestRandomizedHandoffStress(t *testing.T) {
+	seeds := 3000
+	if testing.Short() {
+		seeds = 300
+	}
+	for seed := 0; seed < seeds; seed++ {
+		var env *gameEnv
+		var world *sim.World
+		exec, err := sim.RunToCompletion(3, func(w *sim.World) []sim.Program {
+			world = w
+			env = newGameEnv(w, 2)
+			return []sim.Program{
+				{env.opRoutedInc(0), env.opRoutedInc(0)},
+				{env.opRoutedInc(1), env.opRoutedInc(1)},
+				{env.opHandoff(true, true)},
+			}
+		}, sim.RandomPolicy(rand.New(rand.NewSource(int64(seed)))), 800)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !exec.Complete {
+			t.Fatalf("seed %d: incomplete (enabled %v)", seed, exec.Enabled[len(exec.Schedule)])
+		}
+		acked := checkLedgerIsAcks(t, world, exec, fmt.Sprintf("seed %d", seed))
+		if owner, _, cutover := peekOwner(t, world); owner != 1 || cutover {
+			t.Fatalf("seed %d: record (owner %d, cutover %v), want settled on 1", seed, owner, cutover)
+		}
+		valB := peekI(t, world, "beB") & valMask
+		if valB < acked {
+			t.Fatalf("seed %d: LOST UPDATE valB %d < acked %d (schedule %v)\nlog %v",
+				seed, valB, acked, exec.Schedule, env.log)
+		}
+		if phantoms := valB - acked; phantoms > env.tb.Stats.Raced.Load() {
+			t.Fatalf("seed %d: %d phantom effects but only %d raced requests — an ack leaked (schedule %v)",
+				seed, phantoms, env.tb.Stats.Raced.Load(), exec.Schedule)
+		}
+		checkSingleOwnership(t, env.log, fmt.Sprintf("seed %d", seed))
+		for _, ev := range exec.Events {
+			if ev.Kind == sim.EventReturn && strings.HasPrefix(ev.Resp, "err:") {
+				t.Fatalf("seed %d: hard routing error %q", seed, ev.Resp)
+			}
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"stronglin/internal/prim"
+)
+
+// Routing errors. ErrFenced is special: it is returned by the CALLER's apply
+// function when the owner backend rejected the request's generation (the
+// backend-side fence), and Route reacts by re-routing against the current
+// record instead of surfacing it.
+var (
+	// ErrMigrating: the object's cutover bit is up — a handoff is between
+	// fence and install. Callers back off and retry; Route never blocks on
+	// the hot path.
+	ErrMigrating = errors.New("cluster: object ownership is mid-handoff")
+	// ErrNoOwner: no owner has ever been installed for the key.
+	ErrNoOwner = errors.New("cluster: object has no owner")
+	// ErrFenced: sentinel for apply to report "the backend refused my
+	// generation" (HTTP 409 from the fence check). Route re-routes.
+	ErrFenced = errors.New("cluster: request generation fenced by backend")
+	// ErrRacedHandoff: the request's drain slot was STOLEN while its apply
+	// was in flight — the migrator timed out waiting and seeded the new
+	// owner without waiting for this request. The ack is withdrawn and the
+	// request refused as retryable; the operation stays pending, which
+	// every linearization of a concurrent history permits (its effect, if
+	// it landed, is carried by the graceful seed as an unacked phantom —
+	// monotone value may exceed the acked ledger, never undercut it).
+	ErrRacedHandoff = errors.New("cluster: request raced an ownership handoff")
+	// ErrRerouteLimit: the request chased generations MaxReroutes times
+	// without landing — ownership is churning faster than routing.
+	ErrRerouteLimit = errors.New("cluster: re-route limit exceeded")
+)
+
+// The ownership record is ONE register word, so a routed request can never
+// observe a torn (generation, owner) pair — the exact race the first cut of
+// this protocol lost to (a request reading the bumped generation next to
+// the not-yet-retired owner sails through the backend's generation floor):
+//
+//	rec = generation<<9 | (owner+1)<<1 | cutoverBit
+//
+// owner+1 occupies 8 bits (0 = no owner, up to 254 backends); the
+// generation has 54 bits — at one handoff per millisecond that is five
+// centuries of membership churn. Fence and Install each rewrite the whole
+// word, so cutover, generation and owner always move together.
+const (
+	recCutoverBit = int64(1)
+	recOwnerShift = 1
+	recOwnerMask  = int64(0xff)
+	recGenShift   = 9
+)
+
+func packRec(gen int64, owner int, cutover bool) int64 {
+	rec := gen<<recGenShift | int64(owner+1)<<recOwnerShift
+	if cutover {
+		rec |= recCutoverBit
+	}
+	return rec
+}
+
+func unpackRec(rec int64) (gen int64, owner int, cutover bool) {
+	return rec >> recGenShift, int(rec>>recOwnerShift&recOwnerMask) - 1, rec&recCutoverBit != 0
+}
+
+// slot states (besides g+1 = occupied by a request routed at generation g).
+const (
+	slotFree   = int64(0)
+	slotStolen = int64(-1)
+)
+
+// Record is one object's ownership record: the packed
+// cutover/generation/owner word and the per-request drain slots. Both live
+// on prim registers so the protocol runs — and is model-checked — in the
+// simulated world; the slots are AnyRegisters so drain waits are
+// CONDITIONAL steps there (prim.AwaitAny), keeping exhaustive game trees
+// finite.
+type Record struct {
+	key   string
+	rec   prim.Register
+	slots []prim.AnyRegister
+}
+
+// TableStats counts routing-protocol events. Plain atomics (not world
+// objects): they are bookkeeping, not protocol state, and reading them
+// costs the simulated games no steps.
+type TableStats struct {
+	Reroutes atomic.Int64 // record-moved / backend-fenced re-route loops taken
+	Raced    atomic.Int64 // requests refused because their slot was stolen
+	Fences   atomic.Int64 // Fence calls (handoffs started)
+	Steals   atomic.Int64 // slots stolen at drain timeout
+}
+
+// Table is the ownership table: one Record per declared object key.
+type Table struct {
+	w     prim.World
+	keys  []string
+	recs  map[string]*Record
+	Stats TableStats
+
+	// MaxReroutes bounds Route's generation-chasing loop.
+	MaxReroutes int
+}
+
+// NewTable allocates the ownership records in w: `slots` concurrent routed
+// requests per object, every object starting at owner initOwner (-1 = no
+// owner; Route answers ErrNoOwner until the first handoff installs one).
+// The initial owner is a register INIT value, not a write — setup code runs
+// before any simulated process holds a step.
+func NewTable(w prim.World, name string, slots, initOwner int, keys ...string) *Table {
+	tb := &Table{w: w, keys: keys, recs: make(map[string]*Record, len(keys)), MaxReroutes: 4}
+	for _, k := range keys {
+		r := &Record{
+			key: k,
+			rec: w.Register(fmt.Sprintf("%s.%s.rec", name, k), packRec(0, initOwner, false)),
+		}
+		for i := 0; i < slots; i++ {
+			r.slots = append(r.slots, w.AnyRegister(fmt.Sprintf("%s.%s.slot%d", name, k, i), slotFree))
+		}
+		tb.recs[k] = r
+	}
+	return tb
+}
+
+// Keys returns the declared object keys.
+func (tb *Table) Keys() []string { return tb.keys }
+
+func (tb *Table) rec(key string) *Record {
+	r, ok := tb.recs[key]
+	if !ok {
+		panic("cluster: unknown object key " + key)
+	}
+	return r
+}
+
+func asI(v any) int64 { return v.(int64) }
+
+// Owner reads key's current record: the owner backend index and fence
+// generation, with settled=false while a cutover is in flight (the owner
+// value is then the OLD owner, about to be retired).
+func (tb *Table) Owner(t prim.Thread, key string) (owner int, gen int64, settled bool) {
+	gen, owner, cut := unpackRec(tb.rec(key).rec.Read(t))
+	return owner, gen, !cut
+}
+
+// Route dispatches one operation on key through the fenced-ownership
+// discipline, using drain slot `slot` (callers hold distinct slots):
+//
+//  1. read the record word — one atomic read of (cutover, generation,
+//     owner), so the triple can never tear; refuse ErrMigrating while the
+//     cutover bit is up (back off, the handoff completes without us);
+//  2. OCCUPY the slot, tagged generation+1, and RE-READ the record: any
+//     change (a fence, an install, a whole later handoff — the generation
+//     is monotone, so word equality has no ABA) means this dispatch would
+//     target a record that moved, and the request withdraws and re-routes;
+//  3. apply at the owner. apply performs the backend effect WITHOUT
+//     acking, and returns ErrFenced if the backend refused the
+//     generation (then: withdraw, re-route);
+//  4. on success, fold the ack (the caller's `ack` closure — the ledger
+//     write the drain barrier orders against), THEN check the slot:
+//     intact → release and return nil; STOLEN → retract via `unack` and
+//     refuse with ErrRacedHandoff. The ack-then-check order means a
+//     migrator that steals this slot and then reads the ledger can only
+//     see the ledger WITH the ack or refuse... (see below);
+//
+// Why the ordering is sound: the migrator steals, then reads the ledger,
+// then seeds. If this request's ack landed before that ledger read, the
+// seed carries it — and the request observes its slot stolen, retracts,
+// and is refused, leaving the carried effect an unacked phantom (monotone
+// value >= acked ledger, never below). If the ack landed after, unack
+// retracts it before anything depended on it. A request whose slot
+// SURVIVES to the check released it after acking, so the drain barrier
+// (await all slots <= 0, then read the ledger) provably includes every
+// acked effect in the seed: no lost acked update, mechanically checked in
+// the exhaustive game.
+func (tb *Table) Route(t prim.Thread, slot int, key string,
+	apply func(owner int, gen int64) error, ack, unack func()) error {
+	r := tb.rec(key)
+	s := r.slots[slot]
+	for attempt := 0; ; attempt++ {
+		if attempt > tb.MaxReroutes {
+			return ErrRerouteLimit
+		}
+		rec := r.rec.Read(t)
+		gen, owner, cutover := unpackRec(rec)
+		if cutover {
+			return ErrMigrating
+		}
+		if owner < 0 {
+			return ErrNoOwner
+		}
+		s.WriteAny(t, gen+1)
+		if r.rec.Read(t) != rec {
+			// The record moved after our read: this dispatch would target
+			// a retired (or not-yet-installed) owner. Withdraw before any
+			// effect exists.
+			s.WriteAny(t, slotFree)
+			tb.Stats.Reroutes.Add(1)
+			continue
+		}
+		err := apply(owner, gen)
+		if errors.Is(err, ErrFenced) {
+			// The backend's own generation floor refused us — the handoff
+			// won the race at the owner. No effect, no ack; withdraw and
+			// chase the new record.
+			s.WriteAny(t, slotFree)
+			tb.Stats.Reroutes.Add(1)
+			continue
+		}
+		if err != nil {
+			s.WriteAny(t, slotFree)
+			return err
+		}
+		ack()
+		if asI(s.ReadAny(t)) == slotStolen {
+			unack()
+			s.WriteAny(t, slotFree)
+			tb.Stats.Raced.Add(1)
+			return ErrRacedHandoff
+		}
+		s.WriteAny(t, slotFree)
+		return nil
+	}
+}
+
+// Fence starts a handoff on key: one atomic record rewrite that raises the
+// cutover bit and bumps the generation (owner unchanged — the successor is
+// not authoritative until Install). Returns the retiring owner (-1 on
+// first install) and the NEW generation. Re-fencing a key whose cutover is
+// already up is legal — a second migrator adopting a crashed handoff just
+// bumps the generation again.
+func (tb *Table) Fence(t prim.Thread, key string) (oldOwner int, gen int64) {
+	r := tb.rec(key)
+	g, owner, _ := unpackRec(r.rec.Read(t))
+	gen = g + 1
+	r.rec.Write(t, packRec(gen, owner, true))
+	tb.Stats.Fences.Add(1)
+	return owner, gen
+}
+
+// Drained reports whether no routed request holds a slot on key (every slot
+// free or stolen). A true answer read AFTER Fence proves every acked
+// operation's effect is visible in the caller's ledger (Route releases
+// slots only after acking).
+func (tb *Table) Drained(t prim.Thread, key string) bool {
+	for _, s := range tb.rec(key).slots {
+		if asI(s.ReadAny(t)) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AwaitDrain blocks until every slot on key clears. In the simulated world
+// each wait is one CONDITIONAL step (prim.AwaitAny), so exhaustive games
+// over a draining migrator stay finite; the real frontend polls Drained
+// under a timeout instead, because a real straggler needs StealSlots, not
+// an unbounded wait.
+func (tb *Table) AwaitDrain(t prim.Thread, key string) {
+	for _, s := range tb.rec(key).slots {
+		prim.AwaitAny(tb.w, t, s, func(v any) bool { return asI(v) <= 0 })
+	}
+}
+
+// StealSlots marks every still-occupied slot on key STOLEN and returns how
+// many it took. The marked requests' acks will be withdrawn
+// (ErrRacedHandoff): the migrator is about to seed the successor without
+// waiting for them.
+func (tb *Table) StealSlots(t prim.Thread, key string) int {
+	stolen := 0
+	for _, s := range tb.rec(key).slots {
+		if asI(s.ReadAny(t)) > 0 {
+			s.WriteAny(t, slotStolen)
+			stolen++
+		}
+	}
+	if stolen > 0 {
+		tb.Stats.Steals.Add(int64(stolen))
+	}
+	return stolen
+}
+
+// Install completes a handoff: one atomic record rewrite that makes the
+// new owner visible AND drops the cutover bit at the handoff's generation.
+// Callers must have seeded the owner before calling (flip-after-migrate);
+// a request admitted after this step finds the new owner authoritative.
+func (tb *Table) Install(t prim.Thread, key string, owner int) {
+	r := tb.rec(key)
+	gen, _, _ := unpackRec(r.rec.Read(t))
+	r.rec.Write(t, packRec(gen, owner, false))
+}

@@ -41,6 +41,26 @@ func Stall(victim, from, until int) FaultRule {
 	}
 }
 
+// Partition severs every process in side while the global step count is in
+// [from, until): none of them is scheduled inside the window, then all of
+// them resume. In this shared-memory model a process's steps ARE its
+// messages landing, so withholding a group models a network partition
+// honestly: a partitioned node keeps whatever operations it has in flight
+// frozen (it does not crash), and when the partition heals those operations
+// resume against whatever state the surviving side built — exactly the
+// raced-handoff window an ownership-transfer protocol must survive. A
+// Partition of one process is a Stall; the point of the group form is
+// severing several clients at once while a migrator runs to completion.
+func Partition(side []int, from, until int) FaultRule {
+	severed := make(map[int]bool, len(side))
+	for _, p := range side {
+		severed[p] = true
+	}
+	return func(v PolicyView, _ []int, p int) bool {
+		return !severed[p] || v.Step < from || v.Step >= until
+	}
+}
+
 // FaultedPolicy wraps base so that processes suppressed by any rule are
 // removed from the enabled set before base sees it. When every enabled
 // process is suppressed the run stops (the remaining system is wedged by the
