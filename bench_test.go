@@ -12,6 +12,7 @@ import (
 	"stronglin/internal/baseline"
 	"stronglin/internal/core"
 	"stronglin/internal/history"
+	"stronglin/internal/keyed"
 	"stronglin/internal/obs"
 	"stronglin/internal/pool"
 	"stronglin/internal/prim"
@@ -400,6 +401,153 @@ func BenchmarkPackedGSet(b *testing.B) {
 			s.Has(th, int64(i)%(bound+1))
 		}
 	})
+}
+
+// E-KEYED: the hashed string-domain objects on their packed fast path. With
+// lanes=2 and 8 slots a KeyedGSet bucket is 16 payload bits — one word — so
+// Add is a directory lookup plus one XADD and Has an epoch-validated
+// single-word collect; both must run at 0 allocs/op. The multiword rows keep
+// the wider default bucket honest: same ops, more words per collect.
+func BenchmarkKeyedGSet(b *testing.B) {
+	th := prim.RealThread(0)
+	keys := benchKeyUniverse(16)
+	mk := func(opts ...keyed.Option) *keyed.GSet {
+		return mkKeyedGSet(b, th, keys, opts...)
+	}
+	b.Run("packed-add", func(b *testing.B) {
+		g := mk(keyed.WithSlots(8)) // 2 lanes x 8 slots = 16 bits: one word
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Add(th, keys[i&15])
+		}
+	})
+	b.Run("packed-add-fresh", func(b *testing.B) {
+		// The steady-state loop above hits the once-guard (the key set
+		// saturates). Here every key is pre-claimed from the OTHER lane
+		// during the off-clock rebuild, so each timed lane-0 add performs a
+		// genuine membership XADD against an existing directory entry —
+		// the first-writer claim's map insert stays off the clock.
+		th1 := prim.RealThread(1)
+		var g *keyed.GSet
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i&15 == 0 {
+				b.StopTimer()
+				g = mkKeyedGSet(b, th1, keys, keyed.WithSlots(8))
+				b.StartTimer()
+			}
+			if err := g.Add(th, keys[i&15]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("packed-has", func(b *testing.B) {
+		g := mk(keyed.WithSlots(8))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Has(th, keys[i&15])
+		}
+	})
+	b.Run("multiword-has", func(b *testing.B) {
+		g := mk(keyed.WithSlots(48)) // 48-bit fields: one lane per word, 2 words
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Has(th, keys[i&15])
+		}
+	})
+}
+
+// E-KEYED: the monotone map's packed shape — slots=1, lanes=2, width=24
+// packs the bucket's two fields into one word, so IncBy is shadow-read plus
+// one in-field XADD and Get a single-word validated collect, 0 allocs/op.
+// The multiword rows run the default bucket (8 slots x 32 bits: one field
+// per word) for contrast.
+func BenchmarkKeyedMap(b *testing.B) {
+	const lanes = 2
+	th := prim.RealThread(0)
+	keys := benchKeyUniverse(8)
+	mk := func(opts ...keyed.Option) *keyed.MonotoneMap {
+		m := keyed.NewMonotoneMap(prim.NewRealWorld(), "km", lanes, opts...)
+		for _, k := range keys {
+			for m.IncBy(th, k, 1) == keyed.ErrFull {
+				if err := m.Rehash(th, 2*m.Buckets(th)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		return m
+	}
+	packed := []keyed.Option{keyed.WithSlots(1), keyed.WithWidth(24)}
+	b.Run("packed-inc", func(b *testing.B) {
+		m := mk(packed...)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if m.IncBy(th, keys[i&7], 1) != nil {
+				// 24-bit field budget exhausted: rebuild off the clock.
+				b.StopTimer()
+				m = mk(packed...)
+				b.StartTimer()
+			}
+		}
+	})
+	b.Run("packed-get", func(b *testing.B) {
+		m := mk(packed...)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Get(th, keys[i&7]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("multiword-inc", func(b *testing.B) {
+		m := mk()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := m.IncBy(th, keys[i&7], 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("multiword-get", func(b *testing.B) {
+		m := mk()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Get(th, keys[i&7]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func benchKeyUniverse(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	return keys
+}
+
+// mkKeyedGSet builds a 2-lane keyed set with every key already added by th,
+// growing past hash-collision ErrFull so cramped shapes cannot wedge setup.
+func mkKeyedGSet(b *testing.B, th prim.Thread, keys []string, opts ...keyed.Option) *keyed.GSet {
+	b.Helper()
+	g := keyed.NewGSet(prim.NewRealWorld(), "kg", 2, opts...)
+	for _, k := range keys {
+		for g.Add(th, k) == keyed.ErrFull {
+			if err := g.Rehash(th, 2*g.Buckets(th)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return g
 }
 
 // E-SNAP: the packed machine-word snapshot (Theorem 2 on binary fields over

@@ -35,9 +35,19 @@ import (
 	"stronglin/internal/cluster"
 	"stronglin/internal/core"
 	"stronglin/internal/interleave"
+	"stronglin/internal/keyed"
 	"stronglin/internal/prim"
 	"stronglin/internal/shard"
 )
+
+// benchKeys is the keyed rows' working set: n distinct string keys.
+func benchKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = "key-" + strconv.Itoa(i)
+	}
+	return keys
+}
 
 var (
 	dur       = flag.Duration("dur", 200*time.Millisecond, "measurement duration per cell")
@@ -528,6 +538,49 @@ func targets() []target {
 						}
 					}
 					mu.Unlock()
+				}
+			},
+		},
+		{
+			// The keyed universe's hashed grow-only set at a 64-key working
+			// set (1:3 add:has, the dense rows' mix). Adds re-add existing
+			// keys after the first pass — the monotone steady state — so the
+			// row measures the one-XADD write and the one-bucket validated
+			// collect, not directory churn. ErrFull grows the table in-band
+			// (the server's discipline), so a skewed hash can't wedge the row.
+			name: "kgset: hashed (SL)",
+			build: func(n int) func(prim.Thread, int) {
+				g := keyed.NewGSet(prim.NewRealWorld(), "kg", n)
+				keys := benchKeys(64)
+				return func(t prim.Thread, i int) {
+					k := keys[i%len(keys)]
+					if i%4 == 0 {
+						for g.Add(t, k) != nil {
+							_ = g.Rehash(t, 2*g.Buckets(t))
+						}
+					} else {
+						g.Has(t, k)
+					}
+				}
+			},
+		},
+		{
+			// The keyed monotone map, counter kind, same 64-key working set
+			// and 1:3 inc:get mix: one in-field XADD per write, one-bucket
+			// epoch-validated collect (sum of lanes) per read.
+			name: "map: keyed inc/get (SL)",
+			build: func(n int) func(prim.Thread, int) {
+				m := keyed.NewMonotoneMap(prim.NewRealWorld(), "km", n)
+				keys := benchKeys(64)
+				return func(t prim.Thread, i int) {
+					k := keys[i%len(keys)]
+					if i%4 == 0 {
+						for m.IncBy(t, k, 1) != nil {
+							_ = m.Rehash(t, 2*m.Buckets(t))
+						}
+					} else {
+						m.Get(t, k)
+					}
 				}
 			},
 		},

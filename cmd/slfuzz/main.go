@@ -8,21 +8,26 @@
 //
 // Objects: maxreg, snapshot, multiword, multiword-cached, multiword-help,
 // sharded-cached, sharded-help, counter, rtas, mstas, fai, set, hwqueue,
-// naivestack, aacmaxreg, afeksnapshot. The -help workloads force the PR 5
+// naivestack, aacmaxreg, afeksnapshot, kgset, keyedmap. The keyed workloads
+// hash a small key universe into deliberately cramped buckets (collisions
+// and rare grow-rehashes under load); the -help workloads force the PR 5
 // adopt path with a zero scan/read retry budget under an update-heavy mix;
 // the -cached workloads run the PR 7 anchor-revalidated caches under a
 // read-heavy mix so hits, refreshes, and cache races all occur.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
 
 	"stronglin/internal/baseline"
 	"stronglin/internal/core"
 	"stronglin/internal/history"
+	"stronglin/internal/keyed"
 	"stronglin/internal/prim"
 	"stronglin/internal/shard"
 	"stronglin/internal/spec"
@@ -339,6 +344,95 @@ func workloads() map[string]struct {
 					Run: func(t prim.Thread) string { return spec.RespInt(q.Dequeue(t)) }}
 			}
 		}, spec.Queue{}),
+		"kgset": mk(func(procs int, seed int64) func(p, i int) history.StressOp {
+			// The hashed grow-only set over a tiny key universe and a
+			// deliberately cramped shape (2 buckets × 4 slots), so several
+			// keys collide into one bucket's packed words. Rare Rehash calls
+			// fold into an add's span: rehash preserves the abstract set, so
+			// the spec never sees it — but a flip that lost or resurrected a
+			// membership bit would fail the very next has.
+			g := keyed.NewGSet(prim.NewRealWorld(), "kg", procs,
+				keyed.WithBuckets(2), keyed.WithSlots(4))
+			rngs := perProcRNG(procs, seed)
+			return func(p, i int) history.StressOp {
+				k := int64(1 + rngs[p].Intn(6))
+				key := "k" + strconv.FormatInt(k, 10)
+				if rngs[p].Intn(2) == 0 {
+					grow := rngs[p].Intn(16) == 0
+					return history.StressOp{Op: spec.MkOp(spec.MethodAdd, k),
+						Run: func(t prim.Thread) string {
+							if grow {
+								_ = g.Rehash(t, g.Buckets(t)*2)
+							}
+							if err := g.Add(t, key); err != nil {
+								_ = g.Rehash(t, g.Buckets(t)*2)
+								if err := g.Add(t, key); err != nil {
+									panic(err)
+								}
+							}
+							return spec.RespOK
+						}}
+				}
+				return history.StressOp{Op: spec.MkOp(spec.MethodHas, k),
+					Run: func(t prim.Thread) string {
+						if g.Has(t, key) {
+							return spec.RespInt(1)
+						}
+						return spec.RespInt(0)
+					}}
+			}
+		}, spec.GSet{}),
+		"keyedmap": mk(func(procs int, seed int64) func(p, i int) history.StressOp {
+			// The keyed monotone map with inc, max, and get racing on the
+			// same small key universe: first write binds a key's kind, the
+			// losing kind's writes must answer RespKindMismatch, and gets on
+			// never-written keys must answer RespNone — the existence-in-
+			// payload encoding is exactly what a stale or torn collect would
+			// betray here.
+			m := keyed.NewMonotoneMap(prim.NewRealWorld(), "km", procs,
+				keyed.WithBuckets(2), keyed.WithSlots(4))
+			rngs := perProcRNG(procs, seed)
+			return func(p, i int) history.StressOp {
+				k := int64(1 + rngs[p].Intn(4))
+				key := "k" + strconv.FormatInt(k, 10)
+				switch rngs[p].Intn(4) {
+				case 0:
+					d := int64(1 + rngs[p].Intn(3))
+					return history.StressOp{Op: spec.MkOp(spec.MethodMapInc, k, d),
+						Run: func(t prim.Thread) string { return kmapWriteResp(m.IncBy(t, key, d)) }}
+				case 1:
+					v := int64(rngs[p].Intn(8))
+					return history.StressOp{Op: spec.MkOp(spec.MethodMapMax, k, v),
+						Run: func(t prim.Thread) string { return kmapWriteResp(m.Max(t, key, v)) }}
+				default:
+					return history.StressOp{Op: spec.MkOp(spec.MethodMapGet, k),
+						Run: func(t prim.Thread) string {
+							v, err := m.Get(t, key)
+							if errors.Is(err, keyed.ErrUnknownKey) {
+								return spec.RespNone
+							}
+							if err != nil {
+								panic(err)
+							}
+							return spec.RespInt(v)
+						}}
+				}
+			}
+		}, spec.KeyedMap{}),
+	}
+}
+
+// kmapWriteResp maps a keyed-map write's error to its spec response. ErrFull
+// is a panic here: the fuzz shape writes at most 4 distinct keys per bucket
+// kind-slot budget, so slot exhaustion means a claim leak, not contention.
+func kmapWriteResp(err error) string {
+	switch {
+	case err == nil:
+		return spec.RespOK
+	case errors.Is(err, keyed.ErrKindMismatch):
+		return spec.RespKindMismatch
+	default:
+		panic(err)
 	}
 }
 

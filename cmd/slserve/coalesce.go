@@ -44,17 +44,28 @@ type batch struct {
 	sum   int64   // folded additive payload (counter increments)
 	elems []int64 // folded set elements (gset adds; deduplicated at apply)
 
+	kops  []kreq  // folded keyed ops (kgset adds, map incs/maxes; grouped by key at apply)
+	kerrs []error // leader-published per-member keyed results, indexed like kops
+
 	val  int64   // leader-published scalar result (counter / max register reads)
 	view []int64 // leader-published view result (snapshot scans, gset element lists)
+}
+
+// kreq is one keyed request folded into a batch: the member's key and its
+// payload (delta for map incs, candidate for map maxes, unused for set adds).
+type kreq struct {
+	key string
+	val int64
 }
 
 // coalescer serializes one kind of engine operation and folds concurrent
 // requests for it into batches. The zero value is usable; instruments are
 // optional (nil-safe obs types).
 type coalescer struct {
-	mu   sync.Mutex
-	busy bool   // an operation is in flight; arrivals join `next`
-	next *batch // the batch the next leader will run (nil until someone waits)
+	mu     sync.Mutex
+	busy   bool   // an operation is in flight; arrivals join `next`
+	closed bool   // funnel drained for shutdown; arrivals run uncoalesced
+	next   *batch // the batch the next leader will run (nil until someone waits)
 
 	size     *obs.Histogram // batch sizes, one observation per applied batch
 	absorbed *obs.Counter   // follower requests absorbed into a leader's batch (size-1 each)
@@ -67,6 +78,20 @@ type coalescer struct {
 // batch runs apply.
 func (co *coalescer) do(fold func(*batch), apply func(*batch)) *batch {
 	co.mu.Lock()
+	if co.closed {
+		// The funnel is draining for shutdown: run uncoalesced, entirely
+		// outside it. Claiming busy (or calling finish) from here would hand
+		// the funnel state machine to a request that no longer participates
+		// in it — finish could release a parked leader whose predecessor is
+		// still applying. The bypass touches neither.
+		co.mu.Unlock()
+		b := &batch{done: make(chan struct{}), n: 1}
+		fold(b)
+		co.size.Observe(1)
+		apply(b)
+		close(b.done)
+		return b
+	}
 	if !co.busy {
 		// Idle: run solo, uncoalesced. This is the steady-state fast path —
 		// one mutex acquire on each side of the engine op.
@@ -126,4 +151,19 @@ func (co *coalescer) finish() {
 	if nxt != nil {
 		close(nxt.start)
 	}
+}
+
+// drain closes the funnel for shutdown: every later arrival runs its engine
+// op solo instead of parking behind whatever is in flight. Without this, a
+// request that joins the funnel after graceful shutdown begins can park as
+// the NEXT leader behind a slow in-flight batch — http.Server.Shutdown then
+// waits on a request that is itself waiting on the funnel, and the shutdown
+// deadline kills both. Setting the flag under the mutex means every do()
+// either saw it (and bypassed) or had already joined a batch whose leader
+// chain was complete before drain returned; in-flight batches finish
+// normally either way.
+func (co *coalescer) drain() {
+	co.mu.Lock()
+	co.closed = true
+	co.mu.Unlock()
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -102,6 +103,22 @@ func TestErrorShapeUniform(t *testing.T) {
 		{"fence-bad-gen", http.MethodPost, "/fence?obj=counter&gen=-3", "", http.StatusBadRequest, false},
 		{"bad-gen-header", http.MethodPost, "/counter/inc", "zebra", http.StatusBadRequest, false},
 		{"clock-budget-terminal", http.MethodPost, "/clock/tick", "", http.StatusServiceUnavailable, false},
+		{"kgset-add-wrong-method", http.MethodGet, "/kgset/add?k=a", "", http.StatusMethodNotAllowed, false},
+		{"kgset-has-wrong-method", http.MethodPost, "/kgset/has?k=a", "", http.StatusMethodNotAllowed, false},
+		{"map-inc-wrong-method", http.MethodGet, "/map/inc?k=a", "", http.StatusMethodNotAllowed, false},
+		{"map-max-wrong-method", http.MethodGet, "/map/max?k=a&v=1", "", http.StatusMethodNotAllowed, false},
+		{"map-get-wrong-method", http.MethodPost, "/map/get?k=a", "", http.StatusMethodNotAllowed, false},
+		{"kgset-add-missing-k", http.MethodPost, "/kgset/add", "", http.StatusBadRequest, false},
+		{"kgset-has-missing-k", http.MethodGet, "/kgset/has", "", http.StatusBadRequest, false},
+		{"kgset-add-oversize-k", http.MethodPost, "/kgset/add?k=" + strings.Repeat("x", kmaxKeyLen+1), "", http.StatusBadRequest, false},
+		{"map-inc-missing-k", http.MethodPost, "/map/inc", "", http.StatusBadRequest, false},
+		{"map-inc-zero-d", http.MethodPost, "/map/inc?k=a&d=0", "", http.StatusBadRequest, false},
+		{"map-inc-bad-d", http.MethodPost, "/map/inc?k=a&d=zebra", "", http.StatusBadRequest, false},
+		{"map-max-missing-v", http.MethodPost, "/map/max?k=a", "", http.StatusBadRequest, false},
+		{"map-max-negative-v", http.MethodPost, "/map/max?k=a&v=-1", "", http.StatusBadRequest, false},
+		{"map-get-missing-k", http.MethodGet, "/map/get", "", http.StatusBadRequest, false},
+		{"map-get-unknown-key", http.MethodGet, "/map/get?k=never-written", "", http.StatusNotFound, false},
+		{"fence-bad-keyed-partition", http.MethodPost, "/fence?obj=kgset.p99&gen=1", "", http.StatusBadRequest, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -126,6 +143,45 @@ func TestErrorShapeUniform(t *testing.T) {
 	// At or above the floor is admitted — the fence is a floor, not a wall.
 	if rec := do(http.MethodPost, "/counter/inc", "5"); rec.Code != http.StatusOK {
 		t.Fatalf("inc at floor: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// Keyed kind mismatch: the first write binds a key's kind; the other
+	// kind's write on it is the client's 400, both directions.
+	if rec := do(http.MethodPost, "/map/inc?k=bound-counter", ""); rec.Code != http.StatusOK {
+		t.Fatalf("binding inc: %d %s", rec.Code, rec.Body.String())
+	}
+	rec = do(http.MethodPost, "/map/max?k=bound-counter&v=1", "")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("max on counter key: %d, want 400 (body %s)", rec.Code, rec.Body.String())
+	}
+	assertErrShape(t, rec, false)
+	if rec := do(http.MethodPost, "/map/max?k=bound-max&v=1", ""); rec.Code != http.StatusOK {
+		t.Fatalf("binding max: %d %s", rec.Code, rec.Body.String())
+	}
+	rec = do(http.MethodPost, "/map/inc?k=bound-max", "")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("inc on max key: %d, want 400 (body %s)", rec.Code, rec.Body.String())
+	}
+	assertErrShape(t, rec, false)
+
+	// Keyed budget exhaustion: each cap-sized inc fills one (key, lane)
+	// field; within lanes+1 of them some lane must repeat, and that inc is
+	// the non-retryable 503 (growth cannot mint per-lane budget).
+	capD := srv.kmap.FieldCap()
+	budget503 := false
+	for i := 0; i <= 4 && !budget503; i++ { // lanes = 4
+		rec = do(http.MethodPost, fmt.Sprintf("/map/inc?k=budget&d=%d", capD), "")
+		switch rec.Code {
+		case http.StatusOK:
+		case http.StatusServiceUnavailable:
+			budget503 = true
+			assertErrShape(t, rec, false)
+		default:
+			t.Fatalf("budget inc %d: unexpected %d (body %s)", i, rec.Code, rec.Body.String())
+		}
+	}
+	if !budget503 {
+		t.Fatal("per-lane budget never exhausted after lanes+1 cap-sized incs")
 	}
 }
 

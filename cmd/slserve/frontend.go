@@ -31,10 +31,12 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	neturl "net/url"
 	"os"
 	"os/signal"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -109,6 +111,15 @@ type frontend struct {
 	gsetMu        sync.Mutex
 	gsetLedger    map[int64]struct{}
 
+	// Keyed ledgers: the acked history of the keyed universe, spanning all
+	// partitions (seeds filter by keyedPartition). kgsetLedger is the set of
+	// acked /kgset/add keys; kmapLedger folds acked /map/inc deltas (sum)
+	// and /map/max values (max) per key, tagged with the kind the first
+	// acked write bound.
+	keyedMu     sync.Mutex
+	kgsetLedger map[string]struct{}
+	kmapLedger  map[string]*kmapAck
+
 	reg             *obs.Registry
 	reqTotal        *obs.Counter
 	reqErrors       *obs.Counter
@@ -122,17 +133,37 @@ type frontend struct {
 	backoffNs       *obs.Histogram
 }
 
+// kmapAck is one key's acked monotone-map history: for kind "counter", val
+// is the sum of acked deltas; for kind "max", the largest acked write.
+type kmapAck struct {
+	kind string
+	val  int64
+}
+
+// routedKeys is every object the ownership table carries: the three dense
+// singletons plus one routing key per keyed partition (kgset.pN / map.pN),
+// so a handoff moves one keyed partition without fencing the rest.
+func routedKeys() []string {
+	keys := []string{"counter", "maxreg", "gset"}
+	for p := 0; p < keyPartitions; p++ {
+		keys = append(keys, fmt.Sprintf("kgset.p%d", p), fmt.Sprintf("map.p%d", p))
+	}
+	return keys
+}
+
 func newFrontend(cfg frontendConfig) *frontend {
 	cfg = cfg.withDefaults()
 	w := prim.NewRealWorld()
 	f := &frontend{
-		cfg:        cfg,
-		tb:         cluster.NewTable(w, "route", cfg.slots, -1, "counter", "maxreg", "gset"),
-		client:     &http.Client{Timeout: cfg.routeTimeout},
-		slots:      make(chan int, cfg.slots),
-		kick:       make(chan struct{}, 1),
-		gsetLedger: make(map[int64]struct{}),
-		reg:        obs.NewRegistry(),
+		cfg:         cfg,
+		tb:          cluster.NewTable(w, "route", cfg.slots, -1, routedKeys()...),
+		client:      &http.Client{Timeout: cfg.routeTimeout},
+		slots:       make(chan int, cfg.slots),
+		kick:        make(chan struct{}, 1),
+		gsetLedger:  make(map[int64]struct{}),
+		kgsetLedger: make(map[string]struct{}),
+		kmapLedger:  make(map[string]*kmapAck),
+		reg:         obs.NewRegistry(),
 	}
 	for i := 0; i < cfg.slots; i++ {
 		f.slots <- i
@@ -203,6 +234,57 @@ func (f *frontend) hasElem(x int64) bool {
 	_, ok := f.gsetLedger[x]
 	f.gsetMu.Unlock()
 	return ok
+}
+
+// ackKGSetAdd folds an acked /kgset/add into the keyed set ledger.
+func (f *frontend) ackKGSetAdd(key string) {
+	f.keyedMu.Lock()
+	f.kgsetLedger[key] = struct{}{}
+	f.keyedMu.Unlock()
+}
+
+func (f *frontend) kgsetHasAcked(key string) bool {
+	f.keyedMu.Lock()
+	_, ok := f.kgsetLedger[key]
+	f.keyedMu.Unlock()
+	return ok
+}
+
+// ackMapInc folds an acked /map/inc delta (negative d withdraws a stolen
+// slot's ack, mirroring the counter ledger's unack).
+func (f *frontend) ackMapInc(key string, d int64) {
+	f.keyedMu.Lock()
+	if e := f.kmapLedger[key]; e != nil {
+		e.val += d
+	} else if d > 0 {
+		f.kmapLedger[key] = &kmapAck{kind: "counter", val: d}
+	}
+	f.keyedMu.Unlock()
+}
+
+// ackMapMax folds an acked /map/max value. No unack twin: a max write that
+// reached the backend is monotone and idempotent, so keeping it seeded can
+// only re-assert an effect that already landed (the same policy as the
+// dense maxreg ledger).
+func (f *frontend) ackMapMax(key string, v int64) {
+	f.keyedMu.Lock()
+	if e := f.kmapLedger[key]; e != nil {
+		if v > e.val {
+			e.val = v
+		}
+	} else {
+		f.kmapLedger[key] = &kmapAck{kind: "max", val: v}
+	}
+	f.keyedMu.Unlock()
+}
+
+func (f *frontend) kmapAcked(key string) (kmapAck, bool) {
+	f.keyedMu.Lock()
+	defer f.keyedMu.Unlock()
+	if e := f.kmapLedger[key]; e != nil {
+		return *e, true
+	}
+	return kmapAck{}, false
 }
 
 // ---------------------------------------------------------------------------
@@ -352,8 +434,105 @@ func (f *frontend) seed(ctx context.Context, key string, oldOwner, newOwner int,
 				return err
 			}
 		}
+	default:
+		return f.seedKeyed(ctx, key, newOwner, gen)
 	}
 	return nil
+}
+
+// seedKeyed seeds a keyed routing partition (kgset.pN / map.pN) from the
+// acked ledger alone. The keyed objects expose no enumeration endpoint, so
+// there is no graceful post-fence merge — every keyed handoff is seeded like
+// a crash handoff, carrying exactly the acked history, which is the
+// guarantee acks bought (unacked phantoms on the old owner are dropped, the
+// at-least-once corner clients were already told to retry). Replays are
+// idempotent (set add, monotone max) or reconciled by diff against the
+// successor's current value (counter inc), so a retried handoff re-seeding
+// the same partition is harmless.
+func (f *frontend) seedKeyed(ctx context.Context, key string, newOwner int, gen int64) error {
+	switch {
+	case strings.HasPrefix(key, "kgset.p"):
+		part, err := strconv.Atoi(key[len("kgset.p"):])
+		if err != nil {
+			return nil
+		}
+		var keys []string
+		f.keyedMu.Lock()
+		for k := range f.kgsetLedger {
+			if keyedPartition(k) == part {
+				keys = append(keys, k)
+			}
+		}
+		f.keyedMu.Unlock()
+		for _, k := range keys {
+			if err := f.post(ctx, newOwner, gen, "/kgset/add?k="+neturl.QueryEscape(k)); err != nil {
+				return err
+			}
+		}
+	case strings.HasPrefix(key, "map.p"):
+		part, err := strconv.Atoi(key[len("map.p"):])
+		if err != nil {
+			return nil
+		}
+		type ent struct {
+			k string
+			a kmapAck
+		}
+		var ents []ent
+		f.keyedMu.Lock()
+		for k, a := range f.kmapLedger {
+			if keyedPartition(k) == part {
+				ents = append(ents, ent{k, *a})
+			}
+		}
+		f.keyedMu.Unlock()
+		for _, e := range ents {
+			switch e.a.kind {
+			case "max":
+				// Max(k, v) is idempotent; v = 0 still re-asserts existence.
+				if err := f.post(ctx, newOwner, gen,
+					fmt.Sprintf("/map/max?k=%s&v=%d", neturl.QueryEscape(e.k), e.a.val)); err != nil {
+					return err
+				}
+			default:
+				// Counter: the successor may hold a stale value from an
+				// earlier tenure; the counter only grows, so one inc of the
+				// difference reconciles it.
+				cur, err := f.getMapValue(ctx, newOwner, gen, e.k)
+				if err != nil {
+					return err
+				}
+				if d := e.a.val - cur; d > 0 {
+					if err := f.post(ctx, newOwner, gen,
+						fmt.Sprintf("/map/inc?k=%s&d=%d", neturl.QueryEscape(e.k), d)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// getMapValue reads a map key at owner; an unknown key reads as 0 (the seed
+// diff treats "never written there" and "written zero… impossible for a
+// counter with acked incs" identically).
+func (f *frontend) getMapValue(ctx context.Context, owner int, gen int64, key string) (int64, error) {
+	body, err := f.do(ctx, owner, gen, http.MethodGet, "/map/get?k="+neturl.QueryEscape(key))
+	var se *statusError
+	if errors.As(err, &se) && se.code == http.StatusNotFound {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var v struct {
+		Value int64 `json:"value"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		return 0, err
+	}
+	return v.Value, nil
 }
 
 func (f *frontend) postFence(ctx context.Context, owner int, key string, gen int64) error {
@@ -435,7 +614,14 @@ func (f *frontend) do(ctx context.Context, owner int, gen int64, method, uri str
 // not answered within hedgeAfter, fire ONE duplicate at the same owner (the
 // only authoritative backend — hedging elsewhere would be a consistency
 // bug, not an optimization) and take the first success. Reads are
-// idempotent, so the losing duplicate is harmless.
+// idempotent, so the losing duplicate is harmless — but not free: the
+// moment a winner is picked the shared context is canceled EAGERLY, tearing
+// the loser's connection down now instead of letting it run to the client
+// timeout (under hedge-heavy load those zombies are a connection-pool and
+// goroutine leak). The hedge timer is stopped and drained on every exit so
+// a fired-but-unread tick never lingers, and a result that is already
+// queued when the timer fires suppresses the hedge — duplicating an
+// answered read is pure waste.
 func (f *frontend) hedgedGet(ctx context.Context, owner int, gen int64, uri string) ([]byte, error) {
 	if f.cfg.hedgeAfter <= 0 {
 		return f.do(ctx, owner, gen, http.MethodGet, uri)
@@ -446,7 +632,7 @@ func (f *frontend) hedgedGet(ctx context.Context, owner int, gen int64, uri stri
 		body []byte
 		err  error
 	}
-	ch := make(chan res, 2)
+	ch := make(chan res, 2) // both launches can always complete their send
 	launch := func() {
 		b, err := f.do(cctx, owner, gen, http.MethodGet, uri)
 		ch <- res{b, err}
@@ -454,23 +640,47 @@ func (f *frontend) hedgedGet(ctx context.Context, owner int, gen int64, uri stri
 	go launch()
 	outstanding := 1
 	timer := time.NewTimer(f.cfg.hedgeAfter)
-	defer timer.Stop()
+	defer stopDrainTimer(timer)
 	var lastErr error
+	settle := func(r res) ([]byte, error, bool) {
+		if r.err == nil {
+			cancel() // reap the loser before returning the winner
+			return r.body, nil, true
+		}
+		lastErr = r.err
+		outstanding--
+		return nil, lastErr, outstanding == 0
+	}
 	for {
 		select {
 		case r := <-ch:
-			if r.err == nil {
-				return r.body, nil
-			}
-			lastErr = r.err
-			outstanding--
-			if outstanding == 0 {
-				return nil, lastErr
+			if body, err, done := settle(r); done {
+				return body, err
 			}
 		case <-timer.C:
+			select {
+			case r := <-ch:
+				// The answer beat the timer into the select race: settle it
+				// instead of hedging a read that is already answered.
+				if body, err, done := settle(r); done {
+					return body, err
+				}
+			default:
+			}
 			f.hedges.Inc()
 			outstanding++
 			go launch()
+		}
+	}
+}
+
+// stopDrainTimer stops a timer and drains an already-fired tick, so an
+// abandoned hedge timer can never deliver into a channel nobody reads.
+func stopDrainTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
 		}
 	}
 }
@@ -510,10 +720,101 @@ func (f *frontend) handler() http.Handler {
 		}
 		f.serveRouted(w, r, "gset", isRead, ack, unack)
 	})
+	mux.HandleFunc("/kgset/add", f.feKGSetAdd)
+	mux.HandleFunc("/kgset/has", f.feKGSetHas)
+	mux.HandleFunc("/map/inc", f.feMapInc)
+	mux.HandleFunc("/map/max", f.feMapMax)
+	mux.HandleFunc("/map/get", f.feMapGet)
 	mux.HandleFunc("/stats", f.stats)
 	mux.HandleFunc("/metrics", f.metrics)
 	mux.HandleFunc("/healthz", f.healthz)
 	return f.instrumented(mux)
+}
+
+// keyedRoute validates the k parameter and resolves the routing key its
+// partition maps to. The frontend validates k itself (not just the backend)
+// because an invalid k has no partition to route by.
+func keyedRoute(w http.ResponseWriter, r *http.Request, object string) (key, route string, ok bool) {
+	key, err := queryKey(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error(), false, 0)
+		return "", "", false
+	}
+	return key, fmt.Sprintf("%s.p%d", object, keyedPartition(key)), true
+}
+
+func (f *frontend) feKGSetAdd(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only", false, 0)
+		return
+	}
+	key, route, ok := keyedRoute(w, r, "kgset")
+	if !ok {
+		return
+	}
+	// No unack: an acked set add that loses its slot to a steal still landed
+	// at the backend (idempotent, monotone), same policy as the dense gset.
+	f.serveRouted(w, r, route, false,
+		func() { f.ackKGSetAdd(key) }, func() {})
+}
+
+func (f *frontend) feKGSetHas(w http.ResponseWriter, r *http.Request) {
+	_, route, ok := keyedRoute(w, r, "kgset")
+	if !ok {
+		return
+	}
+	f.serveRouted(w, r, route, true, func() {}, func() {})
+}
+
+func (f *frontend) feMapInc(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only", false, 0)
+		return
+	}
+	key, route, ok := keyedRoute(w, r, "map")
+	if !ok {
+		return
+	}
+	d := int64(1)
+	if raw := r.URL.Query().Get("d"); raw != "" {
+		v, perr := strconv.ParseInt(raw, 10, 64)
+		if perr != nil || v < 1 {
+			// The backend's 400 to give; with d unusable the ack never runs.
+			d = 0
+		} else {
+			d = v
+		}
+	}
+	ack, unack := func() {}, func() {}
+	if d > 0 {
+		ack = func() { f.ackMapInc(key, d) }
+		unack = func() { f.ackMapInc(key, -d) }
+	}
+	f.serveRouted(w, r, route, false, ack, unack)
+}
+
+func (f *frontend) feMapMax(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only", false, 0)
+		return
+	}
+	key, route, ok := keyedRoute(w, r, "map")
+	if !ok {
+		return
+	}
+	ack := func() {}
+	if v, perr := strconv.ParseInt(r.URL.Query().Get("v"), 10, 64); perr == nil && v >= 0 {
+		ack = func() { f.ackMapMax(key, v) }
+	}
+	f.serveRouted(w, r, route, false, ack, func() {})
+}
+
+func (f *frontend) feMapGet(w http.ResponseWriter, r *http.Request) {
+	_, route, ok := keyedRoute(w, r, "map")
+	if !ok {
+		return
+	}
+	f.serveRouted(w, r, route, true, func() {}, func() {})
 }
 
 func (f *frontend) instrumented(next http.Handler) http.Handler {
@@ -640,6 +941,22 @@ func (f *frontend) refuse(w http.ResponseWriter, r *http.Request, key string, er
 			} else {
 				writeJSON(w, map[string]any{"elems": f.gsetSnapshot()})
 			}
+		default:
+			// Keyed partitions: answer /kgset/has and /map/get from the
+			// keyed ledgers. A key with no acked write is honestly unknown —
+			// the same 404 the owner would give for a key never written.
+			k := r.URL.Query().Get("k")
+			switch {
+			case strings.HasPrefix(key, "kgset."):
+				writeJSON(w, map[string]any{"member": f.kgsetHasAcked(k)})
+			case strings.HasPrefix(key, "map."):
+				a, ok := f.kmapAcked(k)
+				if !ok {
+					writeErr(w, http.StatusNotFound, "unknown key", false, 0)
+					return
+				}
+				writeJSON(w, map[string]any{"value": a.val, "kind": a.kind})
+			}
 		}
 		return
 	}
@@ -668,6 +985,8 @@ type frontStats struct {
 	CounterLedger   int64               `json:"counter_ledger"`
 	MaxregLedger    int64               `json:"maxreg_ledger"`
 	GSetLedgerSize  int                 `json:"gset_ledger_size"`
+	KGSetLedgerKeys int                 `json:"kgset_ledger_keys"`
+	KMapLedgerKeys  int                 `json:"kmap_ledger_keys"`
 }
 
 type frontBackendStat struct {
@@ -701,6 +1020,10 @@ func (f *frontend) snapshotStats() frontStats {
 	f.gsetMu.Lock()
 	st.GSetLedgerSize = len(f.gsetLedger)
 	f.gsetMu.Unlock()
+	f.keyedMu.Lock()
+	st.KGSetLedgerKeys = len(f.kgsetLedger)
+	st.KMapLedgerKeys = len(f.kmapLedger)
+	f.keyedMu.Unlock()
 	for i, u := range f.cfg.backends {
 		st.Backends = append(st.Backends, frontBackendStat{URL: u, State: f.health.State(i).String()})
 	}

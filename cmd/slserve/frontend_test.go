@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
@@ -234,6 +235,215 @@ func TestFrontendForwardsBackendErrors(t *testing.T) {
 	}
 	if f.maxLedger.Load() != 0 {
 		t.Fatalf("refused write folded into ledger: %d", f.maxLedger.Load())
+	}
+}
+
+// TestHedgedGetReapsLoser is the hedge-leak regression: when the hedged
+// duplicate wins, the primary request — stuck at a slow backend — must be
+// torn down by context cancellation as soon as the winner is picked, not
+// left running to the client timeout. Pre-fix, nothing canceled the loser
+// and its goroutine plus pooled connection lived on for routeTimeout after
+// every won hedge; under hedge-heavy load that is a leak of both.
+func TestHedgedGetReapsLoser(t *testing.T) {
+	var calls atomic.Int32
+	loserReaped := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// The primary: silent until torn down; record the teardown.
+			<-r.Context().Done()
+			close(loserReaped)
+			return
+		}
+		w.Write([]byte(`{"value":42}`)) // the hedge answers immediately
+	}))
+	defer ts.Close()
+
+	f := newFrontend(frontendConfig{
+		backends:     []string{ts.URL},
+		routeTimeout: 30 * time.Second, // pre-fix the loser lived this long
+		hedgeAfter:   10 * time.Millisecond,
+		health:       fastHealth(),
+		slots:        4,
+	})
+	body, err := f.hedgedGet(context.Background(), 0, 0, "/counter")
+	if err != nil {
+		t.Fatalf("hedged read: %v", err)
+	}
+	if !strings.Contains(string(body), "42") {
+		t.Fatalf("hedged read body = %s, want the hedge's answer", body)
+	}
+	if f.hedges.Load() != 1 {
+		t.Fatalf("hedges fired = %d, want exactly 1", f.hedges.Load())
+	}
+	select {
+	case <-loserReaped:
+	case <-time.After(2 * time.Second):
+		t.Fatal("losing request never canceled after the hedge won (leaks until routeTimeout)")
+	}
+}
+
+// TestFrontendRoutesKeyedAndFailsOver drives the keyed universe through the
+// routing tier: /kgset/* and /map/* route by key partition, acks fold into
+// the keyed ledgers, and killing a partition's owner moves it with every
+// acked key intact (seeded from the ledger — the keyed objects have no
+// enumeration endpoint, so the ledger IS the seed).
+func TestFrontendRoutesKeyedAndFailsOver(t *testing.T) {
+	ctx := context.Background()
+	var urls []string
+	var servers []*httptest.Server
+	for i := 0; i < 3; i++ {
+		ts := httptest.NewServer(newServer(4, 2, 0).handler())
+		defer ts.Close()
+		servers = append(servers, ts)
+		urls = append(urls, ts.URL)
+	}
+	f := newTestFrontend(urls, fastHealth())
+	f.health.Sweep(ctx)
+	f.reconcileOnce(ctx)
+	h := f.handler()
+
+	for _, tc := range []struct {
+		method, target string
+		want           int
+	}{
+		{http.MethodPost, "/kgset/add?k=alpha", http.StatusOK},
+		{http.MethodPost, "/kgset/add?k=beta", http.StatusOK},
+		{http.MethodPost, "/map/inc?k=hits&d=3", http.StatusOK},
+		{http.MethodPost, "/map/inc?k=hits", http.StatusOK}, // d defaults to 1
+		{http.MethodPost, "/map/max?k=peak&v=9", http.StatusOK},
+		{http.MethodGet, "/map/get?k=ghost", http.StatusNotFound},
+		{http.MethodGet, "/map/get", http.StatusBadRequest},         // missing k
+		{http.MethodPost, "/map/inc?k=hits&d=0", http.StatusBadRequest}, // backend's 400, forwarded
+		{http.MethodPost, "/kgset/add", http.StatusBadRequest},
+	} {
+		if rec := feReq(t, h, tc.method, tc.target); rec.Code != tc.want {
+			t.Fatalf("%s %s = %d, want %d: %s", tc.method, tc.target, rec.Code, tc.want, rec.Body.String())
+		}
+	}
+	readKeyed := func(key string, wantVal int64, wantKind string) {
+		t.Helper()
+		rec := feReq(t, h, http.MethodGet, "/map/get?k="+key)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("map get %s: %d %s", key, rec.Code, rec.Body.String())
+		}
+		var v struct {
+			Value int64  `json:"value"`
+			Kind  string `json:"kind"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+			t.Fatalf("map get %s body %q: %v", key, rec.Body.String(), err)
+		}
+		if v.Value != wantVal || v.Kind != wantKind {
+			t.Fatalf("map get %s = %d/%s, want %d/%s", key, v.Value, v.Kind, wantVal, wantKind)
+		}
+	}
+	member := func(key string, want bool) {
+		t.Helper()
+		rec := feReq(t, h, http.MethodGet, "/kgset/has?k="+key)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("kgset has %s: %d %s", key, rec.Code, rec.Body.String())
+		}
+		var v struct {
+			Member bool `json:"member"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+			t.Fatalf("kgset has %s body %q: %v", key, rec.Body.String(), err)
+		}
+		if v.Member != want {
+			t.Fatalf("kgset has %s = %v, want %v", key, v.Member, want)
+		}
+	}
+	readKeyed("hits", 4, "counter")
+	readKeyed("peak", 9, "max")
+	member("alpha", true)
+	member("ghost", false)
+
+	// The acked ledgers carry exactly the acked history.
+	if a, ok := f.kmapAcked("hits"); !ok || a.val != 4 || a.kind != "counter" {
+		t.Fatalf("kmap ledger for hits = %+v/%v, want counter 4", a, ok)
+	}
+	if a, ok := f.kmapAcked("peak"); !ok || a.val != 9 || a.kind != "max" {
+		t.Fatalf("kmap ledger for peak = %+v/%v, want max 9", a, ok)
+	}
+	if !f.kgsetHasAcked("alpha") || f.kgsetHasAcked("ghost") {
+		t.Fatalf("kgset ledger wrong: alpha=%v ghost=%v", f.kgsetHasAcked("alpha"), f.kgsetHasAcked("ghost"))
+	}
+
+	// Kill the owner of hits' map partition; the reconciler must move the
+	// partition and reseed it from the keyed ledger.
+	route := fmt.Sprintf("map.p%d", keyedPartition("hits"))
+	owner, genBefore, settled := f.tb.Owner(thread1, route)
+	if !settled || owner < 0 {
+		t.Fatalf("%s unowned before failover: owner=%d settled=%v", route, owner, settled)
+	}
+	servers[owner].Close()
+	f.health.Sweep(ctx)
+	f.reconcileOnce(ctx)
+	newOwner, genAfter, settled := f.tb.Owner(thread1, route)
+	if !settled || newOwner == owner || genAfter <= genBefore {
+		t.Fatalf("%s did not move: %d@%d -> %d@%d settled=%v", route, owner, genBefore, newOwner, genAfter, settled)
+	}
+
+	// Every acked keyed write survived — including the ones whose partitions
+	// happened to live on the killed backend too.
+	readKeyed("hits", 4, "counter")
+	readKeyed("peak", 9, "max")
+	member("alpha", true)
+	member("beta", true)
+	if rec := feReq(t, h, http.MethodPost, "/map/inc?k=hits&d=2"); rec.Code != http.StatusOK {
+		t.Fatalf("post-failover inc: %d %s", rec.Code, rec.Body.String())
+	}
+	readKeyed("hits", 6, "counter")
+
+	st := f.snapshotStats()
+	if st.KGSetLedgerKeys != 2 || st.KMapLedgerKeys != 2 {
+		t.Fatalf("ledger sizes = kgset %d, kmap %d, want 2 and 2", st.KGSetLedgerKeys, st.KMapLedgerKeys)
+	}
+}
+
+// TestFrontendDegradedKeyedReads: with the whole pool dead, /kgset/has and
+// /map/get degrade to the keyed ledgers under X-SL-Degraded; a key with no
+// acked write answers the same 404 the owner would give.
+func TestFrontendDegradedKeyedReads(t *testing.T) {
+	ctx := context.Background()
+	ts := httptest.NewServer(newServer(4, 2, 0).handler())
+	f := newTestFrontend([]string{ts.URL}, fastHealth())
+	f.cfg.retries = 1
+	f.health.Sweep(ctx)
+	f.reconcileOnce(ctx)
+	h := f.handler()
+
+	if rec := feReq(t, h, http.MethodPost, "/kgset/add?k=survivor"); rec.Code != http.StatusOK {
+		t.Fatalf("add: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := feReq(t, h, http.MethodPost, "/map/inc?k=hits&d=5"); rec.Code != http.StatusOK {
+		t.Fatalf("inc: %d %s", rec.Code, rec.Body.String())
+	}
+	ts.Close()
+	f.health.Sweep(ctx)
+	f.reconcileOnce(ctx)
+
+	rec := feReq(t, h, http.MethodGet, "/kgset/has?k=survivor")
+	if rec.Code != http.StatusOK || rec.Header().Get("X-SL-Degraded") != "true" ||
+		!strings.Contains(rec.Body.String(), "true") {
+		t.Fatalf("degraded kgset has: %d %v %s", rec.Code, rec.Header(), rec.Body.String())
+	}
+	rec = feReq(t, h, http.MethodGet, "/map/get?k=hits")
+	if rec.Code != http.StatusOK || rec.Header().Get("X-SL-Degraded") != "true" ||
+		!strings.Contains(rec.Body.String(), "5") {
+		t.Fatalf("degraded map get: %d %v %s", rec.Code, rec.Header(), rec.Body.String())
+	}
+	rec = feReq(t, h, http.MethodGet, "/map/get?k=ghost")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("degraded map get of unknown key = %d, want 404", rec.Code)
+	}
+	rec = feReq(t, h, http.MethodPost, "/map/inc?k=hits")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("keyed write with dead pool = %d, want 503", rec.Code)
+	}
+	assertErrShape(t, rec, true)
+	if a, _ := f.kmapAcked("hits"); a.val != 5 {
+		t.Fatalf("refused write mutated the keyed ledger: %d", a.val)
 	}
 }
 

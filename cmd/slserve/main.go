@@ -245,6 +245,10 @@ func serveLoop(ctx context.Context, srv *server, ln net.Listener) error {
 	}
 	stop() // a second signal during the drain kills the process the hard way
 	fmt.Println("slserve: signal received, draining")
+	// Close the coalescing funnels before the HTTP drain: requests that are
+	// already in flight when Shutdown stops accepting must not park behind a
+	// slow batch as its next leader, or the drain deadline kills them.
+	srv.drainCoalescers()
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(dctx); err != nil {
@@ -336,6 +340,8 @@ type server struct {
 	snap          *stronglin.Snapshot
 	msnap         *stronglin.Snapshot // multi-word k-XADD engine, any lane count
 	clock         *stronglin.LogicalClock
+	kgset         *stronglin.KeyedGSet   // sparse keyed universe: hashed grow-only set
+	kmap          *stronglin.MonotoneMap // sparse keyed universe: per-key counters / max registers
 
 	// reg is this server's metric registry (per-server, not the package
 	// default: tests and the attack generator build several servers per
@@ -368,6 +374,8 @@ type server struct {
 		maxregRead              coalescer
 		gsetAdd, gsetElems      coalescer
 		snapScan, msnapScan     coalescer
+		kgsetAdd                coalescer
+		mapInc, mapMax          coalescer
 	}
 
 	ops struct {
@@ -377,13 +385,17 @@ type server struct {
 		snapUpdate, snapScan        atomic.Int64
 		msnapUpdate, msnapScan      atomic.Int64
 		clockTick, clockRead        atomic.Int64
+		kgsetAdd, kgsetHas          atomic.Int64
+		mapInc, mapMax, mapGet      atomic.Int64
 	}
 
 	// fences are the routed objects' backend-side ownership fences (the
 	// cluster handoff protocol's 409 surface); fenceRejects counts requests
-	// refused below a floor.
+	// refused below a floor. The keyed universe fences per key partition —
+	// the routing tier moves partitions, not individual keys.
 	fences struct {
 		counter, maxreg, gset fenceGate
+		kgset, kmap           [keyPartitions]fenceGate
 	}
 	fenceRejects atomic.Int64
 }
@@ -399,7 +411,7 @@ func (s *server) fenceOf(obj string) *fenceGate {
 	case "gset":
 		return &s.fences.gset
 	}
-	return nil
+	return s.keyedFenceOf(obj)
 }
 
 // fenced answers the 409 a request below an object's fence floor gets: the
@@ -530,6 +542,8 @@ func newServerCfg(lanes, shards int, bound, clockBudget int64, scanBudget int, c
 		snap:     stronglin.NewSnapshot(w, lanes, snapOpts...),
 		msnap:    stronglin.NewMultiwordSnapshot(w, lanes, snapWords(lanes), msnapOpts...),
 		clock:    stronglin.NewLogicalClock(w, lanes, clockOpts...),
+		kgset:    stronglin.NewKeyedGSet(w, lanes),
+		kmap:     stronglin.NewMonotoneMap(w, lanes),
 		reg:      reg,
 		coalesce: *coalesce,
 	}
@@ -635,6 +649,11 @@ func (s *server) registerMetrics() {
 		{"/counter", "counter"},
 		{"/maxreg", "maxreg"},
 		{"/gset", "gset"},
+		{"/kgset/add", "kgset_add"},
+		{"/kgset/has", "kgset_has"},
+		{"/map/inc", "map_inc"},
+		{"/map/max", "map_max"},
+		{"/map/get", "map_get"},
 		{"/snapshot", "snapshot"},
 		{"/msnapshot", "msnapshot"},
 		{"/clock/tick", "clock_tick"},
@@ -659,6 +678,9 @@ func (s *server) registerMetrics() {
 	mkco(&s.co.gsetElems, "gset_elems", "gset element-list")
 	mkco(&s.co.snapScan, "snapshot_scan", "snapshot scan")
 	mkco(&s.co.msnapScan, "msnapshot_scan", "multi-word snapshot scan")
+	mkco(&s.co.kgsetAdd, "kgset_add", "keyed gset add")
+	mkco(&s.co.mapInc, "map_inc", "keyed map increment")
+	mkco(&s.co.mapMax, "map_max", "keyed map max write")
 
 	// Lifetime watermarks: where each bounded budget currently stands. These
 	// are the sensors the live-migration plans trigger on (ROADMAP).
@@ -696,7 +718,29 @@ func (s *server) registerMetrics() {
 	s.reg.GaugeFunc("slserve_counter_fence_floor", "counter ownership fence floor (0 = never fenced)", s.fences.counter.Floor)
 	s.reg.GaugeFunc("slserve_maxreg_fence_floor", "maxreg ownership fence floor (0 = never fenced)", s.fences.maxreg.Floor)
 	s.reg.GaugeFunc("slserve_gset_fence_floor", "gset ownership fence floor (0 = never fenced)", s.fences.gset.Floor)
+	for p := 0; p < keyPartitions; p++ {
+		p := p
+		s.reg.GaugeFunc(fmt.Sprintf("slserve_kgset_p%d_fence_floor", p), fmt.Sprintf("keyed gset partition %d ownership fence floor (0 = never fenced)", p), s.fences.kgset[p].Floor)
+		s.reg.GaugeFunc(fmt.Sprintf("slserve_map_p%d_fence_floor", p), fmt.Sprintf("keyed map partition %d ownership fence floor (0 = never fenced)", p), s.fences.kmap[p].Floor)
+	}
 	s.reg.CounterFunc("slserve_fence_rejects_total", "requests refused 409 below an ownership fence floor", s.fenceRejects.Load)
+
+	// Keyed-universe telemetry: table shape (keys resident, bucket count and
+	// generation — which rehash cutovers have landed), growth, and the
+	// validated reads' witness costs. Scrape-time closures over the stats
+	// snapshots the engines keep anyway.
+	s.reg.GaugeFunc("slserve_kgset_keys", "distinct keys resident in the keyed gset", func() int64 { return int64(s.kgset.Stats(t0).Keys) })
+	s.reg.GaugeFunc("slserve_kgset_buckets", "keyed gset hash bucket count", func() int64 { return int64(s.kgset.Stats(t0).Buckets) })
+	s.reg.GaugeFunc("slserve_kgset_generation", "keyed gset table generation (completed rehash cutovers)", func() int64 { return s.kgset.Stats(t0).Generation })
+	s.reg.CounterFunc("slserve_kgset_rehashes_total", "keyed gset bucket-table rehashes completed", func() int64 { return s.kgset.Stats(t0).Rehashes })
+	s.reg.CounterFunc("slserve_kgset_read_retries_total", "keyed gset membership reads whose closing witness failed a round", func() int64 { return s.kgset.Stats(t0).ReadRetries })
+	s.reg.GaugeFunc("slserve_kgset_epoch_announces", "keyed gset per-bucket epoch announces, summed", func() int64 { return s.kgset.Stats(t0).EpochAnnounces })
+	s.reg.GaugeFunc("slserve_map_keys", "distinct keys resident in the monotone map", func() int64 { return int64(s.kmap.Stats(t0).Keys) })
+	s.reg.GaugeFunc("slserve_map_buckets", "monotone map hash bucket count", func() int64 { return int64(s.kmap.Stats(t0).Buckets) })
+	s.reg.GaugeFunc("slserve_map_generation", "monotone map table generation (completed rehash cutovers)", func() int64 { return s.kmap.Stats(t0).Generation })
+	s.reg.CounterFunc("slserve_map_rehashes_total", "monotone map bucket-table rehashes completed", func() int64 { return s.kmap.Stats(t0).Rehashes })
+	s.reg.CounterFunc("slserve_map_read_retries_total", "monotone map gets whose closing witness failed a round", func() int64 { return s.kmap.Stats(t0).ReadRetries })
+	s.reg.GaugeFunc("slserve_map_epoch_announces", "monotone map per-bucket epoch announces, summed", func() int64 { return s.kmap.Stats(t0).EpochAnnounces })
 
 	// Lane-lease pressure: sizing signals for the pool.
 	s.reg.CounterFunc("slserve_lease_acquires_total", "lane leases granted", func() int64 { return s.pool.Acquires(t0) })
@@ -712,6 +756,11 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/counter", s.counterGet)
 	mux.HandleFunc("/maxreg", s.maxregHandler)
 	mux.HandleFunc("/gset", s.gsetHandler)
+	mux.HandleFunc("/kgset/add", s.kgsetAddHandler)
+	mux.HandleFunc("/kgset/has", s.kgsetHasHandler)
+	mux.HandleFunc("/map/inc", s.mapIncHandler)
+	mux.HandleFunc("/map/max", s.mapMaxHandler)
+	mux.HandleFunc("/map/get", s.mapGetHandler)
 	mux.HandleFunc("/snapshot", s.snapshotHandler)
 	mux.HandleFunc("/msnapshot", s.msnapshotHandler)
 	mux.HandleFunc("/clock/tick", s.clockTick)
@@ -1240,12 +1289,19 @@ type statsSnapshot struct {
 	MaxregGeneration  int64                 `json:"maxreg_epoch_generation"`
 	GSetGeneration    int64                 `json:"gset_epoch_generation"`
 	MsnapRebase       stronglin.RebaseStats `json:"msnapshot_rebase"`
+	// Keyed universe: the hashed gset's and monotone map's table shapes,
+	// growth history, and validated-read witness telemetry.
+	KGSet keyedStats `json:"kgset"`
+	KMap  keyedStats `json:"kmap"`
 	// Ownership fences: each routed object's backend-side fence floor (the
-	// cluster handoff's 409 surface) and the requests refused below one.
-	CounterFenceFloor int64 `json:"counter_fence_floor"`
-	MaxregFenceFloor  int64 `json:"maxreg_fence_floor"`
-	GSetFenceFloor    int64 `json:"gset_fence_floor"`
-	FenceRejects      int64 `json:"fence_rejects"`
+	// cluster handoff's 409 surface) and the requests refused below one. The
+	// keyed objects fence per routing partition, index = partition number.
+	CounterFenceFloor int64   `json:"counter_fence_floor"`
+	MaxregFenceFloor  int64   `json:"maxreg_fence_floor"`
+	GSetFenceFloor    int64   `json:"gset_fence_floor"`
+	KGSetFenceFloors  []int64 `json:"kgset_fence_floors"`
+	MapFenceFloors    []int64 `json:"map_fence_floors"`
+	FenceRejects      int64   `json:"fence_rejects"`
 	// Coalescing: whether request batching is on, and how many requests rode
 	// another request's batch instead of running their own engine operation.
 	Coalesce         bool  `json:"coalesce"`
@@ -1265,6 +1321,39 @@ type statsSnapshot struct {
 	MsnapScan        int64 `json:"msnapshot_scan"`
 	ClockTick        int64 `json:"clock_tick"`
 	ClockRead        int64 `json:"clock_read"`
+	KGSetAdd         int64 `json:"kgset_add"`
+	KGSetHas         int64 `json:"kgset_has"`
+	MapInc           int64 `json:"map_inc"`
+	MapMax           int64 `json:"map_max"`
+	MapGet           int64 `json:"map_get"`
+}
+
+// keyedStats is one keyed object's table/growth telemetry in /stats — the
+// JSON shape of stronglin.KeyedStats.
+type keyedStats struct {
+	Buckets        int   `json:"buckets"`
+	Slots          int   `json:"slots"`
+	Keys           int   `json:"keys"`
+	WordsPerBucket int   `json:"words_per_bucket"`
+	Packed         bool  `json:"packed"`
+	Generation     int64 `json:"generation"`
+	Rehashes       int64 `json:"rehashes"`
+	ReadRetries    int64 `json:"read_retries"`
+	EpochAnnounces int64 `json:"epoch_announces"`
+}
+
+func mkKeyedStats(ks stronglin.KeyedStats) keyedStats {
+	return keyedStats{
+		Buckets:        ks.Buckets,
+		Slots:          ks.Slots,
+		Keys:           ks.Keys,
+		WordsPerBucket: ks.WordsPerBucket,
+		Packed:         ks.Packed,
+		Generation:     ks.Generation,
+		Rehashes:       ks.Rehashes,
+		ReadRetries:    ks.ReadRetries,
+		EpochAnnounces: ks.EpochAnnounces,
+	}
 }
 
 // helpStats is one object's helping telemetry in /stats — the JSON shape of
@@ -1303,13 +1392,29 @@ func mkCacheStats(cs stronglin.CacheStats) cacheStats {
 // the engine operations batching saved.
 func (s *server) coalesceAbsorbed() int64 {
 	var n int64
-	for _, co := range []*coalescer{
-		&s.co.counterInc, &s.co.counterRead, &s.co.maxregRead,
-		&s.co.gsetAdd, &s.co.gsetElems, &s.co.snapScan, &s.co.msnapScan,
-	} {
+	for _, co := range s.coalescers() {
 		n += co.absorbed.Load()
 	}
 	return n
+}
+
+// coalescers enumerates every funnel the server owns (absorption totals,
+// shutdown drain).
+func (s *server) coalescers() []*coalescer {
+	return []*coalescer{
+		&s.co.counterInc, &s.co.counterRead, &s.co.maxregRead,
+		&s.co.gsetAdd, &s.co.gsetElems, &s.co.snapScan, &s.co.msnapScan,
+		&s.co.kgsetAdd, &s.co.mapInc, &s.co.mapMax,
+	}
+}
+
+// drainCoalescers closes every coalescing funnel for shutdown: in-flight
+// batches finish, later arrivals run uncoalesced instead of parking behind
+// them (see coalescer.drain for the race this removes).
+func (s *server) drainCoalescers() {
+	for _, co := range s.coalescers() {
+		co.drain()
+	}
 }
 
 func (s *server) snapshot() statsSnapshot {
@@ -1349,9 +1454,13 @@ func (s *server) snapshot() statsSnapshot {
 		MaxregGeneration:  s.maxreg.EpochGeneration(stronglin.Thread(0)),
 		GSetGeneration:    s.gset.EpochGeneration(stronglin.Thread(0)),
 		MsnapRebase:       s.msnap.RebaseStats(),
+		KGSet:             mkKeyedStats(s.kgset.Stats(stronglin.Thread(0))),
+		KMap:              mkKeyedStats(s.kmap.Stats(stronglin.Thread(0))),
 		CounterFenceFloor: s.fences.counter.Floor(),
 		MaxregFenceFloor:  s.fences.maxreg.Floor(),
 		GSetFenceFloor:    s.fences.gset.Floor(),
+		KGSetFenceFloors:  keyedFloors(&s.fences.kgset),
+		MapFenceFloors:    keyedFloors(&s.fences.kmap),
 		FenceRejects:      s.fenceRejects.Load(),
 		Coalesce:          s.coalesce,
 		CoalesceAbsorbed:  s.coalesceAbsorbed(),
@@ -1370,7 +1479,21 @@ func (s *server) snapshot() statsSnapshot {
 		MsnapScan:         s.ops.msnapScan.Load(),
 		ClockTick:         s.ops.clockTick.Load(),
 		ClockRead:         s.ops.clockRead.Load(),
+		KGSetAdd:          s.ops.kgsetAdd.Load(),
+		KGSetHas:          s.ops.kgsetHas.Load(),
+		MapInc:            s.ops.mapInc.Load(),
+		MapMax:            s.ops.mapMax.Load(),
+		MapGet:            s.ops.mapGet.Load(),
 	}
+}
+
+// keyedFloors snapshots one keyed object's per-partition fence floors.
+func keyedFloors(gates *[keyPartitions]fenceGate) []int64 {
+	out := make([]int64, keyPartitions)
+	for p := range gates {
+		out[p] = gates[p].Floor()
+	}
+	return out
 }
 
 func (s *server) stats(w http.ResponseWriter, r *http.Request) {
@@ -1559,14 +1682,41 @@ func (e *statusError) Error() string {
 	return fmt.Sprintf("status %d (%s)", e.code, e.reason)
 }
 
+// retryBackoffFloor is the minimum post-jitter sleep between retries. A
+// retryable 503 carrying retry_after_seconds: 0 means "retry, no estimate" —
+// it must never mean "retry immediately": with the hint used verbatim a
+// fleet of refused clients busy-loops against the endpoint that just shed
+// them.
+const retryBackoffFloor = time.Millisecond
+
+// retryBackoff computes the attempt'th retry sleep: the server's hint when
+// it gave one, else an exponential base; capped so the generator keeps
+// offering load; full-jittered (uniform over [0, sleep)) so clients refused
+// together do not return together; floored so a zero or negative hint can
+// never collapse the sleep to nothing.
+func retryBackoff(attempt int, hint time.Duration) time.Duration {
+	const base = 5 * time.Millisecond
+	const sleepCap = 100 * time.Millisecond
+	sleep := hint
+	if sleep <= 0 {
+		sleep = base << uint(attempt)
+	}
+	if sleep > sleepCap {
+		sleep = sleepCap
+	}
+	jittered := time.Duration(rand.Int63n(int64(sleep)))
+	if jittered < retryBackoffFloor {
+		jittered = retryBackoffFloor
+	}
+	return jittered
+}
+
 // fireWithRetry drives one logical request through fire, honoring the
-// structured retry contract: on a retryable status it sleeps the server's
-// retry_after_seconds hint (capped — the generator must keep offering load —
-// and jittered to avoid retry convoys), up to maxRetries times. Exhausting
+// structured retry contract: on a retryable status it sleeps retryBackoff of
+// the server's retry_after_seconds hint, up to maxRetries times. Exhausting
 // the budget on a still-retryable status is reported as exhausted.
 func fireWithRetry(client *http.Client, target string, op, c, i int, valCap int64, tele *attackTelemetry) error {
 	const maxRetries = 3
-	const sleepCap = 100 * time.Millisecond
 	for attempt := 0; ; attempt++ {
 		err := fire(client, target, op, c, i, valCap)
 		var se *statusError
@@ -1578,17 +1728,7 @@ func fireWithRetry(client *http.Client, target string, op, c, i int, valCap int6
 			return err
 		}
 		tele.retried.Add(1)
-		sleep := se.retryAfter
-		if sleep <= 0 {
-			// No hint: exponential base so bare-503 targets still see backoff.
-			sleep = time.Duration(1<<attempt) * 5 * time.Millisecond
-		}
-		if sleep > sleepCap {
-			sleep = sleepCap
-		}
-		// Full jitter: a fleet of clients refused together must not return
-		// together.
-		time.Sleep(time.Duration(rand.Int63n(int64(sleep))) + sleep/2)
+		time.Sleep(retryBackoff(attempt, se.retryAfter))
 	}
 }
 

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRetryBackoffFloor pins the zero-hint backoff contract: a retryable
+// refusal carrying retry_after_seconds: 0 (or any non-positive hint) must
+// still sleep at least the post-jitter floor. Pre-fix, the hint was used as
+// the sleep and a zero hint collapsed the backoff to an immediate retry —
+// a fleet of refused clients busy-looping against the endpoint that just
+// shed them.
+func TestRetryBackoffFloor(t *testing.T) {
+	hints := []time.Duration{0, -time.Second, time.Nanosecond, 50 * time.Millisecond, 10 * time.Second}
+	for attempt := 0; attempt < 6; attempt++ {
+		for _, hint := range hints {
+			for i := 0; i < 200; i++ {
+				d := retryBackoff(attempt, hint)
+				if d < retryBackoffFloor {
+					t.Fatalf("retryBackoff(%d, %v) = %v, below the %v floor", attempt, hint, d, retryBackoffFloor)
+				}
+				if d > 100*time.Millisecond {
+					t.Fatalf("retryBackoff(%d, %v) = %v, above the 100ms cap", attempt, hint, d)
+				}
+			}
+		}
+	}
+}
+
+// TestFireWithRetryZeroHintNoBusyLoop drives the attack client's retry loop
+// against a stub that always answers 503 retryable with a zero hint: it
+// must spend its whole budget (maxRetries+1 attempts), sleep at least the
+// backoff floor between attempts, and report the exhaustion — not hammer
+// the refusing endpoint back-to-back.
+func TestFireWithRetryZeroHintNoBusyLoop(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		writeErr(w, http.StatusServiceUnavailable, "shedding", true, 0)
+	}))
+	defer ts.Close()
+
+	tele := &attackTelemetry{}
+	start := time.Now()
+	err := fireWithRetry(ts.Client(), ts.URL, 0, 0, 0, 8, tele)
+	elapsed := time.Since(start)
+
+	var se *statusError
+	if !errors.As(err, &se) || se.code != http.StatusServiceUnavailable || !se.retryable {
+		t.Fatalf("exhausted retry = %v, want the retryable 503 back", err)
+	}
+	if got := hits.Load(); got != 4 {
+		t.Fatalf("attempts = %d, want maxRetries+1 = 4", got)
+	}
+	if tele.retried.Load() != 3 || tele.exhausted.Load() != 1 {
+		t.Fatalf("telemetry retried=%d exhausted=%d, want 3 and 1",
+			tele.retried.Load(), tele.exhausted.Load())
+	}
+	if elapsed < 3*retryBackoffFloor {
+		t.Fatalf("3 retries completed in %v — zero-hint refusals were busy-retried", elapsed)
+	}
+}

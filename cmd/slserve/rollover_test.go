@@ -332,6 +332,54 @@ func TestShutdownRacesRolloverMidStep(t *testing.T) {
 	}
 }
 
+// TestCoalescerDrainVsJoinRace is the drain-vs-join shutdown regression: a
+// request arriving AFTER graceful drain begins must not park in the funnel
+// behind a slow in-flight batch. Pre-fix, the arrival became the parked
+// next leader of a coalescer whose current apply was still running —
+// http.Server.Shutdown then waited on a request that was itself waiting on
+// the funnel, and the drain deadline killed both. Post-fix, drain() closes
+// the funnel atomically (the flag is checked under the same mutex that
+// admits joiners) and the arrival applies solo while the old batch is still
+// blocked.
+func TestCoalescerDrainVsJoinRace(t *testing.T) {
+	var co coalescer
+	block := make(chan struct{})
+	started := make(chan struct{})
+	inflight := make(chan struct{})
+	go func() {
+		// The slow in-flight batch a SIGTERM races: its apply is wedged on
+		// an engine op that outlives the drain decision.
+		co.do(func(b *batch) { b.sum++ }, func(*batch) {
+			close(started)
+			<-block
+		})
+		close(inflight)
+	}()
+	<-started
+
+	co.drain()
+
+	done := make(chan struct{})
+	go func() {
+		co.do(func(b *batch) { b.sum++ }, func(*batch) {})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("post-drain request parked in the funnel behind a blocked batch")
+	}
+
+	// The wedged batch still finishes normally once its engine op returns —
+	// drain must not orphan in-flight work.
+	close(block)
+	select {
+	case <-inflight:
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight batch never completed after drain")
+	}
+}
+
 // TestGracefulShutdownDrains exercises the serve-mode lifecycle: runServe
 // comes up, answers traffic, and — when its context is cancelled, the same
 // path a SIGTERM takes — drains and returns nil, the exit-0 contract

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,7 @@ import (
 	"stronglin/internal/baseline"
 	"stronglin/internal/core"
 	"stronglin/internal/history"
+	"stronglin/internal/keyed"
 	"stronglin/internal/prim"
 	"stronglin/internal/shard"
 	"stronglin/internal/sim"
@@ -318,6 +320,39 @@ func arrows() []arrow {
 				}
 			},
 		},
+		{
+			// The keyed (string-domain) grow-only set: one hashed bucket
+			// hosting the key in its slot directory, a first-add claim racing
+			// a validated-collect reader. Larger keyed shapes (two buckets,
+			// multi-word lanes, rehash overlap) live in internal/keyed's
+			// exhaustive checks; this arrow keeps the keyed universe visible
+			// in the matrix at an in-budget tree.
+			object: "keyed gset", from: "fnv bucket k-XADD", progress: "lock-free", theorem: "Thm 10+",
+			procs: 2, spec: spec.GSet{},
+			setup: func(w *sim.World) []sim.Program {
+				g := keyed.NewGSet(w, "kg", 2, keyed.WithBuckets(1), keyed.WithSlots(2))
+				return []sim.Program{
+					{opKAdd(g, "a", 1)},
+					{opKHas(g, "a", 1), opKHas(g, "a", 1)},
+				}
+			},
+		},
+		{
+			// The keyed monotone map's kind race plus a reader: concurrent
+			// first writes of conflicting kinds — whichever claims the
+			// directory first binds the kind, the loser's refusal linearizes
+			// after it — with a validated get committing RespNone or the
+			// bound kind's value.
+			object: "keyed monotone map", from: "fnv bucket k-XADD", progress: "lock-free", theorem: "—",
+			procs: 2, spec: spec.KeyedMap{},
+			setup: func(w *sim.World) []sim.Program {
+				m := keyed.NewMonotoneMap(w, "km", 2, keyed.WithBuckets(1), keyed.WithSlots(1), keyed.WithWidth(20))
+				return []sim.Program{
+					{opKInc(m, "k", 1)},
+					{opKMax(m, "k", 1, 3), opKGet(m, "k", 1)},
+				}
+			},
+		},
 	}
 }
 
@@ -485,4 +520,62 @@ func opApply(o interface {
 }, op spec.Op) sim.Op {
 	return sim.Op{Name: op.String(), Spec: op,
 		Run: func(t prim.Thread) string { return o.Apply(t, op) }}
+}
+
+// Keyed-universe op builders: string keys on the implementation side,
+// abstract int64 key ids on the spec side.
+
+func opKAdd(g *keyed.GSet, key string, id int64) sim.Op {
+	return sim.Op{Name: "add(" + key + ")", Spec: spec.MkOp(spec.MethodAdd, id),
+		Run: func(t prim.Thread) string {
+			if err := g.Add(t, key); err != nil {
+				return err.Error()
+			}
+			return spec.RespOK
+		}}
+}
+
+func opKHas(g *keyed.GSet, key string, id int64) sim.Op {
+	return sim.Op{Name: "has(" + key + ")", Spec: spec.MkOp(spec.MethodHas, id),
+		Run: func(t prim.Thread) string {
+			if g.Has(t, key) {
+				return spec.RespInt(1)
+			}
+			return spec.RespInt(0)
+		}}
+}
+
+func opKInc(m *keyed.MonotoneMap, key string, id int64) sim.Op {
+	return sim.Op{Name: "minc(" + key + ")", Spec: spec.MkOp(spec.MethodMapInc, id, 1),
+		Run: func(t prim.Thread) string { return keyedWriteResp(m.Inc(t, key)) }}
+}
+
+func opKMax(m *keyed.MonotoneMap, key string, id, v int64) sim.Op {
+	return sim.Op{Name: "mmax(" + key + ")", Spec: spec.MkOp(spec.MethodMapMax, id, v),
+		Run: func(t prim.Thread) string { return keyedWriteResp(m.Max(t, key, v)) }}
+}
+
+func opKGet(m *keyed.MonotoneMap, key string, id int64) sim.Op {
+	return sim.Op{Name: "mget(" + key + ")", Spec: spec.MkOp(spec.MethodMapGet, id),
+		Run: func(t prim.Thread) string {
+			v, err := m.Get(t, key)
+			if errors.Is(err, keyed.ErrUnknownKey) {
+				return spec.RespNone
+			}
+			if err != nil {
+				return err.Error()
+			}
+			return spec.RespInt(v)
+		}}
+}
+
+func keyedWriteResp(err error) string {
+	switch {
+	case err == nil:
+		return spec.RespOK
+	case errors.Is(err, keyed.ErrKindMismatch):
+		return spec.RespKindMismatch
+	default:
+		return err.Error()
+	}
 }

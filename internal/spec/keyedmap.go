@@ -1,0 +1,107 @@
+package spec
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Methods of the keyed monotone map (internal/keyed.MonotoneMap). Keys are
+// abstracted to int64 identifiers here; the implementation hashes strings.
+const (
+	// MethodMapInc is minc(k, d): add d to key k's monotone counter.
+	MethodMapInc = "minc"
+	// MethodMapMax is mmax(k, v): raise key k's max register to v.
+	MethodMapMax = "mmax"
+	// MethodMapGet is mget(k): read key k's combined value.
+	MethodMapGet = "mget"
+)
+
+// Canonical responses specific to the keyed map.
+const (
+	// RespNone is the response of mget on a never-written key.
+	RespNone = "none"
+	// RespKindMismatch is the response of a write whose kind conflicts with
+	// the kind the key was bound to at its first write.
+	RespKindMismatch = "kind"
+)
+
+// KeyedMap is the sequential specification of a map from keys to monotone
+// values: a key is bound at first write to a counter (minc) or a max
+// register (mmax), the other kind's writes are refused with RespKindMismatch,
+// and mget returns the current value (RespNone for unknown keys).
+type KeyedMap struct{}
+
+// Name implements Spec.
+func (KeyedMap) Name() string { return "keyedmap" }
+
+// Init implements Spec.
+func (KeyedMap) Init(int) State { return keyedMapState(nil) }
+
+type kmEntry struct {
+	k    int64
+	kind uint8 // 1 = counter, 2 = max
+	v    int64
+}
+
+type keyedMapState []kmEntry // sorted by k
+
+func (s keyedMapState) find(k int64) (int, bool) {
+	i := sort.Search(len(s), func(i int) bool { return s[i].k >= k })
+	return i, i < len(s) && s[i].k == k
+}
+
+func (s keyedMapState) withEntry(i int, e kmEntry, insert bool) keyedMapState {
+	next := make(keyedMapState, 0, len(s)+1)
+	next = append(next, s[:i]...)
+	next = append(next, e)
+	if insert {
+		next = append(next, s[i:]...)
+	} else {
+		next = append(next, s[i+1:]...)
+	}
+	return next
+}
+
+// Steps implements State.
+func (s keyedMapState) Steps(op Op) []Outcome {
+	switch op.Method {
+	case MethodMapInc:
+		k, d := op.Args[0], op.Args[1]
+		i, ok := s.find(k)
+		if !ok {
+			return []Outcome{{Resp: RespOK, Next: s.withEntry(i, kmEntry{k, 1, d}, true)}}
+		}
+		if s[i].kind != 1 {
+			return []Outcome{{Resp: RespKindMismatch, Next: s}}
+		}
+		return []Outcome{{Resp: RespOK, Next: s.withEntry(i, kmEntry{k, 1, s[i].v + d}, false)}}
+	case MethodMapMax:
+		k, v := op.Args[0], op.Args[1]
+		i, ok := s.find(k)
+		if !ok {
+			return []Outcome{{Resp: RespOK, Next: s.withEntry(i, kmEntry{k, 2, v}, true)}}
+		}
+		if s[i].kind != 2 {
+			return []Outcome{{Resp: RespKindMismatch, Next: s}}
+		}
+		return []Outcome{{Resp: RespOK, Next: s.withEntry(i, kmEntry{k, 2, max(s[i].v, v)}, false)}}
+	case MethodMapGet:
+		i, ok := s.find(op.Args[0])
+		if !ok {
+			return []Outcome{{Resp: RespNone, Next: s}}
+		}
+		return []Outcome{{Resp: RespInt(s[i].v), Next: s}}
+	default:
+		return nil
+	}
+}
+
+// Key implements State.
+func (s keyedMapState) Key() string {
+	parts := make([]string, len(s))
+	for i, e := range s {
+		parts[i] = strconv.FormatInt(e.k, 10) + ":" + strconv.Itoa(int(e.kind)) + ":" + strconv.FormatInt(e.v, 10)
+	}
+	return "kmap:{" + strings.Join(parts, " ") + "}"
+}

@@ -22,6 +22,7 @@ func Registry() []Spec {
 		StutteringQueue{M: 1},
 		StutteringStack{M: 1},
 		OutOfOrderQueue{K: 2},
+		KeyedMap{},
 	}
 }
 
@@ -39,6 +40,8 @@ func ProbeOps(name string) []Op {
 		return []Op{MkOp(MethodInc), MkOp(MethodTick), MkOp(MethodRead)}
 	case "gset":
 		return []Op{MkOp(MethodAdd, 1), MkOp(MethodAdd, 2), MkOp(MethodHas, 1)}
+	case "keyedmap":
+		return []Op{MkOp(MethodMapInc, 1, 1), MkOp(MethodMapMax, 2, 5), MkOp(MethodMapGet, 1), MkOp(MethodMapGet, 3)}
 	case "register":
 		return []Op{MkOp(MethodWrite, 1), MkOp(MethodWrite, 2), MkOp(MethodRead)}
 	case "readable-tas", "multishot-tas":

@@ -1,7 +1,8 @@
 #!/bin/sh
-# Records the perf-trajectory baseline (BENCH_PR7.json): the slbench cells
+# Records the perf-trajectory baseline (BENCH_PR10.json): the slbench cells
 # the CI perf gate compares against (slbench -baseline) — including the PR 7
-# cached-scan/cached-read rows — plus a closed/open loop attack pair on the
+# cached-scan/cached-read rows and the PR 10 keyed kgset/map rows — plus a
+# closed/open loop attack pair on the
 # same host. The pair is the coordinated-omission exhibit: both runs use the
 # same mix and duration, but the open-loop run offers 2x the closed loop's
 # measured throughput, so its percentiles carry the queueing delay the
@@ -13,7 +14,7 @@
 # intentional perf change lands, and commit the result.
 set -e
 cd "$(dirname "$0")/.."
-out=${1:-BENCH_PR7.json}
+out=${1:-BENCH_PR10.json}
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 

@@ -64,6 +64,7 @@ import (
 	"stronglin/internal/adversary"
 	"stronglin/internal/core"
 	"stronglin/internal/interleave"
+	"stronglin/internal/keyed"
 	"stronglin/internal/migrate"
 	"stronglin/internal/obs"
 	"stronglin/internal/pool"
@@ -478,6 +479,93 @@ type RebaserStats = migrate.Stats
 // satisfy 0 < warn <= crit < 1.
 func NewRebaser(thr RebaseThresholds, targets ...RebaseTarget) (*Rebaser, error) {
 	return migrate.NewRebaser(thr, targets...)
+}
+
+// KeyedOption configures the keyed (string-domain) constructors NewKeyedGSet
+// and NewMonotoneMap; see WithKeyedBuckets and friends.
+type KeyedOption = keyed.Option
+
+// WithKeyedBuckets sets a keyed object's initial bucket count (default 8).
+// Keys hash (fnv-1a 64) to buckets; each bucket is its own k-XADD engine.
+func WithKeyedBuckets(n int) KeyedOption { return keyed.WithBuckets(n) }
+
+// WithKeyedSlots sets how many distinct keys one bucket hosts (default 16
+// for a KeyedGSet, 8 for a MonotoneMap). For a KeyedGSet the slot count is
+// also the per-lane bitmap width in bits, so it is capped at 48.
+func WithKeyedSlots(n int) KeyedOption { return keyed.WithSlots(n) }
+
+// WithKeyedWidth sets a MonotoneMap's bits per (key, lane) value field
+// (default 32, max 48). The stored field cap is 2^width - 1, but the
+// client-visible cap is FieldCap = 2^width - 2: one unit is reserved for the
+// existence bias that keeps a landed Max(k, 0) distinguishable from no write
+// at all. No-op for a KeyedGSet, whose fields are 1-bit memberships.
+func WithKeyedWidth(bits int) KeyedOption { return keyed.WithWidth(bits) }
+
+// WithKeyedMaxBuckets caps Rehash growth (default 1<<16 buckets).
+func WithKeyedMaxBuckets(n int) KeyedOption { return keyed.WithMaxBuckets(n) }
+
+// KeyedStats is the telemetry snapshot reported by KeyedGSet.Stats and
+// MonotoneMap.Stats.
+type KeyedStats = keyed.Stats
+
+// MapKind is the monotone flavor a MonotoneMap key is bound to at its first
+// write: a counter (Inc/IncBy) or a max register (Max).
+type MapKind = keyed.Kind
+
+// MonotoneMap key kinds.
+const (
+	// MapKindNone is the zero MapKind; no key is ever bound to it.
+	MapKindNone = keyed.KindNone
+	// MapKindCounter keys support Inc/IncBy; Get sums the lanes.
+	MapKindCounter = keyed.KindCounter
+	// MapKindMax keys support Max; Get maxes the lanes.
+	MapKindMax = keyed.KindMax
+)
+
+// Keyed-universe errors. All are terminal for the op that received them;
+// ErrKeyedFull is resolved by Rehash to a larger bucket count.
+var (
+	// ErrKeyedFull means the key's bucket has no free slot; grow with Rehash.
+	ErrKeyedFull = keyed.ErrFull
+	// ErrKeyedBudget means the per-(key, lane) field cannot absorb the update.
+	ErrKeyedBudget = keyed.ErrBudget
+	// ErrKeyedKindMismatch means the key is bound to the other kind.
+	ErrKeyedKindMismatch = keyed.ErrKindMismatch
+	// ErrKeyedUnknownKey means the key has never been written.
+	ErrKeyedUnknownKey = keyed.ErrUnknownKey
+	// ErrKeyedRange means a delta or value lies outside the field domain.
+	ErrKeyedRange = keyed.ErrRange
+)
+
+// KeyedHash is the keyed universe's bucket hash (fnv-1a 64 over the key
+// bytes), exported so routing tiers partition the keyspace with the identical
+// function.
+func KeyedHash(key string) uint64 { return keyed.Hash(key) }
+
+// KeyedGSet is a strongly-linearizable grow-only set over STRING keys — the
+// sparse companion to the dense-domain sharded GSet. Keys hash to buckets;
+// each bucket is a k-XADD engine holding one membership bit per (key, lane),
+// so Add is one fetch&add and Has is an epoch-validated collect. Buckets grow
+// at runtime with Rehash (flip-after-migrate; no acked add is ever lost).
+// Strong linearizability of both ops and of reads overlapping a rehash is
+// model-checked exhaustively in internal/keyed.
+type KeyedGSet = keyed.GSet
+
+// NewKeyedGSet builds a keyed grow-only set for n process lanes.
+func NewKeyedGSet(w *World, n int, opts ...KeyedOption) *KeyedGSet {
+	return keyed.NewGSet(w, "stronglin.kgset", n, opts...)
+}
+
+// MonotoneMap is a strongly-linearizable map from string keys to monotone
+// values: each key binds at first write to a monotone counter (Inc/IncBy) or
+// a max register (Max); Get combines the key's per-lane fields (sum or max)
+// under the epoch-validated closing-witness discipline. Buckets grow at
+// runtime with Rehash exactly as KeyedGSet's.
+type MonotoneMap = keyed.MonotoneMap
+
+// NewMonotoneMap builds a keyed monotone map for n process lanes.
+func NewMonotoneMap(w *World, n int, opts ...KeyedOption) *MonotoneMap {
+	return keyed.NewMonotoneMap(w, "stronglin.kmap", n, opts...)
 }
 
 // AdversaryOutcome aggregates strong-adversary game trials (see
